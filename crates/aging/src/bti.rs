@@ -1,0 +1,209 @@
+//! BTI (bias-temperature instability) and HCI stress models.
+//!
+//! The standard long-term reaction–diffusion fit:
+//!
+//! ```text
+//! ΔVth = A · duty^0.5 · t^n · exp(-Ea / (k·T))·K
+//! ```
+//!
+//! with time exponent `n ≈ 0.16–0.25` and activation energy
+//! `Ea ≈ 0.05–0.1 eV`. Absolute values are technology-calibrated via the
+//! prefactor; the *shape* (duty, time, temperature monotonicity) is what
+//! the RESCUE mitigation work relies on.
+
+/// Boltzmann constant in eV/K.
+const K_B: f64 = 8.617e-5;
+
+/// The static stress condition of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressProfile {
+    /// Fraction of time under stress (gate biased), in `[0, 1]`.
+    pub duty: f64,
+    /// Junction temperature in kelvin.
+    pub temperature_k: f64,
+}
+
+/// A calibrated BTI model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtiModel {
+    /// Technology prefactor (mV at duty 1, 1 year, reference temp).
+    pub prefactor_mv: f64,
+    /// Time exponent (`~0.25` diffusion-limited).
+    pub time_exponent: f64,
+    /// Duty exponent (`~0.5`).
+    pub duty_exponent: f64,
+    /// Activation energy in eV.
+    pub activation_ev: f64,
+    /// Reference temperature for the prefactor, kelvin.
+    pub reference_k: f64,
+}
+
+impl BtiModel {
+    /// A bulk 28 nm-class NBTI calibration.
+    pub fn bulk_28nm() -> Self {
+        BtiModel {
+            prefactor_mv: 30.0,
+            time_exponent: 0.25,
+            duty_exponent: 0.5,
+            activation_ev: 0.06,
+            reference_k: 300.0,
+        }
+    }
+
+    /// A FinFET-class calibration (stronger self-heating: higher Ea).
+    pub fn finfet_14nm() -> Self {
+        BtiModel {
+            prefactor_mv: 38.0,
+            time_exponent: 0.22,
+            duty_exponent: 0.5,
+            activation_ev: 0.08,
+            reference_k: 300.0,
+        }
+    }
+
+    /// ΔVth in millivolts after `years` under `stress`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duty` is outside `[0, 1]`, or years/temperature are
+    /// non-positive (temperature must be > 0 K; years may be 0).
+    pub fn delta_vth_mv(&self, stress: &StressProfile, years: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&stress.duty), "duty in [0,1]");
+        assert!(stress.temperature_k > 0.0, "temperature in kelvin");
+        assert!(years >= 0.0, "years >= 0");
+        let arrhenius = (-self.activation_ev / (K_B * stress.temperature_k)).exp()
+            / (-self.activation_ev / (K_B * self.reference_k)).exp();
+        self.prefactor_mv
+            * stress.duty.powf(self.duty_exponent)
+            * years.powf(self.time_exponent)
+            * arrhenius
+    }
+
+    /// Partial-recovery model: after `stress_years` under `stress`, the
+    /// device rests (duty 0) for `recovery_years`; a fraction of the
+    /// shift anneals out logarithmically.
+    pub fn with_recovery_mv(
+        &self,
+        stress: &StressProfile,
+        stress_years: f64,
+        recovery_years: f64,
+    ) -> f64 {
+        let shift = self.delta_vth_mv(stress, stress_years);
+        if recovery_years <= 0.0 {
+            return shift;
+        }
+        // Universal relaxation: R = 1 / (1 + B·(t_rec/t_stress)^β)
+        let ratio = recovery_years / stress_years.max(1e-9);
+        let remaining = 1.0 / (1.0 + 0.35 * ratio.powf(0.2));
+        shift * remaining
+    }
+}
+
+/// Hot-carrier injection: switching-activity-driven drift,
+/// `ΔVth = C · activity^0.5 · years^0.5` (worst at high toggle rates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HciModel {
+    /// Prefactor in mV at activity 1 after 1 year.
+    pub prefactor_mv: f64,
+}
+
+impl HciModel {
+    /// Default calibration.
+    pub fn new() -> Self {
+        HciModel { prefactor_mv: 12.0 }
+    }
+
+    /// ΔVth in mV for a toggle `activity` (transitions per cycle,
+    /// `[0, 1]`) after `years`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when activity is outside `[0, 1]` or years negative.
+    pub fn delta_vth_mv(&self, activity: f64, years: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&activity), "activity in [0,1]");
+        assert!(years >= 0.0);
+        self.prefactor_mv * activity.sqrt() * years.sqrt()
+    }
+}
+
+impl Default for HciModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_everything() {
+        let m = BtiModel::bulk_28nm();
+        let base = StressProfile {
+            duty: 0.5,
+            temperature_k: 350.0,
+        };
+        let v0 = m.delta_vth_mv(&base, 5.0);
+        assert!(m.delta_vth_mv(&base, 10.0) > v0);
+        assert!(
+            m.delta_vth_mv(
+                &StressProfile {
+                    duty: 0.9,
+                    ..base
+                },
+                5.0
+            ) > v0
+        );
+        assert!(
+            m.delta_vth_mv(
+                &StressProfile {
+                    temperature_k: 400.0,
+                    ..base
+                },
+                5.0
+            ) > v0
+        );
+    }
+
+    #[test]
+    fn zero_duty_zero_shift() {
+        let m = BtiModel::bulk_28nm();
+        let s = StressProfile {
+            duty: 0.0,
+            temperature_k: 350.0,
+        };
+        assert_eq!(m.delta_vth_mv(&s, 10.0), 0.0);
+        assert_eq!(m.delta_vth_mv(&StressProfile { duty: 0.5, temperature_k: 350.0 }, 0.0), 0.0);
+    }
+
+    #[test]
+    fn recovery_reduces_shift() {
+        let m = BtiModel::bulk_28nm();
+        let s = StressProfile {
+            duty: 0.8,
+            temperature_k: 380.0,
+        };
+        let no_rec = m.with_recovery_mv(&s, 5.0, 0.0);
+        let rec = m.with_recovery_mv(&s, 5.0, 5.0);
+        assert!(rec < no_rec);
+        assert!(rec > 0.4 * no_rec, "recovery is partial");
+    }
+
+    #[test]
+    fn finfet_ages_faster_hot() {
+        let bulk = BtiModel::bulk_28nm();
+        let fin = BtiModel::finfet_14nm();
+        let hot = StressProfile {
+            duty: 0.5,
+            temperature_k: 400.0,
+        };
+        assert!(fin.delta_vth_mv(&hot, 10.0) > bulk.delta_vth_mv(&hot, 10.0));
+    }
+
+    #[test]
+    fn hci_scales_with_activity() {
+        let h = HciModel::default();
+        assert_eq!(h.delta_vth_mv(0.0, 10.0), 0.0);
+        assert!(h.delta_vth_mv(0.5, 10.0) < h.delta_vth_mv(1.0, 10.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Mapping Vth drift to gate and path delay over netlists.
+//!
+//! The alpha-power law: gate delay `∝ Vdd / (Vdd − Vth)^α` with
+//! `α ≈ 1.3`. Per-gate duty cycles come from signal probabilities
+//! (a PMOS in a CMOS gate is stressed while the output is high, so the
+//! output-one probability is the NBTI duty proxy).
+
+use crate::bti::{BtiModel, StressProfile};
+use rescue_netlist::{GateId, GateKind, Netlist};
+
+/// Electrical operating point of the library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Fresh threshold voltage in volts.
+    pub vth0: f64,
+    /// Alpha-power exponent.
+    pub alpha: f64,
+}
+
+impl OperatingPoint {
+    /// A 28 nm-class operating point (0.9 V supply, 0.35 V threshold).
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            vdd: 0.9,
+            vth0: 0.35,
+            alpha: 1.3,
+        }
+    }
+
+    /// Relative delay of a device whose threshold drifted by
+    /// `delta_vth_mv` (1.0 = fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the aged threshold reaches the supply.
+    pub fn delay_factor(&self, delta_vth_mv: f64) -> f64 {
+        let vth = self.vth0 + delta_vth_mv / 1000.0;
+        assert!(vth < self.vdd, "device no longer switches");
+        ((self.vdd - self.vth0) / (self.vdd - vth)).powf(self.alpha)
+    }
+}
+
+/// Aged timing analysis of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgedTiming {
+    fresh_delay: f64,
+    aged_delay: f64,
+    critical_path: Vec<GateId>,
+    worst_gate_shift_mv: f64,
+}
+
+impl AgedTiming {
+    /// Fresh critical-path delay (unit-delay gates scaled by factor 1).
+    pub fn fresh_delay(&self) -> f64 {
+        self.fresh_delay
+    }
+
+    /// Aged critical-path delay.
+    pub fn aged_delay(&self) -> f64 {
+        self.aged_delay
+    }
+
+    /// Relative slowdown (`aged / fresh`).
+    pub fn slowdown(&self) -> f64 {
+        self.aged_delay / self.fresh_delay
+    }
+
+    /// Gates on the aged critical path.
+    pub fn critical_path(&self) -> &[GateId] {
+        &self.critical_path
+    }
+
+    /// Largest per-gate Vth shift seen, mV.
+    pub fn worst_gate_shift_mv(&self) -> f64 {
+        self.worst_gate_shift_mv
+    }
+}
+
+/// Computes the aged critical path of a combinational netlist after
+/// `years`, with per-gate one-probabilities `p_one` as NBTI duty proxies
+/// and a junction temperature.
+///
+/// # Panics
+///
+/// Panics when `p_one.len() != netlist.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_aging::bti::BtiModel;
+/// use rescue_aging::delay::{aged_timing, OperatingPoint};
+/// use rescue_netlist::generate;
+///
+/// let net = generate::adder(8);
+/// let p_one = vec![0.5; net.len()];
+/// let t = aged_timing(
+///     &net,
+///     &p_one,
+///     &BtiModel::bulk_28nm(),
+///     OperatingPoint::nominal(),
+///     10.0,
+///     380.0,
+/// );
+/// assert!(t.slowdown() > 1.0, "aging slows the critical path");
+/// assert!(t.slowdown() < 1.5, "but not catastrophically");
+/// ```
+pub fn aged_timing(
+    netlist: &Netlist,
+    p_one: &[f64],
+    model: &BtiModel,
+    op: OperatingPoint,
+    years: f64,
+    temperature_k: f64,
+) -> AgedTiming {
+    assert_eq!(p_one.len(), netlist.len(), "one probability per gate");
+    let order = netlist.levelize().order().to_vec();
+    let mut fresh = vec![0.0f64; netlist.len()];
+    let mut aged = vec![0.0f64; netlist.len()];
+    let mut pred: Vec<Option<GateId>> = vec![None; netlist.len()];
+    let mut worst_shift = 0.0f64;
+    for &id in &order {
+        let g = netlist.gate(id);
+        if matches!(
+            g.kind(),
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        ) {
+            continue;
+        }
+        let duty = p_one[id.index()].clamp(0.0, 1.0);
+        let shift = model.delta_vth_mv(
+            &StressProfile {
+                duty,
+                temperature_k,
+            },
+            years,
+        );
+        worst_shift = worst_shift.max(shift);
+        let factor = op.delay_factor(shift);
+        let (mut best_f, mut best_a, mut best_p) = (0.0, 0.0, None);
+        for &p in g.inputs() {
+            if fresh[p.index()] >= best_f {
+                best_f = fresh[p.index()];
+            }
+            if aged[p.index()] >= best_a {
+                best_a = aged[p.index()];
+                best_p = Some(p);
+            }
+        }
+        fresh[id.index()] = best_f + 1.0;
+        aged[id.index()] = best_a + factor;
+        pred[id.index()] = best_p;
+    }
+    // Find the worst aged output.
+    let mut worst_out = None;
+    let mut worst_aged = 0.0;
+    let mut worst_fresh: f64 = 0.0;
+    for (_, g) in netlist.primary_outputs() {
+        if aged[g.index()] >= worst_aged {
+            worst_aged = aged[g.index()];
+            worst_out = Some(*g);
+        }
+        worst_fresh = worst_fresh.max(fresh[g.index()]);
+    }
+    let mut critical_path = Vec::new();
+    let mut cur = worst_out;
+    while let Some(g) = cur {
+        critical_path.push(g);
+        cur = pred[g.index()];
+    }
+    critical_path.reverse();
+    AgedTiming {
+        fresh_delay: worst_fresh.max(1.0),
+        aged_delay: worst_aged.max(1.0),
+        critical_path,
+        worst_gate_shift_mv: worst_shift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn delay_factor_monotone() {
+        let op = OperatingPoint::nominal();
+        assert_eq!(op.delay_factor(0.0), 1.0);
+        assert!(op.delay_factor(50.0) > op.delay_factor(10.0));
+        assert!(op.delay_factor(50.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no longer switches")]
+    fn extreme_shift_panics() {
+        OperatingPoint::nominal().delay_factor(600.0);
+    }
+
+    #[test]
+    fn asymmetric_duty_ages_unevenly() {
+        let net = generate::parity(8);
+        let model = BtiModel::bulk_28nm();
+        // Skewed duty: half the gates heavily stressed.
+        let skewed: Vec<f64> = (0..net.len())
+            .map(|i| if i % 2 == 0 { 0.95 } else { 0.05 })
+            .collect();
+        let balanced = vec![0.5; net.len()];
+        let t_skew = aged_timing(&net, &skewed, &model, OperatingPoint::nominal(), 10.0, 380.0);
+        let t_bal = aged_timing(&net, &balanced, &model, OperatingPoint::nominal(), 10.0, 380.0);
+        assert!(t_skew.worst_gate_shift_mv() > t_bal.worst_gate_shift_mv());
+    }
+
+    #[test]
+    fn slowdown_grows_with_years() {
+        let net = generate::multiplier(4);
+        let p = vec![0.5; net.len()];
+        let m = BtiModel::bulk_28nm();
+        let t1 = aged_timing(&net, &p, &m, OperatingPoint::nominal(), 1.0, 380.0);
+        let t10 = aged_timing(&net, &p, &m, OperatingPoint::nominal(), 10.0, 380.0);
+        assert!(t10.slowdown() > t1.slowdown());
+        assert!(!t10.critical_path().is_empty());
+        assert!(t10.fresh_delay() >= 1.0);
+        assert!(t10.aged_delay() > t10.fresh_delay());
+    }
+}

@@ -1,0 +1,37 @@
+//! Transistor-aging models and mitigation for RESCUE-rs.
+//!
+//! Covers the time-dependent degradation work of paper Sections III.C
+//! and III.E:
+//!
+//! * [`bti`] — NBTI/PBTI threshold-voltage drift (duty-cycle, time and
+//!   temperature dependent) and HCI switching-activity stress.
+//! * [`delay`] — mapping Vth drift to gate/path delay via the
+//!   alpha-power law and computing aged critical paths over netlists.
+//! * [`rejuvenation`] — evolutionary generation of stress-balancing
+//!   stimuli ("Rejuvenation of NBTI-Impacted Processors Using
+//!   Evolutionary Generation of Assembler Programs" \[7\], here at the
+//!   pattern level).
+//! * [`decoder`] — software-based mitigation of memory address-decoder
+//!   aging \[24\]: access-histogram balancing via remapping and padding
+//!   accesses.
+//!
+//! # Examples
+//!
+//! Ten years of NBTI on a half-duty PMOS at 400 K:
+//!
+//! ```
+//! use rescue_aging::bti::{BtiModel, StressProfile};
+//!
+//! let model = BtiModel::bulk_28nm();
+//! let stress = StressProfile { duty: 0.5, temperature_k: 400.0 };
+//! let shift = model.delta_vth_mv(&stress, 10.0);
+//! assert!(shift > 10.0 && shift < 120.0, "tens of mV after 10 years");
+//! ```
+
+pub mod bti;
+pub mod decoder;
+pub mod delay;
+pub mod rejuvenation;
+
+pub use bti::{BtiModel, StressProfile};
+pub use delay::AgedTiming;

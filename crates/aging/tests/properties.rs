@@ -1,0 +1,99 @@
+//! Property-based tests for the aging models.
+
+use proptest::prelude::*;
+use rescue_aging::bti::{BtiModel, HciModel, StressProfile};
+use rescue_aging::decoder::{balance, AccessHistogram};
+use rescue_aging::delay::{aged_timing, OperatingPoint};
+use rescue_aging::rejuvenation::duty_of;
+use rescue_netlist::generate;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ΔVth is monotone in duty, time and temperature, and zero at zero
+    /// duty or zero time.
+    #[test]
+    fn bti_monotone(duty in 0.0f64..1.0, years in 0.0f64..30.0, t in 250.0f64..450.0) {
+        let m = BtiModel::bulk_28nm();
+        let s = StressProfile { duty, temperature_k: t };
+        let v = m.delta_vth_mv(&s, years);
+        prop_assert!(v >= 0.0);
+        prop_assert!(m.delta_vth_mv(&s, years + 1.0) >= v);
+        let s_hot = StressProfile { duty, temperature_k: t + 10.0 };
+        prop_assert!(m.delta_vth_mv(&s_hot, years) >= v);
+        let s_more = StressProfile { duty: (duty + 0.1).min(1.0), temperature_k: t };
+        prop_assert!(m.delta_vth_mv(&s_more, years) >= v);
+        prop_assert_eq!(m.delta_vth_mv(&StressProfile { duty: 0.0, temperature_k: t }, years), 0.0);
+        prop_assert_eq!(m.delta_vth_mv(&s, 0.0), 0.0);
+    }
+
+    /// Recovery never increases the shift and never goes negative.
+    #[test]
+    fn recovery_bounded(duty in 0.01f64..1.0, stress_y in 0.1f64..20.0, rec_y in 0.0f64..20.0) {
+        let m = BtiModel::finfet_14nm();
+        let s = StressProfile { duty, temperature_k: 380.0 };
+        let base = m.with_recovery_mv(&s, stress_y, 0.0);
+        let rec = m.with_recovery_mv(&s, stress_y, rec_y);
+        prop_assert!(rec <= base + 1e-12);
+        prop_assert!(rec >= 0.0);
+    }
+
+    /// HCI shift is monotone in activity and time.
+    #[test]
+    fn hci_monotone(a in 0.0f64..1.0, years in 0.0f64..30.0) {
+        let h = HciModel::default();
+        let v = h.delta_vth_mv(a, years);
+        prop_assert!(v >= 0.0);
+        prop_assert!(h.delta_vth_mv(a, years + 1.0) >= v);
+        prop_assert!(h.delta_vth_mv((a + 0.1).min(1.0), years) >= v);
+    }
+
+    /// Aged delay never beats fresh delay and grows with years.
+    #[test]
+    fn aged_timing_monotone(seed in 1u64..100, years in 1.0f64..15.0) {
+        let net = generate::random_logic(6, 40, 3, seed);
+        let p = vec![0.5; net.len()];
+        let m = BtiModel::bulk_28nm();
+        let t1 = aged_timing(&net, &p, &m, OperatingPoint::nominal(), years, 380.0);
+        prop_assert!(t1.slowdown() >= 1.0);
+        let t2 = aged_timing(&net, &p, &m, OperatingPoint::nominal(), years + 5.0, 380.0);
+        prop_assert!(t2.slowdown() >= t1.slowdown());
+    }
+
+    /// Decoder balancing: the plan never exceeds its budget, and applying
+    /// it never increases the imbalance.
+    #[test]
+    fn balancing_invariants(trace in proptest::collection::vec(0usize..16, 1..300), budget in 0u64..500) {
+        let h = AccessHistogram::from_trace(16, &trace);
+        let plan = balance(&h, Some(budget));
+        prop_assert!(plan.overhead() <= budget);
+        let after = plan.apply(&h);
+        prop_assert!(after.imbalance() <= h.imbalance() + 1e-9);
+        let full = balance(&h, None);
+        let balanced = full.apply(&h);
+        prop_assert!(balanced.imbalance() < 1e-9);
+    }
+
+    /// Duty statistics stay within bounds on arbitrary pattern sets.
+    #[test]
+    fn duty_bounds(seed in 1u64..100, n_pat in 1usize..40) {
+        let net = generate::random_logic(6, 30, 2, seed);
+        let mut s = seed;
+        let pats: Vec<Vec<bool>> = (0..n_pat)
+            .map(|_| {
+                (0..6)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        s >> 40 & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect();
+        let d = duty_of(&net, &pats);
+        prop_assert!(d.mean_imbalance <= d.worst_imbalance + 1e-12);
+        prop_assert!(d.worst_imbalance <= 1.0);
+        for p in &d.p_one {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+    }
+}

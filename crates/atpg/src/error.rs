@@ -1,0 +1,58 @@
+//! Error type for test generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the test generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtpgError {
+    /// Deterministic generation is only defined for combinational designs
+    /// (sequential designs go through scan or the SBST flow).
+    SequentialDesign {
+        /// Number of flip-flops found.
+        dffs: usize,
+    },
+    /// A cone exceeded the pseudo-exhaustive input limit.
+    ConeTooWide {
+        /// Output whose cone is too wide.
+        output: String,
+        /// Cone input count.
+        inputs: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::SequentialDesign { dffs } => {
+                write!(f, "combinational ATPG on a design with {dffs} flip-flops")
+            }
+            AtpgError::ConeTooWide {
+                output,
+                inputs,
+                limit,
+            } => write!(
+                f,
+                "cone of `{output}` has {inputs} inputs, above the pseudo-exhaustive limit {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for AtpgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AtpgError::SequentialDesign { dffs: 3 }
+            .to_string()
+            .contains("3 flip-flops"));
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AtpgError>();
+    }
+}

@@ -1,0 +1,394 @@
+//! SCOAP and COP testability measures.
+//!
+//! SCOAP assigns integer *controllability* costs `CC0`/`CC1` (effort to
+//! set a line to 0/1) and an *observability* cost `CO` (effort to
+//! propagate a line to an output). COP assigns signal-probability-based
+//! measures. Both guide PODEM's backtrace and feed the ML features used
+//! for failure-rate prediction (paper Section III.B).
+
+use rescue_netlist::{GateId, GateKind, Netlist};
+
+/// Cost assigned to uncontrollable/unobservable lines.
+pub const SCOAP_INF: u32 = u32::MAX / 4;
+
+/// SCOAP testability of every line in a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_atpg::Scoap;
+/// use rescue_netlist::generate;
+///
+/// let c = generate::c17();
+/// let scoap = Scoap::analyze(&c);
+/// let pi = c.primary_inputs()[0];
+/// assert_eq!(scoap.cc0(pi), 1);
+/// assert_eq!(scoap.cc1(pi), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes SCOAP measures. DFF outputs get a fixed sequential
+    /// controllability surcharge; their observability is the cost of the
+    /// D-pin cone (single time-frame approximation).
+    pub fn analyze(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut cc0 = vec![SCOAP_INF; n];
+        let mut cc1 = vec![SCOAP_INF; n];
+        let order = netlist.levelize().order().to_vec();
+        for &id in &order {
+            let g = netlist.gate(id);
+            let i = id.index();
+            let ins: Vec<(u32, u32)> = g
+                .inputs()
+                .iter()
+                .map(|&p| (cc0[p.index()], cc1[p.index()]))
+                .collect();
+            let (c0, c1) = match g.kind() {
+                GateKind::Input => (1, 1),
+                GateKind::Const0 => (0, SCOAP_INF),
+                GateKind::Const1 => (SCOAP_INF, 0),
+                // Sequential surcharge: one extra time frame of effort.
+                GateKind::Dff => (5, 5),
+                GateKind::Buf => (ins[0].0 + 1, ins[0].1 + 1),
+                GateKind::Not => (ins[0].1 + 1, ins[0].0 + 1),
+                GateKind::And => (
+                    ins.iter().map(|x| x.0).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                    ins.iter().map(|x| x.1).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                ),
+                GateKind::Nand => (
+                    ins.iter().map(|x| x.1).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    ins.iter().map(|x| x.0).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                ),
+                GateKind::Or => (
+                    ins.iter().map(|x| x.0).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    ins.iter().map(|x| x.1).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                ),
+                GateKind::Nor => (
+                    ins.iter().map(|x| x.1).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                    ins.iter().map(|x| x.0).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                ),
+                GateKind::Xor => xor_cc(&ins, false),
+                GateKind::Xnor => xor_cc(&ins, true),
+                GateKind::Mux => {
+                    let (s0, s1) = ins[0];
+                    let (a0, a1) = ins[1];
+                    let (b0, b1) = ins[2];
+                    (
+                        (s0.saturating_add(a0)).min(s1.saturating_add(b0)) + 1,
+                        (s0.saturating_add(a1)).min(s1.saturating_add(b1)) + 1,
+                    )
+                }
+            };
+            cc0[i] = c0.min(SCOAP_INF);
+            cc1[i] = c1.min(SCOAP_INF);
+        }
+        // Observability: reverse levelized walk.
+        let mut co = vec![SCOAP_INF; n];
+        for (_, g) in netlist.primary_outputs() {
+            co[g.index()] = 0;
+        }
+        for &id in order.iter().rev() {
+            let g = netlist.gate(id);
+            let out_co = co[id.index()];
+            if out_co >= SCOAP_INF {
+                continue;
+            }
+            let ins = g.inputs();
+            for (pin, &driver) in ins.iter().enumerate() {
+                let side_cost: u32 = match g.kind() {
+                    GateKind::And | GateKind::Nand => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .map(|(_, &p)| cc1[p.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Or | GateKind::Nor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .map(|(_, &p)| cc0[p.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Xor | GateKind::Xnor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .map(|(_, &p)| cc0[p.index()].min(cc1[p.index()]))
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Mux => {
+                        if pin == 0 {
+                            // observing the select needs differing data
+                            cc0[ins[1].index()]
+                                .min(cc1[ins[1].index()])
+                                .saturating_add(cc0[ins[2].index()].min(cc1[ins[2].index()]))
+                        } else {
+                            // observing a data pin needs the select value
+                            if pin == 1 {
+                                cc0[ins[0].index()]
+                            } else {
+                                cc1[ins[0].index()]
+                            }
+                        }
+                    }
+                    GateKind::Buf | GateKind::Not | GateKind::Dff => 0,
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+                };
+                let cand = out_co.saturating_add(side_cost).saturating_add(1);
+                if cand < co[driver.index()] {
+                    co[driver.index()] = cand;
+                }
+            }
+        }
+        Scoap { cc0, cc1, co }
+    }
+
+    /// Cost to control the line to 0.
+    pub fn cc0(&self, id: GateId) -> u32 {
+        self.cc0[id.index()]
+    }
+
+    /// Cost to control the line to 1.
+    pub fn cc1(&self, id: GateId) -> u32 {
+        self.cc1[id.index()]
+    }
+
+    /// Cost to control the line to `value`.
+    pub fn cc(&self, id: GateId, value: bool) -> u32 {
+        if value {
+            self.cc1(id)
+        } else {
+            self.cc0(id)
+        }
+    }
+
+    /// Cost to observe the line at an output.
+    pub fn co(&self, id: GateId) -> u32 {
+        self.co[id.index()]
+    }
+
+    /// Combined testability of a stuck-at fault at `id`:
+    /// `cc(!stuck) + co` (activation plus propagation effort).
+    pub fn fault_effort(&self, id: GateId, stuck_value: bool) -> u32 {
+        self.cc(id, !stuck_value).saturating_add(self.co(id))
+    }
+}
+
+fn xor_cc(ins: &[(u32, u32)], invert: bool) -> (u32, u32) {
+    // Cheapest way to reach even/odd parity across the inputs (DP).
+    let (mut even, mut odd) = (0u32, SCOAP_INF);
+    for &(c0, c1) in ins {
+        let new_even = (even.saturating_add(c0)).min(odd.saturating_add(c1));
+        let new_odd = (even.saturating_add(c1)).min(odd.saturating_add(c0));
+        even = new_even;
+        odd = new_odd;
+    }
+    let (c0, c1) = (even + 1, odd + 1);
+    if invert {
+        (c1, c0)
+    } else {
+        (c0, c1)
+    }
+}
+
+/// COP (Controllability/Observability Program) probabilistic measures:
+/// the probability a random pattern sets a line to 1, and the probability
+/// a value change propagates to an output.
+#[derive(Debug, Clone)]
+pub struct Cop {
+    p_one: Vec<f64>,
+    p_observe: Vec<f64>,
+}
+
+impl Cop {
+    /// Computes signal probabilities assuming independent inputs at 0.5.
+    pub fn analyze(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut p1 = vec![0.5f64; n];
+        let order = netlist.levelize().order().to_vec();
+        for &id in &order {
+            let g = netlist.gate(id);
+            let ins: Vec<f64> = g.inputs().iter().map(|&p| p1[p.index()]).collect();
+            p1[id.index()] = match g.kind() {
+                GateKind::Input | GateKind::Dff => 0.5,
+                GateKind::Const0 => 0.0,
+                GateKind::Const1 => 1.0,
+                GateKind::Buf => ins[0],
+                GateKind::Not => 1.0 - ins[0],
+                GateKind::And => ins.iter().product(),
+                GateKind::Nand => 1.0 - ins.iter().product::<f64>(),
+                GateKind::Or => 1.0 - ins.iter().map(|p| 1.0 - p).product::<f64>(),
+                GateKind::Nor => ins.iter().map(|p| 1.0 - p).product(),
+                GateKind::Xor => ins.iter().fold(0.0, |a, &b| a * (1.0 - b) + (1.0 - a) * b),
+                GateKind::Xnor => {
+                    1.0 - ins.iter().fold(0.0, |a, &b| a * (1.0 - b) + (1.0 - a) * b)
+                }
+                GateKind::Mux => (1.0 - ins[0]) * ins[1] + ins[0] * ins[2],
+            };
+        }
+        // Observability probabilities, reverse walk.
+        let mut po = vec![0.0f64; n];
+        for (_, g) in netlist.primary_outputs() {
+            po[g.index()] = 1.0;
+        }
+        for &id in order.iter().rev() {
+            let g = netlist.gate(id);
+            let out_po = po[id.index()];
+            if out_po == 0.0 {
+                continue;
+            }
+            let ins = g.inputs();
+            for (pin, &driver) in ins.iter().enumerate() {
+                let sens: f64 = match g.kind() {
+                    GateKind::And | GateKind::Nand => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .map(|(_, &p)| p1[p.index()])
+                        .product(),
+                    GateKind::Or | GateKind::Nor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .map(|(_, &p)| 1.0 - p1[p.index()])
+                        .product(),
+                    GateKind::Xor | GateKind::Xnor => 1.0,
+                    GateKind::Mux => {
+                        if pin == 0 {
+                            0.5
+                        } else if pin == 1 {
+                            1.0 - p1[ins[0].index()]
+                        } else {
+                            p1[ins[0].index()]
+                        }
+                    }
+                    _ => 1.0,
+                };
+                let cand = out_po * sens;
+                if cand > po[driver.index()] {
+                    po[driver.index()] = cand;
+                }
+            }
+        }
+        Cop {
+            p_one: p1,
+            p_observe: po,
+        }
+    }
+
+    /// Probability a random pattern drives the line to 1.
+    pub fn p_one(&self, id: GateId) -> f64 {
+        self.p_one[id.index()]
+    }
+
+    /// Probability a change on the line is observed at an output.
+    pub fn p_observe(&self, id: GateId) -> f64 {
+        self.p_observe[id.index()]
+    }
+
+    /// Estimated per-pattern detection probability of a stuck-at fault.
+    pub fn detect_probability(&self, id: GateId, stuck_value: bool) -> f64 {
+        let activate = if stuck_value {
+            1.0 - self.p_one(id)
+        } else {
+            self.p_one(id)
+        };
+        activate * self.p_observe(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::{generate, NetlistBuilder};
+
+    #[test]
+    fn scoap_and_gate() {
+        let mut b = NetlistBuilder::new("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(x, y);
+        b.output("z", g);
+        let n = b.finish();
+        let s = Scoap::analyze(&n);
+        assert_eq!(s.cc1(g), 3); // both inputs to 1: 1+1+1
+        assert_eq!(s.cc0(g), 2); // one input to 0: 1+1
+        assert_eq!(s.co(g), 0);
+        assert_eq!(s.co(x), 2); // through AND: co(g)=0 + cc1(y)=1 + 1
+    }
+
+    #[test]
+    fn scoap_deep_lines_cost_more() {
+        let net = generate::parity(16);
+        let s = Scoap::analyze(&net);
+        let pi = net.primary_inputs()[0];
+        let out = net.output_ids()[0];
+        assert!(s.cc1(out) > s.cc1(pi));
+    }
+
+    #[test]
+    fn unobservable_line_has_inf_co() {
+        let mut b = NetlistBuilder::new("dead");
+        let x = b.input("x");
+        let dead = b.not(x);
+        let y = b.buf(x);
+        b.output("y", y);
+        let n = b.finish();
+        let s = Scoap::analyze(&n);
+        assert!(s.co(dead) >= SCOAP_INF);
+        assert!(s.co(x) < SCOAP_INF);
+    }
+
+    #[test]
+    fn cop_probabilities() {
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(x, y);
+        let o = b.or(x, y);
+        b.output("g", g);
+        b.output("o", o);
+        let n = b.finish();
+        let cop = Cop::analyze(&n);
+        assert!((cop.p_one(g) - 0.25).abs() < 1e-12);
+        assert!((cop.p_one(o) - 0.75).abs() < 1e-12);
+        assert!(cop.p_observe(g) == 1.0);
+        // x observed through AND (needs y=1, p=.5) or OR (needs y=0, p=.5)
+        assert!((cop.p_observe(x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_probability_matches_intuition() {
+        let c = generate::c17();
+        let cop = Cop::analyze(&c);
+        for id in c.ids() {
+            let p = cop.detect_probability(id, false);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn xor_controllability_symmetric() {
+        let mut b = NetlistBuilder::new("x");
+        let p = b.input("p");
+        let q = b.input("q");
+        let g = b.xor(p, q);
+        b.output("g", g);
+        let n = b.finish();
+        let s = Scoap::analyze(&n);
+        assert_eq!(s.cc0(g), 3);
+        assert_eq!(s.cc1(g), 3);
+    }
+
+    #[test]
+    fn fault_effort_combines() {
+        let c = generate::c17();
+        let s = Scoap::analyze(&c);
+        let pi = c.primary_inputs()[0];
+        assert_eq!(s.fault_effort(pi, false), s.cc1(pi) + s.co(pi));
+    }
+}

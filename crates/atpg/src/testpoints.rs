@@ -1,0 +1,298 @@
+//! SCOAP-guided test-point insertion (DfT).
+//!
+//! Random-pattern-resistant logic has lines that are hard to control or
+//! hard to observe. Inserting *control points* (an OR with a test input
+//! on hard-to-set-1 lines, an AND for hard-to-set-0) and *observe
+//! points* (a new primary output on hard-to-observe lines) converts it
+//! into random-testable logic at small area cost — the quality-side
+//! counterpart of the paper's DfT work (Sections III.A/III.E).
+//!
+//! During mission mode the test inputs are held at their non-controlling
+//! values, so the mission function is unchanged.
+
+use crate::scoap::{Scoap, SCOAP_INF};
+use rescue_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+
+/// A planned insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestPoint {
+    /// OR the line with a new test input (makes 1 easy).
+    ControlTo1(GateId),
+    /// AND the line with an inverted new test input (makes 0 easy).
+    ControlTo0(GateId),
+    /// Export the line as an extra observation output.
+    Observe(GateId),
+}
+
+/// The instrumented design.
+#[derive(Debug, Clone)]
+pub struct InstrumentedDesign {
+    /// The netlist with test points inserted.
+    pub netlist: Netlist,
+    /// The insertions performed (sites refer to the *original* netlist).
+    pub points: Vec<TestPoint>,
+    /// Names of the added test inputs (hold at 0 in mission mode).
+    pub test_inputs: Vec<String>,
+    /// Names of the added observation outputs.
+    pub observe_outputs: Vec<String>,
+}
+
+/// Control points are only worthwhile on *extremely* resistant lines:
+/// a 50 %-active control input masks the observability of everything
+/// upstream of it half the time, so below this SCOAP controllability
+/// cost the cure is worse than the disease and only observe points are
+/// planned.
+pub const CONTROL_THRESHOLD: u32 = 64;
+
+/// Plans up to `budget` test points: observe points on the
+/// hardest-to-observe lines (always beneficial — they only add outputs),
+/// plus control points on lines whose controllability cost exceeds
+/// [`CONTROL_THRESHOLD`].
+pub fn plan(netlist: &Netlist, budget: usize) -> Vec<TestPoint> {
+    let scoap = Scoap::analyze(netlist);
+    let mut candidates: Vec<(u32, TestPoint)> = Vec::new();
+    for (id, g) in netlist.iter() {
+        if matches!(
+            g.kind(),
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        ) {
+            continue;
+        }
+        let co = scoap.co(id);
+        if co < SCOAP_INF {
+            candidates.push((co, TestPoint::Observe(id)));
+        }
+        let cc1 = scoap.cc1(id);
+        if (CONTROL_THRESHOLD..SCOAP_INF).contains(&cc1) {
+            candidates.push((cc1, TestPoint::ControlTo1(id)));
+        }
+        let cc0 = scoap.cc0(id);
+        if (CONTROL_THRESHOLD..SCOAP_INF).contains(&cc0) {
+            candidates.push((cc0, TestPoint::ControlTo0(id)));
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    let mut points = Vec::new();
+    let mut used: Vec<GateId> = Vec::new();
+    for (_, tp) in candidates {
+        if points.len() >= budget {
+            break;
+        }
+        let site = match tp {
+            TestPoint::Observe(g) | TestPoint::ControlTo1(g) | TestPoint::ControlTo0(g) => g,
+        };
+        if used.contains(&site) {
+            continue; // one point per line keeps the overhead predictable
+        }
+        used.push(site);
+        points.push(tp);
+    }
+    points
+}
+
+/// Applies `points` to `netlist`, producing the instrumented design.
+///
+/// Control points rewrite the fan-out of the site: consumers of the
+/// original line read the gated version; observe points add outputs.
+///
+/// # Panics
+///
+/// Panics if `netlist` is sequential (test points for scan designs wrap
+/// the combinational core) or a point references an invalid site.
+pub fn insert(netlist: &Netlist, points: &[TestPoint]) -> InstrumentedDesign {
+    assert!(
+        !netlist.is_sequential(),
+        "instrument the combinational core"
+    );
+    let mut b = NetlistBuilder::new(format!("{}_tp", netlist.name()));
+    // Recreate primary inputs first (same order).
+    let mut map = vec![GateId(0); netlist.len()];
+    for &pi in netlist.primary_inputs() {
+        map[pi.index()] = b.input(netlist.gate_name(pi).unwrap_or("pi").to_string());
+    }
+    // Test inputs.
+    let mut test_inputs = Vec::new();
+    let mut control_for: Vec<(GateId, GateId, bool)> = Vec::new(); // (site, test input, to1)
+    for (k, &tp) in points.iter().enumerate() {
+        match tp {
+            TestPoint::ControlTo1(site) => {
+                let name = format!("tp_c1_{k}");
+                let t = b.input(name.clone());
+                test_inputs.push(name);
+                control_for.push((site, t, true));
+            }
+            TestPoint::ControlTo0(site) => {
+                let name = format!("tp_c0_{k}");
+                let t = b.input(name.clone());
+                test_inputs.push(name);
+                control_for.push((site, t, false));
+            }
+            TestPoint::Observe(_) => {}
+        }
+    }
+    // Rebuild logic in level order; gated sites get a shadow signal that
+    // consumers read.
+    let mut gated = vec![None::<GateId>; netlist.len()];
+    for &id in netlist.levelize().order() {
+        let g = netlist.gate(id);
+        if g.kind() == GateKind::Input {
+            continue;
+        }
+        let ins: Vec<GateId> = g
+            .inputs()
+            .iter()
+            .map(|&p| gated[p.index()].unwrap_or(map[p.index()]))
+            .collect();
+        let new_id = match g.kind() {
+            GateKind::Const0 => b.const0(),
+            GateKind::Const1 => b.const1(),
+            GateKind::Buf => b.buf(ins[0]),
+            GateKind::Not => b.not(ins[0]),
+            GateKind::And => b.and_n(&ins),
+            GateKind::Nand => b.nand(ins[0], ins[1]),
+            GateKind::Or => b.or_n(&ins),
+            GateKind::Nor => b.nor(ins[0], ins[1]),
+            GateKind::Xor => b.xor_n(&ins),
+            GateKind::Xnor => b.xnor(ins[0], ins[1]),
+            GateKind::Mux => b.mux(ins[0], ins[1], ins[2]),
+            GateKind::Input | GateKind::Dff => unreachable!(),
+        };
+        map[id.index()] = new_id;
+        // Insert the control gate behind the site if planned.
+        if let Some(&(_, t, to1)) = control_for.iter().find(|(s, _, _)| *s == id) {
+            let shadow = if to1 {
+                b.or(new_id, t)
+            } else {
+                let nt = b.not(t);
+                b.and(new_id, nt)
+            };
+            gated[id.index()] = Some(shadow);
+        }
+    }
+    for (name, driver) in netlist.primary_outputs() {
+        let d = gated[driver.index()].unwrap_or(map[driver.index()]);
+        b.output(name.clone(), d);
+    }
+    let mut observe_outputs = Vec::new();
+    for (k, &tp) in points.iter().enumerate() {
+        if let TestPoint::Observe(site) = tp {
+            let name = format!("tp_obs_{k}");
+            let d = gated[site.index()].unwrap_or(map[site.index()]);
+            b.output(name.clone(), d);
+            observe_outputs.push(name);
+        }
+    }
+    InstrumentedDesign {
+        netlist: b.finish(),
+        points: points.to_vec(),
+        test_inputs,
+        observe_outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_tpg;
+    use rescue_faults::universe;
+    use rescue_netlist::generate;
+    use rescue_sim::comb::eval_bool;
+
+    /// An observability-limited block: a parity cone whose only path to
+    /// the output is gated by a 10-input AND (sensitized once in 1024
+    /// random patterns).
+    fn resistant() -> Netlist {
+        let mut b = NetlistBuilder::new("resistant");
+        let data = b.inputs("d", 6);
+        let gate_ins = b.inputs("g", 10);
+        let parity = b.xor_n(&data);
+        let shaped = b.not(parity);
+        let enable = b.and_n(&gate_ins);
+        let y = b.and(shaped, enable);
+        b.output("y", y);
+        b.finish()
+    }
+
+    #[test]
+    fn mission_function_preserved_with_test_inputs_low() {
+        let net = resistant();
+        // Force both point flavours in, including control points.
+        let sites: Vec<GateId> = net
+            .ids()
+            .filter(|&id| {
+                !matches!(
+                    net.gate(id).kind(),
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+                )
+            })
+            .collect();
+        let points = vec![
+            TestPoint::Observe(sites[0]),
+            TestPoint::ControlTo1(sites[1]),
+            TestPoint::ControlTo0(sites[2]),
+        ];
+        let inst = insert(&net, &points);
+        let extra = inst.test_inputs.len();
+        assert_eq!(extra, 2, "two control points add two test inputs");
+        for p in 0u32..128 {
+            let mission: Vec<bool> = (0..16).map(|i| p.wrapping_mul(2654435761) >> i & 1 == 1).collect();
+            let mut full = Vec::new();
+            // original PIs come first, then test inputs (held low).
+            full.extend(&mission);
+            full.extend(std::iter::repeat_n(false, extra));
+            let v_orig = eval_bool(&net, &mission).unwrap();
+            let v_inst = eval_bool(&inst.netlist, &full).unwrap();
+            let o = net.primary_outputs()[0].1;
+            let oi = inst
+                .netlist
+                .primary_outputs()
+                .iter()
+                .find(|(n, _)| n == "y")
+                .map(|(_, d)| *d)
+                .expect("y kept");
+            assert_eq!(v_orig[o.index()], v_inst[oi.index()], "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn test_points_raise_random_coverage() {
+        let net = resistant();
+        let faults = universe::stuck_at_universe(&net);
+        let before = random_tpg(&net, &faults, 1.0, 128, 7).coverage;
+        let points = plan(&net, 4);
+        assert!(
+            points.iter().any(|p| matches!(p, TestPoint::Observe(_))),
+            "{points:?}"
+        );
+        let inst = insert(&net, &points);
+        let inst_faults = universe::stuck_at_universe(&inst.netlist);
+        let after = random_tpg(&inst.netlist, &inst_faults, 1.0, 128, 7).coverage;
+        assert!(
+            after > before,
+            "test points must help: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn plan_respects_budget_and_uniqueness() {
+        let net = generate::multiplier(4);
+        let points = plan(&net, 5);
+        assert!(points.len() <= 5);
+        let mut sites: Vec<GateId> = points
+            .iter()
+            .map(|tp| match tp {
+                TestPoint::Observe(g) | TestPoint::ControlTo1(g) | TestPoint::ControlTo0(g) => *g,
+            })
+            .collect();
+        sites.sort();
+        sites.dedup();
+        assert_eq!(sites.len(), points.len(), "one point per line");
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational core")]
+    fn sequential_rejected() {
+        let l = generate::lfsr(4, &[3, 1]);
+        insert(&l, &[]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Untestable-fault identification.
+//!
+//! Combines three analyses of increasing strength, mirroring the RESCUE
+//! flow for GPGPUs and RISC processors (\[46\], \[23\], \[33\]):
+//!
+//! 1. **Structural**: faults on gates with no path to any primary output
+//!    are unobservable, hence untestable (and *safe* in the ISO 26262
+//!    sense).
+//! 2. **Constant propagation**: a line proven constant `v` makes the
+//!    stuck-at-`v` fault on it untestable (never activated).
+//! 3. **Formal (PODEM exhaustion)**: remaining faults are run through
+//!    PODEM with a backtrack budget; exhaustion proves redundancy.
+//!
+//! Removing untestable faults from the universe is what makes reported
+//! fault coverage meaningful ("crucial to correctly estimate the fault
+//! coverage achieved by any test method" — paper Section III.A).
+
+use crate::podem::{Podem, PodemOutcome};
+use rescue_faults::{Fault, FaultKind, FaultSite};
+use rescue_netlist::{cone, GateKind, Netlist};
+use rescue_sim::logic::eval_gate;
+use rescue_sim::Logic;
+use std::collections::HashSet;
+
+/// Why a fault was classified untestable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UntestableReason {
+    /// No structural path from the site to any primary output.
+    Unobservable,
+    /// The site is proven constant at the stuck value.
+    ConstantLine,
+    /// PODEM exhausted its search space.
+    ProvenRedundant,
+}
+
+/// Classification result over a fault universe.
+#[derive(Debug, Clone)]
+pub struct UntestableReport {
+    untestable: Vec<(Fault, UntestableReason)>,
+    aborted: Vec<Fault>,
+    testable: Vec<Fault>,
+}
+
+impl UntestableReport {
+    /// Faults proven untestable, with reasons.
+    pub fn untestable(&self) -> &[(Fault, UntestableReason)] {
+        &self.untestable
+    }
+
+    /// Faults whose PODEM run hit the backtrack limit (status unknown).
+    pub fn aborted(&self) -> &[Fault] {
+        &self.aborted
+    }
+
+    /// Faults with a known test (or not yet proven untestable by the
+    /// cheaper analyses when `formal` was disabled).
+    pub fn testable(&self) -> &[Fault] {
+        &self.testable
+    }
+
+    /// Fraction of the universe proven untestable.
+    pub fn untestable_fraction(&self) -> f64 {
+        let total = self.untestable.len() + self.aborted.len() + self.testable.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.untestable.len() as f64 / total as f64
+    }
+}
+
+/// Identifies untestable faults in `faults`.
+///
+/// `formal` enables the PODEM pass (slower, complete for combinational
+/// logic); without it only the structural and constant analyses run.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_atpg::untestable::identify;
+/// use rescue_faults::universe;
+/// use rescue_netlist::generate;
+///
+/// let c = generate::c17();
+/// let faults = universe::stuck_at_universe(&c);
+/// let report = identify(&c, &faults, true);
+/// assert!(report.untestable().is_empty(), "c17 is fully testable");
+/// ```
+pub fn identify(netlist: &Netlist, faults: &[Fault], formal: bool) -> UntestableReport {
+    let observable: HashSet<usize> = cone::observable_set(netlist)
+        .into_iter()
+        .map(|g| g.index())
+        .collect();
+    let constants = constant_lines(netlist);
+    let podem = Podem::with_backtrack_limit(netlist, 2_000);
+
+    let mut untestable = Vec::new();
+    let mut aborted = Vec::new();
+    let mut testable = Vec::new();
+    for &f in faults {
+        let site_gate = f.site().gate();
+        // For pin faults the effect enters through the owning gate; for
+        // output faults through the gate itself.
+        if !observable.contains(&site_gate.index()) {
+            untestable.push((f, UntestableReason::Unobservable));
+            continue;
+        }
+        let line = match f.site() {
+            FaultSite::Output(g) => g,
+            FaultSite::Pin { gate, pin } => netlist.gate(gate).inputs()[pin],
+        };
+        if let Some(c) = constants[line.index()].to_bool() {
+            let stuck = matches!(f.kind(), FaultKind::StuckAt1);
+            if c == stuck {
+                untestable.push((f, UntestableReason::ConstantLine));
+                continue;
+            }
+        }
+        if formal && f.kind().stuck_value().is_some() && !netlist.is_sequential() {
+            match podem.generate(netlist, f) {
+                PodemOutcome::Test(_) => testable.push(f),
+                PodemOutcome::Untestable => {
+                    untestable.push((f, UntestableReason::ProvenRedundant))
+                }
+                PodemOutcome::Aborted => aborted.push(f),
+            }
+        } else {
+            testable.push(f);
+        }
+    }
+    UntestableReport {
+        untestable,
+        aborted,
+        testable,
+    }
+}
+
+/// Three-valued constant propagation: lines whose value is fixed by
+/// constant gates regardless of the inputs.
+fn constant_lines(netlist: &Netlist) -> Vec<Logic> {
+    let order = netlist.levelize().order().to_vec();
+    let mut values = vec![Logic::X; netlist.len()];
+    let mut buf = Vec::with_capacity(4);
+    for &id in &order {
+        let g = netlist.gate(id);
+        match g.kind() {
+            GateKind::Input | GateKind::Dff => values[id.index()] = Logic::X,
+            kind => {
+                buf.clear();
+                buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                values[id.index()] = eval_gate(kind, &buf);
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_faults::universe;
+    use rescue_netlist::NetlistBuilder;
+
+    #[test]
+    fn unobservable_classified() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let x = b.input("x");
+        let dead = b.not(x);
+        let y = b.buf(a);
+        b.output("y", y);
+        let n = b.finish();
+        let faults = universe::stuck_at_universe(&n);
+        let report = identify(&n, &faults, false);
+        let dead_faults: Vec<_> = report
+            .untestable()
+            .iter()
+            .filter(|(f, _)| f.site().gate() == dead)
+            .collect();
+        assert_eq!(dead_faults.len(), 2);
+        assert!(dead_faults
+            .iter()
+            .all(|(_, r)| *r == UntestableReason::Unobservable));
+        // x itself only feeds dead logic -> also unobservable.
+        assert!(report
+            .untestable()
+            .iter()
+            .any(|(f, _)| f.site().gate() == x));
+    }
+
+    #[test]
+    fn constant_line_classified() {
+        let mut b = NetlistBuilder::new("k");
+        let a = b.input("a");
+        let k1 = b.const1();
+        let g = b.and(a, k1); // g == a, but the k1 pin is constant
+        b.output("y", g);
+        let n = b.finish();
+        let faults = vec![
+            Fault::stuck_at(FaultSite::Pin { gate: g, pin: 1 }, true), // sa1 on const-1 pin
+            Fault::stuck_at(FaultSite::Pin { gate: g, pin: 1 }, false),
+        ];
+        let report = identify(&n, &faults, false);
+        assert_eq!(report.untestable().len(), 1);
+        assert_eq!(report.untestable()[0].1, UntestableReason::ConstantLine);
+        assert_eq!(report.testable().len(), 1);
+    }
+
+    #[test]
+    fn formal_finds_redundancy() {
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let x = b.input("b");
+        let g = b.and(a, x);
+        let y = b.or(a, g);
+        b.output("y", y);
+        let n = b.finish();
+        let faults = universe::stuck_at_universe(&n);
+        let cheap = identify(&n, &faults, false);
+        let formal = identify(&n, &faults, true);
+        assert!(formal.untestable().len() > cheap.untestable().len());
+        assert!(formal
+            .untestable()
+            .iter()
+            .any(|(_, r)| *r == UntestableReason::ProvenRedundant));
+        assert!(formal.untestable_fraction() > 0.0);
+    }
+
+    #[test]
+    fn clean_circuit_all_testable() {
+        let c = rescue_netlist::generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let report = identify(&c, &faults, true);
+        assert!(report.untestable().is_empty());
+        assert!(report.aborted().is_empty());
+        assert_eq!(report.testable().len(), faults.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! E1 — Fig. 1: distribution of collaborative results per research area.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::figure1::{distribution, publications, render, ResearchArea};
+
+fn bench(c: &mut Criterion) {
+    banner("E1", "Fig. 1 distribution of collaborative results");
+    eprintln!("{}", render());
+    eprintln!("{:<8} {:>6} {:>6} {:>6}", "area", "2018", "2019", "total");
+    for area in ResearchArea::all() {
+        let of = |year: u16| {
+            distribution()
+                .iter()
+                .filter(|b| b.area == area && b.year == year)
+                .map(|b| b.count)
+                .sum::<usize>()
+        };
+        eprintln!(
+            "{:<8} {:>6} {:>6} {:>6}",
+            area.section(),
+            of(2018),
+            of(2019),
+            of(2018) + of(2019)
+        );
+    }
+    eprintln!("total classified publications: {}", publications().len());
+
+    c.bench_function("e01_distribution", |b| {
+        b.iter(|| std::hint::black_box(distribution()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

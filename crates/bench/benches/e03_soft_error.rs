@@ -1,0 +1,115 @@
+//! E3 — Section III.B: soft-error and transient-fault vulnerability.
+//!
+//! Rows: SET masking breakdown per circuit; exhaustive-vs-statistical
+//! SEU campaign cost/accuracy; ML-predicted vs simulated per-gate
+//! de-rating factors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::faults::sample::Confidence;
+use rescue_core::ml::dataset::{split, Normalizer};
+use rescue_core::ml::graph::gate_features;
+use rescue_core::ml::metrics::r_squared;
+use rescue_core::ml::Mlp;
+use rescue_core::netlist::generate;
+use rescue_core::radiation::campaign::{execute, plan};
+use rescue_core::radiation::set_analysis::{SetCampaign, SetOutcome};
+use rescue_core::radiation::seu_analysis::SeuCampaign;
+
+fn bench(c: &mut Criterion) {
+    banner("E3", "soft-error vulnerability (SET/SEU, statistical FI, ML de-rating)");
+    eprintln!(
+        "{:<10} {:>9} {:>11} {:>11} {:>9}",
+        "circuit", "logical", "electrical", "propagated", "derating"
+    );
+    for net in [
+        generate::c17(),
+        generate::adder(8),
+        generate::alu(8),
+        generate::parity(16),
+        generate::tmr(&generate::parity(16)),
+    ] {
+        let campaign = SetCampaign::new(&net);
+        let r = campaign.run(&net, 400, 42);
+        eprintln!(
+            "{:<10} {:>8.1}% {:>10.1}% {:>10.1}% {:>9.3}",
+            net.name(),
+            r.fraction(SetOutcome::LogicallyMasked) * 100.0,
+            r.fraction(SetOutcome::ElectricallyMasked) * 100.0,
+            r.fraction(SetOutcome::Propagated) * 100.0,
+            r.derating()
+        );
+    }
+
+    eprintln!("\nExhaustive vs statistical SEU campaign (lfsr16, 30 cycles):");
+    let net = generate::lfsr(16, &[15, 13, 12, 10]);
+    let warmup = 30;
+    let horizon = 12;
+    let exhaustive = SeuCampaign::new(warmup, horizon).run_exhaustive(&net, &[]);
+    eprintln!(
+        "  exhaustive: {} injections, AVF {:.3}",
+        exhaustive.injections().len(),
+        exhaustive.avf()
+    );
+    for margin in [0.1, 0.05, 0.02] {
+        let p = plan(&net, warmup, margin, Confidence::C95).expect("valid margin");
+        let r = execute(&net, &[], &p, warmup, horizon, 9);
+        eprintln!(
+            "  e={margin:<5} sample {:4} ({:5.1}% of population)  AVF {:.3}  |err| {:.3}",
+            p.sample,
+            p.cost_ratio * 100.0,
+            r.avf,
+            (r.avf - exhaustive.avf()).abs()
+        );
+    }
+
+    eprintln!("\nML de-rating prediction (features -> per-gate SET propagation):");
+    let net = generate::random_logic(10, 220, 6, 5);
+    let campaign = SetCampaign::new(&net);
+    let report = campaign.run(&net, 4000, 11);
+    let per_gate = report.per_gate();
+    let features = gate_features(&net);
+    let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = per_gate
+        .iter()
+        .filter(|(_, struck, _)| *struck >= 5)
+        .map(|(g, struck, prop)| {
+            (
+                features[g.index()].clone(),
+                *prop as f64 / *struck as f64,
+            )
+        })
+        .unzip();
+    let norm = Normalizer::fit(&xs);
+    let xs = norm.transform_all(&xs);
+    let (tx, ty, vx, vy) = split(&xs, &ys, 0.75, 3);
+    let mut model = Mlp::new(xs[0].len(), 12, 1, 7);
+    let targets: Vec<Vec<f64>> = ty.iter().map(|&y| vec![y]).collect();
+    model.train(&tx, &targets, 400, 0.3);
+    let preds: Vec<f64> = vx.iter().map(|x| model.forward(x)[0]).collect();
+    eprintln!(
+        "  test R^2 = {:.3} over {} gates (simulated ground truth)",
+        r_squared(&preds, &vy),
+        vy.len()
+    );
+
+    let set_net = generate::alu(8);
+    let set = SetCampaign::new(&set_net);
+    c.bench_function("e03_set_campaign_alu8_100", |b| {
+        b.iter(|| std::hint::black_box(set.run(&set_net, 100, 1)))
+    });
+    let seu = SeuCampaign::new(10, 10);
+    c.bench_function("e03_seu_inject_lfsr16", |b| {
+        b.iter(|| std::hint::black_box(seu.inject(&net_lfsr(), &[], 3, 5)))
+    });
+}
+
+fn net_lfsr() -> rescue_core::netlist::Netlist {
+    generate::lfsr(16, &[15, 13, 12, 10])
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E4 — Section III.C: cross-layer fault tolerance and error resilience.
+//!
+//! Rows: fault-handling latency per policy ("meet in the middle"), SEU
+//! monitor efficiency vs scrub rate, particle-detector efficiency vs
+//! chain length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::fault_mgmt::{evaluate, event_mix, Policy};
+use rescue_core::radiation::monitor::{PulseStretchDetector, SramSeuMonitor};
+
+fn bench(c: &mut Criterion) {
+    banner("E4", "cross-layer fault management & radiation monitors");
+    let events = event_mix(2000, 0.15, 7);
+    eprintln!(
+        "{:<18} {:>12} {:>12} {:>8} {:>12} {:>10}",
+        "policy", "mean lat", "worst lat", "local", "escalations", "prevented"
+    );
+    for policy in [
+        Policy::HighLevelOnly,
+        Policy::LowLevelOnly,
+        Policy::MeetInTheMiddle,
+    ] {
+        let r = evaluate(policy, &events);
+        eprintln!(
+            "{:<18} {:>10.1}cy {:>10}cy {:>8} {:>12} {:>10}",
+            format!("{policy:?}"),
+            r.mean_latency,
+            r.worst_latency,
+            r.local_handled,
+            r.escalations,
+            r.recurrences_prevented
+        );
+    }
+
+    eprintln!("\nSRAM SEU monitor (64 Kbit, flux 5e-5/bit/unit):");
+    eprintln!("{:>12} {:>10} {:>12}", "scrub period", "detected", "efficiency");
+    for period in [50u64, 200, 1000, 5000] {
+        let m = SramSeuMonitor::new(65_536, period);
+        let r = m.expose(5e-5, 20_000, 3);
+        eprintln!(
+            "{:>12} {:>10} {:>11.1}%",
+            period,
+            r.detected,
+            r.efficiency() * 100.0
+        );
+    }
+
+    eprintln!("\nPulse-stretching particle detector (threshold 3.0, widths 0.1-2.0):");
+    eprintln!("{:>8} {:>12}", "stages", "efficiency");
+    for stages in [2usize, 4, 8, 12, 16] {
+        let d = PulseStretchDetector::new(stages, 0.25, 3.0);
+        eprintln!(
+            "{:>8} {:>11.1}%",
+            stages,
+            d.efficiency(20_000, 0.1, 2.0, 5) * 100.0
+        );
+    }
+
+    c.bench_function("e04_policy_eval_2000_events", |b| {
+        b.iter(|| std::hint::black_box(evaluate(Policy::MeetInTheMiddle, &events)))
+    });
+    let monitor = SramSeuMonitor::new(16_384, 200);
+    c.bench_function("e04_monitor_expose", |b| {
+        b.iter(|| std::hint::black_box(monitor.expose(5e-5, 2_000, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

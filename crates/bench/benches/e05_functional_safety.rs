@@ -1,0 +1,150 @@
+//! E5 — Section III.D: functional safety validation.
+//!
+//! Rows: ISO 26262 classification + metrics for unprotected vs
+//! duplicated designs; fault-list pruning reduction; dynamic-slicing FI
+//! speedup; three-tool confidence cross-check agreement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::faults::universe;
+use rescue_core::netlist::generate;
+use rescue_core::radiation::Fit;
+use rescue_core::safety::classify::{classify, FaultClass};
+use rescue_core::safety::confidence::cross_check;
+use rescue_core::safety::duplication::duplicate_with_comparator;
+use rescue_core::safety::metrics::{AsilTarget, SafetyMetrics};
+use rescue_core::safety::pruning::prune;
+use rescue_core::safety::slicing::sliced_campaign;
+
+fn patterns(n_in: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1);
+    (0..count)
+        .map(|_| {
+            (0..n_in)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E5", "ISO 26262 classification, pruning, slicing, tool confidence");
+    eprintln!(
+        "{:<16} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8} {:>10} {:>7}",
+        "design", "safe", "detected", "residual", "latent", "SPFM", "LFM", "PMHF", "ASIL-D"
+    );
+    let rate = Fit::new(100.0);
+    for inner in [generate::adder(4), generate::alu(4)] {
+        let functional: Vec<String> = inner
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let pats = patterns(inner.primary_inputs().len(), 256, 3);
+        // unprotected
+        let faults = universe::stuck_at_universe(&inner);
+        let r = classify(&inner, &faults, &functional, &[], &pats);
+        let m = SafetyMetrics::from_classification(&r, rate);
+        print_row(&format!("{} (raw)", inner.name()), &r, &m);
+        // duplicated
+        let p = duplicate_with_comparator(&inner);
+        let pf = universe::stuck_at_universe(&p.netlist);
+        let pats = patterns(p.netlist.primary_inputs().len(), 256, 3);
+        let r = classify(
+            &p.netlist,
+            &pf,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &pats,
+        );
+        let m = SafetyMetrics::from_classification(&r, rate);
+        print_row(&format!("{} (dup)", inner.name()), &r, &m);
+    }
+
+    eprintln!("\nFormal fault-list pruning + dynamic-slicing FI:");
+    eprintln!(
+        "{:<12} {:>7} {:>8} {:>11} {:>9}",
+        "design", "faults", "pruned", "slice sims", "speedup"
+    );
+    for seed in [17u64, 23] {
+        let net = generate::random_logic(8, 150, 4, seed);
+        let faults = universe::stuck_at_universe(&net);
+        let outs: Vec<String> = net
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let pr = prune(&net, &faults, &outs);
+        let pats = patterns(8, 96, seed);
+        let sliced = sliced_campaign(&net, &pr.remaining, &pats);
+        eprintln!(
+            "{:<12} {:>7} {:>7.1}% {:>11} {:>8.2}x",
+            net.name(),
+            faults.len(),
+            pr.reduction() * 100.0,
+            sliced.simulations_run,
+            sliced.speedup()
+        );
+    }
+
+    eprintln!("\nTool-confidence cross-check (ATPG vs FI vs formal):");
+    let net = generate::random_logic(8, 80, 3, 31);
+    let faults = universe::stuck_at_universe(&net);
+    let pats = patterns(8, 256, 5);
+    let check = cross_check(&net, &faults, &pats);
+    let (dd, ud, uu, ab) = check.agreement_matrix();
+    eprintln!(
+        "  FI+ATPG agree detected: {dd}   testable-but-missed-by-stimulus: {ud}   \
+         both untestable: {uu}   aborted: {ab}"
+    );
+    eprintln!(
+        "  inconsistencies: {} (0 = tools verified)",
+        check.inconsistencies().len()
+    );
+
+    let net = generate::random_logic(8, 120, 4, 9);
+    let faults = universe::stuck_at_universe(&net);
+    let pats = patterns(8, 64, 7);
+    c.bench_function("e05_sliced_campaign", |b| {
+        b.iter(|| std::hint::black_box(sliced_campaign(&net, &faults, &pats)))
+    });
+    c.bench_function("e05_classification", |b| {
+        let outs: Vec<String> = net
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        b.iter(|| std::hint::black_box(classify(&net, &faults, &outs, &[], &pats)))
+    });
+}
+
+fn print_row(
+    name: &str,
+    r: &rescue_core::safety::ClassificationReport,
+    m: &SafetyMetrics,
+) {
+    eprintln!(
+        "{:<16} {:>6} {:>9} {:>9} {:>7} {:>7.1}% {:>7.1}% {:>10} {:>7}",
+        name,
+        r.count(FaultClass::Safe),
+        r.count(FaultClass::Detected),
+        r.count(FaultClass::Residual),
+        r.count(FaultClass::Latent),
+        m.spfm * 100.0,
+        m.lfm * 100.0,
+        format!("{}", m.pmhf),
+        if m.meets(AsilTarget::D) { "yes" } else { "no" }
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! E6 — Section III.E: reliability assessment and run-time management.
+//!
+//! Rows: RSN test-length/coverage and diagnosis; March-test coverage of
+//! FinFET defects with and without the current-sensor DfT; address-
+//! decoder aging balance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::aging::decoder::{balance, AccessHistogram};
+use rescue_core::mem::fault_model::FinfetDefect;
+use rescue_core::mem::march::{march_cm, march_ss, mats_plus, MarchTest};
+use rescue_core::mem::sensor::{compare_dft, CurrentSensor};
+use rescue_core::rsn::aging::analyze;
+use rescue_core::rsn::diagnose::diagnose;
+use rescue_core::rsn::faults::fault_universe;
+use rescue_core::rsn::network::{RsnNode, ScanNetwork};
+use rescue_core::rsn::testgen::{compare, wave_test};
+
+fn tree(depth: usize, fanout: usize) -> ScanNetwork {
+    fn build(depth: usize, fanout: usize, prefix: String) -> RsnNode {
+        if depth == 0 {
+            RsnNode::tdr(format!("t{prefix}"), 6)
+        } else {
+            RsnNode::chain(
+                (0..fanout)
+                    .map(|i| {
+                        let p = format!("{prefix}_{i}");
+                        RsnNode::sib(format!("s{p}"), build(depth - 1, fanout, p))
+                    })
+                    .collect(),
+            )
+        }
+    }
+    ScanNetwork::new(build(depth, fanout, String::new()))
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E6", "RSN test/diagnosis/aging, FinFET SRAM DfT, decoder balancing");
+    eprintln!(
+        "{:<14} {:>6} {:>11} {:>10} {:>11} {:>10}",
+        "network", "SIBs", "naive bits", "naive cov", "wave bits", "wave cov"
+    );
+    for (d, f) in [(1usize, 4usize), (2, 2), (2, 3)] {
+        let net = tree(d, f);
+        let cmp = compare(&net);
+        eprintln!(
+            "{:<14} {:>6} {:>11} {:>9.1}% {:>11} {:>9.1}%",
+            format!("tree({d},{f})"),
+            net.sib_names().len(),
+            cmp.naive_bits,
+            cmp.naive_coverage * 100.0,
+            cmp.wave_bits,
+            cmp.wave_coverage * 100.0
+        );
+    }
+
+    eprintln!("\nRSN diagnosis resolution (wave test, tree(2,2)):");
+    let net = tree(2, 2);
+    let test = wave_test(&net);
+    let mut exact = 0;
+    let mut total = 0;
+    for truth in fault_universe(&net) {
+        let observed = test.faulty_response(&net, &truth);
+        if observed == test.golden_response(&net) {
+            continue;
+        }
+        total += 1;
+        let d = diagnose(&net, &test, &observed);
+        if d.ambiguity() == 1 {
+            exact += 1;
+        }
+    }
+    eprintln!("  {exact}/{total} detected faults diagnosed to a unique candidate");
+
+    eprintln!("\nRSN NBTI duty (health-monitor profile, 10 years):");
+    let mut used = tree(1, 2);
+    used.csu(&[true, true]);
+    for _ in 0..30 {
+        let l = used.path_len();
+        let mut keep = vec![false; l];
+        // keep both SIBs open: controls are the last two path bits
+        let n = keep.len();
+        keep[0] = true;
+        keep[1] = true;
+        let _ = n;
+        used.csu(&keep);
+    }
+    for a in analyze(&used, 10.0).iter().take(2) {
+        eprintln!("  {:<10} duty {:.2} -> ΔVth {:.1} mV", a.name, a.duty, a.delta_vth_mv);
+    }
+
+    eprintln!("\nFinFET SRAM: March vs March+current-sensor coverage:");
+    let mut faults = Vec::new();
+    for cell in 0..16 {
+        faults.push(FinfetDefect::ChannelCrack { cell, severity: 3 }.to_cell_fault());
+        faults.push(FinfetDefect::ChannelCrack { cell, severity: 1 }.to_cell_fault());
+        faults.push(FinfetDefect::BentFin { cell, severity: 2 }.to_cell_fault());
+        faults.push(FinfetDefect::GateOxideShort { cell, severity: 2 }.to_cell_fault());
+    }
+    eprintln!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "test", "ops/cell", "march only", "march+DfT"
+    );
+    for test in [mats_plus(), march_cm(), march_ss()] {
+        let cmp = compare_dft(&test, CurrentSensor::new(0.12), 16, &faults);
+        eprintln!(
+            "{:<10} {:>8} {:>11.1}% {:>11.1}%",
+            test.name,
+            test.ops_per_cell(),
+            cmp.march_only * 100.0,
+            cmp.combined * 100.0
+        );
+    }
+
+    eprintln!("\nAddress-decoder aging mitigation (hot address trace):");
+    let mut h = AccessHistogram::new(16);
+    for _ in 0..2000 {
+        h.record(3);
+    }
+    for a in 0..16 {
+        for _ in 0..10 {
+            h.record(a);
+        }
+    }
+    for budget in [None, Some(5_000), Some(500)] {
+        let plan = balance(&h, budget);
+        let after = plan.apply(&h);
+        eprintln!(
+            "  budget {:>8}: overhead {:>6} accesses, imbalance {:.3} -> {:.3}",
+            budget.map(|b| b.to_string()).unwrap_or_else(|| "inf".into()),
+            plan.overhead(),
+            h.imbalance(),
+            after.imbalance()
+        );
+    }
+
+    let net = tree(2, 2);
+    c.bench_function("e06_wave_test_gen", |b| {
+        b.iter(|| std::hint::black_box(wave_test(&net)))
+    });
+    let test = wave_test(&net);
+    let truth = fault_universe(&net)[0].clone();
+    let observed = test.faulty_response(&net, &truth);
+    c.bench_function("e06_rsn_diagnose", |b| {
+        b.iter(|| std::hint::black_box(diagnose(&net, &test, &observed)))
+    });
+    let march = march_cm();
+    c.bench_function("e06_march_coverage", |b| {
+        let faults: Vec<_> = (0..8)
+            .map(|cell| FinfetDefect::ChannelCrack { cell, severity: 3 }.to_cell_fault())
+            .collect();
+        b.iter(|| {
+            std::hint::black_box(marching(&march, &faults))
+        })
+    });
+}
+
+fn marching(test: &MarchTest, faults: &[rescue_core::mem::CellFault]) -> f64 {
+    rescue_core::mem::march::march_coverage(test, 16, faults)
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E8 — Section IV.B: the AutoSoC configurations under SEU campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::cpu::autosoc::{run_campaign, AutoSocConfig};
+use rescue_core::cpu::programs;
+
+fn bench(c: &mut Criterion) {
+    banner("E8", "AutoSoC: baseline vs lockstep vs ECC under SEUs");
+    let workloads = programs::all().expect("workloads assemble");
+    let injections = 30;
+    eprintln!(
+        "{:<12} {:<12} {:>7} {:>6} {:>9} {:>5} {:>5} {:>9} {:>11} {:>8}",
+        "workload", "config", "masked", "corr", "detected", "sdc", "due", "SDC rate", "protection", "area +%"
+    );
+    for w in &workloads {
+        for config in AutoSocConfig::all() {
+            let r = run_campaign(config, w, injections, 42);
+            eprintln!(
+                "{:<12} {:<12} {:>7} {:>6} {:>9} {:>5} {:>5} {:>8.1}% {:>10.1}% {:>7.0}%",
+                w.name,
+                format!("{config:?}"),
+                r.masked,
+                r.corrected,
+                r.detected,
+                r.sdc,
+                r.due,
+                r.sdc_rate() * 100.0,
+                r.protection_rate() * 100.0,
+                config.area_overhead() * 100.0,
+            );
+        }
+        eprintln!();
+    }
+
+    let w = programs::bubble_sort().expect("assembles");
+    c.bench_function("e08_lockstep_campaign_10", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(AutoSocConfig::Lockstep, &w, 10, 7)))
+    });
+    c.bench_function("e08_baseline_campaign_10", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(AutoSocConfig::Baseline, &w, 10, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

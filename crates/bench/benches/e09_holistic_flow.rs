@@ -1,0 +1,69 @@
+//! E9 — Section IV.A: the holistic EDA flow end to end, with RIIF
+//! interchange between tools.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::flow::HolisticFlow;
+use rescue_core::netlist::generate;
+use rescue_core::riif::RiifDatabase;
+
+fn bench(c: &mut Criterion) {
+    banner("E9", "holistic flow throughput + RIIF interchange");
+    eprintln!(
+        "{:<12} {:>6} {:>7} {:>7} {:>9} {:>10} {:>10}",
+        "design", "gates", "faults", "pruned", "patterns", "coverage", "chip FIT"
+    );
+    let mut merged = RiifDatabase::new("soc");
+    for design in [
+        generate::c17(),
+        generate::adder(8),
+        generate::multiplier(4),
+        generate::alu(8),
+        generate::comparator(8),
+        generate::mux_tree(4),
+    ] {
+        let r = HolisticFlow::new().run(&design, 128, 42);
+        eprintln!(
+            "{:<12} {:>6} {:>7} {:>7} {:>9} {:>9.1}% {:>10.3}",
+            r.design,
+            design.len(),
+            r.fault_universe,
+            r.pruned,
+            r.test_patterns,
+            r.fault_coverage * 100.0,
+            r.riif.chip_fit()
+        );
+        merged.merge(r.riif);
+    }
+    eprintln!(
+        "\nmerged SoC-level RIIF: {} components, {:.3} FIT total",
+        merged.components.len(),
+        merged.chip_fit()
+    );
+    let text = merged.to_text();
+    let back = RiifDatabase::from_text(&text).expect("riif round-trips");
+    eprintln!(
+        "round-trip through the .riif text format: {} bytes, identical: {}",
+        text.len(),
+        back == merged
+    );
+
+    let design = generate::alu(4);
+    let flow = HolisticFlow::new();
+    c.bench_function("e09_flow_alu4", |b| {
+        b.iter(|| std::hint::black_box(flow.run(&design, 64, 42)))
+    });
+    c.bench_function("e09_riif_round_trip", |b| {
+        b.iter(|| {
+            let t = merged.to_text();
+            std::hint::black_box(RiifDatabase::from_text(&t).expect("parses"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

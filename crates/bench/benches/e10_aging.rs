@@ -1,0 +1,115 @@
+//! E10 — Sections III.C/III.E: aging models and rejuvenation.
+//!
+//! Rows: NBTI ΔVth over years per technology; aged critical-path
+//! slowdown; rejuvenation-pattern improvement; CDN SET failure rate
+//! versus pulse width (the \[54\] curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::banner;
+use rescue_core::aging::bti::{BtiModel, HciModel, StressProfile};
+use rescue_core::aging::delay::{aged_timing, OperatingPoint};
+use rescue_core::aging::rejuvenation;
+use rescue_core::atpg::scoap::Cop;
+use rescue_core::netlist::generate;
+use rescue_core::radiation::cdn::ClockTree;
+
+fn bench(c: &mut Criterion) {
+    banner("E10", "BTI/HCI aging, rejuvenation, CDN SET curve");
+    eprintln!("NBTI ΔVth (duty 0.7, 380 K) and HCI (activity 0.3):");
+    eprintln!(
+        "{:>7} {:>14} {:>14} {:>10}",
+        "years", "bulk 28nm", "finfet 14nm", "HCI"
+    );
+    let stress = StressProfile {
+        duty: 0.7,
+        temperature_k: 380.0,
+    };
+    for years in [1.0f64, 3.0, 5.0, 10.0, 15.0] {
+        eprintln!(
+            "{:>7} {:>11.1} mV {:>11.1} mV {:>7.1} mV",
+            years,
+            BtiModel::bulk_28nm().delta_vth_mv(&stress, years),
+            BtiModel::finfet_14nm().delta_vth_mv(&stress, years),
+            HciModel::new().delta_vth_mv(0.3, years)
+        );
+    }
+
+    eprintln!("\nAged critical path (COP duties, 380 K, bulk 28nm):");
+    eprintln!("{:<12} {:>8} {:>10} {:>10}", "design", "years", "slowdown", "worst ΔVth");
+    for design in [generate::multiplier(4), generate::alu(8)] {
+        let cop = Cop::analyze(&design);
+        let p_one: Vec<f64> = design.ids().map(|id| cop.p_one(id)).collect();
+        for years in [5.0, 10.0] {
+            let t = aged_timing(
+                &design,
+                &p_one,
+                &BtiModel::bulk_28nm(),
+                OperatingPoint::nominal(),
+                years,
+                380.0,
+            );
+            eprintln!(
+                "{:<12} {:>8} {:>9.3}x {:>7.1} mV",
+                design.name(),
+                years,
+                t.slowdown(),
+                t.worst_gate_shift_mv()
+            );
+        }
+    }
+
+    eprintln!("\nRejuvenation-pattern evolution (skewed AND-tree):");
+    let mut b = rescue_core::netlist::NetlistBuilder::new("skewed");
+    let ins = b.inputs("i", 10);
+    let g1 = b.and_n(&ins[0..5]);
+    let g2 = b.and_n(&ins[5..10]);
+    let g = b.and(g1, g2);
+    b.output("y", g);
+    let net = b.finish();
+    let r = rejuvenation::evolve(&net, 16, 200, 42);
+    eprintln!(
+        "  mean imbalance: random {:.3} -> evolved {:.3} ({:.0}% better, {} generations)",
+        r.baseline.mean_imbalance,
+        r.evolved.mean_imbalance,
+        r.improvement() * 100.0,
+        r.generations
+    );
+
+    eprintln!("\nCDN SET functional failure rate vs pulse width ([54] curve):");
+    let tree = ClockTree::new(5, 8);
+    eprintln!("{:>12} {:>8}", "pulse width", "FFR");
+    for (lo, hi) in [(0.5, 1.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)] {
+        eprintln!(
+            "{:>5.1}-{:<5.1} {:>8.3}",
+            lo,
+            hi,
+            tree.monte_carlo_ffr(20_000, lo, hi, 0.3, 7)
+        );
+    }
+
+    let design = generate::multiplier(4);
+    let cop = Cop::analyze(&design);
+    let p_one: Vec<f64> = design.ids().map(|id| cop.p_one(id)).collect();
+    c.bench_function("e10_aged_timing_mult4", |b| {
+        b.iter(|| {
+            std::hint::black_box(aged_timing(
+                &design,
+                &p_one,
+                &BtiModel::bulk_28nm(),
+                OperatingPoint::nominal(),
+                10.0,
+                380.0,
+            ))
+        })
+    });
+    c.bench_function("e10_cdn_mc_1000", |b| {
+        b.iter(|| std::hint::black_box(tree.monte_carlo_ffr(1000, 1.0, 4.0, 0.3, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Shared helpers for the experiment benches (E1–E11).
+//!
+//! Each bench under `benches/` regenerates one experiment of
+//! EXPERIMENTS.md: it prints the experiment's table(s) once, then
+//! benchmarks the computational kernel behind it with Criterion.
+
+/// Prints a bench banner so tables are findable in the bench log.
+pub fn banner(id: &str, title: &str) {
+    eprintln!("\n=== {id}: {title} ===");
+}

@@ -1,0 +1,251 @@
+//! Cross-layer "meet in the middle" fault management (Section III.C).
+//!
+//! "Fault handling at lower levels close to the area where the error
+//! occurred allows to avoid high, often unacceptable, latencies implied
+//! if decisions are made by a higher-level component … In RESCUE, we
+//! develop a 'meet in the middle' approach where low-level monitoring
+//! and correction is accomplished with a high-level fault management."
+//!
+//! The model: fault events of varying complexity arrive; a policy
+//! decides per event whether the local (hardware) corrector handles it
+//! or it escalates to the OS-level manager. Local correction is fast
+//! but only handles simple events; the manager handles everything but
+//! pays a context-switch latency and gains global knowledge (tracked
+//! here as a history that enables *adaptation*: repeated faults at the
+//! same unit trigger reconfiguration, preventing recurrences).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A fault event at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Which functional unit produced it.
+    pub unit: u8,
+    /// Complexity class: 0 = simple bit-flip, 1 = multi-bit,
+    /// 2 = control/structural (needs reconfiguration).
+    pub complexity: u8,
+    /// Arrival time in cycles.
+    pub arrival: u64,
+}
+
+/// The handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Everything escalates to the OS-level manager.
+    HighLevelOnly,
+    /// Everything handled locally (complex events are retried locally
+    /// and fail repeatedly before finally escalating).
+    LowLevelOnly,
+    /// Simple events corrected locally; complex ones escalate at once —
+    /// the RESCUE approach.
+    MeetInTheMiddle,
+}
+
+/// Latency model constants (cycles).
+const LOCAL_LATENCY: u64 = 4;
+const ESCALATION_LATENCY: u64 = 1200;
+const LOCAL_RETRY_PENALTY: u64 = 64;
+
+/// Outcome statistics of a managed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagementReport {
+    /// Policy evaluated.
+    pub policy: Policy,
+    /// Events processed.
+    pub events: usize,
+    /// Mean handling latency in cycles.
+    pub mean_latency: f64,
+    /// Worst-case latency.
+    pub worst_latency: u64,
+    /// Events handled purely locally.
+    pub local_handled: usize,
+    /// Escalations to the manager.
+    pub escalations: usize,
+    /// Recurrences avoided by adaptive reconfiguration.
+    pub recurrences_prevented: usize,
+}
+
+/// The cross-layer manager.
+#[derive(Debug, Clone, Default)]
+pub struct FaultManager {
+    history: HashMap<u8, usize>,
+    reconfigured: Vec<u8>,
+}
+
+impl FaultManager {
+    /// A fresh manager with empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles one event under `policy`; returns the latency in cycles
+    /// and whether the event escalated.
+    pub fn handle(&mut self, policy: Policy, event: FaultEvent) -> (u64, bool) {
+        // Reconfigured units no longer produce complex faults; their
+        // events are trivially absorbed (latency of a local check).
+        if self.reconfigured.contains(&event.unit) {
+            return (LOCAL_LATENCY, false);
+        }
+        let (latency, escalated) = match policy {
+            Policy::HighLevelOnly => (ESCALATION_LATENCY, true),
+            Policy::LowLevelOnly => {
+                if event.complexity == 0 {
+                    (LOCAL_LATENCY, false)
+                } else {
+                    // Local logic retries and thrashes before giving up.
+                    (
+                        LOCAL_RETRY_PENALTY * (event.complexity as u64 * 4)
+                            + ESCALATION_LATENCY,
+                        true,
+                    )
+                }
+            }
+            Policy::MeetInTheMiddle => {
+                if event.complexity == 0 {
+                    (LOCAL_LATENCY, false)
+                } else {
+                    (ESCALATION_LATENCY, true)
+                }
+            }
+        };
+        if escalated {
+            // The manager learns: a unit with repeated complex faults is
+            // reconfigured (spare resource / degraded mode).
+            let count = self.history.entry(event.unit).or_insert(0);
+            *count += 1;
+            if *count >= 3 && event.complexity >= 1 {
+                self.reconfigured.push(event.unit);
+            }
+        }
+        (latency, escalated)
+    }
+
+    /// Units the manager reconfigured so far.
+    pub fn reconfigured_units(&self) -> &[u8] {
+        &self.reconfigured
+    }
+}
+
+/// Generates a reproducible event mix: `fraction_complex` of the events
+/// are multi-bit/structural, biased onto a few failing units.
+pub fn event_mix(events: usize, fraction_complex: f64, seed: u64) -> Vec<FaultEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..events)
+        .map(|i| {
+            let complex = rng.gen_bool(fraction_complex.clamp(0.0, 1.0));
+            FaultEvent {
+                // complex faults cluster on units 0..4 (wearing parts)
+                unit: if complex {
+                    rng.gen_range(0..4)
+                } else {
+                    rng.gen_range(0..16)
+                },
+                complexity: if complex { rng.gen_range(1..3) } else { 0 },
+                arrival: i as u64 * 100,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a policy over an event stream.
+pub fn evaluate(policy: Policy, events: &[FaultEvent]) -> ManagementReport {
+    let mut manager = FaultManager::new();
+    let mut latencies = Vec::with_capacity(events.len());
+    let mut local = 0usize;
+    let mut escalations = 0usize;
+    let mut prevented = 0usize;
+    for &e in events {
+        let before = manager.reconfigured_units().len();
+        let absorbed = manager.reconfigured_units().contains(&e.unit) && e.complexity > 0;
+        let (lat, escalated) = manager.handle(policy, e);
+        if absorbed {
+            prevented += 1;
+        }
+        if escalated {
+            escalations += 1;
+        } else {
+            local += 1;
+        }
+        latencies.push(lat);
+        let _ = before;
+    }
+    ManagementReport {
+        policy,
+        events: events.len(),
+        mean_latency: latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64,
+        worst_latency: latencies.iter().copied().max().unwrap_or(0),
+        local_handled: local,
+        escalations,
+        recurrences_prevented: prevented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_in_the_middle_wins_on_mean_latency() {
+        let events = event_mix(500, 0.15, 7);
+        let high = evaluate(Policy::HighLevelOnly, &events);
+        let low = evaluate(Policy::LowLevelOnly, &events);
+        let mitm = evaluate(Policy::MeetInTheMiddle, &events);
+        assert!(
+            mitm.mean_latency < high.mean_latency,
+            "mitm {} vs high {}",
+            mitm.mean_latency,
+            high.mean_latency
+        );
+        assert!(mitm.mean_latency <= low.mean_latency);
+        assert!(mitm.local_handled > 0 && mitm.escalations > 0);
+    }
+
+    #[test]
+    fn low_level_only_thrashes_on_complex_events() {
+        let events = event_mix(200, 0.5, 3);
+        let low = evaluate(Policy::LowLevelOnly, &events);
+        let mitm = evaluate(Policy::MeetInTheMiddle, &events);
+        assert!(low.worst_latency > mitm.worst_latency);
+    }
+
+    #[test]
+    fn manager_adapts_and_prevents_recurrences() {
+        // A hammering unit triggers reconfiguration after 3 escalations.
+        let events: Vec<FaultEvent> = (0..10)
+            .map(|i| FaultEvent {
+                unit: 2,
+                complexity: 2,
+                arrival: i * 50,
+            })
+            .collect();
+        let report = evaluate(Policy::MeetInTheMiddle, &events);
+        assert!(report.recurrences_prevented > 0, "{report:?}");
+        let mut m = FaultManager::new();
+        for &e in &events {
+            m.handle(Policy::MeetInTheMiddle, e);
+        }
+        assert!(m.reconfigured_units().contains(&2));
+    }
+
+    #[test]
+    fn simple_events_stay_local_under_mitm() {
+        let events: Vec<FaultEvent> = (0..20)
+            .map(|i| FaultEvent {
+                unit: (i % 16) as u8,
+                complexity: 0,
+                arrival: i as u64,
+            })
+            .collect();
+        let r = evaluate(Policy::MeetInTheMiddle, &events);
+        assert_eq!(r.escalations, 0);
+        assert_eq!(r.local_handled, 20);
+        assert_eq!(r.mean_latency, LOCAL_LATENCY as f64);
+    }
+
+    #[test]
+    fn event_mix_deterministic() {
+        assert_eq!(event_mix(50, 0.3, 9), event_mix(50, 0.3, 9));
+    }
+}

@@ -1,0 +1,256 @@
+//! Regeneration of the paper's Fig. 1: the distribution of the RESCUE
+//! project's collaborative research results over its six research areas
+//! for the first half-period.
+//!
+//! The figure's underlying data is the paper's own reference list
+//! (\[10\]–\[58\]): every listed project publication is classified by
+//! the subsection that cites it. This module carries that
+//! classification table and reproduces the "bubble" sizes (publication
+//! counts per area and year).
+
+use std::fmt;
+
+/// The six interdisciplinary research areas of paper Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResearchArea {
+    /// III.A Test generation and testability analysis.
+    TestGeneration,
+    /// III.B Soft-error and transient-fault vulnerability analysis.
+    SoftErrorAnalysis,
+    /// III.C Cross-layer fault tolerance and error resilience.
+    CrossLayerFaultTolerance,
+    /// III.D Functional safety validation.
+    FunctionalSafety,
+    /// III.E Reliability assessment and run-time management.
+    ReliabilityManagement,
+    /// III.F Hardware security analysis and enhancement.
+    HardwareSecurity,
+}
+
+impl ResearchArea {
+    /// All areas in paper order.
+    pub fn all() -> [ResearchArea; 6] {
+        [
+            ResearchArea::TestGeneration,
+            ResearchArea::SoftErrorAnalysis,
+            ResearchArea::CrossLayerFaultTolerance,
+            ResearchArea::FunctionalSafety,
+            ResearchArea::ReliabilityManagement,
+            ResearchArea::HardwareSecurity,
+        ]
+    }
+
+    /// The paper's section label.
+    pub fn section(&self) -> &'static str {
+        match self {
+            ResearchArea::TestGeneration => "III.A",
+            ResearchArea::SoftErrorAnalysis => "III.B",
+            ResearchArea::CrossLayerFaultTolerance => "III.C",
+            ResearchArea::FunctionalSafety => "III.D",
+            ResearchArea::ReliabilityManagement => "III.E",
+            ResearchArea::HardwareSecurity => "III.F",
+        }
+    }
+}
+
+impl fmt::Display for ResearchArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ResearchArea::TestGeneration => "Test generation & testability",
+            ResearchArea::SoftErrorAnalysis => "Soft-error & transient faults",
+            ResearchArea::CrossLayerFaultTolerance => "Cross-layer fault tolerance",
+            ResearchArea::FunctionalSafety => "Functional safety validation",
+            ResearchArea::ReliabilityManagement => "Reliability assessment & run-time mgmt",
+            ResearchArea::HardwareSecurity => "Hardware security",
+        };
+        write!(f, "{name} ({})", self.section())
+    }
+}
+
+/// One publication from the paper's reference list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicationRecord {
+    /// Reference number in the paper.
+    pub reference: u8,
+    /// Publication year.
+    pub year: u16,
+    /// The research area whose subsection cites it.
+    pub area: ResearchArea,
+}
+
+/// The classification of references \[10\]–\[58\] by citing subsection.
+/// (Cross-sectoral/overview refs \[21\], \[22\], \[32\], \[35\], \[37\]
+/// count toward the area of their primary content; EDA-framework papers
+/// map to the section that introduces them.)
+pub fn publications() -> Vec<PublicationRecord> {
+    use ResearchArea::*;
+    let table: [(u8, u16, ResearchArea); 45] = [
+        (10, 2018, ReliabilityManagement),   // FinFET SRAM current sensors
+        (11, 2018, TestGeneration),          // GPGPU scheduler functional test
+        (12, 2018, SoftErrorAnalysis),       // UltraScale+ SEU characterization
+        (13, 2018, SoftErrorAnalysis),       // error-rate estimation FPGA
+        (14, 2018, SoftErrorAnalysis),       // heavy-ion characterization
+        (15, 2018, ReliabilityManagement),   // RSN test sequences (semi-formal)
+        (16, 2018, ReliabilityManagement),   // RSN test generation
+        (17, 2018, ReliabilityManagement),   // RSN test comparison
+        (18, 2018, HardwareSecurity),        // fault injection setups
+        (19, 2018, FunctionalSafety),        // formal fault-list optimization
+        (20, 2018, FunctionalSafety),        // FuSa tool confidence
+        (21, 2018, FunctionalSafety),        // multidimensional verification
+        (22, 2018, CrossLayerFaultTolerance),// PhD training concept (cross-layer home)
+        (23, 2019, TestGeneration),          // fault redundancy identification
+        (24, 2019, ReliabilityManagement),   // address decoder aging mitigation
+        (25, 2019, TestGeneration),          // SEU effects in GPGPUs
+        (26, 2019, ReliabilityManagement),   // DfT hard-to-detect FinFET faults
+        (27, 2019, ReliabilityManagement),   // DfT scheme ETS
+        (28, 2019, TestGeneration),          // deterministic+pseudo-exhaustive RISC
+        (29, 2019, ReliabilityManagement),   // post-silicon RSN validation
+        (30, 2019, ReliabilityManagement),   // RSN test duration reduction
+        (31, 2019, SoftErrorAnalysis),       // ML for transient errors
+        (33, 2019, TestGeneration),          // safe faults in embedded system
+        (34, 2019, HardwareSecurity),        // PASCAL timing SCA
+        (35, 2019, FunctionalSafety),        // multidimensional verification journal
+        (36, 2019, ReliabilityManagement),   // NBTI aging in RSNs
+        (37, 2019, SoftErrorAnalysis),       // autonomous systems reliability
+        (38, 2019, CrossLayerFaultTolerance),// SRAM SEU monitor
+        (39, 2019, CrossLayerFaultTolerance),// pulse-stretching detector
+        (40, 2019, TestGeneration),          // GPGPU encoding styles
+        (41, 2019, TestGeneration),          // GPGPU scheduler memory test
+        (42, 2019, TestGeneration),          // GPGPU pipeline registers
+        (43, 2019, SoftErrorAnalysis),       // open-source GPGPU model
+        (44, 2019, ReliabilityManagement),   // compact RSN tests
+        (45, 2019, ReliabilityManagement),   // RSN diagnosis
+        (46, 2019, TestGeneration),          // untestable faults GPGPU
+        (47, 2019, ReliabilityManagement),   // ICL/RTL equivalence
+        (48, 2019, FunctionalSafety),        // combining fault analysis tools
+        (49, 2019, FunctionalSafety),        // HDL slicing FI
+        (50, 2019, FunctionalSafety),        // ISO26262 verification methodology
+        (51, 2019, FunctionalSafety),        // dynamic HDL slicing
+        (52, 2019, CrossLayerFaultTolerance),// low-latency reconfiguration
+        (53, 2019, CrossLayerFaultTolerance),// configurable FT circuits
+        (54, 2019, SoftErrorAnalysis),       // CDN SET failure rate
+        (55, 2019, SoftErrorAnalysis),       // ML failure-rate estimation
+    ];
+    let mut v: Vec<PublicationRecord> = table
+        .iter()
+        .map(|&(reference, year, area)| PublicationRecord {
+            reference,
+            year,
+            area,
+        })
+        .collect();
+    // [56]-[58] (GCN de-rating + validation + IOLTS ML) are 2019
+    // soft-error ML papers.
+    for reference in [56u8, 57, 58] {
+        v.push(PublicationRecord {
+            reference,
+            year: 2019,
+            area: ResearchArea::SoftErrorAnalysis,
+        });
+    }
+    v
+}
+
+/// One bubble of Fig. 1: area, year, publication count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bubble {
+    /// Research area.
+    pub area: ResearchArea,
+    /// Year.
+    pub year: u16,
+    /// "Bubble size": number of results.
+    pub count: usize,
+}
+
+/// Computes the Fig. 1 distribution (bubbles sorted by area, year).
+pub fn distribution() -> Vec<Bubble> {
+    let pubs = publications();
+    let mut bubbles: Vec<Bubble> = Vec::new();
+    for area in ResearchArea::all() {
+        for year in [2018u16, 2019] {
+            let count = pubs
+                .iter()
+                .filter(|p| p.area == area && p.year == year)
+                .count();
+            if count > 0 {
+                bubbles.push(Bubble { area, year, count });
+            }
+        }
+    }
+    bubbles
+}
+
+/// Renders the distribution as the textual equivalent of Fig. 1.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Distribution of RESCUE collaborative results (first half-period)\n");
+    for area in ResearchArea::all() {
+        let total: usize = distribution()
+            .iter()
+            .filter(|b| b.area == area)
+            .map(|b| b.count)
+            .sum();
+        out.push_str(&format!("{area:<46} {}\n", "o".repeat(total)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_reference_list() {
+        let pubs = publications();
+        assert_eq!(pubs.len(), 48, "references [10]-[58] minus [32] (booth)");
+        let mut refs: Vec<u8> = pubs.iter().map(|p| p.reference).collect();
+        refs.sort_unstable();
+        refs.dedup();
+        assert_eq!(refs.len(), pubs.len(), "no duplicate references");
+        assert!(refs.iter().all(|&r| (10..=58).contains(&r)));
+    }
+
+    #[test]
+    fn every_area_has_results() {
+        let d = distribution();
+        for area in ResearchArea::all() {
+            assert!(
+                d.iter().any(|b| b.area == area),
+                "{area} has no publications"
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_and_soft_error_dominate() {
+        // The paper: "the main accent in the first half-period was made
+        // on individual techniques e.g. for the reliability, quality and
+        // fault-tolerance aspects" with security still ramping up.
+        let total = |area: ResearchArea| -> usize {
+            distribution()
+                .iter()
+                .filter(|b| b.area == area)
+                .map(|b| b.count)
+                .sum()
+        };
+        assert!(
+            total(ResearchArea::ReliabilityManagement) > total(ResearchArea::HardwareSecurity)
+        );
+        assert!(total(ResearchArea::SoftErrorAnalysis) > total(ResearchArea::HardwareSecurity));
+        assert!(total(ResearchArea::TestGeneration) >= 8);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let r = render();
+        for area in ResearchArea::all() {
+            assert!(r.contains(area.section()));
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_publication_count() {
+        let total: usize = distribution().iter().map(|b| b.count).sum();
+        assert_eq!(total, publications().len());
+    }
+}

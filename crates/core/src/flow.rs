@@ -1,0 +1,188 @@
+//! The end-to-end holistic campaign (Fig. 2 as executable code).
+
+use rescue_atpg::compact::static_compaction;
+use rescue_atpg::podem::{Podem, PodemOutcome};
+use rescue_atpg::untestable;
+use rescue_faults::simulate::FaultSimulator;
+use rescue_faults::universe;
+use rescue_netlist::Netlist;
+use rescue_radiation::set_analysis::SetCampaign;
+use rescue_radiation::Fit;
+use rescue_riif::{ComponentRecord, FailureMode, RiifDatabase};
+use rescue_safety::classify::{classify, FaultClass};
+use rescue_safety::metrics::SafetyMetrics;
+use rescue_safety::pruning::prune;
+
+/// Configuration of the holistic flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HolisticFlow {
+    /// Raw per-gate stuck-at event rate assumed for PMHF math (FIT).
+    pub raw_fit_per_gate: f64,
+    /// SET strikes simulated for the vulnerability stage.
+    pub set_injections: usize,
+}
+
+impl HolisticFlow {
+    /// A flow with representative defaults.
+    pub fn new() -> Self {
+        HolisticFlow {
+            raw_fit_per_gate: 0.02,
+            set_injections: 300,
+        }
+    }
+}
+
+impl Default for HolisticFlow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything the flow produces for one design.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Total stuck-at universe size.
+    pub fault_universe: usize,
+    /// Faults removed before simulation (untestable + pruned).
+    pub pruned: usize,
+    /// Generated (compacted) test patterns.
+    pub test_patterns: usize,
+    /// Stuck-at coverage of the generated test set over the remaining
+    /// universe.
+    pub fault_coverage: f64,
+    /// ISO 26262 metrics of the (unprotected) design.
+    pub safety: SafetyMetrics,
+    /// SET derating factor (fraction of strikes that propagate).
+    pub set_derating: f64,
+    /// The RIIF export carrying the derived rates.
+    pub riif: RiifDatabase,
+}
+
+impl HolisticFlow {
+    /// Runs the whole flow on a combinational `design` with
+    /// `n_random_patterns` classification patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequential designs (block-level flow) or an internal
+    /// inconsistency between stages (which would be a tool bug — the
+    /// cross-checking of stages is the point of the holistic flow).
+    pub fn run(&self, design: &Netlist, n_random_patterns: usize, seed: u64) -> FlowReport {
+        assert!(
+            !design.is_sequential(),
+            "block-level flow expects combinational designs"
+        );
+        // 1. Fault universe.
+        let all_faults = universe::stuck_at_universe(design);
+        // 2. Untestable identification (formal) + COI pruning.
+        let report = untestable::identify(design, &all_faults, true);
+        let outputs: Vec<String> = design
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let pruned = prune(design, report.testable(), &outputs);
+        let workable = pruned.remaining.clone();
+        let pruned_count = all_faults.len() - workable.len();
+        // 3. ATPG on the workable set, with static compaction.
+        let podem = Podem::new(design);
+        let mut cubes = Vec::new();
+        for &f in &workable {
+            if let PodemOutcome::Test(cube) = podem.generate(design, f) {
+                cubes.push(cube);
+            }
+        }
+        let compacted = static_compaction(&cubes);
+        let patterns: Vec<Vec<bool>> = compacted.iter().map(|c| c.fill_with(false)).collect();
+        // 4. Fault simulation (verifies the ATPG stage end to end).
+        let sim = FaultSimulator::new(design);
+        let campaign = sim.campaign(design, &workable, &patterns);
+        // 5. ISO 26262 classification under a random mission stimulus.
+        let mission: Vec<Vec<bool>> = {
+            let mut state = seed.max(1);
+            (0..n_random_patterns)
+                .map(|_| {
+                    (0..design.primary_inputs().len())
+                        .map(|_| {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            state & 1 == 1
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let classification = classify(design, &all_faults, &outputs, &[], &mission);
+        let total_rate = Fit::new(self.raw_fit_per_gate * design.len() as f64);
+        let safety = SafetyMetrics::from_classification(&classification, total_rate);
+        // 6. SET vulnerability.
+        let set = SetCampaign::new(design).run(design, self.set_injections, seed);
+        // 7. RIIF export.
+        let mut riif = RiifDatabase::new(design.name());
+        riif.add_component(ComponentRecord {
+            name: design.name().to_string(),
+            technology: "generic".into(),
+            modes: vec![
+                FailureMode {
+                    mechanism: "stuck-at".into(),
+                    raw_fit: total_rate.value(),
+                    derating: classification.fraction(FaultClass::Residual),
+                },
+                FailureMode {
+                    mechanism: "set".into(),
+                    raw_fit: 10.0 * design.len() as f64 / 1000.0,
+                    derating: set.derating(),
+                },
+            ],
+        });
+        FlowReport {
+            design: design.name().to_string(),
+            fault_universe: all_faults.len(),
+            pruned: pruned_count,
+            test_patterns: patterns.len(),
+            fault_coverage: campaign.coverage(),
+            safety,
+            set_derating: set.derating(),
+            riif,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn flow_on_c17_is_complete() {
+        let c = generate::c17();
+        let r = HolisticFlow::new().run(&c, 64, 1);
+        assert_eq!(r.fault_universe, 46);
+        assert_eq!(r.pruned, 0, "c17 has no redundancy");
+        assert_eq!(r.fault_coverage, 1.0, "ATPG must close c17");
+        assert!(r.test_patterns < 20, "compaction works");
+        assert!(r.set_derating > 0.0 && r.set_derating < 1.0);
+        assert_eq!(r.design, "c17");
+        assert!(r.riif.chip_fit() > 0.0);
+        let text = r.riif.to_text();
+        assert!(RiifDatabase::from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn flow_prunes_redundant_logic() {
+        let net = generate::random_logic(8, 100, 3, 17);
+        let r = HolisticFlow::new().run(&net, 64, 2);
+        assert!(r.pruned > 0, "random logic has dead/redundant regions");
+        assert!(r.fault_coverage > 0.95, "{}", r.fault_coverage);
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn sequential_rejected() {
+        let l = generate::lfsr(4, &[3, 1]);
+        HolisticFlow::new().run(&l, 16, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Intelligent system health management (Section III.C, outlook).
+//!
+//! "These monitors could be integrated with the other monitor types,
+//! i.e. fault monitors, ageing (BTI/HCI), temperature sensors, and used
+//! for intelligent system management." This module implements that
+//! integration: a [`SystemHealthManager`] fuses the SEU monitor's flux
+//! estimate, an aging model's wear projection and a temperature sensor
+//! into one health state, and derives management actions (voltage/
+//! frequency derating, scrub-rate adaptation, checkpoint cadence).
+
+use rescue_aging::bti::{BtiModel, StressProfile};
+use rescue_radiation::monitor::SramSeuMonitor;
+use rescue_radiation::Fit;
+
+/// The fused health state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthState {
+    /// Estimated upset flux (upsets/bit/hour).
+    pub flux_per_bit_hour: f64,
+    /// Effective SEU rate for the protected state (FIT).
+    pub seu_fit: Fit,
+    /// Projected remaining life until the delay guard-band is consumed
+    /// (years).
+    pub remaining_life_years: f64,
+    /// Current junction temperature (K).
+    pub temperature_k: f64,
+}
+
+/// A management decision derived from the health state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthAction {
+    /// Nominal operation.
+    Nominal,
+    /// Raise the scrub rate (flux spike — e.g. a solar event).
+    IncreaseScrubRate,
+    /// Reduce frequency/voltage (aging guard-band nearly consumed).
+    DerateFrequency,
+    /// Both radiation and wear are critical: checkpoint and degrade.
+    CheckpointAndDegrade,
+}
+
+/// Thresholds for the decision logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Flux above this multiple of the nominal triggers scrubbing.
+    pub flux_alarm_multiplier: f64,
+    /// Remaining life below this (years) triggers derating.
+    pub life_alarm_years: f64,
+    /// Nominal (calibration) flux.
+    pub nominal_flux: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            flux_alarm_multiplier: 10.0,
+            life_alarm_years: 2.0,
+            nominal_flux: 1e-9,
+        }
+    }
+}
+
+/// The sensor-fusion manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemHealthManager {
+    monitor: SramSeuMonitor,
+    aging: BtiModel,
+    policy: HealthPolicy,
+    /// Duty proxy of the most stressed path (from the quality tools).
+    critical_duty: f64,
+    /// Guard-band the design closed timing with (fraction, e.g. 0.1).
+    guard_band: f64,
+    elapsed_years: f64,
+}
+
+impl SystemHealthManager {
+    /// Builds a manager around an SEU monitor and an aging calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range duty/guard-band.
+    pub fn new(
+        monitor: SramSeuMonitor,
+        aging: BtiModel,
+        policy: HealthPolicy,
+        critical_duty: f64,
+        guard_band: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&critical_duty), "duty in [0,1]");
+        assert!(guard_band > 0.0 && guard_band < 1.0, "guard band in (0,1)");
+        SystemHealthManager {
+            monitor,
+            aging,
+            policy,
+            critical_duty,
+            guard_band,
+            elapsed_years: 0.0,
+        }
+    }
+
+    /// Years of operation recorded so far.
+    pub fn elapsed_years(&self) -> f64 {
+        self.elapsed_years
+    }
+
+    /// Ingests one observation window and returns the fused state and
+    /// the chosen action.
+    ///
+    /// `window_hours` of exposure at `flux` (truth, observed through the
+    /// monitor simulation seeded by `seed`) and `temperature_k`.
+    pub fn observe(
+        &mut self,
+        flux: f64,
+        window_hours: f64,
+        temperature_k: f64,
+        seed: u64,
+    ) -> (HealthState, HealthAction) {
+        // 1. Radiation: estimate flux through the SEU monitor.
+        let duration = (window_hours * 3600.0) as u64;
+        let reading = self.monitor.expose(flux, duration.max(1), seed);
+        let est_flux = reading.estimated_flux(self.monitor.bits(), duration.max(1)) * 3600.0;
+        let seu_fit = Fit::new(est_flux * 1e9 * self.monitor.bits() as f64 / 1e6);
+        // 2. Aging: project remaining life until the guard band is gone.
+        self.elapsed_years += window_hours / (24.0 * 365.0);
+        let stress = StressProfile {
+            duty: self.critical_duty,
+            temperature_k,
+        };
+        let op = rescue_aging::delay::OperatingPoint::nominal();
+        let mut remaining = 0.0;
+        for years in 1..=40 {
+            let shift = self.aging.delta_vth_mv(&stress, self.elapsed_years + years as f64);
+            if op.delay_factor(shift.min(400.0)) > 1.0 + self.guard_band {
+                break;
+            }
+            remaining = years as f64;
+        }
+        let state = HealthState {
+            flux_per_bit_hour: est_flux,
+            seu_fit,
+            remaining_life_years: remaining,
+            temperature_k,
+        };
+        // 3. Decide.
+        let flux_alarm =
+            est_flux > self.policy.nominal_flux * 3600.0 * self.policy.flux_alarm_multiplier;
+        let life_alarm = remaining < self.policy.life_alarm_years;
+        let action = match (flux_alarm, life_alarm) {
+            (false, false) => HealthAction::Nominal,
+            (true, false) => HealthAction::IncreaseScrubRate,
+            (false, true) => HealthAction::DerateFrequency,
+            (true, true) => HealthAction::CheckpointAndDegrade,
+        };
+        (state, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> SystemHealthManager {
+        SystemHealthManager::new(
+            SramSeuMonitor::new(65_536, 600),
+            BtiModel::bulk_28nm(),
+            HealthPolicy::default(),
+            0.6,
+            0.15,
+        )
+    }
+
+    #[test]
+    fn quiet_environment_is_nominal() {
+        let mut m = manager();
+        let (state, action) = m.observe(1e-9 / 3600.0, 24.0, 310.0, 3);
+        assert_eq!(action, HealthAction::Nominal);
+        assert!(state.remaining_life_years > 2.0);
+    }
+
+    #[test]
+    fn flux_spike_triggers_scrubbing() {
+        let mut m = manager();
+        let (state, action) = m.observe(5e-7, 24.0, 310.0, 3);
+        assert_eq!(action, HealthAction::IncreaseScrubRate, "{state:?}");
+        assert!(state.flux_per_bit_hour > 0.0);
+    }
+
+    #[test]
+    fn worn_device_derates() {
+        let mut m = manager();
+        // Fast-forward 25 years of hot operation.
+        for _ in 0..25 {
+            m.observe(1e-12, 24.0 * 365.0, 400.0, 1);
+        }
+        assert!(m.elapsed_years() > 24.0);
+        let (state, action) = m.observe(1e-12, 24.0, 400.0, 2);
+        assert!(
+            matches!(
+                action,
+                HealthAction::DerateFrequency | HealthAction::CheckpointAndDegrade
+            ),
+            "{state:?} {action:?}"
+        );
+    }
+
+    #[test]
+    fn combined_alarms_checkpoint() {
+        let mut m = manager();
+        for _ in 0..25 {
+            m.observe(1e-12, 24.0 * 365.0, 400.0, 1);
+        }
+        let (_, action) = m.observe(5e-7, 24.0, 400.0, 2);
+        assert_eq!(action, HealthAction::CheckpointAndDegrade);
+    }
+
+    #[test]
+    fn state_is_reported_faithfully() {
+        let mut m = manager();
+        let flux = 2e-8;
+        let (state, _) = m.observe(flux, 48.0, 320.0, 9);
+        // estimate within 5x of the truth (small window, Poisson noise)
+        let truth = flux * 3600.0;
+        assert!(state.flux_per_bit_hour < truth * 5.0);
+        assert_eq!(state.temperature_k, 320.0);
+    }
+}

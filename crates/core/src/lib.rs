@@ -1,0 +1,54 @@
+//! The holistic EDA framework of RESCUE-rs.
+//!
+//! "One of the goals of the RESCUE project is to establish holistic EDA
+//! methodologies along with corresponding tool flows for the
+//! interdependent design aspects of reliability, security and quality"
+//! (paper Section IV.A, Fig. 2). This crate is that integration layer:
+//!
+//! * [`flow`] — the end-to-end campaign: netlist → untestable-fault
+//!   identification → fault-list pruning → ATPG → FI classification →
+//!   ISO 26262 metrics → SET/SEU vulnerability → RIIF export.
+//! * [`fault_mgmt`] — the cross-layer "meet in the middle" fault
+//!   management of Section III.C (\[52\], \[53\]): low-level correction
+//!   plus high-level management with latency accounting.
+//! * [`figure1`] — the paper's Fig. 1 (distribution of collaborative
+//!   results per research area) regenerated from its reference list.
+//! * [`health`] — sensor-fusion system health management (the Section
+//!   III.C outlook): SEU monitor + aging model + temperature sensor
+//!   driving scrub-rate, derating and checkpoint decisions.
+//!
+//! All sibling crates are re-exported so downstream users depend on
+//! `rescue-core` alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescue_core::flow::HolisticFlow;
+//! use rescue_core::netlist::generate;
+//!
+//! let design = generate::adder(4);
+//! let report = HolisticFlow::new().run(&design, 64, 42);
+//! assert!(report.fault_coverage > 0.9);
+//! assert!(report.riif.chip_fit() >= 0.0);
+//! ```
+
+pub mod fault_mgmt;
+pub mod figure1;
+pub mod flow;
+pub mod health;
+pub mod report;
+
+pub use rescue_aging as aging;
+pub use rescue_atpg as atpg;
+pub use rescue_cpu as cpu;
+pub use rescue_faults as faults;
+pub use rescue_gpgpu as gpgpu;
+pub use rescue_mem as mem;
+pub use rescue_ml as ml;
+pub use rescue_netlist as netlist;
+pub use rescue_radiation as radiation;
+pub use rescue_riif as riif;
+pub use rescue_rsn as rsn;
+pub use rescue_safety as safety;
+pub use rescue_security as security;
+pub use rescue_sim as sim;

@@ -1,0 +1,98 @@
+//! Markdown sign-off report generation for flow results.
+//!
+//! The holistic flow's last mile: render a [`crate::flow::FlowReport`]
+//! (or a set of them) into the human-readable sign-off document a
+//! safety assessor would review alongside the RIIF data.
+
+use crate::flow::FlowReport;
+use rescue_safety::metrics::AsilTarget;
+use std::fmt::Write as _;
+
+/// Renders one flow report as a markdown section.
+pub fn render_report(report: &FlowReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "## Design `{}`", report.design);
+    let _ = writeln!(s);
+    let _ = writeln!(s, "| metric | value |");
+    let _ = writeln!(s, "|---|---|");
+    let _ = writeln!(s, "| stuck-at fault universe | {} |", report.fault_universe);
+    let _ = writeln!(
+        s,
+        "| removed before simulation | {} ({:.1} %) |",
+        report.pruned,
+        100.0 * report.pruned as f64 / report.fault_universe.max(1) as f64
+    );
+    let _ = writeln!(s, "| compacted test patterns | {} |", report.test_patterns);
+    let _ = writeln!(
+        s,
+        "| fault coverage | {:.2} % |",
+        report.fault_coverage * 100.0
+    );
+    let _ = writeln!(s, "| SPFM | {:.2} % |", report.safety.spfm * 100.0);
+    let _ = writeln!(s, "| LFM | {:.2} % |", report.safety.lfm * 100.0);
+    let _ = writeln!(s, "| PMHF | {} |", report.safety.pmhf);
+    let _ = writeln!(s, "| SET derating | {:.3} |", report.set_derating);
+    for asil in [AsilTarget::B, AsilTarget::C, AsilTarget::D] {
+        let _ = writeln!(
+            s,
+            "| meets ASIL-{asil:?} | {} |",
+            if report.safety.meets(asil) { "yes" } else { "no" }
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "### RIIF export");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "```riif");
+    s.push_str(&report.riif.to_text());
+    let _ = writeln!(s, "```");
+    s
+}
+
+/// Renders a multi-design sign-off document.
+pub fn render_signoff(title: &str, reports: &[FlowReport]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{} designs analysed; aggregate chip-level rate {:.3} FIT.",
+        reports.len(),
+        reports.iter().map(|r| r.riif.chip_fit()).sum::<f64>()
+    );
+    let _ = writeln!(s);
+    for r in reports {
+        s.push_str(&render_report(r));
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::HolisticFlow;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn report_contains_all_metrics() {
+        let r = HolisticFlow::new().run(&generate::c17(), 32, 1);
+        let md = render_report(&r);
+        assert!(md.contains("## Design `c17`"));
+        assert!(md.contains("| fault coverage | 100.00 % |"));
+        assert!(md.contains("```riif"));
+        assert!(md.contains("meets ASIL-D"));
+    }
+
+    #[test]
+    fn signoff_aggregates() {
+        let reports = vec![
+            HolisticFlow::new().run(&generate::c17(), 32, 1),
+            HolisticFlow::new().run(&generate::adder(4), 32, 1),
+        ];
+        let md = render_signoff("SoC sign-off", &reports);
+        assert!(md.starts_with("# SoC sign-off"));
+        assert!(md.contains("2 designs analysed"));
+        assert!(md.contains("c17"));
+        assert!(md.contains("adder4"));
+    }
+}

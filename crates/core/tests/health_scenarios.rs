@@ -1,0 +1,85 @@
+//! Scenario tests for the sensor-fusion health manager: full mission
+//! profiles with phase transitions.
+
+use rescue_core::aging::bti::BtiModel;
+use rescue_core::health::{HealthAction, HealthPolicy, SystemHealthManager};
+use rescue_core::radiation::monitor::SramSeuMonitor;
+
+fn manager(guard_band: f64) -> SystemHealthManager {
+    SystemHealthManager::new(
+        SramSeuMonitor::new(65_536, 600),
+        BtiModel::bulk_28nm(),
+        HealthPolicy::default(),
+        0.6,
+        guard_band,
+    )
+}
+
+#[test]
+fn automotive_lifetime_profile() {
+    // 15 years of daily driving: mostly nominal, with hot summers.
+    let mut m = manager(0.15);
+    let mut actions = Vec::new();
+    for year in 0..15 {
+        let temp = if year % 4 == 2 { 395.0 } else { 330.0 };
+        let (_, action) = m.observe(1e-12, 24.0 * 365.0, temp, year as u64);
+        actions.push(action);
+    }
+    // Early life nominal, late life derated.
+    assert_eq!(actions[0], HealthAction::Nominal);
+    assert!(
+        actions
+            .iter()
+            .rev()
+            .take(3)
+            .any(|a| *a == HealthAction::DerateFrequency),
+        "{actions:?}"
+    );
+    // Actions only escalate in the aging dimension (no flux events here).
+    assert!(actions
+        .iter()
+        .all(|a| matches!(a, HealthAction::Nominal | HealthAction::DerateFrequency)));
+}
+
+#[test]
+fn avionics_flux_profile() {
+    // High-altitude flight phases see flux bursts; the manager must
+    // respond immediately and return to nominal after landing.
+    let mut m = manager(0.2);
+    let (_, cruise) = m.observe(2e-7, 8.0, 320.0, 1);
+    assert_eq!(cruise, HealthAction::IncreaseScrubRate);
+    let (_, ground) = m.observe(1e-12, 16.0, 310.0, 2);
+    assert_eq!(ground, HealthAction::Nominal);
+}
+
+#[test]
+fn tight_guard_band_derates_earlier() {
+    let mut tight = manager(0.05);
+    let mut loose = manager(0.3);
+    let mut tight_year = None;
+    let mut loose_year = None;
+    for year in 0..40 {
+        let (_, a) = tight.observe(1e-12, 24.0 * 365.0, 390.0, year);
+        if a == HealthAction::DerateFrequency && tight_year.is_none() {
+            tight_year = Some(year);
+        }
+        let (_, b) = loose.observe(1e-12, 24.0 * 365.0, 390.0, year);
+        if b == HealthAction::DerateFrequency && loose_year.is_none() {
+            loose_year = Some(year);
+        }
+    }
+    let t = tight_year.expect("tight band must eventually derate");
+    if let Some(l) = loose_year {
+        assert!(t <= l, "tight {t} vs loose {l}");
+    }
+}
+
+#[test]
+fn health_state_tracks_temperature() {
+    let mut m = manager(0.15);
+    let (cold, _) = m.observe(1e-12, 24.0, 280.0, 1);
+    let (hot, _) = m.observe(1e-12, 24.0, 420.0, 1);
+    assert_eq!(cold.temperature_k, 280.0);
+    assert_eq!(hot.temperature_k, 420.0);
+    assert!(hot.remaining_life_years <= cold.remaining_life_years);
+}

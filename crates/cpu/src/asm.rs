@@ -1,0 +1,300 @@
+//! A small two-pass assembler for the ISA of [`crate::isa`].
+//!
+//! Syntax: one instruction per line; `#` comments; `label:` prefixes;
+//! branch targets may be labels (resolved to relative offsets) or
+//! numeric immediates; jump targets may be labels (absolute word
+//! addresses, assuming a base of 0) or numbers.
+
+use crate::isa::Instruction;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AssembleError> {
+    tok.trim()
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&r| r < 32)
+        .ok_or_else(|| err(line, format!("expected register, found `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AssembleError> {
+    let t = tok.trim();
+    let parsed = if let Some(h) = t.strip_prefix("0x") {
+        i64::from_str_radix(h, 16).ok()
+    } else if let Some(h) = t.strip_prefix("-0x") {
+        i64::from_str_radix(h, 16).ok().map(|v| -v)
+    } else {
+        t.parse::<i64>().ok()
+    };
+    parsed
+        .filter(|v| (-(1i64 << 31)..(1i64 << 32)).contains(v))
+        .map(|v| v as i32)
+        .ok_or_else(|| err(line, format!("expected immediate, found `{tok}`")))
+}
+
+/// Assembles a program.
+///
+/// # Errors
+///
+/// Returns the first [`AssembleError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_cpu::asm::assemble;
+/// let p = assemble("addi r1, r0, 1\nhalt")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), rescue_cpu::asm::AssembleError>(())
+/// ```
+pub fn assemble(text: &str) -> Result<Vec<Instruction>, AssembleError> {
+    // Pass 1: strip comments/labels, record label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let mut body = raw.split('#').next().unwrap_or("").trim().to_string();
+        while let Some(colon) = body.find(':') {
+            let label = body[..colon].trim().to_string();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            if labels
+                .insert(label.clone(), lines.len() as u32)
+                .is_some()
+            {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            body = body[colon + 1..].trim().to_string();
+        }
+        if !body.is_empty() {
+            lines.push((line_no, body));
+        }
+    }
+    // Pass 2: encode.
+    let mut program = Vec::with_capacity(lines.len());
+    for (idx, (line_no, body)) in lines.iter().enumerate() {
+        let line = *line_no;
+        let (mnemonic, rest) = body
+            .split_once(char::is_whitespace)
+            .map(|(m, r)| (m, r.trim()))
+            .unwrap_or((body.as_str(), ""));
+        let ops: Vec<&str> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(|s| s.trim()).collect()
+        };
+        let need = |n: usize| -> Result<(), AssembleError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("{mnemonic} takes {n} operands")))
+            }
+        };
+        let r3 = |ctor: fn(u8, u8, u8) -> Instruction| -> Result<Instruction, AssembleError> {
+            need(3)?;
+            Ok(ctor(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_reg(ops[2], line)?,
+            ))
+        };
+        let ri16 = |ctor: fn(u8, u8, i16) -> Instruction| -> Result<Instruction, AssembleError> {
+            need(3)?;
+            Ok(ctor(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_imm(ops[2], line)? as i16,
+            ))
+        };
+        let ru16 = |ctor: fn(u8, u8, u16) -> Instruction| -> Result<Instruction, AssembleError> {
+            need(3)?;
+            Ok(ctor(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_imm(ops[2], line)? as u16,
+            ))
+        };
+        let rr = |ctor: fn(u8, u8) -> Instruction| -> Result<Instruction, AssembleError> {
+            need(2)?;
+            Ok(ctor(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?))
+        };
+        // Branch target: label (relative) or immediate.
+        let branch_imm = |tok: &str| -> Result<i16, AssembleError> {
+            if let Some(&target) = labels.get(tok.trim()) {
+                Ok((target as i64 - idx as i64) as i16)
+            } else {
+                Ok(parse_imm(tok, line)? as i16)
+            }
+        };
+        let jump_target = |tok: &str| -> Result<u32, AssembleError> {
+            if let Some(&target) = labels.get(tok.trim()) {
+                Ok(target)
+            } else {
+                Ok(parse_imm(tok, line)? as u32)
+            }
+        };
+        let ins = match mnemonic {
+            "add" => r3(Instruction::Add)?,
+            "sub" => r3(Instruction::Sub)?,
+            "and" => r3(Instruction::And)?,
+            "or" => r3(Instruction::Or)?,
+            "xor" => r3(Instruction::Xor)?,
+            "sll" => r3(Instruction::Sll)?,
+            "srl" => r3(Instruction::Srl)?,
+            "sra" => r3(Instruction::Sra)?,
+            "mul" => r3(Instruction::Mul)?,
+            "addi" => ri16(Instruction::Addi)?,
+            "andi" => ru16(Instruction::Andi)?,
+            "ori" => ru16(Instruction::Ori)?,
+            "xori" => ru16(Instruction::Xori)?,
+            "movhi" => {
+                need(2)?;
+                Instruction::Movhi(parse_reg(ops[0], line)?, parse_imm(ops[1], line)? as u16)
+            }
+            "lw" | "sw" => {
+                need(2)?;
+                // rX, imm(rY)
+                let (imm, base) = ops[1]
+                    .split_once('(')
+                    .and_then(|(i, r)| r.strip_suffix(')').map(|r| (i, r)))
+                    .ok_or_else(|| err(line, "expected `imm(rN)`"))?;
+                let offset = if imm.trim().is_empty() {
+                    0
+                } else {
+                    parse_imm(imm, line)?
+                } as i16;
+                let rbase = parse_reg(base, line)?;
+                let rdata = parse_reg(ops[0], line)?;
+                if mnemonic == "lw" {
+                    Instruction::Lw(rdata, rbase, offset)
+                } else {
+                    Instruction::Sw(rbase, rdata, offset)
+                }
+            }
+            "sfeq" => rr(Instruction::Sfeq)?,
+            "sfne" => rr(Instruction::Sfne)?,
+            "sfltu" => rr(Instruction::Sfltu)?,
+            "sfgeu" => rr(Instruction::Sfgeu)?,
+            "bf" => {
+                need(1)?;
+                Instruction::Bf(branch_imm(ops[0])?)
+            }
+            "bnf" => {
+                need(1)?;
+                Instruction::Bnf(branch_imm(ops[0])?)
+            }
+            "j" => {
+                need(1)?;
+                Instruction::J(jump_target(ops[0])?)
+            }
+            "jal" => {
+                need(1)?;
+                Instruction::Jal(jump_target(ops[0])?)
+            }
+            "jr" => {
+                need(1)?;
+                Instruction::Jr(parse_reg(ops[0], line)?)
+            }
+            "nop" => Instruction::Nop,
+            "halt" => Instruction::Halt,
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        program.push(ins);
+    }
+    Ok(program)
+}
+
+/// Disassembles a program to text (labels are not reconstructed).
+pub fn disassemble(program: &[Instruction]) -> String {
+    program
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let p = assemble(
+            "start: addi r1, r0, 2\n\
+             sfne r1, r0\n\
+             bf start\n\
+             j end\n\
+             nop\n\
+             end: halt",
+        )
+        .unwrap();
+        assert_eq!(p[2], Instruction::Bf(-2));
+        assert_eq!(p[3], Instruction::J(5));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("lw r1, 8(r2)\nsw r3, -4(r4)\nlw r5, (r6)").unwrap();
+        assert_eq!(p[0], Instruction::Lw(1, 2, 8));
+        assert_eq!(p[1], Instruction::Sw(4, 3, -4));
+        assert_eq!(p[2], Instruction::Lw(5, 6, 0));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("movhi r1, 0xDEAD\nori r1, r1, 0xBEEF").unwrap();
+        assert_eq!(p[0], Instruction::Movhi(1, 0xDEAD));
+        assert_eq!(p[1], Instruction::Ori(1, 1, 0xBEEF));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(assemble("frobnicate r1").is_err());
+        assert!(assemble("add r1, r2").is_err());
+        assert!(assemble("add r1, r2, r99").is_err());
+        assert!(assemble("lw r1, nope").is_err());
+        assert!(assemble("x: nop\nx: nop").is_err());
+        let e = assemble("add r1").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn disassemble_round_trip() {
+        let src = "add r1, r2, r3\naddi r4, r5, -6\nhalt";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# header\n\nnop # trailing\n  \nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,556 @@
+//! The instruction-set simulator with architectural fault injection.
+
+use crate::isa::Instruction;
+use std::error::Error;
+use std::fmt;
+
+/// Architectural fault-injection points.
+///
+/// Permanent faults (`*Stuck*`) are applied continuously; the
+/// transient [`Cpu::flip_register_bit`] hook models SEUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuFault {
+    /// Bit `bit` of register `reg` stuck at `value`.
+    RegisterStuck {
+        /// Register index (1–31; r0 is hardwired 0).
+        reg: u8,
+        /// Bit position.
+        bit: u8,
+        /// Stuck value.
+        value: bool,
+    },
+    /// Bit `bit` of every ALU result stuck at `value` (a stuck line in
+    /// the result bus).
+    AluStuck {
+        /// Bit position.
+        bit: u8,
+        /// Stuck value.
+        value: bool,
+    },
+    /// The compare flag stuck at `value`.
+    FlagStuck {
+        /// Stuck value.
+        value: bool,
+    },
+    /// Bit `bit` of the program counter stuck at `value`.
+    PcStuck {
+        /// Bit position (word-address bit).
+        bit: u8,
+        /// Stuck value.
+        value: bool,
+    },
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// PC or data access outside memory.
+    OutOfBounds {
+        /// The offending address (word address).
+        address: u32,
+    },
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// The raw word.
+        word: u32,
+        /// The PC it was fetched from.
+        pc: u32,
+    },
+    /// The cycle budget ran out before `halt`.
+    Timeout {
+        /// Cycles executed.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { address } => write!(f, "access out of bounds: {address:#x}"),
+            ExecError::IllegalInstruction { word, pc } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+            ExecError::Timeout { cycles } => write!(f, "timeout after {cycles} cycles"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// The CPU state: 32 registers (r0 = 0), flag, PC, word-addressed
+/// memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    flag: bool,
+    memory: Vec<u32>,
+    halted: bool,
+    cycles: u64,
+    faults: Vec<CpuFault>,
+    /// Trace of (address, value) stores — the observable bus for
+    /// lockstep comparison and SBST signatures.
+    store_trace: Vec<(u32, u32)>,
+}
+
+impl Cpu {
+    /// Creates a CPU with `memory_words` words of zeroed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `memory_words == 0`.
+    pub fn new(memory_words: usize) -> Self {
+        assert!(memory_words > 0, "empty memory");
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            flag: false,
+            memory: vec![0; memory_words],
+            halted: false,
+            cycles: 0,
+            faults: Vec::new(),
+            store_trace: Vec::new(),
+        }
+    }
+
+    /// Loads a program at word address `base` and sets the PC there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program does not fit.
+    pub fn load(&mut self, program: &[Instruction], base: u32) {
+        assert!(
+            base as usize + program.len() <= self.memory.len(),
+            "program does not fit"
+        );
+        for (i, &ins) in program.iter().enumerate() {
+            self.memory[base as usize + i] = ins.encode();
+        }
+        self.pc = base;
+    }
+
+    /// Injects a permanent fault.
+    pub fn inject(&mut self, fault: CpuFault) {
+        self.faults.push(fault);
+        // Stuck register bits take effect immediately.
+        self.apply_stuck_state();
+    }
+
+    /// Flips one register bit (SEU).
+    ///
+    /// # Panics
+    ///
+    /// Panics for r0 or out-of-range bits.
+    pub fn flip_register_bit(&mut self, reg: u8, bit: u8) {
+        assert!(reg > 0 && reg < 32 && bit < 32, "bad flip target");
+        self.regs[reg as usize] ^= 1 << bit;
+    }
+
+    /// Register value (r0 reads 0).
+    pub fn register(&self, reg: u8) -> u32 {
+        if reg == 0 {
+            0
+        } else {
+            self.regs[reg as usize & 31]
+        }
+    }
+
+    /// Sets a register (writes to r0 are ignored).
+    pub fn set_register(&mut self, reg: u8, value: u32) {
+        if reg != 0 {
+            self.regs[reg as usize & 31] = value;
+            self.apply_stuck_state();
+        }
+    }
+
+    /// The program counter (word address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The compare flag.
+    pub fn flag(&self) -> bool {
+        self.flag
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Has the CPU executed `halt`?
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn memory_word(&self, address: u32) -> u32 {
+        self.memory[address as usize]
+    }
+
+    /// Writes a memory word directly (test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set_memory_word(&mut self, address: u32, value: u32) {
+        self.memory[address as usize] = value;
+    }
+
+    /// Memory size in words.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// The store trace (address, value) in program order.
+    pub fn store_trace(&self) -> &[(u32, u32)] {
+        &self.store_trace
+    }
+
+    fn apply_stuck_state(&mut self) {
+        for f in &self.faults {
+            if let CpuFault::RegisterStuck { reg, bit, value } = *f {
+                let r = reg as usize & 31;
+                if r != 0 {
+                    if value {
+                        self.regs[r] |= 1 << bit;
+                    } else {
+                        self.regs[r] &= !(1 << bit);
+                    }
+                }
+            }
+        }
+    }
+
+    fn alu_filter(&self, mut v: u32) -> u32 {
+        for f in &self.faults {
+            if let CpuFault::AluStuck { bit, value } = *f {
+                if value {
+                    v |= 1 << bit;
+                } else {
+                    v &= !(1 << bit);
+                }
+            }
+        }
+        v
+    }
+
+    fn flag_filter(&self, v: bool) -> bool {
+        for f in &self.faults {
+            if let CpuFault::FlagStuck { value } = *f {
+                return value;
+            }
+        }
+        v
+    }
+
+    fn pc_filter(&self, mut pc: u32) -> u32 {
+        for f in &self.faults {
+            if let CpuFault::PcStuck { bit, value } = *f {
+                if value {
+                    pc |= 1 << bit;
+                } else {
+                    pc &= !(1 << bit);
+                }
+            }
+        }
+        pc
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] on illegal access or instruction; a no-op once
+    /// halted.
+    pub fn step(&mut self) -> Result<(), ExecError> {
+        if self.halted {
+            return Ok(());
+        }
+        self.pc = self.pc_filter(self.pc);
+        let pc = self.pc;
+        let word = *self
+            .memory
+            .get(pc as usize)
+            .ok_or(ExecError::OutOfBounds { address: pc })?;
+        let ins = Instruction::decode(word).ok_or(ExecError::IllegalInstruction { word, pc })?;
+        self.cycles += 1;
+        let mut next_pc = pc.wrapping_add(1);
+        let reg = |c: &Cpu, r: u8| c.register(r);
+        match ins {
+            Instruction::Add(d, a, b) => {
+                let v = self.alu_filter(reg(self, a).wrapping_add(reg(self, b)));
+                self.set_register(d, v);
+            }
+            Instruction::Sub(d, a, b) => {
+                let v = self.alu_filter(reg(self, a).wrapping_sub(reg(self, b)));
+                self.set_register(d, v);
+            }
+            Instruction::And(d, a, b) => {
+                let v = self.alu_filter(reg(self, a) & reg(self, b));
+                self.set_register(d, v);
+            }
+            Instruction::Or(d, a, b) => {
+                let v = self.alu_filter(reg(self, a) | reg(self, b));
+                self.set_register(d, v);
+            }
+            Instruction::Xor(d, a, b) => {
+                let v = self.alu_filter(reg(self, a) ^ reg(self, b));
+                self.set_register(d, v);
+            }
+            Instruction::Sll(d, a, b) => {
+                let v = self.alu_filter(reg(self, a) << (reg(self, b) & 31));
+                self.set_register(d, v);
+            }
+            Instruction::Srl(d, a, b) => {
+                let v = self.alu_filter(reg(self, a) >> (reg(self, b) & 31));
+                self.set_register(d, v);
+            }
+            Instruction::Sra(d, a, b) => {
+                let v = self.alu_filter((reg(self, a) as i32 >> (reg(self, b) & 31)) as u32);
+                self.set_register(d, v);
+            }
+            Instruction::Mul(d, a, b) => {
+                let v = self.alu_filter(reg(self, a).wrapping_mul(reg(self, b)));
+                self.set_register(d, v);
+            }
+            Instruction::Addi(d, a, i) => {
+                let v = self.alu_filter(reg(self, a).wrapping_add(i as i32 as u32));
+                self.set_register(d, v);
+            }
+            Instruction::Andi(d, a, i) => {
+                let v = self.alu_filter(reg(self, a) & i as u32);
+                self.set_register(d, v);
+            }
+            Instruction::Ori(d, a, i) => {
+                let v = self.alu_filter(reg(self, a) | i as u32);
+                self.set_register(d, v);
+            }
+            Instruction::Xori(d, a, i) => {
+                let v = self.alu_filter(reg(self, a) ^ i as u32);
+                self.set_register(d, v);
+            }
+            Instruction::Movhi(d, i) => {
+                let v = self.alu_filter((i as u32) << 16);
+                self.set_register(d, v);
+            }
+            Instruction::Lw(d, a, i) => {
+                let addr = reg(self, a).wrapping_add(i as i32 as u32);
+                let v = *self
+                    .memory
+                    .get(addr as usize)
+                    .ok_or(ExecError::OutOfBounds { address: addr })?;
+                self.set_register(d, v);
+            }
+            Instruction::Sw(a, b, i) => {
+                let addr = reg(self, a).wrapping_add(i as i32 as u32);
+                let v = reg(self, b);
+                let slot = self
+                    .memory
+                    .get_mut(addr as usize)
+                    .ok_or(ExecError::OutOfBounds { address: addr })?;
+                *slot = v;
+                self.store_trace.push((addr, v));
+            }
+            Instruction::Sfeq(a, b) => self.flag = self.flag_filter(reg(self, a) == reg(self, b)),
+            Instruction::Sfne(a, b) => self.flag = self.flag_filter(reg(self, a) != reg(self, b)),
+            Instruction::Sfltu(a, b) => self.flag = self.flag_filter(reg(self, a) < reg(self, b)),
+            Instruction::Sfgeu(a, b) => self.flag = self.flag_filter(reg(self, a) >= reg(self, b)),
+            Instruction::Bf(i) => {
+                if self.flag {
+                    next_pc = pc.wrapping_add(i as i32 as u32);
+                }
+            }
+            Instruction::Bnf(i) => {
+                if !self.flag {
+                    next_pc = pc.wrapping_add(i as i32 as u32);
+                }
+            }
+            Instruction::J(t) => next_pc = t,
+            Instruction::Jal(t) => {
+                self.set_register(9, pc + 1);
+                next_pc = t;
+            }
+            Instruction::Jr(a) => next_pc = reg(self, a),
+            Instruction::Nop => {}
+            Instruction::Halt => {
+                self.halted = true;
+                return Ok(());
+            }
+        }
+        self.pc = self.pc_filter(next_pc);
+        Ok(())
+    }
+
+    /// Runs until `halt` or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Timeout`] when the budget runs out, or any step
+    /// error.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), ExecError> {
+        while !self.halted {
+            if self.cycles >= max_cycles {
+                return Err(ExecError::Timeout {
+                    cycles: self.cycles,
+                });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_program(text: &str) -> Cpu {
+        let program = assemble(text).expect("valid asm");
+        let mut cpu = Cpu::new(4096);
+        cpu.load(&program, 0);
+        cpu.run(100_000).expect("clean run");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let cpu = run_program(
+            "addi r1, r0, 10\n\
+             addi r2, r0, 32\n\
+             add  r3, r1, r2\n\
+             sw   r3, 100(r0)\n\
+             halt",
+        );
+        assert_eq!(cpu.memory_word(100), 42);
+        assert_eq!(cpu.store_trace(), &[(100, 42)]);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn r0_is_hardwired() {
+        let cpu = run_program("addi r0, r0, 99\nsw r0, 5(r0)\nhalt");
+        assert_eq!(cpu.memory_word(5), 0);
+    }
+
+    #[test]
+    fn branching_loop() {
+        // sum 1..=5 into r2
+        let cpu = run_program(
+            "addi r1, r0, 5\n\
+             addi r2, r0, 0\n\
+             loop: add r2, r2, r1\n\
+             addi r1, r1, -1\n\
+             sfne r1, r0\n\
+             bf loop\n\
+             sw r2, 0(r0)\n\
+             halt",
+        );
+        assert_eq!(cpu.memory_word(0), 15);
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let cpu = run_program(
+            "addi r1, r0, 1\n\
+             addi r2, r0, 4\n\
+             sll r3, r1, r2\n\
+             ori r3, r3, 2\n\
+             xori r3, r3, 1\n\
+             sw r3, 0(r0)\n\
+             halt",
+        );
+        assert_eq!(cpu.memory_word(0), 19); // (1<<4)|2 ^1
+    }
+
+    #[test]
+    fn sra_is_arithmetic() {
+        let cpu = run_program(
+            "addi r1, r0, -8\n\
+             addi r2, r0, 2\n\
+             sra r3, r1, r2\n\
+             sw r3, 0(r0)\n\
+             halt",
+        );
+        assert_eq!(cpu.memory_word(0) as i32, -2);
+    }
+
+    #[test]
+    fn jal_and_jr() {
+        let cpu = run_program(
+            "jal 3\n\
+             sw r5, 0(r0)\n\
+             halt\n\
+             addi r5, r0, 7\n\
+             jr r9",
+        );
+        assert_eq!(cpu.memory_word(0), 7);
+    }
+
+    #[test]
+    fn alu_stuck_fault_corrupts_results() {
+        let program = assemble("addi r1, r0, 3\nadd r2, r1, r1\nsw r2, 0(r0)\nhalt").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load(&program, 0);
+        cpu.inject(CpuFault::AluStuck { bit: 0, value: true });
+        cpu.run(100).unwrap();
+        // 3 -> forced odd: r1 = 3 (already odd), r2 = 6|1 = 7
+        assert_eq!(cpu.memory_word(0), 7);
+    }
+
+    #[test]
+    fn register_stuck_fault() {
+        let program = assemble("addi r1, r0, 8\nsw r1, 0(r0)\nhalt").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load(&program, 0);
+        cpu.inject(CpuFault::RegisterStuck {
+            reg: 1,
+            bit: 3,
+            value: false,
+        });
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.memory_word(0), 0, "bit 3 of 8 is stuck low");
+    }
+
+    #[test]
+    fn flag_stuck_breaks_loops() {
+        let program = assemble(
+            "addi r1, r0, 3\n\
+             loop: addi r1, r1, -1\n\
+             sfne r1, r0\n\
+             bf loop\n\
+             halt",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load(&program, 0);
+        cpu.inject(CpuFault::FlagStuck { value: true });
+        // Infinite loop -> timeout.
+        assert!(matches!(cpu.run(1000), Err(ExecError::Timeout { .. })));
+    }
+
+    #[test]
+    fn seu_flip_changes_state() {
+        let mut cpu = Cpu::new(64);
+        cpu.set_register(5, 0b100);
+        cpu.flip_register_bit(5, 2);
+        assert_eq!(cpu.register(5), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ExecError::OutOfBounds { address: 0x10 };
+        assert!(e.to_string().contains("0x10"));
+        let mut cpu = Cpu::new(4);
+        cpu.set_memory_word(0, 63 << 26);
+        assert!(matches!(
+            cpu.step(),
+            Err(ExecError::IllegalInstruction { .. })
+        ));
+    }
+}

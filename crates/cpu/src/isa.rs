@@ -1,0 +1,279 @@
+//! The OR1K-flavoured instruction set: encoding, decoding, display.
+//!
+//! A 32-bit RISC subset sufficient for the AutoSoC workloads: 3-operand
+//! ALU ops, immediates, loads/stores, compare-and-flag plus conditional
+//! branches (the OR1K `l.sfxx` / `l.bf` style), jumps and `halt`.
+//!
+//! Encoding (custom, documented here; the original OR1200 encoding is
+//! not load-bearing for any experiment): bits `31..26` opcode,
+//! `25..21` rd, `20..16` ra, `15..11` rb, `15..0` imm16 (sign- or
+//! zero-extended per instruction), `25..0` target for jumps.
+
+use std::fmt;
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `rd = ra + rb`
+    Add(u8, u8, u8),
+    /// `rd = ra - rb`
+    Sub(u8, u8, u8),
+    /// `rd = ra & rb`
+    And(u8, u8, u8),
+    /// `rd = ra | rb`
+    Or(u8, u8, u8),
+    /// `rd = ra ^ rb`
+    Xor(u8, u8, u8),
+    /// `rd = ra << (rb & 31)`
+    Sll(u8, u8, u8),
+    /// `rd = ra >> (rb & 31)` (logical)
+    Srl(u8, u8, u8),
+    /// `rd = ra >> (rb & 31)` (arithmetic)
+    Sra(u8, u8, u8),
+    /// `rd = ra * rb` (wrapping)
+    Mul(u8, u8, u8),
+    /// `rd = ra + sext(imm)`
+    Addi(u8, u8, i16),
+    /// `rd = ra & zext(imm)`
+    Andi(u8, u8, u16),
+    /// `rd = ra | zext(imm)`
+    Ori(u8, u8, u16),
+    /// `rd = ra ^ zext(imm)`
+    Xori(u8, u8, u16),
+    /// `rd = imm << 16`
+    Movhi(u8, u16),
+    /// `rd = mem[ra + sext(imm)]` (word)
+    Lw(u8, u8, i16),
+    /// `mem[ra + sext(imm)] = rb` (word; encoded rd field = rb)
+    Sw(u8, u8, i16),
+    /// `flag = (ra == rb)`
+    Sfeq(u8, u8),
+    /// `flag = (ra != rb)`
+    Sfne(u8, u8),
+    /// `flag = (ra < rb)` unsigned
+    Sfltu(u8, u8),
+    /// `flag = (ra >= rb)` unsigned
+    Sfgeu(u8, u8),
+    /// Branch to `pc + sext(imm)` when flag set.
+    Bf(i16),
+    /// Branch to `pc + sext(imm)` when flag clear.
+    Bnf(i16),
+    /// Unconditional jump to word address `target`.
+    J(u32),
+    /// Jump and link (`r9 = pc + 1`).
+    Jal(u32),
+    /// Jump to register `ra`.
+    Jr(u8),
+    /// No operation.
+    Nop,
+    /// Stop the simulation.
+    Halt,
+}
+
+const OP_ADD: u32 = 0;
+const OP_SUB: u32 = 1;
+const OP_AND: u32 = 2;
+const OP_OR: u32 = 3;
+const OP_XOR: u32 = 4;
+const OP_SLL: u32 = 5;
+const OP_SRL: u32 = 6;
+const OP_SRA: u32 = 7;
+const OP_MUL: u32 = 8;
+const OP_ADDI: u32 = 9;
+const OP_ANDI: u32 = 10;
+const OP_ORI: u32 = 11;
+const OP_XORI: u32 = 12;
+const OP_MOVHI: u32 = 13;
+const OP_LW: u32 = 14;
+const OP_SW: u32 = 15;
+const OP_SFEQ: u32 = 16;
+const OP_SFNE: u32 = 17;
+const OP_SFLTU: u32 = 18;
+const OP_SFGEU: u32 = 19;
+const OP_BF: u32 = 20;
+const OP_BNF: u32 = 21;
+const OP_J: u32 = 22;
+const OP_JAL: u32 = 23;
+const OP_JR: u32 = 24;
+const OP_NOP: u32 = 25;
+const OP_HALT: u32 = 26;
+
+impl Instruction {
+    /// Encodes to the 32-bit word format.
+    pub fn encode(self) -> u32 {
+        let r3 = |op: u32, d: u8, a: u8, b: u8| {
+            op << 26 | (d as u32 & 31) << 21 | (a as u32 & 31) << 16 | (b as u32 & 31) << 11
+        };
+        let ri = |op: u32, d: u8, a: u8, imm: u16| {
+            op << 26 | (d as u32 & 31) << 21 | (a as u32 & 31) << 16 | imm as u32
+        };
+        match self {
+            Instruction::Add(d, a, b) => r3(OP_ADD, d, a, b),
+            Instruction::Sub(d, a, b) => r3(OP_SUB, d, a, b),
+            Instruction::And(d, a, b) => r3(OP_AND, d, a, b),
+            Instruction::Or(d, a, b) => r3(OP_OR, d, a, b),
+            Instruction::Xor(d, a, b) => r3(OP_XOR, d, a, b),
+            Instruction::Sll(d, a, b) => r3(OP_SLL, d, a, b),
+            Instruction::Srl(d, a, b) => r3(OP_SRL, d, a, b),
+            Instruction::Sra(d, a, b) => r3(OP_SRA, d, a, b),
+            Instruction::Mul(d, a, b) => r3(OP_MUL, d, a, b),
+            Instruction::Addi(d, a, i) => ri(OP_ADDI, d, a, i as u16),
+            Instruction::Andi(d, a, i) => ri(OP_ANDI, d, a, i),
+            Instruction::Ori(d, a, i) => ri(OP_ORI, d, a, i),
+            Instruction::Xori(d, a, i) => ri(OP_XORI, d, a, i),
+            Instruction::Movhi(d, i) => ri(OP_MOVHI, d, 0, i),
+            Instruction::Lw(d, a, i) => ri(OP_LW, d, a, i as u16),
+            Instruction::Sw(a, b, i) => ri(OP_SW, b, a, i as u16),
+            Instruction::Sfeq(a, b) => r3(OP_SFEQ, 0, a, b),
+            Instruction::Sfne(a, b) => r3(OP_SFNE, 0, a, b),
+            Instruction::Sfltu(a, b) => r3(OP_SFLTU, 0, a, b),
+            Instruction::Sfgeu(a, b) => r3(OP_SFGEU, 0, a, b),
+            Instruction::Bf(i) => OP_BF << 26 | (i as u16) as u32,
+            Instruction::Bnf(i) => OP_BNF << 26 | (i as u16) as u32,
+            Instruction::J(t) => OP_J << 26 | (t & 0x03FF_FFFF),
+            Instruction::Jal(t) => OP_JAL << 26 | (t & 0x03FF_FFFF),
+            Instruction::Jr(a) => OP_JR << 26 | (a as u32 & 31) << 16,
+            Instruction::Nop => OP_NOP << 26,
+            Instruction::Halt => OP_HALT << 26,
+        }
+    }
+
+    /// Decodes a 32-bit word; unknown opcodes decode to `None`.
+    pub fn decode(word: u32) -> Option<Instruction> {
+        let op = word >> 26;
+        let d = (word >> 21 & 31) as u8;
+        let a = (word >> 16 & 31) as u8;
+        let b = (word >> 11 & 31) as u8;
+        let imm = (word & 0xFFFF) as u16;
+        let simm = imm as i16;
+        Some(match op {
+            OP_ADD => Instruction::Add(d, a, b),
+            OP_SUB => Instruction::Sub(d, a, b),
+            OP_AND => Instruction::And(d, a, b),
+            OP_OR => Instruction::Or(d, a, b),
+            OP_XOR => Instruction::Xor(d, a, b),
+            OP_SLL => Instruction::Sll(d, a, b),
+            OP_SRL => Instruction::Srl(d, a, b),
+            OP_SRA => Instruction::Sra(d, a, b),
+            OP_MUL => Instruction::Mul(d, a, b),
+            OP_ADDI => Instruction::Addi(d, a, simm),
+            OP_ANDI => Instruction::Andi(d, a, imm),
+            OP_ORI => Instruction::Ori(d, a, imm),
+            OP_XORI => Instruction::Xori(d, a, imm),
+            OP_MOVHI => Instruction::Movhi(d, imm),
+            OP_LW => Instruction::Lw(d, a, simm),
+            OP_SW => Instruction::Sw(a, d, simm),
+            OP_SFEQ => Instruction::Sfeq(a, b),
+            OP_SFNE => Instruction::Sfne(a, b),
+            OP_SFLTU => Instruction::Sfltu(a, b),
+            OP_SFGEU => Instruction::Sfgeu(a, b),
+            OP_BF => Instruction::Bf(simm),
+            OP_BNF => Instruction::Bnf(simm),
+            OP_J => Instruction::J(word & 0x03FF_FFFF),
+            OP_JAL => Instruction::Jal(word & 0x03FF_FFFF),
+            OP_JR => Instruction::Jr(a),
+            OP_NOP => Instruction::Nop,
+            OP_HALT => Instruction::Halt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Add(d, a, b) => write!(f, "add r{d}, r{a}, r{b}"),
+            Instruction::Sub(d, a, b) => write!(f, "sub r{d}, r{a}, r{b}"),
+            Instruction::And(d, a, b) => write!(f, "and r{d}, r{a}, r{b}"),
+            Instruction::Or(d, a, b) => write!(f, "or r{d}, r{a}, r{b}"),
+            Instruction::Xor(d, a, b) => write!(f, "xor r{d}, r{a}, r{b}"),
+            Instruction::Sll(d, a, b) => write!(f, "sll r{d}, r{a}, r{b}"),
+            Instruction::Srl(d, a, b) => write!(f, "srl r{d}, r{a}, r{b}"),
+            Instruction::Sra(d, a, b) => write!(f, "sra r{d}, r{a}, r{b}"),
+            Instruction::Mul(d, a, b) => write!(f, "mul r{d}, r{a}, r{b}"),
+            Instruction::Addi(d, a, i) => write!(f, "addi r{d}, r{a}, {i}"),
+            Instruction::Andi(d, a, i) => write!(f, "andi r{d}, r{a}, {i}"),
+            Instruction::Ori(d, a, i) => write!(f, "ori r{d}, r{a}, {i}"),
+            Instruction::Xori(d, a, i) => write!(f, "xori r{d}, r{a}, {i}"),
+            Instruction::Movhi(d, i) => write!(f, "movhi r{d}, {i}"),
+            Instruction::Lw(d, a, i) => write!(f, "lw r{d}, {i}(r{a})"),
+            Instruction::Sw(a, b, i) => write!(f, "sw r{b}, {i}(r{a})"),
+            Instruction::Sfeq(a, b) => write!(f, "sfeq r{a}, r{b}"),
+            Instruction::Sfne(a, b) => write!(f, "sfne r{a}, r{b}"),
+            Instruction::Sfltu(a, b) => write!(f, "sfltu r{a}, r{b}"),
+            Instruction::Sfgeu(a, b) => write!(f, "sfgeu r{a}, r{b}"),
+            Instruction::Bf(i) => write!(f, "bf {i}"),
+            Instruction::Bnf(i) => write!(f, "bnf {i}"),
+            Instruction::J(t) => write!(f, "j {t}"),
+            Instruction::Jal(t) => write!(f, "jal {t}"),
+            Instruction::Jr(a) => write!(f, "jr r{a}"),
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// All register-register ALU opcodes, for SBST enumeration.
+pub fn alu_opcodes() -> Vec<fn(u8, u8, u8) -> Instruction> {
+    vec![
+        Instruction::Add,
+        Instruction::Sub,
+        Instruction::And,
+        Instruction::Or,
+        Instruction::Xor,
+        Instruction::Sll,
+        Instruction::Srl,
+        Instruction::Sra,
+        Instruction::Mul,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = vec![
+            Instruction::Add(1, 2, 3),
+            Instruction::Sub(31, 30, 29),
+            Instruction::Mul(4, 5, 6),
+            Instruction::Addi(7, 8, -42),
+            Instruction::Andi(9, 10, 0xBEEF),
+            Instruction::Movhi(11, 0xDEAD),
+            Instruction::Lw(12, 13, 100),
+            Instruction::Sw(14, 15, -4),
+            Instruction::Sfeq(16, 17),
+            Instruction::Sfltu(18, 19),
+            Instruction::Bf(-10),
+            Instruction::Bnf(200),
+            Instruction::J(12345),
+            Instruction::Jal(77),
+            Instruction::Jr(9),
+            Instruction::Nop,
+            Instruction::Halt,
+        ];
+        for i in cases {
+            assert_eq!(Instruction::decode(i.encode()), Some(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_none() {
+        assert_eq!(Instruction::decode(63 << 26), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::Add(1, 2, 3).to_string(), "add r1, r2, r3");
+        assert_eq!(Instruction::Lw(1, 2, -4).to_string(), "lw r1, -4(r2)");
+        assert_eq!(Instruction::Sw(2, 1, 8).to_string(), "sw r1, 8(r2)");
+    }
+
+    #[test]
+    fn alu_opcode_list() {
+        assert_eq!(alu_opcodes().len(), 9);
+        let add = alu_opcodes()[0];
+        assert_eq!(add(1, 2, 3), Instruction::Add(1, 2, 3));
+    }
+}

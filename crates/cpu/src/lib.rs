@@ -1,0 +1,53 @@
+//! CPU substrate and AutoSoC benchmark for RESCUE-rs.
+//!
+//! The RESCUE AutoSoC benchmark (paper Section IV.B) is "a SoC hardware
+//! based on the OR1200 CPU … available in a number of configurations,
+//! including different safety mechanisms to increase reliability, such
+//! as LockStep for the CPU and ECCs for the memories". This crate
+//! provides the executable equivalent:
+//!
+//! * [`isa`] + [`asm`] — an OR1K-flavoured 32-bit RISC subset with a
+//!   binary encoding, disassembler and a small assembler.
+//! * [`cpu`] — the instruction-set simulator with architectural fault
+//!   injection points (register bits, ALU lanes, PC, flag).
+//! * [`programs`] — representative automotive workloads (CRC-32, FIR
+//!   filter, bubble sort, matrix multiply).
+//! * [`sbst`] — software-based self-test generation and grading
+//!   (paper Section III.A: \[23\], \[28\], \[33\]), including
+//!   *safe-in-context* fault identification.
+//! * [`autosoc`] — the benchmark configurations (baseline, lockstep,
+//!   ECC memory) under SEU campaigns (experiment E8).
+//!
+//! # Examples
+//!
+//! Assemble and run a small program:
+//!
+//! ```
+//! # use std::error::Error;
+//! use rescue_cpu::asm::assemble;
+//! use rescue_cpu::cpu::Cpu;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let program = assemble(
+//!     "addi r1, r0, 21\n\
+//!      add  r2, r1, r1\n\
+//!      sw   r2, 0(r0)\n\
+//!      halt",
+//! )?;
+//! let mut cpu = Cpu::new(1024);
+//! cpu.load(&program, 0);
+//! cpu.run(100)?;
+//! assert_eq!(cpu.memory_word(0), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod autosoc;
+pub mod cpu;
+pub mod isa;
+pub mod programs;
+pub mod sbst;
+
+pub use cpu::{Cpu, CpuFault, ExecError};
+pub use isa::Instruction;

@@ -1,0 +1,327 @@
+//! Representative automotive workloads for the AutoSoC benchmark.
+//!
+//! "The suite also includes some software to be run on the benchmark
+//! hardware … as well as a few representative applications" (paper
+//! Section IV.B). Each program reads its inputs from a fixed memory
+//! region and writes results (plus a final completion marker) back.
+
+use crate::asm::{assemble, AssembleError};
+use crate::isa::Instruction;
+
+/// Base word address of a program's input data.
+pub const DATA_BASE: u32 = 512;
+/// Base word address of a program's outputs.
+pub const RESULT_BASE: u32 = 768;
+/// A program stores this marker at `RESULT_BASE` when it finishes.
+pub const DONE_MARKER: u32 = 0xD0_0D;
+
+/// A packaged workload: code plus its input data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human name.
+    pub name: &'static str,
+    /// The program.
+    pub program: Vec<Instruction>,
+    /// Words copied to [`DATA_BASE`] before the run.
+    pub data: Vec<u32>,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+/// CRC-32 (bitwise, polynomial 0xEDB88320) over 16 data words.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a bug if they ever occur).
+pub fn crc32() -> Result<Workload, AssembleError> {
+    let program = assemble(
+        "addi r1, r0, 512      # data pointer\n\
+         addi r2, r0, 16       # words\n\
+         addi r3, r0, -1       # crc = 0xFFFFFFFF\n\
+         movhi r4, 0xEDB8      # poly\n\
+         ori  r4, r4, 0x8320\n\
+         word: lw r5, (r1)\n\
+         xor  r3, r3, r5\n\
+         addi r6, r0, 32       # bit counter\n\
+         bit: andi r7, r3, 1\n\
+         addi r8, r0, 1\n\
+         srl  r3, r3, r8\n\
+         sfeq r7, r0\n\
+         bf   skip\n\
+         xor  r3, r3, r4\n\
+         skip: addi r6, r6, -1\n\
+         sfne r6, r0\n\
+         bf   bit\n\
+         addi r1, r1, 1\n\
+         addi r2, r2, -1\n\
+         sfne r2, r0\n\
+         bf   word\n\
+         sw   r3, 1(r0)        # scratch for debug\n\
+         sw   r3, 769(r0)      # result\n\
+         addi r9, r0, 0xD0\n\
+         addi r10, r0, 0x0D\n\
+         sll  r9, r9, r10      # dummy arithmetic fingerprint.. keep simple\n\
+         movhi r9, 0\n\
+         ori  r9, r9, 0xD00D\n\
+         sw   r9, 768(r0)      # done marker\n\
+         halt",
+    )?;
+    Ok(Workload {
+        name: "crc32",
+        program,
+        data: (0..16u32).map(|i| 0x1234_5678u32.wrapping_mul(i + 1)).collect(),
+        max_cycles: 60_000,
+    })
+}
+
+/// 8-tap FIR filter over 24 samples (Q0 integer arithmetic).
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn fir() -> Result<Workload, AssembleError> {
+    // data layout: 8 taps at DATA_BASE, 24+8 samples after.
+    let program = assemble(
+        "addi r1, r0, 0        # output index\n\
+         addi r2, r0, 24       # outputs\n\
+         outer: addi r3, r0, 8 # tap counter\n\
+         addi r4, r0, 0        # acc\n\
+         addi r5, r0, 512      # taps\n\
+         addi r6, r0, 520      # samples base\n\
+         add  r6, r6, r1\n\
+         inner: lw r7, (r5)\n\
+         lw   r8, (r6)\n\
+         mul  r7, r7, r8\n\
+         add  r4, r4, r7\n\
+         addi r5, r5, 1\n\
+         addi r6, r6, 1\n\
+         addi r3, r3, -1\n\
+         sfne r3, r0\n\
+         bf   inner\n\
+         addi r9, r0, 769\n\
+         add  r9, r9, r1\n\
+         sw   r4, (r9)\n\
+         addi r1, r1, 1\n\
+         sfltu r1, r2\n\
+         bf   outer\n\
+         movhi r9, 0\n\
+         ori  r9, r9, 0xD00D\n\
+         sw   r9, 768(r0)\n\
+         halt",
+    )?;
+    let mut data: Vec<u32> = vec![1, 2, 3, 4, 4, 3, 2, 1]; // taps
+    data.extend((0..32u32).map(|i| (i * 7 + 3) % 50)); // samples
+    Ok(Workload {
+        name: "fir",
+        program,
+        data,
+        max_cycles: 60_000,
+    })
+}
+
+/// Bubble sort of 16 words (in place, results copied out).
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn bubble_sort() -> Result<Workload, AssembleError> {
+    let program = assemble(
+        "addi r1, r0, 15       # outer count\n\
+         outer: addi r2, r0, 512\n\
+         addi r3, r0, 0        # inner index\n\
+         inner: lw r4, (r2)\n\
+         lw   r5, 1(r2)\n\
+         sfltu r5, r4\n\
+         bnf  noswap\n\
+         sw   r5, (r2)\n\
+         sw   r4, 1(r2)\n\
+         noswap: addi r2, r2, 1\n\
+         addi r3, r3, 1\n\
+         sfltu r3, r1\n\
+         bf   inner\n\
+         addi r1, r1, -1\n\
+         sfne r1, r0\n\
+         bf   outer\n\
+         # copy out\n\
+         addi r2, r0, 512\n\
+         addi r3, r0, 769\n\
+         addi r1, r0, 16\n\
+         copy: lw r4, (r2)\n\
+         sw   r4, (r3)\n\
+         addi r2, r2, 1\n\
+         addi r3, r3, 1\n\
+         addi r1, r1, -1\n\
+         sfne r1, r0\n\
+         bf   copy\n\
+         movhi r9, 0\n\
+         ori  r9, r9, 0xD00D\n\
+         sw   r9, 768(r0)\n\
+         halt",
+    )?;
+    Ok(Workload {
+        name: "bubble_sort",
+        program,
+        data: vec![
+            93, 2, 77, 15, 0, 41, 8, 60, 23, 99, 5, 31, 74, 12, 55, 38,
+        ],
+        max_cycles: 60_000,
+    })
+}
+
+/// 4×4 integer matrix multiplication.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn matmul() -> Result<Workload, AssembleError> {
+    let program = assemble(
+        "addi r1, r0, 0        # i\n\
+         rows: addi r2, r0, 0  # j\n\
+         cols: addi r3, r0, 0  # k\n\
+         addi r4, r0, 0        # acc\n\
+         dot: addi r5, r0, 4\n\
+         mul  r6, r1, r5       # i*4\n\
+         add  r6, r6, r3       # +k\n\
+         addi r7, r0, 512\n\
+         add  r7, r7, r6\n\
+         lw   r8, (r7)         # a[i][k]\n\
+         mul  r6, r3, r5       # k*4\n\
+         add  r6, r6, r2\n\
+         addi r7, r0, 528      # b base\n\
+         add  r7, r7, r6\n\
+         lw   r9, (r7)         # b[k][j]\n\
+         mul  r8, r8, r9\n\
+         add  r4, r4, r8\n\
+         addi r3, r3, 1\n\
+         addi r10, r0, 4\n\
+         sfltu r3, r10\n\
+         bf   dot\n\
+         mul  r6, r1, r10\n\
+         add  r6, r6, r2\n\
+         addi r7, r0, 769\n\
+         add  r7, r7, r6\n\
+         sw   r4, (r7)\n\
+         addi r2, r2, 1\n\
+         sfltu r2, r10\n\
+         bf   cols\n\
+         addi r1, r1, 1\n\
+         sfltu r1, r10\n\
+         bf   rows\n\
+         movhi r9, 0\n\
+         ori  r9, r9, 0xD00D\n\
+         sw   r9, 768(r0)\n\
+         halt",
+    )?;
+    let mut data = Vec::new();
+    data.extend((1..=16u32).collect::<Vec<_>>()); // a
+    data.extend((0..16u32).map(|i| (i * 3 + 1) % 9)); // b
+    Ok(Workload {
+        name: "matmul",
+        program,
+        data,
+        max_cycles: 60_000,
+    })
+}
+
+/// All packaged workloads.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn all() -> Result<Vec<Workload>, AssembleError> {
+    Ok(vec![crc32()?, fir()?, bubble_sort()?, matmul()?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+
+    fn run(w: &Workload) -> Cpu {
+        let mut cpu = Cpu::new(2048);
+        cpu.load(&w.program, 0);
+        for (i, &d) in w.data.iter().enumerate() {
+            cpu.set_memory_word(DATA_BASE + i as u32, d);
+        }
+        cpu.run(w.max_cycles).expect("workload runs clean");
+        cpu
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        let w = crc32().unwrap();
+        let cpu = run(&w);
+        assert_eq!(cpu.memory_word(RESULT_BASE), DONE_MARKER);
+        // Reference CRC-32 (bitwise, no final xor) over the same words.
+        let mut crc = 0xFFFF_FFFFu32;
+        for &word in &w.data {
+            crc ^= word;
+            for _ in 0..32 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb == 1 {
+                    crc ^= 0xEDB8_8320;
+                }
+            }
+        }
+        assert_eq!(cpu.memory_word(RESULT_BASE + 1), crc);
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let w = fir().unwrap();
+        let cpu = run(&w);
+        assert_eq!(cpu.memory_word(RESULT_BASE), DONE_MARKER);
+        let taps = &w.data[..8];
+        let samples = &w.data[8..];
+        for out in 0..24usize {
+            let expect: u32 = (0..8)
+                .map(|t| taps[t].wrapping_mul(samples[out + t]))
+                .fold(0u32, u32::wrapping_add);
+            assert_eq!(cpu.memory_word(RESULT_BASE + 1 + out as u32), expect, "y[{out}]");
+        }
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let w = bubble_sort().unwrap();
+        let cpu = run(&w);
+        assert_eq!(cpu.memory_word(RESULT_BASE), DONE_MARKER);
+        let mut expect = w.data.clone();
+        expect.sort_unstable();
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(cpu.memory_word(RESULT_BASE + 1 + i as u32), e);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let w = matmul().unwrap();
+        let cpu = run(&w);
+        assert_eq!(cpu.memory_word(RESULT_BASE), DONE_MARKER);
+        let a = &w.data[..16];
+        let b = &w.data[16..];
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect: u32 = (0..4)
+                    .map(|k| a[i * 4 + k].wrapping_mul(b[k * 4 + j]))
+                    .fold(0u32, u32::wrapping_add);
+                assert_eq!(
+                    cpu.memory_word(RESULT_BASE + 1 + (i * 4 + j) as u32),
+                    expect,
+                    "c[{i}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_workloads_package() {
+        let ws = all().unwrap();
+        assert_eq!(ws.len(), 4);
+        for w in &ws {
+            assert!(!w.program.is_empty());
+            assert!(w.max_cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Software-based self-test (SBST) generation and grading.
+//!
+//! "The proposed techniques belong to the general category of functional
+//! ones (Software-based Self-test)" (paper Section III.A). An SBST
+//! program exercises the processor's units with high-toggle patterns and
+//! compacts every result into a software MISR signature stored to
+//! memory; a fault is detected when the observable store stream differs
+//! from the golden one (or the program traps/times out — a DUE).
+
+use crate::asm::assemble;
+use crate::cpu::{Cpu, CpuFault};
+use crate::isa::Instruction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The architectural fault universe graded by SBST campaigns.
+///
+/// Register bits for `r1..=r31`, ALU result lines, the flag, and the
+/// low PC bits.
+pub fn cpu_fault_universe() -> Vec<CpuFault> {
+    let mut faults = Vec::new();
+    for reg in 1..=31u8 {
+        for bit in 0..32u8 {
+            for value in [false, true] {
+                faults.push(CpuFault::RegisterStuck { reg, bit, value });
+            }
+        }
+    }
+    for bit in 0..32u8 {
+        for value in [false, true] {
+            faults.push(CpuFault::AluStuck { bit, value });
+        }
+    }
+    faults.push(CpuFault::FlagStuck { value: false });
+    faults.push(CpuFault::FlagStuck { value: true });
+    for bit in 0..8u8 {
+        for value in [false, true] {
+            faults.push(CpuFault::PcStuck { bit, value });
+        }
+    }
+    faults
+}
+
+/// The outcome of grading one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbstOutcome {
+    /// Observable store stream differed — detected as SDC-turned-test-fail.
+    Detected,
+    /// The faulty run trapped or timed out — detected as DUE.
+    DetectedDue,
+    /// No observable difference.
+    Undetected,
+}
+
+/// Campaign report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SbstReport {
+    faults: Vec<CpuFault>,
+    outcomes: Vec<SbstOutcome>,
+}
+
+impl SbstReport {
+    /// Per-fault outcomes, parallel to [`Self::faults`].
+    pub fn outcomes(&self) -> &[SbstOutcome] {
+        &self.outcomes
+    }
+
+    /// The graded fault list.
+    pub fn faults(&self) -> &[CpuFault] {
+        &self.faults
+    }
+
+    /// Overall fault coverage.
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        let det = self
+            .outcomes
+            .iter()
+            .filter(|o| !matches!(o, SbstOutcome::Undetected))
+            .count();
+        det as f64 / self.outcomes.len() as f64
+    }
+
+    /// Coverage restricted to faults matching `filter`.
+    pub fn coverage_of<F: Fn(&CpuFault) -> bool>(&self, filter: F) -> f64 {
+        let subset: Vec<_> = self
+            .faults
+            .iter()
+            .zip(&self.outcomes)
+            .filter(|(f, _)| filter(f))
+            .collect();
+        if subset.is_empty() {
+            return 1.0;
+        }
+        let det = subset
+            .iter()
+            .filter(|(_, o)| !matches!(o, SbstOutcome::Undetected))
+            .count();
+        det as f64 / subset.len() as f64
+    }
+}
+
+/// Generates the deterministic SBST program.
+///
+/// Structure: (1) register-file march with complementary patterns over
+/// `r16..=r31`; (2) ALU sweep — every opcode over walking-one and mask
+/// patterns, all results compacted into a rotating-XOR signature in
+/// `r2`; (3) flag/branch test; all signatures stored to `result_base`.
+///
+/// # Panics
+///
+/// Panics only on an internal assembler bug.
+pub fn generate_sbst(result_base: u32) -> Vec<Instruction> {
+    let mut s = String::new();
+    let mut store_idx = 0u32;
+    // Setup: r11 = 1, r12 = 31 for rotation.
+    let _ = writeln!(s, "addi r11, r0, 1");
+    let _ = writeln!(s, "addi r12, r0, 31");
+    let _ = writeln!(s, "addi r2, r0, 0x123");
+    // (1) register file march over r16..r31.
+    for pattern in ["0xA5A5", "0x5A5A", "0xFFFF", "0x0000"] {
+        for reg in 16..=31 {
+            let _ = writeln!(s, "movhi r{reg}, {pattern}");
+            let _ = writeln!(s, "ori r{reg}, r{reg}, {pattern}");
+        }
+        for reg in 16..=31 {
+            // fold into signature: r2 = rot1(r2) ^ rReg
+            let _ = writeln!(s, "sll r14, r2, r11");
+            let _ = writeln!(s, "srl r15, r2, r12");
+            let _ = writeln!(s, "or r2, r14, r15");
+            let _ = writeln!(s, "xor r2, r2, r{reg}");
+        }
+        let _ = writeln!(s, "sw r2, {}(r0)", result_base + store_idx);
+        store_idx += 1;
+    }
+    // (2) ALU sweep: operands from a pattern table.
+    let patterns = [
+        0x0000_0001u32,
+        0x8000_0000,
+        0xAAAA_AAAA,
+        0x5555_5555,
+        0x0F0F_0F0F,
+        0xFFFF_0000,
+        0x0000_FFFF,
+        0xDEAD_BEEF,
+    ];
+    let ops = ["add", "sub", "and", "or", "xor", "mul"];
+    for (i, &pa) in patterns.iter().enumerate() {
+        let pb = patterns[(i + 3) % patterns.len()];
+        let _ = writeln!(s, "movhi r1, {:#x}", pa >> 16);
+        let _ = writeln!(s, "ori r1, r1, {:#x}", pa & 0xFFFF);
+        let _ = writeln!(s, "movhi r13, {:#x}", pb >> 16);
+        let _ = writeln!(s, "ori r13, r13, {:#x}", pb & 0xFFFF);
+        for op in ops {
+            let _ = writeln!(s, "{op} r3, r1, r13");
+            let _ = writeln!(s, "sll r14, r2, r11");
+            let _ = writeln!(s, "srl r15, r2, r12");
+            let _ = writeln!(s, "or r2, r14, r15");
+            let _ = writeln!(s, "xor r2, r2, r3");
+        }
+        // shifts with controlled amounts
+        for op in ["sll", "srl", "sra"] {
+            let _ = writeln!(s, "andi r4, r13, 31");
+            let _ = writeln!(s, "{op} r3, r1, r4");
+            let _ = writeln!(s, "sll r14, r2, r11");
+            let _ = writeln!(s, "srl r15, r2, r12");
+            let _ = writeln!(s, "or r2, r14, r15");
+            let _ = writeln!(s, "xor r2, r2, r3");
+        }
+        let _ = writeln!(s, "sw r2, {}(r0)", result_base + store_idx);
+        store_idx += 1;
+    }
+    // (3) flag and branch test: count compares that succeed.
+    let _ = writeln!(s, "addi r5, r0, 0");
+    let comparisons = [
+        ("sfeq", 7, 7, true),
+        ("sfeq", 7, 8, false),
+        ("sfne", 7, 8, true),
+        ("sfltu", 3, 9, true),
+        ("sfltu", 9, 3, false),
+        ("sfgeu", 9, 3, true),
+    ];
+    for (i, (op, a, b, _expect)) in comparisons.iter().enumerate() {
+        let _ = writeln!(s, "addi r6, r0, {a}");
+        let _ = writeln!(s, "addi r7, r0, {b}");
+        let _ = writeln!(s, "{op} r6, r7");
+        let _ = writeln!(s, "bnf skip{i}");
+        let _ = writeln!(s, "addi r5, r5, {}", 1 << i);
+        let _ = writeln!(s, "skip{i}: nop");
+    }
+    let _ = writeln!(s, "sw r5, {}(r0)", result_base + store_idx);
+    let _ = writeln!(s, "halt");
+    assemble(&s).expect("generated SBST assembles")
+}
+
+/// Generates a random-instruction baseline SBST of roughly comparable
+/// length (the paper's comparison point for deterministic generation).
+pub fn generate_random_sbst(result_base: u32, length: usize, seed: u64) -> Vec<Instruction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::new();
+    let _ = writeln!(s, "addi r2, r0, 0x321");
+    for _ in 0..length {
+        let d = rng.gen_range(1..16);
+        let a = rng.gen_range(0..16);
+        let b = rng.gen_range(0..16);
+        match rng.gen_range(0..8) {
+            0 => {
+                let _ = writeln!(s, "add r{d}, r{a}, r{b}");
+            }
+            1 => {
+                let _ = writeln!(s, "sub r{d}, r{a}, r{b}");
+            }
+            2 => {
+                let _ = writeln!(s, "xor r{d}, r{a}, r{b}");
+            }
+            3 => {
+                let _ = writeln!(s, "and r{d}, r{a}, r{b}");
+            }
+            4 => {
+                let _ = writeln!(s, "or r{d}, r{a}, r{b}");
+            }
+            5 => {
+                let _ = writeln!(s, "mul r{d}, r{a}, r{b}");
+            }
+            6 => {
+                let imm = rng.gen_range(-1000i32..1000);
+                let _ = writeln!(s, "addi r{d}, r{a}, {imm}");
+            }
+            _ => {
+                let _ = writeln!(s, "xor r2, r2, r{d}");
+            }
+        }
+    }
+    let _ = writeln!(s, "sw r2, {}(r0)", result_base);
+    let _ = writeln!(s, "halt");
+    assemble(&s).expect("generated random SBST assembles")
+}
+
+/// Grades `program` against `faults`; detection = differing store
+/// stream or a DUE (trap/timeout).
+pub fn grade(program: &[Instruction], faults: &[CpuFault], max_cycles: u64) -> SbstReport {
+    let golden = run_collect(program, None, max_cycles);
+    let golden_trace = golden.expect("golden SBST must run clean");
+    let outcomes = faults
+        .iter()
+        .map(|&f| match run_collect(program, Some(f), max_cycles) {
+            Ok(trace) => {
+                if trace == golden_trace {
+                    SbstOutcome::Undetected
+                } else {
+                    SbstOutcome::Detected
+                }
+            }
+            Err(_) => SbstOutcome::DetectedDue,
+        })
+        .collect();
+    SbstReport {
+        faults: faults.to_vec(),
+        outcomes,
+    }
+}
+
+fn run_collect(
+    program: &[Instruction],
+    fault: Option<CpuFault>,
+    max_cycles: u64,
+) -> Result<Vec<(u32, u32)>, crate::cpu::ExecError> {
+    let mut cpu = Cpu::new(4096);
+    cpu.load(program, 0);
+    if let Some(f) = fault {
+        cpu.inject(f);
+    }
+    cpu.run(max_cycles)?;
+    Ok(cpu.store_trace().to_vec())
+}
+
+/// Safe-in-context analysis \[33\]: faults that do not change a given
+/// *application*'s outputs are safe for that deployment even if SBST
+/// detects them. Returns `(safe, dangerous)` fault partitions.
+pub fn safe_in_context(
+    program: &[Instruction],
+    data: &[(u32, u32)],
+    faults: &[CpuFault],
+    max_cycles: u64,
+) -> (Vec<CpuFault>, Vec<CpuFault>) {
+    let run = |fault: Option<CpuFault>| -> Option<Vec<(u32, u32)>> {
+        let mut cpu = Cpu::new(4096);
+        cpu.load(program, 0);
+        for &(a, v) in data {
+            cpu.set_memory_word(a, v);
+        }
+        if let Some(f) = fault {
+            cpu.inject(f);
+        }
+        cpu.run(max_cycles).ok()?;
+        Some(cpu.store_trace().to_vec())
+    };
+    let golden = run(None).expect("application runs clean");
+    let mut safe = Vec::new();
+    let mut dangerous = Vec::new();
+    for &f in faults {
+        match run(Some(f)) {
+            Some(trace) if trace == golden => safe.push(f),
+            _ => dangerous.push(f),
+        }
+    }
+    (safe, dangerous)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_universe(stride: usize) -> Vec<CpuFault> {
+        cpu_fault_universe()
+            .into_iter()
+            .step_by(stride)
+            .collect()
+    }
+
+    #[test]
+    fn golden_sbst_runs_clean() {
+        let p = generate_sbst(3000);
+        let trace = run_collect(&p, None, 200_000).unwrap();
+        assert!(trace.len() >= 12, "signatures stored: {}", trace.len());
+    }
+
+    #[test]
+    fn sbst_catches_alu_and_register_faults() {
+        let p = generate_sbst(3000);
+        let faults = vec![
+            CpuFault::AluStuck { bit: 0, value: true },
+            CpuFault::AluStuck {
+                bit: 17,
+                value: false,
+            },
+            CpuFault::RegisterStuck {
+                reg: 20,
+                bit: 4,
+                value: true,
+            },
+            CpuFault::FlagStuck { value: true },
+            CpuFault::FlagStuck { value: false },
+        ];
+        let r = grade(&p, &faults, 200_000);
+        assert_eq!(r.coverage(), 1.0, "{:?}", r.outcomes());
+    }
+
+    #[test]
+    fn deterministic_sbst_beats_random() {
+        let det = generate_sbst(3000);
+        let rnd = generate_random_sbst(3000, det.len(), 5);
+        let faults = sample_universe(37);
+        let r_det = grade(&det, &faults, 300_000);
+        let r_rnd = grade(&rnd, &faults, 300_000);
+        assert!(
+            r_det.coverage() >= r_rnd.coverage(),
+            "det {} vs rnd {}",
+            r_det.coverage(),
+            r_rnd.coverage()
+        );
+        assert!(r_det.coverage() > 0.6, "{}", r_det.coverage());
+    }
+
+    #[test]
+    fn coverage_of_filters() {
+        let p = generate_sbst(3000);
+        let faults = vec![
+            CpuFault::AluStuck { bit: 3, value: true },
+            CpuFault::RegisterStuck {
+                reg: 30,
+                bit: 0,
+                value: true,
+            },
+        ];
+        let r = grade(&p, &faults, 200_000);
+        let alu_cov = r.coverage_of(|f| matches!(f, CpuFault::AluStuck { .. }));
+        assert!(alu_cov > 0.0);
+        assert_eq!(r.coverage_of(|_| false), 1.0, "empty subset convention");
+    }
+
+    #[test]
+    fn safe_in_context_partition() {
+        // An application that never uses r25: faults there are safe.
+        let p = assemble(
+            "addi r1, r0, 7\n\
+             mul r3, r1, r1\n\
+             sw r3, 100(r0)\n\
+             halt",
+        )
+        .unwrap();
+        let faults = vec![
+            CpuFault::RegisterStuck {
+                reg: 25,
+                bit: 3,
+                value: true,
+            },
+            CpuFault::AluStuck { bit: 0, value: false },
+        ];
+        let (safe, dangerous) = safe_in_context(&p, &[], &faults, 10_000);
+        assert_eq!(safe.len(), 1);
+        assert!(matches!(safe[0], CpuFault::RegisterStuck { reg: 25, .. }));
+        assert_eq!(dangerous.len(), 1);
+    }
+
+    #[test]
+    fn universe_size() {
+        let u = cpu_fault_universe();
+        assert_eq!(u.len(), 31 * 32 * 2 + 64 + 2 + 16);
+    }
+}

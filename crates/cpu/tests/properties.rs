@@ -1,0 +1,121 @@
+//! Property-based tests for the CPU: ISA round trips, architectural
+//! semantics, and fault-model sanity.
+
+use proptest::prelude::*;
+use rescue_cpu::asm::{assemble, disassemble};
+use rescue_cpu::cpu::{Cpu, CpuFault};
+use rescue_cpu::isa::Instruction;
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let r = 0u8..32;
+    let r2 = 0u8..32;
+    let r3 = 0u8..32;
+    prop_oneof![
+        (r.clone(), r2.clone(), r3.clone()).prop_map(|(d, a, b)| Instruction::Add(d, a, b)),
+        (r.clone(), r2.clone(), r3.clone()).prop_map(|(d, a, b)| Instruction::Sub(d, a, b)),
+        (r.clone(), r2.clone(), r3.clone()).prop_map(|(d, a, b)| Instruction::Xor(d, a, b)),
+        (r.clone(), r2.clone(), r3.clone()).prop_map(|(d, a, b)| Instruction::Mul(d, a, b)),
+        (r.clone(), r2.clone(), r3.clone()).prop_map(|(d, a, b)| Instruction::Sll(d, a, b)),
+        (r.clone(), r2.clone(), any::<i16>()).prop_map(|(d, a, i)| Instruction::Addi(d, a, i)),
+        (r.clone(), r2.clone(), any::<u16>()).prop_map(|(d, a, i)| Instruction::Andi(d, a, i)),
+        (r.clone(), any::<u16>()).prop_map(|(d, i)| Instruction::Movhi(d, i)),
+        (r.clone(), r2.clone(), any::<i16>()).prop_map(|(d, a, i)| Instruction::Lw(d, a, i)),
+        (r.clone(), r2.clone(), any::<i16>()).prop_map(|(a, b, i)| Instruction::Sw(a, b, i)),
+        (r.clone(), r2.clone()).prop_map(|(a, b)| Instruction::Sfeq(a, b)),
+        (r.clone(), r2.clone()).prop_map(|(a, b)| Instruction::Sfltu(a, b)),
+        any::<i16>().prop_map(Instruction::Bf),
+        (0u32..1 << 26).prop_map(Instruction::J),
+        r.prop_map(Instruction::Jr),
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every instruction encodes/decodes losslessly.
+    #[test]
+    fn isa_round_trip(ins in arb_instruction()) {
+        prop_assert_eq!(Instruction::decode(ins.encode()), Some(ins));
+    }
+
+    /// The assembler parses its own disassembly.
+    #[test]
+    fn asm_round_trip(prog in proptest::collection::vec(arb_instruction(), 1..20)) {
+        let text = disassemble(&prog);
+        let back = assemble(&text).unwrap();
+        prop_assert_eq!(back, prog);
+    }
+
+    /// r0 stays zero under arbitrary straight-line programs.
+    #[test]
+    fn r0_invariant(seed in 1u64..500) {
+        let mut s = seed;
+        let mut prog = Vec::new();
+        for _ in 0..30 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (s >> 33) as u8 % 32;
+            let a = (s >> 38) as u8 % 32;
+            let imm = (s >> 43) as i16 % 100;
+            prog.push(Instruction::Addi(d, a, imm));
+        }
+        prog.push(Instruction::Halt);
+        let mut cpu = Cpu::new(256);
+        cpu.load(&prog, 0);
+        cpu.run(100).unwrap();
+        prop_assert_eq!(cpu.register(0), 0);
+    }
+
+    /// Injecting the same stuck fault twice is idempotent, and a stuck
+    /// register bit really is stuck across arbitrary writes.
+    #[test]
+    fn stuck_register_invariant(reg in 1u8..32, bit in 0u8..32, value: bool, writes in proptest::collection::vec(any::<u32>(), 1..20)) {
+        let mut cpu = Cpu::new(16);
+        cpu.inject(CpuFault::RegisterStuck { reg, bit, value });
+        cpu.inject(CpuFault::RegisterStuck { reg, bit, value });
+        for w in writes {
+            cpu.set_register(reg, w);
+            let v = cpu.register(reg);
+            prop_assert_eq!(v >> bit & 1 == 1, value);
+        }
+    }
+
+    /// ALU arithmetic matches Rust semantics for add/sub/mul chains.
+    #[test]
+    fn alu_matches_reference(a: u32, b: u32) {
+        let mut cpu = Cpu::new(64);
+        cpu.set_register(1, a);
+        cpu.set_register(2, b);
+        let prog = [
+            Instruction::Add(3, 1, 2),
+            Instruction::Sub(4, 1, 2),
+            Instruction::Mul(5, 1, 2),
+            Instruction::Xor(6, 1, 2),
+            Instruction::Halt,
+        ];
+        cpu.load(&prog, 0);
+        cpu.run(10).unwrap();
+        prop_assert_eq!(cpu.register(3), a.wrapping_add(b));
+        prop_assert_eq!(cpu.register(4), a.wrapping_sub(b));
+        prop_assert_eq!(cpu.register(5), a.wrapping_mul(b));
+        prop_assert_eq!(cpu.register(6), a ^ b);
+    }
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    use rescue_cpu::programs::{self, DATA_BASE};
+    for w in programs::all().expect("assemble") {
+        let run = || {
+            let mut cpu = Cpu::new(2048);
+            cpu.load(&w.program, 0);
+            for (i, &d) in w.data.iter().enumerate() {
+                cpu.set_memory_word(DATA_BASE + i as u32, d);
+            }
+            cpu.run(w.max_cycles).expect("clean");
+            (cpu.cycles(), cpu.store_trace().to_vec())
+        };
+        assert_eq!(run(), run(), "{} non-deterministic", w.name);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fault dictionaries and syndrome-based diagnosis.
+//!
+//! A fault dictionary records, for every fault, *which patterns detect it
+//! and on which outputs* (the syndrome). Diagnosis then ranks candidate
+//! faults by how well their stored syndrome matches the behaviour
+//! observed on a failing device — the same flow the RESCUE RSN-diagnosis
+//! work applies to scan networks (paper Section III.E).
+
+use crate::model::Fault;
+use crate::simulate::FaultSimulator;
+use rescue_netlist::Netlist;
+use rescue_sim::parallel::pack_patterns;
+use std::collections::BTreeMap;
+
+/// Per-fault syndrome: for each detecting pattern, the set of failing
+/// outputs encoded as a bitmask (output position `i` = bit `i`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Syndrome {
+    entries: BTreeMap<usize, u64>,
+}
+
+impl Syndrome {
+    /// Creates an empty syndrome.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `pattern` fails with the given output `mask`.
+    pub fn record(&mut self, pattern: usize, mask: u64) {
+        if mask != 0 {
+            self.entries.insert(pattern, mask);
+        }
+    }
+
+    /// Number of detecting patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pattern detects the fault.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(pattern, failing-output mask)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.entries.iter().map(|(&p, &m)| (p, m))
+    }
+
+    /// Similarity to an observed syndrome: Jaccard index over the
+    /// `(pattern, mask)` pairs.
+    pub fn similarity(&self, observed: &Syndrome) -> f64 {
+        if self.entries.is_empty() && observed.entries.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        for (p, m) in &self.entries {
+            if observed.entries.get(p) == Some(m) {
+                inter += 1;
+            }
+        }
+        let union = self.entries.len() + observed.entries.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+/// Full-response fault dictionary.
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    faults: Vec<Fault>,
+    syndromes: Vec<Syndrome>,
+    patterns: usize,
+}
+
+impl FaultDictionary {
+    /// Builds a dictionary by simulating every fault against every
+    /// pattern (no dropping — full responses are needed for diagnosis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern width differs from the primary-input count
+    /// or the design has more than 64 primary outputs.
+    pub fn build(netlist: &Netlist, faults: &[Fault], patterns: &[Vec<bool>]) -> Self {
+        assert!(
+            netlist.primary_outputs().len() <= 64,
+            "syndrome masks support up to 64 outputs"
+        );
+        let sim = FaultSimulator::new(netlist);
+        let mut syndromes = vec![Syndrome::new(); faults.len()];
+        for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
+            let words = pack_patterns(chunk);
+            let golden = sim.golden(netlist, &words);
+            for (fi, &fault) in faults.iter().enumerate() {
+                let faulty = sim.with_stuck(netlist, &words, fault);
+                for (p_in_chunk, _) in chunk.iter().enumerate() {
+                    let mut mask = 0u64;
+                    for (oi, (_, g)) in netlist.primary_outputs().iter().enumerate() {
+                        let gbit = golden[g.index()] >> p_in_chunk & 1;
+                        let fbit = faulty[g.index()] >> p_in_chunk & 1;
+                        if gbit != fbit {
+                            mask |= 1 << oi;
+                        }
+                    }
+                    syndromes[fi].record(chunk_idx * 64 + p_in_chunk, mask);
+                }
+            }
+        }
+        FaultDictionary {
+            faults: faults.to_vec(),
+            syndromes,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// The dictionary's fault list.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The stored syndrome of fault `i`.
+    pub fn syndrome(&self, i: usize) -> &Syndrome {
+        &self.syndromes[i]
+    }
+
+    /// Number of patterns in the dictionary.
+    pub fn patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Ranks candidate faults by similarity to an observed syndrome
+    /// (best first). Ties broken by fault order.
+    pub fn diagnose(&self, observed: &Syndrome) -> Vec<(Fault, f64)> {
+        let mut ranked: Vec<(Fault, f64)> = self
+            .faults
+            .iter()
+            .zip(&self.syndromes)
+            .map(|(&f, s)| (f, s.similarity(observed)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
+    }
+
+    /// Diagnostic resolution: the number of faults whose syndromes are
+    /// identical to at least one other fault's (indistinguishable sets).
+    pub fn indistinguishable_count(&self) -> usize {
+        let mut count = 0;
+        for (i, s) in self.syndromes.iter().enumerate() {
+            if self
+                .syndromes
+                .iter()
+                .enumerate()
+                .any(|(j, t)| j != i && s == t)
+            {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use rescue_netlist::generate;
+
+    fn exhaustive(n: usize) -> Vec<Vec<bool>> {
+        (0..(1u32 << n))
+            .map(|p| (0..n).map(|i| p >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn dictionary_diagnoses_exact_fault() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let dict = FaultDictionary::build(&c, &faults, &exhaustive(5));
+        // Simulate fault 7 as the "device under diagnosis".
+        let observed = dict.syndrome(7).clone();
+        let ranked = dict.diagnose(&observed);
+        assert_eq!(ranked[0].1, 1.0);
+        // The top-ranked fault is either fault 7 itself or an equivalent.
+        let perfect: Vec<Fault> = ranked
+            .iter()
+            .take_while(|(_, s)| *s == 1.0)
+            .map(|(f, _)| *f)
+            .collect();
+        assert!(perfect.contains(&faults[7]));
+    }
+
+    #[test]
+    fn equivalent_faults_are_indistinguishable() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let dict = FaultDictionary::build(&c, &faults, &exhaustive(5));
+        // Collapsed-equivalent faults share syndromes, so the count is > 0.
+        assert!(dict.indistinguishable_count() > 0);
+        assert!(dict.indistinguishable_count() < faults.len());
+    }
+
+    #[test]
+    fn syndrome_similarity_edges() {
+        let mut a = Syndrome::new();
+        let mut b = Syndrome::new();
+        assert_eq!(a.similarity(&b), 1.0);
+        a.record(0, 0b1);
+        assert_eq!(a.similarity(&b), 0.0);
+        b.record(0, 0b1);
+        assert_eq!(a.similarity(&b), 1.0);
+        b.record(1, 0b10);
+        assert!(a.similarity(&b) < 1.0);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        // mask 0 is ignored
+        a.record(5, 0);
+        assert_eq!(a.len(), 1);
+    }
+}

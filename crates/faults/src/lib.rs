@@ -1,0 +1,44 @@
+//! Fault models and fault simulation for RESCUE-rs.
+//!
+//! Implements the permanent-fault side of the RESCUE toolflow:
+//!
+//! * [`model`] — stuck-at, transition-delay and bridging fault models over
+//!   gate pins and outputs.
+//! * [`universe`] — exhaustive fault-list generation.
+//! * [`collapse`] — structural equivalence collapsing.
+//! * [`simulate`] — serial and 64-way parallel-pattern fault simulation
+//!   with fault dropping, for both combinational and sequential designs.
+//! * [`sample`] — statistical fault-injection sampling theory: how many
+//!   faults must be injected for a given error margin and confidence
+//!   (the "random fault injection" methodology of paper Section III.B).
+//! * [`dictionary`] — fault dictionaries and syndrome-based diagnosis.
+//!
+//! # Examples
+//!
+//! Compute stuck-at coverage of random patterns on `c17`:
+//!
+//! ```
+//! use rescue_faults::{simulate::FaultSimulator, universe};
+//! use rescue_netlist::generate;
+//!
+//! let c = generate::c17();
+//! let faults = universe::stuck_at_universe(&c);
+//! let sim = FaultSimulator::new(&c);
+//! let patterns: Vec<Vec<bool>> = (0..32u32)
+//!     .map(|p| (0..5).map(|i| p >> i & 1 == 1).collect())
+//!     .collect();
+//! let report = sim.campaign(&c, &faults, &patterns);
+//! assert!(report.coverage() > 0.9, "c17 is fully testable");
+//! ```
+
+pub mod collapse;
+pub mod dictionary;
+pub mod error;
+pub mod model;
+pub mod sample;
+pub mod simulate;
+pub mod universe;
+
+pub use error::FaultError;
+pub use model::{Fault, FaultId, FaultKind, FaultSite};
+pub use simulate::{CampaignReport, FaultSimulator};

@@ -1,0 +1,218 @@
+//! Permanent fault models: stuck-at, transition-delay, bridging.
+
+use rescue_netlist::GateId;
+use std::fmt;
+
+/// Dense index of a fault within a fault list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultId(pub usize);
+
+impl FaultId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Where a fault sits: a gate output net or an individual input pin.
+///
+/// Pin faults matter because a fan-out stem and its branches can carry
+/// different fault effects; collapsing (see [`crate::collapse`]) removes
+/// the redundant ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// The output net of a gate.
+    Output(GateId),
+    /// Input pin `pin` of `gate` (0-based).
+    Pin {
+        /// Gate owning the pin.
+        gate: GateId,
+        /// Pin position within the gate's input list.
+        pin: usize,
+    },
+}
+
+impl FaultSite {
+    /// The gate this site belongs to.
+    pub fn gate(self) -> GateId {
+        match self {
+            FaultSite::Output(g) => g,
+            FaultSite::Pin { gate, .. } => gate,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Output(g) => write!(f, "{g}.out"),
+            FaultSite::Pin { gate, pin } => write!(f, "{gate}.in{pin}"),
+        }
+    }
+}
+
+/// The fault behaviour at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Signal permanently reads 0.
+    StuckAt0,
+    /// Signal permanently reads 1.
+    StuckAt1,
+    /// Rising transitions arrive one cycle late (slow-to-rise).
+    SlowToRise,
+    /// Falling transitions arrive one cycle late (slow-to-fall).
+    SlowToFall,
+}
+
+impl FaultKind {
+    /// For stuck-at kinds, the stuck value; `None` for delay kinds.
+    pub fn stuck_value(self) -> Option<bool> {
+        match self {
+            FaultKind::StuckAt0 => Some(false),
+            FaultKind::StuckAt1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Short mnemonic (`sa0`, `sa1`, `str`, `stf`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FaultKind::StuckAt0 => "sa0",
+            FaultKind::StuckAt1 => "sa1",
+            FaultKind::SlowToRise => "str",
+            FaultKind::SlowToFall => "stf",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single permanent fault: a site plus a behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_faults::{Fault, FaultKind, FaultSite};
+/// use rescue_netlist::GateId;
+///
+/// let f = Fault::stuck_at(FaultSite::Output(GateId(3)), true);
+/// assert_eq!(f.kind(), FaultKind::StuckAt1);
+/// assert_eq!(f.to_string(), "g3.out/sa1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    site: FaultSite,
+    kind: FaultKind,
+}
+
+impl Fault {
+    /// Creates a fault of arbitrary kind.
+    pub fn new(site: FaultSite, kind: FaultKind) -> Self {
+        Fault { site, kind }
+    }
+
+    /// Creates a stuck-at fault with the given stuck `value`.
+    pub fn stuck_at(site: FaultSite, value: bool) -> Self {
+        Fault {
+            site,
+            kind: if value {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+        }
+    }
+
+    /// The fault site.
+    pub fn site(self) -> FaultSite {
+        self.site
+    }
+
+    /// The fault behaviour.
+    pub fn kind(self) -> FaultKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.site, self.kind)
+    }
+}
+
+/// A resistive bridge between two nets, modelled as wired-AND or wired-OR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BridgingFault {
+    /// First bridged net (gate output).
+    pub a: GateId,
+    /// Second bridged net (gate output).
+    pub b: GateId,
+    /// Wired-AND (`true`) or wired-OR (`false`) resolution.
+    pub wired_and: bool,
+}
+
+impl fmt::Display for BridgingFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bridge({},{})/{}",
+            self.a,
+            self.b,
+            if self.wired_and { "AND" } else { "OR" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let f = Fault::new(
+            FaultSite::Pin {
+                gate: GateId(2),
+                pin: 1,
+            },
+            FaultKind::StuckAt0,
+        );
+        assert_eq!(f.to_string(), "g2.in1/sa0");
+        assert_eq!(FaultId(4).to_string(), "f4");
+        let b = BridgingFault {
+            a: GateId(1),
+            b: GateId(2),
+            wired_and: true,
+        };
+        assert!(b.to_string().contains("AND"));
+    }
+
+    #[test]
+    fn stuck_value() {
+        assert_eq!(FaultKind::StuckAt0.stuck_value(), Some(false));
+        assert_eq!(FaultKind::StuckAt1.stuck_value(), Some(true));
+        assert_eq!(FaultKind::SlowToRise.stuck_value(), None);
+    }
+
+    #[test]
+    fn site_gate() {
+        assert_eq!(FaultSite::Output(GateId(7)).gate(), GateId(7));
+        assert_eq!(
+            FaultSite::Pin {
+                gate: GateId(7),
+                pin: 0
+            }
+            .gate(),
+            GateId(7)
+        );
+    }
+}

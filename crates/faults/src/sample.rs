@@ -1,0 +1,192 @@
+//! Statistical fault-injection sampling theory.
+//!
+//! Exhaustive fault injection is "ultimate in terms of accuracy but very
+//! cumbersome" (paper Section III.B); the statistical alternative injects
+//! a random sample sized so the measured failure probability carries a
+//! bounded error at a given confidence. The classic formula (Leveugle et
+//! al., DATE 2009) for sampling without replacement from a population of
+//! `N` faults is
+//!
+//! ```text
+//! n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+//! ```
+//!
+//! with error margin `e`, confidence z-score `t` and estimated failure
+//! probability `p` (worst case `p = 0.5`).
+
+use crate::error::FaultError;
+
+/// Supported confidence levels and their two-sided normal z-scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// 90 % confidence (z = 1.645).
+    C90,
+    /// 95 % confidence (z = 1.960).
+    C95,
+    /// 99 % confidence (z = 2.576).
+    C99,
+    /// 99.8 % confidence (z = 3.090).
+    C998,
+}
+
+impl Confidence {
+    /// The z-score of this confidence level.
+    pub fn z_score(self) -> f64 {
+        match self {
+            Confidence::C90 => 1.645,
+            Confidence::C95 => 1.960,
+            Confidence::C99 => 2.576,
+            Confidence::C998 => 3.090,
+        }
+    }
+
+    /// Confidence as a fraction (e.g. `0.95`).
+    pub fn level(self) -> f64 {
+        match self {
+            Confidence::C90 => 0.90,
+            Confidence::C95 => 0.95,
+            Confidence::C99 => 0.99,
+            Confidence::C998 => 0.998,
+        }
+    }
+}
+
+/// Computes the required sample size for a fault population of
+/// `population` faults, an `error_margin` (absolute, e.g. `0.01`), a
+/// `confidence` level, and an a-priori failure probability estimate `p`
+/// (use `0.5` when unknown — it maximizes the sample).
+///
+/// # Errors
+///
+/// Returns [`FaultError::BadSamplingParameter`] when `error_margin` or `p`
+/// lies outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_faults::sample::{sample_size, Confidence};
+///
+/// // One million faults, 1% margin, 95% confidence:
+/// let n = sample_size(1_000_000, 0.01, Confidence::C95, 0.5)?;
+/// assert!(n < 10_000, "sample is tiny compared to the population: {n}");
+/// # Ok::<(), rescue_faults::FaultError>(())
+/// ```
+pub fn sample_size(
+    population: usize,
+    error_margin: f64,
+    confidence: Confidence,
+    p: f64,
+) -> Result<usize, FaultError> {
+    if !(error_margin > 0.0 && error_margin < 1.0) {
+        return Err(FaultError::BadSamplingParameter {
+            parameter: "error_margin",
+            value: error_margin,
+        });
+    }
+    if !(p > 0.0 && p < 1.0) {
+        return Err(FaultError::BadSamplingParameter {
+            parameter: "p",
+            value: p,
+        });
+    }
+    if population == 0 {
+        return Ok(0);
+    }
+    let nf = population as f64;
+    let t = confidence.z_score();
+    let n = nf / (1.0 + error_margin * error_margin * (nf - 1.0) / (t * t * p * (1.0 - p)));
+    Ok(n.ceil() as usize)
+}
+
+/// The achieved error margin when injecting `sample` faults out of
+/// `population` at the given confidence and probability estimate.
+///
+/// Inverse of [`sample_size`]; returns `None` when `sample` is 0 or
+/// larger than the population.
+pub fn achieved_margin(
+    population: usize,
+    sample: usize,
+    confidence: Confidence,
+    p: f64,
+) -> Option<f64> {
+    if sample == 0 || sample > population || population == 0 {
+        return None;
+    }
+    let nf = population as f64;
+    let n = sample as f64;
+    let t = confidence.z_score();
+    // e = t * sqrt(p(1-p)/n * (N-n)/(N-1))
+    let fpc = if population > 1 { (nf - n) / (nf - 1.0) } else { 0.0 };
+    Some(t * (p * (1.0 - p) / n * fpc).sqrt())
+}
+
+/// Cost model for Experiment E3: relative simulation cost of exhaustive
+/// versus sampled injection (`1.0` = exhaustive).
+pub fn cost_ratio(population: usize, sample: usize) -> f64 {
+    if population == 0 {
+        return 0.0;
+    }
+    sample as f64 / population as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_known_values() {
+        // Classic: N=1e6, e=1%, 95% -> ~9 508 (textbook value 9 513 ± rounding).
+        let n = sample_size(1_000_000, 0.01, Confidence::C95, 0.5).unwrap();
+        assert!((9_400..9_700).contains(&n), "{n}");
+        // Tighter margin -> larger sample.
+        let n2 = sample_size(1_000_000, 0.001, Confidence::C95, 0.5).unwrap();
+        assert!(n2 > 10 * n);
+    }
+
+    #[test]
+    fn sample_never_exceeds_population() {
+        for pop in [1usize, 10, 100, 1000] {
+            let n = sample_size(pop, 0.01, Confidence::C99, 0.5).unwrap();
+            assert!(n <= pop, "{n} > {pop}");
+        }
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_samples() {
+        let n90 = sample_size(100_000, 0.01, Confidence::C90, 0.5).unwrap();
+        let n95 = sample_size(100_000, 0.01, Confidence::C95, 0.5).unwrap();
+        let n99 = sample_size(100_000, 0.01, Confidence::C99, 0.5).unwrap();
+        assert!(n90 < n95 && n95 < n99);
+    }
+
+    #[test]
+    fn margin_round_trip() {
+        let pop = 500_000;
+        let n = sample_size(pop, 0.02, Confidence::C95, 0.5).unwrap();
+        let e = achieved_margin(pop, n, Confidence::C95, 0.5).unwrap();
+        assert!(e <= 0.02 + 1e-9, "achieved {e}");
+        assert!(e > 0.015, "not absurdly conservative: {e}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(sample_size(100, 0.0, Confidence::C95, 0.5).is_err());
+        assert!(sample_size(100, 1.5, Confidence::C95, 0.5).is_err());
+        assert!(sample_size(100, 0.1, Confidence::C95, 0.0).is_err());
+        assert_eq!(sample_size(0, 0.1, Confidence::C95, 0.5).unwrap(), 0);
+        assert!(achieved_margin(100, 0, Confidence::C95, 0.5).is_none());
+        assert!(achieved_margin(100, 200, Confidence::C95, 0.5).is_none());
+    }
+
+    #[test]
+    fn cost_ratio_sane() {
+        assert_eq!(cost_ratio(1000, 100), 0.1);
+        assert_eq!(cost_ratio(0, 0), 0.0);
+    }
+
+    #[test]
+    fn z_scores_ordered() {
+        assert!(Confidence::C90.z_score() < Confidence::C998.z_score());
+        assert!(Confidence::C95.level() > Confidence::C90.level());
+    }
+}

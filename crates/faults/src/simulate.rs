@@ -1,0 +1,628 @@
+//! Serial and parallel-pattern fault simulation with fault dropping.
+
+use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
+use rescue_netlist::{GateId, GateKind, Netlist};
+use rescue_sim::logic::{eval_gate_bool, eval_gate_word};
+use rescue_sim::parallel::pack_patterns;
+
+/// Outcome of a fault-simulation campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    faults: Vec<Fault>,
+    /// For each fault: index of the first detecting pattern, or `None`.
+    first_detection: Vec<Option<usize>>,
+    patterns: usize,
+}
+
+impl CampaignReport {
+    /// Assembles a report from raw verdicts (used by alternative engines
+    /// such as the slicing-accelerated campaign in `rescue-safety`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the verdict vector length differs from the fault list.
+    pub fn from_parts(
+        faults: Vec<Fault>,
+        first_detection: Vec<Option<usize>>,
+        patterns: usize,
+    ) -> Self {
+        assert_eq!(faults.len(), first_detection.len(), "one verdict per fault");
+        CampaignReport {
+            faults,
+            first_detection,
+            patterns,
+        }
+    }
+
+    /// The fault list the campaign ran over.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// First detecting pattern per fault (`None` = undetected).
+    pub fn first_detection(&self) -> &[Option<usize>] {
+        &self.first_detection
+    }
+
+    /// Number of patterns applied.
+    pub fn patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Detected fault count.
+    pub fn detected_count(&self) -> usize {
+        self.first_detection.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fault coverage in `[0, 1]` (1.0 for an empty fault list).
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 1.0;
+        }
+        self.detected_count() as f64 / self.faults.len() as f64
+    }
+
+    /// The faults no pattern detected.
+    pub fn undetected(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.first_detection)
+            .filter(|(_, d)| d.is_none())
+            .map(|(f, _)| *f)
+            .collect()
+    }
+}
+
+/// Levelized fault simulator over one netlist.
+///
+/// Supports stuck-at faults on outputs and pins, transition-delay faults
+/// via pattern pairs, bridging faults, and sequential (multi-cycle)
+/// stuck-at simulation.
+///
+/// # Examples
+///
+/// See [`crate`] docs for a complete campaign example.
+#[derive(Debug, Clone)]
+pub struct FaultSimulator {
+    order: Vec<GateId>,
+}
+
+impl FaultSimulator {
+    /// Prepares a simulator for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        FaultSimulator {
+            order: netlist.levelize().order().to_vec(),
+        }
+    }
+
+    /// Golden (fault-free) 64-way evaluation. `words[i]` is input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the primary-input count.
+    pub fn golden(&self, netlist: &Netlist, words: &[u64]) -> Vec<u64> {
+        self.eval_with(netlist, words, None, None)
+    }
+
+    /// Evaluates 64 packed patterns with `fault` active; returns all gate
+    /// values. Only stuck-at kinds are meaningful here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or a non-stuck-at fault kind.
+    pub fn with_stuck(&self, netlist: &Netlist, words: &[u64], fault: Fault) -> Vec<u64> {
+        let value = fault
+            .kind()
+            .stuck_value()
+            .expect("with_stuck requires a stuck-at fault");
+        self.eval_with(netlist, words, Some((fault.site(), value)), None)
+    }
+
+    /// Evaluates with a wired-AND/OR bridge active (two-pass resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn with_bridge(&self, netlist: &Netlist, words: &[u64], bridge: BridgingFault) -> Vec<u64> {
+        let golden = self.golden(netlist, words);
+        let va = golden[bridge.a.index()];
+        let vb = golden[bridge.b.index()];
+        let v = if bridge.wired_and { va & vb } else { va | vb };
+        self.eval_with(netlist, words, None, Some((bridge, v)))
+    }
+
+    fn eval_with(
+        &self,
+        netlist: &Netlist,
+        words: &[u64],
+        stuck: Option<(FaultSite, bool)>,
+        bridge: Option<(BridgingFault, u64)>,
+    ) -> Vec<u64> {
+        let pis = netlist.primary_inputs();
+        assert_eq!(words.len(), pis.len(), "input word count mismatch");
+        let mut values = vec![0u64; netlist.len()];
+        for (i, &pi) in pis.iter().enumerate() {
+            values[pi.index()] = words[i];
+        }
+        let (stuck_out, stuck_pin, stuck_word) = match stuck {
+            Some((FaultSite::Output(g), v)) => (Some(g), None, if v { u64::MAX } else { 0 }),
+            Some((FaultSite::Pin { gate, pin }, v)) => {
+                (None, Some((gate, pin)), if v { u64::MAX } else { 0 })
+            }
+            None => (None, None, 0),
+        };
+        let mut buf: Vec<u64> = Vec::with_capacity(4);
+        for &id in &self.order {
+            let g = netlist.gate(id);
+            match g.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => values[id.index()] = 0,
+                kind => {
+                    buf.clear();
+                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                    if let Some((fg, fp)) = stuck_pin {
+                        if fg == id {
+                            buf[fp] = stuck_word;
+                        }
+                    }
+                    values[id.index()] = eval_gate_word(kind, &buf);
+                }
+            }
+            if stuck_out == Some(id) {
+                values[id.index()] = stuck_word;
+            }
+            if let Some((br, v)) = bridge {
+                if br.a == id || br.b == id {
+                    values[id.index()] = v;
+                }
+            }
+        }
+        values
+    }
+
+    /// Bitmask of patterns (bit `p`) on which `fault` is detected at a
+    /// primary output, given the golden values for the same words.
+    pub fn detection_mask(
+        &self,
+        netlist: &Netlist,
+        words: &[u64],
+        golden: &[u64],
+        fault: Fault,
+    ) -> u64 {
+        let faulty = self.with_stuck(netlist, words, fault);
+        netlist
+            .primary_outputs()
+            .iter()
+            .fold(0u64, |m, (_, g)| m | (golden[g.index()] ^ faulty[g.index()]))
+    }
+
+    /// Runs a full stuck-at campaign with fault dropping: each fault is
+    /// simulated only until its first detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern width differs from the primary-input count.
+    pub fn campaign(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+    ) -> CampaignReport {
+        let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+        for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
+            let words = pack_patterns(chunk);
+            let golden = self.golden(netlist, &words);
+            for (fi, &fault) in faults.iter().enumerate() {
+                if first_detection[fi].is_some() {
+                    continue; // fault dropping
+                }
+                let mask = self.detection_mask(netlist, &words, &golden, fault);
+                let mask = if chunk.len() < 64 {
+                    mask & ((1u64 << chunk.len()) - 1)
+                } else {
+                    mask
+                };
+                if mask != 0 {
+                    first_detection[fi] =
+                        Some(chunk_idx * 64 + mask.trailing_zeros() as usize);
+                }
+            }
+        }
+        CampaignReport {
+            faults: faults.to_vec(),
+            first_detection,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Multi-threaded stuck-at campaign: splits the fault list across
+    /// `threads` workers (scoped threads, shared read-only golden data).
+    /// Produces exactly the same verdicts as [`FaultSimulator::campaign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a pattern width mismatches.
+    pub fn campaign_parallel(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        threads: usize,
+    ) -> CampaignReport {
+        assert!(threads > 0, "need at least one worker");
+        // Precompute packed words and golden values per chunk once.
+        let chunks: Vec<(Vec<u64>, Vec<u64>, usize)> = patterns
+            .chunks(64)
+            .map(|chunk| {
+                let words = pack_patterns(chunk);
+                let golden = self.golden(netlist, &words);
+                (words, golden, chunk.len())
+            })
+            .collect();
+        let verdicts = parking_lot::Mutex::new(vec![None; faults.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let stride = 32;
+                    loop {
+                        let start =
+                            next.fetch_add(stride, std::sync::atomic::Ordering::Relaxed);
+                        if start >= faults.len() {
+                            break;
+                        }
+                        let end = (start + stride).min(faults.len());
+                        let mut local: Vec<(usize, Option<usize>)> =
+                            Vec::with_capacity(end - start);
+                        for (fi, &fault) in faults[start..end].iter().enumerate() {
+                            let mut first = None;
+                            for (ci, (words, golden, live)) in chunks.iter().enumerate() {
+                                let mask =
+                                    self.detection_mask(netlist, words, golden, fault);
+                                let mask = if *live < 64 {
+                                    mask & ((1u64 << live) - 1)
+                                } else {
+                                    mask
+                                };
+                                if mask != 0 {
+                                    first =
+                                        Some(ci * 64 + mask.trailing_zeros() as usize);
+                                    break; // fault dropping
+                                }
+                            }
+                            local.push((start + fi, first));
+                        }
+                        let mut v = verdicts.lock();
+                        for (i, d) in local {
+                            v[i] = d;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        CampaignReport {
+            faults: faults.to_vec(),
+            first_detection: verdicts.into_inner(),
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Transition-delay campaign over consecutive pattern *pairs*
+    /// `(patterns[i], patterns[i+1])`: a slow-to-rise fault is detected by
+    /// a pair that launches a rising transition at the site and where the
+    /// late value (stuck-at-0 behaviour during capture) reaches an output.
+    ///
+    /// Returns the report with pattern index = index of the capture
+    /// pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or a non-transition fault in `faults`.
+    pub fn transition_campaign(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+    ) -> CampaignReport {
+        let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+        for pair in patterns.windows(2).enumerate() {
+            let (i, pats) = pair;
+            let words_launch = pack_patterns(&pats[..1]);
+            let words_capture = pack_patterns(&pats[1..]);
+            let g_launch = self.golden(netlist, &words_launch);
+            let g_capture = self.golden(netlist, &words_capture);
+            for (fi, &fault) in faults.iter().enumerate() {
+                if first_detection[fi].is_some() {
+                    continue;
+                }
+                let site_gate = match fault.site() {
+                    FaultSite::Output(g) => g,
+                    FaultSite::Pin { .. } => panic!("transition faults sit on outputs"),
+                };
+                let (from, to, stuck) = match fault.kind() {
+                    FaultKind::SlowToRise => (0u64, 1u64, false),
+                    FaultKind::SlowToFall => (1, 0, true),
+                    _ => panic!("transition_campaign requires transition faults"),
+                };
+                let launch_v = g_launch[site_gate.index()] & 1;
+                let capture_v = g_capture[site_gate.index()] & 1;
+                if launch_v != from || capture_v != to {
+                    continue; // no launching transition
+                }
+                let eq = Fault::stuck_at(FaultSite::Output(site_gate), stuck);
+                let mask = self.detection_mask(netlist, &words_capture, &g_capture, eq);
+                if mask & 1 != 0 {
+                    first_detection[fi] = Some(i + 1);
+                }
+            }
+        }
+        CampaignReport {
+            faults: faults.to_vec(),
+            first_detection,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Sequential stuck-at campaign: applies `stimuli` cycle by cycle to a
+    /// golden and a faulty machine (both starting from the all-zero state)
+    /// and reports the first cycle whose primary outputs differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or non-stuck-at faults.
+    pub fn campaign_seq(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        stimuli: &[Vec<bool>],
+    ) -> CampaignReport {
+        let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+        // Golden trajectory.
+        let golden_trace = self.seq_trace(netlist, stimuli, None);
+        for (fi, &fault) in faults.iter().enumerate() {
+            let value = fault
+                .kind()
+                .stuck_value()
+                .expect("campaign_seq requires stuck-at faults");
+            let faulty_trace = self.seq_trace(netlist, stimuli, Some((fault.site(), value)));
+            for (cycle, (g, f)) in golden_trace.iter().zip(&faulty_trace).enumerate() {
+                if g != f {
+                    first_detection[fi] = Some(cycle);
+                    break;
+                }
+            }
+        }
+        CampaignReport {
+            faults: faults.to_vec(),
+            first_detection,
+            patterns: stimuli.len(),
+        }
+    }
+
+    fn seq_trace(
+        &self,
+        netlist: &Netlist,
+        stimuli: &[Vec<bool>],
+        stuck: Option<(FaultSite, bool)>,
+    ) -> Vec<Vec<bool>> {
+        let pis = netlist.primary_inputs();
+        let mut state = vec![false; netlist.dffs().len()];
+        let mut trace = Vec::with_capacity(stimuli.len());
+        for inputs in stimuli {
+            assert_eq!(inputs.len(), pis.len(), "stimulus width mismatch");
+            let mut values = vec![false; netlist.len()];
+            for (i, &pi) in pis.iter().enumerate() {
+                values[pi.index()] = inputs[i];
+            }
+            for (i, &dff) in netlist.dffs().iter().enumerate() {
+                values[dff.index()] = state[i];
+            }
+            let mut buf: Vec<bool> = Vec::with_capacity(4);
+            for &id in &self.order {
+                let g = netlist.gate(id);
+                match g.kind() {
+                    GateKind::Input | GateKind::Dff => {}
+                    kind => {
+                        buf.clear();
+                        buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                        if let Some((FaultSite::Pin { gate, pin }, v)) = stuck {
+                            if gate == id {
+                                buf[pin] = v;
+                            }
+                        }
+                        values[id.index()] = eval_gate_bool(kind, &buf);
+                    }
+                }
+                if let Some((FaultSite::Output(g), v)) = stuck {
+                    if g == id {
+                        values[id.index()] = v;
+                    }
+                }
+            }
+            for (i, &dff) in netlist.dffs().iter().enumerate() {
+                state[i] = values[netlist.gate(dff).inputs()[0].index()];
+            }
+            trace.push(rescue_sim::comb::outputs_of(netlist, &values));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use rescue_netlist::{generate, NetlistBuilder};
+
+    fn exhaustive_patterns(n: usize) -> Vec<Vec<bool>> {
+        (0..(1u32 << n))
+            .map(|p| (0..n).map(|i| p >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn c17_full_coverage_exhaustive() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let sim = FaultSimulator::new(&c);
+        let report = sim.campaign(&c, &faults, &exhaustive_patterns(5));
+        assert_eq!(
+            report.coverage(),
+            1.0,
+            "c17 is fully testable: {:?}",
+            report.undetected()
+        );
+        assert_eq!(report.patterns(), 32);
+    }
+
+    #[test]
+    fn redundant_fault_is_undetectable() {
+        // y = a OR (a AND b): the AND gate's sa0 is redundant.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let x = b.input("b");
+        let g = b.and(a, x);
+        let y = b.or(a, g);
+        b.output("y", y);
+        let n = b.finish();
+        let sim = FaultSimulator::new(&n);
+        let f = Fault::stuck_at(FaultSite::Output(g), false);
+        let report = sim.campaign(&n, &[f], &exhaustive_patterns(2));
+        assert_eq!(report.detected_count(), 0, "redundant fault undetectable");
+    }
+
+    #[test]
+    fn pin_fault_differs_from_output_fault() {
+        // Fanout stem: x feeds two ANDs. A pin sa1 on one branch is not
+        // the same as the stem's output sa1.
+        let mut b = NetlistBuilder::new("stem");
+        let x = b.input("x");
+        let p = b.input("p");
+        let q = b.input("q");
+        let g1 = b.and(x, p);
+        let g2 = b.and(x, q);
+        b.output("y1", g1);
+        b.output("y2", g2);
+        let n = b.finish();
+        let sim = FaultSimulator::new(&n);
+        let pats = exhaustive_patterns(3);
+        let stem = Fault::stuck_at(FaultSite::Output(x), true);
+        let branch = Fault::stuck_at(FaultSite::Pin { gate: g1, pin: 0 }, true);
+        let r = sim.campaign(&n, &[stem, branch], &pats);
+        assert_eq!(r.detected_count(), 2);
+        // x=0,p=1,q=1: stem fault corrupts both outputs, branch only y1.
+        let words = pack_patterns(&[vec![false, true, true]]);
+        let golden = sim.golden(&n, &words);
+        let fs = sim.with_stuck(&n, &words, stem);
+        let fb = sim.with_stuck(&n, &words, branch);
+        assert_eq!(fs[g2.index()] & 1, 1, "stem corrupts second branch");
+        assert_eq!(fb[g2.index()] & 1, golden[g2.index()] & 1);
+    }
+
+    #[test]
+    fn bridge_fault_detection() {
+        let mut b = NetlistBuilder::new("br");
+        let a = b.input("a");
+        let c = b.input("c");
+        let n1 = b.buf(a);
+        let n2 = b.buf(c);
+        b.output("y1", n1);
+        b.output("y2", n2);
+        let n = b.finish();
+        let sim = FaultSimulator::new(&n);
+        // a=1, c=0: wired-AND forces both to 0 -> y1 flips.
+        let words = pack_patterns(&[vec![true, false]]);
+        let v = sim.with_bridge(
+            &n,
+            &words,
+            BridgingFault {
+                a: n1,
+                b: n2,
+                wired_and: true,
+            },
+        );
+        assert_eq!(v[n1.index()] & 1, 0);
+        let v = sim.with_bridge(
+            &n,
+            &words,
+            BridgingFault {
+                a: n1,
+                b: n2,
+                wired_and: false,
+            },
+        );
+        assert_eq!(v[n2.index()] & 1, 1, "wired-OR pulls the 0 net up");
+    }
+
+    #[test]
+    fn transition_faults_need_transitions() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.buf(a);
+        b.output("y", y);
+        let n = b.finish();
+        let sim = FaultSimulator::new(&n);
+        let faults = universe::transition_universe(&n);
+        // Constant stimulus: no transitions, nothing detected.
+        let r = sim.transition_campaign(&n, &faults, &[vec![false], vec![false]]);
+        assert_eq!(r.detected_count(), 0);
+        // 0 -> 1 launches rising transitions through a and y.
+        let r = sim.transition_campaign(&n, &faults, &[vec![false], vec![true]]);
+        let detected: Vec<String> = faults
+            .iter()
+            .zip(r.first_detection())
+            .filter(|(_, d)| d.is_some())
+            .map(|(f, _)| f.to_string())
+            .collect();
+        assert!(detected.iter().any(|f| f.contains("str")), "{detected:?}");
+        // slow-to-fall needs 1 -> 0.
+        let r = sim.transition_campaign(&n, &faults, &[vec![true], vec![false]]);
+        let has_stf = faults
+            .iter()
+            .zip(r.first_detection())
+            .any(|(f, d)| d.is_some() && f.kind() == FaultKind::SlowToFall);
+        assert!(has_stf);
+    }
+
+    #[test]
+    fn sequential_campaign_detects_through_state() {
+        // Shift register: a stuck fault at the serial input shows up at the
+        // output only n cycles later.
+        let s = generate::shift_register(3);
+        let sin = s.primary_inputs()[0];
+        let sim = FaultSimulator::new(&s);
+        let f = Fault::stuck_at(FaultSite::Output(sin), false);
+        // Drive 1s; fault forces 0s; first output divergence at cycle 3.
+        let stim: Vec<Vec<bool>> = (0..6).map(|_| vec![true]).collect();
+        let r = sim.campaign_seq(&s, &[f], &stim);
+        assert_eq!(r.first_detection()[0], Some(3));
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let net = generate::random_logic(8, 80, 4, 5);
+        let faults = universe::stuck_at_universe(&net);
+        let patterns: Vec<Vec<bool>> = (0..200u32)
+            .map(|p| (0..8).map(|i| p.wrapping_mul(2654435761) >> (i + 3) & 1 == 1).collect())
+            .collect();
+        let sim = FaultSimulator::new(&net);
+        let serial = sim.campaign(&net, &faults, &patterns);
+        for threads in [1, 2, 4] {
+            let parallel = sim.campaign_parallel(&net, &faults, &patterns, threads);
+            assert_eq!(
+                parallel.first_detection(),
+                serial.first_detection(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_of_empty_fault_list_is_one() {
+        let c = generate::c17();
+        let sim = FaultSimulator::new(&c);
+        let r = sim.campaign(&c, &[], &exhaustive_patterns(5));
+        assert_eq!(r.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fault-universe generation.
+
+use crate::model::{BridgingFault, Fault, FaultSite};
+use rescue_netlist::{GateKind, Netlist};
+
+/// The complete single-stuck-at universe: `sa0`/`sa1` on every gate output
+/// plus every input pin of multi-input gates.
+///
+/// Constants are excluded (a stuck constant is either redundant or the
+/// same constant), as are output faults on primary-input gates' pins
+/// (inputs have no pins).
+///
+/// # Examples
+///
+/// ```
+/// use rescue_faults::universe::stuck_at_universe;
+/// use rescue_netlist::generate;
+///
+/// let c17 = generate::c17();
+/// let faults = stuck_at_universe(&c17);
+/// // 11 gates: 5 PIs + 6 NANDs; outputs: 11*2 = 22, pins: 6 gates * 2 pins * 2 = 24.
+/// assert_eq!(faults.len(), 46);
+/// ```
+pub fn stuck_at_universe(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (id, g) in netlist.iter() {
+        match g.kind() {
+            GateKind::Const0 | GateKind::Const1 => continue,
+            _ => {}
+        }
+        faults.push(Fault::stuck_at(FaultSite::Output(id), false));
+        faults.push(Fault::stuck_at(FaultSite::Output(id), true));
+        // Pin faults only where they can differ from the driver's output
+        // fault, i.e. gates with >= 2 inputs (branches of fanout stems are
+        // captured by pins of the sink gates).
+        if g.inputs().len() >= 2 {
+            for pin in 0..g.inputs().len() {
+                faults.push(Fault::stuck_at(FaultSite::Pin { gate: id, pin }, false));
+                faults.push(Fault::stuck_at(FaultSite::Pin { gate: id, pin }, true));
+            }
+        }
+    }
+    faults
+}
+
+/// Transition-delay universe: slow-to-rise / slow-to-fall on every gate
+/// output (pins omitted; transition tests target nets).
+pub fn transition_universe(netlist: &Netlist) -> Vec<Fault> {
+    use crate::model::FaultKind;
+    let mut faults = Vec::new();
+    for (id, g) in netlist.iter() {
+        match g.kind() {
+            GateKind::Const0 | GateKind::Const1 => continue,
+            _ => {}
+        }
+        faults.push(Fault::new(FaultSite::Output(id), FaultKind::SlowToRise));
+        faults.push(Fault::new(FaultSite::Output(id), FaultKind::SlowToFall));
+    }
+    faults
+}
+
+/// Enumerates candidate bridging faults between nets that are physically
+/// plausible neighbours. Without layout data we use the standard academic
+/// proxy: nets whose driving gates are within `window` positions of each
+/// other in the levelized order (same neighbourhood of the design).
+pub fn bridging_universe(netlist: &Netlist, window: usize) -> Vec<BridgingFault> {
+    let order = netlist.levelize().order().to_vec();
+    let mut faults = Vec::new();
+    for (i, &a) in order.iter().enumerate() {
+        for &b in order.iter().skip(i + 1).take(window) {
+            if netlist.gate(a).kind() == GateKind::Dff || netlist.gate(b).kind() == GateKind::Dff {
+                continue;
+            }
+            faults.push(BridgingFault {
+                a,
+                b,
+                wired_and: true,
+            });
+            faults.push(BridgingFault {
+                a,
+                b,
+                wired_and: false,
+            });
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn universe_counts() {
+        let c = generate::c17();
+        assert_eq!(stuck_at_universe(&c).len(), 46);
+        assert_eq!(transition_universe(&c).len(), 22);
+    }
+
+    #[test]
+    fn constants_excluded() {
+        let mut b = rescue_netlist::NetlistBuilder::new("k");
+        let a = b.input("a");
+        let k = b.const1();
+        let y = b.and(a, k);
+        b.output("y", y);
+        let n = b.finish();
+        let fs = stuck_at_universe(&n);
+        assert!(fs
+            .iter()
+            .all(|f| f.site().gate() != k || matches!(f.site(), FaultSite::Pin { .. })));
+    }
+
+    #[test]
+    fn bridging_window() {
+        let c = generate::c17();
+        let bf = bridging_universe(&c, 2);
+        assert!(!bf.is_empty());
+        // Each (ordered) neighbour pair gets an AND and an OR bridge.
+        assert_eq!(bf.len() % 2, 0);
+    }
+}

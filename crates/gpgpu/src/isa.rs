@@ -1,0 +1,229 @@
+//! The predicated SIMT instruction set.
+//!
+//! Encoding: bits `31..26` opcode, `25..23` guard (0 = none, 1–4 =
+//! `@p0..@p3`, 5–7 = `@!p0..@!p2`), `22..19` rd, `18..15` ra,
+//! `14..11` rb. Immediate-format instructions (`mov`, `iaddi`) reuse
+//! bits `14..0` as a 15-bit signed immediate (they carry no `rb`);
+//! `setp` encodes its comparison operator in bits `1..0`.
+
+use std::fmt;
+
+/// Comparison operator of `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A guard: execute the lane only when predicate `index` equals
+/// `polarity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Predicate register 0–3.
+    pub index: u8,
+    /// Required value.
+    pub polarity: bool,
+}
+
+/// One SIMT instruction (operates lane-wise across the warp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuOp {
+    /// `rd = sext(imm)`
+    Mov(u8, i16),
+    /// `rd = ra + rb`
+    Iadd(u8, u8, u8),
+    /// `rd = ra - rb`
+    Isub(u8, u8, u8),
+    /// `rd = ra * rb`
+    Imul(u8, u8, u8),
+    /// `rd = ra + sext(imm)`
+    Iaddi(u8, u8, i16),
+    /// `rd = mem[ra]`
+    Ld(u8, u8),
+    /// `mem[ra] = rb`
+    St(u8, u8),
+    /// `p = ra <op> rb`
+    Setp(u8, CmpOp, u8, u8),
+    /// `rd = lane id`
+    Tid(u8),
+    /// `rd = warp id`
+    Wid(u8),
+    /// Warp terminates.
+    Exit,
+}
+
+/// A guarded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuInstruction {
+    /// Optional predicate guard.
+    pub guard: Option<Guard>,
+    /// The operation.
+    pub op: GpuOp,
+}
+
+impl GpuInstruction {
+    /// An unguarded instruction.
+    pub fn plain(op: GpuOp) -> Self {
+        GpuInstruction { guard: None, op }
+    }
+
+    /// A guarded instruction (`@p` / `@!p`).
+    pub fn when(index: u8, polarity: bool, op: GpuOp) -> Self {
+        GpuInstruction {
+            guard: Some(Guard { index, polarity }),
+            op,
+        }
+    }
+
+    /// Encodes to the 32-bit pipeline-latch format.
+    pub fn encode(self) -> u32 {
+        let g = match self.guard {
+            None => 0u32,
+            Some(Guard { index, polarity: true }) => 1 + index as u32,
+            Some(Guard {
+                index,
+                polarity: false,
+            }) => 5 + index as u32 % 3,
+        };
+        let f = |op: u32, d: u8, a: u8, b: u8, imm: u16| {
+            op << 26
+                | g << 23
+                | (d as u32 & 15) << 19
+                | (a as u32 & 15) << 15
+                | (b as u32 & 15) << 11
+                | (imm as u32 & 0x7FFF)
+        };
+        match self.op {
+            GpuOp::Mov(d, i) => f(0, d, 0, 0, i as u16),
+            GpuOp::Iadd(d, a, b) => f(1, d, a, b, 0),
+            GpuOp::Isub(d, a, b) => f(2, d, a, b, 0),
+            GpuOp::Imul(d, a, b) => f(3, d, a, b, 0),
+            GpuOp::Iaddi(d, a, i) => f(4, d, a, 0, i as u16),
+            GpuOp::Ld(d, a) => f(5, d, a, 0, 0),
+            GpuOp::St(a, b) => f(6, 0, a, b, 0),
+            GpuOp::Setp(p, cmp, a, b) => {
+                let c = match cmp {
+                    CmpOp::Eq => 0,
+                    CmpOp::Ne => 1,
+                    CmpOp::Ltu => 2,
+                    CmpOp::Geu => 3,
+                };
+                f(7, p, a, b, c)
+            }
+            GpuOp::Tid(d) => f(8, d, 0, 0, 0),
+            GpuOp::Wid(d) => f(9, d, 0, 0, 0),
+            GpuOp::Exit => f(10, 0, 0, 0, 0),
+        }
+    }
+
+    /// Decodes; `None` for illegal words (pipeline-fault outcomes).
+    pub fn decode(word: u32) -> Option<GpuInstruction> {
+        let op = word >> 26;
+        let g = word >> 23 & 7;
+        let d = (word >> 19 & 15) as u8;
+        let a = (word >> 15 & 15) as u8;
+        let b = (word >> 11 & 15) as u8;
+        let imm = (word & 0x7FFF) as u16;
+        // sign-extend the 15-bit immediate
+        let simm = ((imm << 1) as i16) >> 1;
+        let guard = match g {
+            0 => None,
+            1..=4 => Some(Guard {
+                index: (g - 1) as u8,
+                polarity: true,
+            }),
+            5..=7 => Some(Guard {
+                index: (g - 5) as u8,
+                polarity: false,
+            }),
+            _ => unreachable!(),
+        };
+        let op = match op {
+            0 => GpuOp::Mov(d, simm),
+            1 => GpuOp::Iadd(d, a, b),
+            2 => GpuOp::Isub(d, a, b),
+            3 => GpuOp::Imul(d, a, b),
+            4 => GpuOp::Iaddi(d, a, simm),
+            5 => GpuOp::Ld(d, a),
+            6 => GpuOp::St(a, b),
+            7 => {
+                let cmp = match imm & 3 {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::Ne,
+                    2 => CmpOp::Ltu,
+                    _ => CmpOp::Geu,
+                };
+                GpuOp::Setp(d & 3, cmp, a, b)
+            }
+            8 => GpuOp::Tid(d),
+            9 => GpuOp::Wid(d),
+            10 => GpuOp::Exit,
+            _ => return None,
+        };
+        Some(GpuInstruction { guard, op })
+    }
+}
+
+impl fmt::Display for GpuInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "@{}p{} ", if g.polarity { "" } else { "!" }, g.index)?;
+        }
+        match self.op {
+            GpuOp::Mov(d, i) => write!(f, "mov r{d}, {i}"),
+            GpuOp::Iadd(d, a, b) => write!(f, "iadd r{d}, r{a}, r{b}"),
+            GpuOp::Isub(d, a, b) => write!(f, "isub r{d}, r{a}, r{b}"),
+            GpuOp::Imul(d, a, b) => write!(f, "imul r{d}, r{a}, r{b}"),
+            GpuOp::Iaddi(d, a, i) => write!(f, "iaddi r{d}, r{a}, {i}"),
+            GpuOp::Ld(d, a) => write!(f, "ld r{d}, [r{a}]"),
+            GpuOp::St(a, b) => write!(f, "st [r{a}], r{b}"),
+            GpuOp::Setp(p, c, a, b) => write!(f, "setp p{p}, r{a} {c:?} r{b}"),
+            GpuOp::Tid(d) => write!(f, "tid r{d}"),
+            GpuOp::Wid(d) => write!(f, "wid r{d}"),
+            GpuOp::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = vec![
+            GpuInstruction::plain(GpuOp::Mov(3, -7)),
+            GpuInstruction::plain(GpuOp::Iadd(1, 2, 3)),
+            GpuInstruction::plain(GpuOp::Imul(15, 14, 13)),
+            GpuInstruction::plain(GpuOp::Iaddi(4, 5, 1000)),
+            GpuInstruction::plain(GpuOp::Ld(6, 7)),
+            GpuInstruction::plain(GpuOp::St(8, 9)),
+            GpuInstruction::plain(GpuOp::Setp(2, CmpOp::Ltu, 1, 2)),
+            GpuInstruction::plain(GpuOp::Tid(5)),
+            GpuInstruction::plain(GpuOp::Wid(6)),
+            GpuInstruction::plain(GpuOp::Exit),
+            GpuInstruction::when(1, true, GpuOp::Iadd(1, 2, 3)),
+            GpuInstruction::when(2, false, GpuOp::St(4, 5)),
+        ];
+        for i in cases {
+            assert_eq!(GpuInstruction::decode(i.encode()), Some(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn illegal_opcode_decodes_none() {
+        assert_eq!(GpuInstruction::decode(63 << 26), None);
+    }
+
+    #[test]
+    fn display_guards() {
+        let i = GpuInstruction::when(0, false, GpuOp::Exit);
+        assert_eq!(i.to_string(), "@!p0 exit");
+    }
+}

@@ -1,0 +1,287 @@
+//! GPGPU kernels in two software encoding styles.
+//!
+//! \[40\] evaluated "the impact on reliability and performance stemming
+//! from different software encoding styles": the same computation coded
+//! plainly versus with self-checking duplication turns silent data
+//! corruptions into detected errors at a performance cost.
+
+use crate::isa::{CmpOp, GpuInstruction as I, GpuOp};
+use crate::machine::Gpgpu;
+
+/// Base address of SAXPY's `x` vector.
+pub const SAXPY_X_BASE: u32 = 0x400;
+/// Base address of SAXPY's `y` vector (in/out).
+pub const SAXPY_Y_BASE: u32 = 0x500;
+/// Address of the self-check error counter.
+pub const CHECK_FLAG: u32 = 0x7FF;
+
+/// Plain SAXPY: `y[gid] = a * x[gid] + y[gid]` (one element per lane).
+pub fn saxpy(a: i16, lanes: usize) -> Vec<I> {
+    let mut k = gid_into_r1(lanes);
+    k.extend([
+        // r2 = &x[gid], r3 = x[gid]
+        I::plain(GpuOp::Iaddi(2, 1, SAXPY_X_BASE as i16)),
+        I::plain(GpuOp::Ld(3, 2)),
+        // r4 = a * x
+        I::plain(GpuOp::Mov(4, a)),
+        I::plain(GpuOp::Imul(4, 4, 3)),
+        // r5 = &y[gid], r6 = y[gid]
+        I::plain(GpuOp::Iaddi(5, 1, SAXPY_Y_BASE as i16)),
+        I::plain(GpuOp::Ld(6, 5)),
+        I::plain(GpuOp::Iadd(6, 4, 6)),
+        I::plain(GpuOp::St(5, 6)),
+        I::plain(GpuOp::Exit),
+    ]);
+    k
+}
+
+/// Self-checking SAXPY: the product is computed twice into independent
+/// registers and compared; a mismatch increments [`CHECK_FLAG`] instead
+/// of silently storing a wrong value.
+pub fn saxpy_selfcheck(a: i16, lanes: usize) -> Vec<I> {
+    let mut k = gid_into_r1(lanes);
+    k.extend([
+        I::plain(GpuOp::Iaddi(2, 1, SAXPY_X_BASE as i16)),
+        I::plain(GpuOp::Ld(3, 2)),
+        // first copy
+        I::plain(GpuOp::Mov(4, a)),
+        I::plain(GpuOp::Imul(4, 4, 3)),
+        // second, independent copy
+        I::plain(GpuOp::Mov(7, a)),
+        I::plain(GpuOp::Imul(7, 7, 3)),
+        // compare
+        I::plain(GpuOp::Setp(0, CmpOp::Ne, 4, 7)),
+        // mismatch: bump the error flag (and skip the store)
+        I::when(0, true, GpuOp::Mov(8, CHECK_FLAG as i16)),
+        I::when(0, true, GpuOp::Ld(9, 8)),
+        I::when(0, true, GpuOp::Iaddi(9, 9, 1)),
+        I::when(0, true, GpuOp::St(8, 9)),
+        // match: y[gid] = r4 + y[gid]
+        I::when(0, false, GpuOp::Iaddi(5, 1, SAXPY_Y_BASE as i16)),
+        I::when(0, false, GpuOp::Ld(6, 5)),
+        I::when(0, false, GpuOp::Iadd(6, 4, 6)),
+        I::when(0, false, GpuOp::St(5, 6)),
+        I::plain(GpuOp::Exit),
+    ]);
+    k
+}
+
+/// Writes the standard SAXPY test data: `x[i] = i`, `y[i] = 100 + i`.
+pub fn load_saxpy_data(gpu: &mut Gpgpu, _a: i16) {
+    let n = (gpu.warp_count() * gpu.lanes()) as u32;
+    for i in 0..n {
+        gpu.set_memory(SAXPY_X_BASE + i, i);
+        gpu.set_memory(SAXPY_Y_BASE + i, 100 + i);
+    }
+}
+
+/// The expected SAXPY result for element `i`.
+pub fn saxpy_expected(a: u32, i: u32) -> u32 {
+    a.wrapping_mul(i).wrapping_add(100 + i)
+}
+
+/// Per-thread partial-sum reduction: each lane sums `per_thread`
+/// elements of a strided region and stores its partial sum (host
+/// finishes the reduction).
+pub fn partial_reduction(base: i16, per_thread: usize, lanes: usize) -> Vec<I> {
+    let mut k = gid_into_r1(lanes);
+    // r2 = running sum, r3 = address = base + gid*per_thread
+    k.push(I::plain(GpuOp::Mov(2, 0)));
+    k.push(I::plain(GpuOp::Mov(4, per_thread as i16)));
+    k.push(I::plain(GpuOp::Imul(3, 1, 4)));
+    k.push(I::plain(GpuOp::Iaddi(3, 3, base)));
+    for _ in 0..per_thread {
+        k.push(I::plain(GpuOp::Ld(5, 3)));
+        k.push(I::plain(GpuOp::Iadd(2, 2, 5)));
+        k.push(I::plain(GpuOp::Iaddi(3, 3, 1)));
+    }
+    // store partial at 0x600 + gid
+    k.push(I::plain(GpuOp::Iaddi(6, 1, 0x600)));
+    k.push(I::plain(GpuOp::St(6, 2)));
+    k.push(I::plain(GpuOp::Exit));
+    k
+}
+
+/// Base address of matmul's `A` matrix.
+pub const MATMUL_A_BASE: i16 = 0x100;
+/// Base address of matmul's `B` matrix.
+pub const MATMUL_B_BASE: i16 = 0x180;
+/// Base address of matmul's `C` (result) matrix.
+pub const MATMUL_C_BASE: i16 = 0x200;
+
+/// `dim`×`dim` matrix multiplication, one output element per thread
+/// (`gid = row*dim + col`; the grid must supply `dim*dim` threads).
+/// Row-major operands at [`MATMUL_A_BASE`]/[`MATMUL_B_BASE`].
+pub fn matmul(dim: usize, lanes: usize) -> Vec<I> {
+    assert!(dim.is_power_of_two(), "power-of-two dims keep the unroll exact");
+    let mut k = gid_into_r1(lanes);
+    // The ISA has no divide: derive row/col from gid with a predicated,
+    // unrolled repeated subtraction (gid < dim*dim needs ≤ dim steps).
+    k.push(I::plain(GpuOp::Mov(2, 0))); // r2 = row
+    k.push(I::plain(GpuOp::Iaddi(3, 1, 0))); // r3 = rest (becomes col)
+    k.push(I::plain(GpuOp::Mov(4, dim as i16)));
+    for _ in 0..dim {
+        k.push(I::plain(GpuOp::Setp(0, CmpOp::Geu, 3, 4)));
+        k.push(I::when(0, true, GpuOp::Isub(3, 3, 4)));
+        k.push(I::when(0, true, GpuOp::Iaddi(2, 2, 1)));
+    }
+    // r2 = row, r3 = col. acc in r5.
+    k.push(I::plain(GpuOp::Mov(5, 0)));
+    // r6 = &A[row*dim], r7 = &B[col]
+    k.push(I::plain(GpuOp::Imul(6, 2, 4)));
+    k.push(I::plain(GpuOp::Iaddi(6, 6, MATMUL_A_BASE)));
+    k.push(I::plain(GpuOp::Iaddi(7, 3, MATMUL_B_BASE)));
+    for _ in 0..dim {
+        k.push(I::plain(GpuOp::Ld(8, 6)));
+        k.push(I::plain(GpuOp::Ld(9, 7)));
+        k.push(I::plain(GpuOp::Imul(8, 8, 9)));
+        k.push(I::plain(GpuOp::Iadd(5, 5, 8)));
+        k.push(I::plain(GpuOp::Iaddi(6, 6, 1)));
+        k.push(I::plain(GpuOp::Iaddi(7, 7, dim as i16)));
+    }
+    // C[gid] = acc
+    k.push(I::plain(GpuOp::Iaddi(10, 1, MATMUL_C_BASE)));
+    k.push(I::plain(GpuOp::St(10, 5)));
+    k.push(I::plain(GpuOp::Exit));
+    k
+}
+
+/// Loads test matrices: `A[i] = i+1`, `B[i] = (2i+1) % 7`.
+pub fn load_matmul_data(gpu: &mut Gpgpu, dim: usize) {
+    for i in 0..(dim * dim) as u32 {
+        gpu.set_memory((MATMUL_A_BASE as u32) + i, i + 1);
+        gpu.set_memory((MATMUL_B_BASE as u32) + i, (2 * i + 1) % 7);
+    }
+}
+
+/// Emits `r1 = wid * lanes + tid` (the global thread id).
+fn gid_into_r1(lanes: usize) -> Vec<I> {
+    vec![
+        I::plain(GpuOp::Tid(1)),
+        I::plain(GpuOp::Wid(0)),
+        I::plain(GpuOp::Mov(10, lanes as i16)),
+        I::plain(GpuOp::Imul(0, 0, 10)),
+        I::plain(GpuOp::Iadd(1, 0, 1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{GpuFault, Scheduler};
+
+    #[test]
+    fn saxpy_computes() {
+        let mut gpu = Gpgpu::new(4, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut gpu, 3);
+        gpu.load_kernel(&saxpy(3, 8));
+        gpu.run(10_000).unwrap();
+        for i in 0..32u32 {
+            assert_eq!(gpu.memory(SAXPY_Y_BASE + i), saxpy_expected(3, i), "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn selfcheck_saxpy_matches_plain_when_clean() {
+        let mut gpu = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut gpu, 5);
+        gpu.load_kernel(&saxpy_selfcheck(5, 8));
+        gpu.run(10_000).unwrap();
+        for i in 0..16u32 {
+            assert_eq!(gpu.memory(SAXPY_Y_BASE + i), saxpy_expected(5, i));
+        }
+        assert_eq!(gpu.memory(CHECK_FLAG), 0, "no false alarms");
+    }
+
+    #[test]
+    fn selfcheck_catches_transient_in_first_copy() {
+        // Flip the first product register (r4) after it is computed in
+        // warp 0, lane 0 — the plain kernel silently corrupts y, the
+        // self-checking kernel raises the flag instead.
+        let slot_after_first_mul = 20; // conservatively after r4 is live
+        let fault = GpuFault::RegisterFlip {
+            warp: 0,
+            lane: 0,
+            reg: 4,
+            bit: 9,
+            slot: slot_after_first_mul,
+        };
+        // plain
+        let mut plain = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut plain, 5);
+        plain.load_kernel(&saxpy(5, 8));
+        plain.inject(fault);
+        plain.run(10_000).unwrap();
+        let plain_sdc = (0..16u32).any(|i| plain.memory(SAXPY_Y_BASE + i) != saxpy_expected(5, i));
+        // self-check
+        let mut sc = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut sc, 5);
+        sc.load_kernel(&saxpy_selfcheck(5, 8));
+        sc.inject(fault);
+        sc.run(10_000).unwrap();
+        let sc_sdc = (0..16u32).any(|i| {
+            let v = sc.memory(SAXPY_Y_BASE + i);
+            v != saxpy_expected(5, i) && v != 100 + i // skipped store leaves original
+        });
+        let flagged = sc.memory(CHECK_FLAG) > 0;
+        if plain_sdc {
+            assert!(
+                flagged || !sc_sdc,
+                "self-check must flag or mask what plain corrupts"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_partial_sums() {
+        let mut gpu = Gpgpu::new(2, 4, Scheduler::Greedy);
+        for i in 0..32u32 {
+            gpu.set_memory(0x300 + i, i + 1);
+        }
+        gpu.load_kernel(&partial_reduction(0x300, 4, 4));
+        gpu.run(10_000).unwrap();
+        let total: u32 = (0..8u32).map(|g| gpu.memory(0x600 + g)).sum();
+        assert_eq!(total, (1..=32u32).sum::<u32>());
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let dim = 4;
+        // 16 threads: 2 warps x 8 lanes.
+        let mut gpu = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_matmul_data(&mut gpu, dim);
+        gpu.load_kernel(&matmul(dim, 8));
+        gpu.run(100_000).unwrap();
+        for row in 0..dim {
+            for col in 0..dim {
+                let expect: u32 = (0..dim)
+                    .map(|k| {
+                        let a = (row * dim + k) as u32 + 1;
+                        let b = (2 * (k * dim + col) as u32 + 1) % 7;
+                        a.wrapping_mul(b)
+                    })
+                    .fold(0u32, u32::wrapping_add);
+                let got = gpu.memory(MATMUL_C_BASE as u32 + (row * dim + col) as u32);
+                assert_eq!(got, expect, "C[{row}][{col}]");
+            }
+        }
+    }
+
+    #[test]
+    fn selfcheck_costs_more_slots() {
+        let mut a = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut a, 2);
+        a.load_kernel(&saxpy(2, 8));
+        a.run(10_000).unwrap();
+        let mut b = Gpgpu::new(2, 8, Scheduler::RoundRobin);
+        load_saxpy_data(&mut b, 2);
+        b.load_kernel(&saxpy_selfcheck(2, 8));
+        b.run(10_000).unwrap();
+        assert!(
+            b.issue_slots() > a.issue_slots(),
+            "duplication has a runtime cost: {} vs {}",
+            b.issue_slots(),
+            a.issue_slots()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! A SIMT GPGPU model for RESCUE-rs (the FlexGrip substitute).
+//!
+//! The RESCUE GPGPU work (paper Section III.A/III.B) needed "an open
+//! source embedded-GPGPU model for the accurate analysis and mitigation
+//! of SEU effects" \[43\]. This crate provides a cycle-approximate SIMT
+//! machine:
+//!
+//! * [`isa`] — a PTX-flavoured predicated instruction set with a binary
+//!   encoding (so pipeline-latch faults can corrupt real bits);
+//! * [`machine`] — warps × lanes execution with a pluggable warp
+//!   scheduler, scheduler fault injection (\[11\]: "About the functional
+//!   test of the GPGPU scheduler") and pipeline-register fault injection
+//!   (\[42\]);
+//! * [`kernels`] — SAXPY, reduction and matmul in two software encoding
+//!   styles (plain and self-checking duplication, \[40\]);
+//! * [`pipeline`] — permanent-fault campaigns over the instruction
+//!   latch (the pipeline-register testing of \[42\]).
+//! * [`sbst`] — the scheduler self-test: a kernel whose output encodes
+//!   the actual warp schedule, detecting scheduler faults functionally.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescue_gpgpu::kernels;
+//! use rescue_gpgpu::machine::{Gpgpu, Scheduler};
+//!
+//! let kernel = kernels::saxpy(3, 8);
+//! let mut gpu = Gpgpu::new(4, 8, Scheduler::RoundRobin);
+//! kernels::load_saxpy_data(&mut gpu, 3);
+//! gpu.load_kernel(&kernel);
+//! gpu.run(10_000)?;
+//! let y0 = gpu.memory(kernels::SAXPY_Y_BASE);
+//! assert_eq!(y0, 3 * 0 + 100); // a*x[0] + y[0]
+//! # Ok::<(), rescue_gpgpu::machine::GpuError>(())
+//! ```
+
+pub mod isa;
+pub mod kernels;
+pub mod machine;
+pub mod pipeline;
+pub mod sbst;
+
+pub use isa::GpuInstruction;
+pub use machine::{Gpgpu, GpuFault, Scheduler};

@@ -1,0 +1,153 @@
+//! Pipeline-register fault campaigns \[42\].
+//!
+//! A stuck bit in the fetched-instruction latch corrupts *every* issued
+//! instruction. The campaign enumerates all 64 stuck-at faults of the
+//! 32-bit latch, runs a kernel under each, and classifies the outcome —
+//! the permanent-fault counterpart of the SEU work on the same machine.
+
+use crate::isa::GpuInstruction;
+use crate::machine::{Gpgpu, GpuError, GpuFault, Scheduler};
+
+/// Outcome of one latch-fault run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineEffect {
+    /// Output identical to golden (the bit was never load-bearing).
+    Masked,
+    /// The machine trapped (illegal instruction / out of bounds) or hung.
+    Due,
+    /// Clean completion with wrong outputs.
+    Sdc,
+}
+
+/// Campaign result over the 64-fault latch universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    outcomes: Vec<(GpuFault, PipelineEffect)>,
+}
+
+impl PipelineReport {
+    /// Per-fault outcomes.
+    pub fn outcomes(&self) -> &[(GpuFault, PipelineEffect)] {
+        &self.outcomes
+    }
+
+    /// Count of one effect.
+    pub fn count(&self, effect: PipelineEffect) -> usize {
+        self.outcomes.iter().filter(|(_, e)| *e == effect).count()
+    }
+
+    /// Fraction of one effect.
+    pub fn fraction(&self, effect: PipelineEffect) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.count(effect) as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// The 64 stuck-at faults of the 32-bit instruction latch.
+pub fn latch_fault_universe() -> Vec<GpuFault> {
+    let mut v = Vec::with_capacity(64);
+    for bit in 0..32 {
+        for value in [false, true] {
+            v.push(GpuFault::PipelineLatchStuck { bit, value });
+        }
+    }
+    v
+}
+
+/// Runs the latch campaign: `kernel` on a `warps`×`lanes` machine,
+/// classified against the golden observable region
+/// `[obs_base, obs_base + obs_len)`.
+pub fn latch_campaign(
+    kernel: &[GpuInstruction],
+    warps: usize,
+    lanes: usize,
+    obs_base: u32,
+    obs_len: u32,
+    setup: impl Fn(&mut Gpgpu),
+) -> PipelineReport {
+    let golden = {
+        let mut gpu = Gpgpu::new(warps, lanes, Scheduler::RoundRobin);
+        setup(&mut gpu);
+        gpu.load_kernel(kernel);
+        gpu.run(200_000).expect("golden kernel runs clean");
+        observe(&gpu, obs_base, obs_len)
+    };
+    let outcomes = latch_fault_universe()
+        .into_iter()
+        .map(|fault| {
+            let mut gpu = Gpgpu::new(warps, lanes, Scheduler::RoundRobin);
+            setup(&mut gpu);
+            gpu.load_kernel(kernel);
+            gpu.inject(fault);
+            let effect = match gpu.run(200_000) {
+                Err(GpuError::Timeout { .. }) | Err(_) => PipelineEffect::Due,
+                Ok(()) => {
+                    if observe(&gpu, obs_base, obs_len) == golden {
+                        PipelineEffect::Masked
+                    } else {
+                        PipelineEffect::Sdc
+                    }
+                }
+            };
+            (fault, effect)
+        })
+        .collect();
+    PipelineReport { outcomes }
+}
+
+fn observe(gpu: &Gpgpu, base: u32, len: u32) -> Vec<u32> {
+    (0..len).map(|i| gpu.memory(base + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{load_saxpy_data, saxpy, SAXPY_Y_BASE};
+
+    #[test]
+    fn universe_is_64() {
+        assert_eq!(latch_fault_universe().len(), 64);
+    }
+
+    #[test]
+    fn campaign_partitions_and_finds_all_classes() {
+        let report = latch_campaign(&saxpy(3, 4), 2, 4, SAXPY_Y_BASE, 8, |gpu| {
+            load_saxpy_data(gpu, 3)
+        });
+        let total = report.count(PipelineEffect::Masked)
+            + report.count(PipelineEffect::Due)
+            + report.count(PipelineEffect::Sdc);
+        assert_eq!(total, 64);
+        // Opcode bits trap or corrupt; some operand bits are benign for
+        // this kernel; some produce silent corruption.
+        assert!(report.count(PipelineEffect::Due) > 0, "{report:?}");
+        assert!(report.count(PipelineEffect::Masked) > 0);
+        assert!(report.fraction(PipelineEffect::Sdc) < 1.0);
+    }
+
+    #[test]
+    fn sticking_a_bit_to_its_frequent_value_masks_more() {
+        // Bits that are 0 in every instruction word of the kernel are
+        // masked when stuck at 0.
+        let kernel = saxpy(3, 4);
+        let all_zero_bits: Vec<u8> = (0..32u8)
+            .filter(|&b| kernel.iter().all(|i| i.encode() >> b & 1 == 0))
+            .collect();
+        let report = latch_campaign(&kernel, 1, 4, SAXPY_Y_BASE, 4, |gpu| {
+            load_saxpy_data(gpu, 3)
+        });
+        for bit in all_zero_bits {
+            let outcome = report
+                .outcomes()
+                .iter()
+                .find(|(f, _)| {
+                    matches!(f, GpuFault::PipelineLatchStuck { bit: b, value: false } if *b == bit)
+                })
+                .map(|(_, e)| *e)
+                .expect("fault in universe");
+            assert_eq!(outcome, PipelineEffect::Masked, "bit {bit} stuck-0");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Behavioural SRAM array with injectable cell faults.
+
+use crate::fault_model::CellFault;
+
+/// A bit-granular SRAM with injected faults.
+///
+/// Reads and writes honour the active fault list; read currents model
+/// the analogue side for the current-sensor DfT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultySram {
+    cells: Vec<bool>,
+    faults: Vec<CellFault>,
+}
+
+impl FaultySram {
+    /// Creates a zeroed array of `size` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "empty SRAM");
+        FaultySram {
+            cells: vec![false; size],
+            faults: Vec::new(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` for a zero-size array (never happens post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Injects a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault references out-of-range cells.
+    pub fn inject(&mut self, fault: CellFault) {
+        let check = |c: usize| assert!(c < self.cells.len(), "cell {c} out of range");
+        match fault {
+            CellFault::StuckAt { cell, value } => {
+                check(cell);
+                self.cells[cell] = value;
+            }
+            CellFault::Transition { cell, .. } | CellFault::Weak { cell, .. } => check(cell),
+            CellFault::Coupling {
+                aggressor, victim, ..
+            } => {
+                check(aggressor);
+                check(victim);
+            }
+            CellFault::AddressAlias { a, b } => {
+                check(a);
+                check(b);
+            }
+        }
+        self.faults.push(fault);
+    }
+
+    /// The active fault list.
+    pub fn faults(&self) -> &[CellFault] {
+        &self.faults
+    }
+
+    fn resolve(&self, address: usize) -> usize {
+        for f in &self.faults {
+            if let CellFault::AddressAlias { a, b } = f {
+                if *a == address {
+                    return *b;
+                }
+            }
+        }
+        address
+    }
+
+    /// Writes one cell (through the fault model).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range addresses.
+    pub fn write(&mut self, address: usize, value: bool) {
+        assert!(address < self.cells.len(), "address out of range");
+        let cell = self.resolve(address);
+        let old = self.cells[cell];
+        let mut effective = value;
+        for f in &self.faults {
+            match *f {
+                CellFault::StuckAt { cell: c, value: v } if c == cell => effective = v,
+                CellFault::Transition { cell: c, to_one } if c == cell => {
+                    // The failing transition leaves the old value.
+                    if to_one && !old && value {
+                        effective = old;
+                    }
+                    if !to_one && old && !value {
+                        effective = old;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.cells[cell] = effective;
+        // Coupling effects trigger on the aggressor's *written* value.
+        let triggers: Vec<(usize, bool)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                CellFault::Coupling {
+                    aggressor,
+                    victim,
+                    trigger,
+                    forced,
+                } if aggressor == cell && effective == trigger => Some((victim, forced)),
+                _ => None,
+            })
+            .collect();
+        for (victim, forced) in triggers {
+            self.cells[victim] = forced;
+        }
+    }
+
+    /// Reads one cell (through the fault model).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range addresses.
+    pub fn read(&self, address: usize) -> bool {
+        assert!(address < self.cells.len(), "address out of range");
+        let cell = self.resolve(address);
+        let mut v = self.cells[cell];
+        for f in &self.faults {
+            if let CellFault::StuckAt { cell: c, value } = *f {
+                if c == cell {
+                    v = value;
+                }
+            }
+        }
+        v
+    }
+
+    /// The read current of a cell in µA: nominal 100, degraded by weak
+    /// faults (the analogue observable of the current-sensor DfT).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range addresses.
+    pub fn read_current_ua(&self, address: usize) -> f64 {
+        assert!(address < self.cells.len(), "address out of range");
+        let cell = self.resolve(address);
+        let mut current = 100.0;
+        for f in &self.faults {
+            if let CellFault::Weak {
+                cell: c,
+                severity_milli,
+            } = *f
+            {
+                if c == cell {
+                    current *= 1.0 - severity_milli.min(1000) as f64 / 1000.0;
+                }
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_read_write() {
+        let mut m = FaultySram::new(8);
+        m.write(3, true);
+        assert!(m.read(3));
+        assert!(!m.read(2));
+        m.write(3, false);
+        assert!(!m.read(3));
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn stuck_at_ignores_writes() {
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::StuckAt {
+            cell: 1,
+            value: true,
+        });
+        assert!(m.read(1));
+        m.write(1, false);
+        assert!(m.read(1));
+    }
+
+    #[test]
+    fn transition_fault_blocks_one_direction() {
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::Transition {
+            cell: 0,
+            to_one: true,
+        });
+        m.write(0, true); // 0->1 fails
+        assert!(!m.read(0));
+        // force through the other direction is unaffected:
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::Transition {
+            cell: 0,
+            to_one: false,
+        });
+        m.write(0, true);
+        assert!(m.read(0));
+        m.write(0, false); // 1->0 fails
+        assert!(m.read(0));
+    }
+
+    #[test]
+    fn coupling_fault_fires_on_trigger() {
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::Coupling {
+            aggressor: 0,
+            victim: 1,
+            trigger: true,
+            forced: true,
+        });
+        m.write(1, false);
+        m.write(0, true); // trigger
+        assert!(m.read(1), "victim forced");
+        m.write(1, false);
+        m.write(0, false); // no trigger
+        assert!(!m.read(1));
+    }
+
+    #[test]
+    fn address_alias_redirects() {
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::AddressAlias { a: 2, b: 3 });
+        m.write(2, true);
+        assert!(m.read(2), "alias reads back through the same alias");
+        assert!(m.read(3), "the aliased cell actually holds the data");
+    }
+
+    #[test]
+    fn weak_cells_work_logically_but_leak_current() {
+        let mut m = FaultySram::new(4);
+        m.inject(CellFault::Weak {
+            cell: 2,
+            severity_milli: 400,
+        });
+        m.write(2, true);
+        assert!(m.read(2), "weak cell still functions");
+        assert!((m.read_current_ua(2) - 60.0).abs() < 1e-9);
+        assert_eq!(m.read_current_ua(1), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_address_panics() {
+        FaultySram::new(2).read(5);
+    }
+}

@@ -1,0 +1,201 @@
+//! SRAM cell fault models, including FinFET defect mapping.
+
+use std::fmt;
+
+/// Behavioural fault of a single cell (or cell pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFault {
+    /// Cell always reads `value`; writes are ignored.
+    StuckAt {
+        /// Cell index.
+        cell: usize,
+        /// The stuck value.
+        value: bool,
+    },
+    /// Cell cannot make the `to_one` transition (up or down).
+    Transition {
+        /// Cell index.
+        cell: usize,
+        /// `true`: 0→1 fails (stuck-at-0 after a down write).
+        to_one: bool,
+    },
+    /// Writing `trigger` into the aggressor forces the victim to a value
+    /// (idempotent coupling fault, CFst).
+    Coupling {
+        /// Aggressor cell.
+        aggressor: usize,
+        /// Victim cell.
+        victim: usize,
+        /// Aggressor write value that triggers.
+        trigger: bool,
+        /// Value forced into the victim.
+        forced: bool,
+    },
+    /// Address-decoder fault: accesses to `a` land on `b` instead
+    /// (AF type: no cell is accessed with its own address).
+    AddressAlias {
+        /// The mis-decoded address.
+        a: usize,
+        /// The actually accessed address.
+        b: usize,
+    },
+    /// Weak cell: reads/writes work logically, but the read current is
+    /// degraded by `severity` in `(0, 1]` — invisible to March tests,
+    /// visible to the current-sensor DfT, and a retention risk.
+    Weak {
+        /// Cell index.
+        cell: usize,
+        /// Current degradation: 1.0 = dead, 0.1 = mild.
+        severity_milli: u16,
+    },
+}
+
+impl fmt::Display for CellFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFault::StuckAt { cell, value } => write!(f, "c{cell}/sa{}", *value as u8),
+            CellFault::Transition { cell, to_one } => {
+                write!(f, "c{cell}/tf{}", if *to_one { "up" } else { "down" })
+            }
+            CellFault::Coupling {
+                aggressor, victim, ..
+            } => write!(f, "c{aggressor}>c{victim}/cfst"),
+            CellFault::AddressAlias { a, b } => write!(f, "af:{a}->{b}"),
+            CellFault::Weak {
+                cell,
+                severity_milli,
+            } => write!(f, "c{cell}/weak{severity_milli}"),
+        }
+    }
+}
+
+/// A physical FinFET manufacturing defect, as characterized by the
+/// RESCUE TCAD flow (paper Section III.E). We substitute the TCAD
+/// electrical simulation with its published outcome: each defect class
+/// maps to a resistive severity and from there to cell behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FinfetDefect {
+    /// Crack across the channel: resistive open in the pull-down path.
+    ChannelCrack {
+        /// Cell index.
+        cell: usize,
+        /// Open resistance class 0 (mild) – 3 (full open).
+        severity: u8,
+    },
+    /// Bent fin: degraded drive strength.
+    BentFin {
+        /// Cell index.
+        cell: usize,
+        /// Severity class 0–3.
+        severity: u8,
+    },
+    /// Gate-oxide pinhole: resistive short to the gate.
+    GateOxideShort {
+        /// Cell index.
+        cell: usize,
+        /// Severity class 0–3.
+        severity: u8,
+    },
+}
+
+impl FinfetDefect {
+    /// Maps the physical defect to its behavioural fault, following the
+    /// characterization table: full opens become stuck-at/transition
+    /// faults, partial defects become weak cells.
+    pub fn to_cell_fault(self) -> CellFault {
+        match self {
+            FinfetDefect::ChannelCrack { cell, severity } => {
+                if severity >= 3 {
+                    // pull-down broken: cell cannot be written to 0
+                    CellFault::Transition {
+                        cell,
+                        to_one: false,
+                    }
+                } else {
+                    CellFault::Weak {
+                        cell,
+                        severity_milli: 250 * (severity as u16 + 1),
+                    }
+                }
+            }
+            FinfetDefect::BentFin { cell, severity } => {
+                if severity >= 3 {
+                    CellFault::Transition { cell, to_one: true }
+                } else {
+                    CellFault::Weak {
+                        cell,
+                        severity_milli: 150 * (severity as u16 + 1),
+                    }
+                }
+            }
+            FinfetDefect::GateOxideShort { cell, severity } => {
+                if severity >= 2 {
+                    CellFault::StuckAt { cell, value: false }
+                } else {
+                    CellFault::Weak {
+                        cell,
+                        severity_milli: 300 * (severity as u16 + 1),
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` when the defect only weakens the cell (hard-to-detect:
+    /// escapes March tests).
+    pub fn is_hard_to_detect(self) -> bool {
+        matches!(self.to_cell_fault(), CellFault::Weak { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            CellFault::StuckAt {
+                cell: 3,
+                value: true
+            }
+            .to_string(),
+            "c3/sa1"
+        );
+        assert!(CellFault::AddressAlias { a: 1, b: 2 }.to_string().contains("1->2"));
+    }
+
+    #[test]
+    fn severe_defects_become_hard_faults() {
+        let f = FinfetDefect::ChannelCrack { cell: 5, severity: 3 }.to_cell_fault();
+        assert!(matches!(f, CellFault::Transition { to_one: false, .. }));
+        let f = FinfetDefect::GateOxideShort { cell: 5, severity: 2 }.to_cell_fault();
+        assert!(matches!(f, CellFault::StuckAt { value: false, .. }));
+    }
+
+    #[test]
+    fn mild_defects_are_weak_cells() {
+        for severity in 0..3u8 {
+            let d = FinfetDefect::ChannelCrack { cell: 1, severity };
+            assert!(d.is_hard_to_detect());
+        }
+        assert!(!FinfetDefect::BentFin { cell: 0, severity: 3 }.is_hard_to_detect());
+    }
+
+    #[test]
+    fn severity_scales_weakness() {
+        let mild = FinfetDefect::BentFin { cell: 0, severity: 0 }.to_cell_fault();
+        let worse = FinfetDefect::BentFin { cell: 0, severity: 2 }.to_cell_fault();
+        match (mild, worse) {
+            (
+                CellFault::Weak {
+                    severity_milli: a, ..
+                },
+                CellFault::Weak {
+                    severity_milli: b, ..
+                },
+            ) => assert!(b > a),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! SRAM quality, reliability and security substrate for RESCUE-rs.
+//!
+//! "As SRAM memory dominates the chip area it is critical to ensure that
+//! this functions properly throughout its lifetime" (paper Section
+//! III.E). This crate covers the three RESCUE SRAM research lines:
+//!
+//! * [`fault_model`] + [`mod@array`] — a behavioural SRAM with classic
+//!   (stuck-at, transition, coupling, address-decoder) and
+//!   **FinFET defect-oriented** fault models: TCAD-characterized defects
+//!   such as cracked channels and bent fins map to resistive
+//!   opens/shorts, which map to cell behaviour (\[26\], \[27\]).
+//! * [`march`] — March tests (MATS+, March C−, March SS) as data, with a
+//!   runner and per-fault-class coverage measurement.
+//! * [`sensor`] — the on-chip current-sensor DfT scheme \[10\]:
+//!   neighbour-comparison of read currents catches *weak* cells that
+//!   still function logically and so escape March tests.
+//! * [`puf`] — the FinFET SRAM PUF model (paper Section III.F): power-up
+//!   fingerprints with mismatch + noise, reliability and uniqueness
+//!   metrics, and a repetition-code fuzzy extractor for key storage.
+//!
+//! # Examples
+//!
+//! March C− detects the classic fault classes:
+//!
+//! ```
+//! use rescue_mem::array::FaultySram;
+//! use rescue_mem::fault_model::CellFault;
+//! use rescue_mem::march::{march_cm, run_march};
+//!
+//! let mut mem = FaultySram::new(64);
+//! mem.inject(CellFault::StuckAt { cell: 17, value: true });
+//! let detected = run_march(&march_cm(), &mut mem);
+//! assert!(detected, "March C- catches stuck-at cells");
+//! ```
+
+pub mod array;
+pub mod fault_model;
+pub mod march;
+pub mod puf;
+pub mod sensor;
+
+pub use array::FaultySram;
+pub use fault_model::{CellFault, FinfetDefect};

@@ -1,0 +1,298 @@
+//! March tests as data, with a runner and coverage measurement.
+
+use crate::array::FaultySram;
+use crate::fault_model::CellFault;
+
+/// One operation inside a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarchOp {
+    /// Write the value.
+    Write(bool),
+    /// Read and expect the value.
+    Read(bool),
+}
+
+/// Address order of a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending addresses.
+    Up,
+    /// Descending addresses.
+    Down,
+    /// Any order (implemented ascending).
+    Any,
+}
+
+/// One March element: an address order plus per-address operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchElement {
+    /// Traversal order.
+    pub order: Order,
+    /// Operations applied to each address in turn.
+    pub ops: Vec<MarchOp>,
+}
+
+/// A complete March test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchTest {
+    /// Human name, e.g. `"March C-"`.
+    pub name: &'static str,
+    /// Elements in application order.
+    pub elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// Test complexity in operations per cell (the `xN` figure).
+    pub fn ops_per_cell(&self) -> usize {
+        self.elements.iter().map(|e| e.ops.len()).sum()
+    }
+}
+
+use MarchOp::{Read, Write};
+use Order::{Any, Down, Up};
+
+/// MATS+: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}` — 5N, detects SAF/AF.
+pub fn mats_plus() -> MarchTest {
+    MarchTest {
+        name: "MATS+",
+        elements: vec![
+            MarchElement {
+                order: Any,
+                ops: vec![Write(false)],
+            },
+            MarchElement {
+                order: Up,
+                ops: vec![Read(false), Write(true)],
+            },
+            MarchElement {
+                order: Down,
+                ops: vec![Read(true), Write(false)],
+            },
+        ],
+    }
+}
+
+/// March C−: `{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}`
+/// — 10N, detects SAF/TF/AF/CFs.
+pub fn march_cm() -> MarchTest {
+    MarchTest {
+        name: "March C-",
+        elements: vec![
+            MarchElement {
+                order: Any,
+                ops: vec![Write(false)],
+            },
+            MarchElement {
+                order: Up,
+                ops: vec![Read(false), Write(true)],
+            },
+            MarchElement {
+                order: Up,
+                ops: vec![Read(true), Write(false)],
+            },
+            MarchElement {
+                order: Down,
+                ops: vec![Read(false), Write(true)],
+            },
+            MarchElement {
+                order: Down,
+                ops: vec![Read(true), Write(false)],
+            },
+            MarchElement {
+                order: Any,
+                ops: vec![Read(false)],
+            },
+        ],
+    }
+}
+
+/// March SS: 22N, strengthens detection of static faults by double
+/// reads (`r0,r0,w0,r0,w1` style elements).
+pub fn march_ss() -> MarchTest {
+    MarchTest {
+        name: "March SS",
+        elements: vec![
+            MarchElement {
+                order: Any,
+                ops: vec![Write(false)],
+            },
+            MarchElement {
+                order: Up,
+                ops: vec![
+                    Read(false),
+                    Read(false),
+                    Write(false),
+                    Read(false),
+                    Write(true),
+                ],
+            },
+            MarchElement {
+                order: Up,
+                ops: vec![Read(true), Read(true), Write(true), Read(true), Write(false)],
+            },
+            MarchElement {
+                order: Down,
+                ops: vec![
+                    Read(false),
+                    Read(false),
+                    Write(false),
+                    Read(false),
+                    Write(true),
+                ],
+            },
+            MarchElement {
+                order: Down,
+                ops: vec![Read(true), Read(true), Write(true), Read(true), Write(false)],
+            },
+            MarchElement {
+                order: Any,
+                ops: vec![Read(false)],
+            },
+        ],
+    }
+}
+
+/// Runs a March test; returns `true` when any read mismatches (fault
+/// detected).
+pub fn run_march(test: &MarchTest, mem: &mut FaultySram) -> bool {
+    let n = mem.len();
+    let mut detected = false;
+    for element in &test.elements {
+        let addrs: Vec<usize> = match element.order {
+            Up | Any => (0..n).collect(),
+            Down => (0..n).rev().collect(),
+        };
+        for a in addrs {
+            for op in &element.ops {
+                match *op {
+                    Write(v) => mem.write(a, v),
+                    Read(expect) => {
+                        if mem.read(a) != expect {
+                            detected = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    detected
+}
+
+/// Coverage of a March test over a fault list: each fault is injected
+/// into a fresh array and the test re-run.
+pub fn march_coverage(test: &MarchTest, size: usize, faults: &[CellFault]) -> f64 {
+    if faults.is_empty() {
+        return 1.0;
+    }
+    let detected = faults
+        .iter()
+        .filter(|&&f| {
+            let mut mem = FaultySram::new(size);
+            mem.inject(f);
+            run_march(test, &mut mem)
+        })
+        .count();
+    detected as f64 / faults.len() as f64
+}
+
+/// The classic fault-class universe for a memory of `size` cells
+/// (sampled: one instance per class per cell for SAF/TF, neighbour pairs
+/// for CF, a few aliases).
+pub fn classic_universe(size: usize) -> Vec<CellFault> {
+    let mut faults = Vec::new();
+    for c in 0..size {
+        faults.push(CellFault::StuckAt {
+            cell: c,
+            value: false,
+        });
+        faults.push(CellFault::StuckAt {
+            cell: c,
+            value: true,
+        });
+        faults.push(CellFault::Transition {
+            cell: c,
+            to_one: true,
+        });
+        faults.push(CellFault::Transition {
+            cell: c,
+            to_one: false,
+        });
+        if c + 1 < size {
+            faults.push(CellFault::Coupling {
+                aggressor: c,
+                victim: c + 1,
+                trigger: true,
+                forced: true,
+            });
+            faults.push(CellFault::Coupling {
+                aggressor: c + 1,
+                victim: c,
+                trigger: false,
+                forced: false,
+            });
+        }
+    }
+    for a in (1..size).step_by(7) {
+        faults.push(CellFault::AddressAlias { a, b: a - 1 });
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_memory_passes_all_tests() {
+        for t in [mats_plus(), march_cm(), march_ss()] {
+            let mut mem = FaultySram::new(32);
+            assert!(!run_march(&t, &mut mem), "{} false alarm", t.name);
+        }
+    }
+
+    #[test]
+    fn complexity_figures() {
+        assert_eq!(mats_plus().ops_per_cell(), 5);
+        assert_eq!(march_cm().ops_per_cell(), 10);
+        assert_eq!(march_ss().ops_per_cell(), 22);
+    }
+
+    #[test]
+    fn march_cm_covers_classic_universe() {
+        let faults = classic_universe(16);
+        let cov = march_coverage(&march_cm(), 16, &faults);
+        assert_eq!(cov, 1.0, "March C- covers SAF/TF/AF/CFst");
+    }
+
+    #[test]
+    fn mats_plus_misses_some_faults_march_cm_catches() {
+        let faults = classic_universe(16);
+        let mats = march_coverage(&mats_plus(), 16, &faults);
+        let cm = march_coverage(&march_cm(), 16, &faults);
+        assert!(mats < cm, "MATS+ {mats} vs March C- {cm}");
+        assert!(mats > 0.5);
+    }
+
+    #[test]
+    fn weak_cells_escape_march_tests() {
+        let weak: Vec<CellFault> = (0..8)
+            .map(|c| CellFault::Weak {
+                cell: c,
+                severity_milli: 500,
+            })
+            .collect();
+        for t in [mats_plus(), march_cm(), march_ss()] {
+            assert_eq!(
+                march_coverage(&t, 8, &weak),
+                0.0,
+                "{} cannot see weak cells",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_full_coverage() {
+        assert_eq!(march_coverage(&mats_plus(), 8, &[]), 1.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! SRAM physical unclonable functions (PUFs) and fuzzy extraction.
+//!
+//! "With PUFs the random uncontrollable manufacturing parameters of the
+//! device can be used to create a unique identifier and a cryptographic
+//! key root … we have developed a simulation framework and an analytical
+//! mathematical model for FinFET SRAM PUFs in order to investigate
+//! reliability and entropy performance" (paper Section III.F).
+//!
+//! Model: each cell has a fixed mismatch parameter `m ~ N(0, 1)` frozen
+//! at manufacture; a power-up evaluation reads `sign(m + noise)` where
+//! the noise sigma grows with temperature/voltage deviation. Cells with
+//! `|m| >> sigma` are stable; near-zero-mismatch cells flip between
+//! evaluations — the source of the within-class Hamming distance the
+//! fuzzy extractor must absorb.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An instance of an SRAM PUF (one physical device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramPuf {
+    mismatch: Vec<f64>,
+}
+
+/// Environmental condition of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Junction temperature in kelvin.
+    pub temperature_k: f64,
+    /// Supply deviation from nominal, in percent (e.g. `-10.0`).
+    pub vdd_deviation_pct: f64,
+}
+
+impl Environment {
+    /// Nominal conditions (300 K, 0 %).
+    pub fn nominal() -> Self {
+        Environment {
+            temperature_k: 300.0,
+            vdd_deviation_pct: 0.0,
+        }
+    }
+
+    /// The evaluation noise sigma under these conditions (nominal 0.12,
+    /// growing with |ΔT| and |ΔVdd|).
+    pub fn noise_sigma(&self) -> f64 {
+        0.12 + 0.002 * (self.temperature_k - 300.0).abs()
+            + 0.01 * self.vdd_deviation_pct.abs()
+    }
+}
+
+impl SramPuf {
+    /// Manufactures a device of `bits` cells; `device_seed` is the
+    /// manufacturing randomness (different seeds = different devices).
+    pub fn manufacture(bits: usize, device_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(device_seed ^ 0x5eed_f00d);
+        SramPuf {
+            mismatch: (0..bits).map(|_| gaussian(&mut rng)).collect(),
+        }
+    }
+
+    /// Number of response bits.
+    pub fn len(&self) -> usize {
+        self.mismatch.len()
+    }
+
+    /// `true` for an empty (zero-cell) device.
+    pub fn is_empty(&self) -> bool {
+        self.mismatch.is_empty()
+    }
+
+    /// One power-up evaluation under `env`; `eval_seed` varies the noise.
+    pub fn evaluate(&self, env: Environment, eval_seed: u64) -> Vec<bool> {
+        let sigma = env.noise_sigma();
+        let mut rng = StdRng::seed_from_u64(eval_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.mismatch
+            .iter()
+            .map(|&m| m + sigma * gaussian(&mut rng) > 0.0)
+            .collect()
+    }
+
+    /// The noise-free reference response (enrollment fingerprint).
+    pub fn reference(&self) -> Vec<bool> {
+        self.mismatch.iter().map(|&m| m > 0.0).collect()
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fractional Hamming distance between two responses.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+pub fn hamming_fraction(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty responses");
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as f64 / a.len() as f64
+}
+
+/// PUF quality metrics over a population of devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PufMetrics {
+    /// Mean within-class (same device, repeated evaluation) HD — lower
+    /// is more reliable; target < 0.15 even at corners.
+    pub within_class_hd: f64,
+    /// Mean between-class (different devices) HD — ideal 0.5.
+    pub between_class_hd: f64,
+    /// Per-bit min-entropy estimate from the population bias.
+    pub min_entropy_per_bit: f64,
+}
+
+/// Measures metrics over `devices` devices × `evaluations` evaluations
+/// under `env`.
+///
+/// # Panics
+///
+/// Panics when `devices < 2` or `evaluations < 2`.
+pub fn measure(
+    bits: usize,
+    devices: usize,
+    evaluations: usize,
+    env: Environment,
+    seed: u64,
+) -> PufMetrics {
+    assert!(devices >= 2 && evaluations >= 2, "population too small");
+    let pufs: Vec<SramPuf> = (0..devices)
+        .map(|d| SramPuf::manufacture(bits, seed.wrapping_add(d as u64)))
+        .collect();
+    // Within-class.
+    let mut within = Vec::new();
+    for (d, puf) in pufs.iter().enumerate() {
+        let responses: Vec<Vec<bool>> = (0..evaluations)
+            .map(|e| puf.evaluate(env, seed ^ (d as u64) << 32 ^ e as u64))
+            .collect();
+        for w in responses.windows(2) {
+            within.push(hamming_fraction(&w[0], &w[1]));
+        }
+    }
+    // Between-class on references.
+    let mut between = Vec::new();
+    for i in 0..devices {
+        for j in i + 1..devices {
+            between.push(hamming_fraction(&pufs[i].reference(), &pufs[j].reference()));
+        }
+    }
+    // Bias per bit across the population.
+    let mut ones = vec![0usize; bits];
+    for puf in &pufs {
+        for (i, b) in puf.reference().into_iter().enumerate() {
+            if b {
+                ones[i] += 1;
+            }
+        }
+    }
+    let mut entropy = 0.0;
+    for &o in &ones {
+        let p = (o as f64 / devices as f64).clamp(1e-9, 1.0 - 1e-9);
+        let p_max = p.max(1.0 - p);
+        entropy += -p_max.log2();
+    }
+    PufMetrics {
+        within_class_hd: mean(&within),
+        between_class_hd: mean(&between),
+        min_entropy_per_bit: entropy / bits as f64,
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// A repetition-code fuzzy extractor: each key bit is enrolled as `n`
+/// PUF bits (majority decoded on reconstruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyExtractor {
+    repetition: usize,
+}
+
+impl FuzzyExtractor {
+    /// Creates an extractor with odd repetition factor `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is even or zero.
+    pub fn new(repetition: usize) -> Self {
+        assert!(repetition % 2 == 1 && repetition > 0, "odd repetition");
+        FuzzyExtractor { repetition }
+    }
+
+    /// Key bits extractable from `puf_bits` response bits.
+    pub fn key_bits(&self, puf_bits: usize) -> usize {
+        puf_bits / self.repetition
+    }
+
+    /// Enrollment: derives the key and helper data from a reference
+    /// response. Helper data = response XOR (key bit repeated), which
+    /// reveals nothing about the key for unbiased responses.
+    pub fn enroll(&self, reference: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let key: Vec<bool> = reference
+            .chunks(self.repetition)
+            .filter(|c| c.len() == self.repetition)
+            .map(|c| c.iter().filter(|&&b| b).count() * 2 > self.repetition)
+            .collect();
+        let mut helper = Vec::with_capacity(key.len() * self.repetition);
+        for (k, chunk) in key.iter().zip(reference.chunks(self.repetition)) {
+            for &b in chunk {
+                helper.push(b ^ k);
+            }
+        }
+        (key, helper)
+    }
+
+    /// Reconstruction from a noisy response and the helper data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the response is shorter than the helper data.
+    pub fn reconstruct(&self, noisy: &[bool], helper: &[bool]) -> Vec<bool> {
+        assert!(noisy.len() >= helper.len(), "response too short");
+        helper
+            .chunks(self.repetition)
+            .zip(noisy.chunks(self.repetition))
+            .filter(|(h, _)| h.len() == self.repetition)
+            .map(|(h, r)| {
+                let votes = h
+                    .iter()
+                    .zip(r)
+                    .filter(|(hb, rb)| *hb ^ *rb)
+                    .count();
+                votes * 2 > self.repetition
+            })
+            .collect()
+    }
+
+    /// Key-reconstruction failure rate over `trials` noisy evaluations.
+    pub fn failure_rate(
+        &self,
+        puf: &SramPuf,
+        env: Environment,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let (key, helper) = self.enroll(&puf.reference());
+        let failures = (0..trials)
+            .filter(|&t| {
+                let noisy = puf.evaluate(env, seed.wrapping_add(t as u64 + 1));
+                self.reconstruct(&noisy, &helper) != key
+            })
+            .count();
+        failures as f64 / trials.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_shape() {
+        let m = measure(256, 8, 5, Environment::nominal(), 11);
+        assert!(m.within_class_hd < 0.12, "nominal reliability: {m:?}");
+        assert!(
+            (m.between_class_hd - 0.5).abs() < 0.08,
+            "uniqueness: {m:?}"
+        );
+        assert!(m.min_entropy_per_bit > 0.4, "{m:?}");
+    }
+
+    #[test]
+    fn corners_degrade_reliability() {
+        let nominal = measure(256, 4, 5, Environment::nominal(), 3);
+        let hot = measure(
+            256,
+            4,
+            5,
+            Environment {
+                temperature_k: 400.0,
+                vdd_deviation_pct: -10.0,
+            },
+            3,
+        );
+        assert!(hot.within_class_hd > nominal.within_class_hd);
+    }
+
+    #[test]
+    fn different_devices_differ() {
+        let a = SramPuf::manufacture(128, 1);
+        let b = SramPuf::manufacture(128, 2);
+        let hd = hamming_fraction(&a.reference(), &b.reference());
+        assert!(hd > 0.3 && hd < 0.7);
+        assert_eq!(a.len(), 128);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fuzzy_extractor_round_trip_clean() {
+        let fe = FuzzyExtractor::new(5);
+        let puf = SramPuf::manufacture(100, 9);
+        let (key, helper) = fe.enroll(&puf.reference());
+        assert_eq!(key.len(), 20);
+        assert_eq!(fe.key_bits(100), 20);
+        let rec = fe.reconstruct(&puf.reference(), &helper);
+        assert_eq!(rec, key);
+    }
+
+    #[test]
+    fn repetition_absorbs_noise() {
+        let puf = SramPuf::manufacture(512, 21);
+        let env = Environment::nominal();
+        let weak = FuzzyExtractor::new(1);
+        let strong = FuzzyExtractor::new(7);
+        let fr_weak = weak.failure_rate(&puf, env, 50, 77);
+        let fr_strong = strong.failure_rate(&puf, env, 50, 77);
+        assert!(
+            fr_strong <= fr_weak,
+            "repetition-7 {fr_strong} vs raw {fr_weak}"
+        );
+        assert!(fr_weak > 0.0, "raw keys fail under evaluation noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd repetition")]
+    fn even_repetition_rejected() {
+        FuzzyExtractor::new(4);
+    }
+}

@@ -1,0 +1,210 @@
+//! On-chip current-sensor DfT for weak-cell detection \[10\], \[27\].
+//!
+//! "The idea is to compare the response of different cells with each
+//! other and from there identify defective or weak cells. This allows
+//! for testing all defects simultaneously while using a limited number
+//! of operations only" (paper Section III.E).
+
+use crate::array::FaultySram;
+use crate::fault_model::CellFault;
+use crate::march::{march_coverage, MarchTest};
+
+/// Configuration of the neighbour-comparison current sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentSensor {
+    /// Relative mismatch threshold that raises a flag (e.g. `0.15`).
+    pub threshold: f64,
+}
+
+impl CurrentSensor {
+    /// A sensor with the given relative threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is not in `(0, 1)`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0 && threshold < 1.0, "threshold in (0,1)");
+        CurrentSensor { threshold }
+    }
+
+    /// Scans the array comparing each cell with its neighbour; returns
+    /// the flagged cell indices.
+    pub fn scan(&self, mem: &FaultySram) -> Vec<usize> {
+        let mut flagged = Vec::new();
+        for c in 0..mem.len() {
+            let left = if c == 0 { c + 1 } else { c - 1 };
+            let i_c = mem.read_current_ua(c);
+            let i_l = mem.read_current_ua(left);
+            let reference = i_c.max(i_l).max(1e-9);
+            if (i_c - i_l).abs() / reference > self.threshold {
+                flagged.push(if i_c < i_l { c } else { left });
+            }
+        }
+        flagged.sort_unstable();
+        flagged.dedup();
+        flagged
+    }
+
+    /// Coverage of a weak-cell fault list: fraction whose cell the scan
+    /// flags.
+    pub fn weak_coverage(&self, size: usize, faults: &[CellFault]) -> f64 {
+        let weak: Vec<usize> = faults
+            .iter()
+            .filter_map(|f| match f {
+                CellFault::Weak { cell, .. } => Some(*cell),
+                _ => None,
+            })
+            .collect();
+        if weak.is_empty() {
+            return 1.0;
+        }
+        let detected = weak
+            .iter()
+            .filter(|&&cell| {
+                let mut mem = FaultySram::new(size);
+                // find the matching fault and inject it
+                for f in faults {
+                    if matches!(f, CellFault::Weak { cell: c, .. } if *c == cell) {
+                        mem.inject(*f);
+                    }
+                }
+                self.scan(&mem).contains(&cell)
+            })
+            .count();
+        detected as f64 / weak.len() as f64
+    }
+}
+
+/// E6 comparison row: March-only versus March + current sensor on a
+/// mixed hard/weak fault population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DftComparison {
+    /// March-test coverage alone.
+    pub march_only: f64,
+    /// Combined March + sensor coverage.
+    pub combined: f64,
+}
+
+/// Evaluates the DfT gain over a mixed fault list.
+pub fn compare_dft(
+    test: &MarchTest,
+    sensor: CurrentSensor,
+    size: usize,
+    faults: &[CellFault],
+) -> DftComparison {
+    if faults.is_empty() {
+        return DftComparison {
+            march_only: 1.0,
+            combined: 1.0,
+        };
+    }
+    let mut march_hits = 0usize;
+    let mut combined_hits = 0usize;
+    for &f in faults {
+        let mut mem = FaultySram::new(size);
+        mem.inject(f);
+        let march = crate::march::run_march(test, &mut mem);
+        // Sensor scan after the March leaves the array in a known state.
+        let sensed = match f {
+            CellFault::Weak { cell, .. } => sensor.scan(&mem).contains(&cell),
+            _ => false,
+        };
+        if march {
+            march_hits += 1;
+        }
+        if march || sensed {
+            combined_hits += 1;
+        }
+    }
+    DftComparison {
+        march_only: march_hits as f64 / faults.len() as f64,
+        combined: combined_hits as f64 / faults.len() as f64,
+    }
+}
+
+/// Convenience: coverage of `faults` by `test` alone (re-export point
+/// for experiment code).
+pub fn march_only_coverage(test: &MarchTest, size: usize, faults: &[CellFault]) -> f64 {
+    march_coverage(test, size, faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_model::FinfetDefect;
+    use crate::march::march_cm;
+
+    #[test]
+    fn sensor_flags_weak_cells() {
+        let mut mem = FaultySram::new(16);
+        mem.inject(CellFault::Weak {
+            cell: 5,
+            severity_milli: 400,
+        });
+        let sensor = CurrentSensor::new(0.15);
+        let flagged = sensor.scan(&mem);
+        assert_eq!(flagged, vec![5]);
+    }
+
+    #[test]
+    fn sensor_ignores_healthy_arrays() {
+        let mem = FaultySram::new(16);
+        assert!(CurrentSensor::new(0.1).scan(&mem).is_empty());
+    }
+
+    #[test]
+    fn mild_defects_below_threshold_escape() {
+        let mut mem = FaultySram::new(8);
+        mem.inject(CellFault::Weak {
+            cell: 2,
+            severity_milli: 50,
+        });
+        assert!(CurrentSensor::new(0.15).scan(&mem).is_empty());
+        assert!(!CurrentSensor::new(0.02).scan(&mem).is_empty());
+    }
+
+    #[test]
+    fn combined_dft_beats_march_on_finfet_defects() {
+        // Mixed population: half hard defects, half weak (hard-to-detect).
+        let mut faults = Vec::new();
+        for c in 0..8 {
+            faults.push(
+                FinfetDefect::ChannelCrack {
+                    cell: c,
+                    severity: 3,
+                }
+                .to_cell_fault(),
+            );
+            faults.push(
+                FinfetDefect::BentFin {
+                    cell: c,
+                    severity: 1,
+                }
+                .to_cell_fault(),
+            );
+        }
+        let cmp = compare_dft(&march_cm(), CurrentSensor::new(0.15), 8, &faults);
+        assert!(cmp.combined > cmp.march_only);
+        assert_eq!(cmp.combined, 1.0, "sensor closes the gap");
+        assert!((cmp.march_only - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_coverage_metric() {
+        let faults: Vec<CellFault> = (0..6)
+            .map(|c| CellFault::Weak {
+                cell: c,
+                severity_milli: 500,
+            })
+            .collect();
+        let s = CurrentSensor::new(0.15);
+        assert_eq!(s.weak_coverage(8, &faults), 1.0);
+        assert_eq!(s.weak_coverage(8, &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold() {
+        CurrentSensor::new(1.5);
+    }
+}

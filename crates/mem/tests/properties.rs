@@ -1,0 +1,119 @@
+//! Property-based tests for SRAM fault models, March tests and PUFs.
+
+use proptest::prelude::*;
+use rescue_mem::array::FaultySram;
+use rescue_mem::fault_model::{CellFault, FinfetDefect};
+use rescue_mem::march::{classic_universe, march_cm, march_ss, mats_plus, run_march};
+use rescue_mem::puf::{hamming_fraction, Environment, FuzzyExtractor, SramPuf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A clean memory behaves like a plain Vec<bool> under any op
+    /// sequence, and no March test ever false-alarms on it.
+    #[test]
+    fn clean_memory_is_transparent(ops in proptest::collection::vec((0usize..32, any::<bool>(), any::<bool>()), 1..100)) {
+        let mut mem = FaultySram::new(32);
+        let mut model = [false; 32];
+        for (addr, write, value) in ops {
+            if write {
+                mem.write(addr, value);
+                model[addr] = value;
+            } else {
+                prop_assert_eq!(mem.read(addr), model[addr]);
+            }
+        }
+        for t in [mats_plus(), march_cm(), march_ss()] {
+            let mut fresh = FaultySram::new(32);
+            prop_assert!(!run_march(&t, &mut fresh), "{} false alarm", t.name);
+        }
+    }
+
+    /// March C- detects every fault of the classic universe regardless
+    /// of memory size.
+    #[test]
+    fn march_cm_complete_on_classic(size in 4usize..40) {
+        for f in classic_universe(size) {
+            let mut mem = FaultySram::new(size);
+            mem.inject(f);
+            prop_assert!(run_march(&march_cm(), &mut mem), "{f} escaped March C-");
+        }
+    }
+
+    /// Detection is monotone in test strength: anything MATS+ catches,
+    /// March SS catches too (on single classic faults).
+    #[test]
+    fn march_ss_subsumes_mats(size in 4usize..24) {
+        for f in classic_universe(size) {
+            let caught_mats = {
+                let mut m = FaultySram::new(size);
+                m.inject(f);
+                run_march(&mats_plus(), &mut m)
+            };
+            let caught_ss = {
+                let mut m = FaultySram::new(size);
+                m.inject(f);
+                run_march(&march_ss(), &mut m)
+            };
+            if caught_mats {
+                prop_assert!(caught_ss, "{f} caught by MATS+ but not March SS");
+            }
+        }
+    }
+
+    /// FinFET defect mapping is total and severity-monotone for weak
+    /// cells.
+    #[test]
+    fn finfet_mapping_total(cell in 0usize..64, severity in 0u8..4) {
+        for d in [
+            FinfetDefect::ChannelCrack { cell, severity },
+            FinfetDefect::BentFin { cell, severity },
+            FinfetDefect::GateOxideShort { cell, severity },
+        ] {
+            let f = d.to_cell_fault();
+            // The mapped fault must reference the same cell.
+            let mapped_cell = match f {
+                CellFault::StuckAt { cell: c, .. }
+                | CellFault::Transition { cell: c, .. }
+                | CellFault::Weak { cell: c, .. } => c,
+                other => panic!("unexpected mapping {other}"),
+            };
+            prop_assert_eq!(mapped_cell, cell);
+        }
+    }
+
+    /// PUF responses are stable under zero-noise reference evaluation
+    /// and different devices differ by roughly half the bits.
+    #[test]
+    fn puf_uniqueness(seed_a in 1u64..1000, seed_b in 1001u64..2000) {
+        let a = SramPuf::manufacture(256, seed_a);
+        let b = SramPuf::manufacture(256, seed_b);
+        let hd = hamming_fraction(&a.reference(), &b.reference());
+        prop_assert!((0.3..0.7).contains(&hd), "between-class HD {hd}");
+        prop_assert_eq!(hamming_fraction(&a.reference(), &a.reference()), 0.0);
+    }
+
+    /// Fuzzy extraction round-trips on the reference response for every
+    /// odd repetition factor.
+    #[test]
+    fn fuzzy_extractor_round_trip(rep in 0usize..4, seed in 1u64..500) {
+        let rep = rep * 2 + 1; // 1,3,5,7
+        let fe = FuzzyExtractor::new(rep);
+        let puf = SramPuf::manufacture(rep * 24, seed);
+        let (key, helper) = fe.enroll(&puf.reference());
+        prop_assert_eq!(key.len(), 24);
+        prop_assert_eq!(fe.reconstruct(&puf.reference(), &helper), key);
+    }
+
+    /// Helper data alone leaks nothing usable: reconstructing with a
+    /// different device's response yields a different key (whp).
+    #[test]
+    fn helper_data_is_not_the_key(seed in 1u64..300) {
+        let fe = FuzzyExtractor::new(5);
+        let device = SramPuf::manufacture(200, seed);
+        let attacker = SramPuf::manufacture(200, seed + 7919);
+        let (key, helper) = fe.enroll(&device.reference());
+        let guess = fe.reconstruct(&attacker.evaluate(Environment::nominal(), 3), &helper);
+        prop_assert_ne!(guess, key);
+    }
+}

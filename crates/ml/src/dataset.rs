@@ -1,0 +1,133 @@
+//! Dataset utilities: normalization, shuffling and splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Min–max normalizer fit on training data, applied to anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits the per-feature ranges on `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged input.
+    pub fn fit(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "empty dataset");
+        let d = xs[0].len();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for x in xs {
+            assert_eq!(x.len(), d, "ragged dataset");
+            for (i, &v) in x.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Normalizer { mins, maxs }
+    }
+
+    /// Transforms one sample into `[0, 1]` per feature (constant
+    /// features map to 0.5).
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range <= 0.0 {
+                    0.5
+                } else {
+                    ((v - self.mins[i]) / range).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Transforms a batch.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+/// Shuffles and splits `(xs, ys)` into train/test with the given train
+/// fraction.
+///
+/// # Panics
+///
+/// Panics on length mismatch or a fraction outside `(0, 1)`.
+#[allow(clippy::type_complexity)]
+pub fn split<X: Clone, Y: Clone>(
+    xs: &[X],
+    ys: &[Y],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<X>, Vec<Y>, Vec<X>, Vec<Y>) {
+    assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "fraction in (0,1)"
+    );
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let cut = ((xs.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.clamp(1, xs.len().saturating_sub(1).max(1));
+    let (train_idx, test_idx) = idx.split_at(cut);
+    (
+        train_idx.iter().map(|&i| xs[i].clone()).collect(),
+        train_idx.iter().map(|&i| ys[i].clone()).collect(),
+        test_idx.iter().map(|&i| xs[i].clone()).collect(),
+        test_idx.iter().map(|&i| ys[i].clone()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizer_round_trip() {
+        let xs = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]];
+        let n = Normalizer::fit(&xs);
+        let t = n.transform(&[5.0, 20.0]);
+        assert_eq!(t, vec![0.5, 0.5]);
+        let all = n.transform_all(&xs);
+        assert_eq!(all[0], vec![0.0, 0.0]);
+        assert_eq!(all[2], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_half() {
+        let xs = vec![vec![3.0], vec![3.0]];
+        let n = Normalizer::fit(&xs);
+        assert_eq!(n.transform(&[3.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let xs: Vec<u32> = (0..100).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let (tx, ty, vx, vy) = split(&xs, &ys, 0.8, 9);
+        assert_eq!(tx.len(), 80);
+        assert_eq!(vx.len(), 20);
+        assert_eq!(ty.len(), 80);
+        assert_eq!(vy.len(), 20);
+        let mut all: Vec<u32> = tx.iter().chain(vx.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, xs);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let xs: Vec<u32> = (0..20).collect();
+        let ys = xs.clone();
+        let a = split(&xs, &ys, 0.5, 3);
+        let b = split(&xs, &ys, 0.5, 3);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Minimal machine-learning substrate for RESCUE-rs.
+//!
+//! The RESCUE project "explores the use of Machine Learning techniques
+//! for reliability and functional safety evaluation, allowing fast and
+//! accurate fault, error and failure metric extraction" (paper Section
+//! III.B; \[31\], \[55\]–\[57\]). This crate provides the pieces those
+//! experiments need, dependency-free:
+//!
+//! * [`logistic`] — logistic regression with SGD;
+//! * [`mlp`] — a one-hidden-layer perceptron with backprop, usable as a
+//!   regressor, classifier or autoencoder (the security crate trains it
+//!   on golden traces only for fault-attack detection);
+//! * [`graph`] — gate-level feature extraction in the spirit of the
+//!   GCN de-rating predictors \[56\], \[58\]: structural + testability
+//!   features with one-hop neighbourhood aggregation;
+//! * [`dataset`] — normalization, shuffling and splitting;
+//! * [`metrics`] — accuracy, confusion counts, MSE, R².
+//!
+//! # Examples
+//!
+//! Learn XOR with the MLP:
+//!
+//! ```
+//! use rescue_ml::mlp::Mlp;
+//!
+//! let xs = vec![
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ];
+//! let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+//! let mut net = Mlp::new(2, 8, 1, 42);
+//! net.train(&xs, &ys, 3000, 0.5);
+//! assert!(net.forward(&[1.0, 0.0])[0] > 0.5);
+//! assert!(net.forward(&[1.0, 1.0])[0] < 0.5);
+//! ```
+
+pub mod dataset;
+pub mod graph;
+pub mod logistic;
+pub mod metrics;
+pub mod mlp;
+
+pub use logistic::Logistic;
+pub use mlp::Mlp;

@@ -1,0 +1,127 @@
+//! Logistic regression with SGD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A binary logistic-regression classifier.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_ml::Logistic;
+///
+/// let xs = vec![vec![0.1], vec![0.2], vec![0.8], vec![0.9]];
+/// let ys = vec![false, false, true, true];
+/// let mut clf = Logistic::new(1, 5);
+/// clf.train(&xs, &ys, 500, 0.5);
+/// assert!(clf.predict(&[0.95]));
+/// assert!(!clf.predict(&[0.05]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Logistic {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Logistic {
+    /// Creates a model for `n_features` inputs with tiny random init.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_features == 0`.
+    pub fn new(n_features: usize, seed: u64) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Logistic {
+            weights: (0..n_features).map(|_| rng.gen_range(-0.01..0.01)).collect(),
+            bias: 0.0,
+        }
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Class-1 probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-count mismatch.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.probability(x) >= 0.5
+    }
+
+    /// SGD training with cross-entropy gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` differ in length.
+    pub fn train(&mut self, xs: &[Vec<f64>], ys: &[bool], epochs: usize, lr: f64) {
+        assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
+        for _ in 0..epochs {
+            for (x, &y) in xs.iter().zip(ys) {
+                let p = self.probability(x);
+                let err = p - (y as u8 as f64);
+                for (w, v) in self.weights.iter_mut().zip(x) {
+                    *w -= lr * err * v;
+                }
+                self.bias -= lr * err;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_data_learned() {
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 / 50.0, 1.0 - i as f64 / 50.0])
+            .collect();
+        let ys: Vec<bool> = (0..50).map(|i| i >= 25).collect();
+        let mut clf = Logistic::new(2, 1);
+        clf.train(&xs, &ys, 400, 0.5);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| clf.predict(x) == y)
+            .count();
+        assert!(correct >= 47, "{correct}/50");
+        assert_eq!(clf.n_features(), 2);
+        assert_eq!(clf.weights().len(), 2);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let clf = Logistic::new(3, 2);
+        let p = clf.probability(&[100.0, -50.0, 3.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn mismatch_panics() {
+        Logistic::new(2, 0).probability(&[1.0]);
+    }
+}

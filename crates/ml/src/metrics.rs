@@ -1,0 +1,151 @@
+//! Classification and regression metrics.
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn tally(predictions: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &l) in predictions.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => c.tp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Accuracy (1.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.tn + self.fp + self.fn_;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// True-positive rate (detection rate); 1.0 with no positives.
+    pub fn recall(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / pos as f64
+    }
+
+    /// False-positive rate; 0.0 with no negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        let neg = self.tn + self.fp;
+        if neg == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / neg as f64
+    }
+
+    /// Precision; 1.0 with no predicted positives.
+    pub fn precision(&self) -> f64 {
+        let pred = self.tp + self.fp;
+        if pred == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / pred as f64
+    }
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R² (1.0 = perfect; can be negative).
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = vec![true, true, false, false];
+        let lab = vec![true, false, true, false];
+        let c = Confusion::tally(&pred, &lab);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.false_positive_rate(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_confusions() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+        let p = vec![2.0, 2.0, 2.0];
+        assert!(mse(&p, &t) > 0.0);
+        assert!(r_squared(&p, &t) < 1.0);
+        // predicting the mean gives R^2 = 0
+        assert!((r_squared(&p, &t) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! A one-hidden-layer perceptron with backpropagation.
+
+// Backprop reads most naturally as indexed loops over the weight
+// matrices; the clippy range-loop suggestions would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully connected `input → hidden (tanh) → output (sigmoid)` network.
+///
+/// Deliberately small and deterministic (seeded init, full-batch order),
+/// sufficient for the RESCUE de-rating and anomaly-detection tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    n_in: usize,
+    n_hidden: usize,
+    n_out: usize,
+    w1: Vec<f64>, // n_hidden x n_in
+    b1: Vec<f64>,
+    w2: Vec<f64>, // n_out x n_hidden
+    b2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-ish random init from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(n_in: usize, n_hidden: usize, n_out: usize, seed: u64) -> Self {
+        assert!(n_in > 0 && n_hidden > 0 && n_out > 0, "non-trivial sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s1 = (1.0 / n_in as f64).sqrt();
+        let s2 = (1.0 / n_hidden as f64).sqrt();
+        Mlp {
+            n_in,
+            n_hidden,
+            n_out,
+            w1: (0..n_hidden * n_in)
+                .map(|_| rng.gen_range(-s1..s1))
+                .collect(),
+            b1: vec![0.0; n_hidden],
+            w2: (0..n_out * n_hidden)
+                .map(|_| rng.gen_range(-s2..s2))
+                .collect(),
+            b2: vec![0.0; n_out],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.n_out
+    }
+
+    fn hidden(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.n_hidden)
+            .map(|h| {
+                let mut a = self.b1[h];
+                for i in 0..self.n_in {
+                    a += self.w1[h * self.n_in + i] * x[i];
+                }
+                a.tanh()
+            })
+            .collect()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_in, "input dimension mismatch");
+        let h = self.hidden(x);
+        (0..self.n_out)
+            .map(|o| {
+                let mut a = self.b2[o];
+                for j in 0..self.n_hidden {
+                    a += self.w2[o * self.n_hidden + j] * h[j];
+                }
+                sigmoid(a)
+            })
+            .collect()
+    }
+
+    /// One SGD step on a single example; returns the squared error.
+    pub fn step(&mut self, x: &[f64], y: &[f64], lr: f64) -> f64 {
+        assert_eq!(y.len(), self.n_out, "target dimension mismatch");
+        let h = self.hidden(x);
+        let out = (0..self.n_out)
+            .map(|o| {
+                let mut a = self.b2[o];
+                for j in 0..self.n_hidden {
+                    a += self.w2[o * self.n_hidden + j] * h[j];
+                }
+                sigmoid(a)
+            })
+            .collect::<Vec<f64>>();
+        // Output deltas (MSE with sigmoid derivative).
+        let delta_out: Vec<f64> = out
+            .iter()
+            .zip(y)
+            .map(|(&o, &t)| (o - t) * o * (1.0 - o))
+            .collect();
+        // Hidden deltas.
+        let delta_h: Vec<f64> = (0..self.n_hidden)
+            .map(|j| {
+                let mut s = 0.0;
+                for o in 0..self.n_out {
+                    s += delta_out[o] * self.w2[o * self.n_hidden + j];
+                }
+                s * (1.0 - h[j] * h[j])
+            })
+            .collect();
+        for o in 0..self.n_out {
+            for j in 0..self.n_hidden {
+                self.w2[o * self.n_hidden + j] -= lr * delta_out[o] * h[j];
+            }
+            self.b2[o] -= lr * delta_out[o];
+        }
+        for j in 0..self.n_hidden {
+            for i in 0..self.n_in {
+                self.w1[j * self.n_in + i] -= lr * delta_h[j] * x[i];
+            }
+            self.b1[j] -= lr * delta_h[j];
+        }
+        out.iter().zip(y).map(|(&o, &t)| (o - t) * (o - t)).sum()
+    }
+
+    /// Trains for `epochs` full passes over the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` differ in length.
+    pub fn train(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], epochs: usize, lr: f64) {
+        assert_eq!(xs.len(), ys.len(), "sample/target count mismatch");
+        for _ in 0..epochs {
+            for (x, y) in xs.iter().zip(ys) {
+                self.step(x, y, lr);
+            }
+        }
+    }
+
+    /// Mean reconstruction error of an autoencoder usage
+    /// (`ys == xs`), used as the anomaly score for fault detection.
+    pub fn reconstruction_error(&self, x: &[f64]) -> f64 {
+        let out = self.forward(x);
+        out.iter()
+            .zip(x)
+            .map(|(&o, &t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / x.len() as f64
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_gate() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![vec![0.0], vec![0.0], vec![0.0], vec![1.0]];
+        let mut net = Mlp::new(2, 4, 1, 1);
+        net.train(&xs, &ys, 2000, 0.8);
+        assert!(net.forward(&[1.0, 1.0])[0] > 0.8);
+        assert!(net.forward(&[0.0, 1.0])[0] < 0.2);
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let xs = vec![vec![0.2, 0.7], vec![0.9, 0.1]];
+        let ys = vec![vec![1.0], vec![0.0]];
+        let mut net = Mlp::new(2, 6, 1, 3);
+        let before: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (net.forward(x)[0] - y[0]).powi(2))
+            .sum();
+        net.train(&xs, &ys, 500, 0.5);
+        let after: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (net.forward(x)[0] - y[0]).powi(2))
+            .sum();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn autoencoder_flags_anomalies() {
+        // Train identity on points near (0.2, 0.8); anomaly far away.
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![0.2 + 0.01 * (i % 5) as f64, 0.8 - 0.01 * (i % 7) as f64])
+            .collect();
+        let mut net = Mlp::new(2, 6, 2, 7);
+        let targets = xs.clone();
+        net.train(&xs, &targets, 800, 0.4);
+        let normal = net.reconstruction_error(&[0.21, 0.79]);
+        let anomaly = net.reconstruction_error(&[0.95, 0.05]);
+        assert!(anomaly > 2.0 * normal, "anomaly {anomaly} vs {normal}");
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(3, 4, 2, 9);
+        let b = Mlp::new(3, 4, 2, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.input_dim(), 3);
+        assert_eq!(a.output_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        Mlp::new(2, 2, 1, 0).forward(&[1.0]);
+    }
+}

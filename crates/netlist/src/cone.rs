@@ -1,0 +1,158 @@
+//! Cone-of-influence / fan-in / fan-out analysis.
+//!
+//! These traversals power fault-list pruning (dynamic-slicing-style fault
+//! injection acceleration, paper Section III.D) and observability reasoning
+//! in the ATPG crate.
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Computes the transitive fan-in cone of `roots` (the set of gates whose
+/// value can influence any root), including the roots themselves.
+///
+/// DFFs are traversed through their `D` pin, so the cone is the full
+/// sequential cone of influence.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_netlist::{NetlistBuilder, cone::fanin_cone};
+///
+/// let mut b = NetlistBuilder::new("c");
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let n = b.not(a);
+/// let y = b.and(n, x);
+/// b.output("y", y);
+/// let net = b.finish();
+/// let cone = fanin_cone(&net, &[y]);
+/// assert_eq!(cone.len(), 4);
+/// ```
+pub fn fanin_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
+    let mut seen = vec![false; netlist.len()];
+    let mut stack: Vec<GateId> = roots.to_vec();
+    for &r in roots {
+        seen[r.index()] = true;
+    }
+    while let Some(g) = stack.pop() {
+        for &p in netlist.gate(g).inputs() {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    collect(&seen)
+}
+
+/// Computes the transitive fan-out cone of `roots` (every gate whose value
+/// may be affected by a root), including the roots.
+pub fn fanout_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
+    let fo = netlist.fanout();
+    let mut seen = vec![false; netlist.len()];
+    let mut stack: Vec<GateId> = roots.to_vec();
+    for &r in roots {
+        seen[r.index()] = true;
+    }
+    while let Some(g) = stack.pop() {
+        for &s in &fo[g.index()] {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    collect(&seen)
+}
+
+/// Combinational-only fan-in cone: stops at DFF outputs (the "slice" used
+/// for per-cycle fault-effect reasoning).
+pub fn comb_fanin_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
+    let mut seen = vec![false; netlist.len()];
+    let mut stack: Vec<GateId> = roots.to_vec();
+    for &r in roots {
+        seen[r.index()] = true;
+    }
+    while let Some(g) = stack.pop() {
+        if netlist.gate(g).kind().is_sequential() && !roots.contains(&g) {
+            continue;
+        }
+        for &p in netlist.gate(g).inputs() {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    collect(&seen)
+}
+
+/// Gates that can reach at least one primary output (observable gates).
+///
+/// A gate outside this set is structurally unobservable: any fault on it is
+/// *safe* in the ISO 26262 sense (paper Section III.D).
+pub fn observable_set(netlist: &Netlist) -> Vec<GateId> {
+    let outs = netlist.output_ids();
+    fanin_cone(netlist, &outs)
+}
+
+fn collect(seen: &[bool]) -> Vec<GateId> {
+    seen.iter()
+        .enumerate()
+        .filter(|(_, &s)| s)
+        .map(|(i, _)| GateId(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn fanout_cone_reaches_downstream() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let n = b.not(a);
+        let y = b.and(n, x);
+        let z = b.or(y, x);
+        b.output("z", z);
+        let net = b.finish();
+        let cone = fanout_cone(&net, &[a]);
+        assert!(cone.contains(&n));
+        assert!(cone.contains(&y));
+        assert!(cone.contains(&z));
+        assert!(!cone.contains(&x));
+    }
+
+    #[test]
+    fn unobservable_gate_detected() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let dead = b.not(x); // drives nothing
+        let y = b.buf(a);
+        b.output("y", y);
+        let net = b.finish();
+        let obs = observable_set(&net);
+        assert!(!obs.contains(&dead));
+        assert!(obs.contains(&a));
+    }
+
+    #[test]
+    fn comb_cone_stops_at_dff() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let n = b.not(a);
+        let q = b.dff(n);
+        let y = b.buf(q);
+        b.output("y", y);
+        let net = b.finish();
+        let cone = comb_fanin_cone(&net, &[y]);
+        assert!(cone.contains(&q));
+        assert!(!cone.contains(&n), "cone must stop at the DFF boundary");
+        let seq = fanin_cone(&net, &[y]);
+        assert!(seq.contains(&n), "sequential cone crosses the DFF");
+    }
+}

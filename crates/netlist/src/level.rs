@@ -1,0 +1,142 @@
+//! Levelization: topological ordering of combinational logic.
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Result of levelizing a [`Netlist`].
+///
+/// Sources (primary inputs, constants, and DFF outputs) sit at level 0;
+/// every other gate is one more than the maximum of its input levels. The
+/// [`Levelization::order`] is a valid evaluation order for single-pass
+/// combinational simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    levels: Vec<u32>,
+    order: Vec<GateId>,
+    depth: u32,
+}
+
+impl Levelization {
+    /// Computes the levelization of `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (a validated netlist
+    /// never does; see [`Netlist::validate`]).
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut levels = vec![0u32; n];
+        let mut indeg = vec![0usize; n];
+        // Kahn's algorithm over combinational edges only.
+        let fanout = netlist.fanout();
+        let mut queue: Vec<GateId> = Vec::new();
+        for (id, g) in netlist.iter() {
+            let comb_preds = if g.kind().is_sequential() {
+                0
+            } else {
+                g.inputs().len()
+            };
+            indeg[id.index()] = comb_preds;
+            if comb_preds == 0 {
+                queue.push(id);
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &v in &fanout[u.index()] {
+                let vg = netlist.gate(v);
+                if vg.kind().is_sequential() {
+                    continue; // edge into a DFF D-pin is a sequential edge
+                }
+                let lv = levels[u.index()] + 1;
+                if lv > levels[v.index()] {
+                    levels[v.index()] = lv;
+                }
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        // DFFs were enqueued as sources (comb_preds == 0) so all gates are
+        // covered unless there is a cycle.
+        assert_eq!(order.len(), n, "combinational cycle during levelization");
+        let depth = levels.iter().copied().max().unwrap_or(0);
+        Levelization {
+            levels,
+            order,
+            depth,
+        }
+    }
+
+    /// The level of `id` (0 for sources).
+    pub fn level(&self, id: GateId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Gates in a valid combinational evaluation order.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// The maximum level (logic depth) of the design.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn levels_of_chain() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        b.output("y", n3);
+        let net = b.finish();
+        let lv = net.levelize();
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(n3), 3);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and(a, c);
+        let y = b.or(x, a);
+        b.output("y", y);
+        let net = b.finish();
+        let lv = net.levelize();
+        let pos: Vec<usize> = net
+            .ids()
+            .map(|id| lv.order().iter().position(|&o| o == id).unwrap())
+            .collect();
+        assert!(pos[x.index()] > pos[a.index()]);
+        assert!(pos[y.index()] > pos[x.index()]);
+    }
+
+    #[test]
+    fn dff_breaks_levels() {
+        let mut b = NetlistBuilder::new("seq");
+        let q = b.dff_floating();
+        let nq = b.not(q);
+        b.connect_dff(q, nq);
+        b.output("q", q);
+        let net = b.finish();
+        let lv = net.levelize();
+        assert_eq!(lv.level(q), 0);
+        assert_eq!(lv.level(nq), 1);
+        assert_eq!(lv.order().len(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Summary statistics over a netlist, used in reports and EXPERIMENTS.md.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Gate-count and depth summary of a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use rescue_netlist::generate;
+/// let net = generate::c17();
+/// let st = net.stats();
+/// assert_eq!(st.primary_inputs, 5);
+/// assert_eq!(st.primary_outputs, 2);
+/// assert!(st.depth >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total gates, including inputs/constants/DFFs.
+    pub gates: usize,
+    /// Combinational gates only.
+    pub combinational: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Primary input count.
+    pub primary_inputs: usize,
+    /// Primary output count.
+    pub primary_outputs: usize,
+    /// Logic depth (maximum level).
+    pub depth: u32,
+    /// Per-kind gate counts.
+    pub by_kind: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut comb = 0usize;
+        for (_, g) in netlist.iter() {
+            *by_kind.entry(g.kind().mnemonic().to_string()).or_insert(0) += 1;
+            if !g.kind().is_sequential() && !g.kind().is_source() {
+                comb += 1;
+            }
+        }
+        let depth = netlist.levelize().depth();
+        NetlistStats {
+            name: netlist.name().to_string(),
+            gates: netlist.len(),
+            combinational: comb,
+            dffs: netlist.dffs().len(),
+            primary_inputs: netlist.primary_inputs().len(),
+            primary_outputs: netlist.primary_outputs().len(),
+            depth,
+            by_kind,
+        }
+    }
+
+    /// Count of a given kind, 0 when absent.
+    pub fn kind_count(&self, kind: GateKind) -> usize {
+        self.by_kind.get(kind.mnemonic()).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} comb, {} dff), {} PIs, {} POs, depth {}",
+            self.name,
+            self.gates,
+            self.combinational,
+            self.dffs,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn counts_kinds() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and(a, c);
+        let q = b.dff(x);
+        b.output("q", q);
+        let st = b.finish().stats();
+        assert_eq!(st.gates, 4);
+        assert_eq!(st.combinational, 1);
+        assert_eq!(st.dffs, 1);
+        assert_eq!(st.kind_count(GateKind::Input), 2);
+        assert_eq!(st.kind_count(GateKind::And), 1);
+        assert_eq!(st.kind_count(GateKind::Mux), 0);
+        assert!(st.to_string().contains("4 gates"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+use rescue_netlist::{cone, format, generate, GateId};
+
+proptest! {
+    /// Random logic generation always yields a valid, acyclic netlist.
+    #[test]
+    fn random_logic_valid(n_in in 2usize..10, n_g in 4usize..120, seed in 1u64..5000) {
+        let n_out = 1 + n_g % 4;
+        let net = generate::random_logic(n_in, n_g, n_out.min(n_g), seed);
+        prop_assert!(net.validate().is_ok());
+        let lv = net.levelize();
+        // Every gate's level is strictly above its combinational inputs.
+        for (id, g) in net.iter() {
+            if !g.kind().is_sequential() {
+                for &p in g.inputs() {
+                    prop_assert!(lv.level(id) > lv.level(p));
+                }
+            }
+        }
+    }
+
+    /// Text serialization round-trips structure exactly.
+    #[test]
+    fn format_round_trip(n_in in 2usize..8, n_g in 4usize..60, seed in 1u64..1000) {
+        let net = generate::random_logic(n_in, n_g, 2, seed);
+        let back = format::from_text(&format::to_text(&net)).unwrap();
+        prop_assert_eq!(back.len(), net.len());
+        for (id, g) in net.iter() {
+            prop_assert_eq!(back.gate(id).kind(), g.kind());
+            prop_assert_eq!(back.gate(id).inputs(), g.inputs());
+        }
+    }
+
+    /// Fan-in and fan-out cones are consistent: if a is in fanin(b) then b
+    /// is in fanout(a).
+    #[test]
+    fn cones_are_dual(seed in 1u64..500) {
+        let net = generate::random_logic(6, 50, 3, seed);
+        let outs = net.output_ids();
+        let root = outs[0];
+        let fin = cone::fanin_cone(&net, &[root]);
+        for &g in fin.iter().take(20) {
+            let fout = cone::fanout_cone(&net, &[g]);
+            prop_assert!(fout.contains(&root), "gate {g} in fanin of {root} but {root} not in its fanout");
+        }
+    }
+
+    /// Adders grow linearly and always validate.
+    #[test]
+    fn adders_validate(n in 1usize..24) {
+        let a = generate::adder(n);
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(a.primary_outputs().len(), n + 1);
+    }
+}
+
+#[test]
+fn observable_set_covers_outputs() {
+    let net = generate::random_logic(6, 80, 4, 7);
+    let obs = cone::observable_set(&net);
+    for (_, g) in net.primary_outputs() {
+        assert!(obs.contains(g));
+    }
+}
+
+#[test]
+fn tmr_of_parity_has_voters() {
+    let inner = generate::parity(8);
+    let t = generate::tmr(&inner);
+    // 3 copies of the XOR tree plus 5 voter gates per output.
+    assert!(t.len() >= 3 * (inner.len() - 8) + 5);
+    assert_eq!(t.primary_inputs().len(), 8);
+}
+
+#[test]
+fn gate_ids_are_dense_and_ordered() {
+    let net = generate::c17();
+    let ids: Vec<GateId> = net.ids().collect();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(id.index(), i);
+    }
+}

@@ -1,0 +1,146 @@
+//! Statistical-versus-exhaustive fault-injection planning.
+//!
+//! Glues the sampling theory of [`rescue_faults::sample`] to the SEU
+//! engine: plan a sampled campaign for a given error margin, execute it,
+//! and (on designs small enough) validate against the exhaustive answer —
+//! paper Section III.B's core cost/accuracy argument.
+
+use crate::seu_analysis::{SeuCampaign, SeuReport};
+use rescue_faults::sample::{achieved_margin, sample_size, Confidence};
+use rescue_faults::FaultError;
+use rescue_netlist::Netlist;
+
+/// A planned statistical injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Total population of (flop, cycle) injection points.
+    pub population: usize,
+    /// Planned sample size.
+    pub sample: usize,
+    /// Requested error margin.
+    pub error_margin: f64,
+    /// Confidence level.
+    pub confidence: Confidence,
+    /// Relative cost versus exhaustive (`sample / population`).
+    pub cost_ratio: f64,
+}
+
+/// Plans a sampled SEU campaign for `netlist` with `warmup` injection
+/// cycles per flop.
+///
+/// # Errors
+///
+/// Propagates [`FaultError::BadSamplingParameter`] for invalid margins.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_faults::sample::Confidence;
+/// use rescue_netlist::generate;
+/// use rescue_radiation::campaign::plan;
+///
+/// let lfsr = generate::lfsr(16, &[15, 13, 12, 10]);
+/// let p = plan(&lfsr, 1000, 0.05, Confidence::C95)?;
+/// assert!(p.sample < p.population);
+/// assert!(p.cost_ratio < 0.1);
+/// # Ok::<(), rescue_faults::FaultError>(())
+/// ```
+pub fn plan(
+    netlist: &Netlist,
+    warmup: usize,
+    error_margin: f64,
+    confidence: Confidence,
+) -> Result<CampaignPlan, FaultError> {
+    let population = netlist.dffs().len() * warmup.max(1);
+    let sample = sample_size(population, error_margin, confidence, 0.5)?;
+    Ok(CampaignPlan {
+        population,
+        sample,
+        error_margin,
+        confidence,
+        cost_ratio: if population == 0 {
+            0.0
+        } else {
+            sample as f64 / population as f64
+        },
+    })
+}
+
+/// Executes a planned campaign and reports the AVF with its achieved
+/// margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledResult {
+    /// The underlying SEU report.
+    pub report: SeuReport,
+    /// Estimated AVF.
+    pub avf: f64,
+    /// Achieved error margin at the plan's confidence.
+    pub margin: Option<f64>,
+}
+
+/// Runs the sampled campaign described by `plan`.
+///
+/// # Panics
+///
+/// Panics if `inputs` has the wrong width or the design has no DFFs.
+pub fn execute(
+    netlist: &Netlist,
+    inputs: &[bool],
+    plan: &CampaignPlan,
+    warmup: usize,
+    horizon: usize,
+    seed: u64,
+) -> SampledResult {
+    let campaign = SeuCampaign::new(warmup, horizon);
+    let report = campaign.run_sampled(netlist, inputs, plan.sample, seed);
+    let avf = report.avf();
+    let margin = achieved_margin(plan.population, plan.sample, plan.confidence, 0.5);
+    SampledResult {
+        report,
+        avf,
+        margin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn sampled_estimate_within_margin_of_exhaustive() {
+        // Small design: exhaustive ground truth is feasible.
+        let net = generate::lfsr(10, &[9, 6]);
+        let warmup = 30;
+        let horizon = 12;
+        let exhaustive = SeuCampaign::new(warmup, horizon).run_exhaustive(&net, &[]);
+        let truth = exhaustive.avf();
+
+        let p = plan(&net, warmup, 0.05, Confidence::C95).unwrap();
+        assert!(p.population == 300);
+        let result = execute(&net, &[], &p, warmup, horizon, 99);
+        let margin = result.margin.unwrap();
+        assert!(
+            (result.avf - truth).abs() <= margin + 0.05,
+            "estimate {} vs truth {} (margin {margin})",
+            result.avf,
+            truth
+        );
+        assert!(p.cost_ratio <= 1.0);
+    }
+
+    #[test]
+    fn tighter_margin_costs_more() {
+        let net = generate::lfsr(16, &[15, 13, 12, 10]);
+        let loose = plan(&net, 2000, 0.05, Confidence::C95).unwrap();
+        let tight = plan(&net, 2000, 0.01, Confidence::C95).unwrap();
+        assert!(tight.sample > loose.sample);
+        assert!(tight.cost_ratio > loose.cost_ratio);
+    }
+
+    #[test]
+    fn plan_rejects_bad_margin() {
+        let net = generate::lfsr(4, &[3, 1]);
+        assert!(plan(&net, 10, 0.0, Confidence::C95).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Clock-distribution-network (CDN) SET analysis.
+//!
+//! Reproduces the methodology of \[54\] ("Functional Failure Rate Due to
+//! Single-Event Transients in Clock Distribution Networks"): a particle
+//! strike in a clock buffer creates a spurious clock pulse at the flip-
+//! flops of the affected subtree. A spurious capture corrupts a flop only
+//! when its `D` input differs from its stored value at strike time, and
+//! only when the stretched pulse still exceeds the flop's minimum-width
+//! threshold after attenuation through the remaining buffer stages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A balanced binary clock tree with `levels` buffer levels driving
+/// `2^levels` leaf flip-flop groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockTree {
+    levels: usize,
+    flops_per_leaf: usize,
+    /// Pulse-width attenuation per buffer stage (time units).
+    attenuation: f64,
+    /// Minimum pulse width a flop's clock pin reacts to.
+    min_pulse: f64,
+}
+
+impl ClockTree {
+    /// Builds a tree with `levels` levels and `flops_per_leaf` flops per
+    /// leaf, default attenuation 0.5/stage and minimum pulse width 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels == 0` or `flops_per_leaf == 0`.
+    pub fn new(levels: usize, flops_per_leaf: usize) -> Self {
+        assert!(levels > 0 && flops_per_leaf > 0, "non-trivial tree");
+        ClockTree {
+            levels,
+            flops_per_leaf,
+            attenuation: 0.5,
+            min_pulse: 1.0,
+        }
+    }
+
+    /// Overrides the per-stage attenuation.
+    pub fn with_attenuation(mut self, attenuation: f64) -> Self {
+        assert!(attenuation >= 0.0);
+        self.attenuation = attenuation;
+        self
+    }
+
+    /// Overrides the flop minimum-pulse threshold.
+    pub fn with_min_pulse(mut self, min_pulse: f64) -> Self {
+        assert!(min_pulse > 0.0);
+        self.min_pulse = min_pulse;
+        self
+    }
+
+    /// Number of buffer levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total buffers in the tree.
+    pub fn buffer_count(&self) -> usize {
+        (1 << self.levels) - 1
+    }
+
+    /// Total flip-flops driven by the tree.
+    pub fn flop_count(&self) -> usize {
+        (1 << self.levels) * self.flops_per_leaf
+    }
+
+    /// Number of flops in the subtree of a buffer at `level`
+    /// (0 = root, `levels-1` = last buffer level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn subtree_flops(&self, level: usize) -> usize {
+        assert!(level < self.levels, "level out of range");
+        (1 << (self.levels - level)) * self.flops_per_leaf
+    }
+
+    /// Residual pulse width at the flop clock pins for a strike of
+    /// `width` at `level` (stages below attenuate the pulse).
+    pub fn residual_width(&self, level: usize, width: f64) -> f64 {
+        let stages = (self.levels - 1 - level) as f64;
+        (width - stages * self.attenuation).max(0.0)
+    }
+
+    /// Probability a strike at `level` with pulse `width` corrupts at
+    /// least one flop, with per-flop data-toggle probability
+    /// `p_data_differs` (P(D != Q) at strike time).
+    ///
+    /// The spurious edge reaches every flop in the subtree; each flop is
+    /// corrupted independently with probability `p_data_differs` if the
+    /// residual pulse exceeds the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_data_differs` is outside `[0, 1]`.
+    pub fn failure_probability(&self, level: usize, width: f64, p_data_differs: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_data_differs));
+        if self.residual_width(level, width) < self.min_pulse {
+            return 0.0;
+        }
+        let n = self.subtree_flops(level) as f64;
+        1.0 - (1.0 - p_data_differs).powf(n)
+    }
+
+    /// Monte-Carlo functional-failure-rate estimate: strikes hit a
+    /// uniformly random buffer with widths uniform in
+    /// `[w_min, w_max]`; returns the fraction of strikes corrupting at
+    /// least one flop.
+    pub fn monte_carlo_ffr(
+        &self,
+        strikes: usize,
+        w_min: f64,
+        w_max: f64,
+        p_data_differs: f64,
+        seed: u64,
+    ) -> f64 {
+        assert!(w_min <= w_max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failures = 0usize;
+        for _ in 0..strikes {
+            // Buffers per level: 2^level; pick proportionally.
+            let idx = rng.gen_range(0..self.buffer_count());
+            let level = (usize::BITS - 1 - (idx + 1).leading_zeros()) as usize;
+            let width = rng.gen_range(w_min..=w_max);
+            let p = self.failure_probability(level, width, p_data_differs);
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                failures += 1;
+            }
+        }
+        failures as f64 / strikes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let t = ClockTree::new(3, 4);
+        assert_eq!(t.buffer_count(), 7);
+        assert_eq!(t.flop_count(), 32);
+        assert_eq!(t.subtree_flops(0), 32);
+        assert_eq!(t.subtree_flops(1), 16);
+        assert_eq!(t.subtree_flops(2), 8);
+        assert_eq!(t.levels(), 3);
+    }
+
+    #[test]
+    fn attenuation_kills_narrow_pulses() {
+        let t = ClockTree::new(4, 2).with_attenuation(1.0).with_min_pulse(1.0);
+        // Strike at the root: 3 stages below, width 3 fully attenuated.
+        assert_eq!(t.residual_width(0, 3.0), 0.0);
+        assert_eq!(t.failure_probability(0, 3.0, 0.5), 0.0);
+        // Strike at the last level: no attenuation.
+        assert_eq!(t.residual_width(3, 3.0), 3.0);
+        assert!(t.failure_probability(3, 3.0, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn root_strikes_hit_more_flops() {
+        let t = ClockTree::new(4, 2).with_attenuation(0.0);
+        let root = t.failure_probability(0, 5.0, 0.1);
+        let leaf = t.failure_probability(3, 5.0, 0.1);
+        assert!(root > leaf, "{root} vs {leaf}");
+    }
+
+    #[test]
+    fn ffr_increases_with_pulse_width() {
+        let t = ClockTree::new(4, 4);
+        let narrow = t.monte_carlo_ffr(4000, 0.5, 1.0, 0.3, 7);
+        let wide = t.monte_carlo_ffr(4000, 3.0, 6.0, 0.3, 7);
+        assert!(wide > narrow, "{wide} > {narrow}");
+    }
+
+    #[test]
+    fn ffr_increases_with_data_activity() {
+        let t = ClockTree::new(3, 4);
+        let quiet = t.monte_carlo_ffr(4000, 2.0, 4.0, 0.05, 3);
+        let busy = t.monte_carlo_ffr(4000, 2.0, 4.0, 0.5, 3);
+        assert!(busy > quiet);
+    }
+
+    #[test]
+    fn zero_toggle_never_fails() {
+        let t = ClockTree::new(3, 4);
+        assert_eq!(t.monte_carlo_ffr(1000, 2.0, 4.0, 0.0, 1), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! FIT / SER arithmetic and ASIL failure-rate budgets.
+//!
+//! "Standard flip-flops and SRAM memories … exhibit error rates of
+//! hundreds of FITs … Complex circuits using such cells can easily
+//! overshoot the 10 FIT target mandated by the ISO 26262 for an
+//! automotive ASIL D application." (paper Section III.B)
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Mul};
+
+/// A failure rate in FIT (failures per 10⁹ device-hours).
+///
+/// # Examples
+///
+/// ```
+/// use rescue_radiation::Fit;
+///
+/// let per_mbit = Fit::new(300.0);          // raw cell technology rate
+/// let chip = per_mbit * 12.0;              // 12 Mbit on chip
+/// let effective = chip.derated(0.08);      // 8% of upsets matter
+/// assert!(effective.value() > 100.0);
+/// assert!(effective.mtbf_hours() < 1e8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fit(f64);
+
+impl Fit {
+    /// Creates a failure rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn new(fit: f64) -> Self {
+        assert!(fit.is_finite() && fit >= 0.0, "FIT must be finite and >= 0");
+        Fit(fit)
+    }
+
+    /// The raw FIT value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Mean time between failures in hours (`inf` for 0 FIT).
+    pub fn mtbf_hours(self) -> f64 {
+        if self.0 == 0.0 {
+            f64::INFINITY
+        } else {
+            1e9 / self.0
+        }
+    }
+
+    /// Applies a derating (masking) factor in `[0, 1]`: the fraction of
+    /// raw events that produce an observable failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is outside `[0, 1]`.
+    pub fn derated(self, factor: f64) -> Fit {
+        assert!((0.0..=1.0).contains(&factor), "derating factor in [0,1]");
+        Fit(self.0 * factor)
+    }
+
+    /// Converts an event *cross-section* (cm²/bit) and a particle flux
+    /// (particles/cm²/h) into a per-bit FIT rate.
+    pub fn from_cross_section(sigma_cm2: f64, flux_per_cm2_h: f64) -> Fit {
+        Fit::new(sigma_cm2 * flux_per_cm2_h * 1e9)
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} FIT", self.0)
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+    fn mul(self, rhs: f64) -> Fit {
+        assert!(rhs >= 0.0, "FIT scaling must be non-negative");
+        Fit(self.0 * rhs)
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit(0.0), Add::add)
+    }
+}
+
+/// A failure-rate budget, e.g. the ISO 26262 ASIL-D 10 FIT target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerBudget {
+    limit: Fit,
+}
+
+impl SerBudget {
+    /// The ASIL-D random-hardware-failure budget (10 FIT).
+    pub fn asil_d() -> Self {
+        SerBudget {
+            limit: Fit::new(10.0),
+        }
+    }
+
+    /// The ASIL-C budget (100 FIT).
+    pub fn asil_c() -> Self {
+        SerBudget {
+            limit: Fit::new(100.0),
+        }
+    }
+
+    /// The ASIL-B budget (100 FIT).
+    pub fn asil_b() -> Self {
+        SerBudget {
+            limit: Fit::new(100.0),
+        }
+    }
+
+    /// A custom budget.
+    pub fn custom(limit: Fit) -> Self {
+        SerBudget { limit }
+    }
+
+    /// The budget limit.
+    pub fn limit(self) -> Fit {
+        self.limit
+    }
+
+    /// Does `rate` meet the budget?
+    pub fn is_met(self, rate: Fit) -> bool {
+        rate.value() <= self.limit.value()
+    }
+
+    /// The margin (negative when over budget).
+    pub fn margin(self, rate: Fit) -> f64 {
+        self.limit.value() - rate.value()
+    }
+}
+
+/// A contribution breakdown: component name, raw rate and derating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerContribution {
+    /// Component label.
+    pub name: String,
+    /// Raw (undecorated) event rate.
+    pub raw: Fit,
+    /// Observable-failure fraction in `[0, 1]`.
+    pub derating: f64,
+}
+
+impl SerContribution {
+    /// The effective (derated) failure rate.
+    pub fn effective(&self) -> Fit {
+        self.raw.derated(self.derating)
+    }
+}
+
+/// Sums contributions into a chip-level SER and checks a budget.
+pub fn chip_ser(contributions: &[SerContribution]) -> Fit {
+    contributions.iter().map(|c| c.effective()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Fit::new(3.0) + Fit::new(4.0);
+        assert_eq!(a.value(), 7.0);
+        assert_eq!((Fit::new(5.0) * 2.0).value(), 10.0);
+        let total: Fit = [Fit::new(1.0), Fit::new(2.0)].into_iter().sum();
+        assert_eq!(total.value(), 3.0);
+        assert_eq!(format!("{}", Fit::new(1.5)), "1.500 FIT");
+    }
+
+    #[test]
+    fn mtbf() {
+        assert_eq!(Fit::new(100.0).mtbf_hours(), 1e7);
+        assert!(Fit::new(0.0).mtbf_hours().is_infinite());
+    }
+
+    #[test]
+    fn budgets() {
+        let b = SerBudget::asil_d();
+        assert!(b.is_met(Fit::new(9.9)));
+        assert!(!b.is_met(Fit::new(10.1)));
+        assert!(b.margin(Fit::new(4.0)) == 6.0);
+        assert!(SerBudget::asil_c().limit().value() > b.limit().value());
+        assert_eq!(SerBudget::asil_b().limit().value(), 100.0);
+        assert!(SerBudget::custom(Fit::new(1.0)).is_met(Fit::new(0.5)));
+    }
+
+    #[test]
+    fn paper_scenario_overshoots_asil_d() {
+        // Hundreds of FIT per Mbit, a few Mbit of state, even with strong
+        // masking the raw sum breaks the 10 FIT target without mitigation.
+        let contributions = vec![
+            SerContribution {
+                name: "sram".into(),
+                raw: Fit::new(300.0) * 4.0, // 4 Mbit at 300 FIT/Mbit
+                derating: 0.1,
+            },
+            SerContribution {
+                name: "flops".into(),
+                raw: Fit::new(200.0),
+                derating: 0.15,
+            },
+        ];
+        let total = chip_ser(&contributions);
+        assert!(!SerBudget::asil_d().is_met(total), "{total}");
+        // ECC on the SRAM (99% of upsets corrected) brings it under.
+        let mitigated = vec![
+            SerContribution {
+                name: "sram+ecc".into(),
+                raw: Fit::new(300.0) * 4.0,
+                derating: 0.1 * 0.01,
+            },
+            contributions[1].clone(),
+        ];
+        let total = chip_ser(&mitigated);
+        // flops alone: 200*0.15 = 30 FIT -> still over; add flop hardening
+        assert!(!SerBudget::asil_d().is_met(total));
+        let hardened = vec![
+            mitigated[0].clone(),
+            SerContribution {
+                name: "hardened flops".into(),
+                raw: Fit::new(200.0),
+                derating: 0.15 * 0.1,
+            },
+        ];
+        assert!(SerBudget::asil_d().is_met(chip_ser(&hardened)));
+    }
+
+    #[test]
+    fn cross_section() {
+        let f = Fit::from_cross_section(1e-14, 13.0); // sea-level neutron flux
+        assert!(f.value() > 0.0 && f.value() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        Fit::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "derating factor")]
+    fn rejects_bad_derating() {
+        Fit::new(1.0).derated(1.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! Radiation monitors: the SRAM-based SEU monitor \[38\] and the
+//! pulse-stretching inverter-chain particle detector \[39\].
+//!
+//! Both are RESCUE's "use what is already on the chip" sensing ideas
+//! (paper Section III.C): spare SRAM doubles as a radiation dosimeter
+//! when scrubbed with a known pattern, and a chain of skewed inverters
+//! stretches particle-induced pulses until they are wide enough to latch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An SRAM block repurposed as an SEU monitor: filled with a checkerboard
+/// pattern and scrubbed every `scrub_period` time units; every scrub
+/// counts and corrects the flipped bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramSeuMonitor {
+    bits: usize,
+    scrub_period: u64,
+}
+
+/// Result of simulating a monitor exposure window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReading {
+    /// Upsets the monitor counted.
+    pub detected: usize,
+    /// Upsets that physically occurred.
+    pub actual: usize,
+    /// Upsets lost to double-flips of the same bit within one scrub
+    /// period (the monitor's only blind spot).
+    pub missed: usize,
+}
+
+impl MonitorReading {
+    /// Detection efficiency (1.0 when nothing was missed).
+    pub fn efficiency(&self) -> f64 {
+        if self.actual == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.actual as f64
+    }
+
+    /// Estimated flux in upsets per bit per time unit.
+    pub fn estimated_flux(&self, bits: usize, duration: u64) -> f64 {
+        if bits == 0 || duration == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / bits as f64 / duration as f64
+    }
+}
+
+impl SramSeuMonitor {
+    /// Creates a monitor over `bits` memory bits scrubbed every
+    /// `scrub_period` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits == 0` or `scrub_period == 0`.
+    pub fn new(bits: usize, scrub_period: u64) -> Self {
+        assert!(bits > 0 && scrub_period > 0, "non-trivial monitor");
+        SramSeuMonitor { bits, scrub_period }
+    }
+
+    /// Monitored bit count.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Scrub interval.
+    pub fn scrub_period(&self) -> u64 {
+        self.scrub_period
+    }
+
+    /// Simulates an exposure of `duration` time units under a Poisson
+    /// upset process with `flux` upsets/bit/time-unit.
+    ///
+    /// Each bit accumulates `k ~ Poisson(flux · scrub_period)` flips per
+    /// scrub period; an odd `k` is counted (and corrected) at scrub
+    /// time, an even `k` cancels invisibly. The bit×period population is
+    /// sampled in aggregate (exact small-count sampling, normal
+    /// approximation for large means) so year-long exposures of megabit
+    /// monitors stay O(1) instead of O(bits × periods).
+    ///
+    /// Deterministic in `seed`.
+    pub fn expose(&self, flux: f64, duration: u64, seed: u64) -> MonitorReading {
+        assert!(flux >= 0.0, "flux must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let periods = duration.div_ceil(self.scrub_period);
+        let lambda = flux * self.scrub_period as f64;
+        let cells = self.bits as f64 * periods as f64; // bit-period slots
+        let mean_events = cells * lambda;
+        if mean_events <= 0.0 {
+            return MonitorReading {
+                detected: 0,
+                actual: 0,
+                missed: 0,
+            };
+        }
+        // P(odd flip count in one slot) = (1 - e^{-2λ}) / 2.
+        let p_odd = (1.0 - (-2.0 * lambda).exp()) / 2.0;
+        let mean_detected = cells * p_odd;
+        let actual = sample_count(&mut rng, mean_events);
+        let detected = sample_count(&mut rng, mean_detected).min(actual);
+        MonitorReading {
+            detected,
+            actual,
+            missed: actual - detected,
+        }
+    }
+}
+
+/// Draws a Poisson-distributed count: exact (Knuth) for small means,
+/// normal approximation beyond.
+fn sample_count<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        0
+    } else if mean < 30.0 {
+        poisson(rng, mean)
+    } else {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + mean.sqrt() * g).round().max(0.0) as usize
+    }
+}
+
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    // Knuth's algorithm; fine for the small lambdas monitors see.
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+/// A pulse-stretching inverter chain particle detector \[39\]: each
+/// skewed inverter stage stretches an incoming pulse by
+/// `stretch_per_stage`; the stretched pulse is detected when it exceeds
+/// `latch_threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseStretchDetector {
+    stages: usize,
+    stretch_per_stage: f64,
+    latch_threshold: f64,
+}
+
+impl PulseStretchDetector {
+    /// Creates a detector chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stages == 0`, or thresholds are non-positive.
+    pub fn new(stages: usize, stretch_per_stage: f64, latch_threshold: f64) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(stretch_per_stage >= 0.0 && latch_threshold > 0.0);
+        PulseStretchDetector {
+            stages,
+            stretch_per_stage,
+            latch_threshold,
+        }
+    }
+
+    /// Output pulse width for an input pulse of `width`.
+    pub fn stretched(&self, width: f64) -> f64 {
+        if width <= 0.0 {
+            return 0.0;
+        }
+        width + self.stages as f64 * self.stretch_per_stage
+    }
+
+    /// Does a pulse of `width` get latched?
+    pub fn detects(&self, width: f64) -> bool {
+        width > 0.0 && self.stretched(width) >= self.latch_threshold
+    }
+
+    /// Minimum detectable input pulse width.
+    pub fn threshold_width(&self) -> f64 {
+        (self.latch_threshold - self.stages as f64 * self.stretch_per_stage).max(f64::MIN_POSITIVE)
+    }
+
+    /// Detection efficiency over a pulse-width population uniform in
+    /// `[w_min, w_max]` (`strikes` Monte-Carlo samples).
+    pub fn efficiency(&self, strikes: usize, w_min: f64, w_max: f64, seed: u64) -> f64 {
+        assert!(w_min <= w_max && w_min >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hits = (0..strikes)
+            .filter(|_| self.detects(rng.gen_range(w_min..=w_max)))
+            .count();
+        hits as f64 / strikes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_counts_scale_with_flux() {
+        let m = SramSeuMonitor::new(4096, 100);
+        let low = m.expose(1e-6, 10_000, 1);
+        let high = m.expose(1e-4, 10_000, 1);
+        assert!(high.detected > low.detected);
+        assert!(high.efficiency() <= 1.0);
+        assert_eq!(m.bits(), 4096);
+        assert_eq!(m.scrub_period(), 100);
+    }
+
+    #[test]
+    fn faster_scrubbing_misses_fewer_double_flips() {
+        let flux = 5e-4;
+        let slow = SramSeuMonitor::new(2048, 2000).expose(flux, 20_000, 3);
+        let fast = SramSeuMonitor::new(2048, 100).expose(flux, 20_000, 3);
+        assert!(
+            fast.efficiency() >= slow.efficiency(),
+            "fast {} vs slow {}",
+            fast.efficiency(),
+            slow.efficiency()
+        );
+    }
+
+    #[test]
+    fn flux_estimate_tracks_truth() {
+        let flux = 2e-5;
+        let m = SramSeuMonitor::new(65_536, 50);
+        let r = m.expose(flux, 5_000, 7);
+        let est = r.estimated_flux(65_536, 5_000);
+        assert!((est - flux).abs() / flux < 0.2, "est {est} vs {flux}");
+    }
+
+    #[test]
+    fn zero_flux_reads_zero() {
+        let m = SramSeuMonitor::new(128, 10);
+        let r = m.expose(0.0, 1000, 9);
+        assert_eq!(r.detected, 0);
+        assert_eq!(r.actual, 0);
+        assert_eq!(r.efficiency(), 1.0);
+        assert_eq!(r.estimated_flux(128, 1000), 0.0);
+    }
+
+    #[test]
+    fn stretcher_extends_narrow_pulses() {
+        let d = PulseStretchDetector::new(8, 0.25, 3.0);
+        assert_eq!(d.stretched(1.0), 3.0);
+        assert!(d.detects(1.0));
+        assert!(!d.detects(0.5));
+        assert!(!d.detects(0.0));
+        assert!((d.threshold_width() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_stages_better_efficiency() {
+        let short = PulseStretchDetector::new(2, 0.25, 3.0);
+        let long = PulseStretchDetector::new(12, 0.25, 3.0);
+        let e_short = short.efficiency(5000, 0.1, 2.0, 5);
+        let e_long = long.efficiency(5000, 0.1, 2.0, 5);
+        assert!(e_long > e_short, "{e_long} > {e_short}");
+        assert_eq!(long.efficiency(5000, 5.0, 9.0, 5), 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the radiation analyses.
+
+use proptest::prelude::*;
+use rescue_netlist::generate;
+use rescue_radiation::cdn::ClockTree;
+use rescue_radiation::fit::{chip_ser, Fit, SerBudget, SerContribution};
+use rescue_radiation::set_analysis::{latch_probability, SetCampaign, SetOutcome};
+use rescue_radiation::seu_analysis::{SeuCampaign, SeuOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIT arithmetic: sums are order-independent and derating never
+    /// increases a rate.
+    #[test]
+    fn fit_algebra(rates in proptest::collection::vec(0.0f64..1000.0, 1..10), d in 0.0f64..1.0) {
+        let total: Fit = rates.iter().map(|&r| Fit::new(r)).sum();
+        let mut rev = rates.clone();
+        rev.reverse();
+        let total_rev: Fit = rev.iter().map(|&r| Fit::new(r)).sum();
+        prop_assert!((total.value() - total_rev.value()).abs() < 1e-9);
+        for &r in &rates {
+            prop_assert!(Fit::new(r).derated(d).value() <= r + 1e-12);
+        }
+        let contributions: Vec<SerContribution> = rates
+            .iter()
+            .map(|&r| SerContribution {
+                name: "x".into(),
+                raw: Fit::new(r),
+                derating: d,
+            })
+            .collect();
+        prop_assert!((chip_ser(&contributions).value() - total.value() * d).abs() < 1e-6);
+    }
+
+    /// ASIL budgets: a rate that meets D meets every lower level too.
+    #[test]
+    fn asil_ordering(rate in 0.0f64..200.0) {
+        let f = Fit::new(rate);
+        if SerBudget::asil_d().is_met(f) {
+            prop_assert!(SerBudget::asil_c().is_met(f));
+            prop_assert!(SerBudget::asil_b().is_met(f));
+        }
+    }
+
+    /// Latch probability is monotone in width and window and bounded.
+    #[test]
+    fn latch_probability_monotone(w in 0u64..50, win in 0u64..20, period in 1u64..100) {
+        let p = latch_probability(w, win, period);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(latch_probability(w + 1, win, period) >= p);
+        prop_assert!(latch_probability(w, win + 1, period) >= p);
+    }
+
+    /// SET campaign outcomes always partition to 1 and deterministic
+    /// campaigns reproduce.
+    #[test]
+    fn set_campaign_partition(seed in 1u64..100) {
+        let net = generate::random_logic(6, 30, 2, seed);
+        let camp = SetCampaign::new(&net);
+        let r = camp.run(&net, 120, seed);
+        let sum = r.fraction(SetOutcome::LogicallyMasked)
+            + r.fraction(SetOutcome::ElectricallyMasked)
+            + r.fraction(SetOutcome::Propagated);
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(r, camp.run(&net, 120, seed));
+    }
+
+    /// SEU outcomes partition and the AVF is bounded by the failure+latent
+    /// fraction.
+    #[test]
+    fn seu_outcome_consistency(n in 3usize..9, horizon in 2usize..10) {
+        let net = generate::lfsr(n, &[n - 1, n / 2]);
+        let c = SeuCampaign::new(4, horizon);
+        let r = c.run_exhaustive(&net, &[]);
+        let m = r.fraction(SeuOutcome::Masked);
+        let l = r.fraction(SeuOutcome::Latent);
+        let f = r.fraction(SeuOutcome::Failure);
+        prop_assert!((m + l + f - 1.0).abs() < 1e-9);
+        prop_assert!((r.avf() - f).abs() < 1e-12);
+    }
+
+    /// Longer observation horizons never decrease the failure fraction
+    /// (latent errors can only surface, not un-surface).
+    #[test]
+    fn horizon_monotone(n in 3usize..8) {
+        let net = generate::lfsr(n, &[n - 1, 1]);
+        let short = SeuCampaign::new(3, 3).run_exhaustive(&net, &[]);
+        let long = SeuCampaign::new(3, 15).run_exhaustive(&net, &[]);
+        prop_assert!(long.avf() >= short.avf() - 1e-12);
+    }
+
+    /// CDN geometry: subtree sizes halve per level and failure
+    /// probability is monotone in the toggle probability.
+    #[test]
+    fn cdn_invariants(levels in 2usize..6, fpl in 1usize..8, p in 0.0f64..1.0) {
+        let t = ClockTree::new(levels, fpl);
+        for l in 1..levels {
+            prop_assert_eq!(t.subtree_flops(l - 1), 2 * t.subtree_flops(l));
+        }
+        let wide = 100.0;
+        let p_low = t.failure_probability(0, wide, p * 0.5);
+        let p_high = t.failure_probability(0, wide, p);
+        prop_assert!(p_high >= p_low - 1e-12);
+    }
+}

@@ -1,0 +1,394 @@
+//! The Reliability Information Interchange Format (RIIF) for RESCUE-rs.
+//!
+//! "Extra-functional information, such as technology fault data,
+//! environment-induced events rates, etc., must be generated, consumed
+//! and exchanged transparently and safely. The project uses and
+//! significantly extends the Reliability Information Interchange Format
+//! (RIIF) to support the new design paradigms" (paper Section IV.A).
+//!
+//! The model: a [`RiifDatabase`] of per-component failure-mode records
+//! and environment profiles, with a line-oriented text serialization
+//! (`.riif`) so every tool in the flow can exchange rates and deratings
+//! without bespoke glue. Types also derive serde traits for embedding
+//! in other serialized structures.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescue_riif::{ComponentRecord, FailureMode, RiifDatabase};
+//!
+//! let mut db = RiifDatabase::new("autosoc");
+//! db.add_component(ComponentRecord {
+//!     name: "cpu_regfile".into(),
+//!     technology: "28nm".into(),
+//!     modes: vec![FailureMode {
+//!         mechanism: "seu".into(),
+//!         raw_fit: 120.0,
+//!         derating: 0.12,
+//!     }],
+//! });
+//! let text = db.to_text();
+//! let back = RiifDatabase::from_text(&text)?;
+//! assert_eq!(back, db);
+//! assert!((back.chip_fit() - 120.0 * 0.12).abs() < 1e-9);
+//! # Ok::<(), rescue_riif::RiifParseError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// One failure mechanism of a component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureMode {
+    /// Mechanism label (`"seu"`, `"set"`, `"bti"`, `"stuck-at"`, …).
+    pub mechanism: String,
+    /// Raw event rate in FIT before derating.
+    pub raw_fit: f64,
+    /// Fraction of raw events that become observable failures.
+    pub derating: f64,
+}
+
+impl FailureMode {
+    /// Effective (derated) FIT contribution.
+    pub fn effective_fit(&self) -> f64 {
+        self.raw_fit * self.derating
+    }
+}
+
+/// A component with its failure modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRecord {
+    /// Component instance name.
+    pub name: String,
+    /// Technology label.
+    pub technology: String,
+    /// Failure modes.
+    pub modes: Vec<FailureMode>,
+}
+
+impl ComponentRecord {
+    /// Sum of derated mode contributions.
+    pub fn effective_fit(&self) -> f64 {
+        self.modes.iter().map(FailureMode::effective_fit).sum()
+    }
+}
+
+/// An environment profile scaling raw rates (e.g. avionic altitude).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentProfile {
+    /// Profile name (`"ground"`, `"avionic"`, …).
+    pub name: String,
+    /// Flux multiplier applied to radiation mechanisms.
+    pub flux_multiplier: f64,
+    /// Ambient temperature in kelvin (for aging mechanisms).
+    pub temperature_k: f64,
+}
+
+/// The interchange database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiifDatabase {
+    /// Design name.
+    pub design: String,
+    /// Component records, keyed by name.
+    pub components: BTreeMap<String, ComponentRecord>,
+    /// Environment profiles, keyed by name.
+    pub environments: BTreeMap<String, EnvironmentProfile>,
+}
+
+/// Parse error for the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiifParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for RiifParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "riif parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for RiifParseError {}
+
+impl RiifDatabase {
+    /// An empty database for `design`.
+    pub fn new(design: impl Into<String>) -> Self {
+        RiifDatabase {
+            design: design.into(),
+            components: BTreeMap::new(),
+            environments: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a component record.
+    pub fn add_component(&mut self, record: ComponentRecord) {
+        self.components.insert(record.name.clone(), record);
+    }
+
+    /// Adds (or replaces) an environment profile.
+    pub fn add_environment(&mut self, profile: EnvironmentProfile) {
+        self.environments.insert(profile.name.clone(), profile);
+    }
+
+    /// Chip-level effective FIT (nominal environment).
+    pub fn chip_fit(&self) -> f64 {
+        self.components.values().map(|c| c.effective_fit()).sum()
+    }
+
+    /// Chip-level effective FIT under an environment: radiation
+    /// mechanisms (`seu`, `set`, `ser`) scale with the flux multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for unknown profiles.
+    pub fn chip_fit_in(&self, environment: &str) -> Option<f64> {
+        let env = self.environments.get(environment)?;
+        Some(
+            self.components
+                .values()
+                .flat_map(|c| &c.modes)
+                .map(|m| {
+                    let scale = if matches!(m.mechanism.as_str(), "seu" | "set" | "ser") {
+                        env.flux_multiplier
+                    } else {
+                        1.0
+                    };
+                    m.effective_fit() * scale
+                })
+                .sum(),
+        )
+    }
+
+    /// Merges another database (its records win on name collisions).
+    pub fn merge(&mut self, other: RiifDatabase) {
+        self.components.extend(other.components);
+        self.environments.extend(other.environments);
+    }
+
+    /// Serializes to the `.riif` line format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("riif design \"{}\"\n", self.design));
+        for env in self.environments.values() {
+            s.push_str(&format!(
+                "environment \"{}\" flux={} temperature_k={}\n",
+                env.name, env.flux_multiplier, env.temperature_k
+            ));
+        }
+        for c in self.components.values() {
+            s.push_str(&format!(
+                "component \"{}\" technology=\"{}\"\n",
+                c.name, c.technology
+            ));
+            for m in &c.modes {
+                s.push_str(&format!(
+                    "  mode \"{}\" raw_fit={} derating={}\n",
+                    m.mechanism, m.raw_fit, m.derating
+                ));
+            }
+        }
+        s
+    }
+
+    /// Parses the `.riif` line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiifParseError`] describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, RiifParseError> {
+        let mut db = RiifDatabase::new("unnamed");
+        let mut current: Option<ComponentRecord> = None;
+        let err = |line: usize, message: &str| RiifParseError {
+            line,
+            message: message.into(),
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            let line_no = ln + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("riif design ") {
+                db.design = unquote(rest).ok_or_else(|| err(line_no, "expected quoted name"))?;
+            } else if let Some(rest) = line.strip_prefix("environment ") {
+                let (name, attrs) =
+                    split_quoted(rest).ok_or_else(|| err(line_no, "expected quoted name"))?;
+                let map = parse_attrs(attrs);
+                db.add_environment(EnvironmentProfile {
+                    name,
+                    flux_multiplier: map
+                        .get("flux")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, "missing flux="))?,
+                    temperature_k: map
+                        .get("temperature_k")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, "missing temperature_k="))?,
+                });
+            } else if let Some(rest) = line.strip_prefix("component ") {
+                if let Some(c) = current.take() {
+                    db.add_component(c);
+                }
+                let (name, attrs) =
+                    split_quoted(rest).ok_or_else(|| err(line_no, "expected quoted name"))?;
+                let map = parse_attrs(attrs);
+                current = Some(ComponentRecord {
+                    name,
+                    technology: map
+                        .get("technology")
+                        .cloned()
+                        .ok_or_else(|| err(line_no, "missing technology="))?,
+                    modes: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("mode ") {
+                let c = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "mode outside component"))?;
+                let (mechanism, attrs) =
+                    split_quoted(rest).ok_or_else(|| err(line_no, "expected quoted name"))?;
+                let map = parse_attrs(attrs);
+                c.modes.push(FailureMode {
+                    mechanism,
+                    raw_fit: map
+                        .get("raw_fit")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, "missing raw_fit="))?,
+                    derating: map
+                        .get("derating")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, "missing derating="))?,
+                });
+            } else {
+                return Err(err(line_no, "unrecognized statement"));
+            }
+        }
+        if let Some(c) = current.take() {
+            db.add_component(c);
+        }
+        Ok(db)
+    }
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    s.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+fn split_quoted(s: &str) -> Option<(String, &str)> {
+    let s = s.trim();
+    let rest = s.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+fn parse_attrs(s: &str) -> BTreeMap<String, String> {
+    s.split_whitespace()
+        .filter_map(|kv| {
+            kv.split_once('=').map(|(k, v)| {
+                (
+                    k.to_string(),
+                    v.trim_matches('"').to_string(),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RiifDatabase {
+        let mut db = RiifDatabase::new("autosoc");
+        db.add_environment(EnvironmentProfile {
+            name: "ground".into(),
+            flux_multiplier: 1.0,
+            temperature_k: 300.0,
+        });
+        db.add_environment(EnvironmentProfile {
+            name: "avionic".into(),
+            flux_multiplier: 300.0,
+            temperature_k: 250.0,
+        });
+        db.add_component(ComponentRecord {
+            name: "sram".into(),
+            technology: "finfet14".into(),
+            modes: vec![
+                FailureMode {
+                    mechanism: "seu".into(),
+                    raw_fit: 600.0,
+                    derating: 0.05,
+                },
+                FailureMode {
+                    mechanism: "stuck-at".into(),
+                    raw_fit: 2.0,
+                    derating: 1.0,
+                },
+            ],
+        });
+        db.add_component(ComponentRecord {
+            name: "cpu".into(),
+            technology: "finfet14".into(),
+            modes: vec![FailureMode {
+                mechanism: "set".into(),
+                raw_fit: 40.0,
+                derating: 0.1,
+            }],
+        });
+        db
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sample();
+        let text = db.to_text();
+        let back = RiifDatabase::from_text(&text).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn fit_aggregation() {
+        let db = sample();
+        let expect = 600.0 * 0.05 + 2.0 + 40.0 * 0.1;
+        assert!((db.chip_fit() - expect).abs() < 1e-9);
+        // Avionic flux scales only the radiation mechanisms.
+        let avionic = db.chip_fit_in("avionic").unwrap();
+        let expect_av = (600.0 * 0.05 + 40.0 * 0.1) * 300.0 + 2.0;
+        assert!((avionic - expect_av).abs() < 1e-6);
+        assert!(db.chip_fit_in("orbit").is_none());
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = sample();
+        let mut b = RiifDatabase::new("patch");
+        b.add_component(ComponentRecord {
+            name: "cpu".into(),
+            technology: "28nm".into(),
+            modes: vec![],
+        });
+        a.merge(b);
+        assert_eq!(a.components["cpu"].technology, "28nm");
+        assert_eq!(a.components.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(RiifDatabase::from_text("bogus line").is_err());
+        assert!(RiifDatabase::from_text("mode \"seu\" raw_fit=1 derating=1").is_err());
+        assert!(RiifDatabase::from_text("environment \"g\" flux=1").is_err());
+        let e = RiifDatabase::from_text("component \"x\"\n  mode \"y\"").unwrap_err();
+        assert!(e.to_string().contains("line 1") || e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let db = RiifDatabase::from_text("# header only\nriif design \"d\"\n").unwrap();
+        assert_eq!(db.design, "d");
+        assert_eq!(db.chip_fit(), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Retargeting: planning CSU sequences that reach a named instrument.
+
+use crate::error::RsnError;
+use crate::network::{RsnNode, ScanBit, ScanNetwork};
+use std::collections::HashMap;
+
+/// The guards (SIBs to open, mux selections to set) on the path to a
+/// target segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuardSet {
+    /// SIBs that must be open.
+    pub sibs: Vec<String>,
+    /// Mux name → branch index that must be selected.
+    pub muxes: HashMap<String, usize>,
+}
+
+/// Finds the guards protecting `target` inside `node`.
+///
+/// Returns `None` when the target does not occur in the subtree.
+pub fn guards_of(node: &RsnNode, target: &str) -> Option<GuardSet> {
+    match node {
+        RsnNode::Tdr { name, .. } => (name == target).then(GuardSet::default),
+        RsnNode::Sib { name, child } => {
+            if name == target {
+                return Some(GuardSet::default());
+            }
+            let mut g = guards_of(child, target)?;
+            g.sibs.push(name.clone());
+            Some(g)
+        }
+        RsnNode::Mux { name, branches } => {
+            if name == target {
+                return Some(GuardSet::default());
+            }
+            for (i, b) in branches.iter().enumerate() {
+                if let Some(mut g) = guards_of(b, target) {
+                    g.muxes.insert(name.clone(), i);
+                    return Some(g);
+                }
+            }
+            None
+        }
+        RsnNode::Chain(nodes) => nodes.iter().find_map(|n| guards_of(n, target)),
+    }
+}
+
+/// A planned access: the CSU input vectors in application order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    csus: Vec<Vec<bool>>,
+    read_back: Vec<Vec<bool>>,
+}
+
+impl AccessPlan {
+    /// The write-phase CSU vectors.
+    pub fn csus(&self) -> &[Vec<bool>] {
+        &self.csus
+    }
+
+    /// The scan-outs observed while applying the plan.
+    pub fn read_back(&self) -> &[Vec<bool>] {
+        &self.read_back
+    }
+
+    /// Number of CSU operations.
+    pub fn csu_count(&self) -> usize {
+        self.csus.len()
+    }
+
+    /// Total bits shifted (the access-time metric).
+    pub fn total_bits(&self) -> usize {
+        self.csus.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Computes the desired value of one path bit under a guard set, keeping
+/// everything else at its current value.
+fn desired_bit(net: &ScanNetwork, guards: &GuardSet, bit: &ScanBit) -> bool {
+    match bit {
+        ScanBit::SibControl(n) => {
+            if guards.sibs.iter().any(|s| s == n) {
+                true
+            } else {
+                net.is_open(n).expect("path bit exists")
+            }
+        }
+        ScanBit::MuxSelect(n, i) => match guards.muxes.get(n) {
+            Some(sel) => sel >> i & 1 == 1,
+            None => {
+                // keep current selection
+                let path_current = net.active_path();
+                let _ = path_current;
+                // read via expected: reuse internal read through csu clone
+                // (select bits are readable through is_open-like API only
+                // for SIBs, so recompute from the captured path)
+                current_bit(net, bit)
+            }
+        },
+        ScanBit::TdrBit(..) => current_bit(net, bit),
+    }
+}
+
+/// Reads the current value of a path bit via a zero-length capture.
+fn current_bit(net: &ScanNetwork, bit: &ScanBit) -> bool {
+    // Capture-only CSU of the full path returns every bit value.
+    let path = net.active_path();
+    let pos = path.iter().position(|b| b == bit).expect("bit on path");
+    let out = net.expected_csu(&vec![false; path.len()]);
+    // out[k] = captured regs[L-1-k] -> regs[pos] = out[L-1-pos]
+    out[path.len() - 1 - pos]
+}
+
+/// Plans and applies the CSU sequence that opens the path to `target`
+/// and writes `data` into it (for SIB/mux targets `data` may be empty).
+///
+/// Applies the plan to `net`, leaving it configured, and returns the
+/// vectors for replay on hardware.
+///
+/// # Errors
+///
+/// * [`RsnError::UnknownSegment`] — no such target.
+/// * [`RsnError::DataLengthMismatch`] — `data` does not match the TDR.
+/// * [`RsnError::AccessDiverged`] — the configuration loop exceeded its
+///   budget (indicates a faulty network).
+pub fn access_sequence(
+    net: &mut ScanNetwork,
+    target: &str,
+    data: &[bool],
+) -> Result<AccessPlan, RsnError> {
+    let root = net_root(net);
+    let guards = guards_of(&root, target).ok_or_else(|| RsnError::UnknownSegment {
+        name: target.into(),
+    })?;
+    if let Ok(tdr) = net.tdr(target) {
+        if !data.is_empty() && data.len() != tdr.len() {
+            return Err(RsnError::DataLengthMismatch {
+                expected: tdr.len(),
+                found: data.len(),
+            });
+        }
+    }
+    let mut csus = Vec::new();
+    let mut read_back = Vec::new();
+    // Phase 1: iteratively open guards (each CSU exposes one more level).
+    for _round in 0..64 {
+        let path = net.active_path();
+        let satisfied = guards.sibs.iter().all(|s| net.is_open(s).unwrap_or(false))
+            && guards.muxes.iter().all(|(m, &sel)| {
+                // a mux is satisfied when its select bits on the path read sel
+                let bits = path
+                    .iter()
+                    .filter(|b| matches!(b, ScanBit::MuxSelect(n, _) if n == m))
+                    .count();
+                if bits == 0 {
+                    return false; // not reachable yet
+                }
+                (0..bits).all(|i| {
+                    current_bit(net, &ScanBit::MuxSelect(m.clone(), i)) == (sel >> i & 1 == 1)
+                })
+            });
+        if satisfied {
+            break;
+        }
+        let desired: Vec<bool> = path.iter().map(|b| desired_bit(net, &guards, b)).collect();
+        // input[j] must land at regs[L-1-j]
+        let input: Vec<bool> = desired.iter().rev().copied().collect();
+        let out = net.csu(&input);
+        csus.push(input);
+        read_back.push(out);
+        if csus.len() >= 64 {
+            return Err(RsnError::AccessDiverged {
+                target: target.into(),
+            });
+        }
+    }
+    let opened = guards.sibs.iter().all(|s| net.is_open(s).unwrap_or(false));
+    if !opened {
+        return Err(RsnError::AccessDiverged {
+            target: target.into(),
+        });
+    }
+    // Phase 2: write the data (if a TDR target with data).
+    if !data.is_empty() {
+        let path = net.active_path();
+        let desired: Vec<bool> = path
+            .iter()
+            .map(|b| match b {
+                ScanBit::TdrBit(n, i) if n == target => data[*i],
+                other => desired_bit(net, &guards, other),
+            })
+            .collect();
+        let input: Vec<bool> = desired.iter().rev().copied().collect();
+        let out = net.csu(&input);
+        csus.push(input);
+        read_back.push(out);
+    }
+    Ok(AccessPlan { csus, read_back })
+}
+
+/// Extracts a clone of the network structure (used by planners).
+fn net_root(net: &ScanNetwork) -> RsnNode {
+    // ScanNetwork keeps the root private; expose through a structural
+    // round-trip: segment order with guard queries suffices for planning,
+    // but the cleanest route is cloning the whole network.
+    net.root_node().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep() -> ScanNetwork {
+        ScanNetwork::new(RsnNode::chain(vec![
+            RsnNode::sib("s0", RsnNode::tdr("temp", 8)),
+            RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("volt", 16))),
+            RsnNode::mux(
+                "m",
+                vec![RsnNode::tdr("dbg0", 4), RsnNode::sib("s3", RsnNode::tdr("dbg1", 4))],
+            ),
+        ]))
+    }
+
+    #[test]
+    fn guards_found() {
+        let net = deep();
+        let g = guards_of(net.root_node(), "volt").unwrap();
+        assert_eq!(g.sibs, vec!["s2".to_string(), "s1".to_string()]);
+        let g = guards_of(net.root_node(), "dbg1").unwrap();
+        assert_eq!(g.sibs, vec!["s3".to_string()]);
+        assert_eq!(g.muxes.get("m"), Some(&1));
+        assert!(guards_of(net.root_node(), "nope").is_none());
+    }
+
+    #[test]
+    fn access_deep_tdr_writes_data() {
+        let mut net = deep();
+        let data: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let plan = access_sequence(&mut net, "volt", &data).unwrap();
+        assert!(net.is_open("s1").unwrap());
+        assert!(net.is_open("s2").unwrap());
+        assert_eq!(net.tdr("volt").unwrap(), &data[..]);
+        assert!(plan.csu_count() >= 3);
+        assert!(plan.total_bits() > 16);
+        assert_eq!(plan.read_back().len(), plan.csu_count());
+    }
+
+    #[test]
+    fn access_through_mux() {
+        let mut net = deep();
+        let data = vec![true, true, false, false];
+        access_sequence(&mut net, "dbg1", &data).unwrap();
+        assert!(net.is_open("s3").unwrap());
+        assert_eq!(net.tdr("dbg1").unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn access_preserves_other_state() {
+        let mut net = deep();
+        let t = vec![true; 8];
+        access_sequence(&mut net, "temp", &t).unwrap();
+        assert_eq!(net.tdr("temp").unwrap(), &t[..]);
+        // Now access volt; temp must keep its contents.
+        let v = vec![false; 16];
+        access_sequence(&mut net, "volt", &v).unwrap();
+        assert_eq!(net.tdr("temp").unwrap(), &t[..]);
+    }
+
+    #[test]
+    fn unknown_target_and_bad_data() {
+        let mut net = deep();
+        assert!(matches!(
+            access_sequence(&mut net, "ghost", &[]),
+            Err(RsnError::UnknownSegment { .. })
+        ));
+        assert!(matches!(
+            access_sequence(&mut net, "temp", &[true; 3]),
+            Err(RsnError::DataLengthMismatch { expected: 8, found: 3 })
+        ));
+    }
+}

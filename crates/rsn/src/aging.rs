@@ -1,0 +1,155 @@
+//! NBTI duty-cycle analysis of RSN infrastructure \[36\].
+//!
+//! A SIB whose control cell stores 1 for most of the device lifetime
+//! (e.g. guarding a frequently polled health monitor) suffers asymmetric
+//! NBTI stress; its switching threshold drifts and the scan path
+//! eventually misbehaves. This module extracts per-SIB duty cycles from
+//! usage profiles and estimates degradation with a standard
+//! `ΔVth ∝ duty^0.5 · t^0.25` model (the detailed physical models live
+//! in `rescue-aging`; this lightweight one keeps the crate free-standing).
+
+use crate::network::ScanNetwork;
+use std::collections::HashMap;
+
+/// Per-SIB aging assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SibAging {
+    /// SIB name.
+    pub name: String,
+    /// Fraction of CSU cycles the SIB spent open.
+    pub duty: f64,
+    /// Estimated threshold-voltage shift in mV after `years`.
+    pub delta_vth_mv: f64,
+}
+
+/// NBTI model constants (bulk CMOS fit, matching `rescue-aging`).
+const NBTI_A_MV: f64 = 50.0;
+const TIME_EXP: f64 = 0.25;
+const DUTY_EXP: f64 = 0.5;
+
+/// Estimates ΔVth (mV) for a given open-duty fraction after `years`.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `[0, 1]` or `years` is negative.
+pub fn nbti_shift_mv(duty: f64, years: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&duty), "duty in [0,1]");
+    assert!(years >= 0.0, "years >= 0");
+    NBTI_A_MV * duty.powf(DUTY_EXP) * years.powf(TIME_EXP)
+}
+
+/// Extracts duty cycles from a used network and projects NBTI stress
+/// over `years` of equivalent operation.
+///
+/// The network's [`ScanNetwork::sib_open_cycles`] counters (accumulated
+/// by every CSU) provide the usage profile.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_rsn::aging::analyze;
+/// use rescue_rsn::network::{RsnNode, ScanNetwork};
+///
+/// let mut net = ScanNetwork::new(RsnNode::sib("s", RsnNode::tdr("t", 4)));
+/// net.csu(&[true]); // open s
+/// // Poll the instrument, keeping s open (its control cell is the last
+/// // path bit, so the first stimulus bit lands there).
+/// for _ in 0..9 { net.csu(&[true, false, false, false, false]); }
+/// let aging = analyze(&net, 10.0);
+/// assert!(aging[0].duty > 0.8, "s was open for most of the profile");
+/// assert!(aging[0].delta_vth_mv > 0.0);
+/// ```
+pub fn analyze(net: &ScanNetwork, years: f64) -> Vec<SibAging> {
+    let total = net.csu_count().max(1) as f64;
+    let cycles: &HashMap<String, u64> = net.sib_open_cycles();
+    let mut out: Vec<SibAging> = cycles
+        .iter()
+        .map(|(name, &open)| {
+            let duty = open as f64 / total;
+            SibAging {
+                name: name.clone(),
+                duty,
+                delta_vth_mv: nbti_shift_mv(duty, years),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.duty
+            .partial_cmp(&a.duty)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// A mitigation: periodically close idle SIBs ("duty balancing") and
+/// report the stress reduction. Returns `(before, after)` worst-case
+/// ΔVth for a profile where the target SIB is open `duty` of the time
+/// but can be parked closed during a fraction `idle` of that.
+pub fn balancing_gain(duty: f64, idle: f64, years: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&idle), "idle in [0,1]");
+    let before = nbti_shift_mv(duty, years);
+    let after = nbti_shift_mv(duty * (1.0 - idle), years);
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RsnNode;
+
+    #[test]
+    fn model_monotone() {
+        assert_eq!(nbti_shift_mv(0.0, 10.0), 0.0);
+        assert!(nbti_shift_mv(0.5, 10.0) < nbti_shift_mv(1.0, 10.0));
+        assert!(nbti_shift_mv(0.5, 1.0) < nbti_shift_mv(0.5, 10.0));
+    }
+
+    #[test]
+    fn hot_sib_ranks_first() {
+        let mut net = ScanNetwork::new(RsnNode::chain(vec![
+            RsnNode::sib("hot", RsnNode::tdr("a", 2)),
+            RsnNode::sib("cold", RsnNode::tdr("b", 2)),
+        ]));
+        // Open only "hot": desired regs = [a-bits?...] initial path is
+        // [hot, cold] controls -> regs[0]=hot, regs[1]=cold.
+        // input[j] lands at regs[len-1-j]: want hot=1, cold=0 ->
+        // input = [cold, hot] reversed = [0, 1]? regs[0]=input[1], regs[1]=input[0].
+        net.csu(&[false, true]);
+        assert!(net.is_open("hot").unwrap());
+        assert!(!net.is_open("cold").unwrap());
+        for _ in 0..20 {
+            let l = net.path_len();
+            net.csu(&vec![false; l]);
+            // keep hot open: writing zeros would close it; rewrite 1.
+            if !net.is_open("hot").unwrap() {
+                // reopen
+                let mut v = vec![false; net.path_len()];
+                // control layout varies; just use access-like rewrite:
+                for x in v.iter_mut() {
+                    *x = true;
+                }
+                net.csu(&v);
+            }
+        }
+        let aging = analyze(&net, 10.0);
+        assert_eq!(aging[0].name, "hot");
+        assert!(aging[0].duty > aging.last().unwrap().duty);
+    }
+
+    #[test]
+    fn balancing_reduces_stress() {
+        let (before, after) = balancing_gain(0.9, 0.5, 10.0);
+        assert!(after < before);
+        let (b2, a2) = balancing_gain(0.9, 0.0, 10.0);
+        assert_eq!(b2, a2);
+    }
+
+    #[test]
+    fn unused_network_has_zero_duty() {
+        let net = ScanNetwork::new(RsnNode::sib("s", RsnNode::tdr("t", 1)));
+        let aging = analyze(&net, 5.0);
+        assert_eq!(aging[0].duty, 0.0);
+        assert_eq!(aging[0].delta_vth_mv, 0.0);
+    }
+}

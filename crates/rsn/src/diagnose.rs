@@ -1,0 +1,171 @@
+//! Syndrome-based RSN fault diagnosis \[45\].
+//!
+//! The tester applies a test, records where the observed stream deviates
+//! from the golden one, and matches that syndrome against the precomputed
+//! response of every candidate fault.
+
+use crate::faults::{fault_universe, RsnFault};
+use crate::network::ScanNetwork;
+use crate::testgen::RsnTest;
+
+/// A diagnosis outcome: candidate faults ranked by syndrome match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    ranked: Vec<(RsnFault, f64)>,
+}
+
+impl Diagnosis {
+    /// Candidates, best match first.
+    pub fn ranked(&self) -> &[(RsnFault, f64)] {
+        &self.ranked
+    }
+
+    /// The best-matching candidates (all with the top score).
+    pub fn best(&self) -> Vec<&RsnFault> {
+        let top = self.ranked.first().map(|(_, s)| *s).unwrap_or(0.0);
+        self.ranked
+            .iter()
+            .take_while(|(_, s)| (*s - top).abs() < 1e-12)
+            .map(|(f, _)| f)
+            .collect()
+    }
+
+    /// Diagnostic resolution: number of candidates sharing the top score.
+    pub fn ambiguity(&self) -> usize {
+        self.best().len()
+    }
+}
+
+/// Matches an observed response against every fault in the universe.
+///
+/// `observed` is the per-CSU scan-out recorded from the failing device.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_rsn::diagnose::diagnose;
+/// use rescue_rsn::faults::RsnFault;
+/// use rescue_rsn::network::{RsnNode, ScanNetwork};
+/// use rescue_rsn::testgen::wave_test;
+///
+/// let net = ScanNetwork::new(RsnNode::chain(vec![
+///     RsnNode::sib("s0", RsnNode::tdr("a", 4)),
+///     RsnNode::sib("s1", RsnNode::tdr("b", 4)),
+/// ]));
+/// let test = wave_test(&net);
+/// let truth = RsnFault::SibStuckClosed("s0".into());
+/// let observed = test.faulty_response(&net, &truth);
+/// let d = diagnose(&net, &test, &observed);
+/// assert!(d.best().iter().any(|f| **f == truth));
+/// ```
+pub fn diagnose(net: &ScanNetwork, test: &RsnTest, observed: &[Vec<bool>]) -> Diagnosis {
+    let candidates = fault_universe(net);
+    let mut ranked: Vec<(RsnFault, f64)> = candidates
+        .into_iter()
+        .map(|f| {
+            let predicted = test.faulty_response(net, &f);
+            (f, similarity(&predicted, observed))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Diagnosis { ranked }
+}
+
+/// Bit-level similarity between two response streams.
+fn similarity(a: &[Vec<bool>], b: &[Vec<bool>]) -> f64 {
+    let mut total = 0usize;
+    let mut same = 0usize;
+    for (ca, cb) in a.iter().zip(b) {
+        for (&x, &y) in ca.iter().zip(cb) {
+            total += 1;
+            if x == y {
+                same += 1;
+            }
+        }
+        total += ca.len().abs_diff(cb.len());
+    }
+    // Streams of different CSU counts compare only the common prefix
+    // plus a penalty per missing CSU.
+    let missing: usize = a
+        .iter()
+        .skip(b.len())
+        .chain(b.iter().skip(a.len()))
+        .map(|c| c.len())
+        .sum();
+    total += missing;
+    if total == 0 {
+        1.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RsnNode;
+    use crate::testgen::wave_test;
+
+    fn net() -> ScanNetwork {
+        ScanNetwork::new(RsnNode::chain(vec![
+            RsnNode::sib("s0", RsnNode::tdr("a", 4)),
+            RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("b", 3))),
+        ]))
+    }
+
+    #[test]
+    fn exact_fault_is_top_ranked() {
+        let n = net();
+        let test = wave_test(&n);
+        for truth in fault_universe(&n) {
+            let observed = test.faulty_response(&n, &truth);
+            if observed == test.golden_response(&n) {
+                continue; // undetected fault cannot be diagnosed
+            }
+            let d = diagnose(&n, &test, &observed);
+            assert!(
+                d.best().iter().any(|f| **f == truth),
+                "truth {truth} not in best set {:?}",
+                d.best()
+            );
+        }
+    }
+
+    #[test]
+    fn golden_response_matches_no_single_fault_perfectly() {
+        let n = net();
+        let test = wave_test(&n);
+        let golden = test.golden_response(&n);
+        let d = diagnose(&n, &test, &golden);
+        // Every detectable fault scores below 1.0 against the golden stream.
+        let detectable: Vec<_> = fault_universe(&n)
+            .into_iter()
+            .filter(|f| test.detects(&n, f))
+            .collect();
+        for (f, score) in d.ranked() {
+            if detectable.contains(f) {
+                assert!(*score < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguity_counts_ties() {
+        let n = net();
+        let test = wave_test(&n);
+        let truth = RsnFault::SibStuckClosed("s2".into());
+        let observed = test.faulty_response(&n, &truth);
+        let d = diagnose(&n, &test, &observed);
+        assert!(d.ambiguity() >= 1);
+        assert_eq!(d.best().len(), d.ambiguity());
+    }
+
+    #[test]
+    fn similarity_edges() {
+        assert_eq!(similarity(&[], &[]), 1.0);
+        let a = vec![vec![true, false]];
+        assert_eq!(similarity(&a, &a), 1.0);
+        let b = vec![vec![false, true]];
+        assert_eq!(similarity(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for scan-network operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by scan-network construction and access planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsnError {
+    /// A named segment does not exist in the network.
+    UnknownSegment {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Duplicate segment name during construction.
+    DuplicateSegment {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Written data length does not match the target register length.
+    DataLengthMismatch {
+        /// Register length.
+        expected: usize,
+        /// Data supplied.
+        found: usize,
+    },
+    /// Access planning exceeded its iteration budget (network cycle or
+    /// faulty structure).
+    AccessDiverged {
+        /// The unreachable target.
+        target: String,
+    },
+}
+
+impl fmt::Display for RsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsnError::UnknownSegment { name } => write!(f, "unknown segment `{name}`"),
+            RsnError::DuplicateSegment { name } => write!(f, "duplicate segment name `{name}`"),
+            RsnError::DataLengthMismatch { expected, found } => {
+                write!(f, "data length {found} does not match register length {expected}")
+            }
+            RsnError::AccessDiverged { target } => {
+                write!(f, "access to `{target}` did not converge")
+            }
+        }
+    }
+}
+
+impl Error for RsnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_trait() {
+        assert!(RsnError::UnknownSegment { name: "x".into() }
+            .to_string()
+            .contains("`x`"));
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RsnError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! RSN fault model and fault simulation.
+
+use crate::network::{RsnNode, ScanBit, ScanNetwork};
+use std::fmt;
+
+/// A structural fault in a reconfigurable scan network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RsnFault {
+    /// The SIB never inserts its segment, whatever its control bit says.
+    SibStuckClosed(String),
+    /// The SIB always inserts its segment.
+    SibStuckOpen(String),
+    /// The scan mux always routes branch `usize`.
+    MuxStuckSelect(String, usize),
+    /// A scan cell's output is stuck at a value.
+    CellStuck(ScanBit, bool),
+}
+
+impl fmt::Display for RsnFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsnFault::SibStuckClosed(n) => write!(f, "{n}/stuck-closed"),
+            RsnFault::SibStuckOpen(n) => write!(f, "{n}/stuck-open"),
+            RsnFault::MuxStuckSelect(n, k) => write!(f, "{n}/stuck-sel{k}"),
+            RsnFault::CellStuck(bit, v) => write!(f, "{bit:?}/sa{}", *v as u8),
+        }
+    }
+}
+
+/// The complete fault universe of a network: stuck-open/closed per SIB,
+/// stuck-select per mux branch, and stuck-at per control scan cell.
+pub fn fault_universe(net: &ScanNetwork) -> Vec<RsnFault> {
+    let mut faults = Vec::new();
+    collect(net.root_node(), &mut faults);
+    faults
+}
+
+fn collect(node: &RsnNode, faults: &mut Vec<RsnFault>) {
+    match node {
+        RsnNode::Tdr { .. } => {}
+        RsnNode::Sib { name, child } => {
+            faults.push(RsnFault::SibStuckClosed(name.clone()));
+            faults.push(RsnFault::SibStuckOpen(name.clone()));
+            faults.push(RsnFault::CellStuck(ScanBit::SibControl(name.clone()), false));
+            faults.push(RsnFault::CellStuck(ScanBit::SibControl(name.clone()), true));
+            collect(child, faults);
+        }
+        RsnNode::Mux { name, branches } => {
+            for k in 0..branches.len() {
+                faults.push(RsnFault::MuxStuckSelect(name.clone(), k));
+            }
+            for b in branches {
+                collect(b, faults);
+            }
+        }
+        RsnNode::Chain(nodes) => {
+            for n in nodes {
+                collect(n, faults);
+            }
+        }
+    }
+}
+
+/// A scan network with one injected structural fault.
+///
+/// Shares the golden network's state model; the fault warps the active
+/// path and/or pins scan-cell outputs.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_rsn::faults::{FaultyNetwork, RsnFault};
+/// use rescue_rsn::network::{RsnNode, ScanNetwork};
+///
+/// let golden = ScanNetwork::new(RsnNode::sib("s", RsnNode::tdr("t", 4)));
+/// let mut faulty = FaultyNetwork::new(
+///     golden.clone(),
+///     RsnFault::SibStuckClosed("s".into()),
+/// );
+/// let mut golden = golden;
+/// // Open the SIB, then probe with a marching pattern: the faulty
+/// // network's shorter path echoes the stimulus earlier.
+/// golden.csu(&[true]);
+/// faulty.csu(&[true]);
+/// let probe = [true, false, true, false, true];
+/// let g = golden.csu(&probe);
+/// let f = faulty.csu(&probe);
+/// assert_ne!(g, f, "stuck-closed SIB changes the scan-out stream");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyNetwork {
+    net: ScanNetwork,
+    fault: RsnFault,
+}
+
+impl FaultyNetwork {
+    /// Wraps a network with an injected fault.
+    pub fn new(net: ScanNetwork, fault: RsnFault) -> Self {
+        FaultyNetwork { net, fault }
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> &RsnFault {
+        &self.fault
+    }
+
+    /// The inner (state-holding) network.
+    pub fn inner(&self) -> &ScanNetwork {
+        &self.net
+    }
+
+    /// The faulty active path.
+    pub fn active_path(&self) -> Vec<ScanBit> {
+        let mut path = Vec::new();
+        self.walk(self.net.root_node(), &mut path);
+        path
+    }
+
+    fn walk(&self, node: &RsnNode, path: &mut Vec<ScanBit>) {
+        match node {
+            RsnNode::Tdr { name, len } => {
+                for i in 0..*len {
+                    path.push(ScanBit::TdrBit(name.clone(), i));
+                }
+            }
+            RsnNode::Sib { name, child } => {
+                let open = match &self.fault {
+                    RsnFault::SibStuckClosed(n) if n == name => false,
+                    RsnFault::SibStuckOpen(n) if n == name => true,
+                    _ => self.net.is_open(name).expect("known sib"),
+                };
+                if open {
+                    self.walk(child, path);
+                }
+                path.push(ScanBit::SibControl(name.clone()));
+            }
+            RsnNode::Mux { name, branches } => {
+                let sel = match &self.fault {
+                    RsnFault::MuxStuckSelect(n, k) if n == name => *k,
+                    _ => self.net.mux_selection(name).expect("known mux"),
+                }
+                .min(branches.len() - 1);
+                self.walk(&branches[sel], path);
+                let bits = crate::network::select_bits(branches.len());
+                for i in 0..bits {
+                    path.push(ScanBit::MuxSelect(name.clone(), i));
+                }
+            }
+            RsnNode::Chain(nodes) => {
+                for n in nodes {
+                    self.walk(n, path);
+                }
+            }
+        }
+    }
+
+    fn stuck_cell(&self) -> Option<(&ScanBit, bool)> {
+        match &self.fault {
+            RsnFault::CellStuck(bit, v) => Some((bit, *v)),
+            _ => None,
+        }
+    }
+
+    /// One CSU through the faulty network.
+    pub fn csu(&mut self, data: &[bool]) -> Vec<bool> {
+        let path = self.active_path();
+        let mut regs: Vec<bool> = path.iter().map(|b| self.net.read_bit(b)).collect();
+        // A stuck cell captures the stuck value too.
+        if let Some((bit, v)) = self.stuck_cell() {
+            if let Some(pos) = path.iter().position(|b| b == bit) {
+                regs[pos] = v;
+            }
+        }
+        let stuck_pos = self
+            .stuck_cell()
+            .and_then(|(bit, v)| path.iter().position(|b| b == bit).map(|p| (p, v)));
+        let mut out = Vec::with_capacity(data.len());
+        for &bit_in in data {
+            if let Some(&last) = regs.last() {
+                out.push(last);
+                for i in (1..regs.len()).rev() {
+                    regs[i] = regs[i - 1];
+                }
+                regs[0] = bit_in;
+                // The stuck cell's output overrides whatever shifted in.
+                if let Some((p, v)) = stuck_pos {
+                    regs[p] = v;
+                }
+            } else {
+                out.push(bit_in);
+            }
+        }
+        for (bit, v) in path.iter().zip(&regs) {
+            self.net.write_bit(bit, *v);
+        }
+        self.net.note_csu(data.len() as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RsnNode;
+
+    fn sample() -> ScanNetwork {
+        ScanNetwork::new(RsnNode::chain(vec![
+            RsnNode::sib("s0", RsnNode::tdr("a", 4)),
+            RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("b", 2))),
+        ]))
+    }
+
+    #[test]
+    fn universe_contents() {
+        let net = sample();
+        let u = fault_universe(&net);
+        // 3 SIBs x 4 faults each = 12.
+        assert_eq!(u.len(), 12);
+        assert!(u.contains(&RsnFault::SibStuckClosed("s2".into())));
+    }
+
+    #[test]
+    fn stuck_open_lengthens_path() {
+        let net = sample();
+        let f = FaultyNetwork::new(net.clone(), RsnFault::SibStuckOpen("s0".into()));
+        assert_eq!(f.active_path().len(), net.path_len() + 4);
+    }
+
+    #[test]
+    fn stuck_closed_detected_by_length_probe() {
+        let golden = sample();
+        let mut faulty = FaultyNetwork::new(golden.clone(), RsnFault::SibStuckClosed("s0".into()));
+        let mut golden = golden;
+        // Open everything (two waves), then probe with a marching pattern
+        // (all-zero probes can alias across different path lengths).
+        golden.csu(&[true, true]);
+        faulty.csu(&[true, true]);
+        let probe: Vec<bool> = (0..golden.path_len()).map(|i| i % 2 == 0).collect();
+        let g = golden.csu(&probe);
+        let f = faulty.csu(&probe);
+        assert_ne!(g, f);
+    }
+
+    #[test]
+    fn cell_stuck_pins_control_and_blocks_downstream() {
+        let golden = sample();
+        // s0's control cell sits nearest scan-in: a stuck cell there
+        // corrupts everything shifted towards the downstream cells too.
+        let mut faulty = FaultyNetwork::new(
+            golden.clone(),
+            RsnFault::CellStuck(ScanBit::SibControl("s0".into()), false),
+        );
+        faulty.csu(&[true, true]);
+        assert!(!faulty.inner().is_open("s0").unwrap());
+        assert!(
+            !faulty.inner().is_open("s1").unwrap(),
+            "data to s1 passes through the stuck cell"
+        );
+        // A stuck cell downstream (s1) leaves the upstream s0 writable.
+        let mut faulty = FaultyNetwork::new(
+            golden,
+            RsnFault::CellStuck(ScanBit::SibControl("s1".into()), false),
+        );
+        faulty.csu(&[true, true]);
+        assert!(faulty.inner().is_open("s0").unwrap());
+        assert!(!faulty.inner().is_open("s1").unwrap());
+    }
+
+    #[test]
+    fn mux_stuck_select() {
+        let net = ScanNetwork::new(RsnNode::mux(
+            "m",
+            vec![RsnNode::tdr("x", 2), RsnNode::tdr("y", 6)],
+        ));
+        let f = FaultyNetwork::new(net.clone(), RsnFault::MuxStuckSelect("m".into(), 1));
+        assert_eq!(f.active_path().len(), 7);
+        assert_eq!(net.path_len(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            RsnFault::SibStuckClosed("s".into()).to_string(),
+            "s/stuck-closed"
+        );
+        assert!(RsnFault::MuxStuckSelect("m".into(), 2)
+            .to_string()
+            .contains("sel2"));
+    }
+}

@@ -1,0 +1,55 @@
+//! IEEE 1687 reconfigurable scan networks (RSNs) for RESCUE-rs.
+//!
+//! RSNs "are introduced to ease and optimize the access to internal
+//! registers used to calibrate, debug, and test the circuit … however,
+//! they may also be prone to design errors and manufacturing faults"
+//! (paper Section III.E). This crate models SIB-based networks with
+//! full capture–shift–update (CSU) semantics and implements the RESCUE
+//! research lines on top:
+//!
+//! * [`network`] — the structural model ([`ScanNetwork`]) with SIBs,
+//!   scan muxes and test-data registers, plus the CSU engine.
+//! * [`access`] — retargeting: computing the CSU sequence that reaches a
+//!   named instrument.
+//! * [`faults`] — the RSN fault model (SIBs stuck open/closed, mux select
+//!   stuck, scan-cell stuck) and fault simulation.
+//! * [`testgen`] — test-sequence generation (naive one-SIB-at-a-time and
+//!   wave-based, reproducing the test-length reduction of \[30\], \[44\])
+//!   and coverage measurement.
+//! * [`diagnose`] — syndrome-based fault diagnosis \[45\].
+//! * [`equivalence`] — simulation-based equivalence checking between two
+//!   network descriptions \[47\].
+//! * [`validate`] — post-silicon spec-compliance validation through the
+//!   scan interface alone \[29\].
+//! * [`aging`] — SIB duty-cycle extraction for NBTI analysis \[36\].
+//!
+//! # Examples
+//!
+//! Build a two-level network and access a deep instrument:
+//!
+//! ```
+//! use rescue_rsn::network::{RsnNode, ScanNetwork};
+//! use rescue_rsn::access::access_sequence;
+//!
+//! let net = RsnNode::chain(vec![
+//!     RsnNode::sib("s0", RsnNode::tdr("temp", 8)),
+//!     RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("volt", 16))),
+//! ]);
+//! let mut sn = ScanNetwork::new(net);
+//! let plan = access_sequence(&mut sn.clone(), "volt", &[true; 16])?;
+//! assert!(plan.csu_count() >= 3, "needs to open s1 then s2 then write");
+//! # Ok::<(), rescue_rsn::RsnError>(())
+//! ```
+
+pub mod access;
+pub mod aging;
+pub mod diagnose;
+pub mod equivalence;
+pub mod error;
+pub mod faults;
+pub mod network;
+pub mod testgen;
+pub mod validate;
+
+pub use error::RsnError;
+pub use network::{RsnNode, ScanNetwork};

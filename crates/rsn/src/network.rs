@@ -1,0 +1,513 @@
+//! The structural RSN model and the capture–shift–update engine.
+
+use crate::error::RsnError;
+use std::collections::{HashMap, HashSet};
+
+/// A node of the scan-network structure.
+///
+/// The scan path runs scan-in → scan-out through, in order:
+///
+/// * `Tdr` — a shift register of `len` instrument bits;
+/// * `Sib` — a segment-insertion bit: one control scan cell; when the
+///   stored bit is 1 the child segment precedes the control cell on the
+///   path;
+/// * `Mux` — a scan multiplexer with a local `ceil(log2(n))`-bit select
+///   register on the path; exactly one branch is on the path at a time;
+/// * `Chain` — serial composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsnNode {
+    /// A test-data register (an instrument interface).
+    Tdr {
+        /// Unique name.
+        name: String,
+        /// Register length in bits.
+        len: usize,
+    },
+    /// A segment-insertion bit guarding a child segment.
+    Sib {
+        /// Unique name.
+        name: String,
+        /// The guarded segment.
+        child: Box<RsnNode>,
+    },
+    /// A scan multiplexer with its local select register.
+    Mux {
+        /// Unique name.
+        name: String,
+        /// The selectable branches (at least one).
+        branches: Vec<RsnNode>,
+    },
+    /// Serial composition of segments.
+    Chain(Vec<RsnNode>),
+}
+
+impl RsnNode {
+    /// Convenience constructor for a TDR.
+    pub fn tdr(name: impl Into<String>, len: usize) -> Self {
+        RsnNode::Tdr {
+            name: name.into(),
+            len,
+        }
+    }
+
+    /// Convenience constructor for a SIB.
+    pub fn sib(name: impl Into<String>, child: RsnNode) -> Self {
+        RsnNode::Sib {
+            name: name.into(),
+            child: Box::new(child),
+        }
+    }
+
+    /// Convenience constructor for a scan mux.
+    pub fn mux(name: impl Into<String>, branches: Vec<RsnNode>) -> Self {
+        RsnNode::Mux {
+            name: name.into(),
+            branches,
+        }
+    }
+
+    /// Convenience constructor for a chain.
+    pub fn chain(nodes: Vec<RsnNode>) -> Self {
+        RsnNode::Chain(nodes)
+    }
+
+    fn collect_names(&self, names: &mut Vec<String>) {
+        match self {
+            RsnNode::Tdr { name, .. } => names.push(name.clone()),
+            RsnNode::Sib { name, child } => {
+                names.push(name.clone());
+                child.collect_names(names);
+            }
+            RsnNode::Mux { name, branches } => {
+                names.push(name.clone());
+                for b in branches {
+                    b.collect_names(names);
+                }
+            }
+            RsnNode::Chain(nodes) => {
+                for n in nodes {
+                    n.collect_names(names);
+                }
+            }
+        }
+    }
+}
+
+/// One scan cell on the active path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScanBit {
+    /// The control cell of a SIB.
+    SibControl(String),
+    /// Bit `usize` of a mux's select register.
+    MuxSelect(String, usize),
+    /// Bit `usize` of a TDR.
+    TdrBit(String, usize),
+}
+
+/// A scan network with its configuration and instrument state.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNetwork {
+    root: RsnNode,
+    sib_open: HashMap<String, bool>,
+    mux_select: HashMap<String, usize>,
+    tdr_data: HashMap<String, Vec<bool>>,
+    shifted_bits: u64,
+    csu_count: u64,
+    sib_open_cycles: HashMap<String, u64>,
+}
+
+impl ScanNetwork {
+    /// Builds a network from a structure with all SIBs closed, mux
+    /// selects 0 and TDRs zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate segment names, empty muxes or zero-length
+    /// TDRs (structural construction errors are programming errors; use
+    /// [`ScanNetwork::try_new`] for data-driven construction).
+    pub fn new(root: RsnNode) -> Self {
+        Self::try_new(root).expect("invalid scan network structure")
+    }
+
+    /// Fallible variant of [`ScanNetwork::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RsnError::DuplicateSegment`] on name collisions.
+    pub fn try_new(root: RsnNode) -> Result<Self, RsnError> {
+        let mut names = Vec::new();
+        root.collect_names(&mut names);
+        let mut seen = HashSet::new();
+        for n in &names {
+            if !seen.insert(n.clone()) {
+                return Err(RsnError::DuplicateSegment { name: n.clone() });
+            }
+        }
+        let mut net = ScanNetwork {
+            root,
+            sib_open: HashMap::new(),
+            mux_select: HashMap::new(),
+            tdr_data: HashMap::new(),
+            shifted_bits: 0,
+            csu_count: 0,
+            sib_open_cycles: HashMap::new(),
+        };
+        net.init(&net.root.clone());
+        Ok(net)
+    }
+
+    fn init(&mut self, node: &RsnNode) {
+        match node {
+            RsnNode::Tdr { name, len } => {
+                assert!(*len > 0, "zero-length TDR `{name}`");
+                self.tdr_data.insert(name.clone(), vec![false; *len]);
+            }
+            RsnNode::Sib { name, child } => {
+                self.sib_open.insert(name.clone(), false);
+                self.sib_open_cycles.insert(name.clone(), 0);
+                self.init(child);
+            }
+            RsnNode::Mux { name, branches } => {
+                assert!(!branches.is_empty(), "empty mux `{name}`");
+                self.mux_select.insert(name.clone(), 0);
+                for b in branches {
+                    self.init(b);
+                }
+            }
+            RsnNode::Chain(nodes) => {
+                for n in nodes {
+                    self.init(n);
+                }
+            }
+        }
+    }
+
+    /// The structural root of the network.
+    pub fn root_node(&self) -> &RsnNode {
+        &self.root
+    }
+
+    /// All segment names in structural order.
+    pub fn segment_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.root.collect_names(&mut names);
+        names
+    }
+
+    /// Names of all SIBs.
+    pub fn sib_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.sib_open.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Is the SIB currently open?
+    ///
+    /// # Errors
+    ///
+    /// [`RsnError::UnknownSegment`] for unknown names.
+    pub fn is_open(&self, sib: &str) -> Result<bool, RsnError> {
+        self.sib_open
+            .get(sib)
+            .copied()
+            .ok_or_else(|| RsnError::UnknownSegment { name: sib.into() })
+    }
+
+    /// Current contents of a TDR.
+    ///
+    /// # Errors
+    ///
+    /// [`RsnError::UnknownSegment`] for unknown names.
+    pub fn tdr(&self, name: &str) -> Result<&[bool], RsnError> {
+        self.tdr_data
+            .get(name)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| RsnError::UnknownSegment { name: name.into() })
+    }
+
+    /// Total bits shifted since construction (the test-time metric).
+    pub fn shifted_bits(&self) -> u64 {
+        self.shifted_bits
+    }
+
+    /// Total CSU operations since construction.
+    pub fn csu_count(&self) -> u64 {
+        self.csu_count
+    }
+
+    /// CSU cycles each SIB spent open — the duty-cycle source for the
+    /// NBTI analysis in [`crate::aging`].
+    pub fn sib_open_cycles(&self) -> &HashMap<String, u64> {
+        &self.sib_open_cycles
+    }
+
+    /// The active scan path, scan-in first.
+    pub fn active_path(&self) -> Vec<ScanBit> {
+        let mut path = Vec::new();
+        self.walk(&self.root, &mut path);
+        path
+    }
+
+    /// Current active path length in bits.
+    pub fn path_len(&self) -> usize {
+        self.active_path().len()
+    }
+
+    fn walk(&self, node: &RsnNode, path: &mut Vec<ScanBit>) {
+        match node {
+            RsnNode::Tdr { name, len } => {
+                for i in 0..*len {
+                    path.push(ScanBit::TdrBit(name.clone(), i));
+                }
+            }
+            RsnNode::Sib { name, child } => {
+                if self.sib_open[name] {
+                    self.walk(child, path);
+                }
+                path.push(ScanBit::SibControl(name.clone()));
+            }
+            RsnNode::Mux { name, branches } => {
+                let sel = self.mux_select[name].min(branches.len() - 1);
+                self.walk(&branches[sel], path);
+                let bits = select_bits(branches.len());
+                for i in 0..bits {
+                    path.push(ScanBit::MuxSelect(name.clone(), i));
+                }
+            }
+            RsnNode::Chain(nodes) => {
+                for n in nodes {
+                    self.walk(n, path);
+                }
+            }
+        }
+    }
+
+    /// Current selection of a mux.
+    ///
+    /// # Errors
+    ///
+    /// [`RsnError::UnknownSegment`] for unknown names.
+    pub fn mux_selection(&self, name: &str) -> Result<usize, RsnError> {
+        self.mux_select
+            .get(name)
+            .copied()
+            .ok_or_else(|| RsnError::UnknownSegment { name: name.into() })
+    }
+
+    pub(crate) fn read_bit(&self, bit: &ScanBit) -> bool {
+        match bit {
+            ScanBit::SibControl(n) => self.sib_open[n],
+            ScanBit::MuxSelect(n, i) => self.mux_select[n] >> i & 1 == 1,
+            ScanBit::TdrBit(n, i) => self.tdr_data[n][*i],
+        }
+    }
+
+    pub(crate) fn write_bit(&mut self, bit: &ScanBit, v: bool) {
+        match bit {
+            ScanBit::SibControl(n) => {
+                self.sib_open.insert(n.clone(), v);
+            }
+            ScanBit::MuxSelect(n, i) => {
+                let cur = self.mux_select[n];
+                let nv = if v { cur | 1 << i } else { cur & !(1 << i) };
+                self.mux_select.insert(n.clone(), nv);
+            }
+            ScanBit::TdrBit(n, i) => {
+                let idx = *i;
+                self.tdr_data.get_mut(n).expect("known tdr")[idx] = v;
+            }
+        }
+    }
+
+    /// One capture–shift–update operation shifting exactly
+    /// `data.len()` cycles.
+    ///
+    /// Returns the bits observed at scan-out, oldest first. When the
+    /// shift length differs from the active path length the path content
+    /// wraps accordingly — exactly the misalignment a tester uses to
+    /// detect structural faults.
+    pub fn csu(&mut self, data: &[bool]) -> Vec<bool> {
+        let path = self.active_path();
+        // Capture.
+        let mut regs: Vec<bool> = path.iter().map(|b| self.read_bit(b)).collect();
+        let mut out = Vec::with_capacity(data.len());
+        // Shift: data enters at path[0], exits at path[last].
+        for &bit_in in data {
+            if let Some(&last) = regs.last() {
+                out.push(last);
+                for i in (1..regs.len()).rev() {
+                    regs[i] = regs[i - 1];
+                }
+                regs[0] = bit_in;
+            } else {
+                // Empty path: scan-in connects straight to scan-out.
+                out.push(bit_in);
+            }
+        }
+        // Update.
+        for (bit, v) in path.iter().zip(&regs) {
+            self.write_bit(bit, *v);
+        }
+        // Bookkeeping for test-time and aging metrics.
+        self.note_csu(data.len() as u64);
+        out
+    }
+
+    /// Records the bookkeeping of one CSU (shift count, open-SIB duty
+    /// cycles). Called by the fault simulator too.
+    pub(crate) fn note_csu(&mut self, shifted: u64) {
+        self.shifted_bits += shifted;
+        self.csu_count += 1;
+        let open_now: Vec<String> = self
+            .sib_open
+            .iter()
+            .filter(|(_, &o)| o)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in open_now {
+            *self.sib_open_cycles.get_mut(&n).expect("known sib") += 1;
+        }
+    }
+
+    /// Reads the expected scan-out for a CSU of the given data *without*
+    /// mutating state (the tester's golden model).
+    pub fn expected_csu(&self, data: &[bool]) -> Vec<bool> {
+        let mut clone = self.clone();
+        clone.csu(data)
+    }
+}
+
+/// Number of select bits a mux with `n` branches carries on the path.
+pub fn select_bits(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> ScanNetwork {
+        ScanNetwork::new(RsnNode::chain(vec![
+            RsnNode::sib("s0", RsnNode::tdr("a", 4)),
+            RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("b", 2))),
+        ]))
+    }
+
+    #[test]
+    fn initial_path_is_controls_only() {
+        let n = two_level();
+        assert_eq!(n.path_len(), 2); // s0 + s1 control bits
+        assert!(!n.is_open("s0").unwrap());
+        assert_eq!(n.tdr("a").unwrap(), &[false; 4]);
+    }
+
+    #[test]
+    fn opening_sib_extends_path() {
+        let mut n = two_level();
+        // Shift [1, 1]: path order is s0 then s1; regs after shift:
+        // regs[0] <- last input. Write 1s to both controls.
+        n.csu(&[true, true]);
+        assert!(n.is_open("s0").unwrap());
+        assert!(n.is_open("s1").unwrap());
+        // Path now: a0..a3 s0 s2 s1 = 7 bits.
+        assert_eq!(n.path_len(), 7);
+        assert_eq!(n.csu_count(), 1);
+        assert_eq!(n.shifted_bits(), 2);
+    }
+
+    #[test]
+    fn write_and_read_tdr() {
+        let mut n = two_level();
+        n.csu(&[true, true]); // open s0, s1
+        // Path: a0 a1 a2 a3 s0 s2 s1. Write a=1010, keep s0/s1 open, s2 closed.
+        // Shift-in order: last bit in lands at path[0].
+        // After L shifts, regs[i] = data[L-1-i].
+        let data = vec![true, false, true, false, true, false, true];
+        // want regs = [a0,a1,a2,a3,s0,s2,s1] = [?,?,?,?,1,0,1]
+        // regs[i] = data[6-i] -> a0=data[6]=1? let's just set and check.
+        n.csu(&data);
+        let a = n.tdr("a").unwrap().to_vec();
+        // regs[0..4] = data[6],data[5],data[4],data[3] = 1,0,1,0
+        assert_eq!(a, vec![true, false, true, false]);
+        // s0 = regs[4] = data[2] = true; s2 = regs[5] = data[1] = false
+        assert!(n.is_open("s0").unwrap());
+        assert!(!n.is_open("s2").unwrap());
+        assert!(n.is_open("s1").unwrap()); // s1 = regs[6] = data[0] = true
+    }
+
+    #[test]
+    fn scan_out_returns_captured_values() {
+        let mut n = two_level();
+        n.csu(&[true, true]);
+        let data = vec![false; 7];
+        let out = n.csu(&data);
+        // First bits out are the captured path values, scan-out end first:
+        // path last = s1 control (captured 1).
+        assert!(out[0], "s1 was open");
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn mux_switches_branch() {
+        let mut n = ScanNetwork::new(RsnNode::mux(
+            "m",
+            vec![RsnNode::tdr("x", 2), RsnNode::tdr("y", 5)],
+        ));
+        // Path: x0 x1 m.sel -> 3 bits.
+        assert_eq!(n.path_len(), 3);
+        // Write sel=1: regs[2] must become 1 -> data[0]=1.
+        n.csu(&[true, false, false]);
+        assert_eq!(n.path_len(), 6); // y0..y4 + sel
+    }
+
+    #[test]
+    fn select_bits_math() {
+        assert_eq!(select_bits(1), 1);
+        assert_eq!(select_bits(2), 1);
+        assert_eq!(select_bits(3), 2);
+        assert_eq!(select_bits(4), 2);
+        assert_eq!(select_bits(5), 3);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = ScanNetwork::try_new(RsnNode::chain(vec![
+            RsnNode::tdr("t", 1),
+            RsnNode::tdr("t", 2),
+        ]));
+        assert!(matches!(r, Err(RsnError::DuplicateSegment { .. })));
+    }
+
+    #[test]
+    fn empty_path_passthrough() {
+        // A network that can have an empty path does not exist here
+        // (muxes always contribute select bits), but a closed-SIB-only
+        // chain has its control bits: verify shift through 1-bit path.
+        let mut n = ScanNetwork::new(RsnNode::sib("s", RsnNode::tdr("t", 1)));
+        let out = n.csu(&[true, false, true]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn open_cycles_accumulate() {
+        let mut n = two_level();
+        n.csu(&[true, true]);
+        n.csu(&[false; 7]); // s0, s1 were open during this CSU
+        assert_eq!(n.sib_open_cycles()["s0"], 1);
+        assert_eq!(n.sib_open_cycles()["s2"], 0);
+    }
+
+    #[test]
+    fn expected_matches_actual() {
+        let mut n = two_level();
+        let want = n.expected_csu(&[true, true]);
+        let got = n.csu(&[true, true]);
+        assert_eq!(want, got);
+    }
+}

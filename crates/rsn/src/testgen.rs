@@ -1,0 +1,245 @@
+//! RSN test-sequence generation and coverage measurement.
+//!
+//! Two generators reproduce the trade-off studied in \[15\]–\[17\],
+//! \[30\], \[44\]:
+//!
+//! * [`naive_test`] opens one SIB at a time (long but simple);
+//! * [`wave_test`] opens whole hierarchy levels per CSU ("waves"),
+//!   cutting total shifted bits substantially at equal coverage.
+//!
+//! A fault is *detected* by a sequence when the faulty scan-out stream
+//! differs from the golden one anywhere.
+
+use crate::faults::{fault_universe, FaultyNetwork, RsnFault};
+use crate::network::ScanNetwork;
+
+/// A test: CSU input vectors applied in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsnTest {
+    csus: Vec<Vec<bool>>,
+}
+
+impl RsnTest {
+    /// The CSU vectors.
+    pub fn csus(&self) -> &[Vec<bool>] {
+        &self.csus
+    }
+
+    /// Number of CSU operations.
+    pub fn csu_count(&self) -> usize {
+        self.csus.len()
+    }
+
+    /// Total shifted bits (test time).
+    pub fn total_bits(&self) -> usize {
+        self.csus.iter().map(|c| c.len()).sum()
+    }
+
+    /// Golden scan-out stream for this test.
+    pub fn golden_response(&self, net: &ScanNetwork) -> Vec<Vec<bool>> {
+        let mut n = net.clone();
+        self.csus.iter().map(|c| n.csu(c)).collect()
+    }
+
+    /// Faulty scan-out stream.
+    pub fn faulty_response(&self, net: &ScanNetwork, fault: &RsnFault) -> Vec<Vec<bool>> {
+        let mut f = FaultyNetwork::new(net.clone(), fault.clone());
+        self.csus.iter().map(|c| f.csu(c)).collect()
+    }
+
+    /// Does this test detect `fault` on `net`?
+    pub fn detects(&self, net: &ScanNetwork, fault: &RsnFault) -> bool {
+        self.golden_response(net) != self.faulty_response(net, fault)
+    }
+
+    /// Fault coverage over a fault list.
+    pub fn coverage(&self, net: &ScanNetwork, faults: &[RsnFault]) -> f64 {
+        if faults.is_empty() {
+            return 1.0;
+        }
+        let detected = faults.iter().filter(|f| self.detects(net, f)).count();
+        detected as f64 / faults.len() as f64
+    }
+}
+
+/// Builds a CSU input that writes `value` into every control bit on the
+/// current path while writing an alternating pattern into TDR bits (the
+/// pattern maximizes stuck-cell observability).
+fn control_write(net: &ScanNetwork, value: bool) -> Vec<bool> {
+    use crate::network::ScanBit;
+    let path = net.active_path();
+    let desired: Vec<bool> = path
+        .iter()
+        .enumerate()
+        .map(|(i, b)| match b {
+            ScanBit::SibControl(_) | ScanBit::MuxSelect(..) => value,
+            ScanBit::TdrBit(..) => i % 2 == 0,
+        })
+        .collect();
+    desired.iter().rev().copied().collect()
+}
+
+/// Naive test: for each SIB in isolation — open it (descending level by
+/// level), read the exposed segment, close it again.
+pub fn naive_test(net: &ScanNetwork) -> RsnTest {
+    use crate::access::access_sequence;
+    let mut csus = Vec::new();
+    let mut work = net.clone();
+    for sib in net.sib_names() {
+        // open the path to this SIB and set it.
+        if let Ok(plan) = access_sequence(&mut work, &sib, &[]) {
+            csus.extend(plan.csus().iter().cloned());
+        }
+        // write 1 into the SIB itself, then probe, then close everything.
+        let open_all = control_write(&work, true);
+        let out_len = open_all.len();
+        work.csu(&open_all);
+        csus.push(open_all);
+        let probe = vec![false; work.path_len().max(out_len)];
+        work.csu(&probe);
+        csus.push(probe);
+        // close all open SIBs again (possibly multiple waves inward-out).
+        for _ in 0..8 {
+            if work.active_path().len() == work.sib_names().len() {
+                break;
+            }
+            let close = control_write(&work, false);
+            work.csu(&close);
+            csus.push(close);
+        }
+    }
+    RsnTest { csus }
+}
+
+/// Wave test: open *all* SIBs level by level (each CSU writes 1 to every
+/// control bit currently visible), probe the full path, then close in
+/// waves. Far fewer CSUs than [`naive_test`].
+pub fn wave_test(net: &ScanNetwork) -> RsnTest {
+    let mut csus = Vec::new();
+    let mut work = net.clone();
+    // Opening waves: repeat until the path stops growing.
+    let mut prev_len = 0;
+    for _ in 0..32 {
+        let len = work.path_len();
+        if len == prev_len {
+            break;
+        }
+        prev_len = len;
+        let open = control_write(&work, true);
+        work.csu(&open);
+        csus.push(open);
+    }
+    // Probe the full path with a marching pattern.
+    let full = work.path_len();
+    let probe: Vec<bool> = (0..full + 2).map(|i| i % 3 == 0).collect();
+    work.csu(&probe);
+    csus.push(probe);
+    // Closing waves.
+    for _ in 0..32 {
+        let close = control_write(&work, false);
+        let was = work.path_len();
+        work.csu(&close);
+        csus.push(close);
+        if work.path_len() == was && was == work.sib_names().len() {
+            break;
+        }
+    }
+    RsnTest { csus }
+}
+
+/// Coverage/length comparison row for the E6 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestComparison {
+    /// Naive test length in shifted bits.
+    pub naive_bits: usize,
+    /// Wave test length in shifted bits.
+    pub wave_bits: usize,
+    /// Naive coverage.
+    pub naive_coverage: f64,
+    /// Wave coverage.
+    pub wave_coverage: f64,
+}
+
+/// Runs both generators over `net`'s full fault universe.
+pub fn compare(net: &ScanNetwork) -> TestComparison {
+    let faults = fault_universe(net);
+    let naive = naive_test(net);
+    let wave = wave_test(net);
+    TestComparison {
+        naive_bits: naive.total_bits(),
+        wave_bits: wave.total_bits(),
+        naive_coverage: naive.coverage(net, &faults),
+        wave_coverage: wave.coverage(net, &faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RsnNode;
+
+    fn tree(depth: usize, fanout: usize) -> ScanNetwork {
+        fn build(depth: usize, fanout: usize, prefix: String) -> RsnNode {
+            if depth == 0 {
+                RsnNode::tdr(format!("t{prefix}"), 4)
+            } else {
+                RsnNode::chain(
+                    (0..fanout)
+                        .map(|i| {
+                            let p = format!("{prefix}_{i}");
+                            RsnNode::sib(format!("s{p}"), build(depth - 1, fanout, p))
+                        })
+                        .collect(),
+                )
+            }
+        }
+        ScanNetwork::new(build(depth, fanout, String::new()))
+    }
+
+    #[test]
+    fn wave_test_full_coverage_flat() {
+        let net = tree(1, 4);
+        let faults = fault_universe(&net);
+        let t = wave_test(&net);
+        assert_eq!(t.coverage(&net, &faults), 1.0, "flat tree fully covered");
+    }
+
+    #[test]
+    fn wave_test_hierarchical_coverage() {
+        let net = tree(2, 2);
+        let faults = fault_universe(&net);
+        let t = wave_test(&net);
+        assert!(t.coverage(&net, &faults) >= 0.9, "{}", t.coverage(&net, &faults));
+    }
+
+    #[test]
+    fn wave_shorter_than_naive_at_similar_coverage() {
+        let net = tree(2, 3);
+        let cmp = compare(&net);
+        assert!(
+            cmp.wave_bits < cmp.naive_bits,
+            "wave {} < naive {}",
+            cmp.wave_bits,
+            cmp.naive_bits
+        );
+        assert!(cmp.wave_coverage >= cmp.naive_coverage - 0.1);
+    }
+
+    #[test]
+    fn detects_is_symmetric_in_responses() {
+        let net = tree(1, 2);
+        let t = wave_test(&net);
+        let f = RsnFault::SibStuckClosed(net.sib_names()[0].clone());
+        assert_eq!(
+            t.detects(&net, &f),
+            t.golden_response(&net) != t.faulty_response(&net, &f)
+        );
+    }
+
+    #[test]
+    fn empty_fault_list_full_coverage() {
+        let net = tree(1, 2);
+        let t = wave_test(&net);
+        assert_eq!(t.coverage(&net, &[]), 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for scan-network invariants.
+
+use proptest::prelude::*;
+use rescue_rsn::access::access_sequence;
+use rescue_rsn::faults::{fault_universe, FaultyNetwork};
+use rescue_rsn::network::{RsnNode, ScanNetwork};
+use rescue_rsn::testgen::wave_test;
+
+/// A random hierarchical network: depth-bounded SIB trees over TDRs.
+fn random_network(seed: u64, depth: usize) -> ScanNetwork {
+    fn build(state: &mut u64, depth: usize, id: &mut usize) -> RsnNode {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let pick = *state % 3;
+        *id += 1;
+        let my = *id;
+        if depth == 0 || pick == 0 {
+            RsnNode::tdr(format!("t{my}"), 1 + (*state >> 8) as usize % 6)
+        } else if pick == 1 {
+            RsnNode::sib(format!("s{my}"), build(state, depth - 1, id))
+        } else {
+            RsnNode::chain(vec![
+                build(state, depth - 1, id),
+                build(state, depth - 1, id),
+            ])
+        }
+    }
+    let mut state = seed.max(1);
+    let mut id = 0;
+    // Guarantee at least one SIB at the top.
+    let inner = build(&mut state, depth, &mut id);
+    ScanNetwork::new(RsnNode::chain(vec![
+        RsnNode::sib("s_root", inner),
+        RsnNode::tdr("t_root", 3),
+    ]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A CSU of the exact path length writes exactly what was shifted in
+    /// (reversed), and reads back the captured state.
+    #[test]
+    fn csu_length_preserving(seed in 1u64..1000) {
+        let mut net = random_network(seed, 3);
+        let l = net.path_len();
+        let stimulus: Vec<bool> = (0..l).map(|i| i % 2 == 0).collect();
+        let out = net.csu(&stimulus);
+        prop_assert_eq!(out.len(), stimulus.len());
+        // Shifting the path length again returns the (captured) values
+        // we just wrote wherever the path is unchanged in length.
+        let l2 = net.path_len();
+        if l2 == l {
+            let out2 = net.csu(&vec![false; l]);
+            // out2 is the written data, scan-out end first.
+            let expect: Vec<bool> = stimulus.to_vec();
+            prop_assert_eq!(out2, expect);
+        }
+    }
+
+    /// Access plans always leave the target TDR holding the written data
+    /// and never diverge on healthy networks.
+    #[test]
+    fn access_reaches_every_tdr(seed in 1u64..500) {
+        let net = random_network(seed, 3);
+        let tdrs: Vec<String> = net
+            .segment_names()
+            .into_iter()
+            .filter(|n| net.tdr(n).is_ok())
+            .collect();
+        for t in tdrs {
+            let mut work = net.clone();
+            let len = work.tdr(&t).unwrap().len();
+            let data: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let plan = access_sequence(&mut work, &t, &data).unwrap();
+            prop_assert!(plan.csu_count() >= 1);
+            prop_assert_eq!(work.tdr(&t).unwrap(), &data[..], "target {}", t);
+        }
+    }
+
+    /// The wave test detects a large majority of the fault universe on
+    /// random networks, and detection is exactly response inequality.
+    #[test]
+    fn wave_test_coverage(seed in 1u64..300) {
+        let net = random_network(seed, 2);
+        let test = wave_test(&net);
+        let faults = fault_universe(&net);
+        if faults.is_empty() {
+            return Ok(());
+        }
+        let cov = test.coverage(&net, &faults);
+        prop_assert!(cov >= 0.5, "coverage {cov} on seed {seed}");
+        for f in &faults {
+            let detected = test.detects(&net, f);
+            let differs = test.golden_response(&net) != test.faulty_response(&net, f);
+            prop_assert_eq!(detected, differs);
+        }
+    }
+
+    /// Faulty networks still shift data consistently: output length
+    /// always equals input length (no bits invented or dropped).
+    #[test]
+    fn faulty_csu_length(seed in 1u64..300, data_len in 1usize..40) {
+        let net = random_network(seed, 2);
+        for fault in fault_universe(&net).into_iter().take(6) {
+            let mut f = FaultyNetwork::new(net.clone(), fault);
+            let stim: Vec<bool> = (0..data_len).map(|i| i % 2 == 1).collect();
+            let out = f.csu(&stim);
+            prop_assert_eq!(out.len(), data_len);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! ISO 26262 fault classification.
+
+use rescue_faults::{simulate::FaultSimulator, Fault};
+use rescue_netlist::Netlist;
+use rescue_sim::parallel::pack_patterns;
+
+/// ISO 26262 class of a fault with respect to a safety goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Never corrupts a functional output under the stimulus (and thus
+    /// cannot violate the safety goal).
+    Safe,
+    /// Corrupts a functional output but every such corruption is
+    /// simultaneously flagged by a checker output.
+    Detected,
+    /// Corrupts a functional output with no alarm on at least one
+    /// pattern — a dangerous undetected (residual) fault.
+    Residual,
+    /// Never corrupts a functional output but trips the checker —
+    /// a latent corruption inside the safety mechanism itself.
+    Latent,
+}
+
+/// Per-fault classification result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassificationReport {
+    faults: Vec<Fault>,
+    classes: Vec<FaultClass>,
+}
+
+impl ClassificationReport {
+    /// The classified faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The class of each fault, parallel to [`Self::faults`].
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Count of a class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.classes.iter().filter(|&&c| c == class).count()
+    }
+
+    /// Fraction of a class.
+    pub fn fraction(&self, class: FaultClass) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        self.count(class) as f64 / self.classes.len() as f64
+    }
+
+    /// Iterates `(fault, class)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Fault, FaultClass)> + '_ {
+        self.faults
+            .iter()
+            .copied()
+            .zip(self.classes.iter().copied())
+    }
+}
+
+/// Classifies `faults` by simulating `patterns` and comparing the
+/// behaviour of `functional` outputs (safety-goal relevant) and
+/// `checkers` outputs (safety mechanisms).
+///
+/// Classification is stimulus-relative — exactly like a real FI
+/// campaign: a richer stimulus can move faults from `Safe` to another
+/// class, never the other way.
+///
+/// # Panics
+///
+/// Panics if an output name is unknown or a pattern width mismatches.
+pub fn classify(
+    netlist: &Netlist,
+    faults: &[Fault],
+    functional: &[String],
+    checkers: &[String],
+    patterns: &[Vec<bool>],
+) -> ClassificationReport {
+    let find_driver = |name: &str| {
+        netlist
+            .primary_outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| panic!("unknown output `{name}`"))
+    };
+    let func: Vec<_> = functional.iter().map(|n| find_driver(n)).collect();
+    let chk: Vec<_> = checkers.iter().map(|n| find_driver(n)).collect();
+    let sim = FaultSimulator::new(netlist);
+
+    let mut classes = vec![FaultClass::Safe; faults.len()];
+    let mut corrupts = vec![false; faults.len()];
+    let mut undetected_corruption = vec![false; faults.len()];
+    let mut alarms = vec![false; faults.len()];
+
+    for chunk in patterns.chunks(64) {
+        let words = pack_patterns(chunk);
+        let golden = sim.golden(netlist, &words);
+        let live = if chunk.len() < 64 {
+            (1u64 << chunk.len()) - 1
+        } else {
+            u64::MAX
+        };
+        for (fi, &fault) in faults.iter().enumerate() {
+            let faulty = sim.with_stuck(netlist, &words, fault);
+            let mut func_mask = 0u64;
+            for &g in &func {
+                func_mask |= golden[g.index()] ^ faulty[g.index()];
+            }
+            let mut chk_mask = 0u64;
+            for &g in &chk {
+                chk_mask |= golden[g.index()] ^ faulty[g.index()];
+            }
+            func_mask &= live;
+            chk_mask &= live;
+            if func_mask != 0 {
+                corrupts[fi] = true;
+                if func_mask & !chk_mask != 0 {
+                    undetected_corruption[fi] = true;
+                }
+            }
+            if chk_mask != 0 {
+                alarms[fi] = true;
+            }
+        }
+    }
+    for fi in 0..faults.len() {
+        classes[fi] = match (corrupts[fi], undetected_corruption[fi], alarms[fi]) {
+            (true, true, _) => FaultClass::Residual,
+            (true, false, _) => FaultClass::Detected,
+            (false, _, true) => FaultClass::Latent,
+            (false, _, false) => FaultClass::Safe,
+        };
+    }
+    ClassificationReport {
+        faults: faults.to_vec(),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplication::duplicate_with_comparator;
+    use rescue_faults::universe;
+    use rescue_netlist::generate;
+
+    fn exhaustive(n: usize) -> Vec<Vec<bool>> {
+        (0..(1u32 << n))
+            .map(|p| (0..n).map(|i| p >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn unprotected_design_is_mostly_residual() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let functional: Vec<String> =
+            c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let r = classify(&c, &faults, &functional, &[], &exhaustive(5));
+        assert_eq!(r.count(FaultClass::Detected), 0, "no checker, no detection");
+        assert!(r.fraction(FaultClass::Residual) > 0.9);
+    }
+
+    #[test]
+    fn duplication_detects_single_copy_faults() {
+        let inner = generate::adder(2);
+        let p = duplicate_with_comparator(&inner);
+        let faults = universe::stuck_at_universe(&p.netlist);
+        let r = classify(
+            &p.netlist,
+            &faults,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &exhaustive(p.netlist.primary_inputs().len()),
+        );
+        // Faults inside either copy corrupt exactly one copy -> alarm.
+        // Only common-cause faults on the shared primary inputs escape
+        // (both copies compute the same wrong answer).
+        use rescue_netlist::GateKind;
+        for (f, c) in r.iter() {
+            if c == FaultClass::Residual {
+                assert_eq!(
+                    p.netlist.gate(f.site().gate()).kind(),
+                    GateKind::Input,
+                    "only shared-input faults may be residual, got {f}"
+                );
+            }
+        }
+        // Copy-A faults corrupt mission outputs with an alarm (Detected);
+        // copy-B and comparator faults corrupt only the alarm (Latent).
+        assert!(r.fraction(FaultClass::Detected) > 0.2);
+        assert!(r.fraction(FaultClass::Latent) > 0.2);
+    }
+
+    #[test]
+    fn stimulus_relative_monotonicity() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let functional: Vec<String> =
+            c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let few = classify(&c, &faults, &functional, &[], &exhaustive(5)[..2]);
+        let all = classify(&c, &faults, &functional, &[], &exhaustive(5));
+        // Safe count can only shrink with more stimulus.
+        assert!(all.count(FaultClass::Safe) <= few.count(FaultClass::Safe));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown output")]
+    fn unknown_output_panics() {
+        let c = generate::c17();
+        classify(&c, &[], &["nope".into()], &[], &exhaustive(5));
+    }
+}

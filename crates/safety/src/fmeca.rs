@@ -1,0 +1,196 @@
+//! Failure-mode, effects and criticality analysis (FMECA) tables.
+//!
+//! Supports the early-flow activity of paper Section III.D: "techniques
+//! for supporting architects and reliability experts in performing
+//! FMECA". Rows carry the classic severity/occurrence/detection scores
+//! and are ranked by risk priority number (RPN).
+
+use std::fmt;
+
+/// Severity, occurrence and detection are 1–10 ordinal scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Score(u8);
+
+impl Score {
+    /// Creates a score, clamping into `1..=10`.
+    pub fn new(v: u8) -> Self {
+        Score(v.clamp(1, 10))
+    }
+
+    /// The numeric value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+/// One FMECA row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmecaRow {
+    /// Component or block.
+    pub component: String,
+    /// The failure mode (e.g. "stuck-at on carry chain").
+    pub failure_mode: String,
+    /// The system-level effect.
+    pub effect: String,
+    /// Severity score.
+    pub severity: Score,
+    /// Occurrence score.
+    pub occurrence: Score,
+    /// Detection score (10 = undetectable).
+    pub detection: Score,
+}
+
+impl FmecaRow {
+    /// Risk priority number: `S * O * D` in `1..=1000`.
+    pub fn rpn(&self) -> u32 {
+        self.severity.value() as u32 * self.occurrence.value() as u32 * self.detection.value() as u32
+    }
+}
+
+impl fmt::Display for FmecaRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | S{} O{} D{} | RPN {}",
+            self.component,
+            self.failure_mode,
+            self.effect,
+            self.severity.value(),
+            self.occurrence.value(),
+            self.detection.value(),
+            self.rpn()
+        )
+    }
+}
+
+/// An FMECA table with ranking and threshold queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FmecaTable {
+    rows: Vec<FmecaRow>,
+}
+
+impl FmecaTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: FmecaRow) {
+        self.rows.push(row);
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[FmecaRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows sorted by descending RPN (criticality ranking).
+    pub fn ranked(&self) -> Vec<&FmecaRow> {
+        let mut v: Vec<&FmecaRow> = self.rows.iter().collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.rpn()));
+        v
+    }
+
+    /// Rows whose RPN exceeds `threshold` (the action list).
+    pub fn action_items(&self, threshold: u32) -> Vec<&FmecaRow> {
+        self.ranked()
+            .into_iter()
+            .filter(|r| r.rpn() > threshold)
+            .collect()
+    }
+
+    /// Derives occurrence/detection scores from measured quantities:
+    /// an occurrence probability and a detection coverage in `[0, 1]`.
+    pub fn derived_row(
+        component: impl Into<String>,
+        failure_mode: impl Into<String>,
+        effect: impl Into<String>,
+        severity: Score,
+        occurrence_probability: f64,
+        detection_coverage: f64,
+    ) -> FmecaRow {
+        // log-scale mapping: 1e-9 -> 1 … 1e-1+ -> 10
+        let occ = if occurrence_probability <= 0.0 {
+            1
+        } else {
+            let lg = occurrence_probability.log10(); // ~ -9..-1
+            ((lg + 10.0).clamp(1.0, 10.0)) as u8
+        };
+        // coverage 1.0 -> D=1 (always caught), 0.0 -> D=10
+        let det = (10.0 - 9.0 * detection_coverage.clamp(0.0, 1.0)).round() as u8;
+        FmecaRow {
+            component: component.into(),
+            failure_mode: failure_mode.into(),
+            effect: effect.into(),
+            severity,
+            occurrence: Score::new(occ),
+            detection: Score::new(det),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(s: u8, o: u8, d: u8) -> FmecaRow {
+        FmecaRow {
+            component: "c".into(),
+            failure_mode: "m".into(),
+            effect: "e".into(),
+            severity: Score::new(s),
+            occurrence: Score::new(o),
+            detection: Score::new(d),
+        }
+    }
+
+    #[test]
+    fn rpn_and_ranking() {
+        let mut t = FmecaTable::new();
+        t.push(row(10, 5, 2)); // 100
+        t.push(row(3, 3, 3)); // 27
+        t.push(row(9, 9, 9)); // 729
+        let ranked = t.ranked();
+        assert_eq!(ranked[0].rpn(), 729);
+        assert_eq!(ranked[2].rpn(), 27);
+        assert_eq!(t.action_items(100).len(), 1);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn scores_clamped() {
+        assert_eq!(Score::new(0).value(), 1);
+        assert_eq!(Score::new(200).value(), 10);
+    }
+
+    #[test]
+    fn derived_scores() {
+        let r = FmecaTable::derived_row("cpu", "seu", "sdc", Score::new(9), 1e-6, 0.99);
+        assert!(r.occurrence.value() <= 5);
+        assert_eq!(r.detection.value(), 1);
+        let r2 = FmecaTable::derived_row("cpu", "seu", "sdc", Score::new(9), 0.5, 0.0);
+        assert!(r2.occurrence.value() >= 9);
+        assert_eq!(r2.detection.value(), 10);
+        assert!(r2.rpn() > r.rpn());
+        // zero probability floor
+        let r3 = FmecaTable::derived_row("x", "y", "z", Score::new(1), 0.0, 0.5);
+        assert_eq!(r3.occurrence.value(), 1);
+    }
+
+    #[test]
+    fn display_contains_rpn() {
+        assert!(row(2, 2, 2).to_string().contains("RPN 8"));
+    }
+}

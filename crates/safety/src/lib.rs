@@ -1,0 +1,59 @@
+//! ISO 26262 functional-safety analysis for RESCUE-rs.
+//!
+//! Implements paper Section III.D ("functional safety needs to become a
+//! first-class citizen throughout the full design flow"):
+//!
+//! * [`mod@classify`] — fault classification against functional outputs and
+//!   safety-mechanism (checker) outputs: safe / detected / residual /
+//!   latent.
+//! * [`metrics`] — SPFM, LFM and PMHF computation with ASIL targets.
+//! * [`fmeca`] — failure-mode, effects and criticality analysis tables.
+//! * [`pruning`] — formal fault-list optimization (cone-of-influence and
+//!   constant propagation) before expensive FI campaigns (\[19\]).
+//! * [`slicing`] — dynamic-slicing FI acceleration: skip faults outside
+//!   the dynamically active logic per test (\[49\], \[51\]).
+//! * [`confidence`] — the ATPG/FI/formal three-way cross-check used to
+//!   "improve the confidence in fault analysis tools" (\[20\], \[48\],
+//!   \[50\]).
+//! * [`transition`] — the fault-model extension the paper lists as
+//!   active research: ISO 26262 classification for transition-delay
+//!   faults via launch/capture pattern pairs.
+//!
+//! # Examples
+//!
+//! Classify the faults of a duplicated-and-compared block:
+//!
+//! ```
+//! use rescue_safety::classify::{classify, FaultClass};
+//! use rescue_safety::duplication::duplicate_with_comparator;
+//! use rescue_faults::universe;
+//! use rescue_netlist::generate;
+//!
+//! let block = generate::adder(2);
+//! let protected = duplicate_with_comparator(&block);
+//! let faults = universe::stuck_at_universe(&protected.netlist);
+//! let patterns: Vec<Vec<bool>> = (0..32u32)
+//!     .map(|p| (0..5).map(|i| p >> i & 1 == 1).collect())
+//!     .collect();
+//! let report = classify(
+//!     &protected.netlist,
+//!     &faults,
+//!     &protected.functional_outputs,
+//!     &protected.checker_outputs,
+//!     &patterns,
+//! );
+//! // Duplication with comparison detects (almost) everything dangerous.
+//! assert!(report.fraction(FaultClass::Residual) < 0.1);
+//! ```
+
+pub mod classify;
+pub mod confidence;
+pub mod duplication;
+pub mod fmeca;
+pub mod metrics;
+pub mod pruning;
+pub mod slicing;
+pub mod transition;
+
+pub use classify::{classify, ClassificationReport, FaultClass};
+pub use metrics::{AsilTarget, SafetyMetrics};

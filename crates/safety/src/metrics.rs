@@ -1,0 +1,199 @@
+//! ISO 26262 hardware architectural metrics: SPFM, LFM, PMHF.
+
+use crate::classify::{ClassificationReport, FaultClass};
+use rescue_radiation::Fit;
+use std::fmt;
+
+/// ASIL targets for the architectural metrics (ISO 26262-5 Table 4/5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsilTarget {
+    /// ASIL B: SPFM ≥ 90 %, LFM ≥ 60 %, PMHF < 100 FIT.
+    B,
+    /// ASIL C: SPFM ≥ 97 %, LFM ≥ 80 %, PMHF < 100 FIT.
+    C,
+    /// ASIL D: SPFM ≥ 99 %, LFM ≥ 90 %, PMHF < 10 FIT.
+    D,
+}
+
+impl AsilTarget {
+    /// Required single-point-fault metric.
+    pub fn spfm_target(self) -> f64 {
+        match self {
+            AsilTarget::B => 0.90,
+            AsilTarget::C => 0.97,
+            AsilTarget::D => 0.99,
+        }
+    }
+
+    /// Required latent-fault metric.
+    pub fn lfm_target(self) -> f64 {
+        match self {
+            AsilTarget::B => 0.60,
+            AsilTarget::C => 0.80,
+            AsilTarget::D => 0.90,
+        }
+    }
+
+    /// Probabilistic metric for random hardware failures budget.
+    pub fn pmhf_target(self) -> Fit {
+        match self {
+            AsilTarget::B | AsilTarget::C => Fit::new(100.0),
+            AsilTarget::D => Fit::new(10.0),
+        }
+    }
+}
+
+/// Computed architectural metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyMetrics {
+    /// Single-point-fault metric in `[0, 1]`.
+    pub spfm: f64,
+    /// Latent-fault metric in `[0, 1]`.
+    pub lfm: f64,
+    /// Probabilistic metric for random hardware failures.
+    pub pmhf: Fit,
+}
+
+impl SafetyMetrics {
+    /// Computes the metrics from a fault classification, assuming a
+    /// uniform raw failure rate `total_rate` spread over the fault
+    /// population (each fault carries `total_rate / n`).
+    ///
+    /// * `SPFM = 1 - λ_residual / λ_safety_related`
+    /// * `LFM  = 1 - λ_latent / (λ_safety_related - λ_residual)`
+    /// * `PMHF = λ_residual (+ a latent second-order term, neglected)`
+    ///
+    /// Safety-related faults here are all non-safe faults.
+    pub fn from_classification(report: &ClassificationReport, total_rate: Fit) -> Self {
+        let n = report.classes().len();
+        if n == 0 {
+            return SafetyMetrics {
+                spfm: 1.0,
+                lfm: 1.0,
+                pmhf: Fit::new(0.0),
+            };
+        }
+        let per_fault = total_rate.value() / n as f64;
+        let residual = report.count(FaultClass::Residual) as f64 * per_fault;
+        let latent = report.count(FaultClass::Latent) as f64 * per_fault;
+        let detected = report.count(FaultClass::Detected) as f64 * per_fault;
+        let safety_related = residual + latent + detected;
+        let spfm = if safety_related > 0.0 {
+            1.0 - residual / safety_related
+        } else {
+            1.0
+        };
+        let after_res = safety_related - residual;
+        let lfm = if after_res > 0.0 {
+            1.0 - latent / after_res
+        } else {
+            1.0
+        };
+        SafetyMetrics {
+            spfm,
+            lfm,
+            pmhf: Fit::new(residual),
+        }
+    }
+
+    /// Does this design meet the given ASIL?
+    pub fn meets(&self, target: AsilTarget) -> bool {
+        self.spfm >= target.spfm_target()
+            && self.lfm >= target.lfm_target()
+            && self.pmhf.value() <= target.pmhf_target().value()
+    }
+}
+
+impl fmt::Display for SafetyMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SPFM {:.2}% LFM {:.2}% PMHF {}",
+            self.spfm * 100.0,
+            self.lfm * 100.0,
+            self.pmhf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::duplication::duplicate_with_comparator;
+    use rescue_faults::universe;
+    use rescue_netlist::generate;
+
+    fn exhaustive(n: usize) -> Vec<Vec<bool>> {
+        (0..(1u32 << n))
+            .map(|p| (0..n).map(|i| p >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn protected_beats_unprotected() {
+        let inner = generate::adder(2);
+        let functional: Vec<String> = inner
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let rate = Fit::new(1000.0);
+
+        let faults = universe::stuck_at_universe(&inner);
+        let raw = classify(&inner, &faults, &functional, &[], &exhaustive(5));
+        let m_raw = SafetyMetrics::from_classification(&raw, rate);
+
+        let p = duplicate_with_comparator(&inner);
+        let pf = universe::stuck_at_universe(&p.netlist);
+        let prot = classify(
+            &p.netlist,
+            &pf,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &exhaustive(5),
+        );
+        let m_prot = SafetyMetrics::from_classification(&prot, rate);
+
+        assert!(m_prot.spfm > m_raw.spfm);
+        assert!(m_prot.pmhf.value() < m_raw.pmhf.value());
+        // Only the shared primary inputs remain residual.
+        assert!(m_prot.spfm > 0.9, "{m_prot}");
+    }
+
+    #[test]
+    fn asil_targets_ordered() {
+        assert!(AsilTarget::D.spfm_target() > AsilTarget::B.spfm_target());
+        assert!(AsilTarget::D.lfm_target() > AsilTarget::C.lfm_target());
+        assert!(AsilTarget::D.pmhf_target().value() < AsilTarget::B.pmhf_target().value());
+    }
+
+    #[test]
+    fn perfect_design_meets_d() {
+        let m = SafetyMetrics {
+            spfm: 1.0,
+            lfm: 1.0,
+            pmhf: Fit::new(1.0),
+        };
+        assert!(m.meets(AsilTarget::D));
+        let bad = SafetyMetrics {
+            spfm: 0.95,
+            lfm: 1.0,
+            pmhf: Fit::new(1.0),
+        };
+        assert!(!bad.meets(AsilTarget::D));
+        assert!(bad.meets(AsilTarget::B));
+    }
+
+    #[test]
+    fn display_format() {
+        let m = SafetyMetrics {
+            spfm: 0.991,
+            lfm: 0.93,
+            pmhf: Fit::new(3.5),
+        };
+        let s = m.to_string();
+        assert!(s.contains("SPFM"));
+        assert!(s.contains("3.500 FIT"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Formal fault-list optimization before fault injection.
+//!
+//! "Use of formal methods for verification and optimization of fault
+//! lists" \[19\]: two cheap static analyses prove faults safe without a
+//! single simulation:
+//!
+//! * **cone-of-influence** — a fault outside the fan-in cone of every
+//!   safety-relevant output cannot violate the safety goal;
+//! * **constant propagation** — a line proven constant `v` makes the
+//!   stuck-at-`v` fault unactivatable.
+
+use rescue_faults::{Fault, FaultKind, FaultSite};
+use rescue_netlist::{cone, GateKind, Netlist};
+use rescue_sim::logic::eval_gate;
+use rescue_sim::Logic;
+use std::collections::HashSet;
+
+/// Result of the pruning pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruningReport {
+    /// Faults that still need FI simulation.
+    pub remaining: Vec<Fault>,
+    /// Faults proven safe by cone analysis.
+    pub pruned_coi: Vec<Fault>,
+    /// Faults proven unactivatable by constant propagation.
+    pub pruned_constant: Vec<Fault>,
+}
+
+impl PruningReport {
+    /// Fraction of the original list removed.
+    pub fn reduction(&self) -> f64 {
+        let total = self.remaining.len() + self.pruned_coi.len() + self.pruned_constant.len();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.pruned_coi.len() + self.pruned_constant.len()) as f64 / total as f64
+    }
+}
+
+/// Prunes `faults` against the safety-relevant `outputs` (names).
+///
+/// # Panics
+///
+/// Panics on unknown output names.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_faults::universe;
+/// use rescue_netlist::generate;
+/// use rescue_safety::pruning::prune;
+///
+/// let net = generate::random_logic(8, 120, 4, 5);
+/// let faults = universe::stuck_at_universe(&net);
+/// // Pretend only the first output is safety relevant:
+/// let outs = vec![net.primary_outputs()[0].0.clone()];
+/// let report = prune(&net, &faults, &outs);
+/// assert!(report.reduction() > 0.0, "dead logic exists in random nets");
+/// ```
+pub fn prune(netlist: &Netlist, faults: &[Fault], outputs: &[String]) -> PruningReport {
+    let roots: Vec<_> = outputs
+        .iter()
+        .map(|name| {
+            netlist
+                .primary_outputs()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| *d)
+                .unwrap_or_else(|| panic!("unknown output `{name}`"))
+        })
+        .collect();
+    let relevant: HashSet<usize> = cone::fanin_cone(netlist, &roots)
+        .into_iter()
+        .map(|g| g.index())
+        .collect();
+    let constants = constant_values(netlist);
+
+    let mut remaining = Vec::new();
+    let mut pruned_coi = Vec::new();
+    let mut pruned_constant = Vec::new();
+    for &f in faults {
+        if !relevant.contains(&f.site().gate().index()) {
+            pruned_coi.push(f);
+            continue;
+        }
+        let line = match f.site() {
+            FaultSite::Output(g) => g,
+            FaultSite::Pin { gate, pin } => netlist.gate(gate).inputs()[pin],
+        };
+        if let Some(c) = constants[line.index()].to_bool() {
+            let stuck = matches!(f.kind(), FaultKind::StuckAt1);
+            if c == stuck {
+                pruned_constant.push(f);
+                continue;
+            }
+        }
+        remaining.push(f);
+    }
+    PruningReport {
+        remaining,
+        pruned_coi,
+        pruned_constant,
+    }
+}
+
+fn constant_values(netlist: &Netlist) -> Vec<Logic> {
+    let order = netlist.levelize().order().to_vec();
+    let mut values = vec![Logic::X; netlist.len()];
+    let mut buf = Vec::with_capacity(4);
+    for &id in &order {
+        let g = netlist.gate(id);
+        match g.kind() {
+            GateKind::Input | GateKind::Dff => values[id.index()] = Logic::X,
+            kind => {
+                buf.clear();
+                buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                values[id.index()] = eval_gate(kind, &buf);
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_faults::{simulate::FaultSimulator, universe};
+    use rescue_netlist::{generate, NetlistBuilder};
+
+    #[test]
+    fn pruned_faults_really_are_safe() {
+        // Ground truth via exhaustive simulation on the relevant output.
+        let net = generate::random_logic(6, 60, 3, 9);
+        let faults = universe::stuck_at_universe(&net);
+        let safety_out = vec![net.primary_outputs()[0].0.clone()];
+        let report = prune(&net, &faults, &safety_out);
+        let sim = FaultSimulator::new(&net);
+        let patterns: Vec<Vec<bool>> = (0..64u32)
+            .map(|p| (0..6).map(|i| p >> i & 1 == 1).collect())
+            .collect();
+        let words = rescue_sim::parallel::pack_patterns(&patterns);
+        let golden = sim.golden(&net, &words);
+        let safety_driver = net.primary_outputs()[0].1;
+        for f in report
+            .pruned_coi
+            .iter()
+            .chain(&report.pruned_constant)
+        {
+            let faulty = sim.with_stuck(&net, &words, *f);
+            assert_eq!(
+                golden[safety_driver.index()],
+                faulty[safety_driver.index()],
+                "pruned fault {f} corrupts the safety output"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_pruning_works() {
+        let mut b = NetlistBuilder::new("k");
+        let a = b.input("a");
+        let k = b.const0();
+        let g = b.or(a, k);
+        b.output("y", g);
+        let n = b.finish();
+        let faults = vec![
+            Fault::stuck_at(FaultSite::Pin { gate: g, pin: 1 }, false), // sa0 on const-0 pin
+            Fault::stuck_at(FaultSite::Pin { gate: g, pin: 1 }, true),
+        ];
+        let r = prune(&n, &faults, &["y".into()]);
+        assert_eq!(r.pruned_constant.len(), 1);
+        assert_eq!(r.remaining.len(), 1);
+    }
+
+    #[test]
+    fn full_relevance_prunes_nothing_by_coi() {
+        let c = generate::c17();
+        let faults = universe::stuck_at_universe(&c);
+        let outs: Vec<String> = c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let r = prune(&c, &faults, &outs);
+        assert!(r.pruned_coi.is_empty());
+        assert_eq!(r.reduction(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! FuSa classification for transition-delay faults.
+//!
+//! "How to extend FuSa verification in terms of its fault models … are
+//! also active areas of research in the RESCUE project" (paper Section
+//! III.D). This module extends the ISO 26262 classification from the
+//! stuck-at model to transition-delay faults: a slow-to-rise/fall fault
+//! violates the safety goal when a *pattern pair* in the mission
+//! stimulus launches the failing transition into a functional output
+//! with no simultaneous checker alarm.
+
+use crate::classify::FaultClass;
+use rescue_faults::{simulate::FaultSimulator, Fault, FaultKind, FaultSite};
+use rescue_netlist::Netlist;
+use rescue_sim::parallel::pack_patterns;
+
+/// Classification of transition faults against consecutive-pair stimuli.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionClassification {
+    faults: Vec<Fault>,
+    classes: Vec<FaultClass>,
+}
+
+impl TransitionClassification {
+    /// The classified faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The class of each fault.
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Count of one class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.classes.iter().filter(|&&c| c == class).count()
+    }
+
+    /// Fraction of one class.
+    pub fn fraction(&self, class: FaultClass) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        self.count(class) as f64 / self.classes.len() as f64
+    }
+}
+
+/// Classifies transition-delay `faults` over consecutive pattern pairs
+/// of `patterns` (launch `i`, capture `i+1`), against `functional` and
+/// `checkers` output groups.
+///
+/// The capture-cycle behaviour of a launched slow-to-rise fault is its
+/// stuck-at-0 equivalent (and dual for slow-to-fall), so each pair
+/// reduces to a conditional stuck-at classification — the standard
+/// launch-on-shift reduction.
+///
+/// # Panics
+///
+/// Panics on unknown output names, non-transition fault kinds, pin
+/// fault sites or width mismatches.
+pub fn classify_transitions(
+    netlist: &Netlist,
+    faults: &[Fault],
+    functional: &[String],
+    checkers: &[String],
+    patterns: &[Vec<bool>],
+) -> TransitionClassification {
+    let find_driver = |name: &str| {
+        netlist
+            .primary_outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| panic!("unknown output `{name}`"))
+    };
+    let func: Vec<_> = functional.iter().map(|n| find_driver(n)).collect();
+    let chk: Vec<_> = checkers.iter().map(|n| find_driver(n)).collect();
+    let sim = FaultSimulator::new(netlist);
+
+    let mut corrupts = vec![false; faults.len()];
+    let mut undetected = vec![false; faults.len()];
+    let mut alarms = vec![false; faults.len()];
+
+    for pair in patterns.windows(2) {
+        let launch = pack_patterns(&pair[..1]);
+        let capture = pack_patterns(&pair[1..]);
+        let g_launch = sim.golden(netlist, &launch);
+        let g_capture = sim.golden(netlist, &capture);
+        for (fi, &fault) in faults.iter().enumerate() {
+            let site = match fault.site() {
+                FaultSite::Output(g) => g,
+                FaultSite::Pin { .. } => panic!("transition faults sit on outputs"),
+            };
+            let (from, to, stuck) = match fault.kind() {
+                FaultKind::SlowToRise => (0u64, 1u64, false),
+                FaultKind::SlowToFall => (1, 0, true),
+                other => panic!("classify_transitions requires transition faults, got {other}"),
+            };
+            if g_launch[site.index()] & 1 != from || g_capture[site.index()] & 1 != to {
+                continue; // transition not launched by this pair
+            }
+            let eq = Fault::stuck_at(FaultSite::Output(site), stuck);
+            let faulty = sim.with_stuck(netlist, &capture, eq);
+            let func_hit = func
+                .iter()
+                .any(|g| (g_capture[g.index()] ^ faulty[g.index()]) & 1 != 0);
+            let chk_hit = chk
+                .iter()
+                .any(|g| (g_capture[g.index()] ^ faulty[g.index()]) & 1 != 0);
+            if func_hit {
+                corrupts[fi] = true;
+                if !chk_hit {
+                    undetected[fi] = true;
+                }
+            }
+            if chk_hit {
+                alarms[fi] = true;
+            }
+        }
+    }
+    let classes = (0..faults.len())
+        .map(|fi| match (corrupts[fi], undetected[fi], alarms[fi]) {
+            (true, true, _) => FaultClass::Residual,
+            (true, false, _) => FaultClass::Detected,
+            (false, _, true) => FaultClass::Latent,
+            (false, _, false) => FaultClass::Safe,
+        })
+        .collect();
+    TransitionClassification {
+        faults: faults.to_vec(),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplication::duplicate_with_comparator;
+    use rescue_faults::universe;
+    use rescue_netlist::generate;
+
+    fn walking_patterns(n: usize) -> Vec<Vec<bool>> {
+        // Pairs launching plenty of transitions: alternating all-0/all-1
+        // plus walking ones.
+        let mut v = vec![vec![false; n], vec![true; n]];
+        for i in 0..n {
+            let mut p = vec![false; n];
+            p[i] = true;
+            v.push(p);
+            v.push(vec![false; n]);
+        }
+        v
+    }
+
+    #[test]
+    fn unprotected_design_has_residual_transitions() {
+        let net = generate::adder(3);
+        let faults = universe::transition_universe(&net);
+        let functional: Vec<String> = net
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let r = classify_transitions(
+            &net,
+            &faults,
+            &functional,
+            &[],
+            &walking_patterns(7),
+        );
+        assert!(r.fraction(FaultClass::Residual) > 0.5, "{:?}", r.classes());
+        assert_eq!(r.count(FaultClass::Detected), 0);
+    }
+
+    #[test]
+    fn duplication_detects_transition_faults_too() {
+        let inner = generate::adder(2);
+        let p = duplicate_with_comparator(&inner);
+        let faults = universe::transition_universe(&p.netlist);
+        let r = classify_transitions(
+            &p.netlist,
+            &faults,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &walking_patterns(p.netlist.primary_inputs().len()),
+        );
+        // Only shared-input transitions can be residual.
+        use rescue_netlist::GateKind;
+        for (f, c) in r.faults().iter().zip(r.classes()) {
+            if *c == FaultClass::Residual {
+                assert_eq!(
+                    p.netlist.gate(f.site().gate()).kind(),
+                    GateKind::Input,
+                    "{f} residual outside the shared inputs"
+                );
+            }
+        }
+        assert!(r.count(FaultClass::Detected) > 0);
+    }
+
+    #[test]
+    fn unlaunched_faults_are_safe() {
+        let net = generate::adder(3);
+        let faults = universe::transition_universe(&net);
+        // A constant stimulus launches no transitions at all.
+        let r = classify_transitions(
+            &net,
+            &faults,
+            &net.primary_outputs()
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+            &[],
+            &[vec![false; 7], vec![false; 7]],
+        );
+        assert_eq!(r.count(FaultClass::Safe), faults.len());
+    }
+}

@@ -1,0 +1,205 @@
+//! Neural-network program-flow fault detection.
+//!
+//! "We are developing a new strategy based on neural networks which can
+//! detect faults in the program flow of critical functions … The neural
+//! network is trained with non-faulty traces only and hence has the
+//! potential to not only detect existing fault attacks but also future
+//! attacks" (paper Section III.F).
+//!
+//! A control-flow trace is a sequence of basic-block ids; the window
+//! embedding (normalized ids over a sliding window) feeds an
+//! autoencoder; reconstruction error above a calibrated threshold flags
+//! a fault.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rescue_ml::Mlp;
+
+/// Window length of the embedding.
+pub const WINDOW: usize = 6;
+
+/// A program model: a set of legal control-flow transitions used to
+/// generate golden traces (a tiny CFG with branches and loops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlFlowGraph {
+    /// `successors[b]` = legal next blocks of block `b`.
+    successors: Vec<Vec<usize>>,
+}
+
+impl ControlFlowGraph {
+    /// A representative crypto-kernel CFG: init → loop {round, key-mix,
+    /// branch} → finalize.
+    pub fn crypto_kernel() -> Self {
+        ControlFlowGraph {
+            successors: vec![
+                vec![1],       // 0 init -> round
+                vec![2],       // 1 round -> keymix
+                vec![3, 4],    // 2 keymix -> branch a/b
+                vec![5],       // 3 branch a -> check
+                vec![5],       // 4 branch b -> check
+                vec![1, 6],    // 5 check -> loop or finalize
+                vec![6],       // 6 finalize (absorbing)
+            ],
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn blocks(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Generates a golden trace of `len` blocks.
+    pub fn golden_trace(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = vec![0usize];
+        while trace.len() < len {
+            let cur = *trace.last().expect("non-empty");
+            let succ = &self.successors[cur];
+            trace.push(succ[rng.gen_range(0..succ.len())]);
+        }
+        trace
+    }
+
+    /// Injects a control-flow fault: at a random position the execution
+    /// jumps to a random (usually illegal) block — the effect of a
+    /// fault attack on the program counter or a skipped branch.
+    pub fn faulted_trace(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut trace = self.golden_trace(len, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_17);
+        let pos = rng.gen_range(1..trace.len());
+        let bad = rng.gen_range(0..self.blocks());
+        trace[pos] = bad;
+        // Execution continues from the corrupted block.
+        for i in pos + 1..trace.len() {
+            let cur = trace[i - 1];
+            let succ = &self.successors[cur];
+            trace[i] = succ[rng.gen_range(0..succ.len())];
+        }
+        trace
+    }
+}
+
+/// Sliding-window embedding of a trace (ids normalized to `[0,1]`).
+pub fn embed(trace: &[usize], blocks: usize) -> Vec<Vec<f64>> {
+    if trace.len() < WINDOW {
+        return Vec::new();
+    }
+    let norm = (blocks.max(2) - 1) as f64;
+    trace
+        .windows(WINDOW)
+        .map(|w| w.iter().map(|&b| b as f64 / norm).collect())
+        .collect()
+}
+
+/// The trained flow monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMonitor {
+    net: Mlp,
+    threshold: f64,
+    blocks: usize,
+}
+
+impl FlowMonitor {
+    /// Trains on golden traces only and calibrates the threshold at
+    /// `margin` × the worst golden reconstruction error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no golden window can be formed.
+    pub fn train(cfg: &ControlFlowGraph, traces: usize, trace_len: usize, seed: u64) -> Self {
+        let mut windows = Vec::new();
+        for t in 0..traces {
+            let trace = cfg.golden_trace(trace_len, seed.wrapping_add(t as u64));
+            windows.extend(embed(&trace, cfg.blocks()));
+        }
+        assert!(!windows.is_empty(), "no training windows");
+        let mut net = Mlp::new(WINDOW, 10, WINDOW, seed);
+        let targets = windows.clone();
+        net.train(&windows, &targets, 60, 0.3);
+        let worst = windows
+            .iter()
+            .map(|w| net.reconstruction_error(w))
+            .fold(0.0f64, f64::max);
+        FlowMonitor {
+            net,
+            threshold: worst * 1.25,
+            blocks: cfg.blocks(),
+        }
+    }
+
+    /// The calibrated anomaly threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Does this trace trip the monitor?
+    pub fn flags(&self, trace: &[usize]) -> bool {
+        embed(trace, self.blocks)
+            .iter()
+            .any(|w| self.net.reconstruction_error(w) > self.threshold)
+    }
+
+    /// Detection and false-positive rates over fresh golden/faulted
+    /// traces.
+    pub fn evaluate(
+        &self,
+        cfg: &ControlFlowGraph,
+        runs: usize,
+        trace_len: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let detected = (0..runs)
+            .filter(|&r| self.flags(&cfg.faulted_trace(trace_len, seed ^ (r as u64) << 16)))
+            .count();
+        let false_pos = (0..runs)
+            .filter(|&r| self.flags(&cfg.golden_trace(trace_len, seed ^ (r as u64) << 24)))
+            .count();
+        (
+            detected as f64 / runs.max(1) as f64,
+            false_pos as f64 / runs.max(1) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_traces_are_legal() {
+        let cfg = ControlFlowGraph::crypto_kernel();
+        let t = cfg.golden_trace(50, 3);
+        for w in t.windows(2) {
+            assert!(
+                cfg.successors[w[0]].contains(&w[1]),
+                "illegal edge {w:?} in golden trace"
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_detects_flow_faults_with_low_false_positives() {
+        let cfg = ControlFlowGraph::crypto_kernel();
+        let monitor = FlowMonitor::train(&cfg, 30, 60, 5);
+        let (detection, false_pos) = monitor.evaluate(&cfg, 40, 60, 77);
+        assert!(detection > 0.5, "detection {detection}");
+        assert!(false_pos < 0.2, "false positives {false_pos}");
+        assert!(detection > false_pos);
+        assert!(monitor.threshold() > 0.0);
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let cfg = ControlFlowGraph::crypto_kernel();
+        let t = cfg.golden_trace(20, 1);
+        let e = embed(&t, cfg.blocks());
+        assert_eq!(e.len(), 20 - WINDOW + 1);
+        for w in &e {
+            assert_eq!(w.len(), WINDOW);
+            for &v in w {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert!(embed(&t[..3], cfg.blocks()).is_empty());
+    }
+}

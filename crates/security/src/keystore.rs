@@ -1,0 +1,156 @@
+//! PUF-backed key storage.
+//!
+//! "In modern systems, the use of non-volatile memories for key storage
+//! gives room for attacks, since keys are always available in memory.
+//! One of the solutions … is Physical Unclonable Functions" (paper
+//! Section III.F). This module wires the SRAM-PUF model and fuzzy
+//! extractor from [`rescue_mem::puf`] into an enroll/reconstruct key
+//! API: only *helper data* is stored at rest; the key itself exists
+//! transiently after a successful PUF evaluation.
+
+use bytes::Bytes;
+use rescue_mem::puf::{Environment, FuzzyExtractor, SramPuf};
+
+/// The persisted (non-secret) part of an enrolled key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelperData {
+    bits: Vec<bool>,
+    repetition: usize,
+}
+
+impl HelperData {
+    /// Serialized helper data (safe to store in plain NVM).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.bits.len() / 8 + 2);
+        out.push(self.repetition as u8);
+        let mut acc = 0u8;
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b {
+                acc |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(acc);
+                acc = 0;
+            }
+        }
+        if !self.bits.len().is_multiple_of(8) {
+            out.push(acc);
+        }
+        Bytes::from(out)
+    }
+}
+
+/// A key manager bound to one physical PUF instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PufKeyStore {
+    extractor: FuzzyExtractor,
+}
+
+impl PufKeyStore {
+    /// Creates a store with the given repetition factor (odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics on even repetition factors.
+    pub fn new(repetition: usize) -> Self {
+        PufKeyStore {
+            extractor: FuzzyExtractor::new(repetition),
+        }
+    }
+
+    /// Enrolls a device: derives the key and helper data from the PUF
+    /// reference response. The key is returned once and never stored.
+    pub fn enroll(&self, puf: &SramPuf) -> (Vec<bool>, HelperData) {
+        let (key, helper_bits) = self.extractor.enroll(&puf.reference());
+        (
+            key,
+            HelperData {
+                bits: helper_bits,
+                repetition: rep_of(&self.extractor),
+            },
+        )
+    }
+
+    /// Reconstructs the key from a fresh (noisy) PUF evaluation.
+    pub fn reconstruct(
+        &self,
+        puf: &SramPuf,
+        helper: &HelperData,
+        env: Environment,
+        eval_seed: u64,
+    ) -> Vec<bool> {
+        let noisy = puf.evaluate(env, eval_seed);
+        self.extractor.reconstruct(&noisy, &helper.bits)
+    }
+
+    /// Probability of reconstructing the wrong key over `trials`
+    /// evaluations under `env`.
+    pub fn failure_rate(
+        &self,
+        puf: &SramPuf,
+        env: Environment,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        self.extractor.failure_rate(puf, env, trials, seed)
+    }
+}
+
+fn rep_of(fe: &FuzzyExtractor) -> usize {
+    // FuzzyExtractor keeps the factor private; recover it through the
+    // key-bit arithmetic (key_bits(n) == n / rep).
+    let n = 1000;
+    n / fe.key_bits(n).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enroll_reconstruct_round_trip() {
+        let store = PufKeyStore::new(5);
+        let puf = SramPuf::manufacture(320, 42);
+        let (key, helper) = store.enroll(&puf);
+        assert_eq!(key.len(), 64);
+        let rec = store.reconstruct(&puf, &helper, Environment::nominal(), 1);
+        assert_eq!(rec, key, "key survives nominal noise");
+    }
+
+    #[test]
+    fn wrong_device_yields_wrong_key() {
+        let store = PufKeyStore::new(5);
+        let a = SramPuf::manufacture(320, 1);
+        let b = SramPuf::manufacture(320, 2);
+        let (key, helper) = store.enroll(&a);
+        let stolen = store.reconstruct(&b, &helper, Environment::nominal(), 9);
+        assert_ne!(stolen, key, "helper data is useless on a clone");
+    }
+
+    #[test]
+    fn corners_raise_failure_rate() {
+        let store = PufKeyStore::new(3);
+        let puf = SramPuf::manufacture(240, 7);
+        let nominal = store.failure_rate(&puf, Environment::nominal(), 60, 3);
+        let corner = store.failure_rate(
+            &puf,
+            Environment {
+                temperature_k: 400.0,
+                vdd_deviation_pct: -10.0,
+            },
+            60,
+            3,
+        );
+        assert!(corner >= nominal);
+    }
+
+    #[test]
+    fn helper_data_serializes() {
+        let store = PufKeyStore::new(5);
+        let puf = SramPuf::manufacture(80, 3);
+        let (_, helper) = store.enroll(&puf);
+        let bytes = helper.to_bytes();
+        assert_eq!(bytes[0], 5, "repetition factor header");
+        assert!(bytes.len() > 80 / 8);
+    }
+}

@@ -1,0 +1,222 @@
+//! Laser fault-injection attacks on register banks \[18\].
+//!
+//! "For test structures we could show that fault injections switching a
+//! single transistor at least in the 250 nm technology are successful
+//! and repeatable" (paper Section III.F). The model: registers laid out
+//! on a 2-D grid; a laser shot flips every register whose cell centre
+//! falls inside the spot. Countermeasure: interleaved *detector cells*
+//! (complementary pairs) that flag any shot large enough to touch them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One register cell on the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// X position in µm.
+    pub x: f64,
+    /// Y position in µm.
+    pub y: f64,
+    /// Is this a security-critical register (e.g. an access-control bit)?
+    pub critical: bool,
+    /// Is this a detector cell?
+    pub detector: bool,
+}
+
+/// A register bank with optional interleaved detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterBank {
+    cells: Vec<Cell>,
+    pitch: f64,
+}
+
+impl RegisterBank {
+    /// Lays out `rows × cols` registers at the given pitch (µm). Every
+    /// register whose index is in `critical` is security-critical. When
+    /// `detector_stride > 0`, every `detector_stride`-th cell is replaced
+    /// by a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows * cols == 0` or `pitch <= 0`.
+    pub fn grid(rows: usize, cols: usize, pitch: f64, critical: &[usize], detector_stride: usize) -> Self {
+        assert!(rows * cols > 0, "empty bank");
+        assert!(pitch > 0.0, "positive pitch");
+        let mut cells = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                let detector = detector_stride > 0 && idx % detector_stride == detector_stride - 1;
+                cells.push(Cell {
+                    x: c as f64 * pitch,
+                    y: r as f64 * pitch,
+                    critical: !detector && critical.contains(&idx),
+                    detector,
+                });
+            }
+        }
+        RegisterBank { cells, pitch }
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Cell pitch in µm.
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Simulates one shot at `(x, y)` with spot `radius`; returns which
+    /// cells flipped and whether a detector fired.
+    pub fn shoot(&self, x: f64, y: f64, radius: f64) -> ShotOutcome {
+        let mut flipped_critical = false;
+        let mut flipped_any = false;
+        let mut detected = false;
+        for cell in &self.cells {
+            let dx = cell.x - x;
+            let dy = cell.y - y;
+            if (dx * dx + dy * dy).sqrt() <= radius {
+                if cell.detector {
+                    detected = true;
+                } else {
+                    flipped_any = true;
+                    if cell.critical {
+                        flipped_critical = true;
+                    }
+                }
+            }
+        }
+        ShotOutcome {
+            flipped_any,
+            flipped_critical,
+            detected,
+        }
+    }
+
+    /// Attack campaign: `shots` random positions with the given spot
+    /// radius. Success = a critical bit flipped without detection.
+    pub fn campaign(&self, shots: usize, radius: f64, seed: u64) -> AttackStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut success, mut detected, mut harmless) = (0usize, 0usize, 0usize);
+        let max_x = self.cells.iter().map(|c| c.x).fold(0.0, f64::max);
+        let max_y = self.cells.iter().map(|c| c.y).fold(0.0, f64::max);
+        for _ in 0..shots {
+            let x = rng.gen_range(-self.pitch..max_x + self.pitch);
+            let y = rng.gen_range(-self.pitch..max_y + self.pitch);
+            let o = self.shoot(x, y, radius);
+            if o.detected {
+                detected += 1;
+            } else if o.flipped_critical {
+                success += 1;
+            } else {
+                harmless += 1;
+            }
+        }
+        AttackStats {
+            shots,
+            undetected_critical: success,
+            detected,
+            harmless,
+        }
+    }
+}
+
+/// Result of one laser shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotOutcome {
+    /// Any functional register flipped.
+    pub flipped_any: bool,
+    /// A critical register flipped.
+    pub flipped_critical: bool,
+    /// A detector cell was hit (alarm).
+    pub detected: bool,
+}
+
+/// Campaign statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Shots fired.
+    pub shots: usize,
+    /// Successful attacks (critical flip, no alarm).
+    pub undetected_critical: usize,
+    /// Shots caught by detectors.
+    pub detected: usize,
+    /// Shots with no critical effect.
+    pub harmless: usize,
+}
+
+impl AttackStats {
+    /// Attacker success probability.
+    pub fn success_rate(&self) -> f64 {
+        self.undetected_critical as f64 / self.shots.max(1) as f64
+    }
+
+    /// Defender detection probability.
+    pub fn detection_rate(&self) -> f64 {
+        self.detected as f64 / self.shots.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_shot_flips_single_register() {
+        let bank = RegisterBank::grid(4, 4, 10.0, &[5], 0);
+        // Shot precisely at register 5 (row 1, col 1) with sub-pitch spot.
+        let o = bank.shoot(10.0, 10.0, 3.0);
+        assert!(o.flipped_critical);
+        assert!(!o.detected);
+        // Repeatability: same shot, same result.
+        assert_eq!(bank.shoot(10.0, 10.0, 3.0), o);
+    }
+
+    #[test]
+    fn wide_spot_hits_detectors() {
+        let bank = RegisterBank::grid(4, 4, 10.0, &[5], 4);
+        // A wide spot covering several cells must touch some detector.
+        let o = bank.shoot(15.0, 15.0, 20.0);
+        assert!(o.detected);
+    }
+
+    #[test]
+    fn detectors_cut_success_rate() {
+        let critical: Vec<usize> = (0..64).step_by(5).collect();
+        let unprotected = RegisterBank::grid(8, 8, 10.0, &critical, 0);
+        let protected = RegisterBank::grid(8, 8, 10.0, &critical, 3);
+        let radius = 12.0; // spot wider than a cell pitch
+        let a = unprotected.campaign(2000, radius, 11);
+        let b = protected.campaign(2000, radius, 11);
+        assert!(b.success_rate() < a.success_rate());
+        assert!(b.detection_rate() > 0.5);
+        assert_eq!(a.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn tiny_spots_evade_sparse_detectors() {
+        let critical = vec![9];
+        let bank = RegisterBank::grid(4, 4, 10.0, &critical, 8);
+        // A single-transistor-precision shot on the critical register.
+        let cells = bank.cells();
+        let target = cells
+            .iter()
+            .find(|c| c.critical)
+            .expect("critical cell present");
+        let o = bank.shoot(target.x, target.y, 2.0);
+        assert!(o.flipped_critical && !o.detected, "precision attack works");
+    }
+
+    #[test]
+    fn stats_partition() {
+        let bank = RegisterBank::grid(4, 4, 10.0, &[1, 2], 4);
+        let s = bank.campaign(500, 8.0, 3);
+        assert_eq!(
+            s.undetected_critical + s.detected + s.harmless,
+            s.shots
+        );
+        assert!(s.success_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Hardware security analysis and enhancement for RESCUE-rs.
+//!
+//! Implements paper Section III.F:
+//!
+//! * [`timing`] — the PASCAL-style timing side-channel verification flow
+//!   \[34\]: leaky vs constant-time modular exponentiation, trace
+//!   collection, Welch t-test leakage detection, countermeasure check.
+//! * [`power`] — passive power side channel: Hamming-weight leakage of
+//!   an AES S-box lookup and a correlation power analysis (CPA) attack,
+//!   with a masking countermeasure.
+//! * [`laser`] — laser fault-injection attacks on a register bank \[18\]:
+//!   spot model, single-transistor precision shots, and detector cells.
+//! * [`flow_monitor`] — the neural-network program-flow fault detector
+//!   trained on non-faulty traces only.
+//! * [`keystore`] — PUF-backed key storage (no key bits at rest) built
+//!   on [`rescue_mem::puf`].
+//!
+//! # Examples
+//!
+//! Detecting (and fixing) a timing leak:
+//!
+//! ```
+//! use rescue_security::timing::{collect_traces, welch_t, ModExp};
+//!
+//! let leaky = ModExp::square_and_multiply();
+//! let k0 = 0b1010_1010u64;      // low-weight key
+//! let k1 = 0xFFFF_FFFFu64;      // high-weight key
+//! let t = welch_t(
+//!     &collect_traces(&leaky, k0, 200, 1),
+//!     &collect_traces(&leaky, k1, 200, 2),
+//! );
+//! assert!(t.abs() > 4.5, "leak detected: |t| = {t}");
+//!
+//! let fixed = ModExp::montgomery_ladder();
+//! let t = welch_t(
+//!     &collect_traces(&fixed, k0, 200, 1),
+//!     &collect_traces(&fixed, k1, 200, 2),
+//! );
+//! assert!(t.abs() < 4.5, "constant-time passes: |t| = {t}");
+//! ```
+
+pub mod flow_monitor;
+pub mod keystore;
+pub mod laser;
+pub mod power;
+pub mod timing;
+
+pub use timing::{welch_t, ModExp};

@@ -1,0 +1,224 @@
+//! Power side channel: Hamming-weight leakage and CPA key recovery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn hw(x: u8) -> f64 {
+    x.count_ones() as f64
+}
+
+/// One power measurement: the plaintext byte and the leaked sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerTrace {
+    /// The known plaintext byte.
+    pub plaintext: u8,
+    /// The measured (noisy) power sample at the S-box lookup.
+    pub sample: f64,
+}
+
+/// A device leaking the Hamming weight of `SBOX[p ^ key]` plus Gaussian
+/// noise of the given sigma. `masked` applies a fresh random boolean
+/// mask per encryption (first-order masking): the leak becomes the HW of
+/// the *masked* value, decorrelating it from the key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakyDevice {
+    /// The secret key byte.
+    key: u8,
+    /// Measurement noise sigma.
+    pub noise_sigma: f64,
+    /// First-order boolean masking enabled?
+    pub masked: bool,
+}
+
+impl LeakyDevice {
+    /// An unprotected device.
+    pub fn new(key: u8, noise_sigma: f64) -> Self {
+        LeakyDevice {
+            key,
+            noise_sigma,
+            masked: false,
+        }
+    }
+
+    /// A first-order-masked device.
+    pub fn masked(key: u8, noise_sigma: f64) -> Self {
+        LeakyDevice {
+            key,
+            noise_sigma,
+            masked: true,
+        }
+    }
+
+    /// Collects `n` traces with random plaintexts.
+    pub fn capture(&self, n: usize, seed: u64) -> Vec<PowerTrace> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let p: u8 = rng.gen();
+                let value = SBOX[(p ^ self.key) as usize];
+                let leaked = if self.masked {
+                    let mask: u8 = rng.gen();
+                    // The device manipulates value ^ mask; mask leaks in a
+                    // different clock cycle, not in this sample.
+                    value ^ mask
+                } else {
+                    value
+                };
+                let noise = self.noise_sigma * gaussian(&mut rng);
+                PowerTrace {
+                    plaintext: p,
+                    sample: hw(leaked) + noise,
+                }
+            })
+            .collect()
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// CPA result: per-guess correlation and the ranked best guess.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpaResult {
+    /// |correlation| per key guess (index = guess).
+    pub correlations: [f64; 256],
+    /// The guess with the highest |correlation|.
+    pub best_guess: u8,
+}
+
+/// Correlation power analysis over the traces.
+///
+/// # Panics
+///
+/// Panics with fewer than 2 traces.
+pub fn cpa(traces: &[PowerTrace]) -> CpaResult {
+    assert!(traces.len() >= 2, "need at least 2 traces");
+    let samples: Vec<f64> = traces.iter().map(|t| t.sample).collect();
+    let mut correlations = [0.0f64; 256];
+    let mut best = (0u8, 0.0f64);
+    for guess in 0..=255u8 {
+        let model: Vec<f64> = traces
+            .iter()
+            .map(|t| hw(SBOX[(t.plaintext ^ guess) as usize]))
+            .collect();
+        let c = pearson(&model, &samples).abs();
+        correlations[guess as usize] = c;
+        if c > best.1 {
+            best = (guess, c);
+        }
+    }
+    CpaResult {
+        correlations,
+        best_guess: best.0,
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Attack success rate: fraction of `runs` independent capture+CPA runs
+/// recovering the true key with `traces_per_run` traces each.
+pub fn success_rate(device: &LeakyDevice, traces_per_run: usize, runs: usize, seed: u64) -> f64 {
+    let key = device.key;
+    let hits = (0..runs)
+        .filter(|&r| {
+            let traces = device.capture(traces_per_run, seed.wrapping_add(r as u64 * 7919));
+            cpa(&traces).best_guess == key
+        })
+        .count();
+    hits as f64 / runs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpa_recovers_key_from_clean_traces() {
+        let dev = LeakyDevice::new(0x3A, 0.0);
+        let traces = dev.capture(300, 1);
+        assert_eq!(cpa(&traces).best_guess, 0x3A);
+    }
+
+    #[test]
+    fn cpa_survives_noise_with_more_traces() {
+        let dev = LeakyDevice::new(0xC7, 1.5);
+        let few = success_rate(&dev, 30, 10, 3);
+        let many = success_rate(&dev, 1000, 10, 3);
+        assert!(many >= few);
+        assert_eq!(many, 1.0, "1000 traces break sigma=1.5");
+    }
+
+    #[test]
+    fn masking_defeats_first_order_cpa() {
+        let masked = LeakyDevice::masked(0x5B, 0.5);
+        let rate = success_rate(&masked, 2000, 8, 5);
+        // Random guessing hits with p=1/256; allow slack.
+        assert!(rate <= 0.25, "masked device broken at rate {rate}");
+        let open = LeakyDevice::new(0x5B, 0.5);
+        assert_eq!(success_rate(&open, 2000, 8, 5), 1.0);
+    }
+
+    #[test]
+    fn sbox_sanity() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x53], 0xED);
+        // bijectivity
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn pearson_bounds() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+        let c = vec![1.0, 1.0, 1.0];
+        assert_eq!(pearson(&a, &c), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Timing side-channel verification (the PASCAL flow \[34\]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A modular-exponentiation implementation with a cycle-accurate cost
+/// model (the "time" observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModExp {
+    constant_time: bool,
+}
+
+impl ModExp {
+    /// The classic square-and-multiply: multiplies only on set key bits —
+    /// execution time depends on the key's Hamming weight (leaky).
+    pub fn square_and_multiply() -> Self {
+        ModExp {
+            constant_time: false,
+        }
+    }
+
+    /// A Montgomery-ladder-style implementation: the same operation
+    /// sequence for every key bit (constant time).
+    pub fn montgomery_ladder() -> Self {
+        ModExp {
+            constant_time: true,
+        }
+    }
+
+    /// Is this implementation constant-time by construction?
+    pub fn is_constant_time(&self) -> bool {
+        self.constant_time
+    }
+
+    /// Computes `base^key mod modulus` and the cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus < 2`.
+    pub fn run(&self, base: u64, key: u64, modulus: u64) -> (u64, u64) {
+        assert!(modulus >= 2, "modulus must be >= 2");
+        const SQUARE_COST: u64 = 3;
+        const MULTIPLY_COST: u64 = 5;
+        let mut cycles = 0u64;
+        let mut result = 1u128;
+        let m = modulus as u128;
+        let mut acc = base as u128 % m;
+        let bits = 64 - key.leading_zeros().min(63);
+        if self.constant_time {
+            // Ladder over the full fixed key width: anything less leaks
+            // the key's bit-length through the iteration count.
+            let mut r0 = 1u128;
+            let mut r1 = acc;
+            for i in (0..64).rev() {
+                let bit = key >> i & 1 == 1;
+                if bit {
+                    r0 = r0 * r1 % m;
+                    r1 = r1 * r1 % m;
+                } else {
+                    r1 = r0 * r1 % m;
+                    r0 = r0 * r0 % m;
+                }
+                cycles += SQUARE_COST + MULTIPLY_COST;
+            }
+            (r0 as u64, cycles)
+        } else {
+            for i in 0..bits {
+                if key >> i & 1 == 1 {
+                    result = result * acc % m;
+                    cycles += MULTIPLY_COST;
+                }
+                acc = acc * acc % m;
+                cycles += SQUARE_COST;
+            }
+            (result as u64, cycles)
+        }
+    }
+}
+
+/// Collects `n` timing traces of random-base exponentiations under a
+/// fixed `key` (the fixed-vs-fixed leakage-assessment recipe).
+pub fn collect_traces(implementation: &ModExp, key: u64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let base = rng.gen_range(2u64..1 << 30);
+            // measurement noise ±1 cycle
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            let (_, cycles) = implementation.run(base, key, 0xFFFF_FFFB);
+            cycles as f64 + noise
+        })
+        .collect()
+}
+
+/// Welch's t-statistic between two trace populations. |t| > 4.5 is the
+/// standard TVLA leakage threshold.
+///
+/// # Panics
+///
+/// Panics when either population has fewer than 2 traces.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    assert!(a.len() >= 2 && b.len() >= 2, "need at least 2 traces each");
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (ma - mb) / denom
+    }
+}
+
+fn mean_var(v: &[f64]) -> (f64, f64) {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// The full verification verdict for one implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingVerdict {
+    /// The observed |t| statistic.
+    pub t_statistic: f64,
+    /// Leak detected (|t| > 4.5)?
+    pub leaks: bool,
+}
+
+/// Runs the fixed-vs-fixed assessment between a low- and a high-weight
+/// key.
+pub fn assess(implementation: &ModExp, traces: usize, seed: u64) -> TimingVerdict {
+    let low = collect_traces(implementation, 0x0000_0101, traces, seed);
+    let high = collect_traces(implementation, 0xFFFF_FFFF, traces, seed.wrapping_add(1));
+    let t = welch_t(&low, &high);
+    TimingVerdict {
+        t_statistic: t.abs(),
+        leaks: t.abs() > 4.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implementations_agree_functionally() {
+        let a = ModExp::square_and_multiply();
+        let b = ModExp::montgomery_ladder();
+        for (base, key) in [(3u64, 13u64), (7, 255), (1234, 0xDEAD), (2, 1)] {
+            let (ra, _) = a.run(base, key, 1_000_003);
+            let (rb, _) = b.run(base, key, 1_000_003);
+            assert_eq!(ra, rb, "{base}^{key}");
+        }
+    }
+
+    #[test]
+    fn leaky_implementation_fails_assessment() {
+        let v = assess(&ModExp::square_and_multiply(), 300, 7);
+        assert!(v.leaks, "t = {}", v.t_statistic);
+    }
+
+    #[test]
+    fn ladder_passes_assessment() {
+        let v = assess(&ModExp::montgomery_ladder(), 300, 7);
+        assert!(!v.leaks, "t = {}", v.t_statistic);
+        assert!(ModExp::montgomery_ladder().is_constant_time());
+    }
+
+    #[test]
+    fn cycle_count_depends_on_weight_only_when_leaky() {
+        let leaky = ModExp::square_and_multiply();
+        let (_, c_low) = leaky.run(3, 0b1, 97);
+        let (_, c_high) = leaky.run(3, 0b1111, 97);
+        assert!(c_high > c_low);
+        let ct = ModExp::montgomery_ladder();
+        let (_, c1) = ct.run(3, 0b1001, 97);
+        let (_, c2) = ct.run(3, 0b1111, 97);
+        assert_eq!(c1, c2, "same bit-length keys cost the same");
+    }
+
+    #[test]
+    fn welch_t_basics() {
+        let a = vec![1.0, 1.1, 0.9, 1.0];
+        let b = vec![5.0, 5.1, 4.9, 5.0];
+        assert!(welch_t(&a, &b).abs() > 10.0);
+        assert!(welch_t(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_populations_rejected() {
+        welch_t(&[1.0], &[2.0, 3.0]);
+    }
+}

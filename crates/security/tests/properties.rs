@@ -1,0 +1,69 @@
+//! Property-based tests for the security analyses.
+
+use proptest::prelude::*;
+use rescue_security::power::{cpa, LeakyDevice, SBOX};
+use rescue_security::timing::{welch_t, ModExp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The two modexp implementations agree functionally on arbitrary
+    /// inputs (the countermeasure must not change the mathematics).
+    #[test]
+    fn modexp_implementations_agree(base in 2u64..1 << 20, key in 1u64..1 << 24) {
+        let m = 1_000_003u64;
+        let (a, _) = ModExp::square_and_multiply().run(base, key, m);
+        let (b, _) = ModExp::montgomery_ladder().run(base, key, m);
+        prop_assert_eq!(a, b);
+        // Reference implementation.
+        let mut reference = 1u128;
+        let mm = m as u128;
+        let mut acc = base as u128 % mm;
+        let mut k = key;
+        while k > 0 {
+            if k & 1 == 1 {
+                reference = reference * acc % mm;
+            }
+            acc = acc * acc % mm;
+            k >>= 1;
+        }
+        prop_assert_eq!(a as u128, reference);
+    }
+
+    /// Ladder timing depends on nothing but the modulus size: all keys
+    /// cost the same cycles.
+    #[test]
+    fn ladder_constant_cycles(k1 in 1u64..u64::MAX, k2 in 1u64..u64::MAX) {
+        let imp = ModExp::montgomery_ladder();
+        let (_, c1) = imp.run(3, k1, 97);
+        let (_, c2) = imp.run(3, k2, 97);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Welch's t is antisymmetric and zero on identical populations.
+    #[test]
+    fn welch_properties(a in proptest::collection::vec(-100.0f64..100.0, 3..40),
+                        b in proptest::collection::vec(-100.0f64..100.0, 3..40)) {
+        let t_ab = welch_t(&a, &b);
+        let t_ba = welch_t(&b, &a);
+        prop_assert!((t_ab + t_ba).abs() < 1e-9);
+        prop_assert!(welch_t(&a, &a).abs() < 1e-9);
+    }
+
+    /// Noise-free CPA recovers any key byte from enough traces.
+    #[test]
+    fn cpa_recovers_arbitrary_keys(key: u8) {
+        let dev = LeakyDevice::new(key, 0.0);
+        let traces = dev.capture(400, u64::from(key) + 1);
+        prop_assert_eq!(cpa(&traces).best_guess, key);
+    }
+}
+
+#[test]
+fn sbox_is_a_permutation() {
+    let mut seen = [false; 256];
+    for &v in SBOX.iter() {
+        assert!(!seen[v as usize], "S-box value {v:#x} repeated");
+        seen[v as usize] = true;
+    }
+}

@@ -1,0 +1,60 @@
+//! Simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The supplied input vector does not match the primary-input count.
+    InputWidthMismatch {
+        /// Inputs the netlist declares.
+        expected: usize,
+        /// Inputs supplied by the caller.
+        found: usize,
+    },
+    /// The supplied state vector does not match the flip-flop count.
+    StateWidthMismatch {
+        /// Flip-flops in the design.
+        expected: usize,
+        /// State bits supplied.
+        found: usize,
+    },
+    /// A named signal was not found in the netlist.
+    UnknownSignal {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InputWidthMismatch { expected, found } => {
+                write!(f, "expected {expected} primary inputs, got {found}")
+            }
+            SimError::StateWidthMismatch { expected, found } => {
+                write!(f, "expected {expected} state bits, got {found}")
+            }
+            SimError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SimError::InputWidthMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains("4"));
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Logic simulation engines for RESCUE-rs.
+//!
+//! Four engines over the [`rescue_netlist`] IR, each serving different
+//! RESCUE experiments:
+//!
+//! * [`comb::CombSimulator`] — single-pattern 4-valued (`0/1/X/Z`)
+//!   combinational evaluation, the reference engine.
+//! * [`comb::eval_bool`] / [`parallel::ParallelSimulator`] — 2-valued and
+//!   64-way bit-parallel evaluation for fast fault simulation campaigns
+//!   (paper Section III.B: random fault injection at scale).
+//! * [`seq::SeqSimulator`] — multi-cycle sequential simulation with DFF
+//!   state, used by SBST grading and SEU (bit-flip) injection.
+//! * [`timed::TimedSimulator`] — event-driven timed simulation with
+//!   inertial delays, used to propagate SET pulses and model electrical
+//!   masking (paper Sections III.B and the CDN-SET study \[54\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rescue_netlist::generate;
+//! use rescue_sim::comb::eval_bool;
+//!
+//! let adder = generate::adder(4);
+//! // 3 + 5, cin=0 -> 8
+//! let mut inputs = vec![false; 9];
+//! inputs[0] = true; // a0
+//! inputs[1] = true; // a1
+//! inputs[4] = true; // b0
+//! inputs[6] = true; // b2
+//! let values = eval_bool(&adder, &inputs)?;
+//! let sum: u32 = adder
+//!     .primary_outputs()
+//!     .iter()
+//!     .take(4)
+//!     .enumerate()
+//!     .map(|(i, (_, g))| (values[g.index()] as u32) << i)
+//!     .sum();
+//! assert_eq!(sum, 8);
+//! # Ok::<(), rescue_sim::SimError>(())
+//! ```
+
+pub mod comb;
+pub mod error;
+pub mod logic;
+pub mod parallel;
+pub mod seq;
+pub mod timed;
+
+pub use error::SimError;
+pub use logic::Logic;

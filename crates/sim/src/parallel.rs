@@ -1,0 +1,195 @@
+//! 64-way bit-parallel pattern simulation.
+//!
+//! Packs 64 input patterns into one `u64` per signal and evaluates the
+//! whole batch with word-wide boolean ops — the classic parallel-pattern
+//! single-fault propagation substrate used by the fault-simulation crate
+//! for large statistical campaigns (paper Section III.B).
+
+use crate::error::SimError;
+use crate::logic::eval_gate_word;
+use rescue_netlist::{GateId, GateKind, Netlist};
+
+/// Packs up to 64 bool patterns (outer: pattern, inner: input position)
+/// into one word per primary input.
+///
+/// Bit `p` of word `i` is the value of input `i` in pattern `p`.
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are supplied or pattern widths differ.
+pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
+    assert!(patterns.len() <= 64, "at most 64 patterns per word");
+    if patterns.is_empty() {
+        return Vec::new();
+    }
+    let width = patterns[0].len();
+    let mut words = vec![0u64; width];
+    for (p, pat) in patterns.iter().enumerate() {
+        assert_eq!(pat.len(), width, "pattern width mismatch");
+        for (i, &bit) in pat.iter().enumerate() {
+            if bit {
+                words[i] |= 1u64 << p;
+            }
+        }
+    }
+    words
+}
+
+/// Reusable 64-way parallel-pattern evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_netlist::generate;
+/// use rescue_sim::parallel::{pack_patterns, ParallelSimulator};
+///
+/// let c = generate::c17();
+/// let sim = ParallelSimulator::new(&c);
+/// let pats = vec![vec![true; 5], vec![false; 5]];
+/// let words = sim.run(&c, &pack_patterns(&pats))?;
+/// assert_eq!(words.len(), c.len());
+/// # Ok::<(), rescue_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSimulator {
+    order: Vec<GateId>,
+}
+
+impl ParallelSimulator {
+    /// Prepares an evaluator for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        ParallelSimulator {
+            order: netlist.levelize().order().to_vec(),
+        }
+    }
+
+    /// Evaluates 64 packed patterns; `input_words[i]` carries input `i`.
+    /// DFF outputs evaluate to all-zero words.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when the word count differs from
+    /// the primary-input count.
+    pub fn run(&self, netlist: &Netlist, input_words: &[u64]) -> Result<Vec<u64>, SimError> {
+        self.run_with_forced(netlist, input_words, None)
+    }
+
+    /// Like [`ParallelSimulator::run`], but optionally forces the output
+    /// of one gate to a fixed word — the hook used for stuck-at fault
+    /// simulation (`force = Some((site, 0))` is stuck-at-0 across all 64
+    /// patterns, `u64::MAX` stuck-at-1).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when the word count differs from
+    /// the primary-input count.
+    pub fn run_with_forced(
+        &self,
+        netlist: &Netlist,
+        input_words: &[u64],
+        force: Option<(GateId, u64)>,
+    ) -> Result<Vec<u64>, SimError> {
+        let pis = netlist.primary_inputs();
+        if input_words.len() != pis.len() {
+            return Err(SimError::InputWidthMismatch {
+                expected: pis.len(),
+                found: input_words.len(),
+            });
+        }
+        let mut values = vec![0u64; netlist.len()];
+        for (i, &pi) in pis.iter().enumerate() {
+            values[pi.index()] = input_words[i];
+        }
+        if let Some((site, word)) = force {
+            if netlist.gate(site).kind() == GateKind::Input {
+                values[site.index()] = word;
+            }
+        }
+        let mut buf: Vec<u64> = Vec::with_capacity(4);
+        for &id in &self.order {
+            let g = netlist.gate(id);
+            match g.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => values[id.index()] = 0,
+                kind => {
+                    buf.clear();
+                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                    values[id.index()] = eval_gate_word(kind, &buf);
+                }
+            }
+            if let Some((site, word)) = force {
+                if site == id {
+                    values[id.index()] = word;
+                }
+            }
+        }
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comb::eval_bool;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let net = generate::random_logic(8, 60, 4, 99);
+        let sim = ParallelSimulator::new(&net);
+        let mut patterns = Vec::new();
+        let mut s = 12345u64;
+        for _ in 0..64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            patterns.push((0..8).map(|i| s >> (i + 3) & 1 == 1).collect::<Vec<_>>());
+        }
+        let words = sim.run(&net, &pack_patterns(&patterns)).unwrap();
+        for (p, pat) in patterns.iter().enumerate() {
+            let serial = eval_bool(&net, pat).unwrap();
+            for id in net.ids() {
+                let bit = words[id.index()] >> p & 1 == 1;
+                assert_eq!(bit, serial[id.index()], "pattern {p}, gate {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_injects_stuck_value() {
+        let c = generate::c17();
+        let sim = ParallelSimulator::new(&c);
+        let pats = vec![vec![true; 5]];
+        let packed = pack_patterns(&pats);
+        let site = GateId(5); // G10 = nand(G1,G3), normally 0 on all-ones
+        let good = sim.run(&c, &packed).unwrap();
+        assert_eq!(good[site.index()] & 1, 0);
+        let bad = sim
+            .run_with_forced(&c, &packed, Some((site, u64::MAX)))
+            .unwrap();
+        assert_eq!(bad[site.index()] & 1, 1);
+        // G22 = nand(G10, G16); flipping G10 must flip G22 here.
+        assert_ne!(good[9] & 1, bad[9] & 1);
+    }
+
+    #[test]
+    fn force_on_primary_input() {
+        let c = generate::c17();
+        let sim = ParallelSimulator::new(&c);
+        let packed = pack_patterns(&[vec![true; 5]]);
+        let pi = c.primary_inputs()[0];
+        let v = sim.run_with_forced(&c, &packed, Some((pi, 0))).unwrap();
+        assert_eq!(v[pi.index()], 0);
+    }
+
+    #[test]
+    fn pack_patterns_layout() {
+        let w = pack_patterns(&[vec![true, false], vec![false, true]]);
+        assert_eq!(w, vec![0b01, 0b10]);
+        assert!(pack_patterns(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn pack_rejects_too_many() {
+        pack_patterns(&vec![vec![true]; 65]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-cycle sequential simulation with flip-flop state.
+
+use crate::error::SimError;
+use crate::logic::eval_gate_bool;
+use rescue_netlist::{GateId, GateKind, Netlist};
+
+/// Two-valued sequential simulator.
+///
+/// Holds the current flip-flop state; [`SeqSimulator::step`] evaluates the
+/// combinational logic with the present state, captures the next state
+/// into the DFFs and returns the primary-output values *before* the clock
+/// edge (Mealy view of the cycle).
+///
+/// The SEU-injection hook [`SeqSimulator::flip_state`] implements the
+/// single-event-upset model of paper Section III.B: a radiation-induced
+/// bit flip in a state element between two clock edges.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_netlist::generate;
+/// use rescue_sim::seq::SeqSimulator;
+///
+/// let counter = generate::counter(3);
+/// let mut sim = SeqSimulator::new(&counter);
+/// for _ in 0..5 {
+///     sim.step(&counter, &[])?;
+/// }
+/// assert_eq!(sim.state_value(), 5);
+/// # Ok::<(), rescue_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqSimulator {
+    order: Vec<GateId>,
+    state: Vec<bool>,
+    cycles: u64,
+}
+
+impl SeqSimulator {
+    /// Creates a simulator with all flip-flops reset to 0.
+    pub fn new(netlist: &Netlist) -> Self {
+        SeqSimulator {
+            order: netlist.levelize().order().to_vec(),
+            state: vec![false; netlist.dffs().len()],
+            cycles: 0,
+        }
+    }
+
+    /// Resets all flip-flops to 0 and the cycle counter.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|b| *b = false);
+        self.cycles = 0;
+    }
+
+    /// Number of clock cycles simulated since construction/reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current state bits in `netlist.dffs()` order.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Interprets the state as a little-endian integer (DFF 0 = bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has more than 64 flip-flops.
+    pub fn state_value(&self) -> u64 {
+        assert!(self.state.len() <= 64, "state wider than 64 bits");
+        self.state
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    /// Overwrites the state (e.g. to load a scan pattern).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::StateWidthMismatch`] on length mismatch.
+    pub fn load_state(&mut self, bits: &[bool]) -> Result<(), SimError> {
+        if bits.len() != self.state.len() {
+            return Err(SimError::StateWidthMismatch {
+                expected: self.state.len(),
+                found: bits.len(),
+            });
+        }
+        self.state.copy_from_slice(bits);
+        Ok(())
+    }
+
+    /// Flips one state bit — the SEU injection primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff_index` is out of range.
+    pub fn flip_state(&mut self, dff_index: usize) {
+        self.state[dff_index] = !self.state[dff_index];
+    }
+
+    /// Evaluates one clock cycle and returns the primary-output values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong length.
+    pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        let values = self.evaluate(netlist, inputs)?;
+        // Capture next state: DFF input values become the new state.
+        for (i, &dff) in netlist.dffs().iter().enumerate() {
+            let d = netlist.gate(dff).inputs()[0];
+            self.state[i] = values[d.index()];
+        }
+        self.cycles += 1;
+        Ok(crate::comb::outputs_of(netlist, &values))
+    }
+
+    /// Evaluates the combinational logic for the present state without
+    /// advancing the clock; returns every gate value.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong length.
+    pub fn evaluate(&self, netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        let pis = netlist.primary_inputs();
+        if inputs.len() != pis.len() {
+            return Err(SimError::InputWidthMismatch {
+                expected: pis.len(),
+                found: inputs.len(),
+            });
+        }
+        let mut values = vec![false; netlist.len()];
+        for (i, &pi) in pis.iter().enumerate() {
+            values[pi.index()] = inputs[i];
+        }
+        for (i, &dff) in netlist.dffs().iter().enumerate() {
+            values[dff.index()] = self.state[i];
+        }
+        let mut buf: Vec<bool> = Vec::with_capacity(4);
+        for &id in &self.order {
+            let g = netlist.gate(id);
+            match g.kind() {
+                GateKind::Input | GateKind::Dff => {}
+                kind => {
+                    buf.clear();
+                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
+                    values[id.index()] = eval_gate_bool(kind, &buf);
+                }
+            }
+        }
+        Ok(values)
+    }
+
+    /// Runs `cycles` clock cycles with constant `inputs`, returning the
+    /// output trace (one vector per cycle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SeqSimulator::step`].
+    pub fn run(
+        &mut self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        cycles: usize,
+    ) -> Result<Vec<Vec<bool>>, SimError> {
+        (0..cycles).map(|_| self.step(netlist, inputs)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn counter_counts() {
+        let c = generate::counter(4);
+        let mut sim = SeqSimulator::new(&c);
+        for expect in 0u64..20 {
+            assert_eq!(sim.state_value(), expect % 16);
+            sim.step(&c, &[]).unwrap();
+        }
+        assert_eq!(sim.cycles(), 20);
+        sim.reset();
+        assert_eq!(sim.state_value(), 0);
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let s = generate::shift_register(4);
+        let mut sim = SeqSimulator::new(&s);
+        // Feed 1 for one cycle then 0s; the 1 marches down the chain.
+        sim.step(&s, &[true]).unwrap();
+        assert_eq!(sim.state(), &[true, false, false, false]);
+        sim.step(&s, &[false]).unwrap();
+        assert_eq!(sim.state(), &[false, true, false, false]);
+        let out = sim.step(&s, &[false]).unwrap();
+        assert_eq!(out, vec![false]);
+        sim.step(&s, &[false]).unwrap();
+        // After 4 total shifts the 1 is at the output register.
+        assert_eq!(sim.state(), &[false, false, false, true]);
+    }
+
+    #[test]
+    fn lfsr_cycles_through_states() {
+        let l = generate::lfsr(4, &[3, 2]);
+        let mut sim = SeqSimulator::new(&l);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            seen.insert(sim.state_value());
+            sim.step(&l, &[]).unwrap();
+        }
+        assert!(seen.len() > 2, "lfsr must visit several states");
+    }
+
+    #[test]
+    fn fsm_sequences() {
+        let f = generate::control_fsm();
+        let mut sim = SeqSimulator::new(&f);
+        // IDLE: busy=0
+        let v = sim.evaluate(&f, &[false, false]).unwrap();
+        let busy = crate::comb::outputs_of(&f, &v)[0];
+        assert!(!busy);
+        // go -> RUN
+        sim.step(&f, &[true, false]).unwrap();
+        let v = sim.evaluate(&f, &[false, false]).unwrap();
+        assert!(crate::comb::outputs_of(&f, &v)[0], "busy in RUN");
+        // RUN -> DONE
+        sim.step(&f, &[false, false]).unwrap();
+        let v = sim.evaluate(&f, &[false, false]).unwrap();
+        assert!(crate::comb::outputs_of(&f, &v)[1], "done asserted");
+        // DONE -> IDLE
+        sim.step(&f, &[false, false]).unwrap();
+        assert_eq!(sim.state_value(), 0);
+    }
+
+    #[test]
+    fn seu_flip_changes_trajectory() {
+        let c = generate::counter(4);
+        let mut golden = SeqSimulator::new(&c);
+        let mut faulty = SeqSimulator::new(&c);
+        for _ in 0..3 {
+            golden.step(&c, &[]).unwrap();
+            faulty.step(&c, &[]).unwrap();
+        }
+        faulty.flip_state(2); // SEU in bit 2
+        assert_ne!(golden.state_value(), faulty.state_value());
+        // the flip persists (counter has no correction)
+        golden.step(&c, &[]).unwrap();
+        faulty.step(&c, &[]).unwrap();
+        assert_ne!(golden.state_value(), faulty.state_value());
+    }
+
+    #[test]
+    fn load_state_checks_width() {
+        let c = generate::counter(4);
+        let mut sim = SeqSimulator::new(&c);
+        assert!(sim.load_state(&[true; 3]).is_err());
+        sim.load_state(&[true, false, true, false]).unwrap();
+        assert_eq!(sim.state_value(), 0b0101);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the simulation engines.
+
+use proptest::prelude::*;
+use rescue_netlist::generate;
+use rescue_sim::comb::{eval, eval_bool};
+use rescue_sim::parallel::{pack_patterns, ParallelSimulator};
+use rescue_sim::seq::SeqSimulator;
+use rescue_sim::timed::{SetPulse, TimedSimulator};
+use rescue_sim::Logic;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel-pattern simulation agrees with serial on every gate.
+    #[test]
+    fn parallel_matches_serial(seed in 1u64..500, pat_seed in 1u64..500) {
+        let net = generate::random_logic(7, 50, 3, seed);
+        let mut s = pat_seed;
+        let patterns: Vec<Vec<bool>> = (0..32)
+            .map(|_| {
+                (0..7)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        s >> 33 & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect();
+        let sim = ParallelSimulator::new(&net);
+        let words = sim.run(&net, &pack_patterns(&patterns)).unwrap();
+        for (p, pat) in patterns.iter().enumerate() {
+            let serial = eval_bool(&net, pat).unwrap();
+            for id in net.ids() {
+                prop_assert_eq!(words[id.index()] >> p & 1 == 1, serial[id.index()]);
+            }
+        }
+    }
+
+    /// Four-valued evaluation with binary inputs matches two-valued.
+    #[test]
+    fn four_valued_agrees_on_binary(seed in 1u64..500, bits in 0u32..128) {
+        let net = generate::random_logic(7, 40, 3, seed);
+        let inputs: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+        let linputs: Vec<Logic> = inputs.iter().map(|&b| b.into()).collect();
+        let b = eval_bool(&net, &inputs).unwrap();
+        let l = eval(&net, &linputs).unwrap();
+        for id in net.ids() {
+            prop_assert_eq!(l[id.index()].to_bool(), Some(b[id.index()]), "gate {}", id);
+        }
+    }
+
+    /// X inputs produce a sound abstraction: wherever the 4-valued result
+    /// is binary, both completions of the X input agree with it.
+    #[test]
+    fn x_is_sound_abstraction(seed in 1u64..300, which in 0usize..7) {
+        let net = generate::random_logic(7, 30, 2, seed);
+        let mut linputs = vec![Logic::One; 7];
+        linputs[which] = Logic::X;
+        let l = eval(&net, &linputs).unwrap();
+        for value in [false, true] {
+            let mut binputs = vec![true; 7];
+            binputs[which] = value;
+            let b = eval_bool(&net, &binputs).unwrap();
+            for id in net.ids() {
+                if let Some(v) = l[id.index()].to_bool() {
+                    prop_assert_eq!(v, b[id.index()], "gate {} under X={}", id, value);
+                }
+            }
+        }
+    }
+
+    /// Timed simulation settles to the combinational steady state and a
+    /// zero-pulse run never produces transitions.
+    #[test]
+    fn timed_steady_state(seed in 1u64..300, bits in 0u32..128) {
+        let net = generate::random_logic(7, 40, 2, seed);
+        let inputs: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+        let sim = TimedSimulator::new(&net);
+        let wave = sim.run(&net, &inputs, &[], 50).unwrap();
+        prop_assert!(wave.transitions().is_empty());
+        let serial = eval_bool(&net, &inputs).unwrap();
+        prop_assert_eq!(wave.initial(), &serial[..]);
+    }
+
+    /// A SET pulse always ends: the struck gate returns to its steady
+    /// value after the forcing window (no permanent corruption).
+    #[test]
+    fn set_pulse_is_transient(seed in 1u64..200, site in 0usize..30, width in 1u64..6) {
+        let net = generate::random_logic(6, 30, 2, seed);
+        let gate = rescue_netlist::GateId(6 + site % 30);
+        if gate.index() >= net.len() {
+            return Ok(());
+        }
+        let sim = TimedSimulator::new(&net);
+        let inputs = vec![false; 6];
+        let wave = sim
+            .run(&net, &inputs, &[SetPulse::new(gate, 20, width)], 500)
+            .unwrap();
+        let final_time = 400;
+        for id in net.ids() {
+            prop_assert_eq!(
+                wave.value_at(id, final_time),
+                wave.initial()[id.index()],
+                "gate {} stuck after the pulse",
+                id
+            );
+        }
+    }
+
+    /// Sequential simulation is deterministic and reset really resets.
+    #[test]
+    fn seq_reset_reproduces(n in 2usize..8, cycles in 1usize..30) {
+        let net = generate::lfsr(n, &[n - 1, n / 2]);
+        let mut sim = SeqSimulator::new(&net);
+        let first: Vec<u64> = (0..cycles)
+            .map(|_| {
+                sim.step(&net, &[]).unwrap();
+                sim.state_value()
+            })
+            .collect();
+        sim.reset();
+        let second: Vec<u64> = (0..cycles)
+            .map(|_| {
+                sim.step(&net, &[]).unwrap();
+                sim.state_value()
+            })
+            .collect();
+        prop_assert_eq!(first, second);
+    }
+}

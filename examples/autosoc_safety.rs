@@ -1,0 +1,75 @@
+//! AutoSoC safety-mechanism comparison (experiment E8).
+//!
+//! Runs SEU campaigns over the automotive workloads under each AutoSoC
+//! configuration and prints the SDC/DUE/detected breakdown plus the
+//! SBST coverage story of Section III.A.
+//!
+//! ```text
+//! cargo run --release --example autosoc_safety
+//! ```
+
+use rescue_core::cpu::autosoc::{run_campaign, AutoSocConfig};
+use rescue_core::cpu::programs;
+use rescue_core::cpu::sbst::{cpu_fault_universe, generate_sbst, grade};
+
+fn main() {
+    println!("== AutoSoC configurations under SEU campaigns ==\n");
+    let workloads = programs::all().expect("workloads assemble");
+    let injections = 40;
+    println!(
+        "{:<12} {:<12} {:>7} {:>7} {:>9} {:>6} {:>6} {:>9} {:>9}",
+        "workload", "config", "masked", "corr", "detected", "sdc", "due", "SDC rate", "area +%"
+    );
+    for w in &workloads {
+        for config in AutoSocConfig::all() {
+            let r = run_campaign(config, w, injections, 42);
+            println!(
+                "{:<12} {:<12} {:>7} {:>7} {:>9} {:>6} {:>6} {:>8.1}% {:>8.0}%",
+                w.name,
+                format!("{config:?}"),
+                r.masked,
+                r.corrected,
+                r.detected,
+                r.sdc,
+                r.due,
+                r.sdc_rate() * 100.0,
+                config.area_overhead() * 100.0,
+            );
+        }
+    }
+
+    println!("\n== SBST grading (sampled stuck-at universe) ==\n");
+    let program = generate_sbst(3000);
+    let universe: Vec<_> = cpu_fault_universe().into_iter().step_by(23).collect();
+    let report = grade(&program, &universe, 300_000);
+    println!(
+        "SBST program: {} instructions, coverage {:.1}% over {} sampled faults",
+        program.len(),
+        report.coverage() * 100.0,
+        universe.len()
+    );
+    for (name, filter) in [
+        (
+            "register file",
+            Box::new(|f: &rescue_core::cpu::CpuFault| {
+                matches!(f, rescue_core::cpu::CpuFault::RegisterStuck { .. })
+            }) as Box<dyn Fn(&rescue_core::cpu::CpuFault) -> bool>,
+        ),
+        (
+            "ALU",
+            Box::new(|f| matches!(f, rescue_core::cpu::CpuFault::AluStuck { .. })),
+        ),
+        (
+            "flag/PC",
+            Box::new(|f| {
+                matches!(
+                    f,
+                    rescue_core::cpu::CpuFault::FlagStuck { .. }
+                        | rescue_core::cpu::CpuFault::PcStuck { .. }
+                )
+            }),
+        ),
+    ] {
+        println!("  {name:<14} {:.1}%", report.coverage_of(&filter) * 100.0);
+    }
+}

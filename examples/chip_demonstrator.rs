@@ -1,0 +1,133 @@
+//! The chip demonstrator (paper Section IV.C).
+//!
+//! "The demonstrator shall include the reliability, security and quality
+//! aware hardware and software IPs from the consortium, but also the
+//! contribution in terms of design flow improvements, as well as test
+//! approach enhancements." This example assembles the RESCUE-rs
+//! equivalent: one virtual SoC whose blocks each go through the relevant
+//! sign-off analysis, ending in a merged RIIF database and a combined
+//! health-management simulation.
+//!
+//! ```text
+//! cargo run --release --example chip_demonstrator
+//! ```
+
+use rescue_core::aging::bti::BtiModel;
+use rescue_core::cpu::autosoc::{run_campaign, AutoSocConfig};
+use rescue_core::cpu::programs;
+use rescue_core::flow::HolisticFlow;
+use rescue_core::health::{HealthAction, HealthPolicy, SystemHealthManager};
+use rescue_core::mem::march::{march_cm, march_coverage, classic_universe};
+use rescue_core::mem::puf::{Environment, SramPuf};
+use rescue_core::netlist::generate;
+use rescue_core::radiation::monitor::SramSeuMonitor;
+use rescue_core::riif::{ComponentRecord, FailureMode, RiifDatabase};
+use rescue_core::rsn::network::{RsnNode, ScanNetwork};
+use rescue_core::rsn::testgen::compare;
+use rescue_core::security::keystore::PufKeyStore;
+
+fn main() {
+    println!("== RESCUE-rs chip demonstrator sign-off ==\n");
+    let mut soc_riif = RiifDatabase::new("demonstrator");
+
+    // --- Logic blocks through the holistic quality/safety flow.
+    println!("[1] logic blocks (holistic flow)");
+    for block in [generate::alu(8), generate::multiplier(4), generate::parity(16)] {
+        let r = HolisticFlow::new().run(&block, 128, 42);
+        println!(
+            "    {:<10} coverage {:>6.1}%  SET derating {:.2}  {}",
+            r.design,
+            r.fault_coverage * 100.0,
+            r.set_derating,
+            r.safety
+        );
+        soc_riif.merge(r.riif);
+    }
+
+    // --- CPU subsystem under SEU campaigns.
+    println!("\n[2] CPU subsystem (AutoSoC lockstep+ECC)");
+    let w = programs::crc32().expect("workload assembles");
+    let r = run_campaign(AutoSocConfig::LockstepEcc, &w, 30, 42);
+    println!(
+        "    crc32: sdc {}  detected {}  corrected {}  (protection {:.0}%)",
+        r.sdc,
+        r.detected,
+        r.corrected,
+        r.protection_rate() * 100.0
+    );
+    soc_riif.add_component(ComponentRecord {
+        name: "cpu_lockstep_ecc".into(),
+        technology: "generic".into(),
+        modes: vec![FailureMode {
+            mechanism: "seu".into(),
+            raw_fit: 150.0,
+            derating: r.sdc_rate(),
+        }],
+    });
+
+    // --- Embedded SRAM: manufacturing test sign-off.
+    println!("\n[3] SRAM macro (March C- production test)");
+    let cov = march_coverage(&march_cm(), 64, &classic_universe(64));
+    println!("    classic fault universe coverage: {:.1}%", cov * 100.0);
+
+    // --- Test infrastructure (IEEE 1687).
+    println!("\n[4] test infrastructure (IEEE 1687 network)");
+    let rsn = ScanNetwork::new(RsnNode::chain(vec![
+        RsnNode::sib("cpu_dbg", RsnNode::tdr("cpu_trace", 16)),
+        RsnNode::sib("mem_bist", RsnNode::tdr("bist_ctl", 8)),
+        RsnNode::sib("sensors", RsnNode::tdr("temp", 12)),
+    ]));
+    let cmp = compare(&rsn);
+    println!(
+        "    infrastructure self-test: {} bits @ {:.0}% coverage (wave strategy)",
+        cmp.wave_bits,
+        cmp.wave_coverage * 100.0
+    );
+
+    // --- Security block: PUF-rooted key storage.
+    println!("\n[5] security block (PUF key root)");
+    let puf = SramPuf::manufacture(320, 7);
+    let store = PufKeyStore::new(5);
+    let (key, helper) = store.enroll(&puf);
+    let ok = store.reconstruct(&puf, &helper, Environment::nominal(), 1) == key;
+    println!(
+        "    {}-bit key root, reconstruction {}, helper data {} bytes (public)",
+        key.len(),
+        if ok { "OK" } else { "FAILED" },
+        helper.to_bytes().len()
+    );
+
+    // --- Run-time health management over a mission profile.
+    println!("\n[6] mission simulation (sensor-fusion health management)");
+    let mut manager = SystemHealthManager::new(
+        SramSeuMonitor::new(65_536, 600),
+        BtiModel::bulk_28nm(),
+        HealthPolicy::default(),
+        0.6,
+        0.15,
+    );
+    let mission = [
+        ("ground ops, cool", 1e-9 / 3600.0, 300.0),
+        ("solar event", 5e-7, 310.0),
+        ("hot summer", 1e-9 / 3600.0, 395.0),
+    ];
+    for (phase, flux, temp) in mission {
+        let (state, action) = manager.observe(flux, 24.0, temp, 9);
+        println!(
+            "    {:<18} flux≈{:.2e}/bit/h  life {:>4.0}y  -> {:?}",
+            phase, state.flux_per_bit_hour, state.remaining_life_years, action
+        );
+        if action == HealthAction::CheckpointAndDegrade {
+            println!("      (checkpointing state and entering degraded mode)");
+        }
+    }
+
+    // --- Final sign-off artifact.
+    println!("\n[7] sign-off RIIF database");
+    println!(
+        "    {} components, chip-level {:.3} FIT",
+        soc_riif.components.len(),
+        soc_riif.chip_fit()
+    );
+    println!("\n{}", soc_riif.to_text());
+}
