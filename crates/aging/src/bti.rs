@@ -145,15 +145,7 @@ mod tests {
         };
         let v0 = m.delta_vth_mv(&base, 5.0);
         assert!(m.delta_vth_mv(&base, 10.0) > v0);
-        assert!(
-            m.delta_vth_mv(
-                &StressProfile {
-                    duty: 0.9,
-                    ..base
-                },
-                5.0
-            ) > v0
-        );
+        assert!(m.delta_vth_mv(&StressProfile { duty: 0.9, ..base }, 5.0) > v0);
         assert!(
             m.delta_vth_mv(
                 &StressProfile {
@@ -173,7 +165,16 @@ mod tests {
             temperature_k: 350.0,
         };
         assert_eq!(m.delta_vth_mv(&s, 10.0), 0.0);
-        assert_eq!(m.delta_vth_mv(&StressProfile { duty: 0.5, temperature_k: 350.0 }, 0.0), 0.0);
+        assert_eq!(
+            m.delta_vth_mv(
+                &StressProfile {
+                    duty: 0.5,
+                    temperature_k: 350.0
+                },
+                0.0
+            ),
+            0.0
+        );
     }
 
     #[test]

@@ -61,10 +61,7 @@ impl AccessHistogram {
     /// Per-wordline duty (activity fraction of the hottest line = 1).
     pub fn normalized(&self) -> Vec<f64> {
         let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
-        self.counts
-            .iter()
-            .map(|&c| c as f64 / max as f64)
-            .collect()
+        self.counts.iter().map(|&c| c as f64 / max as f64).collect()
     }
 
     /// Stress imbalance: coefficient of variation of the counts

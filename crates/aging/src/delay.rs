@@ -206,8 +206,22 @@ mod tests {
             .map(|i| if i % 2 == 0 { 0.95 } else { 0.05 })
             .collect();
         let balanced = vec![0.5; net.len()];
-        let t_skew = aged_timing(&net, &skewed, &model, OperatingPoint::nominal(), 10.0, 380.0);
-        let t_bal = aged_timing(&net, &balanced, &model, OperatingPoint::nominal(), 10.0, 380.0);
+        let t_skew = aged_timing(
+            &net,
+            &skewed,
+            &model,
+            OperatingPoint::nominal(),
+            10.0,
+            380.0,
+        );
+        let t_bal = aged_timing(
+            &net,
+            &balanced,
+            &model,
+            OperatingPoint::nominal(),
+            10.0,
+            380.0,
+        );
         assert!(t_skew.worst_gate_shift_mv() > t_bal.worst_gate_shift_mv());
     }
 

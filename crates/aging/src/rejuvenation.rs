@@ -37,7 +37,11 @@ pub fn duty_of(netlist: &Netlist, patterns: &[Vec<bool>]) -> DutyStats {
         let values = sim.run(netlist, &words).expect("pattern width");
         let live = chunk.len();
         for (i, w) in values.iter().enumerate() {
-            let masked = if live < 64 { w & ((1u64 << live) - 1) } else { *w };
+            let masked = if live < 64 {
+                w & ((1u64 << live) - 1)
+            } else {
+                *w
+            };
             ones[i] += masked.count_ones() as usize;
         }
         total += live;

@@ -96,7 +96,12 @@ mod tests {
             })
             .collect();
         let merged = static_compaction(&cubes);
-        assert!(merged.len() < cubes.len(), "{} < {}", merged.len(), cubes.len());
+        assert!(
+            merged.len() < cubes.len(),
+            "{} < {}",
+            merged.len(),
+            cubes.len()
+        );
         // Coverage preserved after filling.
         let patterns: Vec<Vec<bool>> = merged.iter().map(|m| m.fill_with(false)).collect();
         let sim = FaultSimulator::new(&c);

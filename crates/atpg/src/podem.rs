@@ -185,8 +185,8 @@ impl Podem {
                 }
                 FaultSite::Output(_) => false,
             };
-            let activated = good[site_line.index()] == Logic::from_bool(!stuck_value)
-                && !owner_masked;
+            let activated =
+                good[site_line.index()] == Logic::from_bool(!stuck_value) && !owner_masked;
             let origin = fault.site().gate();
             let no_x_path = activated && !self.x_path_exists(netlist, &good, &faulty, origin);
             let next = if activation_dead || owner_masked || no_x_path {
@@ -197,7 +197,12 @@ impl Podem {
                     // Heuristic dead end without a definite failure: fall
                     // back to the next unassigned input (keeps the search
                     // complete — worst case exhaustive over the PIs).
-                    .or_else(|| assign.iter().position(|a| a.is_none()).map(|pi| (pi, false)))
+                    .or_else(|| {
+                        assign
+                            .iter()
+                            .position(|a| a.is_none())
+                            .map(|pi| (pi, false))
+                    })
             };
             match next {
                 Some((pi_pos, v)) => {
@@ -242,9 +247,8 @@ impl Podem {
         origin: GateId,
     ) -> bool {
         let n = netlist.len();
-        let blocked = |i: usize| {
-            !good[i].is_unknown() && !faulty[i].is_unknown() && good[i] == faulty[i]
-        };
+        let blocked =
+            |i: usize| !good[i].is_unknown() && !faulty[i].is_unknown() && good[i] == faulty[i];
         let mut visited = vec![false; n];
         let mut stack: Vec<usize> = Vec::new();
         // Seed with the fault origin (the D, or the gate where a D can
@@ -371,7 +375,11 @@ impl Podem {
                         2 if pick == 0 => true,
                         // Faulty select: make the data inputs differ.
                         0 => {
-                            let other = if pick == 1 { g.inputs()[2] } else { g.inputs()[1] };
+                            let other = if pick == 1 {
+                                g.inputs()[2]
+                            } else {
+                                g.inputs()[1]
+                            };
                             match good[other.index()].to_bool() {
                                 Some(v) => !v,
                                 None => false,
@@ -394,8 +402,7 @@ impl Podem {
             if kind == GateKind::Input || kind == GateKind::Dff || kind.is_source() {
                 continue;
             }
-            let out_unknown =
-                good[id.index()].is_unknown() || faulty[id.index()].is_unknown();
+            let out_unknown = good[id.index()].is_unknown() || faulty[id.index()].is_unknown();
             if !out_unknown {
                 continue;
             }

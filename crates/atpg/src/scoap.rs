@@ -58,20 +58,48 @@ impl Scoap {
                 GateKind::Buf => (ins[0].0 + 1, ins[0].1 + 1),
                 GateKind::Not => (ins[0].1 + 1, ins[0].0 + 1),
                 GateKind::And => (
-                    ins.iter().map(|x| x.0).min().unwrap_or(SCOAP_INF).saturating_add(1),
-                    ins.iter().map(|x| x.1).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    ins.iter()
+                        .map(|x| x.0)
+                        .min()
+                        .unwrap_or(SCOAP_INF)
+                        .saturating_add(1),
+                    ins.iter()
+                        .map(|x| x.1)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
                 ),
                 GateKind::Nand => (
-                    ins.iter().map(|x| x.1).fold(0u32, |a, b| a.saturating_add(b)) + 1,
-                    ins.iter().map(|x| x.0).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                    ins.iter()
+                        .map(|x| x.1)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
+                    ins.iter()
+                        .map(|x| x.0)
+                        .min()
+                        .unwrap_or(SCOAP_INF)
+                        .saturating_add(1),
                 ),
                 GateKind::Or => (
-                    ins.iter().map(|x| x.0).fold(0u32, |a, b| a.saturating_add(b)) + 1,
-                    ins.iter().map(|x| x.1).min().unwrap_or(SCOAP_INF).saturating_add(1),
+                    ins.iter()
+                        .map(|x| x.0)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
+                    ins.iter()
+                        .map(|x| x.1)
+                        .min()
+                        .unwrap_or(SCOAP_INF)
+                        .saturating_add(1),
                 ),
                 GateKind::Nor => (
-                    ins.iter().map(|x| x.1).min().unwrap_or(SCOAP_INF).saturating_add(1),
-                    ins.iter().map(|x| x.0).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    ins.iter()
+                        .map(|x| x.1)
+                        .min()
+                        .unwrap_or(SCOAP_INF)
+                        .saturating_add(1),
+                    ins.iter()
+                        .map(|x| x.0)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
                 ),
                 GateKind::Xor => xor_cc(&ins, false),
                 GateKind::Xnor => xor_cc(&ins, true),
@@ -224,9 +252,7 @@ impl Cop {
                 GateKind::Or => 1.0 - ins.iter().map(|p| 1.0 - p).product::<f64>(),
                 GateKind::Nor => ins.iter().map(|p| 1.0 - p).product(),
                 GateKind::Xor => ins.iter().fold(0.0, |a, &b| a * (1.0 - b) + (1.0 - a) * b),
-                GateKind::Xnor => {
-                    1.0 - ins.iter().fold(0.0, |a, &b| a * (1.0 - b) + (1.0 - a) * b)
-                }
+                GateKind::Xnor => 1.0 - ins.iter().fold(0.0, |a, &b| a * (1.0 - b) + (1.0 - a) * b),
                 GateKind::Mux => (1.0 - ins[0]) * ins[1] + ins[0] * ins[2],
             };
         }

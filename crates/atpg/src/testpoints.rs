@@ -235,7 +235,9 @@ mod tests {
         let extra = inst.test_inputs.len();
         assert_eq!(extra, 2, "two control points add two test inputs");
         for p in 0u32..128 {
-            let mission: Vec<bool> = (0..16).map(|i| p.wrapping_mul(2654435761) >> i & 1 == 1).collect();
+            let mission: Vec<bool> = (0..16)
+                .map(|i| p.wrapping_mul(2654435761) >> i & 1 == 1)
+                .collect();
             let mut full = Vec::new();
             // original PIs come first, then test inputs (held low).
             full.extend(&mission);
@@ -267,10 +269,7 @@ mod tests {
         let inst = insert(&net, &points);
         let inst_faults = universe::stuck_at_universe(&inst.netlist);
         let after = random_tpg(&inst.netlist, &inst_faults, 1.0, 128, 7).coverage;
-        assert!(
-            after > before,
-            "test points must help: {before} -> {after}"
-        );
+        assert!(after > before, "test points must help: {before} -> {after}");
     }
 
     #[test]

@@ -118,9 +118,7 @@ pub fn identify(netlist: &Netlist, faults: &[Fault], formal: bool) -> Untestable
         if formal && f.kind().stuck_value().is_some() && !netlist.is_sequential() {
             match podem.generate(netlist, f) {
                 PodemOutcome::Test(_) => testable.push(f),
-                PodemOutcome::Untestable => {
-                    untestable.push((f, UntestableReason::ProvenRedundant))
-                }
+                PodemOutcome::Untestable => untestable.push((f, UntestableReason::ProvenRedundant)),
                 PodemOutcome::Aborted => aborted.push(f),
             }
         } else {

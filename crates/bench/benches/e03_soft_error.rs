@@ -17,7 +17,10 @@ use rescue_core::radiation::set_analysis::{SetCampaign, SetOutcome};
 use rescue_core::radiation::seu_analysis::SeuCampaign;
 
 fn bench(c: &mut Criterion) {
-    banner("E3", "soft-error vulnerability (SET/SEU, statistical FI, ML de-rating)");
+    banner(
+        "E3",
+        "soft-error vulnerability (SET/SEU, statistical FI, ML de-rating)",
+    );
     eprintln!(
         "{:<10} {:>9} {:>11} {:>11} {:>9}",
         "circuit", "logical", "electrical", "propagated", "derating"
@@ -72,12 +75,7 @@ fn bench(c: &mut Criterion) {
     let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = per_gate
         .iter()
         .filter(|(_, struck, _)| *struck >= 5)
-        .map(|(g, struck, prop)| {
-            (
-                features[g.index()].clone(),
-                *prop as f64 / *struck as f64,
-            )
-        })
+        .map(|(g, struck, prop)| (features[g.index()].clone(), *prop as f64 / *struck as f64))
         .unzip();
     let norm = Normalizer::fit(&xs);
     let xs = norm.transform_all(&xs);

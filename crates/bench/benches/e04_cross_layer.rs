@@ -34,7 +34,10 @@ fn bench(c: &mut Criterion) {
     }
 
     eprintln!("\nSRAM SEU monitor (64 Kbit, flux 5e-5/bit/unit):");
-    eprintln!("{:>12} {:>10} {:>12}", "scrub period", "detected", "efficiency");
+    eprintln!(
+        "{:>12} {:>10} {:>12}",
+        "scrub period", "detected", "efficiency"
+    );
     for period in [50u64, 200, 1000, 5000] {
         let m = SramSeuMonitor::new(65_536, period);
         let r = m.expose(5e-5, 20_000, 3);

@@ -33,7 +33,10 @@ fn patterns(n_in: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
 }
 
 fn bench(c: &mut Criterion) {
-    banner("E5", "ISO 26262 classification, pruning, slicing, tool confidence");
+    banner(
+        "E5",
+        "ISO 26262 classification, pruning, slicing, tool confidence",
+    );
     eprintln!(
         "{:<16} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8} {:>10} {:>7}",
         "design", "safe", "detected", "residual", "latent", "SPFM", "LFM", "PMHF", "ASIL-D"
@@ -123,11 +126,7 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-fn print_row(
-    name: &str,
-    r: &rescue_core::safety::ClassificationReport,
-    m: &SafetyMetrics,
-) {
+fn print_row(name: &str, r: &rescue_core::safety::ClassificationReport, m: &SafetyMetrics) {
     eprintln!(
         "{:<16} {:>6} {:>9} {:>9} {:>7} {:>7.1}% {:>7.1}% {:>10} {:>7}",
         name,

@@ -35,7 +35,10 @@ fn tree(depth: usize, fanout: usize) -> ScanNetwork {
 }
 
 fn bench(c: &mut Criterion) {
-    banner("E6", "RSN test/diagnosis/aging, FinFET SRAM DfT, decoder balancing");
+    banner(
+        "E6",
+        "RSN test/diagnosis/aging, FinFET SRAM DfT, decoder balancing",
+    );
     eprintln!(
         "{:<14} {:>6} {:>11} {:>10} {:>11} {:>10}",
         "network", "SIBs", "naive bits", "naive cov", "wave bits", "wave cov"
@@ -86,7 +89,10 @@ fn bench(c: &mut Criterion) {
         used.csu(&keep);
     }
     for a in analyze(&used, 10.0).iter().take(2) {
-        eprintln!("  {:<10} duty {:.2} -> ΔVth {:.1} mV", a.name, a.duty, a.delta_vth_mv);
+        eprintln!(
+            "  {:<10} duty {:.2} -> ΔVth {:.1} mV",
+            a.name, a.duty, a.delta_vth_mv
+        );
     }
 
     eprintln!("\nFinFET SRAM: March vs March+current-sensor coverage:");
@@ -127,7 +133,9 @@ fn bench(c: &mut Criterion) {
         let after = plan.apply(&h);
         eprintln!(
             "  budget {:>8}: overhead {:>6} accesses, imbalance {:.3} -> {:.3}",
-            budget.map(|b| b.to_string()).unwrap_or_else(|| "inf".into()),
+            budget
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "inf".into()),
             plan.overhead(),
             h.imbalance(),
             after.imbalance()
@@ -149,9 +157,7 @@ fn bench(c: &mut Criterion) {
         let faults: Vec<_> = (0..8)
             .map(|cell| FinfetDefect::ChannelCrack { cell, severity: 3 }.to_cell_fault())
             .collect();
-        b.iter(|| {
-            std::hint::black_box(marching(&march, &faults))
-        })
+        b.iter(|| std::hint::black_box(marching(&march, &faults)))
     });
 }
 

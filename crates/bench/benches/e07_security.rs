@@ -42,7 +42,11 @@ fn bench(c: &mut Criterion) {
 
     eprintln!("\nLaser FI on a 8x8 register bank (spot 12um, 3000 shots):");
     let critical: Vec<usize> = (0..64).step_by(5).collect();
-    for (name, stride) in [("unprotected", 0usize), ("detectors/4", 4), ("detectors/2", 2)] {
+    for (name, stride) in [
+        ("unprotected", 0usize),
+        ("detectors/4", 4),
+        ("detectors/2", 2),
+    ] {
         let bank = RegisterBank::grid(8, 8, 10.0, &critical, stride);
         let s = bank.campaign(3000, 12.0, 11);
         eprintln!(
@@ -56,7 +60,11 @@ fn bench(c: &mut Criterion) {
     let cfg = ControlFlowGraph::crypto_kernel();
     let monitor = FlowMonitor::train(&cfg, 30, 60, 5);
     let (det, fp) = monitor.evaluate(&cfg, 60, 60, 77);
-    eprintln!("  detection {:.0}%  false positives {:.0}%", det * 100.0, fp * 100.0);
+    eprintln!(
+        "  detection {:.0}%  false positives {:.0}%",
+        det * 100.0,
+        fp * 100.0
+    );
 
     eprintln!("\nSRAM PUF quality (256 bits, 8 devices, 5 evaluations):");
     eprintln!(

@@ -11,7 +11,16 @@ fn bench(c: &mut Criterion) {
     let injections = 30;
     eprintln!(
         "{:<12} {:<12} {:>7} {:>6} {:>9} {:>5} {:>5} {:>9} {:>11} {:>8}",
-        "workload", "config", "masked", "corr", "detected", "sdc", "due", "SDC rate", "protection", "area +%"
+        "workload",
+        "config",
+        "masked",
+        "corr",
+        "detected",
+        "sdc",
+        "due",
+        "SDC rate",
+        "protection",
+        "area +%"
     );
     for w in &workloads {
         for config in AutoSocConfig::all() {

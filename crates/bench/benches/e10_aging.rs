@@ -35,7 +35,10 @@ fn bench(c: &mut Criterion) {
     }
 
     eprintln!("\nAged critical path (COP duties, 380 K, bulk 28nm):");
-    eprintln!("{:<12} {:>8} {:>10} {:>10}", "design", "years", "slowdown", "worst ΔVth");
+    eprintln!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "design", "years", "slowdown", "worst ΔVth"
+    );
     for design in [generate::multiplier(4), generate::alu(8)] {
         let cop = Cop::analyze(&design);
         let p_one: Vec<f64> = design.ids().map(|id| cop.p_one(id)).collect();

@@ -63,7 +63,10 @@ fn campaign_serial(net: &Netlist, faults: &[Fault], pats: &[Vec<bool>]) -> usize
 }
 
 fn bench(c: &mut Criterion) {
-    banner("E11", "ablations: dropping, collapsing, parallel packing, weighting");
+    banner(
+        "E11",
+        "ablations: dropping, collapsing, parallel packing, weighting",
+    );
     let net = generate::random_logic(10, 200, 5, 3);
     let faults = universe::stuck_at_universe(&net);
     let pats = patterns(10, 256, 7);
@@ -78,9 +81,7 @@ fn bench(c: &mut Criterion) {
     );
     let sim = FaultSimulator::new(&net);
     let full_cov = sim.campaign(&net, &faults, &pats).coverage();
-    let coll_cov = sim
-        .campaign(&net, coll.representatives(), &pats)
-        .coverage();
+    let coll_cov = sim.campaign(&net, coll.representatives(), &pats).coverage();
     eprintln!(
         "  coverage: full universe {:.2}%, collapsed {:.2}% (same faults, fewer sims)",
         full_cov * 100.0,

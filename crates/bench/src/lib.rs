@@ -1,4 +1,4 @@
-//! Shared helpers for the experiment benches (E1–E11).
+//! Shared helpers for the experiment benches (E1–E12).
 //!
 //! Each bench under `benches/` regenerates one experiment of
 //! EXPERIMENTS.md: it prints the experiment's table(s) once, then

@@ -96,8 +96,7 @@ impl FaultManager {
                 } else {
                     // Local logic retries and thrashes before giving up.
                     (
-                        LOCAL_RETRY_PENALTY * (event.complexity as u64 * 4)
-                            + ESCALATION_LATENCY,
+                        LOCAL_RETRY_PENALTY * (event.complexity as u64 * 4) + ESCALATION_LATENCY,
                         true,
                     )
                 }

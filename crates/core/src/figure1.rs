@@ -85,51 +85,51 @@ pub struct PublicationRecord {
 pub fn publications() -> Vec<PublicationRecord> {
     use ResearchArea::*;
     let table: [(u8, u16, ResearchArea); 45] = [
-        (10, 2018, ReliabilityManagement),   // FinFET SRAM current sensors
-        (11, 2018, TestGeneration),          // GPGPU scheduler functional test
-        (12, 2018, SoftErrorAnalysis),       // UltraScale+ SEU characterization
-        (13, 2018, SoftErrorAnalysis),       // error-rate estimation FPGA
-        (14, 2018, SoftErrorAnalysis),       // heavy-ion characterization
-        (15, 2018, ReliabilityManagement),   // RSN test sequences (semi-formal)
-        (16, 2018, ReliabilityManagement),   // RSN test generation
-        (17, 2018, ReliabilityManagement),   // RSN test comparison
-        (18, 2018, HardwareSecurity),        // fault injection setups
-        (19, 2018, FunctionalSafety),        // formal fault-list optimization
-        (20, 2018, FunctionalSafety),        // FuSa tool confidence
-        (21, 2018, FunctionalSafety),        // multidimensional verification
-        (22, 2018, CrossLayerFaultTolerance),// PhD training concept (cross-layer home)
-        (23, 2019, TestGeneration),          // fault redundancy identification
-        (24, 2019, ReliabilityManagement),   // address decoder aging mitigation
-        (25, 2019, TestGeneration),          // SEU effects in GPGPUs
-        (26, 2019, ReliabilityManagement),   // DfT hard-to-detect FinFET faults
-        (27, 2019, ReliabilityManagement),   // DfT scheme ETS
-        (28, 2019, TestGeneration),          // deterministic+pseudo-exhaustive RISC
-        (29, 2019, ReliabilityManagement),   // post-silicon RSN validation
-        (30, 2019, ReliabilityManagement),   // RSN test duration reduction
-        (31, 2019, SoftErrorAnalysis),       // ML for transient errors
-        (33, 2019, TestGeneration),          // safe faults in embedded system
-        (34, 2019, HardwareSecurity),        // PASCAL timing SCA
-        (35, 2019, FunctionalSafety),        // multidimensional verification journal
-        (36, 2019, ReliabilityManagement),   // NBTI aging in RSNs
-        (37, 2019, SoftErrorAnalysis),       // autonomous systems reliability
-        (38, 2019, CrossLayerFaultTolerance),// SRAM SEU monitor
-        (39, 2019, CrossLayerFaultTolerance),// pulse-stretching detector
-        (40, 2019, TestGeneration),          // GPGPU encoding styles
-        (41, 2019, TestGeneration),          // GPGPU scheduler memory test
-        (42, 2019, TestGeneration),          // GPGPU pipeline registers
-        (43, 2019, SoftErrorAnalysis),       // open-source GPGPU model
-        (44, 2019, ReliabilityManagement),   // compact RSN tests
-        (45, 2019, ReliabilityManagement),   // RSN diagnosis
-        (46, 2019, TestGeneration),          // untestable faults GPGPU
-        (47, 2019, ReliabilityManagement),   // ICL/RTL equivalence
-        (48, 2019, FunctionalSafety),        // combining fault analysis tools
-        (49, 2019, FunctionalSafety),        // HDL slicing FI
-        (50, 2019, FunctionalSafety),        // ISO26262 verification methodology
-        (51, 2019, FunctionalSafety),        // dynamic HDL slicing
-        (52, 2019, CrossLayerFaultTolerance),// low-latency reconfiguration
-        (53, 2019, CrossLayerFaultTolerance),// configurable FT circuits
-        (54, 2019, SoftErrorAnalysis),       // CDN SET failure rate
-        (55, 2019, SoftErrorAnalysis),       // ML failure-rate estimation
+        (10, 2018, ReliabilityManagement),    // FinFET SRAM current sensors
+        (11, 2018, TestGeneration),           // GPGPU scheduler functional test
+        (12, 2018, SoftErrorAnalysis),        // UltraScale+ SEU characterization
+        (13, 2018, SoftErrorAnalysis),        // error-rate estimation FPGA
+        (14, 2018, SoftErrorAnalysis),        // heavy-ion characterization
+        (15, 2018, ReliabilityManagement),    // RSN test sequences (semi-formal)
+        (16, 2018, ReliabilityManagement),    // RSN test generation
+        (17, 2018, ReliabilityManagement),    // RSN test comparison
+        (18, 2018, HardwareSecurity),         // fault injection setups
+        (19, 2018, FunctionalSafety),         // formal fault-list optimization
+        (20, 2018, FunctionalSafety),         // FuSa tool confidence
+        (21, 2018, FunctionalSafety),         // multidimensional verification
+        (22, 2018, CrossLayerFaultTolerance), // PhD training concept (cross-layer home)
+        (23, 2019, TestGeneration),           // fault redundancy identification
+        (24, 2019, ReliabilityManagement),    // address decoder aging mitigation
+        (25, 2019, TestGeneration),           // SEU effects in GPGPUs
+        (26, 2019, ReliabilityManagement),    // DfT hard-to-detect FinFET faults
+        (27, 2019, ReliabilityManagement),    // DfT scheme ETS
+        (28, 2019, TestGeneration),           // deterministic+pseudo-exhaustive RISC
+        (29, 2019, ReliabilityManagement),    // post-silicon RSN validation
+        (30, 2019, ReliabilityManagement),    // RSN test duration reduction
+        (31, 2019, SoftErrorAnalysis),        // ML for transient errors
+        (33, 2019, TestGeneration),           // safe faults in embedded system
+        (34, 2019, HardwareSecurity),         // PASCAL timing SCA
+        (35, 2019, FunctionalSafety),         // multidimensional verification journal
+        (36, 2019, ReliabilityManagement),    // NBTI aging in RSNs
+        (37, 2019, SoftErrorAnalysis),        // autonomous systems reliability
+        (38, 2019, CrossLayerFaultTolerance), // SRAM SEU monitor
+        (39, 2019, CrossLayerFaultTolerance), // pulse-stretching detector
+        (40, 2019, TestGeneration),           // GPGPU encoding styles
+        (41, 2019, TestGeneration),           // GPGPU scheduler memory test
+        (42, 2019, TestGeneration),           // GPGPU pipeline registers
+        (43, 2019, SoftErrorAnalysis),        // open-source GPGPU model
+        (44, 2019, ReliabilityManagement),    // compact RSN tests
+        (45, 2019, ReliabilityManagement),    // RSN diagnosis
+        (46, 2019, TestGeneration),           // untestable faults GPGPU
+        (47, 2019, ReliabilityManagement),    // ICL/RTL equivalence
+        (48, 2019, FunctionalSafety),         // combining fault analysis tools
+        (49, 2019, FunctionalSafety),         // HDL slicing FI
+        (50, 2019, FunctionalSafety),         // ISO26262 verification methodology
+        (51, 2019, FunctionalSafety),         // dynamic HDL slicing
+        (52, 2019, CrossLayerFaultTolerance), // low-latency reconfiguration
+        (53, 2019, CrossLayerFaultTolerance), // configurable FT circuits
+        (54, 2019, SoftErrorAnalysis),        // CDN SET failure rate
+        (55, 2019, SoftErrorAnalysis),        // ML failure-rate estimation
     ];
     let mut v: Vec<PublicationRecord> = table
         .iter()
@@ -233,9 +233,7 @@ mod tests {
                 .map(|b| b.count)
                 .sum()
         };
-        assert!(
-            total(ResearchArea::ReliabilityManagement) > total(ResearchArea::HardwareSecurity)
-        );
+        assert!(total(ResearchArea::ReliabilityManagement) > total(ResearchArea::HardwareSecurity));
         assert!(total(ResearchArea::SoftErrorAnalysis) > total(ResearchArea::HardwareSecurity));
         assert!(total(ResearchArea::TestGeneration) >= 8);
     }

@@ -129,7 +129,9 @@ impl SystemHealthManager {
         let op = rescue_aging::delay::OperatingPoint::nominal();
         let mut remaining = 0.0;
         for years in 1..=40 {
-            let shift = self.aging.delta_vth_mv(&stress, self.elapsed_years + years as f64);
+            let shift = self
+                .aging
+                .delta_vth_mv(&stress, self.elapsed_years + years as f64);
             if op.delay_factor(shift.min(400.0)) > 1.0 + self.guard_band {
                 break;
             }

@@ -36,7 +36,11 @@ pub fn render_report(report: &FlowReport) -> String {
         let _ = writeln!(
             s,
             "| meets ASIL-{asil:?} | {} |",
-            if report.safety.meets(asil) { "yes" } else { "no" }
+            if report.safety.meets(asil) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     let _ = writeln!(s);

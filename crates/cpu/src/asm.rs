@@ -83,10 +83,7 @@ pub fn assemble(text: &str) -> Result<Vec<Instruction>, AssembleError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 return Err(err(line_no, "malformed label"));
             }
-            if labels
-                .insert(label.clone(), lines.len() as u32)
-                .is_some()
-            {
+            if labels.insert(label.clone(), lines.len() as u32).is_some() {
                 return Err(err(line_no, format!("duplicate label `{label}`")));
             }
             body = body[colon + 1..].trim().to_string();

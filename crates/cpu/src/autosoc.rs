@@ -307,13 +307,7 @@ fn setup(workload: &Workload) -> Cpu {
     cpu
 }
 
-fn run_single(
-    workload: &Workload,
-    reg: u8,
-    bit: u8,
-    cycle: u64,
-    golden: &[u32],
-) -> SeuEffect {
+fn run_single(workload: &Workload, reg: u8, bit: u8, cycle: u64, golden: &[u32]) -> SeuEffect {
     let mut cpu = setup(workload);
     let mut flipped = false;
     while !cpu.is_halted() {
@@ -335,13 +329,7 @@ fn run_single(
     }
 }
 
-fn run_lockstep(
-    workload: &Workload,
-    reg: u8,
-    bit: u8,
-    cycle: u64,
-    golden: &[u32],
-) -> SeuEffect {
+fn run_lockstep(workload: &Workload, reg: u8, bit: u8, cycle: u64, golden: &[u32]) -> SeuEffect {
     let mut core_a = setup(workload);
     let mut core_b = setup(workload);
     let mut flipped = false;

@@ -497,7 +497,10 @@ mod tests {
         let program = assemble("addi r1, r0, 3\nadd r2, r1, r1\nsw r2, 0(r0)\nhalt").unwrap();
         let mut cpu = Cpu::new(64);
         cpu.load(&program, 0);
-        cpu.inject(CpuFault::AluStuck { bit: 0, value: true });
+        cpu.inject(CpuFault::AluStuck {
+            bit: 0,
+            value: true,
+        });
         cpu.run(100).unwrap();
         // 3 -> forced odd: r1 = 3 (already odd), r2 = 6|1 = 7
         assert_eq!(cpu.memory_word(0), 7);

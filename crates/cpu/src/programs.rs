@@ -69,7 +69,9 @@ pub fn crc32() -> Result<Workload, AssembleError> {
     Ok(Workload {
         name: "crc32",
         program,
-        data: (0..16u32).map(|i| 0x1234_5678u32.wrapping_mul(i + 1)).collect(),
+        data: (0..16u32)
+            .map(|i| 0x1234_5678u32.wrapping_mul(i + 1))
+            .collect(),
         max_cycles: 60_000,
     })
 }
@@ -161,9 +163,7 @@ pub fn bubble_sort() -> Result<Workload, AssembleError> {
     Ok(Workload {
         name: "bubble_sort",
         program,
-        data: vec![
-            93, 2, 77, 15, 0, 41, 8, 60, 23, 99, 5, 31, 74, 12, 55, 38,
-        ],
+        data: vec![93, 2, 77, 15, 0, 41, 8, 60, 23, 99, 5, 31, 74, 12, 55, 38],
         max_cycles: 60_000,
     })
 }
@@ -278,7 +278,11 @@ mod tests {
             let expect: u32 = (0..8)
                 .map(|t| taps[t].wrapping_mul(samples[out + t]))
                 .fold(0u32, u32::wrapping_add);
-            assert_eq!(cpu.memory_word(RESULT_BASE + 1 + out as u32), expect, "y[{out}]");
+            assert_eq!(
+                cpu.memory_word(RESULT_BASE + 1 + out as u32),
+                expect,
+                "y[{out}]"
+            );
         }
     }
 

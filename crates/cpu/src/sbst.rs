@@ -315,10 +315,7 @@ mod tests {
     use super::*;
 
     fn sample_universe(stride: usize) -> Vec<CpuFault> {
-        cpu_fault_universe()
-            .into_iter()
-            .step_by(stride)
-            .collect()
+        cpu_fault_universe().into_iter().step_by(stride).collect()
     }
 
     #[test]
@@ -332,7 +329,10 @@ mod tests {
     fn sbst_catches_alu_and_register_faults() {
         let p = generate_sbst(3000);
         let faults = vec![
-            CpuFault::AluStuck { bit: 0, value: true },
+            CpuFault::AluStuck {
+                bit: 0,
+                value: true,
+            },
             CpuFault::AluStuck {
                 bit: 17,
                 value: false,
@@ -369,7 +369,10 @@ mod tests {
     fn coverage_of_filters() {
         let p = generate_sbst(3000);
         let faults = vec![
-            CpuFault::AluStuck { bit: 3, value: true },
+            CpuFault::AluStuck {
+                bit: 3,
+                value: true,
+            },
             CpuFault::RegisterStuck {
                 reg: 30,
                 bit: 0,
@@ -398,7 +401,10 @@ mod tests {
                 bit: 3,
                 value: true,
             },
-            CpuFault::AluStuck { bit: 0, value: false },
+            CpuFault::AluStuck {
+                bit: 0,
+                value: false,
+            },
         ];
         let (safe, dangerous) = safe_in_context(&p, &[], &faults, 10_000);
         assert_eq!(safe.len(), 1);

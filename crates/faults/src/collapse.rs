@@ -212,8 +212,12 @@ mod tests {
             .collect();
         let dom_report = sim.campaign(&net, &dom, &patterns);
         // Keep only patterns that were first-detectors for dom faults.
-        let used: std::collections::BTreeSet<usize> =
-            dom_report.first_detection().iter().flatten().copied().collect();
+        let used: std::collections::BTreeSet<usize> = dom_report
+            .first_detection()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         let subset: Vec<Vec<bool>> = used.iter().map(|&i| patterns[i].clone()).collect();
         assert_eq!(sim.campaign(&net, &dom, &subset).coverage(), 1.0);
         assert_eq!(

@@ -1,0 +1,274 @@
+//! Incremental single-fault propagation over the compiled arena.
+//!
+//! The hot path of every stuck-at campaign is "given the chunk's golden
+//! words, which patterns see this fault at an output?". The classic
+//! answer re-simulates the whole netlist per fault; this engine instead:
+//!
+//! 1. **memoizes the combinational fanout cone** of each fault site in a
+//!    [`CampaignPlan`] (sa0/sa1 at the same site share one cone, stored
+//!    as a flat CSR sorted by topological position, root excluded);
+//! 2. **injects** the fault at its root over a scratch value array that
+//!    equals the chunk's golden words everywhere;
+//! 3. **resimulates only the cone**, in levelized order, tracking the
+//!    largest topological position any fault effect can still reach
+//!    (the *event horizon*) and breaking out as soon as the walk passes
+//!    it — the event-driven early exit;
+//! 4. **undoes** its writes through a touched list, so the scratch array
+//!    is golden again without an `O(gates)` copy or a fresh allocation.
+//!
+//! Verdicts are bit-identical to full resimulation: gates outside the
+//! combinational fanout cone cannot change (DFF outputs hold 0 in packed
+//! word evaluation, so effects never cross a sequential edge within a
+//! chunk), and cone gates are evaluated with the same kernels in the
+//! same order.
+
+use crate::model::{Fault, FaultSite};
+use rescue_netlist::GateKind;
+use rescue_sim::compiled::CompiledNetlist;
+
+/// Memoized per-site fanout cones for one campaign's fault list.
+///
+/// Built once per campaign ([`CampaignPlan::build`]) and shared read-only
+/// by all workers; the per-fault state lives in [`FaultScratch`].
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Per gate: index into `cone_offsets`, `u32::MAX` when the gate is
+    /// not a fault-site root in this plan.
+    cone_index: Vec<u32>,
+    cone_offsets: Vec<u32>,
+    /// Concatenated cones, each sorted by topological position and
+    /// excluding its root.
+    cone_gates: Vec<u32>,
+}
+
+impl CampaignPlan {
+    /// Computes (and deduplicates) the combinational fanout cone of every
+    /// fault site in `faults`.
+    pub fn build(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
+        let n = compiled.len();
+        let mut plan = CampaignPlan {
+            cone_index: vec![u32::MAX; n],
+            cone_offsets: vec![0],
+            cone_gates: Vec::new(),
+        };
+        let mut seen = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut members: Vec<u32> = Vec::new();
+        for fault in faults {
+            let root = fault.site().gate().index();
+            if plan.cone_index[root] != u32::MAX {
+                continue; // sa0/sa1 (and pin faults) at one gate share a cone
+            }
+            plan.cone_index[root] = plan.cone_offsets.len() as u32 - 1;
+            // DFS over combinational fanout edges; DFF consumers hold
+            // state, so fault effects stop at the D-pin within a chunk.
+            seen[root] = true;
+            stack.push(root as u32);
+            while let Some(g) = stack.pop() {
+                for &s in compiled.fanout_of(g as usize) {
+                    if seen[s as usize] || compiled.kind(s as usize) == GateKind::Dff {
+                        continue;
+                    }
+                    seen[s as usize] = true;
+                    stack.push(s);
+                    members.push(s);
+                }
+            }
+            // Kahn order enqueues a gate only after all combinational
+            // predecessors, so every cone member sits after the root;
+            // sorting by position yields a valid evaluation order.
+            members.sort_unstable_by_key(|&g| compiled.topo_pos(g as usize));
+            seen[root] = false;
+            for &m in &members {
+                seen[m as usize] = false;
+            }
+            plan.cone_gates.append(&mut members);
+            plan.cone_offsets.push(plan.cone_gates.len() as u32);
+        }
+        plan
+    }
+
+    /// The memoized cone (topo-sorted, root excluded) for the site rooted
+    /// at gate `root`, or `None` when `root` was not in the fault list.
+    pub fn cone_of(&self, root: usize) -> Option<&[u32]> {
+        let idx = self.cone_index[root];
+        if idx == u32::MAX {
+            return None;
+        }
+        let lo = self.cone_offsets[idx as usize] as usize;
+        let hi = self.cone_offsets[idx as usize + 1] as usize;
+        Some(&self.cone_gates[lo..hi])
+    }
+
+    /// Detection mask of `fault` over the chunk whose golden values are
+    /// `golden`, by incremental cone resimulation. `scratch.val` must
+    /// equal `golden` on entry and is restored before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-stuck-at kinds and on roots absent from the plan.
+    pub fn detect(
+        &self,
+        compiled: &CompiledNetlist,
+        golden: &[u64],
+        scratch: &mut FaultScratch,
+        fault: Fault,
+    ) -> u64 {
+        let stuck = fault
+            .kind()
+            .stuck_value()
+            .expect("stuck-at campaign requires stuck-at faults");
+        let word = if stuck { u64::MAX } else { 0 };
+        let root = fault.site().gate().index();
+
+        // Inject at the root. Pin faults re-evaluate the root gate with
+        // one input substituted; the reference engine never forces pins
+        // of source kinds (Input has no pins to evaluate, Dff outputs 0
+        // regardless), so those stay at their golden value.
+        let fault_value = match fault.site() {
+            FaultSite::Output(_) => word,
+            FaultSite::Pin { pin, .. } => match compiled.kind(root) {
+                GateKind::Input | GateKind::Dff => golden[root],
+                _ => compiled.eval_word_pin_forced(root, &scratch.val, pin, word),
+            },
+        };
+        if fault_value == golden[root] {
+            return 0; // not excited on any pattern of this chunk
+        }
+
+        let mut mask = 0u64;
+        scratch.val[root] = fault_value;
+        scratch.touched.push(root as u32);
+        if compiled.is_po(root) {
+            mask |= fault_value ^ golden[root];
+        }
+        // Event horizon: the largest topo position a fault effect can
+        // still reach. Cone gates beyond it see only golden inputs.
+        let mut horizon = 0u32;
+        for &s in compiled.fanout_of(root) {
+            horizon = horizon.max(compiled.topo_pos(s as usize));
+        }
+        let cone = self
+            .cone_of(root)
+            .expect("fault root missing from campaign plan");
+        for &g in cone {
+            let gi = g as usize;
+            if compiled.topo_pos(gi) > horizon {
+                break; // event frontier died: everything further is golden
+            }
+            let v = compiled.eval_word(gi, &scratch.val);
+            if v == golden[gi] {
+                continue;
+            }
+            scratch.val[gi] = v;
+            scratch.touched.push(g);
+            if compiled.is_po(gi) {
+                mask |= v ^ golden[gi];
+            }
+            for &s in compiled.fanout_of(gi) {
+                horizon = horizon.max(compiled.topo_pos(s as usize));
+            }
+        }
+        scratch.undo(golden);
+        mask
+    }
+}
+
+/// Reusable per-worker scratch: a value array mirroring the chunk golden
+/// plus the touched-list undo log. No allocation per fault.
+#[derive(Debug, Clone)]
+pub struct FaultScratch {
+    val: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl FaultScratch {
+    /// Scratch for a design of `len` gates.
+    pub fn new(len: usize) -> Self {
+        FaultScratch {
+            val: vec![0; len],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Loads a chunk's golden values (call once per chunk, not per fault).
+    pub fn load_golden(&mut self, golden: &[u64]) {
+        self.val.copy_from_slice(golden);
+        self.touched.clear();
+    }
+
+    fn undo(&mut self, golden: &[u64]) {
+        for &t in &self.touched {
+            self.val[t as usize] = golden[t as usize];
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::cone::comb_fanout_cone;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn plan_cones_match_netlist_comb_fanout_cones() {
+        let net = generate::random_logic(8, 120, 4, 77);
+        let compiled = CompiledNetlist::new(&net);
+        let faults: Vec<Fault> = crate::universe::stuck_at_universe(&net);
+        let plan = CampaignPlan::build(&compiled, &faults);
+        for fault in &faults {
+            let root = fault.site().gate();
+            let mut got: Vec<usize> = plan
+                .cone_of(root.index())
+                .expect("root in plan")
+                .iter()
+                .map(|&g| g as usize)
+                .collect();
+            got.push(root.index());
+            got.sort_unstable();
+            let mut want: Vec<usize> = comb_fanout_cone(&net, &[root])
+                .iter()
+                .map(|g| g.index())
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "cone of {root}");
+        }
+    }
+
+    #[test]
+    fn cones_are_topologically_sorted_after_root() {
+        let net = generate::random_logic(6, 80, 3, 9);
+        let compiled = CompiledNetlist::new(&net);
+        let faults = crate::universe::stuck_at_universe(&net);
+        let plan = CampaignPlan::build(&compiled, &faults);
+        for fault in &faults {
+            let root = fault.site().gate().index();
+            let cone = plan.cone_of(root).unwrap();
+            let mut prev = compiled.topo_pos(root);
+            for &g in cone {
+                let pos = compiled.topo_pos(g as usize);
+                assert!(pos > prev, "cone must ascend strictly past the root");
+                prev = pos;
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_undo_restores_golden() {
+        let net = generate::c17();
+        let compiled = CompiledNetlist::new(&net);
+        let faults = crate::universe::stuck_at_universe(&net);
+        let plan = CampaignPlan::build(&compiled, &faults);
+        let words: Vec<u64> = (0..5).map(|i| 0xdead_beef_u64 << i).collect();
+        let mut golden = Vec::new();
+        compiled.eval_words_into(&words, None, &mut golden).unwrap();
+        let mut scratch = FaultScratch::new(compiled.len());
+        scratch.load_golden(&golden);
+        for &fault in &faults {
+            plan.detect(&compiled, &golden, &mut scratch, fault);
+            assert_eq!(scratch.val, golden, "scratch must be golden after {fault}");
+            assert!(scratch.touched.is_empty());
+        }
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`collapse`] — structural equivalence collapsing.
 //! * [`simulate`] — serial and 64-way parallel-pattern fault simulation
 //!   with fault dropping, for both combinational and sequential designs.
+//! * [`engine`] — the incremental single-fault-propagation core: memoized
+//!   fanout cones, event-horizon early exit, touched-list undo.
+//! * [`reference`] — the full-resimulation oracle the fast engine is
+//!   property-tested against.
 //! * [`sample`] — statistical fault-injection sampling theory: how many
 //!   faults must be injected for a given error margin and confidence
 //!   (the "random fault injection" methodology of paper Section III.B).
@@ -33,8 +37,10 @@
 
 pub mod collapse;
 pub mod dictionary;
+pub mod engine;
 pub mod error;
 pub mod model;
+pub mod reference;
 pub mod sample;
 pub mod simulate;
 pub mod universe;

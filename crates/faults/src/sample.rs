@@ -116,7 +116,11 @@ pub fn achieved_margin(
     let n = sample as f64;
     let t = confidence.z_score();
     // e = t * sqrt(p(1-p)/n * (N-n)/(N-1))
-    let fpc = if population > 1 { (nf - n) / (nf - 1.0) } else { 0.0 };
+    let fpc = if population > 1 {
+        (nf - n) / (nf - 1.0)
+    } else {
+        0.0
+    };
     Some(t * (p * (1.0 - p) / n * fpc).sqrt())
 }
 

@@ -1,9 +1,18 @@
 //! Serial and parallel-pattern fault simulation with fault dropping.
+//!
+//! [`FaultSimulator`] runs on the [`CompiledNetlist`] flat arena and
+//! detects stuck-at faults with the incremental cone engine from
+//! [`crate::engine`]: per (fault, chunk) it resimulates only the fault
+//! site's combinational fanout cone instead of the whole design, with
+//! touched-list undo so campaigns allocate nothing per fault. Verdicts
+//! are bit-identical to the full-resimulation oracle in
+//! [`crate::reference`] (enforced by property tests).
 
+use crate::engine::{CampaignPlan, FaultScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
-use rescue_netlist::{GateId, GateKind, Netlist};
-use rescue_sim::logic::{eval_gate_bool, eval_gate_word};
-use rescue_sim::parallel::pack_patterns;
+use rescue_netlist::{GateKind, Netlist};
+use rescue_sim::compiled::CompiledNetlist;
+use rescue_sim::parallel::{live_mask, pack_patterns};
 
 /// Outcome of a fault-simulation campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +82,7 @@ impl CampaignReport {
     }
 }
 
-/// Levelized fault simulator over one netlist.
+/// Compiled-arena fault simulator over one netlist.
 ///
 /// Supports stuck-at faults on outputs and pins, transition-delay faults
 /// via pattern pairs, bridging faults, and sequential (multi-cycle)
@@ -84,15 +93,20 @@ impl CampaignReport {
 /// See [`crate`] docs for a complete campaign example.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator {
-    order: Vec<GateId>,
+    compiled: CompiledNetlist,
 }
 
 impl FaultSimulator {
-    /// Prepares a simulator for `netlist`.
+    /// Prepares a simulator for `netlist` (compiles the flat arena).
     pub fn new(netlist: &Netlist) -> Self {
         FaultSimulator {
-            order: netlist.levelize().order().to_vec(),
+            compiled: CompiledNetlist::new(netlist),
         }
+    }
+
+    /// The compiled arena this simulator evaluates on.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// Golden (fault-free) 64-way evaluation. `words[i]` is input `i`.
@@ -100,8 +114,8 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics if `words.len()` differs from the primary-input count.
-    pub fn golden(&self, netlist: &Netlist, words: &[u64]) -> Vec<u64> {
-        self.eval_with(netlist, words, None, None)
+    pub fn golden(&self, _netlist: &Netlist, words: &[u64]) -> Vec<u64> {
+        self.eval_full(words, None, None)
     }
 
     /// Evaluates 64 packed patterns with `fault` active; returns all gate
@@ -110,12 +124,12 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics on input-width mismatch or a non-stuck-at fault kind.
-    pub fn with_stuck(&self, netlist: &Netlist, words: &[u64], fault: Fault) -> Vec<u64> {
+    pub fn with_stuck(&self, _netlist: &Netlist, words: &[u64], fault: Fault) -> Vec<u64> {
         let value = fault
             .kind()
             .stuck_value()
             .expect("with_stuck requires a stuck-at fault");
-        self.eval_with(netlist, words, Some((fault.site(), value)), None)
+        self.eval_full(words, Some((fault.site(), value)), None)
     }
 
     /// Evaluates with a wired-AND/OR bridge active (two-pass resolution).
@@ -123,108 +137,137 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics on input-width mismatch.
-    pub fn with_bridge(&self, netlist: &Netlist, words: &[u64], bridge: BridgingFault) -> Vec<u64> {
-        let golden = self.golden(netlist, words);
+    pub fn with_bridge(
+        &self,
+        _netlist: &Netlist,
+        words: &[u64],
+        bridge: BridgingFault,
+    ) -> Vec<u64> {
+        let golden = self.eval_full(words, None, None);
         let va = golden[bridge.a.index()];
         let vb = golden[bridge.b.index()];
         let v = if bridge.wired_and { va & vb } else { va | vb };
-        self.eval_with(netlist, words, None, Some((bridge, v)))
+        self.eval_full(words, None, Some((bridge, v)))
     }
 
-    fn eval_with(
+    /// Full-design 64-way evaluation over the compiled arena with
+    /// optional stuck/bridge forcing. This is the non-incremental path,
+    /// used by the value-inspection APIs; campaigns go through the cone
+    /// engine instead.
+    fn eval_full(
         &self,
-        netlist: &Netlist,
         words: &[u64],
         stuck: Option<(FaultSite, bool)>,
         bridge: Option<(BridgingFault, u64)>,
     ) -> Vec<u64> {
-        let pis = netlist.primary_inputs();
+        let c = &self.compiled;
+        let pis = c.primary_inputs();
         assert_eq!(words.len(), pis.len(), "input word count mismatch");
-        let mut values = vec![0u64; netlist.len()];
+        let mut values = vec![0u64; c.len()];
         for (i, &pi) in pis.iter().enumerate() {
-            values[pi.index()] = words[i];
+            values[pi as usize] = words[i];
         }
         let (stuck_out, stuck_pin, stuck_word) = match stuck {
-            Some((FaultSite::Output(g), v)) => (Some(g), None, if v { u64::MAX } else { 0 }),
-            Some((FaultSite::Pin { gate, pin }, v)) => {
-                (None, Some((gate, pin)), if v { u64::MAX } else { 0 })
+            Some((FaultSite::Output(g), v)) => {
+                (Some(g.index()), None, if v { u64::MAX } else { 0 })
             }
+            Some((FaultSite::Pin { gate, pin }, v)) => (
+                None,
+                Some((gate.index(), pin)),
+                if v { u64::MAX } else { 0 },
+            ),
             None => (None, None, 0),
         };
-        let mut buf: Vec<u64> = Vec::with_capacity(4);
-        for &id in &self.order {
-            let g = netlist.gate(id);
-            match g.kind() {
-                GateKind::Input => {}
-                GateKind::Dff => values[id.index()] = 0,
-                kind => {
-                    buf.clear();
-                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                    if let Some((fg, fp)) = stuck_pin {
-                        if fg == id {
-                            buf[fp] = stuck_word;
-                        }
-                    }
-                    values[id.index()] = eval_gate_word(kind, &buf);
+        // Sources (Input/Dff) sit outside eval_order; apply output/bridge
+        // forces on them up front — nothing evaluates before them.
+        let source = |g: usize| matches!(c.kind(g), GateKind::Input | GateKind::Dff);
+        if let Some(g) = stuck_out {
+            if source(g) {
+                values[g] = stuck_word;
+            }
+        }
+        if let Some((br, v)) = bridge {
+            for g in [br.a.index(), br.b.index()] {
+                if source(g) {
+                    values[g] = v;
                 }
             }
-            if stuck_out == Some(id) {
-                values[id.index()] = stuck_word;
+        }
+        for &g in c.eval_order() {
+            let gi = g as usize;
+            let mut v = match stuck_pin {
+                Some((fg, fp)) if fg == gi => c.eval_word_pin_forced(gi, &values, fp, stuck_word),
+                _ => c.eval_word(gi, &values),
+            };
+            if stuck_out == Some(gi) {
+                v = stuck_word;
             }
-            if let Some((br, v)) = bridge {
-                if br.a == id || br.b == id {
-                    values[id.index()] = v;
+            if let Some((br, bv)) = bridge {
+                if br.a.index() == gi || br.b.index() == gi {
+                    v = bv;
                 }
             }
+            values[gi] = v;
         }
         values
     }
 
     /// Bitmask of patterns (bit `p`) on which `fault` is detected at a
     /// primary output, given the golden values for the same words.
+    ///
+    /// One-shot incremental detection; campaigns amortize the plan and
+    /// scratch this call rebuilds.
     pub fn detection_mask(
         &self,
-        netlist: &Netlist,
-        words: &[u64],
+        _netlist: &Netlist,
+        _words: &[u64],
         golden: &[u64],
         fault: Fault,
     ) -> u64 {
-        let faulty = self.with_stuck(netlist, words, fault);
-        netlist
-            .primary_outputs()
-            .iter()
-            .fold(0u64, |m, (_, g)| m | (golden[g.index()] ^ faulty[g.index()]))
+        let c = &self.compiled;
+        let plan = CampaignPlan::build(c, std::slice::from_ref(&fault));
+        let mut scratch = FaultScratch::new(c.len());
+        scratch.load_golden(golden);
+        plan.detect(c, golden, &mut scratch, fault)
     }
 
     /// Runs a full stuck-at campaign with fault dropping: each fault is
-    /// simulated only until its first detection.
+    /// simulated only until its first detection, only within its fanout
+    /// cone, and the whole campaign stops once every fault is detected.
     ///
     /// # Panics
     ///
-    /// Panics if any pattern width differs from the primary-input count.
+    /// Panics if any simulated pattern width differs from the
+    /// primary-input count.
     pub fn campaign(
         &self,
-        netlist: &Netlist,
+        _netlist: &Netlist,
         faults: &[Fault],
         patterns: &[Vec<bool>],
     ) -> CampaignReport {
+        let c = &self.compiled;
+        let plan = CampaignPlan::build(c, faults);
         let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+        let mut undetected = faults.len();
+        let mut golden: Vec<u64> = Vec::new();
+        let mut scratch = FaultScratch::new(c.len());
         for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
+            if undetected == 0 {
+                break; // every fault dropped
+            }
             let words = pack_patterns(chunk);
-            let golden = self.golden(netlist, &words);
+            c.eval_words_into(&words, None, &mut golden)
+                .expect("input word count mismatch");
+            scratch.load_golden(&golden);
+            let live = live_mask(chunk.len());
             for (fi, &fault) in faults.iter().enumerate() {
                 if first_detection[fi].is_some() {
                     continue; // fault dropping
                 }
-                let mask = self.detection_mask(netlist, &words, &golden, fault);
-                let mask = if chunk.len() < 64 {
-                    mask & ((1u64 << chunk.len()) - 1)
-                } else {
-                    mask
-                };
+                let mask = plan.detect(c, &golden, &mut scratch, fault) & live;
                 if mask != 0 {
-                    first_detection[fi] =
-                        Some(chunk_idx * 64 + mask.trailing_zeros() as usize);
+                    first_detection[fi] = Some(chunk_idx * 64 + mask.trailing_zeros() as usize);
+                    undetected -= 1;
                 }
             }
         }
@@ -235,9 +278,11 @@ impl FaultSimulator {
         }
     }
 
-    /// Multi-threaded stuck-at campaign: splits the fault list across
-    /// `threads` workers (scoped threads, shared read-only golden data).
-    /// Produces exactly the same verdicts as [`FaultSimulator::campaign`].
+    /// Multi-threaded stuck-at campaign: splits the fault list into
+    /// contiguous ranges across `threads` scoped workers, each with its
+    /// own reusable scratch and verdict vector (no locks, no per-fault
+    /// allocation). Produces exactly the same verdicts as
+    /// [`FaultSimulator::campaign`].
     ///
     /// # Panics
     ///
@@ -250,60 +295,63 @@ impl FaultSimulator {
         threads: usize,
     ) -> CampaignReport {
         assert!(threads > 0, "need at least one worker");
-        // Precompute packed words and golden values per chunk once.
-        let chunks: Vec<(Vec<u64>, Vec<u64>, usize)> = patterns
+        if faults.is_empty() || threads == 1 {
+            return self.campaign(netlist, faults, patterns);
+        }
+        let c = &self.compiled;
+        // Golden values and live mask per chunk, computed once and shared
+        // read-only by all workers.
+        let chunks: Vec<(Vec<u64>, u64)> = patterns
             .chunks(64)
             .map(|chunk| {
                 let words = pack_patterns(chunk);
-                let golden = self.golden(netlist, &words);
-                (words, golden, chunk.len())
+                let mut golden = Vec::new();
+                c.eval_words_into(&words, None, &mut golden)
+                    .expect("input word count mismatch");
+                (golden, live_mask(chunk.len()))
             })
             .collect();
-        let verdicts = parking_lot::Mutex::new(vec![None; faults.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let stride = 32;
-                    loop {
-                        let start =
-                            next.fetch_add(stride, std::sync::atomic::Ordering::Relaxed);
-                        if start >= faults.len() {
-                            break;
-                        }
-                        let end = (start + stride).min(faults.len());
-                        let mut local: Vec<(usize, Option<usize>)> =
-                            Vec::with_capacity(end - start);
-                        for (fi, &fault) in faults[start..end].iter().enumerate() {
-                            let mut first = None;
-                            for (ci, (words, golden, live)) in chunks.iter().enumerate() {
-                                let mask =
-                                    self.detection_mask(netlist, words, golden, fault);
-                                let mask = if *live < 64 {
-                                    mask & ((1u64 << live) - 1)
-                                } else {
-                                    mask
-                                };
+        let plan = CampaignPlan::build(c, faults);
+        let per = faults.len().div_ceil(threads);
+        let parts: Vec<Vec<Option<usize>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = faults
+                .chunks(per)
+                .map(|range| {
+                    let plan = &plan;
+                    let chunks = &chunks;
+                    scope.spawn(move || {
+                        let mut first: Vec<Option<usize>> = vec![None; range.len()];
+                        let mut undetected = range.len();
+                        let mut scratch = FaultScratch::new(c.len());
+                        for (ci, (golden, live)) in chunks.iter().enumerate() {
+                            if undetected == 0 {
+                                break;
+                            }
+                            scratch.load_golden(golden);
+                            for (fi, &fault) in range.iter().enumerate() {
+                                if first[fi].is_some() {
+                                    continue;
+                                }
+                                let mask = plan.detect(c, golden, &mut scratch, fault) & *live;
                                 if mask != 0 {
-                                    first =
-                                        Some(ci * 64 + mask.trailing_zeros() as usize);
-                                    break; // fault dropping
+                                    first[fi] = Some(ci * 64 + mask.trailing_zeros() as usize);
+                                    undetected -= 1;
                                 }
                             }
-                            local.push((start + fi, first));
                         }
-                        let mut v = verdicts.lock();
-                        for (i, d) in local {
-                            v[i] = d;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("campaign worker panicked");
+                        first
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        let first_detection: Vec<Option<usize>> = parts.into_iter().flatten().collect();
         CampaignReport {
             faults: faults.to_vec(),
-            first_detection: verdicts.into_inner(),
+            first_detection,
             patterns: patterns.len(),
         }
     }
@@ -321,17 +369,22 @@ impl FaultSimulator {
     /// Panics on width mismatch or a non-transition fault in `faults`.
     pub fn transition_campaign(
         &self,
-        netlist: &Netlist,
+        _netlist: &Netlist,
         faults: &[Fault],
         patterns: &[Vec<bool>],
     ) -> CampaignReport {
+        let c = &self.compiled;
+        let plan = CampaignPlan::build(c, faults);
         let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
-        for pair in patterns.windows(2).enumerate() {
-            let (i, pats) = pair;
-            let words_launch = pack_patterns(&pats[..1]);
-            let words_capture = pack_patterns(&pats[1..]);
-            let g_launch = self.golden(netlist, &words_launch);
-            let g_capture = self.golden(netlist, &words_capture);
+        let mut g_launch: Vec<u64> = Vec::new();
+        let mut g_capture: Vec<u64> = Vec::new();
+        let mut scratch = FaultScratch::new(c.len());
+        for (i, pats) in patterns.windows(2).enumerate() {
+            c.eval_words_into(&pack_patterns(&pats[..1]), None, &mut g_launch)
+                .expect("input word count mismatch");
+            c.eval_words_into(&pack_patterns(&pats[1..]), None, &mut g_capture)
+                .expect("input word count mismatch");
+            scratch.load_golden(&g_capture);
             for (fi, &fault) in faults.iter().enumerate() {
                 if first_detection[fi].is_some() {
                     continue;
@@ -350,8 +403,9 @@ impl FaultSimulator {
                 if launch_v != from || capture_v != to {
                     continue; // no launching transition
                 }
+                // Equivalent stuck-at detection on the capture pattern.
                 let eq = Fault::stuck_at(FaultSite::Output(site_gate), stuck);
-                let mask = self.detection_mask(netlist, &words_capture, &g_capture, eq);
+                let mask = plan.detect(c, &g_capture, &mut scratch, eq);
                 if mask & 1 != 0 {
                     first_detection[fi] = Some(i + 1);
                 }
@@ -373,21 +427,36 @@ impl FaultSimulator {
     /// Panics on width mismatch or non-stuck-at faults.
     pub fn campaign_seq(
         &self,
-        netlist: &Netlist,
+        _netlist: &Netlist,
         faults: &[Fault],
         stimuli: &[Vec<bool>],
     ) -> CampaignReport {
+        let c = &self.compiled;
+        let po_count = c.po_drivers().len();
+        let mut values = vec![false; c.len()];
+        let mut state = vec![false; c.dffs().len()];
+        // Golden per-cycle primary-output trace, flattened.
+        let mut golden_pos: Vec<bool> = Vec::with_capacity(stimuli.len() * po_count);
+        for inputs in stimuli {
+            self.seq_cycle(inputs, None, &mut values, &mut state);
+            golden_pos.extend(c.po_drivers().iter().map(|&g| values[g as usize]));
+        }
         let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
-        // Golden trajectory.
-        let golden_trace = self.seq_trace(netlist, stimuli, None);
         for (fi, &fault) in faults.iter().enumerate() {
             let value = fault
                 .kind()
                 .stuck_value()
                 .expect("campaign_seq requires stuck-at faults");
-            let faulty_trace = self.seq_trace(netlist, stimuli, Some((fault.site(), value)));
-            for (cycle, (g, f)) in golden_trace.iter().zip(&faulty_trace).enumerate() {
-                if g != f {
+            state.iter_mut().for_each(|b| *b = false);
+            for (cycle, inputs) in stimuli.iter().enumerate() {
+                self.seq_cycle(inputs, Some((fault.site(), value)), &mut values, &mut state);
+                let golden = &golden_pos[cycle * po_count..(cycle + 1) * po_count];
+                let diff = c
+                    .po_drivers()
+                    .iter()
+                    .zip(golden)
+                    .any(|(&g, &want)| values[g as usize] != want);
+                if diff {
                     first_detection[fi] = Some(cycle);
                     break;
                 }
@@ -400,52 +469,52 @@ impl FaultSimulator {
         }
     }
 
-    fn seq_trace(
+    /// One clock cycle of two-valued evaluation with optional stuck
+    /// forcing; `values` and `state` are reusable buffers, `state` is
+    /// advanced to the next cycle.
+    fn seq_cycle(
         &self,
-        netlist: &Netlist,
-        stimuli: &[Vec<bool>],
+        inputs: &[bool],
         stuck: Option<(FaultSite, bool)>,
-    ) -> Vec<Vec<bool>> {
-        let pis = netlist.primary_inputs();
-        let mut state = vec![false; netlist.dffs().len()];
-        let mut trace = Vec::with_capacity(stimuli.len());
-        for inputs in stimuli {
-            assert_eq!(inputs.len(), pis.len(), "stimulus width mismatch");
-            let mut values = vec![false; netlist.len()];
-            for (i, &pi) in pis.iter().enumerate() {
-                values[pi.index()] = inputs[i];
-            }
-            for (i, &dff) in netlist.dffs().iter().enumerate() {
-                values[dff.index()] = state[i];
-            }
-            let mut buf: Vec<bool> = Vec::with_capacity(4);
-            for &id in &self.order {
-                let g = netlist.gate(id);
-                match g.kind() {
-                    GateKind::Input | GateKind::Dff => {}
-                    kind => {
-                        buf.clear();
-                        buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                        if let Some((FaultSite::Pin { gate, pin }, v)) = stuck {
-                            if gate == id {
-                                buf[pin] = v;
-                            }
-                        }
-                        values[id.index()] = eval_gate_bool(kind, &buf);
-                    }
-                }
-                if let Some((FaultSite::Output(g), v)) = stuck {
-                    if g == id {
-                        values[id.index()] = v;
-                    }
-                }
-            }
-            for (i, &dff) in netlist.dffs().iter().enumerate() {
-                state[i] = values[netlist.gate(dff).inputs()[0].index()];
-            }
-            trace.push(rescue_sim::comb::outputs_of(netlist, &values));
+        values: &mut [bool],
+        state: &mut [bool],
+    ) {
+        let c = &self.compiled;
+        assert_eq!(
+            inputs.len(),
+            c.primary_inputs().len(),
+            "stimulus width mismatch"
+        );
+        values.fill(false);
+        for (i, &pi) in c.primary_inputs().iter().enumerate() {
+            values[pi as usize] = inputs[i];
         }
-        trace
+        for (i, &dff) in c.dffs().iter().enumerate() {
+            values[dff as usize] = state[i];
+        }
+        if let Some((FaultSite::Output(g), v)) = stuck {
+            if matches!(c.kind(g.index()), GateKind::Input | GateKind::Dff) {
+                values[g.index()] = v;
+            }
+        }
+        for &g in c.eval_order() {
+            let gi = g as usize;
+            let mut v = match stuck {
+                Some((FaultSite::Pin { gate, pin }, fv)) if gate.index() == gi => {
+                    c.eval_bool_pin_forced(gi, values, pin, fv)
+                }
+                _ => c.eval_bool(gi, values),
+            };
+            if let Some((FaultSite::Output(fg), fv)) = stuck {
+                if fg.index() == gi {
+                    v = fv;
+                }
+            }
+            values[gi] = v;
+        }
+        for (i, &d) in c.dff_d().iter().enumerate() {
+            state[i] = values[d as usize];
+        }
     }
 }
 
@@ -604,7 +673,11 @@ mod tests {
         let net = generate::random_logic(8, 80, 4, 5);
         let faults = universe::stuck_at_universe(&net);
         let patterns: Vec<Vec<bool>> = (0..200u32)
-            .map(|p| (0..8).map(|i| p.wrapping_mul(2654435761) >> (i + 3) & 1 == 1).collect())
+            .map(|p| {
+                (0..8)
+                    .map(|i| p.wrapping_mul(2654435761) >> (i + 3) & 1 == 1)
+                    .collect()
+            })
             .collect();
         let sim = FaultSimulator::new(&net);
         let serial = sim.campaign(&net, &faults, &patterns);
@@ -624,5 +697,30 @@ mod tests {
         let sim = FaultSimulator::new(&c);
         let r = sim.campaign(&c, &[], &exhaustive_patterns(5));
         assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn detection_mask_matches_reference_engine() {
+        let net = generate::random_logic(8, 120, 4, 21);
+        let faults = universe::stuck_at_universe(&net);
+        let patterns: Vec<Vec<bool>> = (0..64u32)
+            .map(|p| {
+                (0..8)
+                    .map(|i| p.wrapping_mul(0x9e37) >> (i + 2) & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        let words = pack_patterns(&patterns);
+        let fast = FaultSimulator::new(&net);
+        let slow = crate::reference::ReferenceFaultSimulator::new(&net);
+        let golden = fast.golden(&net, &words);
+        assert_eq!(golden, slow.golden(&net, &words));
+        for &fault in &faults {
+            assert_eq!(
+                fast.detection_mask(&net, &words, &golden, fault),
+                slow.detection_mask(&net, &words, &golden, fault),
+                "{fault}"
+            );
+        }
     }
 }

@@ -85,7 +85,10 @@ impl GpuInstruction {
     pub fn encode(self) -> u32 {
         let g = match self.guard {
             None => 0u32,
-            Some(Guard { index, polarity: true }) => 1 + index as u32,
+            Some(Guard {
+                index,
+                polarity: true,
+            }) => 1 + index as u32,
             Some(Guard {
                 index,
                 polarity: false,

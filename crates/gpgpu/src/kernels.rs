@@ -113,7 +113,10 @@ pub const MATMUL_C_BASE: i16 = 0x200;
 /// (`gid = row*dim + col`; the grid must supply `dim*dim` threads).
 /// Row-major operands at [`MATMUL_A_BASE`]/[`MATMUL_B_BASE`].
 pub fn matmul(dim: usize, lanes: usize) -> Vec<I> {
-    assert!(dim.is_power_of_two(), "power-of-two dims keep the unroll exact");
+    assert!(
+        dim.is_power_of_two(),
+        "power-of-two dims keep the unroll exact"
+    );
     let mut k = gid_into_r1(lanes);
     // The ISA has no divide: derive row/col from gid with a predicated,
     // unrolled repeated subtraction (gid < dim*dim needs ≤ dim steps).

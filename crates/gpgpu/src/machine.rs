@@ -92,7 +92,7 @@ pub const MEM_WORDS: usize = 1 << 14;
 struct Warp {
     pc: usize,
     done: bool,
-    regs: Vec<[u32; REGS]>,  // per lane
+    regs: Vec<[u32; REGS]>, // per lane
     preds: Vec<[bool; PREDS]>,
 }
 
@@ -284,9 +284,7 @@ impl Gpgpu {
                     reg,
                     bit,
                     slot,
-                } if slot == self.issue_slots => {
-                    Some((warp as usize, lane as usize, reg, bit))
-                }
+                } if slot == self.issue_slots => Some((warp as usize, lane as usize, reg, bit)),
                 _ => None,
             })
             .collect();
@@ -464,7 +462,10 @@ mod tests {
     fn scheduler_fault_starves_warps() {
         let mut gpu = Gpgpu::new(4, 2, Scheduler::RoundRobin);
         gpu.load_kernel(&tid_kernel());
-        gpu.inject(GpuFault::SchedulerSelectStuck { bit: 0, value: false });
+        gpu.inject(GpuFault::SchedulerSelectStuck {
+            bit: 0,
+            value: false,
+        });
         // Warps 1 and 3 can never be issued: timeout.
         assert!(matches!(gpu.run(5_000), Err(GpuError::Timeout { .. })));
         // Even warps completed their work though:
@@ -475,7 +476,10 @@ mod tests {
     fn pipeline_latch_fault_corrupts_or_traps() {
         let mut gpu = Gpgpu::new(2, 2, Scheduler::RoundRobin);
         gpu.load_kernel(&tid_kernel());
-        gpu.inject(GpuFault::PipelineLatchStuck { bit: 30, value: true });
+        gpu.inject(GpuFault::PipelineLatchStuck {
+            bit: 30,
+            value: true,
+        });
         // Opcode bit forced: either an illegal instruction trap or wrong
         // results; never a clean identical run.
         let r = gpu.run(10_000);
@@ -509,6 +513,8 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(GpuError::Timeout { slots: 5 }.to_string().contains('5'));
-        assert!(GpuError::OutOfBounds { address: 9 }.to_string().contains('9'));
+        assert!(GpuError::OutOfBounds { address: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

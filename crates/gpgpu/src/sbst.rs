@@ -64,7 +64,9 @@ pub fn run_scheduler_test(gpu: &mut Gpgpu, max_slots: u64) -> SchedulerTestResul
     };
     let n = gpu.warp_count();
     let count = gpu.memory(TICKET) as usize;
-    let log: Vec<u32> = (0..count.min(n)).map(|i| gpu.memory(LOG_BASE + i as u32)).collect();
+    let log: Vec<u32> = (0..count.min(n))
+        .map(|i| gpu.memory(LOG_BASE + i as u32))
+        .collect();
     let mut seen = vec![0usize; n];
     for &w in &log {
         if (w as usize) < n {

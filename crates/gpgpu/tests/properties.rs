@@ -15,8 +15,7 @@ fn arb_op() -> impl Strategy<Value = GpuOp> {
         (r.clone(), r.clone(), -1000i16..1000).prop_map(|(d, a, i)| GpuOp::Iaddi(d, a, i)),
         (r.clone(), r.clone()).prop_map(|(d, a)| GpuOp::Ld(d, a)),
         (r.clone(), r.clone()).prop_map(|(a, b)| GpuOp::St(a, b)),
-        (0u8..4, r.clone(), r.clone())
-            .prop_map(|(p, a, b)| GpuOp::Setp(p, CmpOp::Ltu, a, b)),
+        (0u8..4, r.clone(), r.clone()).prop_map(|(p, a, b)| GpuOp::Setp(p, CmpOp::Ltu, a, b)),
         r.clone().prop_map(GpuOp::Tid),
         r.prop_map(GpuOp::Wid),
         Just(GpuOp::Exit),
@@ -24,11 +23,9 @@ fn arb_op() -> impl Strategy<Value = GpuOp> {
 }
 
 fn arb_instruction() -> impl Strategy<Value = GpuInstruction> {
-    (arb_op(), proptest::option::of((0u8..3, any::<bool>()))).prop_map(|(op, guard)| {
-        match guard {
-            None => GpuInstruction::plain(op),
-            Some((p, pol)) => GpuInstruction::when(p, pol, op),
-        }
+    (arb_op(), proptest::option::of((0u8..3, any::<bool>()))).prop_map(|(op, guard)| match guard {
+        None => GpuInstruction::plain(op),
+        Some((p, pol)) => GpuInstruction::when(p, pol, op),
     })
 }
 

@@ -162,14 +162,24 @@ mod tests {
             .to_string(),
             "c3/sa1"
         );
-        assert!(CellFault::AddressAlias { a: 1, b: 2 }.to_string().contains("1->2"));
+        assert!(CellFault::AddressAlias { a: 1, b: 2 }
+            .to_string()
+            .contains("1->2"));
     }
 
     #[test]
     fn severe_defects_become_hard_faults() {
-        let f = FinfetDefect::ChannelCrack { cell: 5, severity: 3 }.to_cell_fault();
+        let f = FinfetDefect::ChannelCrack {
+            cell: 5,
+            severity: 3,
+        }
+        .to_cell_fault();
         assert!(matches!(f, CellFault::Transition { to_one: false, .. }));
-        let f = FinfetDefect::GateOxideShort { cell: 5, severity: 2 }.to_cell_fault();
+        let f = FinfetDefect::GateOxideShort {
+            cell: 5,
+            severity: 2,
+        }
+        .to_cell_fault();
         assert!(matches!(f, CellFault::StuckAt { value: false, .. }));
     }
 
@@ -179,13 +189,25 @@ mod tests {
             let d = FinfetDefect::ChannelCrack { cell: 1, severity };
             assert!(d.is_hard_to_detect());
         }
-        assert!(!FinfetDefect::BentFin { cell: 0, severity: 3 }.is_hard_to_detect());
+        assert!(!FinfetDefect::BentFin {
+            cell: 0,
+            severity: 3
+        }
+        .is_hard_to_detect());
     }
 
     #[test]
     fn severity_scales_weakness() {
-        let mild = FinfetDefect::BentFin { cell: 0, severity: 0 }.to_cell_fault();
-        let worse = FinfetDefect::BentFin { cell: 0, severity: 2 }.to_cell_fault();
+        let mild = FinfetDefect::BentFin {
+            cell: 0,
+            severity: 0,
+        }
+        .to_cell_fault();
+        let worse = FinfetDefect::BentFin {
+            cell: 0,
+            severity: 2,
+        }
+        .to_cell_fault();
         match (mild, worse) {
             (
                 CellFault::Weak {

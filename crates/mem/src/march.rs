@@ -128,7 +128,13 @@ pub fn march_ss() -> MarchTest {
             },
             MarchElement {
                 order: Up,
-                ops: vec![Read(true), Read(true), Write(true), Read(true), Write(false)],
+                ops: vec![
+                    Read(true),
+                    Read(true),
+                    Write(true),
+                    Read(true),
+                    Write(false),
+                ],
             },
             MarchElement {
                 order: Down,
@@ -142,7 +148,13 @@ pub fn march_ss() -> MarchTest {
             },
             MarchElement {
                 order: Down,
-                ops: vec![Read(true), Read(true), Write(true), Read(true), Write(false)],
+                ops: vec![
+                    Read(true),
+                    Read(true),
+                    Write(true),
+                    Read(true),
+                    Write(false),
+                ],
             },
             MarchElement {
                 order: Any,

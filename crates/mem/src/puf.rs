@@ -43,8 +43,7 @@ impl Environment {
     /// The evaluation noise sigma under these conditions (nominal 0.12,
     /// growing with |ΔT| and |ΔVdd|).
     pub fn noise_sigma(&self) -> f64 {
-        0.12 + 0.002 * (self.temperature_k - 300.0).abs()
-            + 0.01 * self.vdd_deviation_pct.abs()
+        0.12 + 0.002 * (self.temperature_k - 300.0).abs() + 0.01 * self.vdd_deviation_pct.abs()
     }
 }
 
@@ -231,24 +230,14 @@ impl FuzzyExtractor {
             .zip(noisy.chunks(self.repetition))
             .filter(|(h, _)| h.len() == self.repetition)
             .map(|(h, r)| {
-                let votes = h
-                    .iter()
-                    .zip(r)
-                    .filter(|(hb, rb)| *hb ^ *rb)
-                    .count();
+                let votes = h.iter().zip(r).filter(|(hb, rb)| *hb ^ *rb).count();
                 votes * 2 > self.repetition
             })
             .collect()
     }
 
     /// Key-reconstruction failure rate over `trials` noisy evaluations.
-    pub fn failure_rate(
-        &self,
-        puf: &SramPuf,
-        env: Environment,
-        trials: usize,
-        seed: u64,
-    ) -> f64 {
+    pub fn failure_rate(&self, puf: &SramPuf, env: Environment, trials: usize, seed: u64) -> f64 {
         let (key, helper) = self.enroll(&puf.reference());
         let failures = (0..trials)
             .filter(|&t| {
@@ -268,10 +257,7 @@ mod tests {
     fn metrics_shape() {
         let m = measure(256, 8, 5, Environment::nominal(), 11);
         assert!(m.within_class_hd < 0.12, "nominal reliability: {m:?}");
-        assert!(
-            (m.between_class_hd - 0.5).abs() < 0.08,
-            "uniqueness: {m:?}"
-        );
+        assert!((m.between_class_hd - 0.5).abs() < 0.08, "uniqueness: {m:?}");
         assert!(m.min_entropy_per_bit > 0.4, "{m:?}");
     }
 

@@ -59,10 +59,7 @@ pub fn gate_features(netlist: &Netlist) -> Vec<Vec<f64>> {
                 let mean = if neighbours.is_empty() {
                     0.0
                 } else {
-                    neighbours
-                        .iter()
-                        .map(|n| base[n.index()][k])
-                        .sum::<f64>()
+                    neighbours.iter().map(|n| base[n.index()][k]).sum::<f64>()
                         / neighbours.len() as f64
                 };
                 fv.push(mean);

@@ -33,7 +33,9 @@ impl Logistic {
         assert!(n_features > 0, "need at least one feature");
         let mut rng = StdRng::seed_from_u64(seed);
         Logistic {
-            weights: (0..n_features).map(|_| rng.gen_range(-0.01..0.01)).collect(),
+            weights: (0..n_features)
+                .map(|_| rng.gen_range(-0.01..0.01))
+                .collect(),
             bias: 0.0,
         }
     }
@@ -55,13 +57,7 @@ impl Logistic {
     /// Panics on feature-count mismatch.
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
-        let z = self.bias
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>();
+        let z = self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 

@@ -65,6 +65,35 @@ pub fn fanout_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
     collect(&seen)
 }
 
+/// Combinational-only fan-out cone: every gate whose *this-cycle* value
+/// may change when a root's value changes. Traversal stops at DFF `D`
+/// pins (a DFF's output holds state, so a fault effect only crosses it at
+/// the next clock edge); roots are always included, so a DFF root's
+/// downstream combinational logic is covered.
+///
+/// This is the cone the incremental single-fault-propagation engine in
+/// `rescue-faults` memoizes per fault site.
+pub fn comb_fanout_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
+    let fo = netlist.fanout();
+    let mut seen = vec![false; netlist.len()];
+    let mut stack: Vec<GateId> = roots.to_vec();
+    for &r in roots {
+        seen[r.index()] = true;
+    }
+    while let Some(g) = stack.pop() {
+        for &s in &fo[g.index()] {
+            if netlist.gate(s).kind().is_sequential() {
+                continue; // fault effects stop at the DFF boundary this cycle
+            }
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    collect(&seen)
+}
+
 /// Combinational-only fan-in cone: stops at DFF outputs (the "slice" used
 /// for per-cycle fault-effect reasoning).
 pub fn comb_fanin_cone(netlist: &Netlist, roots: &[GateId]) -> Vec<GateId> {
@@ -138,6 +167,26 @@ mod tests {
         let obs = observable_set(&net);
         assert!(!obs.contains(&dead));
         assert!(obs.contains(&a));
+    }
+
+    #[test]
+    fn comb_fanout_cone_stops_at_dff() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let n = b.not(a);
+        let q = b.dff(n);
+        let y = b.buf(q);
+        b.output("y", y);
+        let net = b.finish();
+        let cone = comb_fanout_cone(&net, &[a]);
+        assert!(cone.contains(&n));
+        assert!(!cone.contains(&q), "cone must stop at the DFF D-pin");
+        assert!(!cone.contains(&y), "nothing past the DFF this cycle");
+        let seq = fanout_cone(&net, &[a]);
+        assert!(seq.contains(&y), "sequential cone crosses the DFF");
+        // A DFF root still reaches its downstream combinational logic.
+        let from_dff = comb_fanout_cone(&net, &[q]);
+        assert!(from_dff.contains(&q) && from_dff.contains(&y));
     }
 
     #[test]

@@ -138,11 +138,10 @@ pub fn from_text(text: &str) -> Result<Netlist, NetlistError> {
                         message: format!("gate ids must be dense; expected g{}", gates.len()),
                     });
                 }
-                let kind =
-                    GateKind::from_mnemonic(toks[2]).ok_or_else(|| NetlistError::Parse {
-                        line: line_no,
-                        message: format!("unknown gate kind `{}`", toks[2]),
-                    })?;
+                let kind = GateKind::from_mnemonic(toks[2]).ok_or_else(|| NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown gate kind `{}`", toks[2]),
+                })?;
                 let ins = toks[3..]
                     .iter()
                     .map(|t| parse_gate_id(t, line_no))
@@ -179,7 +178,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     for (name, _) in netlist.primary_outputs() {
         ports.push(name.clone());
     }
-    let _ = writeln!(s, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        s,
+        "module {} ({});",
+        sanitize(netlist.name()),
+        ports.join(", ")
+    );
     let _ = writeln!(s, "  input clk, rst;");
     for &pi in netlist.primary_inputs() {
         let _ = writeln!(s, "  input {};", netlist.gate_name(pi).unwrap_or("pi"));
@@ -264,7 +268,13 @@ pub fn to_verilog(netlist: &Netlist) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -206,11 +206,7 @@ impl Netlist {
                             colour[next] = 1;
                             stack.push((next, 0));
                         }
-                        1 => {
-                            return Err(NetlistError::CombinationalLoop {
-                                gate: GateId(next),
-                            })
-                        }
+                        1 => return Err(NetlistError::CombinationalLoop { gate: GateId(next) }),
                         _ => {}
                     }
                 } else {

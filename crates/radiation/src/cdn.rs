@@ -153,7 +153,9 @@ mod tests {
 
     #[test]
     fn attenuation_kills_narrow_pulses() {
-        let t = ClockTree::new(4, 2).with_attenuation(1.0).with_min_pulse(1.0);
+        let t = ClockTree::new(4, 2)
+            .with_attenuation(1.0)
+            .with_min_pulse(1.0);
         // Strike at the root: 3 stages below, width 3 fully attenuated.
         assert_eq!(t.residual_width(0, 3.0), 0.0);
         assert_eq!(t.failure_probability(0, 3.0, 0.5), 0.0);

@@ -108,7 +108,11 @@ pub struct RiifParseError {
 
 impl fmt::Display for RiifParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "riif parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "riif parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -288,12 +292,8 @@ fn split_quoted(s: &str) -> Option<(String, &str)> {
 fn parse_attrs(s: &str) -> BTreeMap<String, String> {
     s.split_whitespace()
         .filter_map(|kv| {
-            kv.split_once('=').map(|(k, v)| {
-                (
-                    k.to_string(),
-                    v.trim_matches('"').to_string(),
-                )
-            })
+            kv.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.trim_matches('"').to_string()))
         })
         .collect()
 }

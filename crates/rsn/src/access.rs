@@ -215,7 +215,10 @@ mod tests {
             RsnNode::sib("s1", RsnNode::sib("s2", RsnNode::tdr("volt", 16))),
             RsnNode::mux(
                 "m",
-                vec![RsnNode::tdr("dbg0", 4), RsnNode::sib("s3", RsnNode::tdr("dbg1", 4))],
+                vec![
+                    RsnNode::tdr("dbg0", 4),
+                    RsnNode::sib("s3", RsnNode::tdr("dbg1", 4)),
+                ],
             ),
         ]))
     }
@@ -274,7 +277,10 @@ mod tests {
         ));
         assert!(matches!(
             access_sequence(&mut net, "temp", &[true; 3]),
-            Err(RsnError::DataLengthMismatch { expected: 8, found: 3 })
+            Err(RsnError::DataLengthMismatch {
+                expected: 8,
+                found: 3
+            })
         ));
     }
 }

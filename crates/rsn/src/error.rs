@@ -37,7 +37,10 @@ impl fmt::Display for RsnError {
             RsnError::UnknownSegment { name } => write!(f, "unknown segment `{name}`"),
             RsnError::DuplicateSegment { name } => write!(f, "duplicate segment name `{name}`"),
             RsnError::DataLengthMismatch { expected, found } => {
-                write!(f, "data length {found} does not match register length {expected}")
+                write!(
+                    f,
+                    "data length {found} does not match register length {expected}"
+                )
             }
             RsnError::AccessDiverged { target } => {
                 write!(f, "access to `{target}` did not converge")

@@ -41,7 +41,10 @@ fn collect(node: &RsnNode, faults: &mut Vec<RsnFault>) {
         RsnNode::Sib { name, child } => {
             faults.push(RsnFault::SibStuckClosed(name.clone()));
             faults.push(RsnFault::SibStuckOpen(name.clone()));
-            faults.push(RsnFault::CellStuck(ScanBit::SibControl(name.clone()), false));
+            faults.push(RsnFault::CellStuck(
+                ScanBit::SibControl(name.clone()),
+                false,
+            ));
             faults.push(RsnFault::CellStuck(ScanBit::SibControl(name.clone()), true));
             collect(child, faults);
         }

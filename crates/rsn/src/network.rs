@@ -425,9 +425,9 @@ mod tests {
     fn write_and_read_tdr() {
         let mut n = two_level();
         n.csu(&[true, true]); // open s0, s1
-        // Path: a0 a1 a2 a3 s0 s2 s1. Write a=1010, keep s0/s1 open, s2 closed.
-        // Shift-in order: last bit in lands at path[0].
-        // After L shifts, regs[i] = data[L-1-i].
+                              // Path: a0 a1 a2 a3 s0 s2 s1. Write a=1010, keep s0/s1 open, s2 closed.
+                              // Shift-in order: last bit in lands at path[0].
+                              // After L shifts, regs[i] = data[L-1-i].
         let data = vec![true, false, true, false, true, false, true];
         // want regs = [a0,a1,a2,a3,s0,s2,s1] = [?,?,?,?,1,0,1]
         // regs[i] = data[6-i] -> a0=data[6]=1? let's just set and check.

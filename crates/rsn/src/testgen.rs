@@ -209,7 +209,11 @@ mod tests {
         let net = tree(2, 2);
         let faults = fault_universe(&net);
         let t = wave_test(&net);
-        assert!(t.coverage(&net, &faults) >= 0.9, "{}", t.coverage(&net, &faults));
+        assert!(
+            t.coverage(&net, &faults) >= 0.9,
+            "{}",
+            t.coverage(&net, &faults)
+        );
     }
 
     #[test]

@@ -70,10 +70,9 @@ where
     stimulus.extend(std::iter::repeat_n(false, max_len));
     let out = csu(&stimulus);
     // The echo of stimulus[0..32] appears at offset L.
-    (0..=max_len).find(|&d| {
-        d + 32 <= out.len() && (0..32).all(|i| out[d + i] == sig[i])
-    })
-    .unwrap_or(usize::MAX)
+    (0..=max_len)
+        .find(|&d| d + 32 <= out.len() && (0..32).all(|i| out[d + i] == sig[i]))
+        .unwrap_or(usize::MAX)
 }
 
 /// Validates a device against its golden `spec`.

@@ -158,8 +158,7 @@ mod tests {
     fn unprotected_design_is_mostly_residual() {
         let c = generate::c17();
         let faults = universe::stuck_at_universe(&c);
-        let functional: Vec<String> =
-            c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let functional: Vec<String> = c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
         let r = classify(&c, &faults, &functional, &[], &exhaustive(5));
         assert_eq!(r.count(FaultClass::Detected), 0, "no checker, no detection");
         assert!(r.fraction(FaultClass::Residual) > 0.9);
@@ -200,8 +199,7 @@ mod tests {
     fn stimulus_relative_monotonicity() {
         let c = generate::c17();
         let faults = universe::stuck_at_universe(&c);
-        let functional: Vec<String> =
-            c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let functional: Vec<String> = c.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
         let few = classify(&c, &faults, &functional, &[], &exhaustive(5)[..2]);
         let all = classify(&c, &faults, &functional, &[], &exhaustive(5));
         // Safe count can only shrink with more stimulus.

@@ -43,7 +43,9 @@ pub struct FmecaRow {
 impl FmecaRow {
     /// Risk priority number: `S * O * D` in `1..=1000`.
     pub fn rpn(&self) -> u32 {
-        self.severity.value() as u32 * self.occurrence.value() as u32 * self.detection.value() as u32
+        self.severity.value() as u32
+            * self.occurrence.value() as u32
+            * self.detection.value() as u32
     }
 }
 

@@ -141,11 +141,7 @@ mod tests {
         let words = rescue_sim::parallel::pack_patterns(&patterns);
         let golden = sim.golden(&net, &words);
         let safety_driver = net.primary_outputs()[0].1;
-        for f in report
-            .pruned_coi
-            .iter()
-            .chain(&report.pruned_constant)
-        {
+        for f in report.pruned_coi.iter().chain(&report.pruned_constant) {
             let faulty = sim.with_stuck(&net, &words, *f);
             assert_eq!(
                 golden[safety_driver.index()],

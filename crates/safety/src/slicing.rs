@@ -42,11 +42,8 @@ pub fn dynamic_slice(netlist: &Netlist, pattern: &[bool]) -> Vec<GateId> {
                 // following the controlling inputs covers all multi-path
                 // fault effects; with no controlling input, any input
                 // change can matter.
-                let zeros: Vec<GateId> = ins
-                    .iter()
-                    .copied()
-                    .filter(|p| !values[p.index()])
-                    .collect();
+                let zeros: Vec<GateId> =
+                    ins.iter().copied().filter(|p| !values[p.index()]).collect();
                 if zeros.is_empty() {
                     ins.to_vec()
                 } else {
@@ -54,8 +51,7 @@ pub fn dynamic_slice(netlist: &Netlist, pattern: &[bool]) -> Vec<GateId> {
                 }
             }
             GateKind::Or | GateKind::Nor => {
-                let ones: Vec<GateId> =
-                    ins.iter().copied().filter(|p| values[p.index()]).collect();
+                let ones: Vec<GateId> = ins.iter().copied().filter(|p| values[p.index()]).collect();
                 if ones.is_empty() {
                     ins.to_vec()
                 } else {

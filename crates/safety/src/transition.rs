@@ -161,13 +161,7 @@ mod tests {
             .iter()
             .map(|(n, _)| n.clone())
             .collect();
-        let r = classify_transitions(
-            &net,
-            &faults,
-            &functional,
-            &[],
-            &walking_patterns(7),
-        );
+        let r = classify_transitions(&net, &faults, &functional, &[], &walking_patterns(7));
         assert!(r.fraction(FaultClass::Residual) > 0.5, "{:?}", r.classes());
         assert_eq!(r.count(FaultClass::Detected), 0);
     }

@@ -32,13 +32,13 @@ impl ControlFlowGraph {
     pub fn crypto_kernel() -> Self {
         ControlFlowGraph {
             successors: vec![
-                vec![1],       // 0 init -> round
-                vec![2],       // 1 round -> keymix
-                vec![3, 4],    // 2 keymix -> branch a/b
-                vec![5],       // 3 branch a -> check
-                vec![5],       // 4 branch b -> check
-                vec![1, 6],    // 5 check -> loop or finalize
-                vec![6],       // 6 finalize (absorbing)
+                vec![1],    // 0 init -> round
+                vec![2],    // 1 round -> keymix
+                vec![3, 4], // 2 keymix -> branch a/b
+                vec![5],    // 3 branch a -> check
+                vec![5],    // 4 branch b -> check
+                vec![1, 6], // 5 check -> loop or finalize
+                vec![6],    // 6 finalize (absorbing)
             ],
         }
     }

@@ -85,13 +85,7 @@ impl PufKeyStore {
 
     /// Probability of reconstructing the wrong key over `trials`
     /// evaluations under `env`.
-    pub fn failure_rate(
-        &self,
-        puf: &SramPuf,
-        env: Environment,
-        trials: usize,
-        seed: u64,
-    ) -> f64 {
+    pub fn failure_rate(&self, puf: &SramPuf, env: Environment, trials: usize, seed: u64) -> f64 {
         self.extractor.failure_rate(puf, env, trials, seed)
     }
 }

@@ -39,7 +39,13 @@ impl RegisterBank {
     /// # Panics
     ///
     /// Panics when `rows * cols == 0` or `pitch <= 0`.
-    pub fn grid(rows: usize, cols: usize, pitch: f64, critical: &[usize], detector_stride: usize) -> Self {
+    pub fn grid(
+        rows: usize,
+        cols: usize,
+        pitch: f64,
+        critical: &[usize],
+        detector_stride: usize,
+    ) -> Self {
         assert!(rows * cols > 0, "empty bank");
         assert!(pitch > 0.0, "positive pitch");
         let mut cells = Vec::with_capacity(rows * cols);
@@ -213,10 +219,7 @@ mod tests {
     fn stats_partition() {
         let bank = RegisterBank::grid(4, 4, 10.0, &[1, 2], 4);
         let s = bank.campaign(500, 8.0, 3);
-        assert_eq!(
-            s.undetected_critical + s.detected + s.harmless,
-            s.shots
-        );
+        assert_eq!(s.undetected_critical + s.detected + s.harmless, s.shots);
         assert!(s.success_rate() <= 1.0);
     }
 }

@@ -1,8 +1,9 @@
 //! Single-pattern combinational evaluation (4-valued and 2-valued).
 
+use crate::compiled::CompiledNetlist;
 use crate::error::SimError;
-use crate::logic::{eval_gate, eval_gate_bool, Logic};
-use rescue_netlist::{GateKind, Netlist};
+use crate::logic::Logic;
+use rescue_netlist::Netlist;
 
 /// Reusable combinational evaluator holding the levelized order.
 ///
@@ -24,14 +25,14 @@ use rescue_netlist::{GateKind, Netlist};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CombSimulator {
-    order: Vec<rescue_netlist::GateId>,
+    compiled: CompiledNetlist,
 }
 
 impl CombSimulator {
     /// Prepares an evaluator for `netlist`.
     pub fn new(netlist: &Netlist) -> Self {
         CombSimulator {
-            order: netlist.levelize().order().to_vec(),
+            compiled: CompiledNetlist::new(netlist),
         }
     }
 
@@ -43,30 +44,22 @@ impl CombSimulator {
     /// # Errors
     ///
     /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong length.
-    pub fn run(&self, netlist: &Netlist, inputs: &[Logic]) -> Result<Vec<Logic>, SimError> {
-        let pis = netlist.primary_inputs();
+    pub fn run(&self, _netlist: &Netlist, inputs: &[Logic]) -> Result<Vec<Logic>, SimError> {
+        let c = &self.compiled;
+        let pis = c.primary_inputs();
         if inputs.len() != pis.len() {
             return Err(SimError::InputWidthMismatch {
                 expected: pis.len(),
                 found: inputs.len(),
             });
         }
-        let mut values = vec![Logic::X; netlist.len()];
+        let mut values = vec![Logic::X; c.len()];
         for (i, &pi) in pis.iter().enumerate() {
-            values[pi.index()] = inputs[i];
+            values[pi as usize] = inputs[i];
         }
-        let mut buf: Vec<Logic> = Vec::with_capacity(4);
-        for &id in &self.order {
-            let g = netlist.gate(id);
-            match g.kind() {
-                GateKind::Input => {}
-                GateKind::Dff => values[id.index()] = Logic::X,
-                kind => {
-                    buf.clear();
-                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                    values[id.index()] = eval_gate(kind, &buf);
-                }
-            }
+        for &g in c.eval_order() {
+            let v = c.eval_logic(g as usize, &values);
+            values[g as usize] = v;
         }
         Ok(values)
     }
@@ -90,30 +83,10 @@ pub fn eval(netlist: &Netlist, inputs: &[Logic]) -> Result<Vec<Logic>, SimError>
 ///
 /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong length.
 pub fn eval_bool(netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
-    let pis = netlist.primary_inputs();
-    if inputs.len() != pis.len() {
-        return Err(SimError::InputWidthMismatch {
-            expected: pis.len(),
-            found: inputs.len(),
-        });
-    }
-    let mut values = vec![false; netlist.len()];
-    for (i, &pi) in pis.iter().enumerate() {
-        values[pi.index()] = inputs[i];
-    }
-    let lv = netlist.levelize();
-    let mut buf: Vec<bool> = Vec::with_capacity(4);
-    for &id in lv.order() {
-        let g = netlist.gate(id);
-        match g.kind() {
-            GateKind::Input | GateKind::Dff => {}
-            kind => {
-                buf.clear();
-                buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                values[id.index()] = eval_gate_bool(kind, &buf);
-            }
-        }
-    }
+    let c = CompiledNetlist::new(netlist);
+    let state = vec![false; c.dffs().len()];
+    let mut values = Vec::new();
+    c.eval_bools_into(inputs, &state, &mut values)?;
     Ok(values)
 }
 
@@ -155,11 +128,7 @@ mod tests {
                     ins[8] = cin == 1;
                     let v = eval_bool(&a, &ins).unwrap();
                     let outs = outputs_of(&a, &v);
-                    let got: u32 = outs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &b)| (b as u32) << i)
-                        .sum();
+                    let got: u32 = outs.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
                     assert_eq!(got, x + y + cin, "{x}+{y}+{cin}");
                 }
             }
@@ -259,7 +228,10 @@ mod tests {
         let c = generate::c17();
         assert!(matches!(
             eval_bool(&c, &[true; 3]),
-            Err(SimError::InputWidthMismatch { expected: 5, found: 3 })
+            Err(SimError::InputWidthMismatch {
+                expected: 5,
+                found: 3
+            })
         ));
         assert!(eval(&c, &[Logic::One; 6]).is_err());
     }

@@ -1,0 +1,620 @@
+//! Compiled flat-arena netlist representation shared by all simulators.
+//!
+//! [`CompiledNetlist`] lowers a [`Netlist`] into a CSR (compressed sparse
+//! row) arena so the simulation hot loops touch only dense `u32`/`u64`
+//! arrays instead of chasing per-gate `Gate` structs and re-collecting
+//! input buffers:
+//!
+//! * `kinds[g]` — the [`GateKind`] of gate `g`;
+//! * `pins[pin_offsets[g] .. pin_offsets[g + 1]]` — gate `g`'s input
+//!   gate indices, contiguous in one flat arena (CSR row `g`);
+//! * `order` — the full levelized evaluation order;
+//!   `eval_order` — the same order with `Input`/`Dff` sources removed,
+//!   so evaluation loops carry no per-gate kind dispatch for sources;
+//! * `levels[g]` / `topo_pos[g]` — gate level and position within
+//!   `order` (the inverse permutation), used by incremental fault
+//!   propagation to walk fanout cones in dependency order;
+//! * `fan[fan_offsets[g] .. fan_offsets[g + 1]]` — gate `g`'s direct
+//!   consumers (fanout CSR), computed once at compile time instead of
+//!   per [`Netlist::fanout`] call;
+//! * `pis` / `po_drivers` / `is_po` / `dffs` / `dff_d` — primary inputs,
+//!   output driver gates, an output-driver membership mask, DFF gates
+//!   and each DFF's `D`-input gate.
+//!
+//! Evaluation kernels come in three value domains (64-way packed `u64`
+//! words, `bool`, four-valued [`Logic`]) and fold directly over the CSR
+//! pin slice — no `buf.clear()/extend()` per gate. A `*_pin_forced`
+//! variant substitutes one input pin, which is how pin stuck-at faults
+//! are injected without touching the arena.
+
+use crate::error::SimError;
+use crate::logic::Logic;
+use rescue_netlist::{GateId, GateKind, Netlist};
+
+/// Flat-arena, levelized form of a [`Netlist`]. See the module docs for
+/// the layout.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    kinds: Vec<GateKind>,
+    pin_offsets: Vec<u32>,
+    pins: Vec<u32>,
+    order: Vec<u32>,
+    eval_order: Vec<u32>,
+    levels: Vec<u32>,
+    topo_pos: Vec<u32>,
+    pis: Vec<u32>,
+    po_drivers: Vec<u32>,
+    is_po: Vec<bool>,
+    dffs: Vec<u32>,
+    dff_d: Vec<u32>,
+    fan_offsets: Vec<u32>,
+    fan: Vec<u32>,
+    depth: u32,
+}
+
+impl CompiledNetlist {
+    /// Compiles `netlist` (levelization + fanout CSR, `O(gates + edges)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (a validated
+    /// netlist never does) or more than `u32::MAX` gates.
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        assert!(u32::try_from(n).is_ok(), "netlist too large for u32 arena");
+        let lv = netlist.levelize();
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut pin_offsets = Vec::with_capacity(n + 1);
+        let mut pins = Vec::new();
+        pin_offsets.push(0);
+        for (_, g) in netlist.iter() {
+            kinds.push(g.kind());
+            pins.extend(g.inputs().iter().map(|p| p.index() as u32));
+            pin_offsets.push(pins.len() as u32);
+        }
+
+        let order: Vec<u32> = lv.order().iter().map(|g| g.index() as u32).collect();
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &g) in order.iter().enumerate() {
+            topo_pos[g as usize] = pos as u32;
+        }
+        let eval_order: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|&g| !matches!(kinds[g as usize], GateKind::Input | GateKind::Dff))
+            .collect();
+        let levels: Vec<u32> = (0..n).map(|i| lv.level(GateId(i))).collect();
+
+        // Fanout CSR via counting sort over the pin arena.
+        let mut fan_counts = vec![0u32; n];
+        for &p in &pins {
+            fan_counts[p as usize] += 1;
+        }
+        let mut fan_offsets = Vec::with_capacity(n + 1);
+        fan_offsets.push(0u32);
+        for g in 0..n {
+            fan_offsets.push(fan_offsets[g] + fan_counts[g]);
+        }
+        let mut fan = vec![0u32; pins.len()];
+        let mut cursor: Vec<u32> = fan_offsets[..n].to_vec();
+        for g in 0..n {
+            for &p in &pins[pin_offsets[g] as usize..pin_offsets[g + 1] as usize] {
+                fan[cursor[p as usize] as usize] = g as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+
+        let pis: Vec<u32> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|g| g.index() as u32)
+            .collect();
+        let po_drivers: Vec<u32> = netlist
+            .primary_outputs()
+            .iter()
+            .map(|(_, g)| g.index() as u32)
+            .collect();
+        let mut is_po = vec![false; n];
+        for &g in &po_drivers {
+            is_po[g as usize] = true;
+        }
+        let dffs: Vec<u32> = netlist.dffs().iter().map(|g| g.index() as u32).collect();
+        let dff_d: Vec<u32> = netlist
+            .dffs()
+            .iter()
+            .map(|&d| netlist.gate(d).inputs()[0].index() as u32)
+            .collect();
+
+        CompiledNetlist {
+            kinds,
+            pin_offsets,
+            pins,
+            order,
+            eval_order,
+            levels,
+            topo_pos,
+            pis,
+            po_drivers,
+            is_po,
+            dffs,
+            dff_d,
+            fan_offsets,
+            fan,
+            depth: lv.depth(),
+        }
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the design has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Kind of gate `g`.
+    #[inline]
+    pub fn kind(&self, g: usize) -> GateKind {
+        self.kinds[g]
+    }
+
+    /// Input gate indices of `g` (CSR row).
+    #[inline]
+    pub fn pins_of(&self, g: usize) -> &[u32] {
+        &self.pins[self.pin_offsets[g] as usize..self.pin_offsets[g + 1] as usize]
+    }
+
+    /// Direct consumers of `g` (fanout CSR row).
+    #[inline]
+    pub fn fanout_of(&self, g: usize) -> &[u32] {
+        &self.fan[self.fan_offsets[g] as usize..self.fan_offsets[g + 1] as usize]
+    }
+
+    /// Full levelized order over all gates.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Levelized order restricted to gates that need evaluation
+    /// (`Input`/`Dff` sources removed).
+    pub fn eval_order(&self) -> &[u32] {
+        &self.eval_order
+    }
+
+    /// Level of gate `g` (0 for sources).
+    #[inline]
+    pub fn level(&self, g: usize) -> u32 {
+        self.levels[g]
+    }
+
+    /// Position of gate `g` within [`CompiledNetlist::order`].
+    #[inline]
+    pub fn topo_pos(&self, g: usize) -> u32 {
+        self.topo_pos[g]
+    }
+
+    /// Logic depth of the design.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Primary-input gate indices, in declaration order.
+    pub fn primary_inputs(&self) -> &[u32] {
+        &self.pis
+    }
+
+    /// Gate indices driving the primary outputs, in declaration order.
+    pub fn po_drivers(&self) -> &[u32] {
+        &self.po_drivers
+    }
+
+    /// Whether gate `g` drives at least one primary output.
+    #[inline]
+    pub fn is_po(&self, g: usize) -> bool {
+        self.is_po[g]
+    }
+
+    /// DFF gate indices, in declaration order.
+    pub fn dffs(&self) -> &[u32] {
+        &self.dffs
+    }
+
+    /// For each DFF (same order as [`CompiledNetlist::dffs`]), the gate
+    /// feeding its `D` pin.
+    pub fn dff_d(&self) -> &[u32] {
+        &self.dff_d
+    }
+
+    fn check_width(&self, found: usize) -> Result<(), SimError> {
+        if found != self.pis.len() {
+            return Err(SimError::InputWidthMismatch {
+                expected: self.pis.len(),
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates gate `g` over 64 packed patterns from `values`.
+    /// `Dff` evaluates to the all-zero word; `Input` is the caller's job.
+    #[inline]
+    pub fn eval_word(&self, g: usize, values: &[u64]) -> u64 {
+        eval_word_from(
+            self.kinds[g],
+            self.pins_of(g).iter().map(|&p| values[p as usize]),
+        )
+    }
+
+    /// Like [`CompiledNetlist::eval_word`] with input pin `pin` replaced
+    /// by `word` — the pin stuck-at injection primitive.
+    #[inline]
+    pub fn eval_word_pin_forced(&self, g: usize, values: &[u64], pin: usize, word: u64) -> u64 {
+        eval_word_from(
+            self.kinds[g],
+            self.pins_of(g).iter().enumerate().map(|(i, &p)| {
+                if i == pin {
+                    word
+                } else {
+                    values[p as usize]
+                }
+            }),
+        )
+    }
+
+    /// Evaluates gate `g` two-valued. `Dff` evaluates to `false`.
+    #[inline]
+    pub fn eval_bool(&self, g: usize, values: &[bool]) -> bool {
+        eval_bool_from(
+            self.kinds[g],
+            self.pins_of(g).iter().map(|&p| values[p as usize]),
+        )
+    }
+
+    /// Like [`CompiledNetlist::eval_bool`] with input pin `pin` replaced
+    /// by `value`.
+    #[inline]
+    pub fn eval_bool_pin_forced(&self, g: usize, values: &[bool], pin: usize, value: bool) -> bool {
+        eval_bool_from(
+            self.kinds[g],
+            self.pins_of(g).iter().enumerate().map(|(i, &p)| {
+                if i == pin {
+                    value
+                } else {
+                    values[p as usize]
+                }
+            }),
+        )
+    }
+
+    /// Evaluates gate `g` four-valued. `Dff` evaluates to `X`.
+    #[inline]
+    pub fn eval_logic(&self, g: usize, values: &[Logic]) -> Logic {
+        eval_logic_from(
+            self.kinds[g],
+            self.pins_of(g).iter().map(|&p| values[p as usize]),
+        )
+    }
+
+    /// Full 64-way evaluation into a reusable buffer (cleared and
+    /// resized). `input_words[i]` carries primary input `i`; DFF outputs
+    /// evaluate to all-zero words. Optionally forces one gate's output
+    /// word (the stuck-at-output injection hook).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] on word-count mismatch.
+    pub fn eval_words_into(
+        &self,
+        input_words: &[u64],
+        force: Option<(u32, u64)>,
+        values: &mut Vec<u64>,
+    ) -> Result<(), SimError> {
+        self.check_width(input_words.len())?;
+        values.clear();
+        values.resize(self.len(), 0);
+        for (i, &pi) in self.pis.iter().enumerate() {
+            values[pi as usize] = input_words[i];
+        }
+        match force {
+            None => {
+                for &g in &self.eval_order {
+                    let v = self.eval_word(g as usize, values);
+                    values[g as usize] = v;
+                }
+            }
+            Some((site, word)) => {
+                // Sources are outside eval_order; force them up front.
+                if matches!(self.kinds[site as usize], GateKind::Input | GateKind::Dff) {
+                    values[site as usize] = word;
+                }
+                for &g in &self.eval_order {
+                    let v = if g == site {
+                        word
+                    } else {
+                        self.eval_word(g as usize, values)
+                    };
+                    values[g as usize] = v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Two-valued full evaluation into a reusable buffer. DFF outputs
+    /// take their value from `state` (in [`CompiledNetlist::dffs`]
+    /// order); pass `&[]`-initialized state for pure combinational use.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] on input-width mismatch;
+    /// [`SimError::StateWidthMismatch`] on state-width mismatch.
+    pub fn eval_bools_into(
+        &self,
+        inputs: &[bool],
+        state: &[bool],
+        values: &mut Vec<bool>,
+    ) -> Result<(), SimError> {
+        self.check_width(inputs.len())?;
+        if state.len() != self.dffs.len() {
+            return Err(SimError::StateWidthMismatch {
+                expected: self.dffs.len(),
+                found: state.len(),
+            });
+        }
+        values.clear();
+        values.resize(self.len(), false);
+        for (i, &pi) in self.pis.iter().enumerate() {
+            values[pi as usize] = inputs[i];
+        }
+        for (i, &dff) in self.dffs.iter().enumerate() {
+            values[dff as usize] = state[i];
+        }
+        for &g in &self.eval_order {
+            let v = self.eval_bool(g as usize, values);
+            values[g as usize] = v;
+        }
+        Ok(())
+    }
+}
+
+/// Word-domain gate function over an input iterator. `Dff` yields 0 (the
+/// packed-pattern convention); `Input` has no combinational function.
+///
+/// # Panics
+///
+/// Panics on `GateKind::Input`.
+#[inline]
+pub fn eval_word_from<I: Iterator<Item = u64>>(kind: GateKind, mut ins: I) -> u64 {
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Buf => ins.next().unwrap(),
+        GateKind::Not => !ins.next().unwrap(),
+        GateKind::And => ins.fold(u64::MAX, |a, b| a & b),
+        GateKind::Nand => !ins.fold(u64::MAX, |a, b| a & b),
+        GateKind::Or => ins.fold(0, |a, b| a | b),
+        GateKind::Nor => !ins.fold(0, |a, b| a | b),
+        GateKind::Xor => ins.fold(0, |a, b| a ^ b),
+        GateKind::Xnor => !ins.fold(0, |a, b| a ^ b),
+        GateKind::Mux => {
+            let s = ins.next().unwrap();
+            let a = ins.next().unwrap();
+            let b = ins.next().unwrap();
+            (!s & a) | (s & b)
+        }
+        GateKind::Dff => 0,
+        GateKind::Input => panic!("eval_word_from called on an Input gate"),
+    }
+}
+
+/// Bool-domain gate function over an input iterator. `Dff` yields
+/// `false`; `Input` has no combinational function.
+///
+/// # Panics
+///
+/// Panics on `GateKind::Input`.
+#[inline]
+pub fn eval_bool_from<I: Iterator<Item = bool>>(kind: GateKind, mut ins: I) -> bool {
+    match kind {
+        GateKind::Const0 => false,
+        GateKind::Const1 => true,
+        GateKind::Buf => ins.next().unwrap(),
+        GateKind::Not => !ins.next().unwrap(),
+        GateKind::And => ins.all(|b| b),
+        GateKind::Nand => !ins.all(|b| b),
+        GateKind::Or => ins.any(|b| b),
+        GateKind::Nor => !ins.any(|b| b),
+        GateKind::Xor => ins.fold(false, |a, b| a ^ b),
+        GateKind::Xnor => !ins.fold(false, |a, b| a ^ b),
+        GateKind::Mux => {
+            let s = ins.next().unwrap();
+            let a = ins.next().unwrap();
+            let b = ins.next().unwrap();
+            if s {
+                b
+            } else {
+                a
+            }
+        }
+        GateKind::Dff => false,
+        GateKind::Input => panic!("eval_bool_from called on an Input gate"),
+    }
+}
+
+/// Four-valued gate function over an input iterator. `Dff` yields `X`;
+/// `Input` has no combinational function.
+///
+/// # Panics
+///
+/// Panics on `GateKind::Input`.
+#[inline]
+pub fn eval_logic_from<I: Iterator<Item = Logic>>(kind: GateKind, mut ins: I) -> Logic {
+    match kind {
+        GateKind::Const0 => Logic::Zero,
+        GateKind::Const1 => Logic::One,
+        GateKind::Buf => ins.next().unwrap(),
+        GateKind::Not => !ins.next().unwrap(),
+        GateKind::And => ins.fold(Logic::One, Logic::and),
+        GateKind::Nand => !ins.fold(Logic::One, Logic::and),
+        GateKind::Or => ins.fold(Logic::Zero, Logic::or),
+        GateKind::Nor => !ins.fold(Logic::Zero, Logic::or),
+        GateKind::Xor => ins.fold(Logic::Zero, Logic::xor),
+        GateKind::Xnor => !ins.fold(Logic::Zero, Logic::xor),
+        GateKind::Mux => {
+            let s = ins.next().unwrap();
+            let a = ins.next().unwrap();
+            let b = ins.next().unwrap();
+            match s.to_bool() {
+                Some(false) => a,
+                Some(true) => b,
+                None => {
+                    if a == b && !a.is_unknown() {
+                        a
+                    } else {
+                        Logic::X
+                    }
+                }
+            }
+        }
+        GateKind::Dff => Logic::X,
+        GateKind::Input => panic!("eval_logic_from called on an Input gate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{eval_gate, eval_gate_bool, eval_gate_word};
+    use rescue_netlist::generate;
+
+    #[test]
+    fn csr_layout_matches_netlist() {
+        let net = generate::c17();
+        let c = CompiledNetlist::new(&net);
+        assert_eq!(c.len(), net.len());
+        for (id, g) in net.iter() {
+            assert_eq!(c.kind(id.index()), g.kind());
+            let pins: Vec<u32> = g.inputs().iter().map(|p| p.index() as u32).collect();
+            assert_eq!(c.pins_of(id.index()), &pins[..]);
+        }
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.po_drivers().len(), 2);
+        for &po in c.po_drivers() {
+            assert!(c.is_po(po as usize));
+        }
+    }
+
+    #[test]
+    fn fanout_csr_matches_netlist_fanout() {
+        let net = generate::random_logic(6, 50, 3, 11);
+        let c = CompiledNetlist::new(&net);
+        let fo = net.fanout();
+        for (g, fan) in fo.iter().enumerate() {
+            let mut a: Vec<u32> = c.fanout_of(g).to_vec();
+            let mut b: Vec<u32> = fan.iter().map(|x| x.index() as u32).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "gate {g}");
+        }
+    }
+
+    #[test]
+    fn topo_pos_inverts_order() {
+        let net = generate::random_logic(5, 40, 2, 3);
+        let c = CompiledNetlist::new(&net);
+        for (pos, &g) in c.order().iter().enumerate() {
+            assert_eq!(c.topo_pos(g as usize), pos as u32);
+        }
+        // Every gate appears after all its combinational inputs.
+        for &g in c.eval_order() {
+            for &p in c.pins_of(g as usize) {
+                assert!(c.topo_pos(p as usize) < c.topo_pos(g as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_slice_kernels() {
+        use rescue_netlist::GateKind::*;
+        for kind in [And, Nand, Or, Nor, Xor, Xnor] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let ins = [a, b];
+                    assert_eq!(
+                        eval_bool_from(kind, ins.iter().copied()),
+                        eval_gate_bool(kind, &ins)
+                    );
+                    let words = [if a { u64::MAX } else { 0 }, if b { u64::MAX } else { 0 }];
+                    assert_eq!(
+                        eval_word_from(kind, words.iter().copied()),
+                        eval_gate_word(kind, &words)
+                    );
+                    let logics = [Logic::from_bool(a), Logic::from_bool(b)];
+                    assert_eq!(
+                        eval_logic_from(kind, logics.iter().copied()),
+                        eval_gate(kind, &logics)
+                    );
+                }
+            }
+        }
+        // Mux X-select resolution matches the reference kernel.
+        for sel in [Logic::Zero, Logic::One, Logic::X, Logic::Z] {
+            for a in [Logic::Zero, Logic::One, Logic::X] {
+                for b in [Logic::Zero, Logic::One, Logic::X] {
+                    let ins = [sel, a, b];
+                    assert_eq!(
+                        eval_logic_from(Mux, ins.iter().copied()),
+                        eval_gate(Mux, &ins),
+                        "{ins:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_words_into_matches_reference() {
+        let net = generate::adder(4);
+        let c = CompiledNetlist::new(&net);
+        let words: Vec<u64> = (0..9)
+            .map(|i| 0x9e3779b97f4a7c15u64.rotate_left(i))
+            .collect();
+        let mut values = Vec::new();
+        c.eval_words_into(&words, None, &mut values).unwrap();
+        for p in 0..64 {
+            let pattern: Vec<bool> = words.iter().map(|w| w >> p & 1 == 1).collect();
+            let serial = crate::comb::eval_bool(&net, &pattern).unwrap();
+            for g in 0..net.len() {
+                assert_eq!(values[g] >> p & 1 == 1, serial[g], "pattern {p}, gate {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_d_maps_state_capture() {
+        let net = generate::shift_register(3);
+        let c = CompiledNetlist::new(&net);
+        assert_eq!(c.dffs().len(), 3);
+        for (i, &d) in c.dff_d().iter().enumerate() {
+            let dff = c.dffs()[i] as usize;
+            assert_eq!(c.pins_of(dff), &[d], "DFF {i} D-pin");
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let net = generate::c17();
+        let c = CompiledNetlist::new(&net);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            c.eval_words_into(&[0; 3], None, &mut buf),
+            Err(SimError::InputWidthMismatch {
+                expected: 5,
+                found: 3
+            })
+        ));
+    }
+}

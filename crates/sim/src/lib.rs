@@ -14,6 +14,12 @@
 //!   inertial delays, used to propagate SET pulses and model electrical
 //!   masking (paper Sections III.B and the CDN-SET study \[54\]).
 //!
+//! The combinational, parallel-pattern and sequential engines share the
+//! [`compiled::CompiledNetlist`] flat-arena representation (CSR pin
+//! slices, baked-in levelized order, fanout CSR), compiled once per
+//! design; the fault-simulation crate builds its incremental cone engine
+//! on the same arena.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,6 +46,7 @@
 //! ```
 
 pub mod comb;
+pub mod compiled;
 pub mod error;
 pub mod logic;
 pub mod parallel;

@@ -5,9 +5,30 @@
 //! single-fault propagation substrate used by the fault-simulation crate
 //! for large statistical campaigns (paper Section III.B).
 
+use crate::compiled::CompiledNetlist;
 use crate::error::SimError;
-use crate::logic::eval_gate_word;
-use rescue_netlist::{GateId, GateKind, Netlist};
+use rescue_netlist::{GateId, Netlist};
+
+/// Mask selecting the `n` live pattern bits of a partially filled 64-wide
+/// chunk (all ones for a full chunk). Guards the `n == 64` shift overflow
+/// that every call site used to hand-roll.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_sim::parallel::live_mask;
+/// assert_eq!(live_mask(3), 0b111);
+/// assert_eq!(live_mask(64), u64::MAX);
+/// assert_eq!(live_mask(0), 0);
+/// ```
+#[inline]
+pub fn live_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
 
 /// Packs up to 64 bool patterns (outer: pattern, inner: input position)
 /// into one word per primary input.
@@ -52,15 +73,20 @@ pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ParallelSimulator {
-    order: Vec<GateId>,
+    compiled: CompiledNetlist,
 }
 
 impl ParallelSimulator {
     /// Prepares an evaluator for `netlist`.
     pub fn new(netlist: &Netlist) -> Self {
         ParallelSimulator {
-            order: netlist.levelize().order().to_vec(),
+            compiled: CompiledNetlist::new(netlist),
         }
+    }
+
+    /// The compiled arena backing this evaluator.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// Evaluates 64 packed patterns; `input_words[i]` carries input `i`.
@@ -85,44 +111,16 @@ impl ParallelSimulator {
     /// the primary-input count.
     pub fn run_with_forced(
         &self,
-        netlist: &Netlist,
+        _netlist: &Netlist,
         input_words: &[u64],
         force: Option<(GateId, u64)>,
     ) -> Result<Vec<u64>, SimError> {
-        let pis = netlist.primary_inputs();
-        if input_words.len() != pis.len() {
-            return Err(SimError::InputWidthMismatch {
-                expected: pis.len(),
-                found: input_words.len(),
-            });
-        }
-        let mut values = vec![0u64; netlist.len()];
-        for (i, &pi) in pis.iter().enumerate() {
-            values[pi.index()] = input_words[i];
-        }
-        if let Some((site, word)) = force {
-            if netlist.gate(site).kind() == GateKind::Input {
-                values[site.index()] = word;
-            }
-        }
-        let mut buf: Vec<u64> = Vec::with_capacity(4);
-        for &id in &self.order {
-            let g = netlist.gate(id);
-            match g.kind() {
-                GateKind::Input => {}
-                GateKind::Dff => values[id.index()] = 0,
-                kind => {
-                    buf.clear();
-                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                    values[id.index()] = eval_gate_word(kind, &buf);
-                }
-            }
-            if let Some((site, word)) = force {
-                if site == id {
-                    values[id.index()] = word;
-                }
-            }
-        }
+        let mut values = Vec::new();
+        self.compiled.eval_words_into(
+            input_words,
+            force.map(|(site, word)| (site.index() as u32, word)),
+            &mut values,
+        )?;
         Ok(values)
     }
 }

@@ -1,8 +1,8 @@
 //! Multi-cycle sequential simulation with flip-flop state.
 
+use crate::compiled::CompiledNetlist;
 use crate::error::SimError;
-use crate::logic::eval_gate_bool;
-use rescue_netlist::{GateId, GateKind, Netlist};
+use rescue_netlist::Netlist;
 
 /// Two-valued sequential simulator.
 ///
@@ -31,7 +31,7 @@ use rescue_netlist::{GateId, GateKind, Netlist};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeqSimulator {
-    order: Vec<GateId>,
+    compiled: CompiledNetlist,
     state: Vec<bool>,
     cycles: u64,
 }
@@ -39,9 +39,11 @@ pub struct SeqSimulator {
 impl SeqSimulator {
     /// Creates a simulator with all flip-flops reset to 0.
     pub fn new(netlist: &Netlist) -> Self {
+        let compiled = CompiledNetlist::new(netlist);
+        let state = vec![false; compiled.dffs().len()];
         SeqSimulator {
-            order: netlist.levelize().order().to_vec(),
-            state: vec![false; netlist.dffs().len()],
+            compiled,
+            state,
             cycles: 0,
         }
     }
@@ -108,9 +110,8 @@ impl SeqSimulator {
     pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
         let values = self.evaluate(netlist, inputs)?;
         // Capture next state: DFF input values become the new state.
-        for (i, &dff) in netlist.dffs().iter().enumerate() {
-            let d = netlist.gate(dff).inputs()[0];
-            self.state[i] = values[d.index()];
+        for (i, &d) in self.compiled.dff_d().iter().enumerate() {
+            self.state[i] = values[d as usize];
         }
         self.cycles += 1;
         Ok(crate::comb::outputs_of(netlist, &values))
@@ -122,33 +123,10 @@ impl SeqSimulator {
     /// # Errors
     ///
     /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong length.
-    pub fn evaluate(&self, netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
-        let pis = netlist.primary_inputs();
-        if inputs.len() != pis.len() {
-            return Err(SimError::InputWidthMismatch {
-                expected: pis.len(),
-                found: inputs.len(),
-            });
-        }
-        let mut values = vec![false; netlist.len()];
-        for (i, &pi) in pis.iter().enumerate() {
-            values[pi.index()] = inputs[i];
-        }
-        for (i, &dff) in netlist.dffs().iter().enumerate() {
-            values[dff.index()] = self.state[i];
-        }
-        let mut buf: Vec<bool> = Vec::with_capacity(4);
-        for &id in &self.order {
-            let g = netlist.gate(id);
-            match g.kind() {
-                GateKind::Input | GateKind::Dff => {}
-                kind => {
-                    buf.clear();
-                    buf.extend(g.inputs().iter().map(|&p| values[p.index()]));
-                    values[id.index()] = eval_gate_bool(kind, &buf);
-                }
-            }
-        }
+    pub fn evaluate(&self, _netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        let mut values = Vec::new();
+        self.compiled
+            .eval_bools_into(inputs, &self.state, &mut values)?;
         Ok(values)
     }
 

@@ -217,16 +217,21 @@ impl TimedSimulator {
             /// Apply a previously scheduled output value.
             Update(bool),
         }
-        let mut queue: BinaryHeap<Reverse<(u64, u64, GateId, Ev)>> = BinaryHeap::new();
+        // Queue keys are (time, class, seq, gate): scheduled updates
+        // (class 0) apply before force-window edges (class 1) at the same
+        // instant, so a pulse exactly as wide as a downstream delay still
+        // passes — inertial filtering drops only *narrower* pulses.
+        type QueueKey = (u64, u8, u64, GateId, Ev);
+        let mut queue: BinaryHeap<Reverse<QueueKey>> = BinaryHeap::new();
         let mut seq = 0u64;
         // pending[g] = (seq, scheduled value) of the one outstanding event.
         let mut pending: Vec<Option<(u64, bool)>> = vec![None; netlist.len()];
         let mut force: Vec<Option<bool>> = vec![None; netlist.len()];
 
         for p in pulses {
-            queue.push(Reverse((p.start, seq, p.gate, Ev::ForceStart)));
+            queue.push(Reverse((p.start, 1, seq, p.gate, Ev::ForceStart)));
             seq += 1;
-            queue.push(Reverse((p.start + p.width, seq, p.gate, Ev::ForceEnd)));
+            queue.push(Reverse((p.start + p.width, 1, seq, p.gate, Ev::ForceEnd)));
             seq += 1;
         }
 
@@ -247,7 +252,7 @@ impl TimedSimulator {
             }
         };
 
-        while let Some(Reverse((t, s, g, ev))) = queue.pop() {
+        while let Some(Reverse((t, _, s, g, ev))) = queue.pop() {
             if t > t_end {
                 break;
             }
@@ -298,7 +303,9 @@ impl TimedSimulator {
                     continue;
                 }
                 let v_new = eval_now(f, &values, &force, &initial);
-                let projected = pending[f.index()].map(|(_, v)| v).unwrap_or(values[f.index()]);
+                let projected = pending[f.index()]
+                    .map(|(_, v)| v)
+                    .unwrap_or(values[f.index()]);
                 if v_new == projected {
                     continue; // already heading to that value
                 }
@@ -311,7 +318,7 @@ impl TimedSimulator {
                     }
                 }
                 let due = t + self.delays[f.index()];
-                queue.push(Reverse((due, seq, f, Ev::Update(v_new))));
+                queue.push(Reverse((due, 0, seq, f, Ev::Update(v_new))));
                 pending[f.index()] = Some((seq, v_new));
                 seq += 1;
             }

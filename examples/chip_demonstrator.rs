@@ -17,7 +17,7 @@ use rescue_core::cpu::autosoc::{run_campaign, AutoSocConfig};
 use rescue_core::cpu::programs;
 use rescue_core::flow::HolisticFlow;
 use rescue_core::health::{HealthAction, HealthPolicy, SystemHealthManager};
-use rescue_core::mem::march::{march_cm, march_coverage, classic_universe};
+use rescue_core::mem::march::{classic_universe, march_cm, march_coverage};
 use rescue_core::mem::puf::{Environment, SramPuf};
 use rescue_core::netlist::generate;
 use rescue_core::radiation::monitor::SramSeuMonitor;
@@ -32,7 +32,11 @@ fn main() {
 
     // --- Logic blocks through the holistic quality/safety flow.
     println!("[1] logic blocks (holistic flow)");
-    for block in [generate::alu(8), generate::multiplier(4), generate::parity(16)] {
+    for block in [
+        generate::alu(8),
+        generate::multiplier(4),
+        generate::parity(16),
+    ] {
         let r = HolisticFlow::new().run(&block, 128, 42);
         println!(
             "    {:<10} coverage {:>6.1}%  SET derating {:.2}  {}",

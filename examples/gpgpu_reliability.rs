@@ -17,10 +17,7 @@ use rescue_core::gpgpu::sbst::{detects, scheduler_fault_universe};
 fn main() {
     println!("== GPGPU scheduler SBST ==\n");
     let universe = scheduler_fault_universe(8);
-    let detected = universe
-        .iter()
-        .filter(|&&f| detects(f, 8, 8))
-        .count();
+    let detected = universe.iter().filter(|&&f| detects(f, 8, 8)).count();
     println!(
         "scheduler select-stuck faults: {detected}/{} detected by the SBST kernel\n",
         universe.len()

@@ -57,8 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Test-generation comparison (E6).
     let cmp = compare(&net);
-    println!("test generation:   naive {} bits @ {:.0}% coverage", cmp.naive_bits, cmp.naive_coverage * 100.0);
-    println!("                   wave  {} bits @ {:.0}% coverage", cmp.wave_bits, cmp.wave_coverage * 100.0);
+    println!(
+        "test generation:   naive {} bits @ {:.0}% coverage",
+        cmp.naive_bits,
+        cmp.naive_coverage * 100.0
+    );
+    println!(
+        "                   wave  {} bits @ {:.0}% coverage",
+        cmp.wave_bits,
+        cmp.wave_coverage * 100.0
+    );
     println!(
         "                   reduction {:.1}x\n",
         cmp.naive_bits as f64 / cmp.wave_bits as f64

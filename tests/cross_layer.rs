@@ -41,8 +41,20 @@ fn finfet_defects_split_between_march_and_sensor() {
     // detectors; only the combination closes the FinFET defect list.
     let mut faults = Vec::new();
     for c in 0..12 {
-        faults.push(FinfetDefect::ChannelCrack { cell: c, severity: 3 }.to_cell_fault());
-        faults.push(FinfetDefect::GateOxideShort { cell: c, severity: 0 }.to_cell_fault());
+        faults.push(
+            FinfetDefect::ChannelCrack {
+                cell: c,
+                severity: 3,
+            }
+            .to_cell_fault(),
+        );
+        faults.push(
+            FinfetDefect::GateOxideShort {
+                cell: c,
+                severity: 0,
+            }
+            .to_cell_fault(),
+        );
     }
     let cmp = compare_dft(&march_cm(), CurrentSensor::new(0.15), 12, &faults);
     assert!(cmp.march_only < 0.6);

@@ -1,0 +1,9 @@
+//! Offline `serde` shim.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as marker
+//! annotations (its persistence formats are hand-rolled), so this shim
+//! re-exports no-op derive macros from the companion `serde_derive`
+//! crate. No serialization machinery exists here; if a future PR needs
+//! real serde, vendor the actual crate instead.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! shim. The workspace only uses the derives as marker annotations (the
+//! actual on-disk formats are hand-rolled line formats), so the derives
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
