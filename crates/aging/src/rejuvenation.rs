@@ -9,8 +9,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::parallel::{pack_patterns, ParallelSimulator};
+use std::time::Instant;
 
 /// Duty statistics of a stimulus over a netlist.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +86,9 @@ pub struct RejuvenationResult {
     pub evolved: DutyStats,
     /// Generations executed.
     pub generations: usize,
+    /// Observability record of the search: `injections` counts duty
+    /// evaluations, lanes reflect the 64-pattern word packing of each.
+    pub stats: CampaignStats,
 }
 
 impl RejuvenationResult {
@@ -98,6 +103,7 @@ impl RejuvenationResult {
 
 /// Evolves `set_size` patterns over `generations` generations with a
 /// (μ+λ) GA (population 16, tournament selection, bit-flip mutation).
+/// Serial convenience wrapper over [`evolve_on`].
 ///
 /// # Panics
 ///
@@ -108,7 +114,27 @@ pub fn evolve(
     generations: usize,
     seed: u64,
 ) -> RejuvenationResult {
+    evolve_on(netlist, set_size, generations, seed, &Campaign::serial())
+}
+
+/// [`evolve`] with the initial-population fitness evaluation sharded
+/// over the shared [`Campaign`] driver. The GA main loop stays serial
+/// (each child depends on the previous selection), so results are
+/// identical for every worker count; the attached [`CampaignStats`]
+/// reports duty-evaluation throughput either way.
+///
+/// # Panics
+///
+/// Panics when `set_size == 0`.
+pub fn evolve_on(
+    netlist: &Netlist,
+    set_size: usize,
+    generations: usize,
+    seed: u64,
+    campaign: &Campaign,
+) -> RejuvenationResult {
     assert!(set_size > 0, "need at least one pattern");
+    let start = Instant::now();
     let n_in = netlist.primary_inputs().len();
     let mut rng = StdRng::seed_from_u64(seed);
     let random_set = |rng: &mut StdRng| -> Vec<Vec<bool>> {
@@ -124,13 +150,11 @@ pub fn evolve(
     let baseline_set = random_set(&mut rng);
     let baseline = duty_of(netlist, &baseline_set);
 
-    let mut population: Vec<(Vec<Vec<bool>>, f64)> = (0..16)
-        .map(|_| {
-            let s = random_set(&mut rng);
-            let f = fitness(&s);
-            (s, f)
-        })
-        .collect();
+    let seeds: Vec<Vec<Vec<bool>>> = (0..16).map(|_| random_set(&mut rng)).collect();
+    let sharded = campaign.run_sharded(&seeds, |_| (), |_, _, set| fitness(set));
+    let mut stats = CampaignStats::from_run(seeds.len(), &sharded);
+    let mut population: Vec<(Vec<Vec<bool>>, f64)> =
+        seeds.into_iter().zip(sharded.results).collect();
     for _ in 0..generations {
         // Tournament pick two parents.
         let pick = |rng: &mut StdRng, pop: &[(Vec<Vec<bool>>, f64)]| -> usize {
@@ -178,11 +202,24 @@ pub fn evolve(
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
         .expect("non-empty population");
     let evolved = duty_of(netlist, &best.0);
+    // Baseline + 16 initial + one child per generation + final measure.
+    let evaluations = 2 + 16 + generations;
+    stats.injections = evaluations;
+    stats.elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
+    for _ in 0..evaluations {
+        let mut remaining = set_size;
+        while remaining > 0 {
+            let live = remaining.min(64);
+            stats.record_lanes(live as u64, 64);
+            remaining -= live;
+        }
+    }
     RejuvenationResult {
         patterns: best.0,
         baseline,
         evolved,
         generations,
+        stats,
     }
 }
 
@@ -234,5 +271,19 @@ mod tests {
         let a = evolve(&net, 8, 40, 7);
         let b = evolve(&net, 8, 40, 7);
         assert_eq!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn parallel_evolution_matches_serial() {
+        let net = generate::parity(6);
+        let serial = evolve(&net, 8, 40, 7);
+        for workers in [2usize, 4] {
+            let par = evolve_on(&net, 8, 40, 7, &Campaign::new(0, workers));
+            assert_eq!(par.patterns, serial.patterns, "workers = {workers}");
+            assert_eq!(par.evolved, serial.evolved);
+        }
+        assert_eq!(serial.stats.injections, 2 + 16 + 40);
+        assert!(serial.stats.injections_per_sec() > 0.0);
+        assert!(serial.stats.lane_occupancy() > 0.0);
     }
 }

@@ -55,7 +55,7 @@ pub fn reverse_order_compaction(
     let mut keep = vec![false; patterns.len()];
     for (pi, pattern) in patterns.iter().enumerate().rev() {
         let words = rescue_sim::parallel::pack_patterns(std::slice::from_ref(pattern));
-        let golden = sim.golden(netlist, &words);
+        let golden = sim.golden(&words);
         let mut useful = false;
         for (fi, &fault) in faults.iter().enumerate() {
             if detected[fi] {

@@ -80,7 +80,7 @@ pub fn weighted_random_tpg(
             .map(|_| (0..n_in).map(|_| rng.gen_bool(weight)).collect())
             .collect();
         let words = rescue_sim::parallel::pack_patterns(&batch);
-        let golden = sim.golden(netlist, &words);
+        let golden = sim.golden(&words);
         for (fi, &fault) in faults.iter().enumerate() {
             if detected[fi] {
                 continue;

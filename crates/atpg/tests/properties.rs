@@ -26,7 +26,7 @@ proptest! {
                 PodemOutcome::Test(cube) => {
                     let pattern = cube.fill_with(false);
                     let words = pack_patterns(std::slice::from_ref(&pattern));
-                    let golden = sim.golden(&net, &words);
+                    let golden = sim.golden(&words);
                     prop_assert_eq!(
                         sim.detection_mask(&net, &words, &golden, f) & 1, 1,
                         "cube misses fault {}", f

@@ -36,7 +36,7 @@ fn campaign_no_dropping(net: &Netlist, faults: &[Fault], pats: &[Vec<bool>]) -> 
     let mut detections = 0usize;
     for chunk in pats.chunks(64) {
         let words = pack_patterns(chunk);
-        let golden = sim.golden(net, &words);
+        let golden = sim.golden(&words);
         for &f in faults {
             if sim.detection_mask(net, &words, &golden, f) != 0 {
                 detections += 1;
@@ -52,7 +52,7 @@ fn campaign_serial(net: &Netlist, faults: &[Fault], pats: &[Vec<bool>]) -> usize
     let mut detected = vec![false; faults.len()];
     for pat in pats {
         let words = pack_patterns(std::slice::from_ref(pat));
-        let golden = sim.golden(net, &words);
+        let golden = sim.golden(&words);
         for (fi, &f) in faults.iter().enumerate() {
             if !detected[fi] && sim.detection_mask(net, &words, &golden, f) & 1 != 0 {
                 detected[fi] = true;

@@ -1,0 +1,237 @@
+//! The sharded campaign driver.
+//!
+//! One loop shape covers every fault-injection campaign in the workspace:
+//! a read-only *plan* (compiled netlist, golden values, fault list), a
+//! mutable per-worker *scratch* (value arrays, undo logs, lane machines),
+//! and an item list whose verdicts are independent of each other. The
+//! driver splits the items into contiguous ranges over scoped threads,
+//! builds each worker's scratch exactly once inside its thread, and
+//! reassembles results in item order — so the output is bit-identical for
+//! any worker count, and nothing is allocated per item.
+
+use crate::seed::derive_seed;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Campaign execution policy: a master seed plus a worker count.
+///
+/// The seed feeds [`Campaign::seed_for`] so per-item randomness is stable
+/// under resharding; the worker count only affects wall-clock time, never
+/// verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Campaign {
+    /// Master seed for deterministic per-item randomness.
+    pub seed: u64,
+    /// Scoped worker threads to shard over (>= 1).
+    pub workers: usize,
+}
+
+impl Campaign {
+    /// Single-worker campaign with seed 0 — the default for drop-in
+    /// replacements of previously serial loops.
+    pub fn serial() -> Self {
+        Campaign::new(0, 1)
+    }
+
+    /// Campaign with an explicit master seed and worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`.
+    pub fn new(seed: u64, workers: usize) -> Self {
+        assert!(workers > 0, "campaign needs at least one worker");
+        Campaign { seed, workers }
+    }
+
+    /// Deterministic seed for item `index`, independent of sharding.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        derive_seed(self.seed, index as u64)
+    }
+
+    /// Contiguous item ranges, one per worker: `ceil(len / workers)` items
+    /// each, so at most `workers` non-empty shards in index order.
+    pub fn shards(&self, len: usize) -> Vec<Range<usize>> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let per = len.div_ceil(self.workers);
+        (0..len.div_ceil(per))
+            .map(|w| w * per..((w + 1) * per).min(len))
+            .collect()
+    }
+
+    /// Runs `work` over each contiguous shard of `items` on scoped
+    /// threads. `scratch(worker)` builds that worker's reusable state
+    /// inside its own thread; `work(scratch, offset, shard)` returns one
+    /// result per shard item. Results come back in item order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker panics or returns the wrong result count.
+    pub fn run_ranges<T, S, R, FS, FW>(&self, items: &[T], scratch: FS, work: FW) -> ShardedRun<R>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn(usize) -> S + Sync,
+        FW: Fn(&mut S, usize, &[T]) -> Vec<R> + Sync,
+    {
+        let start = Instant::now();
+        let shards = self.shards(items.len());
+        let mut worker_ns = Vec::with_capacity(shards.len());
+        let mut results = Vec::with_capacity(items.len());
+        if shards.len() <= 1 {
+            // Inline fast path: no thread spawn for serial campaigns.
+            if let Some(range) = shards.into_iter().next() {
+                let t = Instant::now();
+                let mut s = scratch(0);
+                let part = work(&mut s, range.start, &items[range.clone()]);
+                assert_eq!(part.len(), range.len(), "one result per item");
+                worker_ns.push(t.elapsed().as_nanos() as u64);
+                results = part;
+            }
+            return ShardedRun {
+                results,
+                worker_ns,
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+            };
+        }
+        let parts: Vec<(Vec<R>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, range)| {
+                    let scratch = &scratch;
+                    let work = &work;
+                    let shard = &items[range.clone()];
+                    let offset = range.start;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let mut s = scratch(w);
+                        let part = work(&mut s, offset, shard);
+                        assert_eq!(part.len(), shard.len(), "one result per item");
+                        (part, t.elapsed().as_nanos() as u64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        for (part, ns) in parts {
+            results.extend(part);
+            worker_ns.push(ns);
+        }
+        ShardedRun {
+            results,
+            worker_ns,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Per-item convenience wrapper over [`Campaign::run_ranges`]:
+    /// `work(scratch, index, item)` is called once per item.
+    pub fn run_sharded<T, S, R, FS, FW>(&self, items: &[T], scratch: FS, work: FW) -> ShardedRun<R>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn(usize) -> S + Sync,
+        FW: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        self.run_ranges(items, scratch, |s, offset, shard| {
+            shard
+                .iter()
+                .enumerate()
+                .map(|(i, item)| work(s, offset + i, item))
+                .collect()
+        })
+    }
+}
+
+/// Outcome of one sharded run: per-item results in item order plus the
+/// wall-clock observability a [`crate::stats::CampaignStats`] is built
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedRun<R> {
+    /// One result per item, in item order (shard-independent).
+    pub results: Vec<R>,
+    /// Busy time of each worker that ran, in nanoseconds.
+    pub worker_ns: Vec<u64>,
+    /// End-to-end wall-clock of the run, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_contiguous_and_cover() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let shards = Campaign::new(0, workers).shards(len);
+                assert!(shards.len() <= workers);
+                let mut next = 0;
+                for r in &shards {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "full coverage ({len} items, {workers} workers)");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_order_stable_across_worker_counts() {
+        let items: Vec<u32> = (0..257).collect();
+        let serial = Campaign::serial().run_sharded(&items, |_| (), |_, i, &x| (i, x * 3));
+        for workers in [2, 3, 4, 16] {
+            let sharded =
+                Campaign::new(0, workers).run_sharded(&items, |_| (), |_, i, &x| (i, x * 3));
+            assert_eq!(serial.results, sharded.results, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        // Each worker's scratch accumulates only its shard; totals add up.
+        let items: Vec<u64> = (1..=100).collect();
+        let run = Campaign::new(0, 4).run_ranges(
+            &items,
+            |_| 0u64,
+            |acc, _, shard| {
+                shard
+                    .iter()
+                    .map(|&x| {
+                        *acc += x;
+                        *acc
+                    })
+                    .collect()
+            },
+        );
+        // Running prefix sums restart at each shard boundary: the last
+        // result of the final shard equals that shard's sum, not 5050.
+        assert_eq!(run.results.len(), 100);
+        assert_eq!(run.worker_ns.len(), 4);
+        let per = 100usize.div_ceil(4);
+        let last_shard_sum: u64 = items[3 * per..].iter().sum();
+        assert_eq!(*run.results.last().unwrap(), last_shard_sum);
+    }
+
+    #[test]
+    fn seeding_is_reshard_stable() {
+        let a = Campaign::new(7, 1);
+        let b = Campaign::new(7, 8);
+        for i in 0..100 {
+            assert_eq!(a.seed_for(i), b.seed_for(i));
+        }
+        assert_ne!(a.seed_for(0), Campaign::new(8, 1).seed_for(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        Campaign::new(0, 0);
+    }
+}

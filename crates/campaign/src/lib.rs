@@ -1,0 +1,52 @@
+//! Shared campaign orchestration for every fault-injection experiment in
+//! RESCUE-rs.
+//!
+//! The paper's Section IV "holistic EDA flow" is one pipeline in which
+//! every thrust — SEU/SET vulnerability (III.B), ISO 26262 fault
+//! classification (III.C), aging (III.E) — runs *fault-injection
+//! campaigns over the same design*. Before this crate each consumer
+//! hand-rolled its own loop: ad-hoc `chunks(64)` slicing, ad-hoc
+//! `std::thread::scope` blocks, ad-hoc seeds, and no common notion of
+//! throughput. This crate is the one substrate they all share:
+//!
+//! * [`driver::Campaign`] — deterministic seeding plus contiguous-range
+//!   scoped-thread sharding with reusable per-worker scratch. Verdicts
+//!   never depend on the worker count; only wall-clock does.
+//! * [`stats::CampaignStats`] — the observability record attached to
+//!   every campaign report: injections per second, 64-lane occupancy,
+//!   per-worker timings and outcome tallies.
+//! * [`seed`] — SplitMix64 stream derivation, so per-item randomness is
+//!   stable under resharding.
+//!
+//! The crate is dependency-free by design: it sits below `rescue-faults`,
+//! `rescue-radiation`, `rescue-safety` and `rescue-aging`, which all
+//! route their campaign loops through it.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescue_campaign::{Campaign, CampaignStats};
+//!
+//! // Classify 1000 "injections" across 4 workers, deterministically.
+//! let items: Vec<u64> = (0..1000).collect();
+//! let campaign = Campaign::new(42, 4);
+//! let run = campaign.run_sharded(
+//!     &items,
+//!     |_worker| 0u64,                 // per-worker scratch
+//!     |acc, idx, &item| {             // per-item work
+//!         *acc += item;
+//!         item % 3 == 0 && idx % 2 == 0
+//!     },
+//! );
+//! let stats = CampaignStats::from_run(items.len(), &run);
+//! assert_eq!(run.results.len(), 1000);
+//! assert_eq!(stats.injections, 1000);
+//! assert!(stats.injections_per_sec() > 0.0);
+//! ```
+
+pub mod driver;
+pub mod seed;
+pub mod stats;
+
+pub use driver::{Campaign, ShardedRun};
+pub use stats::{CampaignStats, OutcomeTally};

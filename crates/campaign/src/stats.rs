@@ -1,0 +1,205 @@
+//! Campaign observability: throughput, lane occupancy, outcome tallies.
+//!
+//! Every campaign report in the workspace carries a [`CampaignStats`] next
+//! to its (equality-comparable) verdict payload. Timing lives here as
+//! integer nanoseconds so the struct still derives `PartialEq` for
+//! structural assertions, while rates are computed on demand as `f64`.
+
+use crate::driver::ShardedRun;
+
+/// Outcome counters accumulated over a campaign.
+///
+/// The radiation side fills `masked`/`latent`/`failures` (SEU/SET
+/// outcomes); the safety/faults side fills `detected`/`undetected`
+/// (stuck-at coverage). Unused counters stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Injections whose effect never left the injected element.
+    pub masked: usize,
+    /// Injections that corrupted state but no observed output.
+    pub latent: usize,
+    /// Injections observed at a functional output.
+    pub failures: usize,
+    /// Faults detected by at least one pattern / checker.
+    pub detected: usize,
+    /// Faults that escaped every pattern / checker.
+    pub undetected: usize,
+}
+
+impl OutcomeTally {
+    /// Sum of all counters.
+    pub fn total(&self) -> usize {
+        self.masked + self.latent + self.failures + self.detected + self.undetected
+    }
+}
+
+/// Observability record for one campaign run.
+///
+/// Built from a [`ShardedRun`] via [`CampaignStats::from_run`], then
+/// optionally enriched with lane-occupancy figures (bit-parallel engines)
+/// and an [`OutcomeTally`].
+///
+/// # Examples
+///
+/// ```
+/// use rescue_campaign::{Campaign, CampaignStats};
+///
+/// let items = [1u32, 2, 3, 4, 5];
+/// let run = Campaign::serial().run_sharded(&items, |_| (), |_, _, &x| x * 2);
+/// let stats = CampaignStats::from_run(items.len(), &run);
+/// assert_eq!(stats.injections, 5);
+/// assert_eq!(stats.workers, 1);
+/// assert!(stats.elapsed_secs() > 0.0);
+/// // No lane figures recorded: occupancy defaults to 1.0 (scalar engine).
+/// assert_eq!(stats.lane_occupancy(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Number of injections (or faults) evaluated.
+    pub injections: usize,
+    /// End-to-end wall-clock, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Workers that actually ran.
+    pub workers: usize,
+    /// Busy nanoseconds per worker, in shard order.
+    pub worker_ns: Vec<u64>,
+    /// Bit-parallel lanes carrying a live injection, summed over batches.
+    pub lanes_used: u64,
+    /// Total lane slots across all word batches (64 per batch).
+    pub lanes_capacity: u64,
+    /// Outcome counters for the run.
+    pub tally: OutcomeTally,
+}
+
+impl CampaignStats {
+    /// Builds timing/worker figures from a finished [`ShardedRun`].
+    ///
+    /// Lane figures and the tally start at zero; engines that pack lanes
+    /// fill them via [`CampaignStats::record_lanes`] / direct field
+    /// access.
+    pub fn from_run<R>(injections: usize, run: &ShardedRun<R>) -> Self {
+        CampaignStats {
+            injections,
+            elapsed_ns: run.elapsed_ns.max(1),
+            workers: run.worker_ns.len(),
+            worker_ns: run.worker_ns.clone(),
+            lanes_used: 0,
+            lanes_capacity: 0,
+            tally: OutcomeTally::default(),
+        }
+    }
+
+    /// Records one word batch that carried `live` of `capacity` lanes.
+    pub fn record_lanes(&mut self, live: u64, capacity: u64) {
+        self.lanes_used += live;
+        self.lanes_capacity += capacity;
+    }
+
+    /// Merges another run's figures into this one (multi-stage flows).
+    pub fn absorb(&mut self, other: &CampaignStats) {
+        self.injections += other.injections;
+        self.elapsed_ns += other.elapsed_ns;
+        self.workers = self.workers.max(other.workers);
+        self.worker_ns.extend_from_slice(&other.worker_ns);
+        self.lanes_used += other.lanes_used;
+        self.lanes_capacity += other.lanes_capacity;
+        self.tally.masked += other.tally.masked;
+        self.tally.latent += other.tally.latent;
+        self.tally.failures += other.tally.failures;
+        self.tally.detected += other.tally.detected;
+        self.tally.undetected += other.tally.undetected;
+    }
+
+    /// Wall-clock in seconds (never zero).
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.elapsed_ns.max(1)) as f64 / 1e9
+    }
+
+    /// Injections per second of wall-clock.
+    pub fn injections_per_sec(&self) -> f64 {
+        self.injections as f64 / self.elapsed_secs()
+    }
+
+    /// Fraction of bit-parallel lane slots that carried a live injection.
+    ///
+    /// Scalar engines record no lane figures; occupancy then reports 1.0
+    /// (every "lane" they used was live).
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lanes_capacity == 0 {
+            1.0
+        } else {
+            self.lanes_used as f64 / self.lanes_capacity as f64
+        }
+    }
+
+    /// Mean worker busy-fraction relative to wall-clock (load balance).
+    pub fn worker_utilization(&self) -> f64 {
+        if self.worker_ns.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_ns.iter().sum();
+        busy as f64 / (self.worker_ns.len() as f64 * self.elapsed_ns.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Campaign;
+
+    #[test]
+    fn from_run_captures_workers_and_time() {
+        let items: Vec<u32> = (0..100).collect();
+        let run = Campaign::new(1, 4).run_sharded(&items, |_| (), |_, _, &x| x);
+        let stats = CampaignStats::from_run(items.len(), &run);
+        assert_eq!(stats.injections, 100);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.worker_ns.len(), 4);
+        assert!(stats.injections_per_sec() > 0.0);
+        assert!(stats.worker_utilization() > 0.0);
+    }
+
+    #[test]
+    fn lane_occupancy_tracks_recorded_batches() {
+        let mut stats = CampaignStats::default();
+        assert_eq!(stats.lane_occupancy(), 1.0);
+        stats.record_lanes(64, 64);
+        stats.record_lanes(32, 64);
+        assert!((stats.lane_occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = CampaignStats {
+            injections: 10,
+            elapsed_ns: 100,
+            workers: 2,
+            worker_ns: vec![50, 60],
+            lanes_used: 10,
+            lanes_capacity: 64,
+            tally: OutcomeTally {
+                masked: 4,
+                failures: 6,
+                ..OutcomeTally::default()
+            },
+        };
+        let b = CampaignStats {
+            injections: 5,
+            elapsed_ns: 40,
+            workers: 1,
+            worker_ns: vec![40],
+            lanes_used: 5,
+            lanes_capacity: 64,
+            tally: OutcomeTally {
+                latent: 5,
+                ..OutcomeTally::default()
+            },
+        };
+        a.absorb(&b);
+        assert_eq!(a.injections, 15);
+        assert_eq!(a.elapsed_ns, 140);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.worker_ns, vec![50, 60, 40]);
+        assert_eq!(a.tally.total(), 15);
+    }
+}

@@ -3,13 +3,14 @@
 use rescue_atpg::compact::static_compaction;
 use rescue_atpg::podem::{Podem, PodemOutcome};
 use rescue_atpg::untestable;
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_faults::simulate::FaultSimulator;
 use rescue_faults::universe;
 use rescue_netlist::Netlist;
 use rescue_radiation::set_analysis::SetCampaign;
 use rescue_radiation::Fit;
 use rescue_riif::{ComponentRecord, FailureMode, RiifDatabase};
-use rescue_safety::classify::{classify, FaultClass};
+use rescue_safety::classify::{classify_with_stats, FaultClass};
 use rescue_safety::metrics::SafetyMetrics;
 use rescue_safety::pruning::prune;
 
@@ -58,6 +59,20 @@ pub struct FlowReport {
     pub set_derating: f64,
     /// The RIIF export carrying the derived rates.
     pub riif: RiifDatabase,
+    /// Per-stage campaign observability `(stage, stats)` for every
+    /// injection stage of the flow: `"fault-sim"`, `"classification"`,
+    /// `"set"`.
+    pub stage_stats: Vec<(&'static str, CampaignStats)>,
+}
+
+impl FlowReport {
+    /// The stats of one named stage, if the flow ran it.
+    pub fn stage(&self, name: &str) -> Option<&CampaignStats> {
+        self.stage_stats
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
 }
 
 impl HolisticFlow {
@@ -96,9 +111,12 @@ impl HolisticFlow {
         }
         let compacted = static_compaction(&cubes);
         let patterns: Vec<Vec<bool>> = compacted.iter().map(|c| c.fill_with(false)).collect();
-        // 4. Fault simulation (verifies the ATPG stage end to end).
+        // 4. Fault simulation (verifies the ATPG stage end to end), on
+        // the shared campaign driver so the report carries throughput.
+        let driver = Campaign::new(seed, 1);
         let sim = FaultSimulator::new(design);
-        let campaign = sim.campaign(design, &workable, &patterns);
+        let campaign_run = sim.campaign_with_stats(&workable, &patterns, &driver);
+        let campaign = campaign_run.report;
         // 5. ISO 26262 classification under a random mission stimulus.
         let mission: Vec<Vec<bool>> = {
             let mut state = seed.max(1);
@@ -115,11 +133,20 @@ impl HolisticFlow {
                 })
                 .collect()
         };
-        let classification = classify(design, &all_faults, &outputs, &[], &mission);
+        let classification_run =
+            classify_with_stats(design, &all_faults, &outputs, &[], &mission, &driver);
+        let classification = classification_run.report;
         let total_rate = Fit::new(self.raw_fit_per_gate * design.len() as f64);
         let safety = SafetyMetrics::from_classification(&classification, total_rate);
         // 6. SET vulnerability.
-        let set = SetCampaign::new(design).run(design, self.set_injections, seed);
+        let set_run = SetCampaign::new(design).run_campaign(
+            design,
+            self.set_injections,
+            seed,
+            |_| true,
+            &driver,
+        );
+        let set = set_run.report;
         // 7. RIIF export.
         let mut riif = RiifDatabase::new(design.name());
         riif.add_component(ComponentRecord {
@@ -147,6 +174,11 @@ impl HolisticFlow {
             safety,
             set_derating: set.derating(),
             riif,
+            stage_stats: vec![
+                ("fault-sim", campaign_run.stats),
+                ("classification", classification_run.stats),
+                ("set", set_run.stats),
+            ],
         }
     }
 }
@@ -169,6 +201,13 @@ mod tests {
         assert!(r.riif.chip_fit() > 0.0);
         let text = r.riif.to_text();
         assert!(RiifDatabase::from_text(&text).is_ok());
+        // Every injection stage reports throughput.
+        for stage in ["fault-sim", "classification", "set"] {
+            let stats = r.stage(stage).expect(stage);
+            assert!(stats.injections > 0, "{stage}");
+            assert!(stats.injections_per_sec() > 0.0, "{stage}");
+        }
+        assert_eq!(r.stage("set").unwrap().injections, 300);
     }
 
     #[test]

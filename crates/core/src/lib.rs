@@ -40,6 +40,7 @@ pub mod report;
 
 pub use rescue_aging as aging;
 pub use rescue_atpg as atpg;
+pub use rescue_campaign as campaign;
 pub use rescue_cpu as cpu;
 pub use rescue_faults as faults;
 pub use rescue_gpgpu as gpgpu;

@@ -44,6 +44,22 @@ pub fn render_report(report: &FlowReport) -> String {
         );
     }
     let _ = writeln!(s);
+    if !report.stage_stats.is_empty() {
+        let _ = writeln!(s, "### Campaign throughput");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "| stage | injections | inj/s | lane occupancy |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        for (stage, stats) in &report.stage_stats {
+            let _ = writeln!(
+                s,
+                "| {stage} | {} | {:.0} | {:.1} % |",
+                stats.injections,
+                stats.injections_per_sec(),
+                stats.lane_occupancy() * 100.0
+            );
+        }
+        let _ = writeln!(s);
+    }
     let _ = writeln!(s, "### RIIF export");
     let _ = writeln!(s);
     let _ = writeln!(s, "```riif");
@@ -85,6 +101,8 @@ mod tests {
         assert!(md.contains("| fault coverage | 100.00 % |"));
         assert!(md.contains("```riif"));
         assert!(md.contains("meets ASIL-D"));
+        assert!(md.contains("### Campaign throughput"));
+        assert!(md.contains("| classification |"));
     }
 
     #[test]

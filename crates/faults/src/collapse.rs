@@ -260,7 +260,7 @@ mod tests {
             .map(|p| (0..5).map(|i| p >> i & 1 == 1).collect())
             .collect();
         let words = pack_patterns(&patterns[..32]);
-        let golden = sim.golden(&c17, &words);
+        let golden = sim.golden(&words);
         for &f in &all {
             let rep = coll.representative(f);
             if rep == f {

@@ -89,9 +89,9 @@ impl FaultDictionary {
         let mut syndromes = vec![Syndrome::new(); faults.len()];
         for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
             let words = pack_patterns(chunk);
-            let golden = sim.golden(netlist, &words);
+            let golden = sim.golden(&words);
             for (fi, &fault) in faults.iter().enumerate() {
-                let faulty = sim.with_stuck(netlist, &words, fault);
+                let faulty = sim.with_stuck(&words, fault);
                 for (p_in_chunk, _) in chunk.iter().enumerate() {
                     let mut mask = 0u64;
                     for (oi, (_, g)) in netlist.primary_outputs().iter().enumerate() {

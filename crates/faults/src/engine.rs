@@ -174,6 +174,116 @@ impl CampaignPlan {
     }
 }
 
+/// Two observer sets over the gate array, e.g. functional outputs vs
+/// checker outputs in an ISO 26262 classification campaign.
+///
+/// Stored as a per-gate 2-bit membership map so the cone walk tests
+/// membership in O(1) without hashing.
+#[derive(Debug, Clone)]
+pub struct ObserverGroups {
+    member: Vec<u8>,
+}
+
+impl ObserverGroups {
+    /// Builds the membership map for a design of `len` gates: `group_a`
+    /// and `group_b` are observed gate indices (a gate may sit in both).
+    pub fn new(len: usize, group_a: &[u32], group_b: &[u32]) -> Self {
+        let mut member = vec![0u8; len];
+        for &g in group_a {
+            member[g as usize] |= 1;
+        }
+        for &g in group_b {
+            member[g as usize] |= 2;
+        }
+        ObserverGroups { member }
+    }
+
+    #[inline]
+    fn of(&self, g: usize) -> u8 {
+        self.member[g]
+    }
+}
+
+impl CampaignPlan {
+    /// Like [`CampaignPlan::detect`], but observes two arbitrary gate
+    /// sets instead of the primary outputs: returns
+    /// `(group_a_mask, group_b_mask)` — the patterns on which the fault
+    /// effect differs from golden at any gate of the respective group.
+    ///
+    /// Verdicts are bit-identical to diffing a full faulty resimulation
+    /// against golden at the observer gates (the classification oracle):
+    /// gates outside the combinational fanout cone keep their golden
+    /// value, so only cone members (and the root) can contribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-stuck-at kinds and on roots absent from the plan.
+    pub fn detect_observed(
+        &self,
+        compiled: &CompiledNetlist,
+        golden: &[u64],
+        scratch: &mut FaultScratch,
+        fault: Fault,
+        observers: &ObserverGroups,
+    ) -> (u64, u64) {
+        let stuck = fault
+            .kind()
+            .stuck_value()
+            .expect("stuck-at campaign requires stuck-at faults");
+        let word = if stuck { u64::MAX } else { 0 };
+        let root = fault.site().gate().index();
+        let fault_value = match fault.site() {
+            FaultSite::Output(_) => word,
+            FaultSite::Pin { pin, .. } => match compiled.kind(root) {
+                GateKind::Input | GateKind::Dff => golden[root],
+                _ => compiled.eval_word_pin_forced(root, &scratch.val, pin, word),
+            },
+        };
+        if fault_value == golden[root] {
+            return (0, 0);
+        }
+
+        let mut mask_a = 0u64;
+        let mut mask_b = 0u64;
+        let mut observe = |m: u8, diff: u64| {
+            if m & 1 != 0 {
+                mask_a |= diff;
+            }
+            if m & 2 != 0 {
+                mask_b |= diff;
+            }
+        };
+        scratch.val[root] = fault_value;
+        scratch.touched.push(root as u32);
+        observe(observers.of(root), fault_value ^ golden[root]);
+        let mut horizon = 0u32;
+        for &s in compiled.fanout_of(root) {
+            horizon = horizon.max(compiled.topo_pos(s as usize));
+        }
+        let cone = self
+            .cone_of(root)
+            .expect("fault root missing from campaign plan");
+        for &g in cone {
+            let gi = g as usize;
+            if compiled.topo_pos(gi) > horizon {
+                break;
+            }
+            let v = compiled.eval_word(gi, &scratch.val);
+            if v == golden[gi] {
+                continue;
+            }
+            scratch.val[gi] = v;
+            scratch.touched.push(g);
+            observe(observers.of(gi), v ^ golden[gi]);
+            for &s in compiled.fanout_of(gi) {
+                horizon = horizon.max(compiled.topo_pos(s as usize));
+            }
+        }
+        scratch.undo(golden);
+        (mask_a, mask_b)
+    }
+}
+
 /// Reusable per-worker scratch: a value array mirroring the chunk golden
 /// plus the touched-list undo log. No allocation per fault.
 #[derive(Debug, Clone)]
@@ -251,6 +361,51 @@ mod tests {
                 assert!(pos > prev, "cone must ascend strictly past the root");
                 prev = pos;
             }
+        }
+    }
+
+    #[test]
+    fn detect_observed_matches_full_resim_diffs() {
+        let net = generate::random_logic(7, 100, 4, 33);
+        let compiled = CompiledNetlist::new(&net);
+        let faults = crate::universe::stuck_at_universe(&net);
+        let plan = CampaignPlan::build(&compiled, &faults);
+        let words: Vec<u64> = (0..7).map(|i| 0x5bd1_e995u64.wrapping_mul(i + 3)).collect();
+        let mut golden = Vec::new();
+        compiled.eval_words_into(&words, None, &mut golden).unwrap();
+        // Split the outputs into two arbitrary observer groups.
+        let pos = compiled.po_drivers();
+        let (a, b): (Vec<u32>, Vec<u32>) =
+            pos.iter()
+                .enumerate()
+                .fold((Vec::new(), Vec::new()), |(mut a, mut b), (i, &g)| {
+                    if i % 2 == 0 {
+                        a.push(g);
+                    } else {
+                        b.push(g);
+                    }
+                    (a, b)
+                });
+        let obs = ObserverGroups::new(compiled.len(), &a, &b);
+        let slow = crate::reference::ReferenceFaultSimulator::new(&net);
+        let mut scratch = FaultScratch::new(compiled.len());
+        scratch.load_golden(&golden);
+        for &fault in &faults {
+            let (ma, mb) = plan.detect_observed(&compiled, &golden, &mut scratch, fault, &obs);
+            let faulty = slow.with_stuck(&net, &words, fault);
+            let want_a = a
+                .iter()
+                .fold(0u64, |m, &g| m | (golden[g as usize] ^ faulty[g as usize]));
+            let want_b = b
+                .iter()
+                .fold(0u64, |m, &g| m | (golden[g as usize] ^ faulty[g as usize]));
+            assert_eq!((ma, mb), (want_a, want_b), "{fault}");
+            // Both groups together reproduce plain detection.
+            assert_eq!(
+                ma | mb,
+                plan.detect(&compiled, &golden, &mut scratch, fault),
+                "{fault}"
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 //!   with fault dropping, for both combinational and sequential designs.
 //! * [`engine`] — the incremental single-fault-propagation core: memoized
 //!   fanout cones, event-horizon early exit, touched-list undo.
-//! * [`reference`] — the full-resimulation oracle the fast engine is
+//! * [`mod@reference`] — the full-resimulation oracle the fast engine is
 //!   property-tested against.
 //! * [`sample`] — statistical fault-injection sampling theory: how many
 //!   faults must be injected for a given error margin and confidence
@@ -47,4 +47,4 @@ pub mod universe;
 
 pub use error::FaultError;
 pub use model::{Fault, FaultId, FaultKind, FaultSite};
-pub use simulate::{CampaignReport, FaultSimulator};
+pub use simulate::{CampaignReport, CampaignRun, FaultSimulator};

@@ -10,6 +10,7 @@
 
 use crate::engine::{CampaignPlan, FaultScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
@@ -82,6 +83,18 @@ impl CampaignReport {
     }
 }
 
+/// A campaign verdict plus its observability record.
+///
+/// The report stays `Eq`-comparable (determinism tests rely on that);
+/// wall-clock figures live in the attached [`CampaignStats`].
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The (deterministic) campaign verdicts.
+    pub report: CampaignReport,
+    /// Throughput, worker timing and lane-occupancy figures.
+    pub stats: CampaignStats,
+}
+
 /// Compiled-arena fault simulator over one netlist.
 ///
 /// Supports stuck-at faults on outputs and pins, transition-delay faults
@@ -114,7 +127,7 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics if `words.len()` differs from the primary-input count.
-    pub fn golden(&self, _netlist: &Netlist, words: &[u64]) -> Vec<u64> {
+    pub fn golden(&self, words: &[u64]) -> Vec<u64> {
         self.eval_full(words, None, None)
     }
 
@@ -124,7 +137,7 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics on input-width mismatch or a non-stuck-at fault kind.
-    pub fn with_stuck(&self, _netlist: &Netlist, words: &[u64], fault: Fault) -> Vec<u64> {
+    pub fn with_stuck(&self, words: &[u64], fault: Fault) -> Vec<u64> {
         let value = fault
             .kind()
             .stuck_value()
@@ -137,12 +150,7 @@ impl FaultSimulator {
     /// # Panics
     ///
     /// Panics on input-width mismatch.
-    pub fn with_bridge(
-        &self,
-        _netlist: &Netlist,
-        words: &[u64],
-        bridge: BridgingFault,
-    ) -> Vec<u64> {
+    pub fn with_bridge(&self, words: &[u64], bridge: BridgingFault) -> Vec<u64> {
         let golden = self.eval_full(words, None, None);
         let va = golden[bridge.a.index()];
         let vb = golden[bridge.b.index()];
@@ -278,26 +286,42 @@ impl FaultSimulator {
         }
     }
 
-    /// Multi-threaded stuck-at campaign: splits the fault list into
-    /// contiguous ranges across `threads` scoped workers, each with its
-    /// own reusable scratch and verdict vector (no locks, no per-fault
-    /// allocation). Produces exactly the same verdicts as
-    /// [`FaultSimulator::campaign`].
+    /// Multi-threaded stuck-at campaign over the shared
+    /// [`rescue_campaign`] driver; produces exactly the same verdicts as
+    /// [`FaultSimulator::campaign`]. Thin wrapper over
+    /// [`FaultSimulator::campaign_with_stats`] that discards the stats.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0` or a pattern width mismatches.
     pub fn campaign_parallel(
         &self,
-        netlist: &Netlist,
+        _netlist: &Netlist,
         faults: &[Fault],
         patterns: &[Vec<bool>],
         threads: usize,
     ) -> CampaignReport {
-        assert!(threads > 0, "need at least one worker");
-        if faults.is_empty() || threads == 1 {
-            return self.campaign(netlist, faults, patterns);
-        }
+        self.campaign_with_stats(faults, patterns, &Campaign::new(0, threads))
+            .report
+    }
+
+    /// Stuck-at campaign with fault dropping through the shared
+    /// [`Campaign`] driver: the fault list is sharded into contiguous
+    /// ranges over scoped workers, each with its own reusable
+    /// [`FaultScratch`]; per-chunk golden words are computed once and
+    /// shared read-only. Verdicts are bit-identical to
+    /// [`FaultSimulator::campaign`] for every worker count; the returned
+    /// [`CampaignRun`] adds throughput/lane-occupancy observability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern width differs from the primary-input count.
+    pub fn campaign_with_stats(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        campaign: &Campaign,
+    ) -> CampaignRun {
         let c = &self.compiled;
         // Golden values and live mask per chunk, computed once and shared
         // read-only by all workers.
@@ -312,48 +336,43 @@ impl FaultSimulator {
             })
             .collect();
         let plan = CampaignPlan::build(c, faults);
-        let per = faults.len().div_ceil(threads);
-        let parts: Vec<Vec<Option<usize>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = faults
-                .chunks(per)
-                .map(|range| {
-                    let plan = &plan;
-                    let chunks = &chunks;
-                    scope.spawn(move || {
-                        let mut first: Vec<Option<usize>> = vec![None; range.len()];
-                        let mut undetected = range.len();
-                        let mut scratch = FaultScratch::new(c.len());
-                        for (ci, (golden, live)) in chunks.iter().enumerate() {
-                            if undetected == 0 {
-                                break;
-                            }
-                            scratch.load_golden(golden);
-                            for (fi, &fault) in range.iter().enumerate() {
-                                if first[fi].is_some() {
-                                    continue;
-                                }
-                                let mask = plan.detect(c, golden, &mut scratch, fault) & *live;
-                                if mask != 0 {
-                                    first[fi] = Some(ci * 64 + mask.trailing_zeros() as usize);
-                                    undetected -= 1;
-                                }
-                            }
+        let run = campaign.run_ranges(
+            faults,
+            |_| FaultScratch::new(c.len()),
+            |scratch, _, range| {
+                let mut first: Vec<Option<usize>> = vec![None; range.len()];
+                let mut undetected = range.len();
+                for (ci, (golden, live)) in chunks.iter().enumerate() {
+                    if undetected == 0 {
+                        break; // every fault in this shard dropped
+                    }
+                    scratch.load_golden(golden);
+                    for (fi, &fault) in range.iter().enumerate() {
+                        if first[fi].is_some() {
+                            continue;
                         }
-                        first
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        });
-        let first_detection: Vec<Option<usize>> = parts.into_iter().flatten().collect();
-        CampaignReport {
-            faults: faults.to_vec(),
-            first_detection,
-            patterns: patterns.len(),
+                        let mask = plan.detect(c, golden, scratch, fault) & *live;
+                        if mask != 0 {
+                            first[fi] = Some(ci * 64 + mask.trailing_zeros() as usize);
+                            undetected -= 1;
+                        }
+                    }
+                }
+                first
+            },
+        );
+        let mut stats = CampaignStats::from_run(faults.len(), &run);
+        for (_, live) in &chunks {
+            stats.record_lanes(live.count_ones() as u64, 64);
         }
+        let report = CampaignReport {
+            faults: faults.to_vec(),
+            first_detection: run.results,
+            patterns: patterns.len(),
+        };
+        stats.tally.detected = report.detected_count();
+        stats.tally.undetected = faults.len() - stats.tally.detected;
+        CampaignRun { report, stats }
     }
 
     /// Transition-delay campaign over consecutive pattern *pairs*
@@ -582,9 +601,9 @@ mod tests {
         assert_eq!(r.detected_count(), 2);
         // x=0,p=1,q=1: stem fault corrupts both outputs, branch only y1.
         let words = pack_patterns(&[vec![false, true, true]]);
-        let golden = sim.golden(&n, &words);
-        let fs = sim.with_stuck(&n, &words, stem);
-        let fb = sim.with_stuck(&n, &words, branch);
+        let golden = sim.golden(&words);
+        let fs = sim.with_stuck(&words, stem);
+        let fb = sim.with_stuck(&words, branch);
         assert_eq!(fs[g2.index()] & 1, 1, "stem corrupts second branch");
         assert_eq!(fb[g2.index()] & 1, golden[g2.index()] & 1);
     }
@@ -603,7 +622,6 @@ mod tests {
         // a=1, c=0: wired-AND forces both to 0 -> y1 flips.
         let words = pack_patterns(&[vec![true, false]]);
         let v = sim.with_bridge(
-            &n,
             &words,
             BridgingFault {
                 a: n1,
@@ -613,7 +631,6 @@ mod tests {
         );
         assert_eq!(v[n1.index()] & 1, 0);
         let v = sim.with_bridge(
-            &n,
             &words,
             BridgingFault {
                 a: n1,
@@ -713,7 +730,7 @@ mod tests {
         let words = pack_patterns(&patterns);
         let fast = FaultSimulator::new(&net);
         let slow = crate::reference::ReferenceFaultSimulator::new(&net);
-        let golden = fast.golden(&net, &words);
+        let golden = fast.golden(&words);
         assert_eq!(golden, slow.golden(&net, &words));
         for &fault in &faults {
             assert_eq!(

@@ -61,7 +61,7 @@ proptest! {
         let words = pack_patterns(&patterns);
         let fast = FaultSimulator::new(&net);
         let slow = ReferenceFaultSimulator::new(&net);
-        let golden = fast.golden(&net, &words);
+        let golden = fast.golden(&words);
         prop_assert_eq!(&golden, &slow.golden(&net, &words));
         for &fault in &faults {
             prop_assert_eq!(
@@ -83,7 +83,7 @@ proptest! {
         let slow = ReferenceFaultSimulator::new(&net);
         for &fault in faults.iter().take(60) {
             prop_assert_eq!(
-                fast.with_stuck(&net, &words, fault),
+                fast.with_stuck(&words, fault),
                 slow.with_stuck(&net, &words, fault),
                 "{}", fault
             );
@@ -100,7 +100,7 @@ proptest! {
         let slow = ReferenceFaultSimulator::new(&net);
         for &bridge in bridges.iter().take(40) {
             prop_assert_eq!(
-                fast.with_bridge(&net, &words, bridge),
+                fast.with_bridge(&words, bridge),
                 slow.with_bridge(&net, &words, bridge)
             );
         }
@@ -109,7 +109,7 @@ proptest! {
             for wired_and in [true, false] {
                 let br = BridgingFault { a, b, wired_and };
                 prop_assert_eq!(
-                    fast.with_bridge(&net, &words, br),
+                    fast.with_bridge(&words, br),
                     slow.with_bridge(&net, &words, br)
                 );
             }

@@ -32,14 +32,14 @@ proptest! {
         let sim = FaultSimulator::new(&net);
         let pats = random_patterns(6, 16, seed);
         let words = pack_patterns(&pats);
-        let golden = sim.golden(&net, &words);
+        let golden = sim.golden(&words);
         for id in net.ids().take(20) {
             if net.gate(id).kind() == rescue_netlist::GateKind::Dff { continue; }
             let gval = golden[id.index()];
             // stuck-at the value the gate already has on pattern 0
             let v = gval & 1 == 1;
             let f = Fault::stuck_at(FaultSite::Output(id), v);
-            let faulty = sim.with_stuck(&net, &words, f);
+            let faulty = sim.with_stuck(&words, f);
             // pattern 0: no difference anywhere can originate at the site
             for (_, g) in net.primary_outputs() {
                 let diff = (golden[g.index()] ^ faulty[g.index()]) & 1;
@@ -117,7 +117,7 @@ fn campaign_first_detection_is_minimal() {
         if let Some(first) = det {
             for (pi, pat) in pats.iter().enumerate().take(*first + 1) {
                 let words = pack_patterns(std::slice::from_ref(pat));
-                let golden = sim.golden(&net, &words);
+                let golden = sim.golden(&words);
                 let mask = sim.detection_mask(&net, &words, &golden, faults[fi]) & 1;
                 if pi < *first {
                     assert_eq!(mask, 0, "fault {fi} detected earlier than reported");

@@ -6,6 +6,7 @@
 //! paper Section III.B's core cost/accuracy argument.
 
 use crate::seu_analysis::{SeuCampaign, SeuReport};
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_faults::sample::{achieved_margin, sample_size, Confidence};
 use rescue_faults::FaultError;
 use rescue_netlist::Netlist;
@@ -76,9 +77,13 @@ pub struct SampledResult {
     pub avf: f64,
     /// Achieved error margin at the plan's confidence.
     pub margin: Option<f64>,
+    /// Observability record of the injection run (throughput, lane
+    /// occupancy, outcome tally).
+    pub stats: CampaignStats,
 }
 
-/// Runs the sampled campaign described by `plan`.
+/// Runs the sampled campaign described by `plan` on the bit-parallel
+/// engine. Serial convenience wrapper over [`execute_on`].
 ///
 /// # Panics
 ///
@@ -91,14 +96,41 @@ pub fn execute(
     horizon: usize,
     seed: u64,
 ) -> SampledResult {
-    let campaign = SeuCampaign::new(warmup, horizon);
-    let report = campaign.run_sampled(netlist, inputs, plan.sample, seed);
-    let avf = report.avf();
+    execute_on(
+        netlist,
+        inputs,
+        plan,
+        warmup,
+        horizon,
+        seed,
+        &Campaign::serial(),
+    )
+}
+
+/// [`execute`] on the shared [`Campaign`] driver: the estimate is
+/// identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if `inputs` has the wrong width or the design has no DFFs.
+pub fn execute_on(
+    netlist: &Netlist,
+    inputs: &[bool],
+    plan: &CampaignPlan,
+    warmup: usize,
+    horizon: usize,
+    seed: u64,
+    campaign: &Campaign,
+) -> SampledResult {
+    let seu = SeuCampaign::new(warmup, horizon);
+    let run = seu.run_sampled_on(netlist, inputs, plan.sample, seed, campaign);
+    let avf = run.report.avf();
     let margin = achieved_margin(plan.population, plan.sample, plan.confidence, 0.5);
     SampledResult {
-        report,
+        report: run.report,
         avf,
         margin,
+        stats: run.stats,
     }
 }
 
@@ -142,5 +174,49 @@ mod tests {
     fn plan_rejects_bad_margin() {
         let net = generate::lfsr(4, &[3, 1]);
         assert!(plan(&net, 10, 0.0, Confidence::C95).is_err());
+        assert!(plan(&net, 10, -0.3, Confidence::C95).is_err());
+        assert!(plan(&net, 10, 1.0, Confidence::C99).is_err());
+        assert!(plan(&net, 10, 1.7, Confidence::C99).is_err());
+    }
+
+    #[test]
+    fn c99_margin_holds_on_multi_hundred_flop_design() {
+        // 300 flops, 2 injection cycles: population 600, exhaustive
+        // ground truth still tractable on the bit-parallel engine.
+        let net = generate::lfsr(300, &[299, 7]);
+        let warmup = 2;
+        let horizon = 10;
+        let truth = SeuCampaign::new(warmup, horizon)
+            .run_exhaustive(&net, &[])
+            .avf();
+
+        let p = plan(&net, warmup, 0.05, Confidence::C99).unwrap();
+        assert_eq!(p.population, 600);
+        assert!(p.sample < p.population);
+        for seed in [3u64, 17, 2024] {
+            let result = execute(&net, &[], &p, warmup, horizon, seed);
+            let margin = result.margin.unwrap();
+            assert!(
+                (result.avf - truth).abs() <= margin + 0.05,
+                "seed {seed}: estimate {} vs truth {truth} (margin {margin})",
+                result.avf
+            );
+            assert_eq!(result.stats.injections, p.sample);
+            assert_eq!(result.stats.tally.total(), p.sample);
+        }
+    }
+
+    #[test]
+    fn execute_on_is_worker_count_invariant() {
+        let net = generate::lfsr(120, &[119, 5]);
+        let warmup = 3;
+        let p = plan(&net, warmup, 0.08, Confidence::C95).unwrap();
+        let serial = execute(&net, &[], &p, warmup, 6, 11);
+        for workers in [2usize, 4, 7] {
+            let par = execute_on(&net, &[], &p, warmup, 6, 11, &Campaign::new(0, workers));
+            assert_eq!(par.report, serial.report, "workers = {workers}");
+            assert_eq!(par.avf, serial.avf);
+            assert_eq!(par.margin, serial.margin);
+        }
     }
 }

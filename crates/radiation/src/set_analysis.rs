@@ -12,6 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateId, GateKind, Netlist};
 use rescue_sim::timed::{SetPulse, TimedSimulator};
 
@@ -86,6 +87,17 @@ impl SetReport {
         }
         map.into_iter().map(|(g, (s, p))| (g, s, p)).collect()
     }
+}
+
+/// A SET report plus the campaign observability record of the run that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct SetRun {
+    /// The (deterministic) strike records.
+    pub report: SetReport,
+    /// Throughput, worker timing and outcome tally (propagated strikes
+    /// count as failures, masked ones as masked).
+    pub stats: CampaignStats,
 }
 
 /// Monte-Carlo SET campaign runner over one combinational netlist.
@@ -184,6 +196,27 @@ impl SetCampaign {
         seed: u64,
         filter: F,
     ) -> SetReport {
+        self.run_campaign(netlist, injections, seed, filter, &Campaign::serial())
+            .report
+    }
+
+    /// [`Self::run_on`] on the shared [`Campaign`] driver: strike specs
+    /// (gate, pulse width, input pattern) are drawn serially from `seed`
+    /// in the exact order of the scalar path, then the timed-simulation
+    /// classification is sharded over scoped workers. The report is
+    /// byte-identical for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no eligible gate passes the filter.
+    pub fn run_campaign<F: Fn(GateId) -> bool>(
+        &self,
+        netlist: &Netlist,
+        injections: usize,
+        seed: u64,
+        filter: F,
+        campaign: &Campaign,
+    ) -> SetRun {
         let candidates: Vec<GateId> = self
             .targets
             .iter()
@@ -193,15 +226,32 @@ impl SetCampaign {
         assert!(!candidates.is_empty(), "no strike-eligible gates");
         let mut rng = StdRng::seed_from_u64(seed);
         let n_in = netlist.primary_inputs().len();
-        let mut records = Vec::with_capacity(injections);
-        for _ in 0..injections {
-            let gate = candidates[rng.gen_range(0..candidates.len())];
-            let width = rng.gen_range(self.min_width..=self.max_width);
-            let inputs: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
-            records.push(self.inject(netlist, gate, width, &inputs));
+        let specs: Vec<(GateId, u64, Vec<bool>)> = (0..injections)
+            .map(|_| {
+                let gate = candidates[rng.gen_range(0..candidates.len())];
+                let width = rng.gen_range(self.min_width..=self.max_width);
+                let inputs: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
+                (gate, width, inputs)
+            })
+            .collect();
+        let run = campaign.run_sharded(
+            &specs,
+            |_| (),
+            |_, _, (gate, width, inputs)| self.inject(netlist, *gate, *width, inputs),
+        );
+        let mut stats = CampaignStats::from_run(injections, &run);
+        for inj in &run.results {
+            if inj.outcome == SetOutcome::Propagated {
+                stats.tally.failures += 1;
+            } else {
+                stats.tally.masked += 1;
+            }
         }
-        SetReport {
-            injections: records,
+        SetRun {
+            report: SetReport {
+                injections: run.results,
+            },
+            stats,
         }
     }
 
@@ -345,6 +395,27 @@ mod tests {
         let camp = SetCampaign::new(&net).with_delays(&net, delays);
         let r = camp.run_on(&net, 50, 2, |g| g == x);
         assert_eq!(r.fraction(SetOutcome::ElectricallyMasked), 1.0);
+    }
+
+    #[test]
+    fn sharded_set_campaign_matches_serial() {
+        let net = generate::random_logic(8, 60, 3, 3);
+        let camp = SetCampaign::new(&net);
+        let serial = camp.run(&net, 200, 11);
+        for workers in [2usize, 4] {
+            let run = camp.run_campaign(&net, 200, 11, |_| true, &Campaign::new(0, workers));
+            assert_eq!(run.report, serial, "workers = {workers}");
+            assert_eq!(run.stats.injections, 200);
+            assert_eq!(run.stats.tally.total(), 200);
+            assert_eq!(
+                run.stats.tally.failures,
+                serial
+                    .injections()
+                    .iter()
+                    .filter(|i| i.outcome == SetOutcome::Propagated)
+                    .count()
+            );
+        }
     }
 
     #[test]

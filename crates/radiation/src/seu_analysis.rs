@@ -12,11 +12,30 @@
 //!
 //! The per-flop failure fraction is the architectural vulnerability
 //! factor used to weight raw upset rates into effective FIT.
+//!
+//! # Execution engine
+//!
+//! The default path is bit-parallel: the golden run is simulated **once**
+//! into a [`GoldenTrace`], then injections targeting the same cycle are
+//! packed 64 per machine word on a [`SeqWordMachine`] — every lane starts
+//! from the snapshotted golden state with one flip-flop flipped, and all
+//! 64 faulty machines step together through the horizon, diffing against
+//! the recorded golden outputs. Batches are sharded over a shared
+//! [`Campaign`] driver, and the returned [`SeuRun`] carries a
+//! [`CampaignStats`] record (throughput, lane occupancy, outcome tally).
+//!
+//! The scalar lockstep implementation is retained in [`mod@reference`] as the
+//! equivalence oracle; property tests prove both paths produce identical
+//! [`SeuReport`]s.
+
+pub mod reference;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::Netlist;
-use rescue_sim::seq::SeqSimulator;
+use rescue_sim::compiled::CompiledNetlist;
+use rescue_sim::compiled_seq::{broadcast_inputs, GoldenTrace, SeqWordMachine};
 
 /// Outcome of one SEU injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +118,16 @@ impl SeuReport {
     }
 }
 
+/// An SEU report plus the campaign observability record of the run that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct SeuRun {
+    /// The (deterministic) injection verdicts.
+    pub report: SeuReport,
+    /// Throughput, worker timing, lane occupancy and outcome tally.
+    pub stats: CampaignStats,
+}
+
 /// SEU campaign runner.
 ///
 /// # Examples
@@ -128,27 +157,44 @@ impl SeuCampaign {
     }
 
     /// Exhaustive campaign: every flip-flop, every injection cycle in
-    /// `0..warmup`, constant `inputs` each cycle.
+    /// `0..warmup`, constant `inputs` each cycle. Serial convenience
+    /// wrapper over [`Self::run_exhaustive_on`].
     ///
     /// # Panics
     ///
     /// Panics if `inputs` has the wrong width or the design has no DFFs.
     pub fn run_exhaustive(&self, netlist: &Netlist, inputs: &[bool]) -> SeuReport {
+        self.run_exhaustive_on(netlist, inputs, &Campaign::serial())
+            .report
+    }
+
+    /// [`Self::run_exhaustive`] on the shared [`Campaign`] driver, with a
+    /// [`CampaignStats`] record attached. Verdicts are identical for
+    /// every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong width or the design has no DFFs.
+    pub fn run_exhaustive_on(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        campaign: &Campaign,
+    ) -> SeuRun {
         let n_dff = netlist.dffs().len();
         assert!(n_dff > 0, "SEU campaign needs flip-flops");
-        let mut injections = Vec::new();
+        let cycles = self.warmup.max(1);
+        let mut points = Vec::with_capacity(n_dff * cycles);
         for dff in 0..n_dff {
-            for cycle in 0..self.warmup.max(1) {
-                injections.push(self.inject(netlist, inputs, dff, cycle));
+            for cycle in 0..cycles {
+                points.push((dff, cycle));
             }
         }
-        SeuReport {
-            injections,
-            dff_count: n_dff,
-        }
+        self.run_points(netlist, inputs, &points, campaign)
     }
 
     /// Random-sampled campaign of `count` injections (statistical FI).
+    /// Serial convenience wrapper over [`Self::run_sampled_on`].
     ///
     /// # Panics
     ///
@@ -160,23 +206,43 @@ impl SeuCampaign {
         count: usize,
         seed: u64,
     ) -> SeuReport {
+        self.run_sampled_on(netlist, inputs, count, seed, &Campaign::serial())
+            .report
+    }
+
+    /// [`Self::run_sampled`] on the shared [`Campaign`] driver, with a
+    /// [`CampaignStats`] record attached. The `(dff, cycle)` sample
+    /// sequence is drawn serially from `seed` — identical to the scalar
+    /// reference — before the injections are grouped by cycle, packed
+    /// into lanes and sharded, so the report is byte-identical for every
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong width or the design has no DFFs.
+    pub fn run_sampled_on(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        count: usize,
+        seed: u64,
+        campaign: &Campaign,
+    ) -> SeuRun {
         let n_dff = netlist.dffs().len();
         assert!(n_dff > 0, "SEU campaign needs flip-flops");
         let mut rng = StdRng::seed_from_u64(seed);
-        let injections = (0..count)
+        let points: Vec<(usize, usize)> = (0..count)
             .map(|_| {
                 let dff = rng.gen_range(0..n_dff);
                 let cycle = rng.gen_range(0..self.warmup.max(1));
-                self.inject(netlist, inputs, dff, cycle)
+                (dff, cycle)
             })
             .collect();
-        SeuReport {
-            injections,
-            dff_count: n_dff,
-        }
+        self.run_points(netlist, inputs, &points, campaign)
     }
 
-    /// Injects one SEU at (`dff`, `cycle`) and classifies it.
+    /// Injects one SEU at (`dff`, `cycle`) and classifies it, on the
+    /// scalar lockstep path (see [`mod@reference`]).
     ///
     /// # Panics
     ///
@@ -188,34 +254,147 @@ impl SeuCampaign {
         dff: usize,
         cycle: usize,
     ) -> SeuInjection {
-        let mut golden = SeqSimulator::new(netlist);
-        let mut faulty = SeqSimulator::new(netlist);
-        for _ in 0..cycle {
-            golden.step(netlist, inputs).expect("width checked");
-            faulty.step(netlist, inputs).expect("width checked");
+        reference::inject_naive(self, netlist, inputs, dff, cycle)
+    }
+
+    /// Bit-parallel core: classifies every `(dff, cycle)` point of
+    /// `points`, preserving order in the report.
+    fn run_points(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        points: &[(usize, usize)],
+        campaign: &Campaign,
+    ) -> SeuRun {
+        let n_dff = netlist.dffs().len();
+        let cycles = self.warmup.max(1);
+        let compiled = CompiledNetlist::new(netlist);
+        let trace = GoldenTrace::record(&compiled, inputs, cycles - 1 + self.horizon)
+            .expect("input width checked by caller");
+        let input_words = broadcast_inputs(inputs);
+
+        // Group injections by cycle (all lanes of a word share the golden
+        // snapshot) and pack up to 64 per batch.
+        let mut by_cycle: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cycles];
+        for (i, &(dff, cycle)) in points.iter().enumerate() {
+            by_cycle[cycle].push((i, dff));
         }
-        faulty.flip_state(dff);
-        let mut first_mismatch = None;
-        for k in 0..self.horizon {
-            let go = golden.step(netlist, inputs).expect("width checked");
-            let fo = faulty.step(netlist, inputs).expect("width checked");
-            if go != fo && first_mismatch.is_none() {
-                first_mismatch = Some(k);
+        let mut batches: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for (cycle, list) in by_cycle.into_iter().enumerate() {
+            for chunk in list.chunks(64) {
+                batches.push((cycle, chunk.to_vec()));
             }
         }
-        let outcome = if first_mismatch.is_some() {
-            SeuOutcome::Failure
-        } else if golden.state() != faulty.state() {
-            SeuOutcome::Latent
-        } else {
-            SeuOutcome::Masked
-        };
-        SeuInjection {
-            dff,
-            cycle,
-            outcome,
-            detection_latency: first_mismatch,
+
+        let run = campaign.run_ranges(
+            &batches,
+            |_| SeqWordMachine::new(&compiled),
+            |machine, _, range| {
+                range
+                    .iter()
+                    .map(|(cycle, lanes)| {
+                        self.run_batch(&compiled, &trace, &input_words, machine, *cycle, lanes)
+                    })
+                    .collect()
+            },
+        );
+
+        let mut stats = CampaignStats::from_run(points.len(), &run);
+        let mut injections: Vec<Option<SeuInjection>> = vec![None; points.len()];
+        for batch in &run.results {
+            stats.record_lanes(batch.len() as u64, 64);
+            for &(orig, inj) in batch {
+                injections[orig] = Some(inj);
+            }
         }
+        let injections: Vec<SeuInjection> = injections
+            .into_iter()
+            .map(|o| o.expect("every injection point classified"))
+            .collect();
+        for inj in &injections {
+            match inj.outcome {
+                SeuOutcome::Masked => stats.tally.masked += 1,
+                SeuOutcome::Latent => stats.tally.latent += 1,
+                SeuOutcome::Failure => stats.tally.failures += 1,
+            }
+        }
+        SeuRun {
+            report: SeuReport {
+                injections,
+                dff_count: n_dff,
+            },
+            stats,
+        }
+    }
+
+    /// Classifies up to 64 same-cycle injections in one word walk.
+    fn run_batch(
+        &self,
+        compiled: &CompiledNetlist,
+        trace: &GoldenTrace,
+        input_words: &[u64],
+        machine: &mut SeqWordMachine,
+        cycle: usize,
+        lanes: &[(usize, usize)],
+    ) -> Vec<(usize, SeuInjection)> {
+        machine.load_broadcast(compiled, trace.snapshot(cycle));
+        for (lane, &(_, dff)) in lanes.iter().enumerate() {
+            machine.flip_lane(dff, lane);
+        }
+        let group = if lanes.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes.len()) - 1
+        };
+        let mut first: Vec<Option<usize>> = vec![None; lanes.len()];
+        let mut failed = 0u64;
+        for k in 0..self.horizon {
+            machine
+                .step(compiled, input_words)
+                .expect("input width checked by caller");
+            let mut fresh =
+                machine.output_diff_mask(compiled, trace.outputs_at(cycle + k)) & group & !failed;
+            failed |= fresh;
+            while fresh != 0 {
+                let lane = fresh.trailing_zeros() as usize;
+                first[lane] = Some(k);
+                fresh &= fresh - 1;
+            }
+            if failed == group {
+                break; // every lane already failed; latencies are fixed
+            }
+        }
+        // State comparison matters only for lanes that never failed; when
+        // the loop broke early there are none, so skip the (possibly
+        // short) trace lookup.
+        let latent = if failed == group {
+            0
+        } else {
+            machine.state_diff_mask(trace.snapshot(cycle + self.horizon)) & group
+        };
+        lanes
+            .iter()
+            .enumerate()
+            .map(|(lane, &(orig, dff))| {
+                let bit = 1u64 << lane;
+                let (outcome, detection_latency) = if failed & bit != 0 {
+                    (SeuOutcome::Failure, first[lane])
+                } else if latent & bit != 0 {
+                    (SeuOutcome::Latent, None)
+                } else {
+                    (SeuOutcome::Masked, None)
+                };
+                (
+                    orig,
+                    SeuInjection {
+                        dff,
+                        cycle,
+                        outcome,
+                        detection_latency,
+                    },
+                )
+            })
+            .collect()
     }
 }
 
@@ -287,5 +466,41 @@ mod tests {
         let l = generate::lfsr(5, &[4, 2]);
         let c = SeuCampaign::new(5, 5);
         assert_eq!(c.run_sampled(&l, &[], 50, 1), c.run_sampled(&l, &[], 50, 1));
+    }
+
+    #[test]
+    fn stats_account_for_every_injection() {
+        let l = generate::lfsr(9, &[8, 4]);
+        let c = SeuCampaign::new(7, 9);
+        let run = c.run_exhaustive_on(&l, &[], &Campaign::new(3, 4));
+        let n = run.report.injections().len();
+        assert_eq!(n, 9 * 7);
+        assert_eq!(run.stats.injections, n);
+        assert_eq!(run.stats.tally.total(), n);
+        assert_eq!(
+            run.stats.tally.failures,
+            run.report
+                .injections()
+                .iter()
+                .filter(|i| i.outcome == SeuOutcome::Failure)
+                .count()
+        );
+        // 7 cycle groups of 9 lanes each: occupancy is 9/64 per word.
+        assert!(run.stats.lane_occupancy() > 0.0 && run.stats.lane_occupancy() <= 1.0);
+        assert!(run.stats.injections_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_lfsr() {
+        let l = generate::lfsr(10, &[9, 6]);
+        let c = SeuCampaign::new(6, 8);
+        assert_eq!(
+            c.run_exhaustive(&l, &[]),
+            reference::run_exhaustive(&c, &l, &[])
+        );
+        assert_eq!(
+            c.run_sampled(&l, &[], 120, 5),
+            reference::run_sampled(&c, &l, &[], 120, 5)
+        );
     }
 }

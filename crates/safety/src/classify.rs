@@ -1,8 +1,16 @@
 //! ISO 26262 fault classification.
+//!
+//! Classification campaigns run on the shared [`rescue_campaign`] driver
+//! and the incremental cone engine: instead of fully resimulating the
+//! design per fault, each fault's effect is propagated through its
+//! memoized fanout cone and observed at the functional/checker output
+//! groups ([`rescue_faults::engine::CampaignPlan::detect_observed`]).
 
+use rescue_campaign::{Campaign, CampaignStats};
+use rescue_faults::engine::{CampaignPlan, FaultScratch, ObserverGroups};
 use rescue_faults::{simulate::FaultSimulator, Fault};
 use rescue_netlist::Netlist;
-use rescue_sim::parallel::pack_patterns;
+use rescue_sim::parallel::{live_mask, pack_patterns};
 
 /// ISO 26262 class of a fault with respect to a safety goal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,9 +69,19 @@ impl ClassificationReport {
     }
 }
 
+/// A classification verdict plus its campaign observability record.
+#[derive(Debug, Clone)]
+pub struct ClassificationRun {
+    /// The (deterministic) classification verdicts.
+    pub report: ClassificationReport,
+    /// Throughput, worker timing and lane-occupancy figures.
+    pub stats: CampaignStats,
+}
+
 /// Classifies `faults` by simulating `patterns` and comparing the
 /// behaviour of `functional` outputs (safety-goal relevant) and
-/// `checkers` outputs (safety mechanisms).
+/// `checkers` outputs (safety mechanisms). Serial convenience wrapper
+/// over [`classify_with_stats`].
 ///
 /// Classification is stimulus-relative — exactly like a real FI
 /// campaign: a richer stimulus can move faults from `Safe` to another
@@ -79,66 +97,108 @@ pub fn classify(
     checkers: &[String],
     patterns: &[Vec<bool>],
 ) -> ClassificationReport {
+    classify_with_stats(
+        netlist,
+        faults,
+        functional,
+        checkers,
+        patterns,
+        &Campaign::serial(),
+    )
+    .report
+}
+
+/// [`classify`] on the shared [`Campaign`] driver: faults are sharded
+/// over scoped workers, each propagating fault effects through the
+/// memoized cone engine and observing the two output groups. Verdicts
+/// are identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if an output name is unknown or a pattern width mismatches.
+pub fn classify_with_stats(
+    netlist: &Netlist,
+    faults: &[Fault],
+    functional: &[String],
+    checkers: &[String],
+    patterns: &[Vec<bool>],
+    campaign: &Campaign,
+) -> ClassificationRun {
     let find_driver = |name: &str| {
         netlist
             .primary_outputs()
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d.index() as u32)
             .unwrap_or_else(|| panic!("unknown output `{name}`"))
     };
-    let func: Vec<_> = functional.iter().map(|n| find_driver(n)).collect();
-    let chk: Vec<_> = checkers.iter().map(|n| find_driver(n)).collect();
+    let func: Vec<u32> = functional.iter().map(|n| find_driver(n)).collect();
+    let chk: Vec<u32> = checkers.iter().map(|n| find_driver(n)).collect();
     let sim = FaultSimulator::new(netlist);
-
-    let mut classes = vec![FaultClass::Safe; faults.len()];
-    let mut corrupts = vec![false; faults.len()];
-    let mut undetected_corruption = vec![false; faults.len()];
-    let mut alarms = vec![false; faults.len()];
-
-    for chunk in patterns.chunks(64) {
-        let words = pack_patterns(chunk);
-        let golden = sim.golden(netlist, &words);
-        let live = if chunk.len() < 64 {
-            (1u64 << chunk.len()) - 1
-        } else {
-            u64::MAX
-        };
-        for (fi, &fault) in faults.iter().enumerate() {
-            let faulty = sim.with_stuck(netlist, &words, fault);
-            let mut func_mask = 0u64;
-            for &g in &func {
-                func_mask |= golden[g.index()] ^ faulty[g.index()];
-            }
-            let mut chk_mask = 0u64;
-            for &g in &chk {
-                chk_mask |= golden[g.index()] ^ faulty[g.index()];
-            }
-            func_mask &= live;
-            chk_mask &= live;
-            if func_mask != 0 {
-                corrupts[fi] = true;
-                if func_mask & !chk_mask != 0 {
-                    undetected_corruption[fi] = true;
+    let c = sim.compiled();
+    let observers = ObserverGroups::new(c.len(), &func, &chk);
+    let plan = CampaignPlan::build(c, faults);
+    // Per-chunk golden values and live mask, shared read-only.
+    let chunks: Vec<(Vec<u64>, u64)> = patterns
+        .chunks(64)
+        .map(|chunk| {
+            let words = pack_patterns(chunk);
+            (sim.golden(&words), live_mask(chunk.len()))
+        })
+        .collect();
+    let run = campaign.run_ranges(
+        faults,
+        |_| FaultScratch::new(c.len()),
+        |scratch, _, range| {
+            let mut flags = vec![(false, false, false); range.len()];
+            for (golden, live) in &chunks {
+                scratch.load_golden(golden);
+                for (fi, &fault) in range.iter().enumerate() {
+                    let (corrupts, undetected, alarms) = &mut flags[fi];
+                    if *undetected && *alarms {
+                        continue; // Residual is already locked in
+                    }
+                    let (func_mask, chk_mask) =
+                        plan.detect_observed(c, golden, scratch, fault, &observers);
+                    let func_mask = func_mask & live;
+                    let chk_mask = chk_mask & live;
+                    if func_mask != 0 {
+                        *corrupts = true;
+                        if func_mask & !chk_mask != 0 {
+                            *undetected = true;
+                        }
+                    }
+                    if chk_mask != 0 {
+                        *alarms = true;
+                    }
                 }
             }
-            if chk_mask != 0 {
-                alarms[fi] = true;
-            }
-        }
+            flags
+                .iter()
+                .map(
+                    |&(corrupts, undetected, alarms)| match (corrupts, undetected, alarms) {
+                        (true, true, _) => FaultClass::Residual,
+                        (true, false, _) => FaultClass::Detected,
+                        (false, _, true) => FaultClass::Latent,
+                        (false, _, false) => FaultClass::Safe,
+                    },
+                )
+                .collect()
+        },
+    );
+    let mut stats = CampaignStats::from_run(faults.len(), &run);
+    for (_, live) in &chunks {
+        stats.record_lanes(live.count_ones() as u64, 64);
     }
-    for fi in 0..faults.len() {
-        classes[fi] = match (corrupts[fi], undetected_corruption[fi], alarms[fi]) {
-            (true, true, _) => FaultClass::Residual,
-            (true, false, _) => FaultClass::Detected,
-            (false, _, true) => FaultClass::Latent,
-            (false, _, false) => FaultClass::Safe,
-        };
-    }
-    ClassificationReport {
+    let report = ClassificationReport {
         faults: faults.to_vec(),
-        classes,
-    }
+        classes: run.results,
+    };
+    stats.tally.masked = report.count(FaultClass::Safe);
+    stats.tally.detected = report.count(FaultClass::Detected);
+    stats.tally.latent = report.count(FaultClass::Latent);
+    stats.tally.undetected = report.count(FaultClass::Residual);
+    ClassificationRun { report, stats }
 }
 
 #[cfg(test)]
@@ -211,5 +271,34 @@ mod tests {
     fn unknown_output_panics() {
         let c = generate::c17();
         classify(&c, &[], &["nope".into()], &[], &exhaustive(5));
+    }
+
+    #[test]
+    fn verdicts_stable_across_worker_counts() {
+        let inner = generate::adder(2);
+        let p = duplicate_with_comparator(&inner);
+        let faults = universe::stuck_at_universe(&p.netlist);
+        let pats = exhaustive(p.netlist.primary_inputs().len());
+        let serial = classify(
+            &p.netlist,
+            &faults,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &pats,
+        );
+        for workers in [2usize, 3, 8] {
+            let run = classify_with_stats(
+                &p.netlist,
+                &faults,
+                &p.functional_outputs,
+                &p.checker_outputs,
+                &pats,
+                &Campaign::new(0, workers),
+            );
+            assert_eq!(run.report, serial, "workers = {workers}");
+            assert_eq!(run.stats.injections, faults.len());
+            assert!(!run.stats.worker_ns.is_empty() && run.stats.worker_ns.len() <= workers);
+            assert_eq!(run.stats.tally.total(), faults.len());
+        }
     }
 }

@@ -139,10 +139,10 @@ mod tests {
             .map(|p| (0..6).map(|i| p >> i & 1 == 1).collect())
             .collect();
         let words = rescue_sim::parallel::pack_patterns(&patterns);
-        let golden = sim.golden(&net, &words);
+        let golden = sim.golden(&words);
         let safety_driver = net.primary_outputs()[0].1;
         for f in report.pruned_coi.iter().chain(&report.pruned_constant) {
-            let faulty = sim.with_stuck(&net, &words, *f);
+            let faulty = sim.with_stuck(&words, *f);
             assert_eq!(
                 golden[safety_driver.index()],
                 faulty[safety_driver.index()],

@@ -10,9 +10,12 @@
 //! criterion: walk back from the outputs; at each gate, follow inputs
 //! that are *not* masked by a controlling side-input.
 
+use rescue_campaign::{Campaign, CampaignStats};
+use rescue_faults::engine::{CampaignPlan, FaultScratch};
 use rescue_faults::{simulate::FaultSimulator, CampaignReport, Fault};
 use rescue_netlist::{GateId, GateKind, Netlist};
 use rescue_sim::comb::eval_bool;
+use rescue_sim::parallel::pack_patterns;
 
 /// Computes the dynamic slice of one pattern: gates with a sensitized
 /// path to some primary output under `pattern`.
@@ -90,7 +93,7 @@ pub fn dynamic_slice(netlist: &Netlist, pattern: &[bool]) -> Vec<GateId> {
 }
 
 /// Campaign statistics with slicing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SlicedCampaign {
     /// The (identical) campaign verdicts.
     pub report: CampaignReport,
@@ -98,6 +101,8 @@ pub struct SlicedCampaign {
     pub simulations_run: usize,
     /// Fault simulations a naive campaign would run.
     pub simulations_naive: usize,
+    /// Throughput and worker timing from the shared campaign driver.
+    pub stats: CampaignStats,
 }
 
 impl SlicedCampaign {
@@ -112,6 +117,8 @@ impl SlicedCampaign {
 
 /// Runs a serial stuck-at campaign that skips `(fault, pattern)` pairs
 /// where the fault site is outside the pattern's dynamic slice.
+/// Convenience wrapper over [`sliced_campaign_on`] with
+/// [`Campaign::serial`].
 ///
 /// Produces exactly the same first-detection verdicts as
 /// [`FaultSimulator::campaign`] run pattern-by-pattern.
@@ -124,34 +131,76 @@ pub fn sliced_campaign(
     faults: &[Fault],
     patterns: &[Vec<bool>],
 ) -> SlicedCampaign {
+    sliced_campaign_on(netlist, faults, patterns, &Campaign::serial())
+}
+
+/// [`sliced_campaign`] on the shared [`Campaign`] driver: slices and
+/// golden values are computed once per pattern, then faults are sharded
+/// over scoped workers. Each fault's pattern walk — skip-if-detected,
+/// skip-if-out-of-slice, simulate otherwise — is independent of every
+/// other fault, so verdicts *and* both simulation counters are identical
+/// for every worker count.
+///
+/// # Panics
+///
+/// Panics on pattern-width mismatches.
+pub fn sliced_campaign_on(
+    netlist: &Netlist,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    campaign: &Campaign,
+) -> SlicedCampaign {
     let sim = FaultSimulator::new(netlist);
-    let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
-    let mut run = 0usize;
-    let mut naive = 0usize;
-    for (pi, pattern) in patterns.iter().enumerate() {
-        let slice = dynamic_slice(netlist, pattern);
-        let in_slice: Vec<bool> = {
-            let mut v = vec![false; netlist.len()];
-            for g in &slice {
-                v[g.index()] = true;
+    let c = sim.compiled();
+    let plan = CampaignPlan::build(c, faults);
+    // Golden values and slice membership per pattern, shared read-only.
+    let prep: Vec<(Vec<u64>, Vec<bool>)> = patterns
+        .iter()
+        .map(|pattern| {
+            let words = pack_patterns(std::slice::from_ref(pattern));
+            let golden = sim.golden(&words);
+            let mut in_slice = vec![false; netlist.len()];
+            for g in dynamic_slice(netlist, pattern) {
+                in_slice[g.index()] = true;
             }
-            v
-        };
-        let words = rescue_sim::parallel::pack_patterns(std::slice::from_ref(pattern));
-        let golden = sim.golden(netlist, &words);
-        for (fi, &fault) in faults.iter().enumerate() {
-            if first_detection[fi].is_some() {
-                continue;
+            (golden, in_slice)
+        })
+        .collect();
+    let sharded = campaign.run_ranges(
+        faults,
+        |_| FaultScratch::new(c.len()),
+        |scratch, _, range| {
+            let mut out: Vec<(Option<usize>, usize, usize)> = vec![(None, 0, 0); range.len()];
+            for (pi, (golden, in_slice)) in prep.iter().enumerate() {
+                scratch.load_golden(golden);
+                for (fi, &fault) in range.iter().enumerate() {
+                    let (detected, run, naive) = &mut out[fi];
+                    if detected.is_some() {
+                        continue;
+                    }
+                    *naive += 1;
+                    if !in_slice[fault.site().gate().index()] {
+                        continue; // provably undetected by this pattern
+                    }
+                    *run += 1;
+                    if plan.detect(c, golden, scratch, fault) & 1 != 0 {
+                        *detected = Some(pi);
+                    }
+                }
             }
-            naive += 1;
-            if !in_slice[fault.site().gate().index()] {
-                continue; // provably undetected by this pattern
-            }
-            run += 1;
-            if sim.detection_mask(netlist, &words, &golden, fault) & 1 != 0 {
-                first_detection[fi] = Some(pi);
-            }
-        }
+            out
+        },
+    );
+    let mut first_detection = Vec::with_capacity(faults.len());
+    let (mut run, mut naive) = (0usize, 0usize);
+    for &(detected, r, n) in &sharded.results {
+        first_detection.push(detected);
+        run += r;
+        naive += n;
+    }
+    let mut stats = CampaignStats::from_run(run, &sharded);
+    for _ in &prep {
+        stats.record_lanes(1, 64); // one pattern per word: single live lane
     }
     // Reconstruct a CampaignReport through the public constructor path:
     // re-run the dropped bookkeeping shape by marrying our verdicts with
@@ -162,10 +211,13 @@ pub fn sliced_campaign(
         patterns: patterns.len(),
     }
     .build();
+    stats.tally.detected = report.detected_count();
+    stats.tally.undetected = faults.len() - stats.tally.detected;
     SlicedCampaign {
         report,
         simulations_run: run,
         simulations_naive: naive,
+        stats,
     }
 }
 
@@ -213,7 +265,7 @@ mod tests {
             let pattern: Vec<bool> = (0..5).map(|i| p >> i & 1 == 1).collect();
             let slice = dynamic_slice(&net, &pattern);
             let words = rescue_sim::parallel::pack_patterns(std::slice::from_ref(&pattern));
-            let golden = sim.golden(&net, &words);
+            let golden = sim.golden(&words);
             for &f in &faults {
                 if slice.contains(&f.site().gate()) {
                     continue;
@@ -237,6 +289,25 @@ mod tests {
             "slicing must not change any verdict"
         );
         assert!(sliced.speedup() > 1.0, "speedup {}", sliced.speedup());
+    }
+
+    #[test]
+    fn sliced_campaign_counters_stable_across_worker_counts() {
+        use rescue_campaign::Campaign;
+        let net = generate::random_logic(7, 70, 3, 13);
+        let faults = universe::stuck_at_universe(&net);
+        let pats = patterns(7, 48, 5);
+        let serial = sliced_campaign(&net, &faults, &pats);
+        for workers in [2usize, 4] {
+            let par = sliced_campaign_on(&net, &faults, &pats, &Campaign::new(0, workers));
+            assert_eq!(
+                par.report.first_detection(),
+                serial.report.first_detection()
+            );
+            assert_eq!(par.simulations_run, serial.simulations_run);
+            assert_eq!(par.simulations_naive, serial.simulations_naive);
+            assert!(par.stats.injections_per_sec() > 0.0);
+        }
     }
 
     #[test]

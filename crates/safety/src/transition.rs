@@ -9,6 +9,8 @@
 //! with no simultaneous checker alarm.
 
 use crate::classify::FaultClass;
+use rescue_campaign::{Campaign, CampaignStats};
+use rescue_faults::engine::{CampaignPlan, FaultScratch, ObserverGroups};
 use rescue_faults::{simulate::FaultSimulator, Fault, FaultKind, FaultSite};
 use rescue_netlist::Netlist;
 use rescue_sim::parallel::pack_patterns;
@@ -45,9 +47,19 @@ impl TransitionClassification {
     }
 }
 
+/// A transition classification plus its campaign observability record.
+#[derive(Debug, Clone)]
+pub struct TransitionRun {
+    /// The (deterministic) classification verdicts.
+    pub report: TransitionClassification,
+    /// Throughput, worker timing and lane-occupancy figures.
+    pub stats: CampaignStats,
+}
+
 /// Classifies transition-delay `faults` over consecutive pattern pairs
 /// of `patterns` (launch `i`, capture `i+1`), against `functional` and
-/// `checkers` output groups.
+/// `checkers` output groups. Serial convenience wrapper over
+/// [`classify_transitions_with_stats`].
 ///
 /// The capture-cycle behaviour of a launched slow-to-rise fault is its
 /// stuck-at-0 equivalent (and dual for slow-to-fall), so each pair
@@ -65,28 +77,55 @@ pub fn classify_transitions(
     checkers: &[String],
     patterns: &[Vec<bool>],
 ) -> TransitionClassification {
+    classify_transitions_with_stats(
+        netlist,
+        faults,
+        functional,
+        checkers,
+        patterns,
+        &Campaign::serial(),
+    )
+    .report
+}
+
+/// [`classify_transitions`] on the shared [`Campaign`] driver: pattern
+/// pairs are simulated once, then faults are sharded over scoped
+/// workers, each applying the launch-on-shift reduction through the
+/// incremental cone engine. Verdicts are identical for every worker
+/// count.
+///
+/// # Panics
+///
+/// Panics on unknown output names, non-transition fault kinds, pin
+/// fault sites or width mismatches.
+pub fn classify_transitions_with_stats(
+    netlist: &Netlist,
+    faults: &[Fault],
+    functional: &[String],
+    checkers: &[String],
+    patterns: &[Vec<bool>],
+    campaign: &Campaign,
+) -> TransitionRun {
     let find_driver = |name: &str| {
         netlist
             .primary_outputs()
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d.index() as u32)
             .unwrap_or_else(|| panic!("unknown output `{name}`"))
     };
-    let func: Vec<_> = functional.iter().map(|n| find_driver(n)).collect();
-    let chk: Vec<_> = checkers.iter().map(|n| find_driver(n)).collect();
+    let func: Vec<u32> = functional.iter().map(|n| find_driver(n)).collect();
+    let chk: Vec<u32> = checkers.iter().map(|n| find_driver(n)).collect();
     let sim = FaultSimulator::new(netlist);
+    let c = sim.compiled();
+    let observers = ObserverGroups::new(c.len(), &func, &chk);
 
-    let mut corrupts = vec![false; faults.len()];
-    let mut undetected = vec![false; faults.len()];
-    let mut alarms = vec![false; faults.len()];
-
-    for pair in patterns.windows(2) {
-        let launch = pack_patterns(&pair[..1]);
-        let capture = pack_patterns(&pair[1..]);
-        let g_launch = sim.golden(netlist, &launch);
-        let g_capture = sim.golden(netlist, &capture);
-        for (fi, &fault) in faults.iter().enumerate() {
+    // Validate fault kinds and reduce each transition fault to its
+    // launch condition plus stuck-at equivalent — on the caller thread,
+    // so malformed inputs panic before any worker spawns.
+    let specs: Vec<(usize, u64, u64, Fault)> = faults
+        .iter()
+        .map(|fault| {
             let site = match fault.site() {
                 FaultSite::Output(g) => g,
                 FaultSite::Pin { .. } => panic!("transition faults sit on outputs"),
@@ -96,40 +135,78 @@ pub fn classify_transitions(
                 FaultKind::SlowToFall => (1, 0, true),
                 other => panic!("classify_transitions requires transition faults, got {other}"),
             };
-            if g_launch[site.index()] & 1 != from || g_capture[site.index()] & 1 != to {
-                continue; // transition not launched by this pair
-            }
             let eq = Fault::stuck_at(FaultSite::Output(site), stuck);
-            let faulty = sim.with_stuck(netlist, &capture, eq);
-            let func_hit = func
-                .iter()
-                .any(|g| (g_capture[g.index()] ^ faulty[g.index()]) & 1 != 0);
-            let chk_hit = chk
-                .iter()
-                .any(|g| (g_capture[g.index()] ^ faulty[g.index()]) & 1 != 0);
-            if func_hit {
-                corrupts[fi] = true;
-                if !chk_hit {
-                    undetected[fi] = true;
-                }
-            }
-            if chk_hit {
-                alarms[fi] = true;
-            }
-        }
-    }
-    let classes = (0..faults.len())
-        .map(|fi| match (corrupts[fi], undetected[fi], alarms[fi]) {
-            (true, true, _) => FaultClass::Residual,
-            (true, false, _) => FaultClass::Detected,
-            (false, _, true) => FaultClass::Latent,
-            (false, _, false) => FaultClass::Safe,
+            (site.index(), from, to, eq)
         })
         .collect();
-    TransitionClassification {
-        faults: faults.to_vec(),
-        classes,
+    let plan = CampaignPlan::build(c, &specs.iter().map(|s| s.3).collect::<Vec<_>>());
+    // Launch/capture golden values per consecutive pair, shared read-only.
+    let pairs: Vec<(Vec<u64>, Vec<u64>)> = patterns
+        .windows(2)
+        .map(|pair| {
+            (
+                sim.golden(&pack_patterns(&pair[..1])),
+                sim.golden(&pack_patterns(&pair[1..])),
+            )
+        })
+        .collect();
+
+    let run = campaign.run_ranges(
+        &specs,
+        |_| FaultScratch::new(c.len()),
+        |scratch, _, range| {
+            let mut flags = vec![(false, false, false); range.len()];
+            for (g_launch, g_capture) in &pairs {
+                scratch.load_golden(g_capture);
+                for (fi, &(site, from, to, eq)) in range.iter().enumerate() {
+                    let (corrupts, undetected, alarms) = &mut flags[fi];
+                    if *undetected && *alarms {
+                        continue; // Residual is already locked in
+                    }
+                    if g_launch[site] & 1 != from || g_capture[site] & 1 != to {
+                        continue; // transition not launched by this pair
+                    }
+                    let (func_mask, chk_mask) =
+                        plan.detect_observed(c, g_capture, scratch, eq, &observers);
+                    let func_hit = func_mask & 1 != 0;
+                    let chk_hit = chk_mask & 1 != 0;
+                    if func_hit {
+                        *corrupts = true;
+                        if !chk_hit {
+                            *undetected = true;
+                        }
+                    }
+                    if chk_hit {
+                        *alarms = true;
+                    }
+                }
+            }
+            flags
+                .iter()
+                .map(
+                    |&(corrupts, undetected, alarms)| match (corrupts, undetected, alarms) {
+                        (true, true, _) => FaultClass::Residual,
+                        (true, false, _) => FaultClass::Detected,
+                        (false, _, true) => FaultClass::Latent,
+                        (false, _, false) => FaultClass::Safe,
+                    },
+                )
+                .collect()
+        },
+    );
+    let mut stats = CampaignStats::from_run(faults.len(), &run);
+    for _ in &pairs {
+        stats.record_lanes(1, 64); // pairwise launch: one live lane per word
     }
+    let report = TransitionClassification {
+        faults: faults.to_vec(),
+        classes: run.results,
+    };
+    stats.tally.masked = report.count(FaultClass::Safe);
+    stats.tally.detected = report.count(FaultClass::Detected);
+    stats.tally.latent = report.count(FaultClass::Latent);
+    stats.tally.undetected = report.count(FaultClass::Residual);
+    TransitionRun { report, stats }
 }
 
 #[cfg(test)]
@@ -190,6 +267,33 @@ mod tests {
             }
         }
         assert!(r.count(FaultClass::Detected) > 0);
+    }
+
+    #[test]
+    fn transition_verdicts_stable_across_worker_counts() {
+        let inner = generate::adder(2);
+        let p = duplicate_with_comparator(&inner);
+        let faults = universe::transition_universe(&p.netlist);
+        let pats = walking_patterns(p.netlist.primary_inputs().len());
+        let serial = classify_transitions(
+            &p.netlist,
+            &faults,
+            &p.functional_outputs,
+            &p.checker_outputs,
+            &pats,
+        );
+        for workers in [2usize, 5] {
+            let run = classify_transitions_with_stats(
+                &p.netlist,
+                &faults,
+                &p.functional_outputs,
+                &p.checker_outputs,
+                &pats,
+                &Campaign::new(0, workers),
+            );
+            assert_eq!(run.report, serial, "workers = {workers}");
+            assert_eq!(run.stats.injections, faults.len());
+        }
     }
 
     #[test]

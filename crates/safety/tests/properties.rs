@@ -71,10 +71,10 @@ proptest! {
             .map(|p| (0..6).map(|i| p >> i & 1 == 1).collect())
             .collect();
         let words = rescue_sim::parallel::pack_patterns(&exhaustive);
-        let golden = sim.golden(&net, &words);
+        let golden = sim.golden(&words);
         let driver = net.primary_outputs()[0].1;
         for f in report.pruned_coi.iter().chain(&report.pruned_constant) {
-            let faulty = sim.with_stuck(&net, &words, *f);
+            let faulty = sim.with_stuck(&words, *f);
             prop_assert_eq!(
                 golden[driver.index()], faulty[driver.index()],
                 "pruned fault {} is not safe", f

@@ -1,0 +1,358 @@
+//! Bit-parallel sequential simulation: 64 independent machines per word.
+//!
+//! # Design: lane packing over a shared golden trace
+//!
+//! Sequential fault-injection campaigns (SEU analysis, transition tests)
+//! repeat the same structure thousands of times: warm a machine up to
+//! some cycle, perturb one state bit, then watch a short horizon. Two
+//! observations make this embarrassingly word-parallel:
+//!
+//! 1. **The warmup prefix is shared.** Every injection at cycle `c`
+//!    starts from the *same* golden state. [`GoldenTrace::record`] runs
+//!    the scalar two-valued simulation once and keeps a per-cycle state
+//!    snapshot plus the primary-output values of every cycle. An
+//!    injection at `(dff, c)` never re-simulates cycles `0..c` — it
+//!    starts from `snapshot(c)` directly, and the golden half of the
+//!    lockstep comparison is a table lookup instead of a second machine.
+//!
+//! 2. **Faulty machines diverge independently.** Up to 64 injections that
+//!    share an injection cycle are packed into the bit lanes of a
+//!    [`SeqWordMachine`]: each DFF holds a `u64` whose bit `l` is lane
+//!    `l`'s state. The golden snapshot is broadcast into every lane
+//!    (`0u64` / `u64::MAX` per flop), then each lane flips *its own*
+//!    flop via [`SeqWordMachine::flip_lane`]. One [`SeqWordMachine::step`]
+//!    then advances all 64 faulty machines with the same gate kernels the
+//!    scalar engine uses ([`crate::compiled::eval_word_from`]), so each
+//!    lane's trajectory is bit-identical to a scalar run of that
+//!    injection.
+//!
+//! Comparison against the golden trace is also word-wide:
+//! [`SeqWordMachine::output_diff_mask`] XORs each output word with the
+//! broadcast golden output bit and ORs the differences into a single
+//! `u64` — bit `l` set means lane `l` has failed. Campaigns early-exit a
+//! batch once every live lane has failed (the mask equals the live mask),
+//! which is what makes dense-failure designs like LFSRs finish in a
+//! handful of steps.
+//!
+//! The word domain is strictly two-valued, matching
+//! [`crate::seq::SeqSimulator`]'s reset-to-0 convention, so lane 0 of a
+//! broadcast machine with no flips reproduces the scalar simulator
+//! exactly — the property the `rescue-radiation` equivalence suite pins
+//! down.
+
+use crate::compiled::CompiledNetlist;
+use crate::error::SimError;
+
+/// Broadcasts one bit across all 64 lanes.
+#[inline]
+pub fn broadcast(bit: bool) -> u64 {
+    if bit {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Broadcasts a scalar input pattern into per-input lane words.
+pub fn broadcast_inputs(inputs: &[bool]) -> Vec<u64> {
+    inputs.iter().map(|&b| broadcast(b)).collect()
+}
+
+/// Scalar golden trace with per-cycle state snapshots.
+///
+/// `snapshot(c)` is the flip-flop state *after* `c` clock cycles
+/// (`snapshot(0)` is the reset state); `outputs_at(c)` are the primary
+/// outputs observed *during* cycle `c` (the values
+/// [`crate::seq::SeqSimulator::step`] number `c` returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenTrace {
+    snapshots: Vec<Vec<bool>>,
+    outputs: Vec<Vec<bool>>,
+}
+
+impl GoldenTrace {
+    /// Simulates `cycles` clock cycles from reset with constant `inputs`,
+    /// recording every intermediate state and output vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when `inputs` has the wrong
+    /// length.
+    pub fn record(
+        compiled: &CompiledNetlist,
+        inputs: &[bool],
+        cycles: usize,
+    ) -> Result<Self, SimError> {
+        let mut state = vec![false; compiled.dffs().len()];
+        let mut values = Vec::new();
+        let mut snapshots = Vec::with_capacity(cycles + 1);
+        let mut outputs = Vec::with_capacity(cycles);
+        snapshots.push(state.clone());
+        for _ in 0..cycles {
+            compiled.eval_bools_into(inputs, &state, &mut values)?;
+            outputs.push(
+                compiled
+                    .po_drivers()
+                    .iter()
+                    .map(|&g| values[g as usize])
+                    .collect(),
+            );
+            for (i, &d) in compiled.dff_d().iter().enumerate() {
+                state[i] = values[d as usize];
+            }
+            snapshots.push(state.clone());
+        }
+        Ok(GoldenTrace { snapshots, outputs })
+    }
+
+    /// Number of recorded clock cycles.
+    pub fn cycles(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Flip-flop state after `cycle` clock cycles (0 = reset state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle > cycles()`.
+    pub fn snapshot(&self, cycle: usize) -> &[bool] {
+        &self.snapshots[cycle]
+    }
+
+    /// Primary-output values observed during `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle >= cycles()`.
+    pub fn outputs_at(&self, cycle: usize) -> &[bool] {
+        &self.outputs[cycle]
+    }
+}
+
+/// 64 independent sequential machines packed into `u64` lane words.
+///
+/// Reusable scratch: allocate once per worker, then
+/// [`SeqWordMachine::load_broadcast`] + [`SeqWordMachine::flip_lane`] +
+/// [`SeqWordMachine::step`] per injection batch — no per-batch
+/// allocation.
+///
+/// # Examples
+///
+/// Lane 0 with no flip reproduces the scalar simulator:
+///
+/// ```
+/// use rescue_netlist::generate;
+/// use rescue_sim::compiled::CompiledNetlist;
+/// use rescue_sim::compiled_seq::{GoldenTrace, SeqWordMachine};
+///
+/// let lfsr = generate::lfsr(8, &[7, 5, 4, 3]);
+/// let compiled = CompiledNetlist::new(&lfsr);
+/// let trace = GoldenTrace::record(&compiled, &[], 6)?;
+///
+/// let mut m = SeqWordMachine::new(&compiled);
+/// m.load_broadcast(&compiled, trace.snapshot(2));
+/// m.flip_lane(3, 5); // lane 5 takes an SEU in flop 3; lane 0 stays golden
+/// m.step(&compiled, &[])?;
+/// let diff = m.output_diff_mask(&compiled, trace.outputs_at(2));
+/// assert_eq!(diff & 1, 0, "unflipped lane tracks the golden trace");
+/// # Ok::<(), rescue_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqWordMachine {
+    state: Vec<u64>,
+    values: Vec<u64>,
+}
+
+impl SeqWordMachine {
+    /// Creates a machine for `compiled` with all lanes reset to 0.
+    pub fn new(compiled: &CompiledNetlist) -> Self {
+        SeqWordMachine {
+            state: vec![0; compiled.dffs().len()],
+            values: vec![0; compiled.len()],
+        }
+    }
+
+    /// Loads `state_bits` into every lane (broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state_bits` has the wrong width.
+    pub fn load_broadcast(&mut self, compiled: &CompiledNetlist, state_bits: &[bool]) {
+        assert_eq!(state_bits.len(), compiled.dffs().len(), "state width");
+        for (w, &b) in self.state.iter_mut().zip(state_bits) {
+            *w = broadcast(b);
+        }
+    }
+
+    /// Flips flop `dff` in lane `lane` only — the packed SEU primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dff` or `lane` is out of range.
+    pub fn flip_lane(&mut self, dff: usize, lane: usize) {
+        assert!(lane < 64, "lane out of range");
+        self.state[dff] ^= 1u64 << lane;
+    }
+
+    /// Per-flop lane words of the current state.
+    pub fn state_words(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Per-gate lane words of the last evaluated cycle.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Advances all 64 lanes one clock cycle: evaluates the combinational
+    /// logic with the present state, then captures each flop's `D` word.
+    /// Gate values of the evaluated cycle stay readable via
+    /// [`SeqWordMachine::values`] / the diff masks until the next step.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] when `input_words` has the wrong
+    /// length.
+    pub fn step(
+        &mut self,
+        compiled: &CompiledNetlist,
+        input_words: &[u64],
+    ) -> Result<(), SimError> {
+        if input_words.len() != compiled.primary_inputs().len() {
+            return Err(SimError::InputWidthMismatch {
+                expected: compiled.primary_inputs().len(),
+                found: input_words.len(),
+            });
+        }
+        for (i, &pi) in compiled.primary_inputs().iter().enumerate() {
+            self.values[pi as usize] = input_words[i];
+        }
+        for (i, &dff) in compiled.dffs().iter().enumerate() {
+            self.values[dff as usize] = self.state[i];
+        }
+        for &g in compiled.eval_order() {
+            let v = compiled.eval_word(g as usize, &self.values);
+            self.values[g as usize] = v;
+        }
+        for (i, &d) in compiled.dff_d().iter().enumerate() {
+            self.state[i] = self.values[d as usize];
+        }
+        Ok(())
+    }
+
+    /// Lanes whose last evaluated outputs differ from the golden output
+    /// vector `golden_po` (bit `l` set = lane `l` differs on ≥1 output).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `golden_po` has the wrong width.
+    pub fn output_diff_mask(&self, compiled: &CompiledNetlist, golden_po: &[bool]) -> u64 {
+        assert_eq!(golden_po.len(), compiled.po_drivers().len(), "output width");
+        compiled
+            .po_drivers()
+            .iter()
+            .zip(golden_po)
+            .fold(0u64, |acc, (&g, &b)| {
+                acc | (self.values[g as usize] ^ broadcast(b))
+            })
+    }
+
+    /// Lanes whose current state differs from `golden_state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `golden_state` has the wrong width.
+    pub fn state_diff_mask(&self, golden_state: &[bool]) -> u64 {
+        assert_eq!(golden_state.len(), self.state.len(), "state width");
+        self.state
+            .iter()
+            .zip(golden_state)
+            .fold(0u64, |acc, (&w, &b)| acc | (w ^ broadcast(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqSimulator;
+    use rescue_netlist::generate;
+
+    #[test]
+    fn trace_matches_scalar_simulator() {
+        let net = generate::lfsr(8, &[7, 5, 4, 3]);
+        let compiled = CompiledNetlist::new(&net);
+        let trace = GoldenTrace::record(&compiled, &[], 12).unwrap();
+        let mut sim = SeqSimulator::new(&net);
+        assert_eq!(trace.snapshot(0), sim.state());
+        for c in 0..12 {
+            let out = sim.step(&net, &[]).unwrap();
+            assert_eq!(trace.outputs_at(c), &out[..], "outputs cycle {c}");
+            assert_eq!(trace.snapshot(c + 1), sim.state(), "state cycle {c}");
+        }
+    }
+
+    #[test]
+    fn broadcast_lanes_track_scalar_run() {
+        let net = generate::counter(6);
+        let compiled = CompiledNetlist::new(&net);
+        let mut m = SeqWordMachine::new(&compiled);
+        let mut sim = SeqSimulator::new(&net);
+        for cycle in 0..10 {
+            m.step(&compiled, &[]).unwrap();
+            sim.step(&net, &[]).unwrap();
+            for (i, w) in m.state_words().iter().enumerate() {
+                let expect = broadcast(sim.state()[i]);
+                assert_eq!(*w, expect, "cycle {cycle}, flop {i}: all lanes agree");
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_lane_matches_scalar_flip() {
+        let net = generate::lfsr(6, &[5, 3]);
+        let compiled = CompiledNetlist::new(&net);
+        let trace = GoldenTrace::record(&compiled, &[], 10).unwrap();
+        // Flip flop 2 at cycle 3: lane 7 packed vs a scalar machine.
+        let mut m = SeqWordMachine::new(&compiled);
+        m.load_broadcast(&compiled, trace.snapshot(3));
+        m.flip_lane(2, 7);
+        let mut scalar = SeqSimulator::new(&net);
+        scalar.load_state(trace.snapshot(3)).unwrap();
+        scalar.flip_state(2);
+        for k in 0..5 {
+            m.step(&compiled, &[]).unwrap();
+            let out = scalar.step(&net, &[]).unwrap();
+            // Lane 7 state equals the scalar faulty machine.
+            for (i, w) in m.state_words().iter().enumerate() {
+                assert_eq!(w >> 7 & 1 == 1, scalar.state()[i], "step {k}, flop {i}");
+            }
+            // Lane 7 output-diff equals the scalar golden/faulty diff.
+            let diff = m.output_diff_mask(&compiled, trace.outputs_at(3 + k));
+            let scalar_diff = out.iter().zip(trace.outputs_at(3 + k)).any(|(a, b)| a != b);
+            assert_eq!(diff >> 7 & 1 == 1, scalar_diff, "step {k} output diff");
+            // Lane 0 (never flipped) stays on the golden trace.
+            assert_eq!(diff & 1, 0, "step {k}: golden lane clean");
+        }
+        let sdiff = m.state_diff_mask(trace.snapshot(8));
+        assert_eq!(
+            sdiff >> 7 & 1 == 1,
+            scalar.state() != trace.snapshot(8),
+            "final state diff"
+        );
+        assert_eq!(sdiff & 1, 0, "golden lane state matches snapshot");
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let net = generate::c17();
+        let compiled = CompiledNetlist::new(&net);
+        let mut m = SeqWordMachine::new(&compiled);
+        assert!(matches!(
+            m.step(&compiled, &[0; 2]),
+            Err(SimError::InputWidthMismatch {
+                expected: 5,
+                found: 2
+            })
+        ));
+    }
+}

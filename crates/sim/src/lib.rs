@@ -10,6 +10,9 @@
 //!   (paper Section III.B: random fault injection at scale).
 //! * [`seq::SeqSimulator`] — multi-cycle sequential simulation with DFF
 //!   state, used by SBST grading and SEU (bit-flip) injection.
+//! * [`compiled_seq::SeqWordMachine`] — 64 packed sequential machines per
+//!   `u64` word over a shared [`compiled_seq::GoldenTrace`] of per-cycle
+//!   state snapshots, the substrate of bit-parallel SEU campaigns.
 //! * [`timed::TimedSimulator`] — event-driven timed simulation with
 //!   inertial delays, used to propagate SET pulses and model electrical
 //!   masking (paper Sections III.B and the CDN-SET study \[54\]).
@@ -47,6 +50,7 @@
 
 pub mod comb;
 pub mod compiled;
+pub mod compiled_seq;
 pub mod error;
 pub mod logic;
 pub mod parallel;
