@@ -1,13 +1,13 @@
 //! E1 — Fig. 1: distribution of collaborative results per research area.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::figure1::{distribution, publications, render, ResearchArea};
 
 fn bench(c: &mut Criterion) {
     banner("E1", "Fig. 1 distribution of collaborative results");
-    eprintln!("{}", render());
-    eprintln!("{:<8} {:>6} {:>6} {:>6}", "area", "2018", "2019", "total");
+    blog!("{}", render());
+    blog!("{:<8} {:>6} {:>6} {:>6}", "area", "2018", "2019", "total");
     for area in ResearchArea::all() {
         let of = |year: u16| {
             distribution()
@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                 .map(|b| b.count)
                 .sum::<usize>()
         };
-        eprintln!(
+        blog!(
             "{:<8} {:>6} {:>6} {:>6}",
             area.section(),
             of(2018),
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             of(2018) + of(2019)
         );
     }
-    eprintln!("total classified publications: {}", publications().len());
+    blog!("total classified publications: {}", publications().len());
 
     c.bench_function("e01_distribution", |b| {
         b.iter(|| std::hint::black_box(distribution()))

@@ -5,7 +5,7 @@
 //! SBST deterministic-vs-random comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::atpg::compact::static_compaction;
 use rescue_core::atpg::podem::{Podem, PodemOutcome};
 use rescue_core::atpg::random::random_tpg;
@@ -17,9 +17,15 @@ use rescue_core::netlist::generate;
 
 fn bench(c: &mut Criterion) {
     banner("E2", "test generation & testability");
-    eprintln!(
+    blog!(
         "{:<10} {:>7} {:>10} {:>10} {:>9} {:>9} {:>10}",
-        "circuit", "faults", "untestable", "rand cov", "rand pat", "atpg cov", "atpg pat"
+        "circuit",
+        "faults",
+        "untestable",
+        "rand cov",
+        "rand pat",
+        "atpg cov",
+        "atpg pat"
     );
     for net in [
         generate::c17(),
@@ -45,7 +51,7 @@ fn bench(c: &mut Criterion) {
         let atpg_cov = FaultSimulator::new(&net)
             .campaign(&net, &testable, &patterns)
             .coverage();
-        eprintln!(
+        blog!(
             "{:<10} {:>7} {:>10} {:>9.1}% {:>9} {:>8.1}% {:>10}",
             net.name(),
             faults.len(),
@@ -57,31 +63,31 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nCPU SBST (sampled stuck-at universe, deterministic vs random):");
+    blog!("\nCPU SBST (sampled stuck-at universe, deterministic vs random):");
     let sbst_prog = sbst::generate_sbst(3000);
     let rnd_prog = sbst::generate_random_sbst(3000, sbst_prog.len(), 5);
     let sample: Vec<_> = sbst::cpu_fault_universe().into_iter().step_by(29).collect();
     let det = sbst::grade(&sbst_prog, &sample, 300_000);
     let rnd = sbst::grade(&rnd_prog, &sample, 300_000);
-    eprintln!(
+    blog!(
         "  deterministic {:.1}%   random {:.1}%   ({} faults)",
         det.coverage() * 100.0,
         rnd.coverage() * 100.0,
         sample.len()
     );
 
-    eprintln!("\nGPGPU scheduler SBST:");
+    blog!("\nGPGPU scheduler SBST:");
     let u = gpu_sbst::scheduler_fault_universe(8);
     let caught = u.iter().filter(|&&f| gpu_sbst::detects(f, 8, 8)).count();
-    eprintln!("  {caught}/{} select-stuck faults detected", u.len());
+    blog!("  {caught}/{} select-stuck faults detected", u.len());
 
-    eprintln!("\nGPGPU pipeline-latch stuck-at campaign (saxpy, 64 faults):");
+    blog!("\nGPGPU pipeline-latch stuck-at campaign (saxpy, 64 faults):");
     use rescue_core::gpgpu::kernels::{load_saxpy_data, saxpy, SAXPY_Y_BASE};
     use rescue_core::gpgpu::pipeline::{latch_campaign, PipelineEffect};
     let report = latch_campaign(&saxpy(3, 4), 2, 4, SAXPY_Y_BASE, 8, |gpu| {
         load_saxpy_data(gpu, 3)
     });
-    eprintln!(
+    blog!(
         "  masked {:.0}%  DUE {:.0}%  SDC {:.0}%",
         report.fraction(PipelineEffect::Masked) * 100.0,
         report.fraction(PipelineEffect::Due) * 100.0,

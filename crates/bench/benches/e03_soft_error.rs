@@ -5,7 +5,7 @@
 //! de-rating factors.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::faults::sample::Confidence;
 use rescue_core::ml::dataset::{split, Normalizer};
 use rescue_core::ml::graph::gate_features;
@@ -21,9 +21,13 @@ fn bench(c: &mut Criterion) {
         "E3",
         "soft-error vulnerability (SET/SEU, statistical FI, ML de-rating)",
     );
-    eprintln!(
+    blog!(
         "{:<10} {:>9} {:>11} {:>11} {:>9}",
-        "circuit", "logical", "electrical", "propagated", "derating"
+        "circuit",
+        "logical",
+        "electrical",
+        "propagated",
+        "derating"
     );
     for net in [
         generate::c17(),
@@ -34,7 +38,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let campaign = SetCampaign::new(&net);
         let r = campaign.run(&net, 400, 42);
-        eprintln!(
+        blog!(
             "{:<10} {:>8.1}% {:>10.1}% {:>10.1}% {:>9.3}",
             net.name(),
             r.fraction(SetOutcome::LogicallyMasked) * 100.0,
@@ -44,12 +48,12 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nExhaustive vs statistical SEU campaign (lfsr16, 30 cycles):");
+    blog!("\nExhaustive vs statistical SEU campaign (lfsr16, 30 cycles):");
     let net = generate::lfsr(16, &[15, 13, 12, 10]);
     let warmup = 30;
     let horizon = 12;
     let exhaustive = SeuCampaign::new(warmup, horizon).run_exhaustive(&net, &[]);
-    eprintln!(
+    blog!(
         "  exhaustive: {} injections, AVF {:.3}",
         exhaustive.injections().len(),
         exhaustive.avf()
@@ -57,7 +61,7 @@ fn bench(c: &mut Criterion) {
     for margin in [0.1, 0.05, 0.02] {
         let p = plan(&net, warmup, margin, Confidence::C95).expect("valid margin");
         let r = execute(&net, &[], &p, warmup, horizon, 9);
-        eprintln!(
+        blog!(
             "  e={margin:<5} sample {:4} ({:5.1}% of population)  AVF {:.3}  |err| {:.3}",
             p.sample,
             p.cost_ratio * 100.0,
@@ -66,7 +70,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nML de-rating prediction (features -> per-gate SET propagation):");
+    blog!("\nML de-rating prediction (features -> per-gate SET propagation):");
     let net = generate::random_logic(10, 220, 6, 5);
     let campaign = SetCampaign::new(&net);
     let report = campaign.run(&net, 4000, 11);
@@ -84,7 +88,7 @@ fn bench(c: &mut Criterion) {
     let targets: Vec<Vec<f64>> = ty.iter().map(|&y| vec![y]).collect();
     model.train(&tx, &targets, 400, 0.3);
     let preds: Vec<f64> = vx.iter().map(|x| model.forward(x)[0]).collect();
-    eprintln!(
+    blog!(
         "  test R^2 = {:.3} over {} gates (simulated ground truth)",
         r_squared(&preds, &vy),
         vy.len()

@@ -5,16 +5,21 @@
 //! chain length.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::fault_mgmt::{evaluate, event_mix, Policy};
 use rescue_core::radiation::monitor::{PulseStretchDetector, SramSeuMonitor};
 
 fn bench(c: &mut Criterion) {
     banner("E4", "cross-layer fault management & radiation monitors");
     let events = event_mix(2000, 0.15, 7);
-    eprintln!(
+    blog!(
         "{:<18} {:>12} {:>12} {:>8} {:>12} {:>10}",
-        "policy", "mean lat", "worst lat", "local", "escalations", "prevented"
+        "policy",
+        "mean lat",
+        "worst lat",
+        "local",
+        "escalations",
+        "prevented"
     );
     for policy in [
         Policy::HighLevelOnly,
@@ -22,7 +27,7 @@ fn bench(c: &mut Criterion) {
         Policy::MeetInTheMiddle,
     ] {
         let r = evaluate(policy, &events);
-        eprintln!(
+        blog!(
             "{:<18} {:>10.1}cy {:>10}cy {:>8} {:>12} {:>10}",
             format!("{policy:?}"),
             r.mean_latency,
@@ -33,15 +38,17 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nSRAM SEU monitor (64 Kbit, flux 5e-5/bit/unit):");
-    eprintln!(
+    blog!("\nSRAM SEU monitor (64 Kbit, flux 5e-5/bit/unit):");
+    blog!(
         "{:>12} {:>10} {:>12}",
-        "scrub period", "detected", "efficiency"
+        "scrub period",
+        "detected",
+        "efficiency"
     );
     for period in [50u64, 200, 1000, 5000] {
         let m = SramSeuMonitor::new(65_536, period);
         let r = m.expose(5e-5, 20_000, 3);
-        eprintln!(
+        blog!(
             "{:>12} {:>10} {:>11.1}%",
             period,
             r.detected,
@@ -49,11 +56,11 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nPulse-stretching particle detector (threshold 3.0, widths 0.1-2.0):");
-    eprintln!("{:>8} {:>12}", "stages", "efficiency");
+    blog!("\nPulse-stretching particle detector (threshold 3.0, widths 0.1-2.0):");
+    blog!("{:>8} {:>12}", "stages", "efficiency");
     for stages in [2usize, 4, 8, 12, 16] {
         let d = PulseStretchDetector::new(stages, 0.25, 3.0);
-        eprintln!(
+        blog!(
             "{:>8} {:>11.1}%",
             stages,
             d.efficiency(20_000, 0.1, 2.0, 5) * 100.0

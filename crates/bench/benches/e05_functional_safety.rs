@@ -5,7 +5,7 @@
 //! speedup; three-tool confidence cross-check agreement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::faults::universe;
 use rescue_core::netlist::generate;
 use rescue_core::radiation::Fit;
@@ -37,9 +37,17 @@ fn bench(c: &mut Criterion) {
         "E5",
         "ISO 26262 classification, pruning, slicing, tool confidence",
     );
-    eprintln!(
+    blog!(
         "{:<16} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8} {:>10} {:>7}",
-        "design", "safe", "detected", "residual", "latent", "SPFM", "LFM", "PMHF", "ASIL-D"
+        "design",
+        "safe",
+        "detected",
+        "residual",
+        "latent",
+        "SPFM",
+        "LFM",
+        "PMHF",
+        "ASIL-D"
     );
     let rate = Fit::new(100.0);
     for inner in [generate::adder(4), generate::alu(4)] {
@@ -69,10 +77,14 @@ fn bench(c: &mut Criterion) {
         print_row(&format!("{} (dup)", inner.name()), &r, &m);
     }
 
-    eprintln!("\nFormal fault-list pruning + dynamic-slicing FI:");
-    eprintln!(
+    blog!("\nFormal fault-list pruning + dynamic-slicing FI:");
+    blog!(
         "{:<12} {:>7} {:>8} {:>11} {:>9}",
-        "design", "faults", "pruned", "slice sims", "speedup"
+        "design",
+        "faults",
+        "pruned",
+        "slice sims",
+        "speedup"
     );
     for seed in [17u64, 23] {
         let net = generate::random_logic(8, 150, 4, seed);
@@ -85,7 +97,7 @@ fn bench(c: &mut Criterion) {
         let pr = prune(&net, &faults, &outs);
         let pats = patterns(8, 96, seed);
         let sliced = sliced_campaign(&net, &pr.remaining, &pats);
-        eprintln!(
+        blog!(
             "{:<12} {:>7} {:>7.1}% {:>11} {:>8.2}x",
             net.name(),
             faults.len(),
@@ -95,17 +107,17 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nTool-confidence cross-check (ATPG vs FI vs formal):");
+    blog!("\nTool-confidence cross-check (ATPG vs FI vs formal):");
     let net = generate::random_logic(8, 80, 3, 31);
     let faults = universe::stuck_at_universe(&net);
     let pats = patterns(8, 256, 5);
     let check = cross_check(&net, &faults, &pats);
     let (dd, ud, uu, ab) = check.agreement_matrix();
-    eprintln!(
+    blog!(
         "  FI+ATPG agree detected: {dd}   testable-but-missed-by-stimulus: {ud}   \
          both untestable: {uu}   aborted: {ab}"
     );
-    eprintln!(
+    blog!(
         "  inconsistencies: {} (0 = tools verified)",
         check.inconsistencies().len()
     );
@@ -127,7 +139,7 @@ fn bench(c: &mut Criterion) {
 }
 
 fn print_row(name: &str, r: &rescue_core::safety::ClassificationReport, m: &SafetyMetrics) {
-    eprintln!(
+    blog!(
         "{:<16} {:>6} {:>9} {:>9} {:>7} {:>7.1}% {:>7.1}% {:>10} {:>7}",
         name,
         r.count(FaultClass::Safe),

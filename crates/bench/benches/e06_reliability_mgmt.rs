@@ -5,7 +5,7 @@
 //! decoder aging balance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::aging::decoder::{balance, AccessHistogram};
 use rescue_core::mem::fault_model::FinfetDefect;
 use rescue_core::mem::march::{march_cm, march_ss, mats_plus, MarchTest};
@@ -39,14 +39,19 @@ fn bench(c: &mut Criterion) {
         "E6",
         "RSN test/diagnosis/aging, FinFET SRAM DfT, decoder balancing",
     );
-    eprintln!(
+    blog!(
         "{:<14} {:>6} {:>11} {:>10} {:>11} {:>10}",
-        "network", "SIBs", "naive bits", "naive cov", "wave bits", "wave cov"
+        "network",
+        "SIBs",
+        "naive bits",
+        "naive cov",
+        "wave bits",
+        "wave cov"
     );
     for (d, f) in [(1usize, 4usize), (2, 2), (2, 3)] {
         let net = tree(d, f);
         let cmp = compare(&net);
-        eprintln!(
+        blog!(
             "{:<14} {:>6} {:>11} {:>9.1}% {:>11} {:>9.1}%",
             format!("tree({d},{f})"),
             net.sib_names().len(),
@@ -57,7 +62,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nRSN diagnosis resolution (wave test, tree(2,2)):");
+    blog!("\nRSN diagnosis resolution (wave test, tree(2,2)):");
     let net = tree(2, 2);
     let test = wave_test(&net);
     let mut exact = 0;
@@ -73,9 +78,9 @@ fn bench(c: &mut Criterion) {
             exact += 1;
         }
     }
-    eprintln!("  {exact}/{total} detected faults diagnosed to a unique candidate");
+    blog!("  {exact}/{total} detected faults diagnosed to a unique candidate");
 
-    eprintln!("\nRSN NBTI duty (health-monitor profile, 10 years):");
+    blog!("\nRSN NBTI duty (health-monitor profile, 10 years):");
     let mut used = tree(1, 2);
     used.csu(&[true, true]);
     for _ in 0..30 {
@@ -89,13 +94,15 @@ fn bench(c: &mut Criterion) {
         used.csu(&keep);
     }
     for a in analyze(&used, 10.0).iter().take(2) {
-        eprintln!(
+        blog!(
             "  {:<10} duty {:.2} -> ΔVth {:.1} mV",
-            a.name, a.duty, a.delta_vth_mv
+            a.name,
+            a.duty,
+            a.delta_vth_mv
         );
     }
 
-    eprintln!("\nFinFET SRAM: March vs March+current-sensor coverage:");
+    blog!("\nFinFET SRAM: March vs March+current-sensor coverage:");
     let mut faults = Vec::new();
     for cell in 0..16 {
         faults.push(FinfetDefect::ChannelCrack { cell, severity: 3 }.to_cell_fault());
@@ -103,13 +110,16 @@ fn bench(c: &mut Criterion) {
         faults.push(FinfetDefect::BentFin { cell, severity: 2 }.to_cell_fault());
         faults.push(FinfetDefect::GateOxideShort { cell, severity: 2 }.to_cell_fault());
     }
-    eprintln!(
+    blog!(
         "{:<10} {:>8} {:>12} {:>12}",
-        "test", "ops/cell", "march only", "march+DfT"
+        "test",
+        "ops/cell",
+        "march only",
+        "march+DfT"
     );
     for test in [mats_plus(), march_cm(), march_ss()] {
         let cmp = compare_dft(&test, CurrentSensor::new(0.12), 16, &faults);
-        eprintln!(
+        blog!(
             "{:<10} {:>8} {:>11.1}% {:>11.1}%",
             test.name,
             test.ops_per_cell(),
@@ -118,7 +128,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nAddress-decoder aging mitigation (hot address trace):");
+    blog!("\nAddress-decoder aging mitigation (hot address trace):");
     let mut h = AccessHistogram::new(16);
     for _ in 0..2000 {
         h.record(3);
@@ -131,7 +141,7 @@ fn bench(c: &mut Criterion) {
     for budget in [None, Some(5_000), Some(500)] {
         let plan = balance(&h, budget);
         let after = plan.apply(&h);
-        eprintln!(
+        blog!(
             "  budget {:>8}: overhead {:>6} accesses, imbalance {:.3} -> {:.3}",
             budget
                 .map(|b| b.to_string())

@@ -5,7 +5,7 @@
 //! detectors; NN flow-monitor rates; PUF metrics across corners.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::mem::puf::{measure, Environment, SramPuf};
 use rescue_core::security::flow_monitor::{ControlFlowGraph, FlowMonitor};
 use rescue_core::security::keystore::PufKeyStore;
@@ -15,24 +15,24 @@ use rescue_core::security::timing::{assess, ModExp};
 
 fn bench(c: &mut Criterion) {
     banner("E7", "side channels, laser FI, flow monitoring, PUFs");
-    eprintln!("Timing SCA (fixed-vs-fixed, 400 traces):");
+    blog!("Timing SCA (fixed-vs-fixed, 400 traces):");
     for (name, imp) in [
         ("square-and-multiply", ModExp::square_and_multiply()),
         ("montgomery ladder", ModExp::montgomery_ladder()),
     ] {
         let v = assess(&imp, 400, 7);
-        eprintln!(
+        blog!(
             "  {name:<22} |t| = {:>8.1}  {}",
             v.t_statistic,
             if v.leaks { "LEAKS" } else { "passes TVLA" }
         );
     }
 
-    eprintln!("\nCPA key recovery success (10 runs each):");
-    eprintln!("{:>8} {:>12} {:>10}", "traces", "unprotected", "masked");
+    blog!("\nCPA key recovery success (10 runs each):");
+    blog!("{:>8} {:>12} {:>10}", "traces", "unprotected", "masked");
     let key = 0xA7u8;
     for traces in [50usize, 200, 1000] {
-        eprintln!(
+        blog!(
             "{:>8} {:>11.0}% {:>9.0}%",
             traces,
             success_rate(&LeakyDevice::new(key, 1.0), traces, 10, 3) * 100.0,
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nLaser FI on a 8x8 register bank (spot 12um, 3000 shots):");
+    blog!("\nLaser FI on a 8x8 register bank (spot 12um, 3000 shots):");
     let critical: Vec<usize> = (0..64).step_by(5).collect();
     for (name, stride) in [
         ("unprotected", 0usize),
@@ -49,27 +49,30 @@ fn bench(c: &mut Criterion) {
     ] {
         let bank = RegisterBank::grid(8, 8, 10.0, &critical, stride);
         let s = bank.campaign(3000, 12.0, 11);
-        eprintln!(
+        blog!(
             "  {name:<12} attacker success {:>5.1}%  detection {:>5.1}%",
             s.success_rate() * 100.0,
             s.detection_rate() * 100.0
         );
     }
 
-    eprintln!("\nNN program-flow monitor (trained on golden traces only):");
+    blog!("\nNN program-flow monitor (trained on golden traces only):");
     let cfg = ControlFlowGraph::crypto_kernel();
     let monitor = FlowMonitor::train(&cfg, 30, 60, 5);
     let (det, fp) = monitor.evaluate(&cfg, 60, 60, 77);
-    eprintln!(
+    blog!(
         "  detection {:.0}%  false positives {:.0}%",
         det * 100.0,
         fp * 100.0
     );
 
-    eprintln!("\nSRAM PUF quality (256 bits, 8 devices, 5 evaluations):");
-    eprintln!(
+    blog!("\nSRAM PUF quality (256 bits, 8 devices, 5 evaluations):");
+    blog!(
         "{:<12} {:>12} {:>13} {:>13}",
-        "corner", "within HD", "between HD", "min-entropy"
+        "corner",
+        "within HD",
+        "between HD",
+        "min-entropy"
     );
     for (name, env) in [
         ("nominal", Environment::nominal()),
@@ -82,14 +85,17 @@ fn bench(c: &mut Criterion) {
         ),
     ] {
         let m = measure(256, 8, 5, env, 11);
-        eprintln!(
+        blog!(
             "{:<12} {:>12.3} {:>13.3} {:>13.3}",
-            name, m.within_class_hd, m.between_class_hd, m.min_entropy_per_bit
+            name,
+            m.within_class_hd,
+            m.between_class_hd,
+            m.min_entropy_per_bit
         );
     }
     let puf = SramPuf::manufacture(320, 42);
     let store = PufKeyStore::new(5);
-    eprintln!(
+    blog!(
         "  key reconstruction failure: nominal {:.2}%, corner {:.2}%",
         store.failure_rate(&puf, Environment::nominal(), 200, 3) * 100.0,
         store.failure_rate(

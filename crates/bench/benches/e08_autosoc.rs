@@ -1,7 +1,7 @@
 //! E8 — Section IV.B: the AutoSoC configurations under SEU campaigns.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::cpu::autosoc::{run_campaign, AutoSocConfig};
 use rescue_core::cpu::programs;
 
@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     banner("E8", "AutoSoC: baseline vs lockstep vs ECC under SEUs");
     let workloads = programs::all().expect("workloads assemble");
     let injections = 30;
-    eprintln!(
+    blog!(
         "{:<12} {:<12} {:>7} {:>6} {:>9} {:>5} {:>5} {:>9} {:>11} {:>8}",
         "workload",
         "config",
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
     for w in &workloads {
         for config in AutoSocConfig::all() {
             let r = run_campaign(config, w, injections, 42);
-            eprintln!(
+            blog!(
                 "{:<12} {:<12} {:>7} {:>6} {:>9} {:>5} {:>5} {:>8.1}% {:>10.1}% {:>7.0}%",
                 w.name,
                 format!("{config:?}"),
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 config.area_overhead() * 100.0,
             );
         }
-        eprintln!();
+        blog!();
     }
 
     let w = programs::bubble_sort().expect("assembles");

@@ -2,16 +2,22 @@
 //! interchange between tools.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::flow::HolisticFlow;
 use rescue_core::netlist::generate;
 use rescue_core::riif::RiifDatabase;
 
 fn bench(c: &mut Criterion) {
     banner("E9", "holistic flow throughput + RIIF interchange");
-    eprintln!(
+    blog!(
         "{:<12} {:>6} {:>7} {:>7} {:>9} {:>10} {:>10}",
-        "design", "gates", "faults", "pruned", "patterns", "coverage", "chip FIT"
+        "design",
+        "gates",
+        "faults",
+        "pruned",
+        "patterns",
+        "coverage",
+        "chip FIT"
     );
     let mut merged = RiifDatabase::new("soc");
     for design in [
@@ -23,7 +29,7 @@ fn bench(c: &mut Criterion) {
         generate::mux_tree(4),
     ] {
         let r = HolisticFlow::new().run(&design, 128, 42);
-        eprintln!(
+        blog!(
             "{:<12} {:>6} {:>7} {:>7} {:>9} {:>9.1}% {:>10.3}",
             r.design,
             design.len(),
@@ -35,14 +41,14 @@ fn bench(c: &mut Criterion) {
         );
         merged.merge(r.riif);
     }
-    eprintln!(
+    blog!(
         "\nmerged SoC-level RIIF: {} components, {:.3} FIT total",
         merged.components.len(),
         merged.chip_fit()
     );
     let text = merged.to_text();
     let back = RiifDatabase::from_text(&text).expect("riif round-trips");
-    eprintln!(
+    blog!(
         "round-trip through the .riif text format: {} bytes, identical: {}",
         text.len(),
         back == merged

@@ -5,7 +5,7 @@
 //! versus pulse width (the \[54\] curve).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::aging::bti::{BtiModel, HciModel, StressProfile};
 use rescue_core::aging::delay::{aged_timing, OperatingPoint};
 use rescue_core::aging::rejuvenation;
@@ -15,17 +15,20 @@ use rescue_core::radiation::cdn::ClockTree;
 
 fn bench(c: &mut Criterion) {
     banner("E10", "BTI/HCI aging, rejuvenation, CDN SET curve");
-    eprintln!("NBTI ΔVth (duty 0.7, 380 K) and HCI (activity 0.3):");
-    eprintln!(
+    blog!("NBTI ΔVth (duty 0.7, 380 K) and HCI (activity 0.3):");
+    blog!(
         "{:>7} {:>14} {:>14} {:>10}",
-        "years", "bulk 28nm", "finfet 14nm", "HCI"
+        "years",
+        "bulk 28nm",
+        "finfet 14nm",
+        "HCI"
     );
     let stress = StressProfile {
         duty: 0.7,
         temperature_k: 380.0,
     };
     for years in [1.0f64, 3.0, 5.0, 10.0, 15.0] {
-        eprintln!(
+        blog!(
             "{:>7} {:>11.1} mV {:>11.1} mV {:>7.1} mV",
             years,
             BtiModel::bulk_28nm().delta_vth_mv(&stress, years),
@@ -34,10 +37,13 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    eprintln!("\nAged critical path (COP duties, 380 K, bulk 28nm):");
-    eprintln!(
+    blog!("\nAged critical path (COP duties, 380 K, bulk 28nm):");
+    blog!(
         "{:<12} {:>8} {:>10} {:>10}",
-        "design", "years", "slowdown", "worst ΔVth"
+        "design",
+        "years",
+        "slowdown",
+        "worst ΔVth"
     );
     for design in [generate::multiplier(4), generate::alu(8)] {
         let cop = Cop::analyze(&design);
@@ -51,7 +57,7 @@ fn bench(c: &mut Criterion) {
                 years,
                 380.0,
             );
-            eprintln!(
+            blog!(
                 "{:<12} {:>8} {:>9.3}x {:>7.1} mV",
                 design.name(),
                 years,
@@ -61,7 +67,7 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    eprintln!("\nRejuvenation-pattern evolution (skewed AND-tree):");
+    blog!("\nRejuvenation-pattern evolution (skewed AND-tree):");
     let mut b = rescue_core::netlist::NetlistBuilder::new("skewed");
     let ins = b.inputs("i", 10);
     let g1 = b.and_n(&ins[0..5]);
@@ -70,7 +76,7 @@ fn bench(c: &mut Criterion) {
     b.output("y", g);
     let net = b.finish();
     let r = rejuvenation::evolve(&net, 16, 200, 42);
-    eprintln!(
+    blog!(
         "  mean imbalance: random {:.3} -> evolved {:.3} ({:.0}% better, {} generations)",
         r.baseline.mean_imbalance,
         r.evolved.mean_imbalance,
@@ -78,11 +84,11 @@ fn bench(c: &mut Criterion) {
         r.generations
     );
 
-    eprintln!("\nCDN SET functional failure rate vs pulse width ([54] curve):");
+    blog!("\nCDN SET functional failure rate vs pulse width ([54] curve):");
     let tree = ClockTree::new(5, 8);
-    eprintln!("{:>12} {:>8}", "pulse width", "FFR");
+    blog!("{:>12} {:>8}", "pulse width", "FFR");
     for (lo, hi) in [(0.5, 1.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)] {
-        eprintln!(
+        blog!(
             "{:>5.1}-{:<5.1} {:>8.3}",
             lo,
             hi,

@@ -6,7 +6,7 @@
 //! against the naive alternative on the same inputs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::atpg::random::{random_tpg, weighted_random_tpg};
 use rescue_core::faults::collapse::collapse;
 use rescue_core::faults::{simulate::FaultSimulator, universe, Fault};
@@ -73,7 +73,7 @@ fn bench(c: &mut Criterion) {
 
     // --- collapsing ablation (table) ---
     let coll = collapse(&net, &faults);
-    eprintln!(
+    blog!(
         "collapsing: {} faults -> {} representatives ({:.1}% of original)",
         coll.original_len(),
         coll.representatives().len(),
@@ -82,7 +82,7 @@ fn bench(c: &mut Criterion) {
     let sim = FaultSimulator::new(&net);
     let full_cov = sim.campaign(&net, &faults, &pats).coverage();
     let coll_cov = sim.campaign(&net, coll.representatives(), &pats).coverage();
-    eprintln!(
+    blog!(
         "  coverage: full universe {:.2}%, collapsed {:.2}% (same faults, fewer sims)",
         full_cov * 100.0,
         coll_cov * 100.0
@@ -97,7 +97,7 @@ fn bench(c: &mut Criterion) {
     let and_faults = universe::stuck_at_universe(&and_net);
     let unbiased = random_tpg(&and_net, &and_faults, 1.0, 2048, 5);
     let weighted = weighted_random_tpg(&and_net, &and_faults, 1.0, 2048, 5, 0.85);
-    eprintln!(
+    blog!(
         "weighted random (12-input AND tree): unbiased {:.1}% @ {} pats, w=0.85 {:.1}% @ {} pats",
         unbiased.coverage * 100.0,
         unbiased.patterns.len(),

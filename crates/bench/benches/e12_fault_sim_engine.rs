@@ -9,7 +9,7 @@
 //! writes the measurements to `BENCH_fault_sim.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::faults::reference::ReferenceFaultSimulator;
 use rescue_core::faults::{simulate::FaultSimulator, universe};
 use rescue_core::netlist::generate;
@@ -95,26 +95,26 @@ fn bench(c: &mut Criterion) {
     let work = faults.len() as f64 * patterns.len() as f64;
     let speedup = t_old / t_new;
     let speedup_par = t_old / t_par;
-    eprintln!(
+    blog!(
         "\n  workload: {} gates, {} faults, {} patterns (coverage {:.1}%)",
         net.len(),
         faults.len(),
         patterns.len(),
         coverage * 100.0
     );
-    eprintln!("  engine                      time        Mfault*pat/s   speedup");
-    eprintln!(
+    blog!("  engine                      time        Mfault*pat/s   speedup");
+    blog!(
         "  reference (full resim)   {:>9.1} ms   {:>10.1}      1.00x",
         t_old * 1e3,
         work / t_old / 1e6
     );
-    eprintln!(
+    blog!(
         "  cone engine, serial      {:>9.1} ms   {:>10.1}   {:>7.2}x",
         t_new * 1e3,
         work / t_new / 1e6,
         speedup
     );
-    eprintln!(
+    blog!(
         "  cone engine, 4 threads   {:>9.1} ms   {:>10.1}   {:>7.2}x",
         t_par * 1e3,
         work / t_par / 1e6,
@@ -151,9 +151,9 @@ fn bench(c: &mut Criterion) {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault_sim.json");
     if let Err(e) = std::fs::write(path, &json) {
-        eprintln!("  (could not write {path}: {e})");
+        blog!("  (could not write {path}: {e})");
     } else {
-        eprintln!("  wrote {path}");
+        blog!("  wrote {path}");
     }
 
     // Golden-vs-faulty throughput: one golden 64-pattern evaluation of the

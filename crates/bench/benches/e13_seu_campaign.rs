@@ -15,7 +15,7 @@
 //! equivalence gate but skips the timing assertion and JSON export.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::banner;
+use rescue_bench::{banner, blog};
 use rescue_core::campaign::Campaign;
 use rescue_core::netlist::generate;
 use rescue_core::radiation::seu_analysis::{reference, SeuCampaign};
@@ -63,12 +63,12 @@ fn bench(c: &mut Criterion) {
     let avf = run.report.avf();
 
     if smoke {
-        eprintln!(
+        blog!(
             "  smoke config: lfsr({WIDTH}), warmup {warmup}, horizon {horizon}, \
              {injections} injections, AVF {avf:.3}, lane occupancy {:.1}%",
             occupancy * 100.0
         );
-        eprintln!("  equivalence gate passed; timings skipped (E13_SMOKE=1)");
+        blog!("  equivalence gate passed; timings skipped (E13_SMOKE=1)");
         return;
     }
 
@@ -93,30 +93,30 @@ fn bench(c: &mut Criterion) {
 
     let speedup = t_ref / t_word;
     let speedup_par = t_ref / t_par;
-    eprintln!(
+    blog!(
         "\n  workload: lfsr({WIDTH}) [{} gates], warmup {warmup}, horizon {horizon}, \
          {injections} injections, AVF {avf:.3}",
         net.len(),
     );
-    eprintln!("  engine                        time       kinjection/s   speedup");
-    eprintln!(
+    blog!("  engine                        time       kinjection/s   speedup");
+    blog!(
         "  scalar reference           {:>9.1} ms   {:>10.1}      1.00x",
         t_ref * 1e3,
         injections as f64 / t_ref / 1e3
     );
-    eprintln!(
+    blog!(
         "  bit-parallel, serial       {:>9.1} ms   {:>10.1}   {:>7.2}x",
         t_word * 1e3,
         injections as f64 / t_word / 1e3,
         speedup
     );
-    eprintln!(
+    blog!(
         "  bit-parallel, 4 workers    {:>9.1} ms   {:>10.1}   {:>7.2}x",
         t_par * 1e3,
         injections as f64 / t_par / 1e3,
         speedup_par
     );
-    eprintln!("  lane occupancy: {:.1}%", occupancy * 100.0);
+    blog!("  lane occupancy: {:.1}%", occupancy * 100.0);
     assert!(
         speedup >= 20.0,
         "acceptance criterion: bit-parallel engine must be >= 20x over the \
@@ -142,9 +142,9 @@ fn bench(c: &mut Criterion) {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_seu_campaign.json");
     if let Err(e) = std::fs::write(path, &json) {
-        eprintln!("  (could not write {path}: {e})");
+        blog!("  (could not write {path}: {e})");
     } else {
-        eprintln!("  wrote {path}");
+        blog!("  wrote {path}");
     }
 
     c.bench_function("e13_seu_exhaustive_bitparallel", |b| {

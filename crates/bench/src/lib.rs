@@ -1,10 +1,37 @@
-//! Shared helpers for the experiment benches (E1–E12).
+//! Shared helpers for the experiment benches (E1–E14).
 //!
 //! Each bench under `benches/` regenerates one experiment of
 //! EXPERIMENTS.md: it prints the experiment's table(s) once, then
 //! benchmarks the computational kernel behind it with Criterion.
+//!
+//! Bench narration goes through [`blog!`], which is on by default and
+//! silenced with `RESCUE_QUIET=1` — so CI logs stay quiet on demand
+//! while the tables remain one env var away. When telemetry is enabled,
+//! every banner also drops a `bench.banner` instant into the journal so
+//! exported traces carry the experiment boundaries.
 
-/// Prints a bench banner so tables are findable in the bench log.
+/// True unless `RESCUE_QUIET=1`: whether bench harness narration
+/// (tables, banners, progress lines) should be printed.
+pub fn verbose() -> bool {
+    std::env::var("RESCUE_QUIET")
+        .map(|v| v != "1")
+        .unwrap_or(true)
+}
+
+/// `eprintln!` gated behind [`verbose`]: the bench harnesses' one
+/// narration channel. `RESCUE_QUIET=1` silences it.
+#[macro_export]
+macro_rules! blog {
+    ($($arg:tt)*) => {
+        if $crate::verbose() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a bench banner so tables are findable in the bench log, and
+/// marks the experiment boundary in the telemetry journal.
 pub fn banner(id: &str, title: &str) {
-    eprintln!("\n=== {id}: {title} ===");
+    rescue_core::telemetry::instant!("bench.banner");
+    blog!("\n=== {id}: {title} ===");
 }

@@ -10,6 +10,7 @@
 //! any worker count, and nothing is allocated per item.
 
 use crate::seed::derive_seed;
+use rescue_telemetry::span;
 use std::ops::Range;
 use std::time::Instant;
 
@@ -76,6 +77,7 @@ impl Campaign {
         FW: Fn(&mut S, usize, &[T]) -> Vec<R> + Sync,
     {
         let start = Instant::now();
+        let _run = span!("campaign.run", items = items.len());
         let shards = self.shards(items.len());
         let mut worker_ns = Vec::with_capacity(shards.len());
         let mut results = Vec::with_capacity(items.len());
@@ -83,6 +85,7 @@ impl Campaign {
             // Inline fast path: no thread spawn for serial campaigns.
             if let Some(range) = shards.into_iter().next() {
                 let t = Instant::now();
+                let _shard = span!("campaign.shard", worker = 0);
                 let mut s = scratch(0);
                 let part = work(&mut s, range.start, &items[range.clone()]);
                 assert_eq!(part.len(), range.len(), "one result per item");
@@ -106,6 +109,7 @@ impl Campaign {
                     let offset = range.start;
                     scope.spawn(move || {
                         let t = Instant::now();
+                        let _shard = span!("campaign.shard", worker = w);
                         let mut s = scratch(w);
                         let part = work(&mut s, offset, shard);
                         assert_eq!(part.len(), shard.len(), "one result per item");

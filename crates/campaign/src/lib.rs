@@ -15,10 +15,15 @@
 //! * [`stats::CampaignStats`] — the observability record attached to
 //!   every campaign report: injections per second, 64-lane occupancy,
 //!   per-worker timings and outcome tallies.
+//! * [`progress::Progress`] — a shared completion counter with
+//!   rate/ETA snapshots; [`Campaign::run_sharded_observed`] feeds it to
+//!   a progress callback while a campaign runs.
 //! * [`seed`] — SplitMix64 stream derivation, so per-item randomness is
 //!   stable under resharding.
 //!
-//! The crate is dependency-free by design: it sits below `rescue-faults`,
+//! The crate depends only on `rescue-telemetry` (the workspace
+//! observability substrate — every run and shard is wrapped in a
+//! `campaign.*` tracing span): it sits below `rescue-faults`,
 //! `rescue-radiation`, `rescue-safety` and `rescue-aging`, which all
 //! route their campaign loops through it.
 //!
@@ -45,8 +50,10 @@
 //! ```
 
 pub mod driver;
+pub mod progress;
 pub mod seed;
 pub mod stats;
 
 pub use driver::{Campaign, ShardedRun};
+pub use progress::{Progress, ProgressSnapshot};
 pub use stats::{CampaignStats, OutcomeTally};

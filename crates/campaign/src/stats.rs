@@ -80,7 +80,7 @@ impl CampaignStats {
     pub fn from_run<R>(injections: usize, run: &ShardedRun<R>) -> Self {
         CampaignStats {
             injections,
-            elapsed_ns: run.elapsed_ns.max(1),
+            elapsed_ns: run.elapsed_ns,
             workers: run.worker_ns.len(),
             worker_ns: run.worker_ns.clone(),
             lanes_used: 0,
@@ -110,13 +110,19 @@ impl CampaignStats {
         self.tally.undetected += other.tally.undetected;
     }
 
-    /// Wall-clock in seconds (never zero).
+    /// Wall-clock in seconds. Total: a zero-duration run reports 0.0
+    /// rather than a clamped epsilon.
     pub fn elapsed_secs(&self) -> f64 {
-        (self.elapsed_ns.max(1)) as f64 / 1e9
+        self.elapsed_ns as f64 / 1e9
     }
 
-    /// Injections per second of wall-clock.
+    /// Injections per second of wall-clock. Total: a zero-duration run
+    /// reports 0.0 instead of dividing by zero (no NaN/inf escapes into
+    /// reports).
     pub fn injections_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
         self.injections as f64 / self.elapsed_secs()
     }
 
@@ -133,12 +139,13 @@ impl CampaignStats {
     }
 
     /// Mean worker busy-fraction relative to wall-clock (load balance).
+    /// Total: 0.0 when no worker ran or the run took no measurable time.
     pub fn worker_utilization(&self) -> f64 {
-        if self.worker_ns.is_empty() {
+        if self.worker_ns.is_empty() || self.elapsed_ns == 0 {
             return 0.0;
         }
         let busy: u64 = self.worker_ns.iter().sum();
-        busy as f64 / (self.worker_ns.len() as f64 * self.elapsed_ns.max(1) as f64)
+        busy as f64 / (self.worker_ns.len() as f64 * self.elapsed_ns as f64)
     }
 }
 
@@ -166,6 +173,23 @@ mod tests {
         stats.record_lanes(64, 64);
         stats.record_lanes(32, 64);
         assert!((stats.lane_occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_run_reports_zero_rates() {
+        // A run can legitimately measure 0 ns (empty item list, coarse
+        // clock): every rate accessor must stay total and finite.
+        let run: ShardedRun<u32> = ShardedRun {
+            results: Vec::new(),
+            worker_ns: vec![0],
+            elapsed_ns: 0,
+        };
+        let stats = CampaignStats::from_run(0, &run);
+        assert_eq!(stats.elapsed_ns, 0, "no clamping to a fake epsilon");
+        assert_eq!(stats.elapsed_secs(), 0.0);
+        assert_eq!(stats.injections_per_sec(), 0.0);
+        assert_eq!(stats.worker_utilization(), 0.0);
+        assert!(stats.injections_per_sec().is_finite());
     }
 
     #[test]

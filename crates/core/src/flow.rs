@@ -13,6 +13,7 @@ use rescue_riif::{ComponentRecord, FailureMode, RiifDatabase};
 use rescue_safety::classify::{classify_with_stats, FaultClass};
 use rescue_safety::metrics::SafetyMetrics;
 use rescue_safety::pruning::prune;
+use rescue_telemetry::{journal, span};
 
 /// Configuration of the holistic flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,10 @@ pub struct FlowReport {
     /// injection stage of the flow: `"fault-sim"`, `"classification"`,
     /// `"set"`.
     pub stage_stats: Vec<(&'static str, CampaignStats)>,
+    /// Wall-clock per Fig. 2 pipeline stage `(span name, nanoseconds)`,
+    /// sourced from the telemetry journal's `flow.*` spans in pipeline
+    /// order. Empty when telemetry is disabled.
+    pub stage_spans: Vec<(&'static str, u64)>,
 }
 
 impl FlowReport {
@@ -72,6 +77,15 @@ impl FlowReport {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, s)| s)
+    }
+
+    /// Wall-clock of one `flow.*` pipeline span, if telemetry recorded
+    /// it.
+    pub fn stage_span_ns(&self, name: &str) -> Option<u64> {
+        self.stage_spans
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ns)| *ns)
     }
 }
 
@@ -89,82 +103,119 @@ impl HolisticFlow {
             !design.is_sequential(),
             "block-level flow expects combinational designs"
         );
+        // The stage breakdown is reconstructed from the journal at the
+        // end of the run, so everything from here on is scoped by a
+        // `flow.*` span per Fig. 2 stage.
+        let mark = journal::mark();
         // 1. Fault universe.
-        let all_faults = universe::stuck_at_universe(design);
+        let all_faults = {
+            let _stage = span!("flow.universe");
+            universe::stuck_at_universe(design)
+        };
         // 2. Untestable identification (formal) + COI pruning.
-        let report = untestable::identify(design, &all_faults, true);
         let outputs: Vec<String> = design
             .primary_outputs()
             .iter()
             .map(|(n, _)| n.clone())
             .collect();
-        let pruned = prune(design, report.testable(), &outputs);
-        let workable = pruned.remaining.clone();
-        let pruned_count = all_faults.len() - workable.len();
+        let (workable, pruned_count) = {
+            let _stage = span!("flow.untestable_prune");
+            let report = untestable::identify(design, &all_faults, true);
+            let pruned = prune(design, report.testable(), &outputs);
+            let workable = pruned.remaining.clone();
+            let pruned_count = all_faults.len() - workable.len();
+            (workable, pruned_count)
+        };
         // 3. ATPG on the workable set, with static compaction.
-        let podem = Podem::new(design);
-        let mut cubes = Vec::new();
-        for &f in &workable {
-            if let PodemOutcome::Test(cube) = podem.generate(design, f) {
-                cubes.push(cube);
+        let patterns: Vec<Vec<bool>> = {
+            let _stage = span!("flow.atpg", faults = workable.len());
+            let podem = Podem::new(design);
+            let mut cubes = Vec::new();
+            for &f in &workable {
+                if let PodemOutcome::Test(cube) = podem.generate(design, f) {
+                    cubes.push(cube);
+                }
             }
-        }
-        let compacted = static_compaction(&cubes);
-        let patterns: Vec<Vec<bool>> = compacted.iter().map(|c| c.fill_with(false)).collect();
+            let compacted = static_compaction(&cubes);
+            compacted.iter().map(|c| c.fill_with(false)).collect()
+        };
         // 4. Fault simulation (verifies the ATPG stage end to end), on
         // the shared campaign driver so the report carries throughput.
         let driver = Campaign::new(seed, 1);
         let sim = FaultSimulator::new(design);
-        let campaign_run = sim.campaign_with_stats(&workable, &patterns, &driver);
+        let campaign_run = {
+            let _stage = span!("flow.fault_sim");
+            sim.campaign_with_stats(&workable, &patterns, &driver)
+        };
         let campaign = campaign_run.report;
         // 5. ISO 26262 classification under a random mission stimulus.
-        let mission: Vec<Vec<bool>> = {
-            let mut state = seed.max(1);
-            (0..n_random_patterns)
-                .map(|_| {
-                    (0..design.primary_inputs().len())
-                        .map(|_| {
-                            state ^= state << 13;
-                            state ^= state >> 7;
-                            state ^= state << 17;
-                            state & 1 == 1
-                        })
-                        .collect()
-                })
-                .collect()
+        let (classification_run, safety, total_rate) = {
+            let _stage = span!("flow.classify");
+            let mission: Vec<Vec<bool>> = {
+                let mut state = seed.max(1);
+                (0..n_random_patterns)
+                    .map(|_| {
+                        (0..design.primary_inputs().len())
+                            .map(|_| {
+                                state ^= state << 13;
+                                state ^= state >> 7;
+                                state ^= state << 17;
+                                state & 1 == 1
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let run = classify_with_stats(design, &all_faults, &outputs, &[], &mission, &driver);
+            let total_rate = Fit::new(self.raw_fit_per_gate * design.len() as f64);
+            let safety = SafetyMetrics::from_classification(&run.report, total_rate);
+            (run, safety, total_rate)
         };
-        let classification_run =
-            classify_with_stats(design, &all_faults, &outputs, &[], &mission, &driver);
         let classification = classification_run.report;
-        let total_rate = Fit::new(self.raw_fit_per_gate * design.len() as f64);
-        let safety = SafetyMetrics::from_classification(&classification, total_rate);
         // 6. SET vulnerability.
-        let set_run = SetCampaign::new(design).run_campaign(
-            design,
-            self.set_injections,
-            seed,
-            |_| true,
-            &driver,
-        );
+        let set_run = {
+            let _stage = span!("flow.set");
+            SetCampaign::new(design).run_campaign(
+                design,
+                self.set_injections,
+                seed,
+                |_| true,
+                &driver,
+            )
+        };
         let set = set_run.report;
         // 7. RIIF export.
-        let mut riif = RiifDatabase::new(design.name());
-        riif.add_component(ComponentRecord {
-            name: design.name().to_string(),
-            technology: "generic".into(),
-            modes: vec![
-                FailureMode {
-                    mechanism: "stuck-at".into(),
-                    raw_fit: total_rate.value(),
-                    derating: classification.fraction(FaultClass::Residual),
-                },
-                FailureMode {
-                    mechanism: "set".into(),
-                    raw_fit: 10.0 * design.len() as f64 / 1000.0,
-                    derating: set.derating(),
-                },
-            ],
-        });
+        let riif = {
+            let _stage = span!("flow.riif");
+            let mut riif = RiifDatabase::new(design.name());
+            riif.add_component(ComponentRecord {
+                name: design.name().to_string(),
+                technology: "generic".into(),
+                modes: vec![
+                    FailureMode {
+                        mechanism: "stuck-at".into(),
+                        raw_fit: total_rate.value(),
+                        derating: classification.fraction(FaultClass::Residual),
+                    },
+                    FailureMode {
+                        mechanism: "set".into(),
+                        raw_fit: 10.0 * design.len() as f64 / 1000.0,
+                        derating: set.derating(),
+                    },
+                ],
+            });
+            riif
+        };
+        // Stage breakdown from the journal: completed `flow.*` spans of
+        // this thread, in pipeline (completion) order. Non-destructive
+        // snapshot so concurrent exporters still see the events.
+        let stage_spans: Vec<(&'static str, u64)> = journal::Journal::snapshot_since(mark)
+            .current_thread()
+            .with_prefix("flow.")
+            .spans()
+            .iter()
+            .map(|s| (s.name, s.dur_ns))
+            .collect();
         FlowReport {
             design: design.name().to_string(),
             fault_universe: all_faults.len(),
@@ -179,6 +230,7 @@ impl HolisticFlow {
                 ("classification", classification_run.stats),
                 ("set", set_run.stats),
             ],
+            stage_spans,
         }
     }
 }
@@ -216,6 +268,30 @@ mod tests {
         let r = HolisticFlow::new().run(&net, 64, 2);
         assert!(r.pruned > 0, "random logic has dead/redundant regions");
         assert!(r.fault_coverage > 0.95, "{}", r.fault_coverage);
+    }
+
+    #[test]
+    fn stage_spans_cover_the_pipeline_when_telemetry_is_on() {
+        let _serial = rescue_telemetry::exclusive();
+        rescue_telemetry::TelemetryConfig::on().install();
+        let r = HolisticFlow::new().run(&generate::c17(), 32, 3);
+        rescue_telemetry::TelemetryConfig::off().install();
+        for stage in [
+            "flow.universe",
+            "flow.untestable_prune",
+            "flow.atpg",
+            "flow.fault_sim",
+            "flow.classify",
+            "flow.set",
+            "flow.riif",
+        ] {
+            assert!(r.stage_span_ns(stage).is_some(), "{stage} missing");
+        }
+        // Pipeline order is preserved: ATPG completes before fault-sim.
+        let names: Vec<_> = r.stage_spans.iter().map(|(n, _)| *n).collect();
+        let atpg = names.iter().position(|&n| n == "flow.atpg").unwrap();
+        let fsim = names.iter().position(|&n| n == "flow.fault_sim").unwrap();
+        assert!(atpg < fsim);
     }
 
     #[test]

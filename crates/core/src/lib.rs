@@ -53,3 +53,4 @@ pub use rescue_rsn as rsn;
 pub use rescue_safety as safety;
 pub use rescue_security as security;
 pub use rescue_sim as sim;
+pub use rescue_telemetry as telemetry;

@@ -6,6 +6,7 @@
 
 use crate::flow::FlowReport;
 use rescue_safety::metrics::AsilTarget;
+use rescue_telemetry::sinks::human_ns;
 use std::fmt::Write as _;
 
 /// Renders one flow report as a markdown section.
@@ -60,6 +61,22 @@ pub fn render_report(report: &FlowReport) -> String {
         }
         let _ = writeln!(s);
     }
+    if !report.stage_spans.is_empty() {
+        let _ = writeln!(s, "### Stage timing (telemetry journal)");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "| stage | wall-clock | share |");
+        let _ = writeln!(s, "|---|---|---|");
+        let total: u64 = report.stage_spans.iter().map(|(_, ns)| ns).sum();
+        for (stage, ns) in &report.stage_spans {
+            let _ = writeln!(
+                s,
+                "| {stage} | {} | {:.1} % |",
+                human_ns(*ns),
+                100.0 * *ns as f64 / total.max(1) as f64
+            );
+        }
+        let _ = writeln!(s);
+    }
     let _ = writeln!(s, "### RIIF export");
     let _ = writeln!(s);
     let _ = writeln!(s, "```riif");
@@ -103,6 +120,18 @@ mod tests {
         assert!(md.contains("meets ASIL-D"));
         assert!(md.contains("### Campaign throughput"));
         assert!(md.contains("| classification |"));
+    }
+
+    #[test]
+    fn report_renders_stage_timing_when_telemetry_is_on() {
+        let _serial = rescue_telemetry::exclusive();
+        rescue_telemetry::TelemetryConfig::on().install();
+        let r = HolisticFlow::new().run(&generate::c17(), 32, 1);
+        rescue_telemetry::TelemetryConfig::off().install();
+        let md = render_report(&r);
+        assert!(md.contains("### Stage timing (telemetry journal)"));
+        assert!(md.contains("| flow.atpg |"));
+        assert!(md.contains("| flow.fault_sim |"));
     }
 
     #[test]

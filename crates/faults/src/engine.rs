@@ -25,6 +25,7 @@
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::GateKind;
 use rescue_sim::compiled::CompiledNetlist;
+use rescue_telemetry::metrics;
 
 /// Memoized per-site fanout cones for one campaign's fault list.
 ///
@@ -54,6 +55,11 @@ impl CampaignPlan {
         let mut seen = vec![false; n];
         let mut stack: Vec<u32> = Vec::new();
         let mut members: Vec<u32> = Vec::new();
+        // Cone sizes feed the `fault.cone_size` histogram: build is cold
+        // (once per campaign), so recording per cone here costs nothing
+        // on the per-fault hot path.
+        let cone_hist = rescue_telemetry::enabled()
+            .then(|| metrics::histogram("fault.cone_size", &metrics::pow2_bounds(16)));
         for fault in faults {
             let root = fault.site().gate().index();
             if plan.cone_index[root] != u32::MAX {
@@ -81,6 +87,9 @@ impl CampaignPlan {
             seen[root] = false;
             for &m in &members {
                 seen[m as usize] = false;
+            }
+            if let Some(hist) = &cone_hist {
+                hist.record(members.len() as u64);
             }
             plan.cone_gates.append(&mut members);
             plan.cone_offsets.push(plan.cone_gates.len() as u32);
@@ -132,9 +141,11 @@ impl CampaignPlan {
                 _ => compiled.eval_word_pin_forced(root, &scratch.val, pin, word),
             },
         };
+        scratch.counters.faults_evaluated += 1;
         if fault_value == golden[root] {
             return 0; // not excited on any pattern of this chunk
         }
+        scratch.counters.excitations += 1;
 
         let mut mask = 0u64;
         scratch.val[root] = fault_value;
@@ -154,7 +165,9 @@ impl CampaignPlan {
         for &g in cone {
             let gi = g as usize;
             if compiled.topo_pos(gi) > horizon {
-                break; // event frontier died: everything further is golden
+                // Event frontier died: everything further is golden.
+                scratch.counters.horizon_exits += 1;
+                break;
             }
             let v = compiled.eval_word(gi, &scratch.val);
             if v == golden[gi] {
@@ -239,9 +252,11 @@ impl CampaignPlan {
                 _ => compiled.eval_word_pin_forced(root, &scratch.val, pin, word),
             },
         };
+        scratch.counters.faults_evaluated += 1;
         if fault_value == golden[root] {
             return (0, 0);
         }
+        scratch.counters.excitations += 1;
 
         let mut mask_a = 0u64;
         let mut mask_b = 0u64;
@@ -266,6 +281,7 @@ impl CampaignPlan {
         for &g in cone {
             let gi = g as usize;
             if compiled.topo_pos(gi) > horizon {
+                scratch.counters.horizon_exits += 1;
                 break;
             }
             let v = compiled.eval_word(gi, &scratch.val);
@@ -284,12 +300,54 @@ impl CampaignPlan {
     }
 }
 
+/// Per-worker engine telemetry, accumulated as plain (non-atomic) field
+/// increments on the per-fault hot path and flushed to the global
+/// metrics registry at shard granularity via
+/// [`ScratchCounters::flush_to_metrics`]. The fields are maintained
+/// unconditionally — an untaken branch costs more than the add — so the
+/// enabled/disabled telemetry paths stay identical inside the cone walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchCounters {
+    /// Faults pushed through [`CampaignPlan::detect`] /
+    /// [`CampaignPlan::detect_observed`] (including unexcited ones).
+    pub faults_evaluated: u64,
+    /// Faults whose injected value differed from golden at the root.
+    pub excitations: u64,
+    /// Cone walks cut short because the event frontier died.
+    pub horizon_exits: u64,
+    /// Scratch cells restored through the touched-list undo log (the
+    /// summed undo-list depth; divide by `excitations` for the mean).
+    pub undo_writes: u64,
+    /// Deepest single undo list seen.
+    pub undo_depth_max: u64,
+}
+
+impl ScratchCounters {
+    /// Adds the accumulated figures to the global `fault.*` metrics and
+    /// zeroes the local counters. Call once per shard/chunk — never per
+    /// fault — so the registry mutex stays off the hot path.
+    pub fn flush_to_metrics(&mut self) {
+        if rescue_telemetry::enabled() {
+            metrics::counter("fault.faults_evaluated").add(self.faults_evaluated);
+            metrics::counter("fault.excitations").add(self.excitations);
+            metrics::counter("fault.horizon_exits").add(self.horizon_exits);
+            metrics::counter("fault.undo_writes").add(self.undo_writes);
+            metrics::histogram("fault.undo_depth_max", &metrics::pow2_bounds(16))
+                .record(self.undo_depth_max);
+        }
+        *self = ScratchCounters::default();
+    }
+}
+
 /// Reusable per-worker scratch: a value array mirroring the chunk golden
 /// plus the touched-list undo log. No allocation per fault.
 #[derive(Debug, Clone)]
 pub struct FaultScratch {
     val: Vec<u64>,
     touched: Vec<u32>,
+    /// Engine telemetry accumulated by this worker (see
+    /// [`ScratchCounters`]).
+    pub counters: ScratchCounters,
 }
 
 impl FaultScratch {
@@ -298,6 +356,7 @@ impl FaultScratch {
         FaultScratch {
             val: vec![0; len],
             touched: Vec::new(),
+            counters: ScratchCounters::default(),
         }
     }
 
@@ -308,6 +367,9 @@ impl FaultScratch {
     }
 
     fn undo(&mut self, golden: &[u64]) {
+        let depth = self.touched.len() as u64;
+        self.counters.undo_writes += depth;
+        self.counters.undo_depth_max = self.counters.undo_depth_max.max(depth);
         for &t in &self.touched {
             self.val[t as usize] = golden[t as usize];
         }

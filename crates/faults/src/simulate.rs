@@ -14,6 +14,7 @@ use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
+use rescue_telemetry::span;
 
 /// Outcome of a fault-simulation campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -323,6 +324,7 @@ impl FaultSimulator {
         campaign: &Campaign,
     ) -> CampaignRun {
         let c = &self.compiled;
+        let _campaign = span!("fault.campaign", faults = faults.len());
         // Golden values and live mask per chunk, computed once and shared
         // read-only by all workers.
         let chunks: Vec<(Vec<u64>, u64)> = patterns
@@ -358,6 +360,9 @@ impl FaultSimulator {
                         }
                     }
                 }
+                // Shard granularity: one registry touch per worker range,
+                // never per fault.
+                scratch.counters.flush_to_metrics();
                 first
             },
         );

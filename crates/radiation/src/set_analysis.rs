@@ -217,6 +217,7 @@ impl SetCampaign {
         filter: F,
         campaign: &Campaign,
     ) -> SetRun {
+        let _campaign_span = rescue_telemetry::span!("set.campaign", injections = injections);
         let candidates: Vec<GateId> = self
             .targets
             .iter()

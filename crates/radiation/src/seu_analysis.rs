@@ -36,6 +36,7 @@ use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::Netlist;
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::compiled_seq::{broadcast_inputs, GoldenTrace, SeqWordMachine};
+use rescue_telemetry::{metrics, span};
 
 /// Outcome of one SEU injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -268,6 +269,7 @@ impl SeuCampaign {
     ) -> SeuRun {
         let n_dff = netlist.dffs().len();
         let cycles = self.warmup.max(1);
+        let _campaign_span = span!("seu.campaign", points = points.len());
         let compiled = CompiledNetlist::new(netlist);
         let trace = GoldenTrace::record(&compiled, inputs, cycles - 1 + self.horizon)
             .expect("input width checked by caller");
@@ -288,14 +290,34 @@ impl SeuCampaign {
 
         let run = campaign.run_ranges(
             &batches,
-            |_| SeqWordMachine::new(&compiled),
-            |machine, _, range| {
-                range
+            |_| {
+                // Metric handles are resolved once per worker (the
+                // registry lookup takes a mutex) and only when telemetry
+                // is on, so the disabled path carries no handle at all.
+                let occupancy = rescue_telemetry::enabled().then(|| {
+                    metrics::histogram("seu.lane_occupancy", &[8, 16, 24, 32, 40, 48, 56, 64])
+                });
+                (SeqWordMachine::new(&compiled), occupancy)
+            },
+            |(machine, occupancy), _, range| {
+                let out = range
                     .iter()
                     .map(|(cycle, lanes)| {
+                        if let Some(h) = occupancy {
+                            h.record(lanes.len() as u64);
+                        }
                         self.run_batch(&compiled, &trace, &input_words, machine, *cycle, lanes)
                     })
-                    .collect()
+                    .collect();
+                // Shard-granularity flush: one registry touch per worker
+                // range, never per batch or injection.
+                let (restores, steps) = machine.take_counters();
+                if rescue_telemetry::enabled() {
+                    metrics::counter("sim.snapshot_restores").add(restores);
+                    metrics::counter("sim.seq_steps").add(steps);
+                    metrics::counter("seu.batches").add(range.len() as u64);
+                }
+                out
             },
         );
 

@@ -124,6 +124,7 @@ pub fn classify_with_stats(
     patterns: &[Vec<bool>],
     campaign: &Campaign,
 ) -> ClassificationRun {
+    let _campaign_span = rescue_telemetry::span!("safety.classify", faults = faults.len());
     let find_driver = |name: &str| {
         netlist
             .primary_outputs()

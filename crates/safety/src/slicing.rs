@@ -16,6 +16,7 @@ use rescue_faults::{simulate::FaultSimulator, CampaignReport, Fault};
 use rescue_netlist::{GateId, GateKind, Netlist};
 use rescue_sim::comb::eval_bool;
 use rescue_sim::parallel::pack_patterns;
+use rescue_telemetry::{instant, metrics, span};
 
 /// Computes the dynamic slice of one pattern: gates with a sensitized
 /// path to some primary output under `pattern`.
@@ -150,22 +151,30 @@ pub fn sliced_campaign_on(
     patterns: &[Vec<bool>],
     campaign: &Campaign,
 ) -> SlicedCampaign {
+    let _campaign_span = span!("safety.slicing", faults = faults.len());
     let sim = FaultSimulator::new(netlist);
     let c = sim.compiled();
     let plan = CampaignPlan::build(c, faults);
     // Golden values and slice membership per pattern, shared read-only.
-    let prep: Vec<(Vec<u64>, Vec<bool>)> = patterns
-        .iter()
-        .map(|pattern| {
-            let words = pack_patterns(std::slice::from_ref(pattern));
-            let golden = sim.golden(&words);
-            let mut in_slice = vec![false; netlist.len()];
-            for g in dynamic_slice(netlist, pattern) {
-                in_slice[g.index()] = true;
-            }
-            (golden, in_slice)
-        })
-        .collect();
+    let prep: Vec<(Vec<u64>, Vec<bool>)> = {
+        let _prep_span = span!("safety.slicing.prep", patterns = patterns.len());
+        patterns
+            .iter()
+            .map(|pattern| {
+                let words = pack_patterns(std::slice::from_ref(pattern));
+                let golden = sim.golden(&words);
+                let mut in_slice = vec![false; netlist.len()];
+                let slice = dynamic_slice(netlist, pattern);
+                // Verbose per-pattern diagnostics ride the telemetry
+                // journal (instant events) instead of stderr prints.
+                instant!("slicing.pattern_slice", gates = slice.len());
+                for g in slice {
+                    in_slice[g.index()] = true;
+                }
+                (golden, in_slice)
+            })
+            .collect()
+    };
     let sharded = campaign.run_ranges(
         faults,
         |_| FaultScratch::new(c.len()),
@@ -197,6 +206,10 @@ pub fn sliced_campaign_on(
         first_detection.push(detected);
         run += r;
         naive += n;
+    }
+    if rescue_telemetry::enabled() {
+        metrics::counter("slicing.sims_run").add(run as u64);
+        metrics::counter("slicing.sims_skipped").add((naive - run) as u64);
     }
     let mut stats = CampaignStats::from_run(run, &sharded);
     for _ in &prep {

@@ -161,6 +161,13 @@ impl GoldenTrace {
 pub struct SeqWordMachine {
     state: Vec<u64>,
     values: Vec<u64>,
+    /// Golden-snapshot restores ([`SeqWordMachine::load_broadcast`]
+    /// calls) since construction / the last counter flush. Plain field:
+    /// maintained unconditionally so enabled telemetry adds no branch
+    /// to the batch loop.
+    restores: u64,
+    /// Clock cycles stepped since construction / the last counter flush.
+    steps: u64,
 }
 
 impl SeqWordMachine {
@@ -169,19 +176,44 @@ impl SeqWordMachine {
         SeqWordMachine {
             state: vec![0; compiled.dffs().len()],
             values: vec![0; compiled.len()],
+            restores: 0,
+            steps: 0,
         }
     }
 
-    /// Loads `state_bits` into every lane (broadcast).
+    /// Loads `state_bits` into every lane (broadcast) — the
+    /// snapshot-restore primitive of golden-trace campaigns.
     ///
     /// # Panics
     ///
     /// Panics when `state_bits` has the wrong width.
     pub fn load_broadcast(&mut self, compiled: &CompiledNetlist, state_bits: &[bool]) {
         assert_eq!(state_bits.len(), compiled.dffs().len(), "state width");
+        self.restores += 1;
         for (w, &b) in self.state.iter_mut().zip(state_bits) {
             *w = broadcast(b);
         }
+    }
+
+    /// Snapshot restores since construction or the last
+    /// [`SeqWordMachine::take_counters`].
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Clock cycles stepped since construction or the last
+    /// [`SeqWordMachine::take_counters`].
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Returns `(restores, steps)` and zeroes both — campaigns flush
+    /// these into the `sim.*` metrics at shard granularity.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let out = (self.restores, self.steps);
+        self.restores = 0;
+        self.steps = 0;
+        out
     }
 
     /// Flips flop `dff` in lane `lane` only — the packed SEU primitive.
@@ -224,6 +256,7 @@ impl SeqWordMachine {
                 found: input_words.len(),
             });
         }
+        self.steps += 1;
         for (i, &pi) in compiled.primary_inputs().iter().enumerate() {
             self.values[pi as usize] = input_words[i];
         }
@@ -340,6 +373,20 @@ mod tests {
             "final state diff"
         );
         assert_eq!(sdiff & 1, 0, "golden lane state matches snapshot");
+    }
+
+    #[test]
+    fn machine_counters_track_restores_and_steps() {
+        let net = generate::counter(4);
+        let compiled = CompiledNetlist::new(&net);
+        let trace = GoldenTrace::record(&compiled, &[], 3).unwrap();
+        let mut m = SeqWordMachine::new(&compiled);
+        assert_eq!((m.restores(), m.steps()), (0, 0));
+        m.load_broadcast(&compiled, trace.snapshot(1));
+        m.step(&compiled, &[]).unwrap();
+        m.step(&compiled, &[]).unwrap();
+        assert_eq!(m.take_counters(), (1, 2));
+        assert_eq!((m.restores(), m.steps()), (0, 0), "take zeroes");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The run journal: a captured, totally ordered event stream.
+//!
+//! A [`Journal`] is a snapshot of the global event sink — either
+//! destructive ([`Journal::take_since`], [`Journal::drain`]) for
+//! exporters that own the stream, or non-destructive
+//! ([`Journal::snapshot_since`]) for readers like the flow report that
+//! must not steal events from a concurrent observer. Events are ordered
+//! by their global sequence number, so per-thread sub-streams are exact
+//! and deterministic for seeded serial runs.
+
+use crate::event::{self, Event, EventKind};
+
+/// Returns a mark (the current global sequence number) delimiting
+/// "events from here on". Pass it to [`Journal::snapshot_since`] /
+/// [`Journal::take_since`] to scope a capture to one run.
+pub fn mark() -> u64 {
+    event::seq_mark()
+}
+
+/// The timestamp-free shape of one event: `(name, kind, arg)`. See
+/// [`Journal::signature`].
+pub type EventSignature = (&'static str, EventKind, Option<(&'static str, i64)>);
+
+/// One matched `Begin`/`End` pair from a journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (the `Begin` event's name).
+    pub name: &'static str,
+    /// Emitting thread.
+    pub tid: u64,
+    /// Begin timestamp, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// End minus begin timestamp.
+    pub dur_ns: u64,
+    /// The `Begin` event's argument, if any.
+    pub arg: Option<(&'static str, i64)>,
+}
+
+/// A captured, seq-ordered slice of the telemetry event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    events: Vec<Event>,
+}
+
+impl Journal {
+    /// Takes every event recorded so far out of the global sink.
+    pub fn drain() -> Journal {
+        Journal::take_since(0)
+    }
+
+    /// Takes events with `seq >= mark` out of the global sink (the
+    /// calling thread's buffer is flushed first). Destructive: a second
+    /// call returns only newer events.
+    pub fn take_since(mark: u64) -> Journal {
+        Journal {
+            events: event::take_since(mark),
+        }
+    }
+
+    /// Clones events with `seq >= mark` from the global sink without
+    /// removing them (the calling thread's buffer is flushed first).
+    pub fn snapshot_since(mark: u64) -> Journal {
+        Journal {
+            events: event::clone_since(mark),
+        }
+    }
+
+    /// Wraps an explicit event list (sorted by caller).
+    pub fn from_events(events: Vec<Event>) -> Journal {
+        Journal { events }
+    }
+
+    /// The captured events, ordered by sequence number.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The sub-journal of one thread.
+    pub fn thread(&self, tid: u64) -> Journal {
+        Journal {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.tid == tid)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The sub-journal of the calling thread — the tool for tests and
+    /// flow reports that must ignore concurrent emitters.
+    pub fn current_thread(&self) -> Journal {
+        self.thread(event::current_tid())
+    }
+
+    /// The sub-journal of events whose name starts with `prefix`.
+    pub fn with_prefix(&self, prefix: &str) -> Journal {
+        Journal {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The timestamp-free signature of the stream: `(name, kind, arg)`
+    /// per event, in order. Two runs of the same seeded serial campaign
+    /// produce identical signatures — the determinism property the
+    /// radiation test-suite pins down.
+    pub fn signature(&self) -> Vec<EventSignature> {
+        self.events
+            .iter()
+            .map(|e| (e.name, e.kind, e.arg))
+            .collect()
+    }
+
+    /// Matches `Begin`/`End` pairs into [`SpanRecord`]s using one open
+    /// stack per thread (events of different threads interleave freely;
+    /// within a thread spans nest). Records are returned in completion
+    /// (`End`) order. Unmatched events are skipped — count them with
+    /// [`Journal::unmatched_begins`].
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut open: Vec<(u64, Vec<&Event>)> = Vec::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            let stack = match open.iter_mut().find(|(tid, _)| *tid == e.tid) {
+                Some((_, stack)) => stack,
+                None => {
+                    open.push((e.tid, Vec::new()));
+                    &mut open.last_mut().expect("just pushed").1
+                }
+            };
+            match e.kind {
+                EventKind::Begin => stack.push(e),
+                EventKind::End => {
+                    if let Some(b) = stack.pop() {
+                        out.push(SpanRecord {
+                            name: b.name,
+                            tid: b.tid,
+                            start_ns: b.ts_ns,
+                            dur_ns: e.ts_ns.saturating_sub(b.ts_ns),
+                            arg: b.arg,
+                        });
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        out
+    }
+
+    /// `Begin` events that never saw a matching `End` (e.g. a campaign
+    /// that panicked mid-span). A well-formed run journal reports 0.
+    pub fn unmatched_begins(&self) -> usize {
+        let mut depth: Vec<(u64, isize)> = Vec::new();
+        let mut unmatched = 0isize;
+        for e in &self.events {
+            let d = match depth.iter_mut().find(|(tid, _)| *tid == e.tid) {
+                Some((_, d)) => d,
+                None => {
+                    depth.push((e.tid, 0));
+                    &mut depth.last_mut().expect("just pushed").1
+                }
+            };
+            match e.kind {
+                EventKind::Begin => {
+                    *d += 1;
+                    unmatched += 1;
+                }
+                EventKind::End => {
+                    if *d > 0 {
+                        *d -= 1;
+                        unmatched -= 1;
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        unmatched.max(0) as usize
+    }
+
+    /// Aggregates matched spans by name: `(name, count, total_ns)`,
+    /// sorted by descending total time. The stage-breakdown primitive
+    /// behind the flow report and the markdown sink.
+    pub fn span_totals(&self) -> Vec<(&'static str, usize, u64)> {
+        let mut totals: Vec<(&'static str, usize, u64)> = Vec::new();
+        for s in self.spans() {
+            match totals.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, count, ns)) => {
+                    *count += 1;
+                    *ns += s.dur_ns;
+                }
+                None => totals.push((s.name, 1, s.dur_ns)),
+            }
+        }
+        totals.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+    use crate::{instant, span};
+
+    #[test]
+    fn signature_ignores_time_but_keeps_order_and_args() {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let capture = || {
+            let m = mark();
+            {
+                let _a = span!("sig.a", x = 1);
+                instant!("sig.mid");
+            }
+            Journal::take_since(m).current_thread().signature()
+        };
+        let first = capture();
+        let second = capture();
+        TelemetryConfig::off().install();
+        assert_eq!(first, second, "identical work, identical signature");
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].0, "sig.a");
+        assert_eq!(first[0].2, Some(("x", 1)));
+    }
+
+    #[test]
+    fn spans_match_nested_and_report_unmatched() {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let m = mark();
+        let leak = Box::new(span!("leaky"));
+        {
+            let _ok = span!("closed");
+        }
+        let j = Journal::snapshot_since(m).current_thread();
+        assert_eq!(j.unmatched_begins(), 1, "leaky is still open");
+        assert_eq!(j.spans().len(), 1);
+        drop(leak);
+        let j = Journal::take_since(m).current_thread();
+        TelemetryConfig::off().install();
+        assert_eq!(j.unmatched_begins(), 0);
+        assert_eq!(j.spans().len(), 2);
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_name() {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let m = mark();
+        for _ in 0..3 {
+            let _s = span!("totals.stage");
+        }
+        let j = Journal::take_since(m).current_thread();
+        TelemetryConfig::off().install();
+        let totals = j.span_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, "totals.stage");
+        assert_eq!(totals[0].1, 3);
+    }
+
+    #[test]
+    fn prefix_filter_scopes_to_a_namespace() {
+        let j = Journal::from_events(vec![
+            Event {
+                seq: 0,
+                ts_ns: 0,
+                tid: 0,
+                name: "flow.atpg",
+                kind: EventKind::Instant,
+                arg: None,
+            },
+            Event {
+                seq: 1,
+                ts_ns: 1,
+                tid: 0,
+                name: "fault.cone",
+                kind: EventKind::Instant,
+                arg: None,
+            },
+        ]);
+        assert_eq!(j.with_prefix("flow.").len(), 1);
+        assert_eq!(j.with_prefix("").len(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Journal exporters: JSONL, Chrome `trace_event`, markdown.
+//!
+//! All sinks are pure string renderers over a captured
+//! [`Journal`] — callers decide where the bytes go. The JSONL format is
+//! the machine-readable run journal CI validates with
+//! [`validate_jsonl`]; the Chrome trace opens in `chrome://tracing` /
+//! Perfetto for flamegraph-style inspection of a campaign.
+
+use crate::event::EventKind;
+use crate::journal::Journal;
+use std::fmt::Write as _;
+
+impl Journal {
+    /// Renders the journal as JSON Lines: one event object per line,
+    /// fields `seq`, `ts_ns`, `tid`, `ph` (`"B"`/`"E"`/`"i"`), `name`,
+    /// and optionally `arg_name`/`arg_value`.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in self.events() {
+            let _ = write!(
+                s,
+                "{{\"seq\":{},\"ts_ns\":{},\"tid\":{},\"ph\":\"{}\",\"name\":\"{}\"",
+                e.seq,
+                e.ts_ns,
+                e.tid,
+                e.kind.phase(),
+                e.name
+            );
+            if let Some((k, v)) = e.arg {
+                let _ = write!(s, ",\"arg_name\":\"{k}\",\"arg_value\":{v}");
+            }
+            s.push_str("}\n");
+        }
+        s
+    }
+
+    /// Renders the journal in the Chrome `trace_event` JSON format
+    /// (object form, `traceEvents` array, timestamps in microseconds).
+    /// Open the file in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut s = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let us = e.ts_ns as f64 / 1e3;
+            let _ = write!(
+                s,
+                "\n{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{us:.3},\"pid\":1,\"tid\":{}",
+                e.name,
+                e.kind.phase(),
+                e.tid
+            );
+            if e.kind == EventKind::Instant {
+                s.push_str(",\"s\":\"t\"");
+            }
+            if let Some((k, v)) = e.arg {
+                let _ = write!(s, ",\"args\":{{\"{k}\":{v}}}");
+            }
+            s.push('}');
+        }
+        s.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        s
+    }
+
+    /// Renders a markdown span summary: one row per span name with
+    /// count, total time and share of the journal's span time. Reused
+    /// by the flow sign-off report.
+    pub fn to_markdown_summary(&self) -> String {
+        let totals = self.span_totals();
+        let mut s = String::new();
+        let _ = writeln!(s, "| span | count | total | share |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        let all: u64 = totals.iter().map(|(_, _, ns)| ns).sum();
+        for (name, count, ns) in &totals {
+            let _ = writeln!(
+                s,
+                "| {name} | {count} | {} | {:.1} % |",
+                human_ns(*ns),
+                100.0 * *ns as f64 / all.max(1) as f64
+            );
+        }
+        s
+    }
+}
+
+/// Human-readable duration for markdown tables.
+pub fn human_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Validation result of a JSONL run journal (see [`validate_jsonl`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalCheck {
+    /// Parsed event lines.
+    pub events: usize,
+    /// `"B"` lines.
+    pub begins: usize,
+    /// `"E"` lines.
+    pub ends: usize,
+    /// `"i"` lines.
+    pub instants: usize,
+    /// Distinct thread ids seen.
+    pub threads: usize,
+}
+
+/// Extracts the value of `"key":` in a single JSON object line; returns
+/// the raw token (quotes stripped for strings).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Validates a JSONL run journal: every line parses (object with `ph`,
+/// `name`, `tid`, `ts_ns`), and per thread every `B` has a matching
+/// `E` with names pairing LIFO — the property CI enforces on the
+/// quickstart journal artifact.
+///
+/// # Errors
+///
+/// Returns a line-numbered description of the first malformed line,
+/// mismatched `End`, or span left open at end of input.
+pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
+    let mut check = JournalCheck::default();
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {n}: not a JSON object"));
+        }
+        let ph = field(line, "ph").ok_or_else(|| format!("line {n}: missing \"ph\""))?;
+        let name = field(line, "name").ok_or_else(|| format!("line {n}: missing \"name\""))?;
+        let tid: u64 = field(line, "tid")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {n}: missing or non-integer \"tid\""))?;
+        field(line, "ts_ns")
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| format!("line {n}: missing or non-integer \"ts_ns\""))?;
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        check.events += 1;
+        match ph {
+            "B" => {
+                check.begins += 1;
+                stack.push(name.to_string());
+            }
+            "E" => {
+                check.ends += 1;
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "line {n}: end of \"{name}\" but \"{open}\" is open (tid {tid})"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {n}: end of \"{name}\" with no open span (tid {tid})"
+                        ))
+                    }
+                }
+            }
+            "i" => check.instants += 1,
+            other => return Err(format!("line {n}: unknown phase \"{other}\"")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("span \"{open}\" never ended (tid {tid})"));
+        }
+    }
+    check.threads = stacks.len();
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instant, span, TelemetryConfig};
+
+    fn sample_journal() -> Journal {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let m = crate::journal::mark();
+        {
+            let _stage = span!("stage.one", items = 10);
+            instant!("stage.tick");
+        }
+        {
+            let _stage = span!("stage.two");
+        }
+        let j = Journal::take_since(m).current_thread();
+        TelemetryConfig::off().install();
+        j
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let check = validate_jsonl(&text).expect("journal is well-formed");
+        assert_eq!(check.events, 5);
+        assert_eq!(check.begins, 2);
+        assert_eq!(check.ends, 2);
+        assert_eq!(check.instants, 1);
+        assert_eq!(check.threads, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_journals() {
+        assert!(validate_jsonl("not json").is_err());
+        let unbalanced = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"B\",\"name\":\"a\"}\n";
+        let err = validate_jsonl(unbalanced).unwrap_err();
+        assert!(err.contains("never ended"), "{err}");
+        let crossed = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"B\",\"name\":\"a\"}\n\
+                       {\"seq\":1,\"ts_ns\":2,\"tid\":0,\"ph\":\"E\",\"name\":\"b\"}\n";
+        let err = validate_jsonl(crossed).unwrap_err();
+        assert!(err.contains("\"b\""), "{err}");
+        let stray_end = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"E\",\"name\":\"x\"}\n";
+        assert!(validate_jsonl(stray_end).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_has_the_expected_shape() {
+        let j = sample_journal();
+        let trace = j.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"args\":{\"items\":10}"));
+        assert!(trace.contains("\"s\":\"t\""), "instants carry scope");
+        assert!(trace.trim_end().ends_with("}"));
+    }
+
+    #[test]
+    fn markdown_summary_lists_spans_with_share() {
+        let j = sample_journal();
+        let md = j.to_markdown_summary();
+        assert!(md.contains("| span | count | total | share |"));
+        assert!(md.contains("| stage.one | 1 |"));
+        assert!(md.contains("| stage.two | 1 |"));
+    }
+
+    #[test]
+    fn human_ns_scales_units() {
+        assert_eq!(human_ns(12), "12 ns");
+        assert_eq!(human_ns(1_500), "1.5 µs");
+        assert_eq!(human_ns(2_500_000), "2.5 ms");
+        assert_eq!(human_ns(3_200_000_000), "3.20 s");
+    }
+}

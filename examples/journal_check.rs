@@ -1,0 +1,38 @@
+//! Validates a JSONL run journal exported by the quickstart (or any
+//! other `RESCUE_JOURNAL=` export): every line must parse and every
+//! `Begin` must pair LIFO with its `End` per thread.
+//!
+//! ```text
+//! RESCUE_JOURNAL=run cargo run --example quickstart
+//! cargo run --example journal_check -- run.jsonl
+//! ```
+//!
+//! Exits non-zero with a line-numbered diagnostic on the first
+//! malformed line or unbalanced span — the CI gate for journal exports.
+
+use rescue_core::telemetry::sinks::validate_jsonl;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "run.jsonl".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("journal_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_jsonl(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: OK — {} events ({} begin / {} end / {} instant) on {} thread(s)",
+                check.events, check.begins, check.ends, check.instants, check.threads
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

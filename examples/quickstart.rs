@@ -3,15 +3,25 @@
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! Telemetry is enabled for the run: each design prints its Fig. 2
+//! stage-timing breakdown sourced from the run journal. Set
+//! `RESCUE_JOURNAL=<prefix>` to additionally export the journal as
+//! `<prefix>.jsonl` (machine-readable, CI-validated) and
+//! `<prefix>.trace.json` (open in `chrome://tracing` / Perfetto).
 
 use rescue_core::figure1;
 use rescue_core::flow::HolisticFlow;
 use rescue_core::netlist::generate;
+use rescue_core::telemetry::sinks::human_ns;
+use rescue_core::telemetry::{journal, TelemetryConfig};
 
 fn main() {
+    TelemetryConfig::on().install();
     println!("== RESCUE-rs quickstart ==\n");
     println!("{}", figure1::render());
 
+    let mark = journal::mark();
     for design in [
         generate::c17(),
         generate::adder(8),
@@ -30,6 +40,32 @@ fn main() {
             report.set_derating,
             report.safety,
         );
-        println!("  RIIF: {:.3} FIT chip-level\n", report.riif.chip_fit());
+        println!("  RIIF: {:.3} FIT chip-level", report.riif.chip_fit());
+        let total: u64 = report.stage_spans.iter().map(|(_, ns)| ns).sum();
+        let breakdown: Vec<String> = report
+            .stage_spans
+            .iter()
+            .map(|(stage, ns)| {
+                format!(
+                    "{} {} ({:.0}%)",
+                    stage.trim_start_matches("flow."),
+                    human_ns(*ns),
+                    100.0 * *ns as f64 / total.max(1) as f64
+                )
+            })
+            .collect();
+        println!("  stages: {}\n", breakdown.join(", "));
+    }
+
+    if let Ok(prefix) = std::env::var("RESCUE_JOURNAL") {
+        let j = journal::Journal::take_since(mark);
+        let jsonl = format!("{prefix}.jsonl");
+        let trace = format!("{prefix}.trace.json");
+        std::fs::write(&jsonl, j.to_jsonl()).expect("write journal");
+        std::fs::write(&trace, j.to_chrome_trace()).expect("write trace");
+        println!(
+            "journal: {} events -> {jsonl}, {trace} (open the trace in chrome://tracing)",
+            j.len()
+        );
     }
 }

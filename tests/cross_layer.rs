@@ -116,3 +116,56 @@ fn security_blocks_scan_access_story() {
         "helper data without the physical device yields nothing"
     );
 }
+
+#[test]
+fn one_journal_captures_every_layer_of_a_mixed_run() {
+    // Observability is itself cross-layer: quality (fault sim), safety
+    // (classification) and reliability (SEU) campaigns all report into
+    // the same journal and metrics registry, so one export shows where
+    // a mixed analysis spent its time.
+    use rescue_core::campaign::Campaign;
+    use rescue_core::faults::{simulate::FaultSimulator, universe};
+    use rescue_core::radiation::seu_analysis::SeuCampaign;
+    use rescue_core::safety::classify::classify_with_stats;
+    use rescue_core::telemetry::{journal, metrics, TelemetryConfig};
+    let _serial = rescue_core::telemetry::exclusive();
+    TelemetryConfig::on().install();
+    metrics::reset();
+    let mark = journal::mark();
+    let driver = Campaign::serial();
+
+    let comb = generate::random_logic(6, 60, 3, 21);
+    let faults = universe::stuck_at_universe(&comb);
+    let patterns: Vec<Vec<bool>> = (0..32u32)
+        .map(|p| (0..6).map(|i| p >> i & 1 == 1).collect())
+        .collect();
+    let outputs: Vec<String> = comb
+        .primary_outputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    FaultSimulator::new(&comb).campaign_with_stats(&faults, &patterns, &driver);
+    classify_with_stats(&comb, &faults, &outputs, &[], &patterns, &driver);
+    let seq = generate::lfsr(6, &[5, 1]);
+    SeuCampaign::new(4, 6).run_exhaustive_on(&seq, &[], &driver);
+
+    let j = journal::Journal::take_since(mark).current_thread();
+    let snap = metrics::snapshot();
+    TelemetryConfig::off().install();
+    metrics::reset();
+
+    let names: Vec<&str> = j.spans().iter().map(|s| s.name).collect();
+    for span in ["fault.campaign", "safety.classify", "seu.campaign"] {
+        assert!(names.contains(&span), "{span} missing from {names:?}");
+    }
+    assert_eq!(j.unmatched_begins(), 0);
+    // Each layer also left its engine-level metrics behind.
+    assert!(snap.counter("fault.faults_evaluated").unwrap_or(0) > 0);
+    assert!(snap.counter("sim.seq_steps").unwrap_or(0) > 0);
+    assert!(
+        snap.histogram("fault.cone_size")
+            .map(|h| h.total)
+            .unwrap_or(0)
+            > 0
+    );
+}

@@ -91,6 +91,37 @@ fn atpg_closes_what_fault_simulation_confirms() {
 }
 
 #[test]
+fn flow_journal_exports_validate_end_to_end() {
+    // Observability end-to-end: run the flow with telemetry on, export
+    // the journal through every sink, and hold the exports to the same
+    // bar CI holds the quickstart artifact to.
+    use rescue_core::telemetry::sinks::validate_jsonl;
+    use rescue_core::telemetry::{journal, TelemetryConfig};
+    let _serial = rescue_core::telemetry::exclusive();
+    TelemetryConfig::on().install();
+    let mark = journal::mark();
+    let report = HolisticFlow::new().run(&generate::adder(6), 64, 9);
+    let j = journal::Journal::take_since(mark).current_thread();
+    TelemetryConfig::off().install();
+    // The journal round-trips through the JSONL validator...
+    let check = validate_jsonl(&j.to_jsonl()).expect("flow journal is well-formed");
+    assert_eq!(check.events, j.len());
+    assert_eq!(check.begins, check.ends, "every span closed");
+    // ...the Chrome trace and markdown sinks render the same stream...
+    assert!(j.to_chrome_trace().contains("\"name\":\"flow.atpg\""));
+    assert!(j.to_markdown_summary().contains("| flow.fault_sim |"));
+    // ...and the report's stage breakdown agrees with the raw journal.
+    let journaled: u64 = j
+        .with_prefix("flow.")
+        .spans()
+        .iter()
+        .map(|s| s.dur_ns)
+        .sum();
+    let reported: u64 = report.stage_spans.iter().map(|(_, ns)| ns).sum();
+    assert_eq!(reported, journaled);
+}
+
+#[test]
 fn tmr_reduces_set_derating() {
     use rescue_core::radiation::set_analysis::SetCampaign;
     let inner = generate::parity(8);
