@@ -7,6 +7,7 @@
 //! reduction work (paper Section III.E, \[30\], \[44\]).
 
 use crate::podem::TestCube;
+use rescue_faults::engine::{CampaignPlan, FaultScratch};
 use rescue_faults::simulate::FaultSimulator;
 use rescue_faults::Fault;
 use rescue_netlist::Netlist;
@@ -51,17 +52,23 @@ pub fn reverse_order_compaction(
     patterns: &[Vec<bool>],
 ) -> Vec<Vec<bool>> {
     let sim = FaultSimulator::new(netlist);
+    // Plan/scratch built once for the whole walk; each pattern is a
+    // 1-live-lane word through the packed observability path.
+    let c = sim.compiled();
+    let plan = CampaignPlan::build(c, faults);
+    let mut scratch = FaultScratch::new(c.len());
     let mut detected = vec![false; faults.len()];
     let mut keep = vec![false; patterns.len()];
     for (pi, pattern) in patterns.iter().enumerate().rev() {
         let words = rescue_sim::parallel::pack_patterns(std::slice::from_ref(pattern));
         let golden = sim.golden(&words);
+        scratch.load_golden(&golden);
         let mut useful = false;
         for (fi, &fault) in faults.iter().enumerate() {
             if detected[fi] {
                 continue;
             }
-            if sim.detection_mask(netlist, &words, &golden, fault) & 1 != 0 {
+            if plan.detect_packed(c, &golden, &mut scratch, fault) & 1 != 0 {
                 detected[fi] = true;
                 useful = true;
             }

@@ -2,9 +2,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rescue_faults::engine::{CampaignPlan, FaultScratch};
 use rescue_faults::simulate::FaultSimulator;
 use rescue_faults::Fault;
 use rescue_netlist::Netlist;
+use rescue_sim::parallel::live_mask;
 
 /// Result of a random test-generation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +72,12 @@ pub fn weighted_random_tpg(
     let mut rng = StdRng::seed_from_u64(seed);
     let n_in = netlist.primary_inputs().len();
     let sim = FaultSimulator::new(netlist);
+    // Plan and scratch amortized over the whole run: the coverage loop is
+    // the PPSFP dropping path, one observability walk per (site, batch)
+    // shared by every undetected fault at that site.
+    let c = sim.compiled();
+    let plan = CampaignPlan::build(c, faults);
+    let mut scratch = FaultScratch::new(c.len());
     let mut patterns: Vec<Vec<bool>> = Vec::new();
     let mut curve = Vec::new();
     let mut detected = vec![false; faults.len()];
@@ -81,17 +89,13 @@ pub fn weighted_random_tpg(
             .collect();
         let words = rescue_sim::parallel::pack_patterns(&batch);
         let golden = sim.golden(&words);
+        scratch.load_golden(&golden);
+        let live = live_mask(batch.len());
         for (fi, &fault) in faults.iter().enumerate() {
             if detected[fi] {
-                continue;
+                continue; // fault dropping
             }
-            let mask = sim.detection_mask(netlist, &words, &golden, fault);
-            let mask = if batch.len() < 64 {
-                mask & ((1u64 << batch.len()) - 1)
-            } else {
-                mask
-            };
-            if mask != 0 {
+            if plan.detect_packed(c, &golden, &mut scratch, fault) & live != 0 {
                 detected[fi] = true;
             }
         }

@@ -4,12 +4,20 @@
 //!
 //! Workload fixed by the acceptance criterion: the complete stuck-at
 //! universe of `random_logic(16, 2000, 4, _)` under 1000 random
-//! patterns. The run first checks both engines produce identical
-//! verdicts, then times reference vs. new-serial vs. new-parallel and
-//! writes the measurements to `BENCH_fault_sim.json` at the repo root.
+//! patterns. The run first checks the engines produce identical
+//! verdicts, then times reference vs. cone-serial vs. the PPSFP engine
+//! (serial and 4 workers — `campaign_parallel` routes through the
+//! packed path since E15) and writes the measurements to
+//! `BENCH_fault_sim.json` at the repo root.
+//!
+//! The 4-worker speedup guard is gated on [`host_cpus`]: the earlier
+//! "parallel-scaling regression" seen on this bench was 4 workers
+//! time-slicing a single CPU, which no scheduler can win — recording
+//! the host CPU count next to the timings is what makes the numbers
+//! comparable across machines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::{banner, blog};
+use rescue_bench::{banner, blog, env_json, host_cpus};
 use rescue_core::faults::reference::ReferenceFaultSimulator;
 use rescue_core::faults::{simulate::FaultSimulator, universe};
 use rescue_core::netlist::generate;
@@ -71,6 +79,12 @@ fn bench(c: &mut Criterion) {
         b.first_detection(),
         "engines disagree; refusing to benchmark"
     );
+    assert_eq!(
+        fast.campaign_parallel(&net, &faults, &patterns, 4)
+            .first_detection(),
+        a.first_detection(),
+        "parallel packed engine disagrees; refusing to benchmark"
+    );
     let coverage = a.coverage();
 
     let t_old = median_secs(
@@ -85,6 +99,12 @@ fn bench(c: &mut Criterion) {
         },
         5,
     );
+    let t_ppsfp = median_secs(
+        || {
+            std::hint::black_box(fast.campaign_parallel(&net, &faults, &patterns, 1));
+        },
+        5,
+    );
     let t_par = median_secs(
         || {
             std::hint::black_box(fast.campaign_parallel(&net, &faults, &patterns, 4));
@@ -94,6 +114,7 @@ fn bench(c: &mut Criterion) {
 
     let work = faults.len() as f64 * patterns.len() as f64;
     let speedup = t_old / t_new;
+    let speedup_ppsfp = t_old / t_ppsfp;
     let speedup_par = t_old / t_par;
     blog!(
         "\n  workload: {} gates, {} faults, {} patterns (coverage {:.1}%)",
@@ -115,7 +136,13 @@ fn bench(c: &mut Criterion) {
         speedup
     );
     blog!(
-        "  cone engine, 4 threads   {:>9.1} ms   {:>10.1}   {:>7.2}x",
+        "  ppsfp engine, serial     {:>9.1} ms   {:>10.1}   {:>7.2}x",
+        t_ppsfp * 1e3,
+        work / t_ppsfp / 1e6,
+        speedup_ppsfp
+    );
+    blog!(
+        "  ppsfp engine, 4 workers  {:>9.1} ms   {:>10.1}   {:>7.2}x",
         t_par * 1e3,
         work / t_par / 1e6,
         speedup_par
@@ -125,28 +152,50 @@ fn bench(c: &mut Criterion) {
         "acceptance criterion: serial cone engine must be >= 3x over the \
          reference on this workload (got {speedup:.2}x)"
     );
+    if host_cpus() >= 4 {
+        let scaling = t_ppsfp / t_par;
+        assert!(
+            scaling >= 2.0,
+            "acceptance criterion: 4-worker campaign must be >= 2x over \
+             its own serial run on a >= 4-CPU host (got {scaling:.2}x on \
+             {} CPUs)",
+            host_cpus()
+        );
+    } else {
+        blog!(
+            "  (skipping 4-worker scaling assertion: host has {} CPU(s))",
+            host_cpus()
+        );
+    }
 
     let json = format!(
-        "{{\n  \"experiment\": \"e12_fault_sim_engine\",\n  \"workload\": {{\n    \
+        "{{\n  \"experiment\": \"e12_fault_sim_engine\",\n  {},\n  \"workload\": {{\n    \
          \"netlist\": \"random_logic({N_INPUTS}, {N_GATES}, {N_OUTPUTS}, {SEED})\",\n    \
          \"gates\": {},\n    \"faults\": {},\n    \"patterns\": {},\n    \
          \"coverage\": {:.4}\n  }},\n  \"seconds\": {{\n    \
          \"reference_full_resim\": {:.6},\n    \"cone_serial\": {:.6},\n    \
-         \"cone_parallel_4\": {:.6}\n  }},\n  \"speedup_over_reference\": {{\n    \
-         \"cone_serial\": {:.2},\n    \"cone_parallel_4\": {:.2}\n  }},\n  \
+         \"ppsfp_serial\": {:.6},\n    \
+         \"ppsfp_parallel_4\": {:.6}\n  }},\n  \"speedup_over_reference\": {{\n    \
+         \"cone_serial\": {:.2},\n    \"ppsfp_serial\": {:.2},\n    \
+         \"ppsfp_parallel_4\": {:.2}\n  }},\n  \
          \"mega_fault_patterns_per_sec\": {{\n    \"reference_full_resim\": {:.1},\n    \
-         \"cone_serial\": {:.1},\n    \"cone_parallel_4\": {:.1}\n  }}\n}}\n",
+         \"cone_serial\": {:.1},\n    \"ppsfp_serial\": {:.1},\n    \
+         \"ppsfp_parallel_4\": {:.1}\n  }}\n}}\n",
+        env_json(4, 64),
         net.len(),
         faults.len(),
         patterns.len(),
         coverage,
         t_old,
         t_new,
+        t_ppsfp,
         t_par,
         speedup,
+        speedup_ppsfp,
         speedup_par,
         work / t_old / 1e6,
         work / t_new / 1e6,
+        work / t_ppsfp / 1e6,
         work / t_par / 1e6,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault_sim.json");
@@ -171,7 +220,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("e12_campaign_cone_serial", |b| {
         b.iter(|| std::hint::black_box(fast.campaign(&net, &faults, &patterns)))
     });
-    c.bench_function("e12_campaign_cone_par4", |b| {
+    c.bench_function("e12_campaign_ppsfp_par4", |b| {
         b.iter(|| std::hint::black_box(fast.campaign_parallel(&net, &faults, &patterns, 4)))
     });
 }

@@ -15,7 +15,7 @@
 //! equivalence gate but skips the timing assertion and JSON export.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::{banner, blog};
+use rescue_bench::{banner, blog, env_json};
 use rescue_core::campaign::Campaign;
 use rescue_core::netlist::generate;
 use rescue_core::radiation::seu_analysis::{reference, SeuCampaign};
@@ -124,7 +124,7 @@ fn bench(c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"experiment\": \"e13_seu_campaign\",\n  \"workload\": {{\n    \
+        "{{\n  \"experiment\": \"e13_seu_campaign\",\n  {},\n  \"workload\": {{\n    \
          \"netlist\": \"lfsr({WIDTH}, {TAPS:?})\",\n    \"gates\": {},\n    \
          \"dffs\": {WIDTH},\n    \"warmup\": {warmup},\n    \"horizon\": {horizon},\n    \
          \"injections\": {injections},\n    \"avf\": {avf:.4}\n  }},\n  \
@@ -135,6 +135,7 @@ fn bench(c: &mut Criterion) {
          \"bit_parallel_4_workers\": {speedup_par:.2}\n  }},\n  \
          \"kilo_injections_per_sec\": {{\n    \"reference_scalar\": {:.1},\n    \
          \"bit_parallel_serial\": {:.1},\n    \"bit_parallel_4_workers\": {:.1}\n  }}\n}}\n",
+        env_json(4, 64),
         net.len(),
         injections as f64 / t_ref / 1e3,
         injections as f64 / t_word / 1e3,

@@ -18,7 +18,7 @@
 //! recording checks but skips the overhead assertion and JSON export.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::{banner, blog};
+use rescue_bench::{banner, blog, env_json};
 use rescue_core::campaign::Campaign;
 use rescue_core::faults::{simulate::FaultSimulator, universe};
 use rescue_core::netlist::generate;
@@ -189,7 +189,7 @@ fn bench(c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"experiment\": \"e14_telemetry_overhead\",\n  \
+        "{{\n  \"experiment\": \"e14_telemetry_overhead\",\n  {},\n  \
          \"overhead_limit_pct\": {OVERHEAD_LIMIT_PCT},\n  \"pairs\": {pairs},\n  \
          \"fault_sim\": {{\n    \"workload\": \"random_logic({n_inputs}, {n_gates}, 4, 12), \
          {} faults, {n_patterns} patterns\",\n    \"seconds_off\": {fault_off:.6},\n    \
@@ -199,6 +199,7 @@ fn bench(c: &mut Criterion) {
          horizon {horizon}\",\n    \"seconds_off\": {seu_off:.6},\n    \
          \"seconds_on\": {seu_on:.6},\n    \"overhead_pct\": {seu_pct:.3},\n    \
          \"journal_events\": {ev_seu},\n    \"spans\": {sp_seu}\n  }}\n}}\n",
+        env_json(1, 64),
         faults.len(),
     );
     let path = concat!(

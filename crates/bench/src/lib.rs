@@ -35,3 +35,27 @@ pub fn banner(id: &str, title: &str) {
     rescue_core::telemetry::instant!("bench.banner");
     blog!("\n=== {id}: {title} ===");
 }
+
+/// Logical CPUs visible to this process (1 when undetectable).
+///
+/// Parallel-speedup guards must gate on this: a 4-worker campaign
+/// physically cannot beat serial on a 1-CPU host, and several CI
+/// runners are exactly that.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `"environment"` JSON object recorded in every `BENCH_*.json`:
+/// worker count used by the bench's parallel variants, bit-parallel
+/// lane width, and host CPU count — without these the trajectory
+/// comparisons across machines are uninterpretable (a 4-worker
+/// "regression" on a 1-CPU host is not a regression).
+pub fn env_json(workers: usize, lane_width: usize) -> String {
+    format!(
+        "\"environment\": {{\n    \"workers\": {workers},\n    \
+         \"lane_width\": {lane_width},\n    \"host_cpus\": {}\n  }}",
+        host_cpus()
+    )
+}

@@ -10,21 +10,53 @@
 //! any worker count, and nothing is allocated per item.
 
 use crate::seed::derive_seed;
-use rescue_telemetry::span;
+use rescue_telemetry::{metrics, span};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Campaign execution policy: a master seed plus a worker count.
+/// How a campaign's items are handed to workers.
+///
+/// `Static` is the original layout: one contiguous shard per worker,
+/// fixed up front. It is optimal when per-item cost is uniform, and it
+/// is what [`Campaign::run_ranges`] always uses. `Dynamic` splits the
+/// item list into many small chunks claimed from a shared atomic cursor
+/// ([`Campaign::run_dynamic`]): workers that finish early steal the
+/// chunks a static layout would have pinned to a slow peer. Fault
+/// dropping makes per-item cost wildly non-uniform (dropped faults cost
+/// ~nothing, survivors walk their whole cone every word), which is
+/// exactly the load shape static shards handle worst.
+///
+/// Either way verdicts are identical: per-item seeds come from
+/// [`Campaign::seed_for`] (item-indexed, layout-independent) and results
+/// are reassembled in item order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous shard per worker, fixed before the run starts.
+    Static,
+    /// Work-stealing chunk queue. `chunk` is the items-per-chunk grain;
+    /// `0` lets the driver pick (`len / (workers * 8)` clamped to
+    /// `1..=256`), which yields ~8 steals' worth of slack per worker.
+    Dynamic {
+        /// Items per chunk; `0` = auto.
+        chunk: usize,
+    },
+}
+
+/// Campaign execution policy: a master seed, a worker count and a
+/// [`Schedule`].
 ///
 /// The seed feeds [`Campaign::seed_for`] so per-item randomness is stable
-/// under resharding; the worker count only affects wall-clock time, never
-/// verdicts.
+/// under resharding; the worker count and schedule only affect wall-clock
+/// time, never verdicts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Campaign {
     /// Master seed for deterministic per-item randomness.
     pub seed: u64,
     /// Scoped worker threads to shard over (>= 1).
     pub workers: usize,
+    /// Item hand-out policy for schedule-aware entry points.
+    pub schedule: Schedule,
 }
 
 impl Campaign {
@@ -41,12 +73,32 @@ impl Campaign {
     /// Panics when `workers == 0`.
     pub fn new(seed: u64, workers: usize) -> Self {
         assert!(workers > 0, "campaign needs at least one worker");
-        Campaign { seed, workers }
+        Campaign {
+            seed,
+            workers,
+            schedule: Schedule::Dynamic { chunk: 0 },
+        }
+    }
+
+    /// Same campaign with an explicit [`Schedule`] (builder style).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Deterministic seed for item `index`, independent of sharding.
     pub fn seed_for(&self, index: usize) -> u64 {
         derive_seed(self.seed, index as u64)
+    }
+
+    /// Resolved work-stealing chunk grain for `len` items: the explicit
+    /// `Dynamic { chunk }` when non-zero, else `len / (workers * 8)`
+    /// clamped to `1..=256`.
+    pub fn chunk_size(&self, len: usize) -> usize {
+        match self.schedule {
+            Schedule::Dynamic { chunk } if chunk > 0 => chunk,
+            _ => (len / (self.workers * 8)).clamp(1, 256),
+        }
     }
 
     /// Contiguous item ranges, one per worker: `ceil(len / workers)` items
@@ -96,6 +148,8 @@ impl Campaign {
                 results,
                 worker_ns,
                 elapsed_ns: start.elapsed().as_nanos() as u64,
+                chunks: 1,
+                steals: 0,
             };
         }
         let parts: Vec<(Vec<R>, u64)> = std::thread::scope(|scope| {
@@ -126,10 +180,134 @@ impl Campaign {
             results.extend(part);
             worker_ns.push(ns);
         }
+        let chunks = worker_ns.len();
         ShardedRun {
             results,
             worker_ns,
             elapsed_ns: start.elapsed().as_nanos() as u64,
+            chunks,
+            steals: 0,
+        }
+    }
+
+    /// Runs `work` over `items` with the work-stealing chunk queue: the
+    /// item list is cut into [`Campaign::chunk_size`]-item chunks and
+    /// workers claim the next chunk from a shared atomic cursor until the
+    /// queue drains. `scratch(worker)` builds each worker's reusable
+    /// state inside its own thread and **persists across every chunk that
+    /// worker claims**, so per-item results must not depend on which
+    /// chunks shared a scratch (same contract as [`Campaign::run_ranges`]
+    /// shards). `work(scratch, offset, chunk)` returns one result per
+    /// chunk item; results are reassembled in item order, so the output
+    /// is bit-identical for any worker count or chunk grain.
+    ///
+    /// A chunk counts as *stolen* when the worker that claims it is not
+    /// its round-robin home (`chunk_index % workers`) — the figure a
+    /// static interleaved layout would have forced. Steals land in
+    /// [`ShardedRun::steals`] and the `campaign.chunks_stolen` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker panics or returns the wrong result count.
+    pub fn run_dynamic<T, S, R, FS, FW>(&self, items: &[T], scratch: FS, work: FW) -> ShardedRun<R>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn(usize) -> S + Sync,
+        FW: Fn(&mut S, usize, &[T]) -> Vec<R> + Sync,
+    {
+        let start = Instant::now();
+        let _run = span!("campaign.run", items = items.len());
+        if items.is_empty() {
+            return ShardedRun {
+                results: Vec::new(),
+                worker_ns: Vec::new(),
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+                chunks: 0,
+                steals: 0,
+            };
+        }
+        let chunk = self.chunk_size(items.len());
+        let n_chunks = items.len().div_ceil(chunk);
+        if self.workers == 1 || n_chunks == 1 {
+            // Inline fast path: a serial run is one whole-range chunk, no
+            // thread spawn, no cursor.
+            let t = Instant::now();
+            let _shard = span!("campaign.chunk", chunk = 0);
+            let mut s = scratch(0);
+            let results = work(&mut s, 0, items);
+            assert_eq!(results.len(), items.len(), "one result per item");
+            return ShardedRun {
+                results,
+                worker_ns: vec![t.elapsed().as_nanos() as u64],
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+                chunks: 1,
+                steals: 0,
+            };
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(n_chunks);
+        // Per worker: claimed (chunk index, results) pairs, busy
+        // nanoseconds, stolen-chunk count.
+        type WorkerPart<R> = (Vec<(usize, Vec<R>)>, u64, u64);
+        let parts: Vec<WorkerPart<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let scratch = &scratch;
+                    let work = &work;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let mut s = scratch(w);
+                        let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                        let mut steals = 0u64;
+                        loop {
+                            let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                            if ci >= n_chunks {
+                                break;
+                            }
+                            // Worker identity is recoverable from the event's
+                            // thread id in the journal; the one span argument
+                            // carries the chunk index.
+                            let _chunk = span!("campaign.chunk", chunk = ci);
+                            if ci % workers != w {
+                                steals += 1;
+                            }
+                            let range = ci * chunk..((ci + 1) * chunk).min(items.len());
+                            let part = work(&mut s, range.start, &items[range.clone()]);
+                            assert_eq!(part.len(), range.len(), "one result per item");
+                            mine.push((ci, part));
+                        }
+                        (mine, t.elapsed().as_nanos() as u64, steals)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        let mut by_chunk: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
+        let mut worker_ns = Vec::with_capacity(workers);
+        let mut steals = 0u64;
+        for (mine, ns, st) in parts {
+            for (ci, part) in mine {
+                by_chunk[ci] = Some(part);
+            }
+            worker_ns.push(ns);
+            steals += st;
+        }
+        let mut results = Vec::with_capacity(items.len());
+        for part in by_chunk {
+            results.extend(part.expect("every chunk claimed exactly once"));
+        }
+        metrics::counter("campaign.chunks_stolen").add(steals);
+        ShardedRun {
+            results,
+            worker_ns,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+            chunks: n_chunks,
+            steals,
         }
     }
 
@@ -163,6 +341,12 @@ pub struct ShardedRun<R> {
     pub worker_ns: Vec<u64>,
     /// End-to-end wall-clock of the run, in nanoseconds.
     pub elapsed_ns: u64,
+    /// Work units handed out: shards for [`Campaign::run_ranges`], queue
+    /// chunks for [`Campaign::run_dynamic`].
+    pub chunks: usize,
+    /// Chunks claimed by a worker other than their round-robin home
+    /// (always 0 for static runs, which cannot rebalance).
+    pub steals: u64,
 }
 
 #[cfg(test)]
@@ -237,5 +421,107 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         Campaign::new(0, 0);
+    }
+
+    #[test]
+    fn chunk_size_auto_and_explicit() {
+        let c = Campaign::new(0, 4);
+        assert_eq!(c.chunk_size(0), 1, "clamped up for tiny lists");
+        assert_eq!(c.chunk_size(31), 1);
+        assert_eq!(c.chunk_size(320), 10);
+        assert_eq!(c.chunk_size(1 << 20), 256, "clamped down for huge lists");
+        let e = c.with_schedule(Schedule::Dynamic { chunk: 7 });
+        assert_eq!(e.chunk_size(1 << 20), 7, "explicit grain wins");
+        let s = c.with_schedule(Schedule::Static);
+        assert_eq!(
+            s.chunk_size(320),
+            10,
+            "static still resolves the auto grain"
+        );
+    }
+
+    #[test]
+    fn dynamic_matches_static_across_workers_and_grains() {
+        let items: Vec<u32> = (0..257).collect();
+        let baseline = Campaign::serial().run_sharded(&items, |_| (), |_, i, &x| (i, x * 3));
+        for workers in [1usize, 2, 3, 4, 16] {
+            for chunk in [0usize, 1, 5, 64, 1000] {
+                let run = Campaign::new(0, workers)
+                    .with_schedule(Schedule::Dynamic { chunk })
+                    .run_dynamic(
+                        &items,
+                        |_| (),
+                        |_, offset, shard| {
+                            shard
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &x)| (offset + i, x * 3))
+                                .collect()
+                        },
+                    );
+                assert_eq!(
+                    baseline.results, run.results,
+                    "{workers} workers, chunk {chunk}"
+                );
+                assert!(run.chunks >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_seeding_is_reshard_stable() {
+        // Per-item seeds routed through seed_for are identical no matter
+        // which worker claims the chunk or how the queue is grained.
+        let items: Vec<u32> = (0..100).collect();
+        let seeds = |workers: usize, chunk: usize| {
+            let c = Campaign::new(9, workers).with_schedule(Schedule::Dynamic { chunk });
+            c.run_dynamic(
+                &items,
+                |_| (),
+                |_, offset, shard| (0..shard.len()).map(|i| c.seed_for(offset + i)).collect(),
+            )
+            .results
+        };
+        let baseline = seeds(1, 0);
+        for (workers, chunk) in [(2, 3), (4, 7), (8, 1), (3, 0)] {
+            assert_eq!(baseline, seeds(workers, chunk));
+        }
+    }
+
+    #[test]
+    fn dynamic_empty_and_serial_fast_paths() {
+        let none: [u32; 0] = [];
+        let run = Campaign::new(0, 4).run_dynamic(&none, |_| (), |_, _, _| Vec::<u32>::new());
+        assert!(run.results.is_empty());
+        assert_eq!(run.chunks, 0);
+        let items = [1u32, 2, 3];
+        let run = Campaign::serial().run_dynamic(&items, |_| (), |_, _, shard| shard.to_vec());
+        assert_eq!(run.results, vec![1, 2, 3]);
+        assert_eq!(run.chunks, 1, "serial run is one whole-range chunk");
+        assert_eq!(run.steals, 0);
+    }
+
+    #[test]
+    fn dynamic_scratch_persists_across_claimed_chunks() {
+        // Each worker's scratch survives from chunk to chunk: the total
+        // across all workers' accumulators equals the item-count.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let touched = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let run = Campaign::new(0, 4)
+            .with_schedule(Schedule::Dynamic { chunk: 16 })
+            .run_dynamic(
+                &items,
+                |_| 0u64,
+                |seen, _, shard| {
+                    *seen += shard.len() as u64;
+                    touched.fetch_add(shard.len() as u64, Ordering::Relaxed);
+                    shard.to_vec()
+                },
+            );
+        assert_eq!(run.results, items);
+        assert_eq!(touched.load(Ordering::Relaxed), 1000);
+        assert_eq!(run.chunks, 1000usize.div_ceil(16));
+        assert!(run.worker_ns.len() <= 4);
     }
 }

@@ -9,9 +9,11 @@
 //! `std::thread::scope` blocks, ad-hoc seeds, and no common notion of
 //! throughput. This crate is the one substrate they all share:
 //!
-//! * [`driver::Campaign`] — deterministic seeding plus contiguous-range
-//!   scoped-thread sharding with reusable per-worker scratch. Verdicts
-//!   never depend on the worker count; only wall-clock does.
+//! * [`driver::Campaign`] — deterministic seeding plus scoped-thread
+//!   execution with reusable per-worker scratch, under either a static
+//!   contiguous-shard layout or a work-stealing chunk queue
+//!   ([`driver::Schedule`], [`Campaign::run_dynamic`]). Verdicts never
+//!   depend on the worker count or schedule; only wall-clock does.
 //! * [`stats::CampaignStats`] — the observability record attached to
 //!   every campaign report: injections per second, 64-lane occupancy,
 //!   per-worker timings and outcome tallies.
@@ -54,6 +56,6 @@ pub mod progress;
 pub mod seed;
 pub mod stats;
 
-pub use driver::{Campaign, ShardedRun};
+pub use driver::{Campaign, Schedule, ShardedRun};
 pub use progress::{Progress, ProgressSnapshot};
 pub use stats::{CampaignStats, OutcomeTally};

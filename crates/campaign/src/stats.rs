@@ -67,6 +67,12 @@ pub struct CampaignStats {
     pub lanes_used: u64,
     /// Total lane slots across all word batches (64 per batch).
     pub lanes_capacity: u64,
+    /// Faults retired early by fault dropping (detected before the last
+    /// pattern word, so later words never re-walked their cone).
+    pub dropped: usize,
+    /// Work-stealing chunks claimed away from their round-robin home
+    /// worker (0 under static scheduling).
+    pub chunks_stolen: u64,
     /// Outcome counters for the run.
     pub tally: OutcomeTally,
 }
@@ -85,6 +91,8 @@ impl CampaignStats {
             worker_ns: run.worker_ns.clone(),
             lanes_used: 0,
             lanes_capacity: 0,
+            dropped: 0,
+            chunks_stolen: run.steals,
             tally: OutcomeTally::default(),
         }
     }
@@ -103,6 +111,8 @@ impl CampaignStats {
         self.worker_ns.extend_from_slice(&other.worker_ns);
         self.lanes_used += other.lanes_used;
         self.lanes_capacity += other.lanes_capacity;
+        self.dropped += other.dropped;
+        self.chunks_stolen += other.chunks_stolen;
         self.tally.masked += other.tally.masked;
         self.tally.latent += other.tally.latent;
         self.tally.failures += other.tally.failures;
@@ -183,6 +193,8 @@ mod tests {
             results: Vec::new(),
             worker_ns: vec![0],
             elapsed_ns: 0,
+            chunks: 0,
+            steals: 0,
         };
         let stats = CampaignStats::from_run(0, &run);
         assert_eq!(stats.elapsed_ns, 0, "no clamping to a fake epsilon");
@@ -201,6 +213,8 @@ mod tests {
             worker_ns: vec![50, 60],
             lanes_used: 10,
             lanes_capacity: 64,
+            dropped: 3,
+            chunks_stolen: 2,
             tally: OutcomeTally {
                 masked: 4,
                 failures: 6,
@@ -214,6 +228,8 @@ mod tests {
             worker_ns: vec![40],
             lanes_used: 5,
             lanes_capacity: 64,
+            dropped: 4,
+            chunks_stolen: 1,
             tally: OutcomeTally {
                 latent: 5,
                 ..OutcomeTally::default()
@@ -224,6 +240,8 @@ mod tests {
         assert_eq!(a.elapsed_ns, 140);
         assert_eq!(a.workers, 2);
         assert_eq!(a.worker_ns, vec![50, 60, 40]);
+        assert_eq!(a.dropped, 7);
+        assert_eq!(a.chunks_stolen, 3);
         assert_eq!(a.tally.total(), 15);
     }
 }

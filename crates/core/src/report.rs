@@ -48,15 +48,20 @@ pub fn render_report(report: &FlowReport) -> String {
     if !report.stage_stats.is_empty() {
         let _ = writeln!(s, "### Campaign throughput");
         let _ = writeln!(s);
-        let _ = writeln!(s, "| stage | injections | inj/s | lane occupancy |");
-        let _ = writeln!(s, "|---|---|---|---|");
+        let _ = writeln!(
+            s,
+            "| stage | injections | inj/s | lane occupancy | dropped | stolen chunks |"
+        );
+        let _ = writeln!(s, "|---|---|---|---|---|---|");
         for (stage, stats) in &report.stage_stats {
             let _ = writeln!(
                 s,
-                "| {stage} | {} | {:.0} | {:.1} % |",
+                "| {stage} | {} | {:.0} | {:.1} % | {} | {} |",
                 stats.injections,
                 stats.injections_per_sec(),
-                stats.lane_occupancy() * 100.0
+                stats.lane_occupancy() * 100.0,
+                stats.dropped,
+                stats.chunks_stolen
             );
         }
         let _ = writeln!(s);

@@ -21,6 +21,36 @@
 //! word evaluation, so effects never cross a sequential edge within a
 //! chunk), and cone gates are evaluated with the same kernels in the
 //! same order.
+//!
+//! # PPSFP: one walk per site, event-driven
+//!
+//! [`CampaignPlan::detect`] pays one cone walk per *fault* per 64-pattern
+//! word, and that walk evaluates every cone gate below the horizon even
+//! when almost none of them changed. [`CampaignPlan::detect_packed`] is
+//! the parallel-pattern single-fault propagation (PPSFP, Waicukauski et
+//! al. 1985) production path, built on three exact reductions:
+//!
+//! * **Observability factoring** — bit lanes of word evaluation never
+//!   interact, so one walk with the root *flipped on all 64 lanes*
+//!   computes, per lane, whether a root flip reaches a primary output
+//!   (the observability word `O`). Every stuck-at fault at the site is
+//!   then `O & excitation`, where the excitation word (lanes on which
+//!   the fault actually flips the root) is one gate evaluation at most.
+//!   sa0, sa1 and all pin faults of a site share a single walk.
+//! * **Event-driven walk** — the walk stamps the fanout of each changed
+//!   gate and skips unstamped cone members in O(1) instead of
+//!   re-evaluating them (on large cones almost all evaluations are
+//!   skipped: typical walks change ~a dozen gates in a 500-gate cone).
+//! * **Static observability pruning** — a site whose cone contains no
+//!   primary output can never be detected; its faults are answered with
+//!   `0` without any walk ([`CampaignPlan::observable`]). The same
+//!   reverse-topological PO-reachability sweep also restricts every
+//!   walk order to PO-reachable cone members
+//!   ([`CampaignPlan::obs_cone_of`]): gates that cannot reach an output
+//!   cannot feed one either, so the walk never visits them.
+//!
+//! Equivalence with [`CampaignPlan::detect`] (the scalar oracle) is
+//! enforced by property tests in `tests/ppsfp_equivalence.rs`.
 
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::GateKind;
@@ -40,6 +70,16 @@ pub struct CampaignPlan {
     /// Concatenated cones, each sorted by topological position and
     /// excluding its root.
     cone_gates: Vec<u32>,
+    /// Per gate: whether the gate's combinational fanout cone (or the
+    /// gate itself) contains a primary output — computed for every gate
+    /// in one reverse-topological sweep at build time.
+    observable: Vec<bool>,
+    /// Concatenated PO-reachable restrictions of the cones: the members
+    /// `m` with `observable[m]`, same order and indexing as
+    /// `cone_offsets`. Only these gates can influence a primary output,
+    /// so the packed observability walk evaluates nothing else.
+    obs_cone_offsets: Vec<u32>,
+    obs_cone_gates: Vec<u32>,
 }
 
 impl CampaignPlan {
@@ -51,10 +91,37 @@ impl CampaignPlan {
             cone_index: vec![u32::MAX; n],
             cone_offsets: vec![0],
             cone_gates: Vec::new(),
+            observable: vec![false; n],
+            obs_cone_offsets: vec![0],
+            obs_cone_gates: Vec::new(),
         };
+        // PO-reachability for every gate in one reverse-topological
+        // sweep: a gate is observable when it drives a primary output or
+        // any non-DFF fanout is observable. Sources (Input/Dff outputs)
+        // sit outside eval_order and close the pass — their fanouts are
+        // combinational gates the sweep already settled.
+        for g in 0..n {
+            plan.observable[g] = compiled.is_po(g);
+        }
+        for &g in compiled.eval_order().iter().rev() {
+            let gi = g as usize;
+            if !plan.observable[gi] {
+                plan.observable[gi] = compiled.fanout_of(gi).iter().any(|&s| {
+                    compiled.kind(s as usize) != GateKind::Dff && plan.observable[s as usize]
+                });
+            }
+        }
+        for g in 0..n {
+            if !plan.observable[g] && matches!(compiled.kind(g), GateKind::Input | GateKind::Dff) {
+                plan.observable[g] = compiled.fanout_of(g).iter().any(|&s| {
+                    compiled.kind(s as usize) != GateKind::Dff && plan.observable[s as usize]
+                });
+            }
+        }
         let mut seen = vec![false; n];
         let mut stack: Vec<u32> = Vec::new();
         let mut members: Vec<u32> = Vec::new();
+        let mut keyed: Vec<u64> = Vec::new();
         // Cone sizes feed the `fault.cone_size` histogram: build is cold
         // (once per campaign), so recording per cone here costs nothing
         // on the per-fault hot path.
@@ -82,8 +149,16 @@ impl CampaignPlan {
             }
             // Kahn order enqueues a gate only after all combinational
             // predecessors, so every cone member sits after the root;
-            // sorting by position yields a valid evaluation order.
-            members.sort_unstable_by_key(|&g| compiled.topo_pos(g as usize));
+            // sorting by position yields a valid evaluation order. Packed
+            // (position, gate) keys cost one topo_pos load per element
+            // instead of one per comparison.
+            keyed.clear();
+            keyed.extend(
+                members
+                    .iter()
+                    .map(|&g| ((compiled.topo_pos(g as usize) as u64) << 32) | g as u64),
+            );
+            keyed.sort_unstable();
             seen[root] = false;
             for &m in &members {
                 seen[m as usize] = false;
@@ -91,8 +166,20 @@ impl CampaignPlan {
             if let Some(hist) = &cone_hist {
                 hist.record(members.len() as u64);
             }
-            plan.cone_gates.append(&mut members);
+            members.clear();
+            plan.cone_gates.extend(keyed.iter().map(|&k| k as u32));
             plan.cone_offsets.push(plan.cone_gates.len() as u32);
+            // PO-reachable restriction: unobservable gates feed only
+            // unobservable gates (an edge into an observable gate would
+            // make its source observable), so dropping them from the
+            // walk order changes no observable gate's value.
+            plan.obs_cone_gates.extend(
+                keyed
+                    .iter()
+                    .map(|&k| k as u32)
+                    .filter(|&g| plan.observable[g as usize]),
+            );
+            plan.obs_cone_offsets.push(plan.obs_cone_gates.len() as u32);
         }
         plan
     }
@@ -107,6 +194,22 @@ impl CampaignPlan {
         let lo = self.cone_offsets[idx as usize] as usize;
         let hi = self.cone_offsets[idx as usize + 1] as usize;
         Some(&self.cone_gates[lo..hi])
+    }
+
+    /// The PO-reachable restriction of [`CampaignPlan::cone_of`]: the
+    /// cone members whose own fanout cone contains a primary output, in
+    /// the same topological order. Unobservable gates feed only
+    /// unobservable gates, so resimulating just this subsequence yields
+    /// the same values on every member it contains as the full cone walk
+    /// — it is the exact gate set the packed observability walk visits.
+    pub fn obs_cone_of(&self, root: usize) -> Option<&[u32]> {
+        let idx = self.cone_index[root];
+        if idx == u32::MAX {
+            return None;
+        }
+        let lo = self.obs_cone_offsets[idx as usize] as usize;
+        let hi = self.obs_cone_offsets[idx as usize + 1] as usize;
+        Some(&self.obs_cone_gates[lo..hi])
     }
 
     /// Detection mask of `fault` over the chunk whose golden values are
@@ -184,6 +287,171 @@ impl CampaignPlan {
         }
         scratch.undo(golden);
         mask
+    }
+
+    /// Whether `root`'s combinational fanout cone (or `root` itself)
+    /// contains a primary output. Faults at unobservable sites can never
+    /// be detected, so the packed path answers them without a walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` was not a fault-site root of this plan.
+    #[inline]
+    pub fn observable(&self, root: usize) -> bool {
+        assert!(
+            self.cone_index[root] != u32::MAX,
+            "fault root missing from campaign plan"
+        );
+        self.observable[root]
+    }
+
+    /// Excitation word of `fault`: the patterns (bit `p`) on which the
+    /// fault flips its root gate's output away from golden. At most one
+    /// gate evaluation (pin faults); output faults are a compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-stuck-at kinds.
+    #[inline]
+    pub fn excitation_word(compiled: &CompiledNetlist, golden: &[u64], fault: Fault) -> u64 {
+        let stuck = fault
+            .kind()
+            .stuck_value()
+            .expect("stuck-at campaign requires stuck-at faults");
+        let word = if stuck { u64::MAX } else { 0 };
+        let root = fault.site().gate().index();
+        let fault_value = match fault.site() {
+            FaultSite::Output(_) => word,
+            FaultSite::Pin { pin, .. } => match compiled.kind(root) {
+                GateKind::Input | GateKind::Dff => golden[root],
+                _ => compiled.eval_word_pin_forced(root, golden, pin, word),
+            },
+        };
+        fault_value ^ golden[root]
+    }
+
+    /// Observability word of `root` over the chunk whose golden values
+    /// are `golden`: bit `p` is set iff flipping `root`'s value on
+    /// pattern `p` changes at least one primary output on pattern `p`.
+    ///
+    /// One event-driven walk over the **PO-reachable restriction** of
+    /// the cone with the root flipped on **all 64 lanes**: because word
+    /// evaluation is bitwise, lane `p` of every downstream gate equals a
+    /// per-pattern resimulation with the root flipped on pattern `p`
+    /// alone — so a single walk yields all 64 per-pattern
+    /// observabilities at once. Unobservable cone members cannot touch a
+    /// primary output and are never visited; among the rest, the walk
+    /// stamps the observable fanouts of changed gates and skips
+    /// unstamped members in O(1). Once every lane has reached an output
+    /// (`mask == !0`) the walk stops early — the mask can only grow.
+    /// `scratch.val` must equal `golden` on entry and is restored before
+    /// returning.
+    ///
+    /// The result is cached in the scratch per `(chunk, root)`, so all
+    /// faults of one site share one walk within a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` was not a fault-site root of this plan.
+    pub fn observability_packed(
+        &self,
+        compiled: &CompiledNetlist,
+        golden: &[u64],
+        scratch: &mut FaultScratch,
+        root: usize,
+    ) -> u64 {
+        if scratch.obs_root == root as u32 {
+            scratch.counters.obs_cache_hits += 1;
+            return scratch.obs_word;
+        }
+        let cone = self
+            .obs_cone_of(root)
+            .expect("fault root missing from campaign plan");
+        let id = scratch.next_walk_id();
+        let mut mask = if compiled.is_po(root) { u64::MAX } else { 0 };
+        scratch.val[root] = !golden[root];
+        scratch.touched.push(root as u32);
+        let mut horizon = 0u32;
+        for &s in compiled.fanout_of(root) {
+            if self.observable[s as usize] {
+                scratch.stamp[s as usize] = id;
+                horizon = horizon.max(compiled.topo_pos(s as usize));
+            }
+        }
+        for &g in cone {
+            let gi = g as usize;
+            if mask == u64::MAX || compiled.topo_pos(gi) > horizon {
+                // Every lane already detected, or the event frontier
+                // died: nothing further can change the mask.
+                scratch.counters.horizon_exits += 1;
+                break;
+            }
+            if scratch.stamp[gi] != id {
+                // No fanin of this cone member changed: its value is
+                // golden without evaluating it.
+                scratch.counters.stamp_skips += 1;
+                continue;
+            }
+            let v = compiled.eval_word(gi, &scratch.val);
+            if v == golden[gi] {
+                continue;
+            }
+            scratch.val[gi] = v;
+            scratch.touched.push(g);
+            if compiled.is_po(gi) {
+                mask |= v ^ golden[gi];
+            }
+            for &s in compiled.fanout_of(gi) {
+                if self.observable[s as usize] {
+                    scratch.stamp[s as usize] = id;
+                    horizon = horizon.max(compiled.topo_pos(s as usize));
+                }
+            }
+        }
+        scratch.undo(golden);
+        scratch.counters.obs_walks += 1;
+        scratch.obs_root = root as u32;
+        scratch.obs_word = mask;
+        mask
+    }
+
+    /// PPSFP detection mask of `fault` over the chunk whose golden
+    /// values are `golden`: bit-identical to [`CampaignPlan::detect`]
+    /// but sharing one observability walk across every fault of the
+    /// site, skipping unexcited faults and statically unobservable
+    /// sites without walking at all.
+    ///
+    /// Exactness: bit lanes of word evaluation are independent, so on
+    /// every lane a stuck-at fault either leaves the root at golden (no
+    /// output can change — the detection bit is 0) or flips it (the
+    /// exact situation the all-lanes-flip observability walk computed).
+    /// Hence `mask = observability & excitation`.
+    ///
+    /// `scratch.val` must equal `golden` on entry (use
+    /// [`FaultScratch::load_golden`] once per chunk) and is golden again
+    /// on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-stuck-at kinds and on roots absent from the plan.
+    pub fn detect_packed(
+        &self,
+        compiled: &CompiledNetlist,
+        golden: &[u64],
+        scratch: &mut FaultScratch,
+        fault: Fault,
+    ) -> u64 {
+        scratch.counters.faults_evaluated += 1;
+        let root = fault.site().gate().index();
+        if !self.observable(root) {
+            return 0;
+        }
+        let excitation = Self::excitation_word(compiled, golden, fault);
+        if excitation == 0 {
+            return 0; // not excited on any pattern of this chunk
+        }
+        scratch.counters.excitations += 1;
+        self.observability_packed(compiled, golden, scratch, root) & excitation
     }
 }
 
@@ -320,6 +588,17 @@ pub struct ScratchCounters {
     pub undo_writes: u64,
     /// Deepest single undo list seen.
     pub undo_depth_max: u64,
+    /// Packed observability walks performed (one per live site per
+    /// chunk on the PPSFP path).
+    pub obs_walks: u64,
+    /// Observability words served from the per-chunk site cache instead
+    /// of walking (sa0/sa1/pin faults sharing their site's walk).
+    pub obs_cache_hits: u64,
+    /// Cone members skipped without evaluation because no fanin changed
+    /// (the event-driven stamp check).
+    pub stamp_skips: u64,
+    /// Faults dropped from their campaign at the first detecting word.
+    pub dropped: u64,
 }
 
 impl ScratchCounters {
@@ -332,6 +611,10 @@ impl ScratchCounters {
             metrics::counter("fault.excitations").add(self.excitations);
             metrics::counter("fault.horizon_exits").add(self.horizon_exits);
             metrics::counter("fault.undo_writes").add(self.undo_writes);
+            metrics::counter("fault.obs_walks").add(self.obs_walks);
+            metrics::counter("fault.obs_cache_hits").add(self.obs_cache_hits);
+            metrics::counter("fault.stamp_skips").add(self.stamp_skips);
+            metrics::counter("fault.dropped").add(self.dropped);
             metrics::histogram("fault.undo_depth_max", &metrics::pow2_bounds(16))
                 .record(self.undo_depth_max);
         }
@@ -339,12 +622,22 @@ impl ScratchCounters {
     }
 }
 
-/// Reusable per-worker scratch: a value array mirroring the chunk golden
-/// plus the touched-list undo log. No allocation per fault.
+/// Reusable per-worker scratch: a value array mirroring the chunk
+/// golden, the touched-list undo log, the event stamps of the packed
+/// walk and the per-chunk observability cache. No allocation per fault.
 #[derive(Debug, Clone)]
 pub struct FaultScratch {
     val: Vec<u64>,
     touched: Vec<u32>,
+    /// Event stamps: `stamp[g] == walk_id` marks a fanin of `g` changed
+    /// during the current packed walk.
+    stamp: Vec<u32>,
+    walk_id: u32,
+    /// One-entry observability cache: the last walked root of the
+    /// current chunk (`u32::MAX` = empty, reset by
+    /// [`FaultScratch::load_golden`]) and its observability word.
+    obs_root: u32,
+    obs_word: u64,
     /// Engine telemetry accumulated by this worker (see
     /// [`ScratchCounters`]).
     pub counters: ScratchCounters,
@@ -356,6 +649,10 @@ impl FaultScratch {
         FaultScratch {
             val: vec![0; len],
             touched: Vec::new(),
+            stamp: vec![0; len],
+            walk_id: 0,
+            obs_root: u32::MAX,
+            obs_word: 0,
             counters: ScratchCounters::default(),
         }
     }
@@ -364,6 +661,18 @@ impl FaultScratch {
     pub fn load_golden(&mut self, golden: &[u64]) {
         self.val.copy_from_slice(golden);
         self.touched.clear();
+        self.obs_root = u32::MAX;
+    }
+
+    /// A fresh stamp value, clearing the stamp array on the (once per
+    /// 2^32 walks) wrap so stale stamps can never alias.
+    fn next_walk_id(&mut self) -> u32 {
+        if self.walk_id == u32::MAX {
+            self.walk_id = 0;
+            self.stamp.fill(0);
+        }
+        self.walk_id += 1;
+        self.walk_id
     }
 
     fn undo(&mut self, golden: &[u64]) {

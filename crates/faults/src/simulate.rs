@@ -306,13 +306,19 @@ impl FaultSimulator {
             .report
     }
 
-    /// Stuck-at campaign with fault dropping through the shared
-    /// [`Campaign`] driver: the fault list is sharded into contiguous
-    /// ranges over scoped workers, each with its own reusable
-    /// [`FaultScratch`]; per-chunk golden words are computed once and
-    /// shared read-only. Verdicts are bit-identical to
-    /// [`FaultSimulator::campaign`] for every worker count; the returned
-    /// [`CampaignRun`] adds throughput/lane-occupancy observability.
+    /// PPSFP stuck-at campaign with fault dropping through the shared
+    /// [`Campaign`] driver: per-chunk golden words are computed once and
+    /// shared read-only, and every worker detects through the packed
+    /// observability path ([`CampaignPlan::detect_packed`]) — one
+    /// event-driven cone walk per (site, 64-pattern word), shared by all
+    /// faults at that site. The fault list is handed out per the
+    /// campaign's [`rescue_campaign::Schedule`]: static contiguous shards
+    /// or the work-stealing chunk queue (the default — fault dropping
+    /// makes per-fault cost wildly non-uniform, which static shards
+    /// handle worst). Verdicts are bit-identical to
+    /// [`FaultSimulator::campaign`] for every worker count, schedule and
+    /// chunk grain; the returned [`CampaignRun`] adds
+    /// throughput/lane-occupancy/drop/steal observability.
     ///
     /// # Panics
     ///
@@ -337,36 +343,60 @@ impl FaultSimulator {
                 (golden, live_mask(chunk.len()))
             })
             .collect();
+        let n_chunks = chunks.len();
         let plan = CampaignPlan::build(c, faults);
-        let run = campaign.run_ranges(
-            faults,
-            |_| FaultScratch::new(c.len()),
-            |scratch, _, range| {
-                let mut first: Vec<Option<usize>> = vec![None; range.len()];
-                let mut undetected = range.len();
-                for (ci, (golden, live)) in chunks.iter().enumerate() {
-                    if undetected == 0 {
-                        break; // every fault in this shard dropped
-                    }
-                    scratch.load_golden(golden);
-                    for (fi, &fault) in range.iter().enumerate() {
-                        if first[fi].is_some() {
-                            continue;
-                        }
-                        let mask = plan.detect(c, golden, scratch, fault) & *live;
-                        if mask != 0 {
-                            first[fi] = Some(ci * 64 + mask.trailing_zeros() as usize);
-                            undetected -= 1;
-                        }
-                    }
+        let scratch = |_w: usize| FaultScratch::new(c.len());
+        let work = |scratch: &mut FaultScratch, _offset: usize, range: &[Fault]| {
+            let mut first: Vec<Option<usize>> = vec![None; range.len()];
+            // Structurally unobservable faults can never be detected:
+            // retire them before the first word instead of re-asking the
+            // engine on every chunk. The active list then shrinks as
+            // faults drop, keeping site-consecutive order so the
+            // one-entry observability cache stays hot.
+            let mut active: Vec<u32> = (0..range.len() as u32)
+                .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
+                .collect();
+            for (ci, (golden, live)) in chunks.iter().enumerate() {
+                if active.is_empty() {
+                    break; // every detectable fault in this range dropped
                 }
-                // Shard granularity: one registry touch per worker range,
-                // never per fault.
-                scratch.counters.flush_to_metrics();
-                first
-            },
-        );
+                scratch.load_golden(golden);
+                active.retain(|&fi| {
+                    let fault = range[fi as usize];
+                    let mask = plan.detect_packed(c, golden, scratch, fault) & *live;
+                    if mask == 0 {
+                        return true;
+                    }
+                    first[fi as usize] = Some(ci * 64 + mask.trailing_zeros() as usize);
+                    if ci + 1 < n_chunks {
+                        // Retired early: later words never walk this
+                        // fault's cone again.
+                        scratch.counters.dropped += 1;
+                    }
+                    false
+                });
+            }
+            // Range granularity: one registry touch per work call, never
+            // per fault.
+            scratch.counters.flush_to_metrics();
+            first
+        };
+        let run = match campaign.schedule {
+            rescue_campaign::Schedule::Static => campaign.run_ranges(faults, scratch, work),
+            rescue_campaign::Schedule::Dynamic { .. } => {
+                campaign.run_dynamic(faults, scratch, work)
+            }
+        };
         let mut stats = CampaignStats::from_run(faults.len(), &run);
+        if rescue_telemetry::enabled() {
+            let lanes = rescue_telemetry::metrics::histogram(
+                "fault.packed_lanes",
+                &[8, 16, 24, 32, 40, 48, 56, 64],
+            );
+            for (_, live) in &chunks {
+                lanes.record(live.count_ones() as u64);
+            }
+        }
         for (_, live) in &chunks {
             stats.record_lanes(live.count_ones() as u64, 64);
         }
@@ -377,6 +407,14 @@ impl FaultSimulator {
         };
         stats.tally.detected = report.detected_count();
         stats.tally.undetected = faults.len() - stats.tally.detected;
+        // A fault counts as dropped when it retired before the final
+        // pattern word (same rule as the fault.dropped counter).
+        stats.dropped = report
+            .first_detection
+            .iter()
+            .flatten()
+            .filter(|&&p| p / 64 + 1 < n_chunks)
+            .count();
         CampaignRun { report, stats }
     }
 
