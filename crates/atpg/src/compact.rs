@@ -59,6 +59,9 @@ pub fn reverse_order_compaction(
     let mut scratch = FaultScratch::new(c.len());
     let mut detected = vec![false; faults.len()];
     let mut keep = vec![false; patterns.len()];
+    // Shared ragged-tail guard: only lane 0 carries a pattern, the other
+    // 63 are dead and must not count as detections.
+    let live = rescue_sim::parallel::live_mask(1);
     for (pi, pattern) in patterns.iter().enumerate().rev() {
         let words = rescue_sim::parallel::pack_patterns(std::slice::from_ref(pattern));
         let golden = sim.golden(&words);
@@ -68,7 +71,7 @@ pub fn reverse_order_compaction(
             if detected[fi] {
                 continue;
             }
-            if plan.detect_packed(c, &golden, &mut scratch, fault) & 1 != 0 {
+            if plan.detect_packed(c, &golden, &mut scratch, fault) & live != 0 {
                 detected[fi] = true;
                 useful = true;
             }

@@ -2,11 +2,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rescue_faults::engine::{CampaignPlan, FaultScratch};
+use rescue_faults::engine::{CampaignPlan, WideScratch};
 use rescue_faults::simulate::FaultSimulator;
 use rescue_faults::Fault;
 use rescue_netlist::Netlist;
-use rescue_sim::parallel::live_mask;
+use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
 
 /// Result of a random test-generation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +64,69 @@ pub fn weighted_random_tpg(
     seed: u64,
     weight: f64,
 ) -> RandomTpgReport {
+    weighted_tpg_w::<u64>(netlist, faults, target_coverage, max_patterns, seed, weight)
+}
+
+/// [`weighted_random_tpg`] on a wide machine word of `lane_width` 64-bit
+/// limbs: each coverage batch simulates `64 * lane_width` patterns in one
+/// set of cone walks. The pattern stream is drawn identically for every
+/// width; only the batch granularity changes (the run stops and the
+/// coverage curve samples at batch boundaries), so wider words may
+/// overshoot the target by at most one batch.
+///
+/// # Panics
+///
+/// Panics if `weight` or `target_coverage` is outside `[0, 1]`, or on an
+/// unsupported lane width ([`SUPPORTED_LANE_WIDTHS`]).
+pub fn weighted_random_tpg_wide(
+    netlist: &Netlist,
+    faults: &[Fault],
+    target_coverage: f64,
+    max_patterns: usize,
+    seed: u64,
+    weight: f64,
+    lane_width: usize,
+) -> RandomTpgReport {
+    match lane_width {
+        1 => weighted_tpg_w::<u64>(netlist, faults, target_coverage, max_patterns, seed, weight),
+        2 => weighted_tpg_w::<PackedWord<2>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+        ),
+        4 => weighted_tpg_w::<PackedWord<4>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+        ),
+        8 => weighted_tpg_w::<PackedWord<8>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+        ),
+        w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+    }
+}
+
+/// The width-generic TPG loop behind [`weighted_random_tpg`] and
+/// [`weighted_random_tpg_wide`].
+fn weighted_tpg_w<Wd: SimWord>(
+    netlist: &Netlist,
+    faults: &[Fault],
+    target_coverage: f64,
+    max_patterns: usize,
+    seed: u64,
+    weight: f64,
+) -> RandomTpgReport {
     assert!((0.0..=1.0).contains(&weight), "weight in [0,1]");
     assert!(
         (0.0..=1.0).contains(&target_coverage),
@@ -77,25 +140,29 @@ pub fn weighted_random_tpg(
     // shared by every undetected fault at that site.
     let c = sim.compiled();
     let plan = CampaignPlan::build(c, faults);
-    let mut scratch = FaultScratch::new(c.len());
+    let mut scratch = WideScratch::<Wd>::new(c.len());
     let mut patterns: Vec<Vec<bool>> = Vec::new();
     let mut curve = Vec::new();
     let mut detected = vec![false; faults.len()];
     let mut coverage = if faults.is_empty() { 1.0 } else { 0.0 };
 
     while patterns.len() < max_patterns && coverage < target_coverage {
-        let batch: Vec<Vec<bool>> = (0..64.min(max_patterns - patterns.len()))
+        let batch: Vec<Vec<bool>> = (0..Wd::LANES.min(max_patterns - patterns.len()))
             .map(|_| (0..n_in).map(|_| rng.gen_bool(weight)).collect())
             .collect();
-        let words = rescue_sim::parallel::pack_patterns(&batch);
-        let golden = sim.golden(&words);
+        let words = pack_patterns_wide::<Wd>(&batch);
+        let mut golden = Vec::new();
+        c.eval_words_into(&words, None, &mut golden)
+            .expect("input word count matches primary inputs");
         scratch.load_golden(&golden);
-        let live = live_mask(batch.len());
+        // Shared ragged-tail guard: dead lanes of a short final batch
+        // must not count as detections.
+        let live = Wd::live_mask(batch.len());
         for (fi, &fault) in faults.iter().enumerate() {
             if detected[fi] {
                 continue; // fault dropping
             }
-            if plan.detect_packed(c, &golden, &mut scratch, fault) & live != 0 {
+            if !(plan.detect_packed(c, &golden, &mut scratch, fault) & live).is_zero() {
                 detected[fi] = true;
             }
         }
@@ -166,6 +233,30 @@ mod tests {
         let weighted = weighted_random_tpg(&n, &f, 1.0, 256, 5, 0.9);
         assert!(weighted.coverage >= unbiased.coverage);
         assert_eq!(weighted.coverage, 1.0);
+    }
+
+    #[test]
+    fn wide_words_reach_identical_coverage() {
+        // Same seed, same pattern budget, target 1.0: every width draws
+        // the same pattern stream and must classify it identically, so
+        // the final pattern set and coverage agree bit for bit. Batch
+        // count (curve length) shrinks with width.
+        let net = generate::random_logic(9, 120, 4, 21);
+        let faults = universe::stuck_at_universe(&net);
+        let base = weighted_random_tpg(&net, &faults, 1.0, 200, 9, 0.5);
+        for lw in [2usize, 4, 8] {
+            let wide = weighted_random_tpg_wide(&net, &faults, 1.0, 200, 9, 0.5, lw);
+            assert_eq!(wide.patterns, base.patterns, "lane_width {lw}");
+            assert_eq!(wide.coverage, base.coverage, "lane_width {lw}");
+            assert!(wide.coverage_curve.len() <= base.coverage_curve.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane width")]
+    fn rejects_unsupported_width() {
+        let c = generate::c17();
+        weighted_random_tpg_wide(&c, &[], 1.0, 10, 1, 0.5, 3);
     }
 
     #[test]

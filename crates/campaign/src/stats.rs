@@ -70,6 +70,11 @@ pub struct CampaignStats {
     /// Faults retired early by fault dropping (detected before the last
     /// pattern word, so later words never re-walked their cone).
     pub dropped: usize,
+    /// Faults the engine actually walked. Equal to `injections` unless
+    /// the campaign ran over a collapsed universe, in which case only the
+    /// equivalence-class representatives were simulated and the remaining
+    /// verdicts were expanded for free.
+    pub faults_walked: usize,
     /// Work-stealing chunks claimed away from their round-robin home
     /// worker (0 under static scheduling).
     pub chunks_stolen: u64,
@@ -92,6 +97,7 @@ impl CampaignStats {
             lanes_used: 0,
             lanes_capacity: 0,
             dropped: 0,
+            faults_walked: injections,
             chunks_stolen: run.steals,
             tally: OutcomeTally::default(),
         }
@@ -112,6 +118,7 @@ impl CampaignStats {
         self.lanes_used += other.lanes_used;
         self.lanes_capacity += other.lanes_capacity;
         self.dropped += other.dropped;
+        self.faults_walked += other.faults_walked;
         self.chunks_stolen += other.chunks_stolen;
         self.tally.masked += other.tally.masked;
         self.tally.latent += other.tally.latent;
@@ -146,6 +153,23 @@ impl CampaignStats {
         } else {
             self.lanes_used as f64 / self.lanes_capacity as f64
         }
+    }
+
+    /// Fraction of the fault universe the engine walked:
+    /// `faults_walked / injections` (1.0 without collapsing, and for
+    /// empty campaigns). Lower is better — the complement is the share
+    /// of verdicts expanded from equivalence-class representatives.
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.injections == 0 {
+            return 1.0;
+        }
+        self.faults_walked as f64 / self.injections as f64
+    }
+
+    /// Faults whose verdicts were expanded from a representative instead
+    /// of being walked (`injections - faults_walked`).
+    pub fn faults_saved(&self) -> usize {
+        self.injections.saturating_sub(self.faults_walked)
     }
 
     /// Mean worker busy-fraction relative to wall-clock (load balance).
@@ -214,6 +238,7 @@ mod tests {
             lanes_used: 10,
             lanes_capacity: 64,
             dropped: 3,
+            faults_walked: 6,
             chunks_stolen: 2,
             tally: OutcomeTally {
                 masked: 4,
@@ -229,6 +254,7 @@ mod tests {
             lanes_used: 5,
             lanes_capacity: 64,
             dropped: 4,
+            faults_walked: 5,
             chunks_stolen: 1,
             tally: OutcomeTally {
                 latent: 5,
@@ -241,7 +267,23 @@ mod tests {
         assert_eq!(a.workers, 2);
         assert_eq!(a.worker_ns, vec![50, 60, 40]);
         assert_eq!(a.dropped, 7);
+        assert_eq!(a.faults_walked, 11);
         assert_eq!(a.chunks_stolen, 3);
         assert_eq!(a.tally.total(), 15);
+    }
+
+    #[test]
+    fn collapse_ratio_defaults_to_full_walk() {
+        let items: Vec<u32> = (0..10).collect();
+        let run = Campaign::serial().run_sharded(&items, |_| (), |_, _, &x| x);
+        let mut stats = CampaignStats::from_run(items.len(), &run);
+        assert_eq!(stats.faults_walked, 10, "scalar runs walk everything");
+        assert_eq!(stats.collapse_ratio(), 1.0);
+        assert_eq!(stats.faults_saved(), 0);
+        stats.faults_walked = 4;
+        assert!((stats.collapse_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(stats.faults_saved(), 6);
+        let empty = CampaignStats::default();
+        assert_eq!(empty.collapse_ratio(), 1.0, "empty campaign is total");
     }
 }

@@ -4,7 +4,8 @@ use rescue_atpg::compact::static_compaction;
 use rescue_atpg::podem::{Podem, PodemOutcome};
 use rescue_atpg::untestable;
 use rescue_campaign::{Campaign, CampaignStats};
-use rescue_faults::simulate::FaultSimulator;
+use rescue_faults::collapse;
+use rescue_faults::simulate::{FaultSimulator, PackedOptions};
 use rescue_faults::universe;
 use rescue_netlist::Netlist;
 use rescue_radiation::set_analysis::SetCampaign;
@@ -141,11 +142,21 @@ impl HolisticFlow {
         };
         // 4. Fault simulation (verifies the ATPG stage end to end), on
         // the shared campaign driver so the report carries throughput.
+        // Wide-word front-end (4 limbs = 256 patterns per cone walk) over
+        // the collapsed universe: only equivalence-class representatives
+        // are walked, verdicts expand to the rest for free. Both choices
+        // leave the verdicts bit-identical to the scalar engine.
         let driver = Campaign::new(seed, 1);
         let sim = FaultSimulator::new(design);
         let campaign_run = {
             let _stage = span!("flow.fault_sim");
-            sim.campaign_with_stats(&workable, &patterns, &driver)
+            let collapsed = collapse::collapse(design, &workable);
+            sim.campaign_packed(
+                &workable,
+                &patterns,
+                &driver,
+                PackedOptions::wide(4).with_collapsed(&collapsed),
+            )
         };
         let campaign = campaign_run.report;
         // 5. ISO 26262 classification under a random mission stimulus.

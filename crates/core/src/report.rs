@@ -50,14 +50,16 @@ pub fn render_report(report: &FlowReport) -> String {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| stage | injections | inj/s | lane occupancy | dropped | stolen chunks |"
+            "| stage | injections | walked | collapse | inj/s | lane occupancy | dropped | stolen chunks |"
         );
-        let _ = writeln!(s, "|---|---|---|---|---|---|");
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
         for (stage, stats) in &report.stage_stats {
             let _ = writeln!(
                 s,
-                "| {stage} | {} | {:.0} | {:.1} % | {} | {} |",
+                "| {stage} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} |",
                 stats.injections,
+                stats.faults_walked,
+                stats.collapse_ratio() * 100.0,
                 stats.injections_per_sec(),
                 stats.lane_occupancy() * 100.0,
                 stats.dropped,

@@ -67,12 +67,19 @@ impl CollapsedUniverse {
 pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> CollapsedUniverse {
     let mut class_of: HashMap<Fault, Fault> = HashMap::new();
     let fanout = netlist.fanout();
+    // Wire equivalences are only exact when the driver's value is seen
+    // nowhere but on that wire: a PO driver is observed directly, so its
+    // output fault is NOT equivalent to a fault past the wire.
+    let mut is_po_driver = vec![false; netlist.len()];
+    for &(_, g) in netlist.primary_outputs() {
+        is_po_driver[g.index()] = true;
+    }
 
     for &fault in faults {
+        let kind = fault.kind();
         if let FaultSite::Pin { gate, pin } = fault.site() {
             let g = netlist.gate(gate);
             let driver = g.inputs()[pin];
-            let kind = fault.kind();
             let equiv = match (g.kind(), kind) {
                 // Controlling-value input faults fold into the output.
                 (GateKind::And, FaultKind::StuckAt0) => {
@@ -95,8 +102,47 @@ pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> CollapsedUniverse {
             }
             // Single-fanout wire: a pin fault on the only load of a driver
             // is equivalent to the driver's output fault.
-            if fanout[driver.index()].len() == 1 {
+            if fanout[driver.index()].len() == 1 && !is_po_driver[driver.index()] {
                 class_of.insert(fault, Fault::new(FaultSite::Output(driver), kind));
+            }
+        } else if let FaultSite::Output(d) = fault.site() {
+            // Through-gate wire equivalence: when `d` drives exactly one
+            // pin of one load (and no PO), a stuck value on `d` is
+            // indistinguishable from the same stuck value on that pin —
+            // and for a controlling value on AND/NAND/OR/NOR (or any
+            // value on BUF/NOT) it folds on through to the load's output
+            // fault. The chain-resolution pass below composes further.
+            let loads = &fanout[d.index()];
+            if loads.len() != 1 || is_po_driver[d.index()] {
+                continue;
+            }
+            let h = loads[0];
+            let rep = match (netlist.gate(h).kind(), kind) {
+                (GateKind::And, FaultKind::StuckAt0) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
+                }
+                (GateKind::Nand, FaultKind::StuckAt0) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
+                }
+                (GateKind::Or, FaultKind::StuckAt1) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
+                }
+                (GateKind::Nor, FaultKind::StuckAt1) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
+                }
+                (GateKind::Buf, v @ (FaultKind::StuckAt0 | FaultKind::StuckAt1)) => {
+                    Some(Fault::new(FaultSite::Output(h), v))
+                }
+                (GateKind::Not, FaultKind::StuckAt0) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
+                }
+                (GateKind::Not, FaultKind::StuckAt1) => {
+                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
+                }
+                _ => None,
+            };
+            if let Some(rep) = rep {
+                class_of.insert(fault, rep);
             }
         }
     }

@@ -55,6 +55,7 @@
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::GateKind;
 use rescue_sim::compiled::CompiledNetlist;
+use rescue_sim::wide::SimWord;
 use rescue_telemetry::metrics;
 
 /// Memoized per-site fanout cones for one campaign's fault list.
@@ -82,6 +83,42 @@ pub struct CampaignPlan {
     obs_cone_gates: Vec<u32>,
 }
 
+/// PO-reachability for every gate in one reverse-topological sweep: a
+/// gate is reachable when it drives a primary output or any non-DFF
+/// fanout is reachable. Sources (Input/Dff outputs) sit outside
+/// eval_order and close the pass — their fanouts are combinational gates
+/// the sweep already settled.
+///
+/// This is the same O(gates + edges) sweep [`CampaignPlan::build`] runs;
+/// exposed standalone so campaign front-ends can prefilter a fault list
+/// (e.g. collapsed-universe representatives) *before* paying for cone
+/// construction.
+pub fn po_reachable(compiled: &CompiledNetlist) -> Vec<bool> {
+    let n = compiled.len();
+    let mut reachable = vec![false; n];
+    for (g, r) in reachable.iter_mut().enumerate() {
+        *r = compiled.is_po(g);
+    }
+    for &g in compiled.eval_order().iter().rev() {
+        let gi = g as usize;
+        if !reachable[gi] {
+            reachable[gi] = compiled
+                .fanout_of(gi)
+                .iter()
+                .any(|&s| compiled.kind(s as usize) != GateKind::Dff && reachable[s as usize]);
+        }
+    }
+    for g in 0..n {
+        if !reachable[g] && matches!(compiled.kind(g), GateKind::Input | GateKind::Dff) {
+            reachable[g] = compiled
+                .fanout_of(g)
+                .iter()
+                .any(|&s| compiled.kind(s as usize) != GateKind::Dff && reachable[s as usize]);
+        }
+    }
+    reachable
+}
+
 impl CampaignPlan {
     /// Computes (and deduplicates) the combinational fanout cone of every
     /// fault site in `faults`.
@@ -91,33 +128,10 @@ impl CampaignPlan {
             cone_index: vec![u32::MAX; n],
             cone_offsets: vec![0],
             cone_gates: Vec::new(),
-            observable: vec![false; n],
+            observable: po_reachable(compiled),
             obs_cone_offsets: vec![0],
             obs_cone_gates: Vec::new(),
         };
-        // PO-reachability for every gate in one reverse-topological
-        // sweep: a gate is observable when it drives a primary output or
-        // any non-DFF fanout is observable. Sources (Input/Dff outputs)
-        // sit outside eval_order and close the pass — their fanouts are
-        // combinational gates the sweep already settled.
-        for g in 0..n {
-            plan.observable[g] = compiled.is_po(g);
-        }
-        for &g in compiled.eval_order().iter().rev() {
-            let gi = g as usize;
-            if !plan.observable[gi] {
-                plan.observable[gi] = compiled.fanout_of(gi).iter().any(|&s| {
-                    compiled.kind(s as usize) != GateKind::Dff && plan.observable[s as usize]
-                });
-            }
-        }
-        for g in 0..n {
-            if !plan.observable[g] && matches!(compiled.kind(g), GateKind::Input | GateKind::Dff) {
-                plan.observable[g] = compiled.fanout_of(g).iter().any(|&s| {
-                    compiled.kind(s as usize) != GateKind::Dff && plan.observable[s as usize]
-                });
-            }
-        }
         let mut seen = vec![false; n];
         let mut stack: Vec<u32> = Vec::new();
         let mut members: Vec<u32> = Vec::new();
@@ -219,18 +233,18 @@ impl CampaignPlan {
     /// # Panics
     ///
     /// Panics on non-stuck-at kinds and on roots absent from the plan.
-    pub fn detect(
+    pub fn detect<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
-        golden: &[u64],
-        scratch: &mut FaultScratch,
+        golden: &[Wd],
+        scratch: &mut WideScratch<Wd>,
         fault: Fault,
-    ) -> u64 {
+    ) -> Wd {
         let stuck = fault
             .kind()
             .stuck_value()
             .expect("stuck-at campaign requires stuck-at faults");
-        let word = if stuck { u64::MAX } else { 0 };
+        let word = Wd::splat(stuck);
         let root = fault.site().gate().index();
 
         // Inject at the root. Pin faults re-evaluate the root gate with
@@ -246,11 +260,11 @@ impl CampaignPlan {
         };
         scratch.counters.faults_evaluated += 1;
         if fault_value == golden[root] {
-            return 0; // not excited on any pattern of this chunk
+            return Wd::ZERO; // not excited on any pattern of this chunk
         }
         scratch.counters.excitations += 1;
 
-        let mut mask = 0u64;
+        let mut mask = Wd::ZERO;
         scratch.val[root] = fault_value;
         scratch.touched.push(root as u32);
         if compiled.is_po(root) {
@@ -313,12 +327,16 @@ impl CampaignPlan {
     ///
     /// Panics on non-stuck-at kinds.
     #[inline]
-    pub fn excitation_word(compiled: &CompiledNetlist, golden: &[u64], fault: Fault) -> u64 {
+    pub fn excitation_word<Wd: SimWord>(
+        compiled: &CompiledNetlist,
+        golden: &[Wd],
+        fault: Fault,
+    ) -> Wd {
         let stuck = fault
             .kind()
             .stuck_value()
             .expect("stuck-at campaign requires stuck-at faults");
-        let word = if stuck { u64::MAX } else { 0 };
+        let word = Wd::splat(stuck);
         let root = fault.site().gate().index();
         let fault_value = match fault.site() {
             FaultSite::Output(_) => word,
@@ -353,13 +371,13 @@ impl CampaignPlan {
     /// # Panics
     ///
     /// Panics when `root` was not a fault-site root of this plan.
-    pub fn observability_packed(
+    pub fn observability_packed<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
-        golden: &[u64],
-        scratch: &mut FaultScratch,
+        golden: &[Wd],
+        scratch: &mut WideScratch<Wd>,
         root: usize,
-    ) -> u64 {
+    ) -> Wd {
         if scratch.obs_root == root as u32 {
             scratch.counters.obs_cache_hits += 1;
             return scratch.obs_word;
@@ -368,7 +386,11 @@ impl CampaignPlan {
             .obs_cone_of(root)
             .expect("fault root missing from campaign plan");
         let id = scratch.next_walk_id();
-        let mut mask = if compiled.is_po(root) { u64::MAX } else { 0 };
+        let mut mask = if compiled.is_po(root) {
+            Wd::ONES
+        } else {
+            Wd::ZERO
+        };
         scratch.val[root] = !golden[root];
         scratch.touched.push(root as u32);
         let mut horizon = 0u32;
@@ -380,7 +402,7 @@ impl CampaignPlan {
         }
         for &g in cone {
             let gi = g as usize;
-            if mask == u64::MAX || compiled.topo_pos(gi) > horizon {
+            if mask == Wd::ONES || compiled.topo_pos(gi) > horizon {
                 // Every lane already detected, or the event frontier
                 // died: nothing further can change the mask.
                 scratch.counters.horizon_exits += 1;
@@ -428,27 +450,27 @@ impl CampaignPlan {
     /// Hence `mask = observability & excitation`.
     ///
     /// `scratch.val` must equal `golden` on entry (use
-    /// [`FaultScratch::load_golden`] once per chunk) and is golden again
+    /// [`WideScratch::load_golden`] once per chunk) and is golden again
     /// on return.
     ///
     /// # Panics
     ///
     /// Panics on non-stuck-at kinds and on roots absent from the plan.
-    pub fn detect_packed(
+    pub fn detect_packed<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
-        golden: &[u64],
-        scratch: &mut FaultScratch,
+        golden: &[Wd],
+        scratch: &mut WideScratch<Wd>,
         fault: Fault,
-    ) -> u64 {
+    ) -> Wd {
         scratch.counters.faults_evaluated += 1;
         let root = fault.site().gate().index();
         if !self.observable(root) {
-            return 0;
+            return Wd::ZERO;
         }
         let excitation = Self::excitation_word(compiled, golden, fault);
-        if excitation == 0 {
-            return 0; // not excited on any pattern of this chunk
+        if excitation.is_zero() {
+            return Wd::ZERO; // not excited on any pattern of this chunk
         }
         scratch.counters.excitations += 1;
         self.observability_packed(compiled, golden, scratch, root) & excitation
@@ -499,19 +521,19 @@ impl CampaignPlan {
     /// # Panics
     ///
     /// Panics on non-stuck-at kinds and on roots absent from the plan.
-    pub fn detect_observed(
+    pub fn detect_observed<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
-        golden: &[u64],
-        scratch: &mut FaultScratch,
+        golden: &[Wd],
+        scratch: &mut WideScratch<Wd>,
         fault: Fault,
         observers: &ObserverGroups,
-    ) -> (u64, u64) {
+    ) -> (Wd, Wd) {
         let stuck = fault
             .kind()
             .stuck_value()
             .expect("stuck-at campaign requires stuck-at faults");
-        let word = if stuck { u64::MAX } else { 0 };
+        let word = Wd::splat(stuck);
         let root = fault.site().gate().index();
         let fault_value = match fault.site() {
             FaultSite::Output(_) => word,
@@ -522,13 +544,13 @@ impl CampaignPlan {
         };
         scratch.counters.faults_evaluated += 1;
         if fault_value == golden[root] {
-            return (0, 0);
+            return (Wd::ZERO, Wd::ZERO);
         }
         scratch.counters.excitations += 1;
 
-        let mut mask_a = 0u64;
-        let mut mask_b = 0u64;
-        let mut observe = |m: u8, diff: u64| {
+        let mut mask_a = Wd::ZERO;
+        let mut mask_b = Wd::ZERO;
+        let mut observe = |m: u8, diff: Wd| {
             if m & 1 != 0 {
                 mask_a |= diff;
             }
@@ -625,9 +647,11 @@ impl ScratchCounters {
 /// Reusable per-worker scratch: a value array mirroring the chunk
 /// golden, the touched-list undo log, the event stamps of the packed
 /// walk and the per-chunk observability cache. No allocation per fault.
+/// Generic over the packed lane width; [`FaultScratch`] is the 64-lane
+/// `u64` instantiation every scalar-width campaign uses.
 #[derive(Debug, Clone)]
-pub struct FaultScratch {
-    val: Vec<u64>,
+pub struct WideScratch<Wd: SimWord> {
+    val: Vec<Wd>,
     touched: Vec<u32>,
     /// Event stamps: `stamp[g] == walk_id` marks a fanin of `g` changed
     /// during the current packed walk.
@@ -635,30 +659,33 @@ pub struct FaultScratch {
     walk_id: u32,
     /// One-entry observability cache: the last walked root of the
     /// current chunk (`u32::MAX` = empty, reset by
-    /// [`FaultScratch::load_golden`]) and its observability word.
+    /// [`WideScratch::load_golden`]) and its observability word.
     obs_root: u32,
-    obs_word: u64,
+    obs_word: Wd,
     /// Engine telemetry accumulated by this worker (see
     /// [`ScratchCounters`]).
     pub counters: ScratchCounters,
 }
 
-impl FaultScratch {
+/// The 64-lane `u64` [`WideScratch`].
+pub type FaultScratch = WideScratch<u64>;
+
+impl<Wd: SimWord> WideScratch<Wd> {
     /// Scratch for a design of `len` gates.
     pub fn new(len: usize) -> Self {
-        FaultScratch {
-            val: vec![0; len],
+        WideScratch {
+            val: vec![Wd::ZERO; len],
             touched: Vec::new(),
             stamp: vec![0; len],
             walk_id: 0,
             obs_root: u32::MAX,
-            obs_word: 0,
+            obs_word: Wd::ZERO,
             counters: ScratchCounters::default(),
         }
     }
 
     /// Loads a chunk's golden values (call once per chunk, not per fault).
-    pub fn load_golden(&mut self, golden: &[u64]) {
+    pub fn load_golden(&mut self, golden: &[Wd]) {
         self.val.copy_from_slice(golden);
         self.touched.clear();
         self.obs_root = u32::MAX;
@@ -675,7 +702,7 @@ impl FaultScratch {
         self.walk_id
     }
 
-    fn undo(&mut self, golden: &[u64]) {
+    fn undo(&mut self, golden: &[Wd]) {
         let depth = self.touched.len() as u64;
         self.counters.undo_writes += depth;
         self.counters.undo_depth_max = self.counters.undo_depth_max.max(depth);

@@ -8,12 +8,14 @@
 //! are bit-identical to the full-resimulation oracle in
 //! [`crate::reference`] (enforced by property tests).
 
-use crate::engine::{CampaignPlan, FaultScratch};
+use crate::collapse::CollapsedUniverse;
+use crate::engine::{CampaignPlan, FaultScratch, WideScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
 use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
+use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
 use rescue_telemetry::span;
 
 /// Outcome of a fault-simulation campaign.
@@ -94,6 +96,48 @@ pub struct CampaignRun {
     pub report: CampaignReport,
     /// Throughput, worker timing and lane-occupancy figures.
     pub stats: CampaignStats,
+}
+
+/// Engine configuration for [`FaultSimulator::campaign_packed`]: the
+/// packed lane width and an optional collapsed universe. The default
+/// (lane width 1, no collapsing) reproduces the historical
+/// [`FaultSimulator::campaign_with_stats`] engine bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedOptions<'a> {
+    /// Word width in 64-lane limbs: 1 (`u64`, 64 patterns per walk) or
+    /// 2 / 4 / 8 ([`PackedWord`], up to 512 patterns per walk).
+    pub lane_width: usize,
+    /// When set, the engine walks only equivalence-class representatives
+    /// and expands their verdicts to the rest of the universe via
+    /// [`CollapsedUniverse::representative`]. Sound because equivalent
+    /// faults have identical detection masks on every pattern set.
+    pub collapsed: Option<&'a CollapsedUniverse>,
+}
+
+impl Default for PackedOptions<'_> {
+    fn default() -> Self {
+        PackedOptions {
+            lane_width: 1,
+            collapsed: None,
+        }
+    }
+}
+
+impl<'a> PackedOptions<'a> {
+    /// Options for a wide-word campaign at `lane_width` 64-lane limbs.
+    pub fn wide(lane_width: usize) -> Self {
+        PackedOptions {
+            lane_width,
+            ..PackedOptions::default()
+        }
+    }
+
+    /// Walks only representatives of `collapsed`, expanding verdicts to
+    /// the full universe afterwards.
+    pub fn with_collapsed(mut self, collapsed: &'a CollapsedUniverse) -> Self {
+        self.collapsed = Some(collapsed);
+        self
+    }
 }
 
 /// Compiled-arena fault simulator over one netlist.
@@ -329,24 +373,114 @@ impl FaultSimulator {
         patterns: &[Vec<bool>],
         campaign: &Campaign,
     ) -> CampaignRun {
+        self.campaign_packed(faults, patterns, campaign, PackedOptions::default())
+    }
+
+    /// [`FaultSimulator::campaign_with_stats`] with an explicit engine
+    /// configuration: a wide [`SimWord`] lane width (2/4/8 × 64 packed
+    /// patterns per cone walk, autovectorized) and/or a collapsed
+    /// universe (walk equivalence-class representatives only, expand
+    /// verdicts to the rest for free). Verdicts are bit-identical to the
+    /// default engine for every width, schedule, worker count and
+    /// collapse setting; [`CampaignStats::faults_walked`] records how
+    /// much walking the collapse saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported lane width
+    /// ([`SUPPORTED_LANE_WIDTHS`]) or a pattern width mismatch.
+    pub fn campaign_packed(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        campaign: &Campaign,
+        opts: PackedOptions,
+    ) -> CampaignRun {
+        match opts.lane_width {
+            1 => self.campaign_packed_w::<u64>(faults, patterns, campaign, opts.collapsed),
+            2 => {
+                self.campaign_packed_w::<PackedWord<2>>(faults, patterns, campaign, opts.collapsed)
+            }
+            4 => {
+                self.campaign_packed_w::<PackedWord<4>>(faults, patterns, campaign, opts.collapsed)
+            }
+            8 => {
+                self.campaign_packed_w::<PackedWord<8>>(faults, patterns, campaign, opts.collapsed)
+            }
+            w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+        }
+    }
+
+    /// The width-generic packed campaign behind the runtime dispatch of
+    /// [`FaultSimulator::campaign_packed`].
+    fn campaign_packed_w<Wd: SimWord>(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        campaign: &Campaign,
+        collapsed: Option<&CollapsedUniverse>,
+    ) -> CampaignRun {
         let c = &self.compiled;
         let _campaign = span!("fault.campaign", faults = faults.len());
+        // Collapse prefilter: walk each equivalence class once, in order
+        // of first appearance, then sweep PO reachability over the
+        // representatives — structurally unobservable classes share the
+        // all-zero detection mask and expand to "undetected" without a
+        // walk. Exact because equivalent faults have identical detection
+        // masks (the property the `collapse` tests pin down), so even
+        // first-detection indices expand unchanged. `expand` remembers
+        // which walked slot answers each original fault (`None` =
+        // unobservable class, never detected).
+        let (walk, expand, plan): (Vec<Fault>, Option<Vec<Option<u32>>>, CampaignPlan) =
+            match collapsed {
+                None => {
+                    let walk = faults.to_vec();
+                    let plan = CampaignPlan::build(c, &walk);
+                    (walk, None, plan)
+                }
+                Some(cu) => {
+                    // O(gates + edges) reachability sweep first, so cone
+                    // construction is paid only for the faults that will
+                    // actually be walked. Then one hashing pass over the
+                    // universe: per fault, one representative lookup and
+                    // one slot lookup.
+                    let reachable = crate::engine::po_reachable(c);
+                    let mut slot_of = std::collections::HashMap::new();
+                    let mut walk = Vec::new();
+                    let mut map = Vec::with_capacity(faults.len());
+                    for &f in faults {
+                        let rep = cu.representative(f);
+                        if !reachable[rep.site().gate().index()] {
+                            map.push(None);
+                            continue;
+                        }
+                        let slot = *slot_of.entry(rep).or_insert_with(|| {
+                            walk.push(rep);
+                            walk.len() as u32 - 1
+                        });
+                        map.push(Some(slot));
+                    }
+                    let plan = CampaignPlan::build(c, &walk);
+                    (walk, Some(map), plan)
+                }
+            };
         // Golden values and live mask per chunk, computed once and shared
-        // read-only by all workers.
-        let chunks: Vec<(Vec<u64>, u64)> = patterns
-            .chunks(64)
+        // read-only by all workers. The live mask is the one shared
+        // ragged-tail guard: a final chunk of fewer than `Wd::LANES`
+        // patterns must not let dead lanes report detections.
+        let chunks: Vec<(Vec<Wd>, Wd)> = patterns
+            .chunks(Wd::LANES)
             .map(|chunk| {
-                let words = pack_patterns(chunk);
+                let words = pack_patterns_wide::<Wd>(chunk);
                 let mut golden = Vec::new();
                 c.eval_words_into(&words, None, &mut golden)
                     .expect("input word count mismatch");
-                (golden, live_mask(chunk.len()))
+                (golden, Wd::live_mask(chunk.len()))
             })
             .collect();
         let n_chunks = chunks.len();
-        let plan = CampaignPlan::build(c, faults);
-        let scratch = |_w: usize| FaultScratch::new(c.len());
-        let work = |scratch: &mut FaultScratch, _offset: usize, range: &[Fault]| {
+        let scratch = |_w: usize| WideScratch::<Wd>::new(c.len());
+        let work = |scratch: &mut WideScratch<Wd>, _offset: usize, range: &[Fault]| {
             let mut first: Vec<Option<usize>> = vec![None; range.len()];
             // Structurally unobservable faults can never be detected:
             // retire them before the first word instead of re-asking the
@@ -364,10 +498,11 @@ impl FaultSimulator {
                 active.retain(|&fi| {
                     let fault = range[fi as usize];
                     let mask = plan.detect_packed(c, golden, scratch, fault) & *live;
-                    if mask == 0 {
+                    if mask.is_zero() {
                         return true;
                     }
-                    first[fi as usize] = Some(ci * 64 + mask.trailing_zeros() as usize);
+                    first[fi as usize] =
+                        Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
                     if ci + 1 < n_chunks {
                         // Retired early: later words never walk this
                         // fault's cone again.
@@ -382,27 +517,40 @@ impl FaultSimulator {
             first
         };
         let run = match campaign.schedule {
-            rescue_campaign::Schedule::Static => campaign.run_ranges(faults, scratch, work),
-            rescue_campaign::Schedule::Dynamic { .. } => {
-                campaign.run_dynamic(faults, scratch, work)
-            }
+            rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
+            rescue_campaign::Schedule::Dynamic { .. } => campaign.run_dynamic(&walk, scratch, work),
         };
         let mut stats = CampaignStats::from_run(faults.len(), &run);
+        stats.faults_walked = walk.len();
         if rescue_telemetry::enabled() {
+            // Bounds cover every supported width (64 * {1, 2, 4, 8}) so
+            // one histogram serves all lane widths.
             let lanes = rescue_telemetry::metrics::histogram(
                 "fault.packed_lanes",
-                &[8, 16, 24, 32, 40, 48, 56, 64],
+                &[8, 16, 24, 32, 40, 48, 56, 64, 128, 192, 256, 384, 512],
             );
             for (_, live) in &chunks {
                 lanes.record(live.count_ones() as u64);
             }
+            rescue_telemetry::metrics::gauge("fault.lane_width").set(Wd::LANES as i64);
+            rescue_telemetry::metrics::gauge("fault.collapse_ratio_pct")
+                .set((stats.collapse_ratio() * 100.0).round() as i64);
         }
         for (_, live) in &chunks {
-            stats.record_lanes(live.count_ones() as u64, 64);
+            stats.record_lanes(live.count_ones() as u64, Wd::LANES as u64);
         }
+        // Expand representative verdicts back over the full universe; a
+        // `None` slot is an unobservable class, never detected.
+        let first_detection: Vec<Option<usize>> = match &expand {
+            None => run.results,
+            Some(map) => map
+                .iter()
+                .map(|&slot| slot.and_then(|s| run.results[s as usize]))
+                .collect(),
+        };
         let report = CampaignReport {
             faults: faults.to_vec(),
-            first_detection: run.results,
+            first_detection,
             patterns: patterns.len(),
         };
         stats.tally.detected = report.detected_count();
@@ -413,7 +561,7 @@ impl FaultSimulator {
             .first_detection
             .iter()
             .flatten()
-            .filter(|&&p| p / 64 + 1 < n_chunks)
+            .filter(|&&p| p / Wd::LANES + 1 < n_chunks)
             .count();
         CampaignRun { report, stats }
     }

@@ -122,7 +122,10 @@ pub fn execute_on(
     seed: u64,
     campaign: &Campaign,
 ) -> SampledResult {
-    let seu = SeuCampaign::new(warmup, horizon);
+    // Wide-word front-end: 4 limbs = 256 lock-stepped machines per
+    // batch. Verdicts are width-independent, so the estimate is
+    // unchanged.
+    let seu = SeuCampaign::new(warmup, horizon).with_lane_width(4);
     let run = seu.run_sampled_on(netlist, inputs, plan.sample, seed, campaign);
     let avf = run.report.avf();
     let margin = achieved_margin(plan.population, plan.sample, plan.confidence, 0.5);

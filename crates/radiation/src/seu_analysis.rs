@@ -17,10 +17,12 @@
 //!
 //! The default path is bit-parallel: the golden run is simulated **once**
 //! into a [`GoldenTrace`], then injections targeting the same cycle are
-//! packed 64 per machine word on a [`SeqWordMachine`] — every lane starts
-//! from the snapshotted golden state with one flip-flop flipped, and all
-//! 64 faulty machines step together through the horizon, diffing against
-//! the recorded golden outputs. Batches are sharded over a shared
+//! packed one per lane of a [`LaneMachine`] word — 64 lanes on `u64`, up
+//! to 512 on wide [`PackedWord`]s, selected per campaign with
+//! [`SeuCampaign::with_lane_width`]. Every lane starts from the
+//! snapshotted golden state with one flip-flop flipped, and all faulty
+//! machines step together through the horizon, diffing against the
+//! recorded golden outputs. Batches are sharded over a shared
 //! [`Campaign`] driver, and the returned [`SeuRun`] carries a
 //! [`CampaignStats`] record (throughput, lane occupancy, outcome tally).
 //!
@@ -35,7 +37,8 @@ use rand::{Rng, SeedableRng};
 use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::Netlist;
 use rescue_sim::compiled::CompiledNetlist;
-use rescue_sim::compiled_seq::{broadcast_inputs, GoldenTrace, SeqWordMachine};
+use rescue_sim::compiled_seq::{splat_inputs, GoldenTrace, LaneMachine};
+use rescue_sim::wide::{PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
 use rescue_telemetry::{metrics, span};
 
 /// Outcome of one SEU injection.
@@ -149,12 +152,28 @@ pub struct SeuCampaign {
     pub warmup: usize,
     /// Cycles observed after the injection.
     pub horizon: usize,
+    /// Machine-word width in 64-bit limbs: the engine packs
+    /// `64 * lane_width` faulty machines per snapshot/step/diff walk.
+    /// Must be one of [`SUPPORTED_LANE_WIDTHS`]; verdicts are identical
+    /// for every width.
+    pub lane_width: usize,
 }
 
 impl SeuCampaign {
-    /// Creates a campaign configuration.
+    /// Creates a campaign configuration (64 lanes per word).
     pub fn new(warmup: usize, horizon: usize) -> Self {
-        SeuCampaign { warmup, horizon }
+        SeuCampaign {
+            warmup,
+            horizon,
+            lane_width: 1,
+        }
+    }
+
+    /// Selects a wide machine word of `lane_width` 64-bit limbs
+    /// (`64 * lane_width` lock-stepped faulty machines per batch).
+    pub fn with_lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = lane_width;
+        self
     }
 
     /// Exhaustive campaign: every flip-flop, every injection cycle in
@@ -259,8 +278,26 @@ impl SeuCampaign {
     }
 
     /// Bit-parallel core: classifies every `(dff, cycle)` point of
-    /// `points`, preserving order in the report.
+    /// `points`, preserving order in the report. Dispatches the runtime
+    /// [`Self::lane_width`] onto a concrete [`SimWord`] instantiation.
     fn run_points(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        points: &[(usize, usize)],
+        campaign: &Campaign,
+    ) -> SeuRun {
+        match self.lane_width {
+            1 => self.run_points_w::<u64>(netlist, inputs, points, campaign),
+            2 => self.run_points_w::<PackedWord<2>>(netlist, inputs, points, campaign),
+            4 => self.run_points_w::<PackedWord<4>>(netlist, inputs, points, campaign),
+            8 => self.run_points_w::<PackedWord<8>>(netlist, inputs, points, campaign),
+            w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+        }
+    }
+
+    /// The width-generic engine behind [`Self::run_points`].
+    fn run_points_w<Wd: SimWord>(
         &self,
         netlist: &Netlist,
         inputs: &[bool],
@@ -273,17 +310,17 @@ impl SeuCampaign {
         let compiled = CompiledNetlist::new(netlist);
         let trace = GoldenTrace::record(&compiled, inputs, cycles - 1 + self.horizon)
             .expect("input width checked by caller");
-        let input_words = broadcast_inputs(inputs);
+        let input_words = splat_inputs::<Wd>(inputs);
 
         // Group injections by cycle (all lanes of a word share the golden
-        // snapshot) and pack up to 64 per batch.
+        // snapshot) and pack up to `Wd::LANES` per batch.
         let mut by_cycle: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cycles];
         for (i, &(dff, cycle)) in points.iter().enumerate() {
             by_cycle[cycle].push((i, dff));
         }
         let mut batches: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
         for (cycle, list) in by_cycle.into_iter().enumerate() {
-            for chunk in list.chunks(64) {
+            for chunk in list.chunks(Wd::LANES) {
                 batches.push((cycle, chunk.to_vec()));
             }
         }
@@ -294,10 +331,15 @@ impl SeuCampaign {
                 // Metric handles are resolved once per worker (the
                 // registry lookup takes a mutex) and only when telemetry
                 // is on, so the disabled path carries no handle at all.
+                // Bounds cover every supported width (64 * {1, 2, 4, 8})
+                // so one histogram serves all lane widths.
                 let occupancy = rescue_telemetry::enabled().then(|| {
-                    metrics::histogram("seu.lane_occupancy", &[8, 16, 24, 32, 40, 48, 56, 64])
+                    metrics::histogram(
+                        "seu.lane_occupancy",
+                        &[8, 16, 24, 32, 40, 48, 56, 64, 128, 192, 256, 384, 512],
+                    )
                 });
-                (SeqWordMachine::new(&compiled), occupancy)
+                (LaneMachine::<Wd>::new(&compiled), occupancy)
             },
             |(machine, occupancy), _, range| {
                 let out = range
@@ -320,11 +362,14 @@ impl SeuCampaign {
                 out
             },
         );
+        if rescue_telemetry::enabled() {
+            metrics::gauge("seu.lane_width").set(Wd::LANES as i64);
+        }
 
         let mut stats = CampaignStats::from_run(points.len(), &run);
         let mut injections: Vec<Option<SeuInjection>> = vec![None; points.len()];
         for batch in &run.results {
-            stats.record_lanes(batch.len() as u64, 64);
+            stats.record_lanes(batch.len() as u64, Wd::LANES as u64);
             for &(orig, inj) in batch {
                 injections[orig] = Some(inj);
             }
@@ -349,13 +394,14 @@ impl SeuCampaign {
         }
     }
 
-    /// Classifies up to 64 same-cycle injections in one word walk.
-    fn run_batch(
+    /// Classifies up to `Wd::LANES` same-cycle injections in one word
+    /// walk.
+    fn run_batch<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
         trace: &GoldenTrace,
-        input_words: &[u64],
-        machine: &mut SeqWordMachine,
+        input_words: &[Wd],
+        machine: &mut LaneMachine<Wd>,
         cycle: usize,
         lanes: &[(usize, usize)],
     ) -> Vec<(usize, SeuInjection)> {
@@ -363,25 +409,17 @@ impl SeuCampaign {
         for (lane, &(_, dff)) in lanes.iter().enumerate() {
             machine.flip_lane(dff, lane);
         }
-        let group = if lanes.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << lanes.len()) - 1
-        };
+        let group = Wd::live_mask(lanes.len());
         let mut first: Vec<Option<usize>> = vec![None; lanes.len()];
-        let mut failed = 0u64;
+        let mut failed = Wd::ZERO;
         for k in 0..self.horizon {
             machine
                 .step(compiled, input_words)
                 .expect("input width checked by caller");
-            let mut fresh =
+            let fresh =
                 machine.output_diff_mask(compiled, trace.outputs_at(cycle + k)) & group & !failed;
             failed |= fresh;
-            while fresh != 0 {
-                let lane = fresh.trailing_zeros() as usize;
-                first[lane] = Some(k);
-                fresh &= fresh - 1;
-            }
+            fresh.for_each_lane(|lane| first[lane] = Some(k));
             if failed == group {
                 break; // every lane already failed; latencies are fixed
             }
@@ -390,7 +428,7 @@ impl SeuCampaign {
         // the loop broke early there are none, so skip the (possibly
         // short) trace lookup.
         let latent = if failed == group {
-            0
+            Wd::ZERO
         } else {
             machine.state_diff_mask(trace.snapshot(cycle + self.horizon)) & group
         };
@@ -398,10 +436,9 @@ impl SeuCampaign {
             .iter()
             .enumerate()
             .map(|(lane, &(orig, dff))| {
-                let bit = 1u64 << lane;
-                let (outcome, detection_latency) = if failed & bit != 0 {
+                let (outcome, detection_latency) = if failed.lane(lane) {
                     (SeuOutcome::Failure, first[lane])
-                } else if latent & bit != 0 {
+                } else if latent.lane(lane) {
                     (SeuOutcome::Latent, None)
                 } else {
                     (SeuOutcome::Masked, None)

@@ -52,6 +52,27 @@ proptest! {
         }
     }
 
+    /// Wide machine words: every supported lane width packs 64×W faulty
+    /// machines per batch and must reproduce the scalar oracle
+    /// record-for-record, for every worker count.
+    #[test]
+    fn wide_words_match_reference(seed in 0u64..400, warmup in 0usize..7, horizon in 0usize..9) {
+        let (net, inputs) = design(seed);
+        let oracle = reference::run_exhaustive(&SeuCampaign::new(warmup, horizon), &net, &inputs);
+        for lane_width in [2usize, 4, 8] {
+            let campaign = SeuCampaign::new(warmup, horizon).with_lane_width(lane_width);
+            prop_assert_eq!(
+                &campaign.run_exhaustive(&net, &inputs),
+                &oracle,
+                "lane_width = {}",
+                lane_width
+            );
+            let run = campaign.run_exhaustive_on(&net, &inputs, &Campaign::new(seed, 3));
+            prop_assert_eq!(&run.report, &oracle, "lane_width = {} sharded", lane_width);
+            prop_assert_eq!(run.stats.tally.total(), oracle.injections().len());
+        }
+    }
+
     /// Sampled campaigns: the engine draws the identical `(dff, cycle)`
     /// sequence, so reports match record-for-record across seeds and
     /// worker counts.
@@ -82,5 +103,14 @@ fn lane_boundary_designs_match_reference() {
         assert_eq!(run.report, oracle, "width = {width}");
         assert_eq!(run.stats.lanes_capacity % 64, 0);
         assert_eq!(run.stats.lanes_used as usize, oracle.injections().len());
+        // Wide words at the same boundaries: 130 flops is a ragged tail
+        // for W=1 (3 words) yet a single word at W=4 (256 lanes).
+        for lane_width in [2usize, 4, 8] {
+            let wide = campaign.with_lane_width(lane_width);
+            let run = wide.run_exhaustive_on(&net, &[], &Campaign::new(9, 3));
+            assert_eq!(run.report, oracle, "width = {width}, lanes = {lane_width}");
+            assert_eq!(run.stats.lanes_capacity % (64 * lane_width as u64), 0);
+            assert_eq!(run.stats.lanes_used as usize, oracle.injections().len());
+        }
     }
 }

@@ -29,6 +29,7 @@
 
 use crate::error::SimError;
 use crate::logic::Logic;
+use crate::wide::SimWord;
 use rescue_netlist::{GateId, GateKind, Netlist};
 
 /// Flat-arena, levelized form of a [`Netlist`]. See the module docs for
@@ -238,10 +239,11 @@ impl CompiledNetlist {
         Ok(())
     }
 
-    /// Evaluates gate `g` over 64 packed patterns from `values`.
+    /// Evaluates gate `g` over one packed pattern word (64 lanes for
+    /// `u64`, `64 * W` for [`crate::wide::PackedWord`]) from `values`.
     /// `Dff` evaluates to the all-zero word; `Input` is the caller's job.
     #[inline]
-    pub fn eval_word(&self, g: usize, values: &[u64]) -> u64 {
+    pub fn eval_word<Wd: SimWord>(&self, g: usize, values: &[Wd]) -> Wd {
         eval_word_from(
             self.kinds[g],
             self.pins_of(g).iter().map(|&p| values[p as usize]),
@@ -251,7 +253,13 @@ impl CompiledNetlist {
     /// Like [`CompiledNetlist::eval_word`] with input pin `pin` replaced
     /// by `word` — the pin stuck-at injection primitive.
     #[inline]
-    pub fn eval_word_pin_forced(&self, g: usize, values: &[u64], pin: usize, word: u64) -> u64 {
+    pub fn eval_word_pin_forced<Wd: SimWord>(
+        &self,
+        g: usize,
+        values: &[Wd],
+        pin: usize,
+        word: Wd,
+    ) -> Wd {
         eval_word_from(
             self.kinds[g],
             self.pins_of(g).iter().enumerate().map(|(i, &p)| {
@@ -298,23 +306,24 @@ impl CompiledNetlist {
         )
     }
 
-    /// Full 64-way evaluation into a reusable buffer (cleared and
-    /// resized). `input_words[i]` carries primary input `i`; DFF outputs
-    /// evaluate to all-zero words. Optionally forces one gate's output
-    /// word (the stuck-at-output injection hook).
+    /// Full packed evaluation into a reusable buffer (cleared and
+    /// resized), one word of [`SimWord::LANES`] patterns per gate.
+    /// `input_words[i]` carries primary input `i`; DFF outputs evaluate
+    /// to all-zero words. Optionally forces one gate's output word (the
+    /// stuck-at-output injection hook).
     ///
     /// # Errors
     ///
     /// [`SimError::InputWidthMismatch`] on word-count mismatch.
-    pub fn eval_words_into(
+    pub fn eval_words_into<Wd: SimWord>(
         &self,
-        input_words: &[u64],
-        force: Option<(u32, u64)>,
-        values: &mut Vec<u64>,
+        input_words: &[Wd],
+        force: Option<(u32, Wd)>,
+        values: &mut Vec<Wd>,
     ) -> Result<(), SimError> {
         self.check_width(input_words.len())?;
         values.clear();
-        values.resize(self.len(), 0);
+        values.resize(self.len(), Wd::ZERO);
         for (i, &pi) in self.pis.iter().enumerate() {
             values[pi as usize] = input_words[i];
         }
@@ -380,32 +389,33 @@ impl CompiledNetlist {
     }
 }
 
-/// Word-domain gate function over an input iterator. `Dff` yields 0 (the
-/// packed-pattern convention); `Input` has no combinational function.
+/// Word-domain gate function over an input iterator, generic over the
+/// packed lane width. `Dff` yields the all-zero word (the packed-pattern
+/// convention); `Input` has no combinational function.
 ///
 /// # Panics
 ///
 /// Panics on `GateKind::Input`.
 #[inline]
-pub fn eval_word_from<I: Iterator<Item = u64>>(kind: GateKind, mut ins: I) -> u64 {
+pub fn eval_word_from<Wd: SimWord, I: Iterator<Item = Wd>>(kind: GateKind, mut ins: I) -> Wd {
     match kind {
-        GateKind::Const0 => 0,
-        GateKind::Const1 => u64::MAX,
+        GateKind::Const0 => Wd::ZERO,
+        GateKind::Const1 => Wd::ONES,
         GateKind::Buf => ins.next().unwrap(),
         GateKind::Not => !ins.next().unwrap(),
-        GateKind::And => ins.fold(u64::MAX, |a, b| a & b),
-        GateKind::Nand => !ins.fold(u64::MAX, |a, b| a & b),
-        GateKind::Or => ins.fold(0, |a, b| a | b),
-        GateKind::Nor => !ins.fold(0, |a, b| a | b),
-        GateKind::Xor => ins.fold(0, |a, b| a ^ b),
-        GateKind::Xnor => !ins.fold(0, |a, b| a ^ b),
+        GateKind::And => ins.fold(Wd::ONES, |a, b| a & b),
+        GateKind::Nand => !ins.fold(Wd::ONES, |a, b| a & b),
+        GateKind::Or => ins.fold(Wd::ZERO, |a, b| a | b),
+        GateKind::Nor => !ins.fold(Wd::ZERO, |a, b| a | b),
+        GateKind::Xor => ins.fold(Wd::ZERO, |a, b| a ^ b),
+        GateKind::Xnor => !ins.fold(Wd::ZERO, |a, b| a ^ b),
         GateKind::Mux => {
             let s = ins.next().unwrap();
             let a = ins.next().unwrap();
             let b = ins.next().unwrap();
             (!s & a) | (s & b)
         }
-        GateKind::Dff => 0,
+        GateKind::Dff => Wd::ZERO,
         GateKind::Input => panic!("eval_word_from called on an Input gate"),
     }
 }

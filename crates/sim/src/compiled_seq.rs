@@ -15,24 +15,25 @@
 //!    starts from `snapshot(c)` directly, and the golden half of the
 //!    lockstep comparison is a table lookup instead of a second machine.
 //!
-//! 2. **Faulty machines diverge independently.** Up to 64 injections that
-//!    share an injection cycle are packed into the bit lanes of a
-//!    [`SeqWordMachine`]: each DFF holds a `u64` whose bit `l` is lane
-//!    `l`'s state. The golden snapshot is broadcast into every lane
-//!    (`0u64` / `u64::MAX` per flop), then each lane flips *its own*
-//!    flop via [`SeqWordMachine::flip_lane`]. One [`SeqWordMachine::step`]
-//!    then advances all 64 faulty machines with the same gate kernels the
-//!    scalar engine uses ([`crate::compiled::eval_word_from`]), so each
-//!    lane's trajectory is bit-identical to a scalar run of that
-//!    injection.
+//! 2. **Faulty machines diverge independently.** Up to
+//!    [`crate::wide::SimWord::LANES`] injections that share an injection
+//!    cycle are packed into the bit lanes of a [`LaneMachine`]: each DFF
+//!    holds a word whose lane `l` is machine `l`'s state ([`SeqWordMachine`]
+//!    is the 64-lane `u64` default; [`crate::wide::PackedWord`] widens a
+//!    machine word to `64 * W` lanes). The golden snapshot is broadcast
+//!    into every lane, then each lane flips *its own* flop via
+//!    [`LaneMachine::flip_lane`]. One [`LaneMachine::step`] then advances
+//!    all lanes with the same gate kernels the scalar engine uses
+//!    ([`crate::compiled::eval_word_from`]), so each lane's trajectory is
+//!    bit-identical to a scalar run of that injection.
 //!
 //! Comparison against the golden trace is also word-wide:
-//! [`SeqWordMachine::output_diff_mask`] XORs each output word with the
+//! [`LaneMachine::output_diff_mask`] XORs each output word with the
 //! broadcast golden output bit and ORs the differences into a single
-//! `u64` — bit `l` set means lane `l` has failed. Campaigns early-exit a
-//! batch once every live lane has failed (the mask equals the live mask),
-//! which is what makes dense-failure designs like LFSRs finish in a
-//! handful of steps.
+//! word — lane `l` set means machine `l` has failed. Campaigns early-exit
+//! a batch once every live lane has failed (the mask equals the live
+//! mask), which is what makes dense-failure designs like LFSRs finish in
+//! a handful of steps.
 //!
 //! The word domain is strictly two-valued, matching
 //! [`crate::seq::SeqSimulator`]'s reset-to-0 convention, so lane 0 of a
@@ -42,6 +43,7 @@
 
 use crate::compiled::CompiledNetlist;
 use crate::error::SimError;
+use crate::wide::SimWord;
 
 /// Broadcasts one bit across all 64 lanes.
 #[inline]
@@ -55,7 +57,13 @@ pub fn broadcast(bit: bool) -> u64 {
 
 /// Broadcasts a scalar input pattern into per-input lane words.
 pub fn broadcast_inputs(inputs: &[bool]) -> Vec<u64> {
-    inputs.iter().map(|&b| broadcast(b)).collect()
+    splat_inputs(inputs)
+}
+
+/// Width-generic form of [`broadcast_inputs`]: broadcasts a scalar input
+/// pattern into per-input words of any [`SimWord`] lane width.
+pub fn splat_inputs<Wd: SimWord>(inputs: &[bool]) -> Vec<Wd> {
+    inputs.iter().map(|&b| Wd::splat(b)).collect()
 }
 
 /// Scalar golden trace with per-cycle state snapshots.
@@ -129,11 +137,14 @@ impl GoldenTrace {
     }
 }
 
-/// 64 independent sequential machines packed into `u64` lane words.
+/// [`SimWord::LANES`] independent sequential machines packed into the
+/// lane words of one [`SimWord`] — 64 per `u64`, `64 * W` per
+/// [`crate::wide::PackedWord`]. [`SeqWordMachine`] is the historical
+/// 64-lane `u64` instantiation.
 ///
 /// Reusable scratch: allocate once per worker, then
-/// [`SeqWordMachine::load_broadcast`] + [`SeqWordMachine::flip_lane`] +
-/// [`SeqWordMachine::step`] per injection batch — no per-batch
+/// [`LaneMachine::load_broadcast`] + [`LaneMachine::flip_lane`] +
+/// [`LaneMachine::step`] per injection batch — no per-batch
 /// allocation.
 ///
 /// # Examples
@@ -158,10 +169,10 @@ impl GoldenTrace {
 /// # Ok::<(), rescue_sim::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct SeqWordMachine {
-    state: Vec<u64>,
-    values: Vec<u64>,
-    /// Golden-snapshot restores ([`SeqWordMachine::load_broadcast`]
+pub struct LaneMachine<Wd: SimWord> {
+    state: Vec<Wd>,
+    values: Vec<Wd>,
+    /// Golden-snapshot restores ([`LaneMachine::load_broadcast`]
     /// calls) since construction / the last counter flush. Plain field:
     /// maintained unconditionally so enabled telemetry adds no branch
     /// to the batch loop.
@@ -170,12 +181,15 @@ pub struct SeqWordMachine {
     steps: u64,
 }
 
-impl SeqWordMachine {
+/// The 64-lane `u64` [`LaneMachine`] every scalar-width campaign uses.
+pub type SeqWordMachine = LaneMachine<u64>;
+
+impl<Wd: SimWord> LaneMachine<Wd> {
     /// Creates a machine for `compiled` with all lanes reset to 0.
     pub fn new(compiled: &CompiledNetlist) -> Self {
-        SeqWordMachine {
-            state: vec![0; compiled.dffs().len()],
-            values: vec![0; compiled.len()],
+        LaneMachine {
+            state: vec![Wd::ZERO; compiled.dffs().len()],
+            values: vec![Wd::ZERO; compiled.len()],
             restores: 0,
             steps: 0,
         }
@@ -191,18 +205,18 @@ impl SeqWordMachine {
         assert_eq!(state_bits.len(), compiled.dffs().len(), "state width");
         self.restores += 1;
         for (w, &b) in self.state.iter_mut().zip(state_bits) {
-            *w = broadcast(b);
+            *w = Wd::splat(b);
         }
     }
 
     /// Snapshot restores since construction or the last
-    /// [`SeqWordMachine::take_counters`].
+    /// [`LaneMachine::take_counters`].
     pub fn restores(&self) -> u64 {
         self.restores
     }
 
     /// Clock cycles stepped since construction or the last
-    /// [`SeqWordMachine::take_counters`].
+    /// [`LaneMachine::take_counters`].
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -222,34 +236,30 @@ impl SeqWordMachine {
     ///
     /// Panics when `dff` or `lane` is out of range.
     pub fn flip_lane(&mut self, dff: usize, lane: usize) {
-        assert!(lane < 64, "lane out of range");
-        self.state[dff] ^= 1u64 << lane;
+        assert!(lane < Wd::LANES, "lane out of range");
+        self.state[dff].toggle_lane(lane);
     }
 
     /// Per-flop lane words of the current state.
-    pub fn state_words(&self) -> &[u64] {
+    pub fn state_words(&self) -> &[Wd] {
         &self.state
     }
 
     /// Per-gate lane words of the last evaluated cycle.
-    pub fn values(&self) -> &[u64] {
+    pub fn values(&self) -> &[Wd] {
         &self.values
     }
 
-    /// Advances all 64 lanes one clock cycle: evaluates the combinational
+    /// Advances all lanes one clock cycle: evaluates the combinational
     /// logic with the present state, then captures each flop's `D` word.
     /// Gate values of the evaluated cycle stay readable via
-    /// [`SeqWordMachine::values`] / the diff masks until the next step.
+    /// [`LaneMachine::values`] / the diff masks until the next step.
     ///
     /// # Errors
     ///
     /// [`SimError::InputWidthMismatch`] when `input_words` has the wrong
     /// length.
-    pub fn step(
-        &mut self,
-        compiled: &CompiledNetlist,
-        input_words: &[u64],
-    ) -> Result<(), SimError> {
+    pub fn step(&mut self, compiled: &CompiledNetlist, input_words: &[Wd]) -> Result<(), SimError> {
         if input_words.len() != compiled.primary_inputs().len() {
             return Err(SimError::InputWidthMismatch {
                 expected: compiled.primary_inputs().len(),
@@ -279,14 +289,14 @@ impl SeqWordMachine {
     /// # Panics
     ///
     /// Panics when `golden_po` has the wrong width.
-    pub fn output_diff_mask(&self, compiled: &CompiledNetlist, golden_po: &[bool]) -> u64 {
+    pub fn output_diff_mask(&self, compiled: &CompiledNetlist, golden_po: &[bool]) -> Wd {
         assert_eq!(golden_po.len(), compiled.po_drivers().len(), "output width");
         compiled
             .po_drivers()
             .iter()
             .zip(golden_po)
-            .fold(0u64, |acc, (&g, &b)| {
-                acc | (self.values[g as usize] ^ broadcast(b))
+            .fold(Wd::ZERO, |acc, (&g, &b)| {
+                acc | (self.values[g as usize] ^ Wd::splat(b))
             })
     }
 
@@ -295,12 +305,12 @@ impl SeqWordMachine {
     /// # Panics
     ///
     /// Panics when `golden_state` has the wrong width.
-    pub fn state_diff_mask(&self, golden_state: &[bool]) -> u64 {
+    pub fn state_diff_mask(&self, golden_state: &[bool]) -> Wd {
         assert_eq!(golden_state.len(), self.state.len(), "state width");
         self.state
             .iter()
             .zip(golden_state)
-            .fold(0u64, |acc, (&w, &b)| acc | (w ^ broadcast(b)))
+            .fold(Wd::ZERO, |acc, (&w, &b)| acc | (w ^ Wd::splat(b)))
     }
 }
 

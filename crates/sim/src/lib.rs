@@ -13,6 +13,10 @@
 //! * [`compiled_seq::SeqWordMachine`] — 64 packed sequential machines per
 //!   `u64` word over a shared [`compiled_seq::GoldenTrace`] of per-cycle
 //!   state snapshots, the substrate of bit-parallel SEU campaigns.
+//! * [`wide::SimWord`] / [`wide::PackedWord`] — configurable lane width
+//!   for every packed engine: the same kernels instantiate at `u64`
+//!   (64 lanes, the default) or `[u64; W]` wide words (up to 512 lanes)
+//!   that LLVM autovectorizes on stable Rust.
 //! * [`timed::TimedSimulator`] — event-driven timed simulation with
 //!   inertial delays, used to propagate SET pulses and model electrical
 //!   masking (paper Sections III.B and the CDN-SET study \[54\]).
@@ -56,6 +60,7 @@ pub mod logic;
 pub mod parallel;
 pub mod seq;
 pub mod timed;
+pub mod wide;
 
 pub use error::SimError;
 pub use logic::Logic;

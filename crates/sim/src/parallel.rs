@@ -7,11 +7,14 @@
 
 use crate::compiled::CompiledNetlist;
 use crate::error::SimError;
+use crate::wide::SimWord;
 use rescue_netlist::{GateId, Netlist};
 
 /// Mask selecting the `n` live pattern bits of a partially filled 64-wide
 /// chunk (all ones for a full chunk). Guards the `n == 64` shift overflow
-/// that every call site used to hand-roll.
+/// that every call site used to hand-roll. This is the `u64`
+/// instantiation of [`SimWord::live_mask`], the one shared ragged-tail
+/// helper for every packed engine.
 ///
 /// # Examples
 ///
@@ -23,15 +26,12 @@ use rescue_netlist::{GateId, Netlist};
 /// ```
 #[inline]
 pub fn live_mask(n: usize) -> u64 {
-    if n >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << n) - 1
-    }
+    <u64 as SimWord>::live_mask(n)
 }
 
 /// Packs up to 64 bool patterns (outer: pattern, inner: input position)
-/// into one word per primary input.
+/// into one word per primary input — the `u64` instantiation of
+/// [`crate::wide::pack_patterns_wide`].
 ///
 /// Bit `p` of word `i` is the value of input `i` in pattern `p`.
 ///
@@ -39,21 +39,7 @@ pub fn live_mask(n: usize) -> u64 {
 ///
 /// Panics if more than 64 patterns are supplied or pattern widths differ.
 pub fn pack_patterns(patterns: &[Vec<bool>]) -> Vec<u64> {
-    assert!(patterns.len() <= 64, "at most 64 patterns per word");
-    if patterns.is_empty() {
-        return Vec::new();
-    }
-    let width = patterns[0].len();
-    let mut words = vec![0u64; width];
-    for (p, pat) in patterns.iter().enumerate() {
-        assert_eq!(pat.len(), width, "pattern width mismatch");
-        for (i, &bit) in pat.iter().enumerate() {
-            if bit {
-                words[i] |= 1u64 << p;
-            }
-        }
-    }
-    words
+    crate::wide::pack_patterns_wide(patterns)
 }
 
 /// Reusable 64-way parallel-pattern evaluator.
