@@ -71,7 +71,12 @@ pub fn reverse_order_compaction(
             if detected[fi] {
                 continue;
             }
-            if plan.detect_packed(c, &golden, &mut scratch, fault) & live != 0 {
+            if plan
+                .detect_packed(c, &golden, &mut scratch, fault)
+                .expect("fault root missing from campaign plan")
+                & live
+                != 0
+            {
                 detected[fi] = true;
                 useful = true;
             }

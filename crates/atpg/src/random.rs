@@ -4,8 +4,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rescue_faults::engine::{CampaignPlan, WideScratch};
 use rescue_faults::simulate::FaultSimulator;
+use rescue_faults::trace::{TracePlan, TraceScratch};
 use rescue_faults::Fault;
 use rescue_netlist::Netlist;
+use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
 
 /// Result of a random test-generation run.
@@ -117,6 +119,94 @@ pub fn weighted_random_tpg_wide(
     }
 }
 
+/// [`weighted_random_tpg_wide`] with detection routed through the
+/// critical-path-tracing / cone-walk hybrid
+/// ([`rescue_faults::trace::TracePlan`]) instead of the pure PPSFP cone
+/// walk. The pattern stream, batching and stopping rule are identical, and
+/// the hybrid's masks are bit-identical to the walking engine's, so the
+/// generated pattern set and coverage curve match
+/// [`weighted_random_tpg_wide`] exactly — only the per-batch cost changes.
+///
+/// # Panics
+///
+/// Panics if `weight` or `target_coverage` is outside `[0, 1]`, or on an
+/// unsupported lane width ([`SUPPORTED_LANE_WIDTHS`]).
+pub fn weighted_random_tpg_traced(
+    netlist: &Netlist,
+    faults: &[Fault],
+    target_coverage: f64,
+    max_patterns: usize,
+    seed: u64,
+    weight: f64,
+    lane_width: usize,
+) -> RandomTpgReport {
+    match lane_width {
+        1 => weighted_tpg_engine::<u64>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+            true,
+        ),
+        2 => weighted_tpg_engine::<PackedWord<2>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+            true,
+        ),
+        4 => weighted_tpg_engine::<PackedWord<4>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+            true,
+        ),
+        8 => weighted_tpg_engine::<PackedWord<8>>(
+            netlist,
+            faults,
+            target_coverage,
+            max_patterns,
+            seed,
+            weight,
+            true,
+        ),
+        w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+    }
+}
+
+/// Either detection engine behind the width-generic TPG loop, so tracing
+/// and walking share one batching/stopping implementation.
+enum TpgEngine<Wd: SimWord> {
+    /// Pure PPSFP: one event-driven cone walk per (site, batch).
+    Walk(CampaignPlan, WideScratch<Wd>),
+    /// CPT hybrid: backward tracing, cone walks only at stems.
+    Trace(TracePlan, TraceScratch<Wd>),
+}
+
+impl<Wd: SimWord> TpgEngine<Wd> {
+    fn load_golden(&mut self, golden: &[Wd]) {
+        match self {
+            TpgEngine::Walk(_, s) => s.load_golden(golden),
+            TpgEngine::Trace(_, s) => s.load_golden(golden),
+        }
+    }
+
+    fn detect(&mut self, c: &CompiledNetlist, golden: &[Wd], fault: Fault) -> Wd {
+        match self {
+            TpgEngine::Walk(plan, s) => plan.detect_packed(c, golden, s, fault),
+            TpgEngine::Trace(plan, s) => plan.detect_traced(c, golden, s, fault),
+        }
+        .expect("fault root missing from campaign plan")
+    }
+}
+
 /// The width-generic TPG loop behind [`weighted_random_tpg`] and
 /// [`weighted_random_tpg_wide`].
 fn weighted_tpg_w<Wd: SimWord>(
@@ -126,6 +216,27 @@ fn weighted_tpg_w<Wd: SimWord>(
     max_patterns: usize,
     seed: u64,
     weight: f64,
+) -> RandomTpgReport {
+    weighted_tpg_engine::<Wd>(
+        netlist,
+        faults,
+        target_coverage,
+        max_patterns,
+        seed,
+        weight,
+        false,
+    )
+}
+
+/// The width- and engine-generic TPG loop.
+fn weighted_tpg_engine<Wd: SimWord>(
+    netlist: &Netlist,
+    faults: &[Fault],
+    target_coverage: f64,
+    max_patterns: usize,
+    seed: u64,
+    weight: f64,
+    tracing: bool,
 ) -> RandomTpgReport {
     assert!((0.0..=1.0).contains(&weight), "weight in [0,1]");
     assert!(
@@ -137,10 +248,20 @@ fn weighted_tpg_w<Wd: SimWord>(
     let sim = FaultSimulator::new(netlist);
     // Plan and scratch amortized over the whole run: the coverage loop is
     // the PPSFP dropping path, one observability walk per (site, batch)
-    // shared by every undetected fault at that site.
+    // shared by every undetected fault at that site — or, with tracing,
+    // per reconvergent stem only.
     let c = sim.compiled();
-    let plan = CampaignPlan::build(c, faults);
-    let mut scratch = WideScratch::<Wd>::new(c.len());
+    let mut engine = if tracing {
+        TpgEngine::Trace(
+            TracePlan::build(c, faults),
+            TraceScratch::<Wd>::new(c.len()),
+        )
+    } else {
+        TpgEngine::Walk(
+            CampaignPlan::build(c, faults),
+            WideScratch::<Wd>::new(c.len()),
+        )
+    };
     let mut patterns: Vec<Vec<bool>> = Vec::new();
     let mut curve = Vec::new();
     let mut detected = vec![false; faults.len()];
@@ -154,7 +275,7 @@ fn weighted_tpg_w<Wd: SimWord>(
         let mut golden = Vec::new();
         c.eval_words_into(&words, None, &mut golden)
             .expect("input word count matches primary inputs");
-        scratch.load_golden(&golden);
+        engine.load_golden(&golden);
         // Shared ragged-tail guard: dead lanes of a short final batch
         // must not count as detections.
         let live = Wd::live_mask(batch.len());
@@ -162,7 +283,7 @@ fn weighted_tpg_w<Wd: SimWord>(
             if detected[fi] {
                 continue; // fault dropping
             }
-            if !(plan.detect_packed(c, &golden, &mut scratch, fault) & live).is_zero() {
+            if !(engine.detect(c, &golden, fault) & live).is_zero() {
                 detected[fi] = true;
             }
         }
@@ -253,10 +374,36 @@ mod tests {
     }
 
     #[test]
+    fn traced_tpg_matches_walking_tpg() {
+        // The hybrid's detection masks are bit-identical to the walking
+        // engine's, so the whole TPG run — pattern set, curve, coverage —
+        // must agree exactly at every width.
+        let net = generate::random_logic(9, 120, 4, 21);
+        let faults = universe::stuck_at_universe(&net);
+        for lw in [1usize, 2, 4, 8] {
+            let walk = weighted_random_tpg_wide(&net, &faults, 1.0, 200, 9, 0.5, lw);
+            let traced = weighted_random_tpg_traced(&net, &faults, 1.0, 200, 9, 0.5, lw);
+            assert_eq!(traced.patterns, walk.patterns, "lane_width {lw}");
+            assert_eq!(
+                traced.coverage_curve, walk.coverage_curve,
+                "lane_width {lw}"
+            );
+            assert_eq!(traced.coverage, walk.coverage, "lane_width {lw}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "unsupported lane width")]
     fn rejects_unsupported_width() {
         let c = generate::c17();
         weighted_random_tpg_wide(&c, &[], 1.0, 10, 1, 0.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane width")]
+    fn traced_rejects_unsupported_width() {
+        let c = generate::c17();
+        weighted_random_tpg_traced(&c, &[], 1.0, 10, 1, 0.5, 5);
     }
 
     #[test]

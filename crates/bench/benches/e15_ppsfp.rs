@@ -92,7 +92,7 @@ fn ppsfp_no_dropping(
         scratch.load_golden(&golden);
         let live = live_mask(chunk.len());
         for (fi, &fault) in faults.iter().enumerate() {
-            let mask = plan.detect_packed(c, &golden, &mut scratch, fault) & live;
+            let mask = plan.detect_packed(c, &golden, &mut scratch, fault).unwrap() & live;
             if first[fi].is_none() && mask != 0 {
                 first[fi] = Some(ci * 64 + mask.trailing_zeros() as usize);
             }

@@ -78,6 +78,11 @@ pub struct CampaignStats {
     /// Work-stealing chunks claimed away from their round-robin home
     /// worker (0 under static scheduling).
     pub chunks_stolen: u64,
+    /// Walked faults resolved purely by critical-path tracing: their
+    /// backward sensitization chain reaches a primary output or dies
+    /// without crossing a reconvergent stem, so no event-driven cone walk
+    /// was ever needed for them. Zero for non-tracing engines.
+    pub faults_traced: usize,
     /// Outcome counters for the run.
     pub tally: OutcomeTally,
 }
@@ -99,6 +104,7 @@ impl CampaignStats {
             dropped: 0,
             faults_walked: injections,
             chunks_stolen: run.steals,
+            faults_traced: 0,
             tally: OutcomeTally::default(),
         }
     }
@@ -120,6 +126,7 @@ impl CampaignStats {
         self.dropped += other.dropped;
         self.faults_walked += other.faults_walked;
         self.chunks_stolen += other.chunks_stolen;
+        self.faults_traced += other.faults_traced;
         self.tally.masked += other.tally.masked;
         self.tally.latent += other.tally.latent;
         self.tally.failures += other.tally.failures;
@@ -170,6 +177,18 @@ impl CampaignStats {
     /// of being walked (`injections - faults_walked`).
     pub fn faults_saved(&self) -> usize {
         self.injections.saturating_sub(self.faults_walked)
+    }
+
+    /// Fraction of walked faults that critical-path tracing resolved
+    /// without a cone walk: `faults_traced / faults_walked`. Total: an
+    /// empty walk list (or a non-tracing engine over one) reports 0.0
+    /// instead of dividing by zero, so no NaN escapes into throughput
+    /// tables or BENCH JSONs.
+    pub fn traced_fraction(&self) -> f64 {
+        if self.faults_walked == 0 {
+            return 0.0;
+        }
+        self.faults_traced as f64 / self.faults_walked as f64
     }
 
     /// Mean worker busy-fraction relative to wall-clock (load balance).
@@ -240,6 +259,7 @@ mod tests {
             dropped: 3,
             faults_walked: 6,
             chunks_stolen: 2,
+            faults_traced: 4,
             tally: OutcomeTally {
                 masked: 4,
                 failures: 6,
@@ -256,6 +276,7 @@ mod tests {
             dropped: 4,
             faults_walked: 5,
             chunks_stolen: 1,
+            faults_traced: 2,
             tally: OutcomeTally {
                 latent: 5,
                 ..OutcomeTally::default()
@@ -269,7 +290,21 @@ mod tests {
         assert_eq!(a.dropped, 7);
         assert_eq!(a.faults_walked, 11);
         assert_eq!(a.chunks_stolen, 3);
+        assert_eq!(a.faults_traced, 6);
         assert_eq!(a.tally.total(), 15);
+    }
+
+    #[test]
+    fn traced_fraction_is_total() {
+        let empty = CampaignStats::default();
+        assert_eq!(empty.traced_fraction(), 0.0, "no NaN on empty campaigns");
+        assert!(empty.traced_fraction().is_finite());
+        let stats = CampaignStats {
+            faults_walked: 8,
+            faults_traced: 6,
+            ..Default::default()
+        };
+        assert!((stats.traced_fraction() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -143,9 +143,11 @@ impl HolisticFlow {
         // 4. Fault simulation (verifies the ATPG stage end to end), on
         // the shared campaign driver so the report carries throughput.
         // Wide-word front-end (4 limbs = 256 patterns per cone walk) over
-        // the collapsed universe: only equivalence-class representatives
-        // are walked, verdicts expand to the rest for free. Both choices
-        // leave the verdicts bit-identical to the scalar engine.
+        // the collapsed universe with critical-path tracing: only
+        // equivalence-class representatives are evaluated, most by
+        // backward sensitization chains, cone walks only at reconvergent
+        // stems. All three choices leave the verdicts bit-identical to
+        // the scalar engine.
         let driver = Campaign::new(seed, 1);
         let sim = FaultSimulator::new(design);
         let campaign_run = {
@@ -155,7 +157,7 @@ impl HolisticFlow {
                 &workable,
                 &patterns,
                 &driver,
-                PackedOptions::wide(4).with_collapsed(&collapsed),
+                PackedOptions::wide(4).with_collapsed(&collapsed).traced(),
             )
         };
         let campaign = campaign_run.report;

@@ -50,15 +50,16 @@ pub fn render_report(report: &FlowReport) -> String {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| stage | injections | walked | collapse | inj/s | lane occupancy | dropped | stolen chunks |"
+            "| stage | injections | walked | traced | collapse | inj/s | lane occupancy | dropped | stolen chunks |"
         );
-        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
         for (stage, stats) in &report.stage_stats {
             let _ = writeln!(
                 s,
-                "| {stage} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} |",
+                "| {stage} | {} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} |",
                 stats.injections,
                 stats.faults_walked,
+                stats.faults_traced,
                 stats.collapse_ratio() * 100.0,
                 stats.injections_per_sec(),
                 stats.lane_occupancy() * 100.0,

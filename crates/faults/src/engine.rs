@@ -52,6 +52,7 @@
 //! Equivalence with [`CampaignPlan::detect`] (the scalar oracle) is
 //! enforced by property tests in `tests/ppsfp_equivalence.rs`.
 
+use crate::error::FaultError;
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::GateKind;
 use rescue_sim::compiled::CompiledNetlist;
@@ -198,6 +199,91 @@ impl CampaignPlan {
         plan
     }
 
+    /// [`CampaignPlan::build`] restricted to the PO-reachable region:
+    /// cones are discovered by DFS over *observable* fanout edges only,
+    /// so a site buried in a large structurally-dead region costs
+    /// nothing, and the full-cone CSR is never materialized (on a 50k
+    /// gate design with few outputs the full cones run to tens of
+    /// millions of entries while the observable restriction is a few
+    /// tens of thousands — the difference dominates campaign setup).
+    ///
+    /// Exact for the packed paths: the restricted DFS reaches exactly
+    /// the observable members of the full cone (every vertex on a path
+    /// from the root to an observable gate is itself observable), which
+    /// is precisely the set [`CampaignPlan::obs_cone_of`] walks. Both
+    /// cone CSRs alias the restriction, so the scalar
+    /// [`CampaignPlan::detect`] stays exact too — unobservable gates
+    /// feed only unobservable gates, and the mask is sampled at primary
+    /// outputs — but [`CampaignPlan::cone_of`] then reports the
+    /// restriction, not the full cone.
+    ///
+    /// Unobservable roots are planned with an empty cone (their faults
+    /// answer `0` through the [`CampaignPlan::observable`] prefilter,
+    /// identical to [`CampaignPlan::build`]).
+    pub fn build_observable(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
+        let n = compiled.len();
+        let mut plan = CampaignPlan {
+            cone_index: vec![u32::MAX; n],
+            cone_offsets: vec![0],
+            cone_gates: Vec::new(),
+            observable: po_reachable(compiled),
+            obs_cone_offsets: vec![0],
+            obs_cone_gates: Vec::new(),
+        };
+        let mut seen = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut members: Vec<u32> = Vec::new();
+        let mut keyed: Vec<u64> = Vec::new();
+        let cone_hist = rescue_telemetry::enabled()
+            .then(|| metrics::histogram("fault.cone_size", &metrics::pow2_bounds(16)));
+        for fault in faults {
+            let root = fault.site().gate().index();
+            if plan.cone_index[root] != u32::MAX {
+                continue; // sa0/sa1 (and pin faults) at one gate share a cone
+            }
+            plan.cone_index[root] = plan.cone_offsets.len() as u32 - 1;
+            if plan.observable[root] {
+                seen[root] = true;
+                stack.push(root as u32);
+                while let Some(g) = stack.pop() {
+                    for &s in compiled.fanout_of(g as usize) {
+                        if seen[s as usize]
+                            || compiled.kind(s as usize) == GateKind::Dff
+                            || !plan.observable[s as usize]
+                        {
+                            continue;
+                        }
+                        seen[s as usize] = true;
+                        stack.push(s);
+                        members.push(s);
+                    }
+                }
+                keyed.clear();
+                keyed.extend(
+                    members
+                        .iter()
+                        .map(|&g| ((compiled.topo_pos(g as usize) as u64) << 32) | g as u64),
+                );
+                keyed.sort_unstable();
+                seen[root] = false;
+                for &m in &members {
+                    seen[m as usize] = false;
+                }
+                members.clear();
+            } else {
+                keyed.clear();
+            }
+            if let Some(hist) = &cone_hist {
+                hist.record(keyed.len() as u64);
+            }
+            plan.cone_gates.extend(keyed.iter().map(|&k| k as u32));
+            plan.cone_offsets.push(plan.cone_gates.len() as u32);
+            plan.obs_cone_gates.extend(keyed.iter().map(|&k| k as u32));
+            plan.obs_cone_offsets.push(plan.obs_cone_gates.len() as u32);
+        }
+        plan
+    }
+
     /// The memoized cone (topo-sorted, root excluded) for the site rooted
     /// at gate `root`, or `None` when `root` was not in the fault list.
     pub fn cone_of(&self, root: usize) -> Option<&[u32]> {
@@ -312,11 +398,24 @@ impl CampaignPlan {
     /// Panics when `root` was not a fault-site root of this plan.
     #[inline]
     pub fn observable(&self, root: usize) -> bool {
-        assert!(
-            self.cone_index[root] != u32::MAX,
-            "fault root missing from campaign plan"
-        );
+        assert!(self.planned(root), "fault root missing from campaign plan");
         self.observable[root]
+    }
+
+    /// Whether gate `root` is a fault-site root this plan memoized a
+    /// cone for. The packed detection paths report an unplanned root as
+    /// [`FaultError::UnplannedSite`] instead of panicking.
+    #[inline]
+    pub fn planned(&self, root: usize) -> bool {
+        self.cone_index[root] != u32::MAX
+    }
+
+    /// The PO-reachability verdict of *any* gate (computed for the whole
+    /// design at build time, so unlike [`CampaignPlan::observable`] it
+    /// does not require `g` to be a plan root).
+    #[inline]
+    pub fn po_reachable_gate(&self, g: usize) -> bool {
+        self.observable[g]
     }
 
     /// Excitation word of `fault`: the patterns (bit `p`) on which the
@@ -368,23 +467,24 @@ impl CampaignPlan {
     /// The result is cached in the scratch per `(chunk, root)`, so all
     /// faults of one site share one walk within a chunk.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `root` was not a fault-site root of this plan.
+    /// [`FaultError::UnplannedSite`] when `root` was not a fault-site
+    /// root of this plan (no memoized cone to walk).
     pub fn observability_packed<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
         golden: &[Wd],
         scratch: &mut WideScratch<Wd>,
         root: usize,
-    ) -> Wd {
+    ) -> Result<Wd, FaultError> {
         if scratch.obs_root == root as u32 {
             scratch.counters.obs_cache_hits += 1;
-            return scratch.obs_word;
+            return Ok(scratch.obs_word);
         }
         let cone = self
             .obs_cone_of(root)
-            .expect("fault root missing from campaign plan");
+            .ok_or(FaultError::UnplannedSite { gate: root })?;
         let id = scratch.next_walk_id();
         let mut mask = if compiled.is_po(root) {
             Wd::ONES
@@ -434,7 +534,7 @@ impl CampaignPlan {
         scratch.counters.obs_walks += 1;
         scratch.obs_root = root as u32;
         scratch.obs_word = mask;
-        mask
+        Ok(mask)
     }
 
     /// PPSFP detection mask of `fault` over the chunk whose golden
@@ -453,27 +553,35 @@ impl CampaignPlan {
     /// [`WideScratch::load_golden`] once per chunk) and is golden again
     /// on return.
     ///
+    /// # Errors
+    ///
+    /// [`FaultError::UnplannedSite`] when the fault's root has no
+    /// memoized cone in this plan.
+    ///
     /// # Panics
     ///
-    /// Panics on non-stuck-at kinds and on roots absent from the plan.
+    /// Panics on non-stuck-at kinds.
     pub fn detect_packed<Wd: SimWord>(
         &self,
         compiled: &CompiledNetlist,
         golden: &[Wd],
         scratch: &mut WideScratch<Wd>,
         fault: Fault,
-    ) -> Wd {
+    ) -> Result<Wd, FaultError> {
         scratch.counters.faults_evaluated += 1;
         let root = fault.site().gate().index();
-        if !self.observable(root) {
-            return Wd::ZERO;
+        if !self.planned(root) {
+            return Err(FaultError::UnplannedSite { gate: root });
+        }
+        if !self.observable[root] {
+            return Ok(Wd::ZERO);
         }
         let excitation = Self::excitation_word(compiled, golden, fault);
         if excitation.is_zero() {
-            return Wd::ZERO; // not excited on any pattern of this chunk
+            return Ok(Wd::ZERO); // not excited on any pattern of this chunk
         }
         scratch.counters.excitations += 1;
-        self.observability_packed(compiled, golden, scratch, root) & excitation
+        Ok(self.observability_packed(compiled, golden, scratch, root)? & excitation)
     }
 }
 
@@ -621,6 +729,13 @@ pub struct ScratchCounters {
     pub stamp_skips: u64,
     /// Faults dropped from their campaign at the first detecting word.
     pub dropped: u64,
+    /// Nets whose observability word was produced by critical-path
+    /// tracing (per-edge sensitization, no event-driven walk) — one per
+    /// net memoized per chunk on the tracing path.
+    pub traced_nets: u64,
+    /// Reconvergent-stem observability walks the tracing path fell back
+    /// to (each shared by every fault in the stem's fanout-free region).
+    pub stem_fallbacks: u64,
 }
 
 impl ScratchCounters {
@@ -637,6 +752,8 @@ impl ScratchCounters {
             metrics::counter("fault.obs_cache_hits").add(self.obs_cache_hits);
             metrics::counter("fault.stamp_skips").add(self.stamp_skips);
             metrics::counter("fault.dropped").add(self.dropped);
+            metrics::counter("fault.traced_nets").add(self.traced_nets);
+            metrics::counter("fault.stem_fallbacks").add(self.stem_fallbacks);
             metrics::histogram("fault.undo_depth_max", &metrics::pow2_bounds(16))
                 .record(self.undo_depth_max);
         }

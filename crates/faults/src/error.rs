@@ -20,6 +20,13 @@ pub enum FaultError {
         /// The offending value.
         value: f64,
     },
+    /// A fault site was queried against a [`crate::engine::CampaignPlan`]
+    /// that never memoized its cone (the fault was not in the list the
+    /// plan was built from).
+    UnplannedSite {
+        /// Gate index of the offending fault site.
+        gate: usize,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -30,6 +37,12 @@ impl fmt::Display for FaultError {
             }
             FaultError::BadSamplingParameter { parameter, value } => {
                 write!(f, "sampling parameter `{parameter}` out of range: {value}")
+            }
+            FaultError::UnplannedSite { gate } => {
+                write!(
+                    f,
+                    "fault site at gate {gate} has no memoized cone in this campaign plan"
+                )
             }
         }
     }

@@ -10,6 +10,9 @@
 //!   with fault dropping, for both combinational and sequential designs.
 //! * [`engine`] — the incremental single-fault-propagation core: memoized
 //!   fanout cones, event-horizon early exit, touched-list undo.
+//! * [`trace`] — critical-path tracing: per-net observability words by
+//!   backward sensitization over fanout-free regions, with the exact
+//!   event-driven walk kept as the reconvergent-stem fallback.
 //! * [`mod@reference`] — the full-resimulation oracle the fast engine is
 //!   property-tested against.
 //! * [`sample`] — statistical fault-injection sampling theory: how many
@@ -43,6 +46,7 @@ pub mod model;
 pub mod reference;
 pub mod sample;
 pub mod simulate;
+pub mod trace;
 pub mod universe;
 
 pub use error::FaultError;

@@ -11,6 +11,7 @@
 use crate::collapse::CollapsedUniverse;
 use crate::engine::{CampaignPlan, FaultScratch, WideScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
+use crate::trace::{TracePlan, TraceScratch};
 use rescue_campaign::{Campaign, CampaignStats};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
@@ -112,6 +113,13 @@ pub struct PackedOptions<'a> {
     /// [`CollapsedUniverse::representative`]. Sound because equivalent
     /// faults have identical detection masks on every pattern set.
     pub collapsed: Option<&'a CollapsedUniverse>,
+    /// When set, detection runs through the critical-path-tracing /
+    /// cone-walk hybrid ([`crate::trace::TracePlan`]): observability
+    /// words come from backward sensitization over fanout-free regions,
+    /// and the event-driven walk is reserved for reconvergent stems.
+    /// Verdicts stay bit-identical to the walking engine for every lane
+    /// width, schedule, worker count and collapse setting.
+    pub tracing: bool,
 }
 
 impl Default for PackedOptions<'_> {
@@ -119,6 +127,7 @@ impl Default for PackedOptions<'_> {
         PackedOptions {
             lane_width: 1,
             collapsed: None,
+            tracing: false,
         }
     }
 }
@@ -136,6 +145,13 @@ impl<'a> PackedOptions<'a> {
     /// the full universe afterwards.
     pub fn with_collapsed(mut self, collapsed: &'a CollapsedUniverse) -> Self {
         self.collapsed = Some(collapsed);
+        self
+    }
+
+    /// Detects through the critical-path-tracing hybrid instead of one
+    /// observability walk per site.
+    pub fn traced(mut self) -> Self {
+        self.tracing = true;
         self
     }
 }
@@ -397,16 +413,10 @@ impl FaultSimulator {
         opts: PackedOptions,
     ) -> CampaignRun {
         match opts.lane_width {
-            1 => self.campaign_packed_w::<u64>(faults, patterns, campaign, opts.collapsed),
-            2 => {
-                self.campaign_packed_w::<PackedWord<2>>(faults, patterns, campaign, opts.collapsed)
-            }
-            4 => {
-                self.campaign_packed_w::<PackedWord<4>>(faults, patterns, campaign, opts.collapsed)
-            }
-            8 => {
-                self.campaign_packed_w::<PackedWord<8>>(faults, patterns, campaign, opts.collapsed)
-            }
+            1 => self.campaign_packed_w::<u64>(faults, patterns, campaign, &opts),
+            2 => self.campaign_packed_w::<PackedWord<2>>(faults, patterns, campaign, &opts),
+            4 => self.campaign_packed_w::<PackedWord<4>>(faults, patterns, campaign, &opts),
+            8 => self.campaign_packed_w::<PackedWord<8>>(faults, patterns, campaign, &opts),
             w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
         }
     }
@@ -418,7 +428,7 @@ impl FaultSimulator {
         faults: &[Fault],
         patterns: &[Vec<bool>],
         campaign: &Campaign,
-        collapsed: Option<&CollapsedUniverse>,
+        opts: &PackedOptions,
     ) -> CampaignRun {
         let c = &self.compiled;
         let _campaign = span!("fault.campaign", faults = faults.len());
@@ -431,39 +441,33 @@ impl FaultSimulator {
         // first-detection indices expand unchanged. `expand` remembers
         // which walked slot answers each original fault (`None` =
         // unobservable class, never detected).
-        let (walk, expand, plan): (Vec<Fault>, Option<Vec<Option<u32>>>, CampaignPlan) =
-            match collapsed {
-                None => {
-                    let walk = faults.to_vec();
-                    let plan = CampaignPlan::build(c, &walk);
-                    (walk, None, plan)
-                }
-                Some(cu) => {
-                    // O(gates + edges) reachability sweep first, so cone
-                    // construction is paid only for the faults that will
-                    // actually be walked. Then one hashing pass over the
-                    // universe: per fault, one representative lookup and
-                    // one slot lookup.
-                    let reachable = crate::engine::po_reachable(c);
-                    let mut slot_of = std::collections::HashMap::new();
-                    let mut walk = Vec::new();
-                    let mut map = Vec::with_capacity(faults.len());
-                    for &f in faults {
-                        let rep = cu.representative(f);
-                        if !reachable[rep.site().gate().index()] {
-                            map.push(None);
-                            continue;
-                        }
-                        let slot = *slot_of.entry(rep).or_insert_with(|| {
-                            walk.push(rep);
-                            walk.len() as u32 - 1
-                        });
-                        map.push(Some(slot));
+        let (walk, expand): (Vec<Fault>, Option<Vec<Option<u32>>>) = match opts.collapsed {
+            None => (faults.to_vec(), None),
+            Some(cu) => {
+                // O(gates + edges) reachability sweep first, so cone
+                // construction is paid only for the faults that will
+                // actually be walked. Then one hashing pass over the
+                // universe: per fault, one representative lookup and
+                // one slot lookup.
+                let reachable = crate::engine::po_reachable(c);
+                let mut slot_of = std::collections::HashMap::new();
+                let mut walk = Vec::new();
+                let mut map = Vec::with_capacity(faults.len());
+                for &f in faults {
+                    let rep = cu.representative(f);
+                    if !reachable[rep.site().gate().index()] {
+                        map.push(None);
+                        continue;
                     }
-                    let plan = CampaignPlan::build(c, &walk);
-                    (walk, Some(map), plan)
+                    let slot = *slot_of.entry(rep).or_insert_with(|| {
+                        walk.push(rep);
+                        walk.len() as u32 - 1
+                    });
+                    map.push(Some(slot));
                 }
-            };
+                (walk, Some(map))
+            }
+        };
         // Golden values and live mask per chunk, computed once and shared
         // read-only by all workers. The live mask is the one shared
         // ragged-tail guard: a final chunk of fewer than `Wd::LANES`
@@ -479,49 +483,103 @@ impl FaultSimulator {
             })
             .collect();
         let n_chunks = chunks.len();
-        let scratch = |_w: usize| WideScratch::<Wd>::new(c.len());
-        let work = |scratch: &mut WideScratch<Wd>, _offset: usize, range: &[Fault]| {
-            let mut first: Vec<Option<usize>> = vec![None; range.len()];
-            // Structurally unobservable faults can never be detected:
-            // retire them before the first word instead of re-asking the
-            // engine on every chunk. The active list then shrinks as
-            // faults drop, keeping site-consecutive order so the
-            // one-entry observability cache stays hot.
-            let mut active: Vec<u32> = (0..range.len() as u32)
-                .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
-                .collect();
-            for (ci, (golden, live)) in chunks.iter().enumerate() {
-                if active.is_empty() {
-                    break; // every detectable fault in this range dropped
+        let mut faults_traced = 0usize;
+        let run = if opts.tracing {
+            // Hybrid CPT engine: observability by backward tracing over
+            // fanout-free regions, event-driven walks only at
+            // reconvergent stems (shared by the whole region below).
+            let tplan = TracePlan::build(c, &walk);
+            faults_traced = tplan.statically_traced();
+            let plan = tplan.plan();
+            let scratch = |_w: usize| TraceScratch::<Wd>::new(c.len());
+            let work = |scratch: &mut TraceScratch<Wd>, _offset: usize, range: &[Fault]| {
+                let mut first: Vec<Option<usize>> = vec![None; range.len()];
+                let mut active: Vec<u32> = (0..range.len() as u32)
+                    .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
+                    .collect();
+                for (ci, (golden, live)) in chunks.iter().enumerate() {
+                    if active.is_empty() {
+                        break; // every detectable fault in this range dropped
+                    }
+                    scratch.load_golden(golden);
+                    active.retain(|&fi| {
+                        let fault = range[fi as usize];
+                        let mask = tplan
+                            .detect_traced(c, golden, scratch, fault)
+                            .expect("fault root missing from campaign plan")
+                            & *live;
+                        if mask.is_zero() {
+                            return true;
+                        }
+                        first[fi as usize] =
+                            Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
+                        if ci + 1 < n_chunks {
+                            scratch.inner.counters.dropped += 1;
+                        }
+                        false
+                    });
                 }
-                scratch.load_golden(golden);
-                active.retain(|&fi| {
-                    let fault = range[fi as usize];
-                    let mask = plan.detect_packed(c, golden, scratch, fault) & *live;
-                    if mask.is_zero() {
-                        return true;
-                    }
-                    first[fi as usize] =
-                        Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
-                    if ci + 1 < n_chunks {
-                        // Retired early: later words never walk this
-                        // fault's cone again.
-                        scratch.counters.dropped += 1;
-                    }
-                    false
-                });
+                scratch.inner.counters.flush_to_metrics();
+                first
+            };
+            match campaign.schedule {
+                rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
+                rescue_campaign::Schedule::Dynamic { .. } => {
+                    campaign.run_dynamic(&walk, scratch, work)
+                }
             }
-            // Range granularity: one registry touch per work call, never
-            // per fault.
-            scratch.counters.flush_to_metrics();
-            first
-        };
-        let run = match campaign.schedule {
-            rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
-            rescue_campaign::Schedule::Dynamic { .. } => campaign.run_dynamic(&walk, scratch, work),
+        } else {
+            let plan = CampaignPlan::build(c, &walk);
+            let scratch = |_w: usize| WideScratch::<Wd>::new(c.len());
+            let work = |scratch: &mut WideScratch<Wd>, _offset: usize, range: &[Fault]| {
+                let mut first: Vec<Option<usize>> = vec![None; range.len()];
+                // Structurally unobservable faults can never be detected:
+                // retire them before the first word instead of re-asking
+                // the engine on every chunk. The active list then shrinks
+                // as faults drop, keeping site-consecutive order so the
+                // one-entry observability cache stays hot.
+                let mut active: Vec<u32> = (0..range.len() as u32)
+                    .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
+                    .collect();
+                for (ci, (golden, live)) in chunks.iter().enumerate() {
+                    if active.is_empty() {
+                        break; // every detectable fault in this range dropped
+                    }
+                    scratch.load_golden(golden);
+                    active.retain(|&fi| {
+                        let fault = range[fi as usize];
+                        let mask = plan
+                            .detect_packed(c, golden, scratch, fault)
+                            .expect("fault root missing from campaign plan")
+                            & *live;
+                        if mask.is_zero() {
+                            return true;
+                        }
+                        first[fi as usize] =
+                            Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
+                        if ci + 1 < n_chunks {
+                            // Retired early: later words never walk this
+                            // fault's cone again.
+                            scratch.counters.dropped += 1;
+                        }
+                        false
+                    });
+                }
+                // Range granularity: one registry touch per work call,
+                // never per fault.
+                scratch.counters.flush_to_metrics();
+                first
+            };
+            match campaign.schedule {
+                rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
+                rescue_campaign::Schedule::Dynamic { .. } => {
+                    campaign.run_dynamic(&walk, scratch, work)
+                }
+            }
         };
         let mut stats = CampaignStats::from_run(faults.len(), &run);
         stats.faults_walked = walk.len();
+        stats.faults_traced = faults_traced;
         if rescue_telemetry::enabled() {
             // Bounds cover every supported width (64 * {1, 2, 4, 8}) so
             // one histogram serves all lane widths.
@@ -535,6 +593,10 @@ impl FaultSimulator {
             rescue_telemetry::metrics::gauge("fault.lane_width").set(Wd::LANES as i64);
             rescue_telemetry::metrics::gauge("fault.collapse_ratio_pct")
                 .set((stats.collapse_ratio() * 100.0).round() as i64);
+            if opts.tracing {
+                rescue_telemetry::metrics::gauge("fault.traced_fraction_pct")
+                    .set((stats.traced_fraction() * 100.0).round() as i64);
+            }
         }
         for (_, live) in &chunks {
             stats.record_lanes(live.count_ones() as u64, Wd::LANES as u64);

@@ -59,7 +59,7 @@ proptest! {
             packed.load_golden(&golden);
             for &fault in &faults {
                 prop_assert_eq!(
-                    plan.detect_packed(c, &golden, &mut packed, fault) & live,
+                    plan.detect_packed(c, &golden, &mut packed, fault).unwrap() & live,
                     plan.detect(c, &golden, &mut scalar, fault) & live,
                     "{}", fault
                 );
@@ -124,7 +124,7 @@ proptest! {
             // No `continue` on prior detection: both paths keep probing.
             for (fi, &fault) in faults.iter().enumerate() {
                 let ms = plan.detect(c, &golden, &mut scalar, fault) & live;
-                let mp = plan.detect_packed(c, &golden, &mut packed, fault) & live;
+                let mp = plan.detect_packed(c, &golden, &mut packed, fault).unwrap() & live;
                 prop_assert_eq!(ms, mp, "{}", fault);
                 for (first, mask) in [(&mut first_scalar, ms), (&mut first_packed, mp)] {
                     if first[fi].is_none() && mask != 0 {
@@ -208,7 +208,7 @@ fn unobservable_sites_detect_nothing() {
         assert_eq!(plan.observable(root), reachable);
         if !reachable {
             unobservable += 1;
-            assert_eq!(plan.detect_packed(c, &golden, &mut scratch, fault), 0);
+            assert_eq!(plan.detect_packed(c, &golden, &mut scratch, fault), Ok(0));
         }
     }
     assert!(

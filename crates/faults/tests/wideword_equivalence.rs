@@ -52,7 +52,7 @@ fn masks_match_scalar<Wd: SimWord>(seed: u64) {
         wide.load_golden(&golden);
         let live = Wd::live_mask(chunk.len());
         for &fault in &faults {
-            let mask = plan.detect_packed(c, &golden, &mut wide, fault) & live;
+            let mask = plan.detect_packed(c, &golden, &mut wide, fault).unwrap() & live;
             // Scalar oracle on each 64-pattern slice of the wide chunk.
             for (sub_i, sub) in chunk.chunks(64).enumerate() {
                 let sub_words = pack_patterns_wide::<u64>(sub);

@@ -50,6 +50,11 @@ pub struct CompiledNetlist {
     dff_d: Vec<u32>,
     fan_offsets: Vec<u32>,
     fan: Vec<u32>,
+    /// Per gate: number of fanout edges into combinational consumers
+    /// (DFF `D`-pins excluded). One entry per consuming *pin*, so a gate
+    /// feeding two pins of one consumer counts twice — exactly the edge
+    /// count fault-effect propagation sees within a chunk.
+    comb_fan_degree: Vec<u32>,
     depth: u32,
 }
 
@@ -120,6 +125,15 @@ impl CompiledNetlist {
         for &g in &po_drivers {
             is_po[g as usize] = true;
         }
+        let comb_fan_degree: Vec<u32> = (0..n)
+            .map(|g| {
+                fan[fan_offsets[g] as usize..fan_offsets[g + 1] as usize]
+                    .iter()
+                    .filter(|&&s| kinds[s as usize] != GateKind::Dff)
+                    .count() as u32
+            })
+            .collect();
+
         let dffs: Vec<u32> = netlist.dffs().iter().map(|g| g.index() as u32).collect();
         let dff_d: Vec<u32> = netlist
             .dffs()
@@ -142,6 +156,7 @@ impl CompiledNetlist {
             dff_d,
             fan_offsets,
             fan,
+            comb_fan_degree,
             depth: lv.depth(),
         }
     }
@@ -172,6 +187,17 @@ impl CompiledNetlist {
     #[inline]
     pub fn fanout_of(&self, g: usize) -> &[u32] {
         &self.fan[self.fan_offsets[g] as usize..self.fan_offsets[g + 1] as usize]
+    }
+
+    /// Number of combinational fanout edges of `g`: fanout CSR entries
+    /// whose consumer is not a DFF, counted per consuming pin. This is
+    /// the stem metadata critical-path tracing classifies on — 0 means a
+    /// fault effect at `g` dies locally (within one chunk), 1 means it
+    /// propagates along a single edge (fanout-free region), ≥ 2 marks a
+    /// fanout stem whose branches may reconverge.
+    #[inline]
+    pub fn comb_fanout_degree(&self, g: usize) -> u32 {
+        self.comb_fan_degree[g]
     }
 
     /// Full levelized order over all gates.
@@ -599,6 +625,33 @@ mod tests {
             let serial = crate::comb::eval_bool(&net, &pattern).unwrap();
             for g in 0..net.len() {
                 assert_eq!(values[g] >> p & 1 == 1, serial[g], "pattern {p}, gate {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn comb_fanout_degree_counts_non_dff_edges() {
+        let net = generate::random_logic(6, 50, 3, 11);
+        let c = CompiledNetlist::new(&net);
+        for g in 0..c.len() {
+            let want = c
+                .fanout_of(g)
+                .iter()
+                .filter(|&&s| c.kind(s as usize) != GateKind::Dff)
+                .count() as u32;
+            assert_eq!(c.comb_fanout_degree(g), want, "gate {g}");
+        }
+        // A shift register's stages feed only DFF D-pins: combinational
+        // degree 0 even though the fanout CSR row is non-empty.
+        let s = generate::shift_register(3);
+        let cs = CompiledNetlist::new(&s);
+        for &d in cs.dff_d() {
+            let all_dff = cs
+                .fanout_of(d as usize)
+                .iter()
+                .all(|&x| cs.kind(x as usize) == GateKind::Dff);
+            if all_dff {
+                assert_eq!(cs.comb_fanout_degree(d as usize), 0);
             }
         }
     }
