@@ -132,7 +132,8 @@ fn bench(c: &mut Criterion) {
         let j = journal::Journal::take_since(mark);
         TelemetryConfig::off().install();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e15_smoke.jsonl");
-        std::fs::write(path, j.to_jsonl()).expect("write smoke journal");
+        j.export_jsonl(std::path::Path::new(path))
+            .expect("write smoke journal");
         blog!(
             "  smoke: {} faults, {} patterns, coverage {:.1}%, {} journal events -> {path}",
             faults.len(),

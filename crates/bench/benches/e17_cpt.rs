@@ -192,7 +192,8 @@ fn bench(c: &mut Criterion) {
         let j = journal::Journal::take_since(mark);
         TelemetryConfig::off().install();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e17_smoke.jsonl");
-        std::fs::write(path, j.to_jsonl()).expect("write smoke journal");
+        j.export_jsonl(std::path::Path::new(path))
+            .expect("write smoke journal");
         blog!(
             "  smoke: {} faults, {} walked, {} statically traced ({:.0}%), \
              coverage {:.1}%, {} journal events -> {path}",

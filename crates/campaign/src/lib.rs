@@ -22,6 +22,16 @@
 //!   a progress callback while a campaign runs.
 //! * [`seed`] — SplitMix64 stream derivation, so per-item randomness is
 //!   stable under resharding.
+//! * [`store`] / [`manifest`] / [`durable`] — durable campaigns: a
+//!   campaign becomes a deterministic plan of content-addressed work
+//!   units ([`manifest::CampaignManifest`]) whose results persist
+//!   through a [`store::ResultStore`] (in-memory or one-file-per-unit
+//!   filesystem backend). [`Campaign::run_store`] drains only the units
+//!   the store is missing, claiming them via create-exclusive locks, so
+//!   killed runs resume and concurrent processes share one store
+//!   without ever double-executing a unit — verdicts and merged stats
+//!   stay bit-identical to an uninterrupted run, and re-submitting an
+//!   identical campaign executes zero units.
 //!
 //! The crate depends only on `rescue-telemetry` (the workspace
 //! observability substrate — every run and shard is wrapped in a
@@ -52,10 +62,19 @@
 //! ```
 
 pub mod driver;
+pub mod durable;
+pub mod manifest;
 pub mod progress;
 pub mod seed;
 pub mod stats;
+pub mod store;
 
 pub use driver::{Campaign, Schedule, ShardedRun};
+pub use durable::DurableRun;
+pub use manifest::{CampaignManifest, UnitSpec};
 pub use progress::{Progress, ProgressSnapshot};
 pub use stats::{CampaignStats, OutcomeTally};
+pub use store::{
+    CanonicalHasher, ClaimOutcome, ContentHash, FsStore, MemStore, ResultStore, StatsDelta,
+    UnitRecord,
+};

@@ -83,6 +83,14 @@ pub struct CampaignStats {
     /// without crossing a reconvergent stem, so no event-driven cone walk
     /// was ever needed for them. Zero for non-tracing engines.
     pub faults_traced: usize,
+    /// Content-addressed work units in the campaign plan (0 for
+    /// non-durable runs).
+    pub units_total: usize,
+    /// Units answered from the result store without executing (warm
+    /// cache hits / resume credit).
+    pub units_cached: usize,
+    /// Units this run actually executed (and persisted).
+    pub units_executed: usize,
     /// Outcome counters for the run.
     pub tally: OutcomeTally,
 }
@@ -105,6 +113,9 @@ impl CampaignStats {
             faults_walked: injections,
             chunks_stolen: run.steals,
             faults_traced: 0,
+            units_total: 0,
+            units_cached: 0,
+            units_executed: 0,
             tally: OutcomeTally::default(),
         }
     }
@@ -127,6 +138,9 @@ impl CampaignStats {
         self.faults_walked += other.faults_walked;
         self.chunks_stolen += other.chunks_stolen;
         self.faults_traced += other.faults_traced;
+        self.units_total += other.units_total;
+        self.units_cached += other.units_cached;
+        self.units_executed += other.units_executed;
         self.tally.masked += other.tally.masked;
         self.tally.latent += other.tally.latent;
         self.tally.failures += other.tally.failures;
@@ -189,6 +203,16 @@ impl CampaignStats {
             return 0.0;
         }
         self.faults_traced as f64 / self.faults_walked as f64
+    }
+
+    /// Fraction of the campaign's work units answered from the result
+    /// store instead of executed: `units_cached / units_total`. Total:
+    /// non-durable runs (no units) report 0.0 — nothing was cached.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        if self.units_total == 0 {
+            return 0.0;
+        }
+        self.units_cached as f64 / self.units_total as f64
     }
 
     /// Mean worker busy-fraction relative to wall-clock (load balance).
@@ -260,6 +284,9 @@ mod tests {
             faults_walked: 6,
             chunks_stolen: 2,
             faults_traced: 4,
+            units_total: 4,
+            units_cached: 1,
+            units_executed: 3,
             tally: OutcomeTally {
                 masked: 4,
                 failures: 6,
@@ -277,6 +304,9 @@ mod tests {
             faults_walked: 5,
             chunks_stolen: 1,
             faults_traced: 2,
+            units_total: 2,
+            units_cached: 2,
+            units_executed: 0,
             tally: OutcomeTally {
                 latent: 5,
                 ..OutcomeTally::default()
@@ -291,7 +321,27 @@ mod tests {
         assert_eq!(a.faults_walked, 11);
         assert_eq!(a.chunks_stolen, 3);
         assert_eq!(a.faults_traced, 6);
+        assert_eq!(a.units_total, 6);
+        assert_eq!(a.units_cached, 3);
+        assert_eq!(a.units_executed, 3);
         assert_eq!(a.tally.total(), 15);
+    }
+
+    #[test]
+    fn cache_hit_ratio_is_total() {
+        let none = CampaignStats::default();
+        assert_eq!(
+            none.cache_hit_ratio(),
+            0.0,
+            "non-durable runs cache nothing"
+        );
+        let stats = CampaignStats {
+            units_total: 8,
+            units_cached: 6,
+            units_executed: 2,
+            ..Default::default()
+        };
+        assert!((stats.cache_hit_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! Content-addressed result storage for durable campaigns.
+//!
+//! A durable campaign is a deterministic plan of *work units* (see
+//! [`crate::manifest`]), each keyed by a [`ContentHash`] over everything
+//! that determines its verdicts: netlist, fault universe, engine options
+//! and pattern block. Unit results — the verdict payload plus a
+//! [`StatsDelta`] of the deterministic campaign counters — persist
+//! through the [`ResultStore`] trait, so a restarted process (or a second
+//! concurrent process pointed at the same store) re-executes only the
+//! units that are actually missing and reassembles everything else from
+//! the store, bit-identically to an uninterrupted run.
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`MemStore`] — a mutex-guarded map, the warm-cache backend for
+//!   in-process reuse and tests;
+//! * [`FsStore`] — one file per unit under `<root>/units/`, written via
+//!   temp-file + atomic rename so a killed writer never leaves a torn
+//!   record, with create-exclusive claim files under `<root>/claims/`
+//!   coordinating concurrent processes and `<root>/journal/` shared with
+//!   the telemetry journal exporters.
+//!
+//! Hashing is dependency-free FNV-1a over a canonical little-endian byte
+//! encoding ([`CanonicalHasher`]); the golden-hash tests in
+//! `rescue-faults::content` pin the format.
+
+use rescue_telemetry::metrics;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// 128-bit FNV-1a offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Content hash of a campaign, unit or payload: 128-bit FNV-1a over the
+/// canonical byte encoding produced by [`CanonicalHasher`].
+///
+/// Displayed (and used as the on-disk unit file stem) as 32 lowercase
+/// hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentHash(pub u128);
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming canonical encoder + FNV-1a-128 hasher.
+///
+/// Every integer is written fixed-width little-endian, byte strings are
+/// length-prefixed, and each hasher starts from a caller-chosen domain
+/// tag — so two different encodings can never collide by concatenation
+/// ambiguity, and the same logical content hashes identically across
+/// runs, processes and machines. This is the byte-stability contract the
+/// golden-hash tests pin.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u128,
+}
+
+impl CanonicalHasher {
+    /// Starts a hasher in the `tag` domain (e.g. `"rescue.unit.v1"`).
+    /// Bump the tag's version suffix whenever the encoding changes.
+    pub fn new(tag: &str) -> Self {
+        let mut h = CanonicalHasher {
+            state: FNV128_OFFSET,
+        };
+        h.write_str(tag);
+        h
+    }
+
+    /// Absorbs raw bytes (no length prefix — building block only).
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.absorb(&[v]);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`, little-endian (e.g. a nested [`ContentHash`]).
+    pub fn write_u128(&mut self, v: u128) {
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64` so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_u64(v.len() as u64);
+        self.absorb(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_bytes(v.as_bytes());
+    }
+
+    /// Finishes the hash.
+    pub fn finish(self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+/// 64-bit FNV-1a over raw bytes — the [`UnitRecord`] envelope checksum
+/// (torn-write detection beyond what atomic rename already guarantees).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The deterministic slice of [`crate::CampaignStats`] a work unit
+/// contributes: pure counters, no wall-clock, so a resumed campaign can
+/// merge stored deltas with freshly executed ones and land on figures
+/// bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Injections (or faults) this unit evaluated.
+    pub injections: u64,
+    /// Faults detected by at least one pattern.
+    pub detected: u64,
+    /// Faults that escaped every pattern.
+    pub undetected: u64,
+    /// Masked SEU/SET injections.
+    pub masked: u64,
+    /// Latent SEU injections.
+    pub latent: u64,
+    /// Failing SEU/SET injections.
+    pub failures: u64,
+    /// Faults retired early by fault dropping.
+    pub dropped: u64,
+    /// Faults the engine actually walked.
+    pub faults_walked: u64,
+    /// Walked faults resolved purely by critical-path tracing.
+    pub faults_traced: u64,
+}
+
+impl StatsDelta {
+    const ENCODED_LEN: usize = 9 * 8;
+
+    /// Adds another unit's counters into this delta.
+    pub fn merge(&mut self, other: &StatsDelta) {
+        self.injections += other.injections;
+        self.detected += other.detected;
+        self.undetected += other.undetected;
+        self.masked += other.masked;
+        self.latent += other.latent;
+        self.failures += other.failures;
+        self.dropped += other.dropped;
+        self.faults_walked += other.faults_walked;
+        self.faults_traced += other.faults_traced;
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.injections,
+            self.detected,
+            self.undetected,
+            self.masked,
+            self.latent,
+            self.failures,
+            self.dropped,
+            self.faults_walked,
+            self.faults_traced,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let mut vals = [0u64; 9];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().ok()?);
+        }
+        Some(StatsDelta {
+            injections: vals[0],
+            detected: vals[1],
+            undetected: vals[2],
+            masked: vals[3],
+            latent: vals[4],
+            failures: vals[5],
+            dropped: vals[6],
+            faults_walked: vals[7],
+            faults_traced: vals[8],
+        })
+    }
+}
+
+/// Magic + version of the serialized unit record envelope.
+const RECORD_MAGIC: &[u8; 4] = b"RSCU";
+const RECORD_VERSION: u16 = 1;
+
+/// One persisted work-unit result: an engine-defined verdict payload
+/// plus the unit's [`StatsDelta`].
+///
+/// The byte envelope ([`UnitRecord::encode`]) carries magic, version,
+/// delta, length-prefixed payload and an FNV-64 checksum;
+/// [`UnitRecord::decode`] rejects anything torn, truncated or from a
+/// different format version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitRecord {
+    /// Deterministic stats contribution of the unit.
+    pub stats: StatsDelta,
+    /// Engine-defined verdict encoding (e.g. packed first-detection
+    /// indices).
+    pub payload: Vec<u8>,
+}
+
+impl UnitRecord {
+    /// Serializes the record envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 2 + StatsDelta::ENCODED_LEN + 8 + self.payload.len());
+        out.extend_from_slice(RECORD_MAGIC);
+        out.extend_from_slice(&RECORD_VERSION.to_le_bytes());
+        self.stats.encode_into(&mut out);
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = fnv64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes an envelope; `None` on any corruption (bad magic,
+    /// version, length or checksum).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let header = 4 + 2 + StatsDelta::ENCODED_LEN + 8;
+        if bytes.len() < header + 8 || &bytes[..4] != RECORD_MAGIC {
+            return None;
+        }
+        if u16::from_le_bytes(bytes[4..6].try_into().ok()?) != RECORD_VERSION {
+            return None;
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
+        if fnv64(body) != sum {
+            return None;
+        }
+        let stats = StatsDelta::decode(&bytes[6..6 + StatsDelta::ENCODED_LEN])?;
+        let len_at = 6 + StatsDelta::ENCODED_LEN;
+        let payload_len = u64::from_le_bytes(bytes[len_at..len_at + 8].try_into().ok()?) as usize;
+        let payload = &bytes[header..bytes.len() - 8];
+        if payload.len() != payload_len {
+            return None;
+        }
+        Some(UnitRecord {
+            stats,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// Result of trying to claim a unit for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// This caller owns the unit and must execute + `put` (or `release`).
+    Acquired,
+    /// Another live claimant holds the unit; poll the store for its
+    /// result (or break stale claims if the owner died).
+    Busy,
+    /// The unit's result is already in the store.
+    Done,
+}
+
+/// A content-addressed store of work-unit results.
+///
+/// Implementations must be safe to share across campaign workers
+/// (`Sync`) and must guarantee that [`ResultStore::claim`] hands
+/// `Acquired` for a given id to at most one caller at a time — the
+/// property that makes multi-process campaigns never double-execute a
+/// unit. `put` publishes a result atomically (readers see either nothing
+/// or the whole record) and releases any claim the writer held.
+pub trait ResultStore: Sync {
+    /// Fetches a unit's record; `None` when missing or unreadable
+    /// (corrupt records count toward `store.corrupt_records` and read as
+    /// missing, so the unit is simply re-executed).
+    fn get(&self, id: ContentHash) -> Option<UnitRecord>;
+
+    /// Publishes a unit's result and releases the caller's claim.
+    fn put(&self, id: ContentHash, record: &UnitRecord);
+
+    /// Tries to take exclusive execution rights for a unit.
+    fn claim(&self, id: ContentHash) -> ClaimOutcome;
+
+    /// Abandons a claim without publishing a result.
+    fn release(&self, id: ContentHash);
+
+    /// Breaks claims whose owner is provably gone (e.g. dead pid);
+    /// returns how many were broken. In-memory stores have no foreign
+    /// owners, so the default is a no-op.
+    fn break_stale_claims(&self) -> usize {
+        0
+    }
+
+    /// Number of completed unit records in the store.
+    fn completed_units(&self) -> usize;
+}
+
+/// In-memory [`ResultStore`]: the warm-cache backend for in-process
+/// re-submission and the fast backend for resume-equivalence tests.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    units: Mutex<HashMap<u128, UnitRecord>>,
+    claims: Mutex<HashSet<u128>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Ids of every completed unit (test/introspection helper).
+    pub fn ids(&self) -> Vec<ContentHash> {
+        self.units
+            .lock()
+            .expect("store mutex")
+            .keys()
+            .map(|&k| ContentHash(k))
+            .collect()
+    }
+}
+
+impl ResultStore for MemStore {
+    fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        self.units.lock().expect("store mutex").get(&id.0).cloned()
+    }
+
+    fn put(&self, id: ContentHash, record: &UnitRecord) {
+        self.units
+            .lock()
+            .expect("store mutex")
+            .insert(id.0, record.clone());
+        self.claims.lock().expect("claim mutex").remove(&id.0);
+    }
+
+    fn claim(&self, id: ContentHash) -> ClaimOutcome {
+        if self.units.lock().expect("store mutex").contains_key(&id.0) {
+            return ClaimOutcome::Done;
+        }
+        if self.claims.lock().expect("claim mutex").insert(id.0) {
+            ClaimOutcome::Acquired
+        } else {
+            ClaimOutcome::Busy
+        }
+    }
+
+    fn release(&self, id: ContentHash) {
+        self.claims.lock().expect("claim mutex").remove(&id.0);
+    }
+
+    fn completed_units(&self) -> usize {
+        self.units.lock().expect("store mutex").len()
+    }
+}
+
+/// Filesystem [`ResultStore`]: one file per unit, shared by concurrent
+/// processes.
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// <root>/units/<hash>.unit    completed records (atomic tmp + rename)
+/// <root>/claims/<hash>.claim  create-exclusive lock files carrying the
+///                             owner pid
+/// <root>/journal/             JSONL journal exports of runs against
+///                             this store (shared with the telemetry
+///                             sinks)
+/// ```
+///
+/// Claims are broken when the recorded pid is provably dead
+/// (`/proc/<pid>` missing on Linux) or, where no `/proc` exists, when
+/// the claim file is older than [`FsStore::STALE_CLAIM_SECS`].
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+}
+
+impl FsStore {
+    /// Age beyond which a claim is considered stale on hosts without a
+    /// `/proc` to check owner liveness against.
+    pub const STALE_CLAIM_SECS: u64 = 300;
+
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layout directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        for sub in ["units", "claims", "journal"] {
+            std::fs::create_dir_all(root.join(sub))
+                .unwrap_or_else(|e| panic!("create store dir {sub} under {root:?}: {e}"));
+        }
+        FsStore { root }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path for a journal export named `name` (e.g. `"resume.jsonl"`)
+    /// inside the store's shared journal directory.
+    pub fn journal_path(&self, name: &str) -> PathBuf {
+        self.root.join("journal").join(name)
+    }
+
+    fn unit_path(&self, id: ContentHash) -> PathBuf {
+        self.root.join("units").join(format!("{id}.unit"))
+    }
+
+    fn claim_path(&self, id: ContentHash) -> PathBuf {
+        self.root.join("claims").join(format!("{id}.claim"))
+    }
+
+    /// True when `pid` is still alive as far as this host can tell;
+    /// `None` when the host has no `/proc` to ask.
+    fn pid_alive(pid: u32) -> Option<bool> {
+        if !Path::new("/proc").is_dir() {
+            return None;
+        }
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temp file + atomic rename, so
+/// readers (and crashed writers) never observe a torn file.
+///
+/// # Panics
+///
+/// Panics when the temp file cannot be written or renamed.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = dir.join(format!(".{stem}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, bytes).unwrap_or_else(|e| panic!("write {tmp:?}: {e}"));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("rename {tmp:?} -> {path:?}: {e}"));
+}
+
+impl ResultStore for FsStore {
+    fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        let path = self.unit_path(id);
+        let bytes = std::fs::read(&path).ok()?;
+        match UnitRecord::decode(&bytes) {
+            Some(rec) => Some(rec),
+            None => {
+                // A torn or foreign-format record reads as missing; drop
+                // it so a subsequent claim can re-execute the unit.
+                let _ = std::fs::remove_file(&path);
+                metrics::counter("store.corrupt_records").add(1);
+                None
+            }
+        }
+    }
+
+    fn put(&self, id: ContentHash, record: &UnitRecord) {
+        write_file_atomic(&self.unit_path(id), &record.encode());
+        let _ = std::fs::remove_file(self.claim_path(id));
+    }
+
+    fn claim(&self, id: ContentHash) -> ClaimOutcome {
+        if self.unit_path(id).exists() {
+            return ClaimOutcome::Done;
+        }
+        let claim = self.claim_path(id);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&claim)
+        {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                let _ = writeln!(f, "pid {}", std::process::id());
+                ClaimOutcome::Acquired
+            }
+            Err(_) => {
+                // Lost the race — either the claim exists (someone is
+                // executing) or the result landed between our two checks.
+                if self.unit_path(id).exists() {
+                    ClaimOutcome::Done
+                } else {
+                    metrics::counter("store.claims_contended").add(1);
+                    ClaimOutcome::Busy
+                }
+            }
+        }
+    }
+
+    fn release(&self, id: ContentHash) {
+        let _ = std::fs::remove_file(self.claim_path(id));
+    }
+
+    fn break_stale_claims(&self) -> usize {
+        let claims = self.root.join("claims");
+        let Ok(entries) = std::fs::read_dir(&claims) else {
+            return 0;
+        };
+        let mut broken = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("claim") {
+                continue;
+            }
+            let stale = match std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| text.strip_prefix("pid ")?.trim().parse::<u32>().ok())
+                .and_then(FsStore::pid_alive)
+            {
+                Some(alive) => !alive,
+                // No pid or no /proc: fall back to claim age.
+                None => entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .map(|age| age.as_secs() > FsStore::STALE_CLAIM_SECS)
+                    .unwrap_or(false),
+            };
+            if !stale {
+                continue;
+            }
+            // Steal-by-rename: only one process wins the rename, so two
+            // breakers can never both "free" the claim and race a third
+            // claimant into double execution.
+            let steal = claims.join(format!(
+                ".{}.stale-{}",
+                entry.file_name().to_string_lossy(),
+                std::process::id()
+            ));
+            if std::fs::rename(&path, &steal).is_ok() {
+                let _ = std::fs::remove_file(&steal);
+                broken += 1;
+            }
+        }
+        if broken > 0 {
+            metrics::counter("store.stale_claims_broken").add(broken as u64);
+        }
+        broken
+    }
+
+    fn completed_units(&self) -> usize {
+        std::fs::read_dir(self.root.join("units"))
+            .map(|d| {
+                d.flatten()
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("unit"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> FsStore {
+        let dir = std::env::temp_dir().join(format!(
+            "rescue-store-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        FsStore::open(dir)
+    }
+
+    fn sample_record(seed: u8) -> UnitRecord {
+        UnitRecord {
+            stats: StatsDelta {
+                injections: 10 + seed as u64,
+                detected: 7,
+                undetected: 3,
+                dropped: 2,
+                faults_walked: 10,
+                ..StatsDelta::default()
+            },
+            payload: (0..32).map(|i| i ^ seed).collect(),
+        }
+    }
+
+    #[test]
+    fn canonical_hasher_is_stable_and_tag_separated() {
+        let mut a = CanonicalHasher::new("t.v1");
+        a.write_u64(42);
+        a.write_str("abc");
+        let mut b = CanonicalHasher::new("t.v1");
+        b.write_u64(42);
+        b.write_str("abc");
+        assert_eq!(a.finish(), b.finish(), "same content, same hash");
+        let mut c = CanonicalHasher::new("t.v2");
+        c.write_u64(42);
+        c.write_str("abc");
+        assert_ne!(
+            CanonicalHasher::new("t.v1").finish(),
+            c.finish(),
+            "domain tags separate"
+        );
+        // Length prefixes prevent concatenation ambiguity.
+        let mut d = CanonicalHasher::new("t.v1");
+        d.write_str("ab");
+        d.write_str("c");
+        let mut e = CanonicalHasher::new("t.v1");
+        e.write_str("a");
+        e.write_str("bc");
+        assert_ne!(d.finish(), e.finish());
+    }
+
+    #[test]
+    fn record_envelope_round_trips_and_rejects_corruption() {
+        let rec = sample_record(3);
+        let bytes = rec.encode();
+        assert_eq!(UnitRecord::decode(&bytes), Some(rec.clone()));
+        // Any single flipped byte must fail the checksum.
+        for i in [0usize, 5, 20, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(UnitRecord::decode(&bad), None, "flip at {i}");
+        }
+        // Truncation fails too.
+        assert_eq!(UnitRecord::decode(&bytes[..bytes.len() - 3]), None);
+        assert_eq!(UnitRecord::decode(b""), None);
+    }
+
+    #[test]
+    fn stats_delta_merges_counterwise() {
+        let mut a = StatsDelta {
+            injections: 5,
+            detected: 3,
+            undetected: 2,
+            dropped: 1,
+            faults_walked: 5,
+            ..StatsDelta::default()
+        };
+        a.merge(&StatsDelta {
+            injections: 4,
+            masked: 2,
+            latent: 1,
+            failures: 1,
+            faults_walked: 4,
+            faults_traced: 2,
+            ..StatsDelta::default()
+        });
+        assert_eq!(a.injections, 9);
+        assert_eq!(a.detected, 3);
+        assert_eq!(a.masked, 2);
+        assert_eq!(a.faults_walked, 9);
+        assert_eq!(a.faults_traced, 2);
+    }
+
+    #[test]
+    fn mem_store_claim_protocol() {
+        let store = MemStore::new();
+        let id = ContentHash(7);
+        assert_eq!(store.get(id), None);
+        assert_eq!(store.claim(id), ClaimOutcome::Acquired);
+        assert_eq!(store.claim(id), ClaimOutcome::Busy, "double claim refused");
+        store.release(id);
+        assert_eq!(store.claim(id), ClaimOutcome::Acquired);
+        let rec = sample_record(1);
+        store.put(id, &rec);
+        assert_eq!(store.claim(id), ClaimOutcome::Done);
+        assert_eq!(store.get(id), Some(rec));
+        assert_eq!(store.completed_units(), 1);
+    }
+
+    #[test]
+    fn fs_store_round_trip_claims_and_atomicity() {
+        let store = temp_store("roundtrip");
+        let id = ContentHash(0xfeed);
+        assert_eq!(store.get(id), None);
+        assert_eq!(store.claim(id), ClaimOutcome::Acquired);
+        assert_eq!(store.claim(id), ClaimOutcome::Busy);
+        let rec = sample_record(9);
+        store.put(id, &rec);
+        assert_eq!(store.claim(id), ClaimOutcome::Done, "put releases claim");
+        assert_eq!(store.get(id), Some(rec));
+        assert_eq!(store.completed_units(), 1);
+        // No temp droppings left behind in the units dir.
+        let tmp_files = std::fs::read_dir(store.root().join("units"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .count();
+        assert_eq!(tmp_files, 0);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn fs_store_corrupt_record_reads_as_missing_and_is_dropped() {
+        let store = temp_store("corrupt");
+        let id = ContentHash(0xbad);
+        write_file_atomic(&store.unit_path(id), b"RSCU torn garbage");
+        assert_eq!(store.get(id), None, "corrupt record is not a result");
+        assert!(
+            !store.unit_path(id).exists(),
+            "corrupt record is dropped so the unit can be reclaimed"
+        );
+        assert_eq!(store.claim(id), ClaimOutcome::Acquired);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn fs_store_breaks_dead_pid_claims_only() {
+        let store = temp_store("stale");
+        let live = ContentHash(1);
+        let dead = ContentHash(2);
+        assert_eq!(store.claim(live), ClaimOutcome::Acquired);
+        // Forge a claim from a pid that cannot exist (> kernel max pid).
+        std::fs::write(store.claim_path(dead), "pid 3999999999\n").unwrap();
+        assert_eq!(store.claim(dead), ClaimOutcome::Busy);
+        let broken = store.break_stale_claims();
+        if FsStore::pid_alive(std::process::id()).is_some() {
+            assert_eq!(broken, 1, "dead claim broken, live claim kept");
+            assert_eq!(store.claim(dead), ClaimOutcome::Acquired);
+        }
+        assert_eq!(
+            store.claim(live),
+            ClaimOutcome::Busy,
+            "our own live claim survives"
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -100,6 +100,29 @@ impl HolisticFlow {
     /// inconsistency between stages (which would be a tool bug — the
     /// cross-checking of stages is the point of the holistic flow).
     pub fn run(&self, design: &Netlist, n_random_patterns: usize, seed: u64) -> FlowReport {
+        self.run_with_store(design, n_random_patterns, seed, None)
+    }
+
+    /// [`HolisticFlow::run`] with a durable fault-simulation stage: when
+    /// `store` is given, the stuck-at campaign runs through
+    /// [`FaultSimulator::campaign_packed_durable`], so its verdicts
+    /// persist as content-addressed units. A re-run of the same design
+    /// and configuration answers the whole stage from the store (the
+    /// `fault-sim` stage stats then report
+    /// `units_cached == units_total`), and a killed flow resumes the
+    /// stage where it stopped. Verdicts — and therefore every
+    /// downstream stage — are bit-identical with and without a store.
+    ///
+    /// # Panics
+    ///
+    /// As [`HolisticFlow::run`].
+    pub fn run_with_store(
+        &self,
+        design: &Netlist,
+        n_random_patterns: usize,
+        seed: u64,
+        store: Option<&dyn rescue_campaign::ResultStore>,
+    ) -> FlowReport {
         assert!(
             !design.is_sequential(),
             "block-level flow expects combinational designs"
@@ -153,12 +176,13 @@ impl HolisticFlow {
         let campaign_run = {
             let _stage = span!("flow.fault_sim");
             let collapsed = collapse::collapse(design, &workable);
-            sim.campaign_packed(
-                &workable,
-                &patterns,
-                &driver,
-                PackedOptions::wide(4).with_collapsed(&collapsed).traced(),
-            )
+            let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
+            match store {
+                None => sim.campaign_packed(&workable, &patterns, &driver, opts),
+                Some(store) => {
+                    sim.campaign_packed_durable(&workable, &patterns, &driver, opts, store, 0)
+                }
+            }
         };
         let campaign = campaign_run.report;
         // 5. ISO 26262 classification under a random mission stimulus.
@@ -305,6 +329,25 @@ mod tests {
         let atpg = names.iter().position(|&n| n == "flow.atpg").unwrap();
         let fsim = names.iter().position(|&n| n == "flow.fault_sim").unwrap();
         assert!(atpg < fsim);
+    }
+
+    #[test]
+    fn flow_with_store_caches_the_fault_sim_stage() {
+        let net = generate::random_logic(8, 120, 3, 5);
+        let plain = HolisticFlow::new().run(&net, 48, 7);
+        let store = rescue_campaign::MemStore::new();
+        let cold = HolisticFlow::new().run_with_store(&net, 48, 7, Some(&store));
+        assert_eq!(cold.fault_coverage, plain.fault_coverage, "bit-identical");
+        let fsim = cold.stage("fault-sim").unwrap();
+        assert!(fsim.units_total > 0, "durable stage planned units");
+        assert_eq!(fsim.units_executed, fsim.units_total, "cold store");
+        // Re-submission: the whole stage answers from the store.
+        let warm = HolisticFlow::new().run_with_store(&net, 48, 7, Some(&store));
+        assert_eq!(warm.fault_coverage, plain.fault_coverage);
+        let fsim = warm.stage("fault-sim").unwrap();
+        assert_eq!(fsim.units_executed, 0, "warm store executes nothing");
+        assert_eq!(fsim.units_cached, fsim.units_total);
+        assert_eq!(fsim.cache_hit_ratio(), 1.0);
     }
 
     #[test]

@@ -50,13 +50,20 @@ pub fn render_report(report: &FlowReport) -> String {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| stage | injections | walked | traced | collapse | inj/s | lane occupancy | dropped | stolen chunks |"
+            "| stage | injections | walked | traced | collapse | inj/s | lane occupancy | dropped | stolen chunks | cached units |"
         );
-        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|---|");
         for (stage, stats) in &report.stage_stats {
+            // Durable stages report how much of the plan the result
+            // store answered; non-durable stages have no units at all.
+            let cached = if stats.units_total == 0 {
+                "-".to_string()
+            } else {
+                format!("{}/{}", stats.units_cached, stats.units_total)
+            };
             let _ = writeln!(
                 s,
-                "| {stage} | {} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} |",
+                "| {stage} | {} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} | {cached} |",
                 stats.injections,
                 stats.faults_walked,
                 stats.faults_traced,

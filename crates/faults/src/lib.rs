@@ -5,6 +5,9 @@
 //! * [`model`] — stuck-at, transition-delay and bridging fault models over
 //!   gate pins and outputs.
 //! * [`universe`] — exhaustive fault-list generation.
+//! * [`content`] — canonical byte-stable content hashing of campaigns
+//!   (netlist, universe, options, patterns), the keys durable campaigns
+//!   are cached under.
 //! * [`collapse`] — structural equivalence collapsing.
 //! * [`simulate`] — serial and 64-way parallel-pattern fault simulation
 //!   with fault dropping, for both combinational and sequential designs.
@@ -39,6 +42,7 @@
 //! ```
 
 pub mod collapse;
+pub mod content;
 pub mod dictionary;
 pub mod engine;
 pub mod error;

@@ -12,7 +12,9 @@ use crate::collapse::CollapsedUniverse;
 use crate::engine::{CampaignPlan, FaultScratch, WideScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
 use crate::trace::{TracePlan, TraceScratch};
-use rescue_campaign::{Campaign, CampaignStats};
+use rescue_campaign::{
+    Campaign, CampaignManifest, CampaignStats, DurableRun, ResultStore, ShardedRun, StatsDelta,
+};
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
@@ -432,16 +434,178 @@ impl FaultSimulator {
     ) -> CampaignRun {
         let c = &self.compiled;
         let _campaign = span!("fault.campaign", faults = faults.len());
-        // Collapse prefilter: walk each equivalence class once, in order
-        // of first appearance, then sweep PO reachability over the
-        // representatives — structurally unobservable classes share the
-        // all-zero detection mask and expand to "undetected" without a
-        // walk. Exact because equivalent faults have identical detection
-        // masks (the property the `collapse` tests pin down), so even
-        // first-detection indices expand unchanged. `expand` remembers
-        // which walked slot answers each original fault (`None` =
-        // unobservable class, never detected).
-        let (walk, expand): (Vec<Fault>, Option<Vec<Option<u32>>>) = match opts.collapsed {
+        let (walk, expand) = self.walk_list(faults, opts);
+        let chunks = self.golden_chunks::<Wd>(patterns);
+        let mut faults_traced = 0usize;
+        let run = if opts.tracing {
+            let engine = TraceEngine::build(c, &walk);
+            faults_traced = engine.tplan.statically_traced();
+            run_plain(campaign, &walk, &engine, &chunks)
+        } else {
+            run_plain(campaign, &walk, &WalkEngine::build(c, &walk), &chunks)
+        };
+        let mut stats = CampaignStats::from_run(faults.len(), &run);
+        stats.faults_walked = walk.len();
+        stats.faults_traced = faults_traced;
+        finish_packed::<Wd>(faults, patterns, opts, &chunks, expand, run.results, stats)
+    }
+
+    /// [`FaultSimulator::campaign_packed`] made durable: the campaign
+    /// becomes the deterministic plan of content-addressed units from
+    /// [`FaultSimulator::durable_plan`], unit verdicts persist through
+    /// `store`, and only the units the store is missing are executed.
+    /// A killed run resumes where it stopped; a second process pointed
+    /// at the same store shares the work via create-exclusive claims
+    /// without ever double-executing a unit; re-submitting a finished
+    /// campaign executes zero units. Verdicts and stats tallies are
+    /// bit-identical to [`FaultSimulator::campaign_packed`] for every
+    /// store state, worker count, schedule and unit grain;
+    /// [`CampaignStats::units_cached`] / `units_executed` record how the
+    /// run split between store and engine.
+    ///
+    /// `unit_faults` is the unit grain in walked faults (0 =
+    /// [`DEFAULT_UNIT_FAULTS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported lane width, a pattern width mismatch, or
+    /// a wedged peer holding claims past the wait limit.
+    pub fn campaign_packed_durable(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        campaign: &Campaign,
+        opts: PackedOptions,
+        store: &dyn ResultStore,
+        unit_faults: usize,
+    ) -> CampaignRun {
+        match opts.lane_width {
+            1 => self.durable_w::<u64>(faults, patterns, campaign, &opts, store, unit_faults),
+            2 => self.durable_w::<PackedWord<2>>(
+                faults,
+                patterns,
+                campaign,
+                &opts,
+                store,
+                unit_faults,
+            ),
+            4 => self.durable_w::<PackedWord<4>>(
+                faults,
+                patterns,
+                campaign,
+                &opts,
+                store,
+                unit_faults,
+            ),
+            8 => self.durable_w::<PackedWord<8>>(
+                faults,
+                patterns,
+                campaign,
+                &opts,
+                store,
+                unit_faults,
+            ),
+            w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+        }
+    }
+
+    /// The deterministic unit plan a durable campaign executes: the walk
+    /// list (collapsed representatives when collapsing is on) partitioned
+    /// at `unit_faults` grain, keyed under
+    /// [`crate::content::campaign_hash`]. Worker count, schedule and
+    /// seed are deliberately absent from the key — any process
+    /// configuration resumes the same plan.
+    pub fn durable_plan(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        opts: &PackedOptions,
+        unit_faults: usize,
+    ) -> CampaignManifest {
+        let (walk, _) = self.walk_list(faults, opts);
+        self.manifest_for(faults, patterns, opts, walk.len(), unit_faults)
+    }
+
+    fn manifest_for(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        opts: &PackedOptions,
+        walk_len: usize,
+        unit_faults: usize,
+    ) -> CampaignManifest {
+        let grain = if unit_faults == 0 {
+            DEFAULT_UNIT_FAULTS
+        } else {
+            unit_faults
+        };
+        CampaignManifest::build(
+            crate::content::campaign_hash(&self.compiled, faults, patterns, opts),
+            walk_len,
+            grain,
+        )
+    }
+
+    /// Width-generic body of [`FaultSimulator::campaign_packed_durable`].
+    fn durable_w<Wd: SimWord>(
+        &self,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        campaign: &Campaign,
+        opts: &PackedOptions,
+        store: &dyn ResultStore,
+        unit_faults: usize,
+    ) -> CampaignRun {
+        let c = &self.compiled;
+        let _campaign = span!("fault.campaign_durable", faults = faults.len());
+        let (walk, expand) = self.walk_list(faults, opts);
+        let manifest = self.manifest_for(faults, patterns, opts, walk.len(), unit_faults);
+        let chunks = self.golden_chunks::<Wd>(patterns);
+        let mut faults_traced = 0usize;
+        let run = if opts.tracing {
+            let engine = TraceEngine::build(c, &walk);
+            faults_traced = engine.tplan.statically_traced();
+            run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
+        } else {
+            let engine = WalkEngine::build(c, &walk);
+            run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
+        };
+        let stats = CampaignStats {
+            injections: faults.len(),
+            elapsed_ns: run.elapsed_ns,
+            workers: run.worker_ns.len(),
+            worker_ns: run.worker_ns.clone(),
+            chunks_stolen: run.steals,
+            faults_walked: walk.len(),
+            faults_traced,
+            units_total: run.units_total,
+            // "Cached" from this run's point of view is everything it did
+            // not execute itself: store hits plus units a concurrent peer
+            // published while we waited.
+            units_cached: run.units_cached + run.units_waited,
+            units_executed: run.units_executed,
+            ..CampaignStats::default()
+        };
+        finish_packed::<Wd>(faults, patterns, opts, &chunks, expand, run.results, stats)
+    }
+
+    /// Collapse prefilter shared by the plain and durable packed
+    /// campaigns: walk each equivalence class once, in order of first
+    /// appearance, then sweep PO reachability over the representatives —
+    /// structurally unobservable classes share the all-zero detection
+    /// mask and expand to "undetected" without a walk. Exact because
+    /// equivalent faults have identical detection masks (the property
+    /// the `collapse` tests pin down), so even first-detection indices
+    /// expand unchanged. The returned map remembers which walked slot
+    /// answers each original fault (`None` = unobservable class, never
+    /// detected; the map itself is `None` when collapsing is off).
+    fn walk_list(
+        &self,
+        faults: &[Fault],
+        opts: &PackedOptions,
+    ) -> (Vec<Fault>, Option<Vec<Option<u32>>>) {
+        let c = &self.compiled;
+        match opts.collapsed {
             None => (faults.to_vec(), None),
             Some(cu) => {
                 // O(gates + edges) reachability sweep first, so cone
@@ -467,165 +631,25 @@ impl FaultSimulator {
                 }
                 (walk, Some(map))
             }
-        };
-        // Golden values and live mask per chunk, computed once and shared
-        // read-only by all workers. The live mask is the one shared
-        // ragged-tail guard: a final chunk of fewer than `Wd::LANES`
-        // patterns must not let dead lanes report detections.
-        let chunks: Vec<(Vec<Wd>, Wd)> = patterns
+        }
+    }
+
+    /// Golden values and live mask per chunk, computed once and shared
+    /// read-only by all workers. The live mask is the one shared
+    /// ragged-tail guard: a final chunk of fewer than `Wd::LANES`
+    /// patterns must not let dead lanes report detections.
+    fn golden_chunks<Wd: SimWord>(&self, patterns: &[Vec<bool>]) -> Vec<(Vec<Wd>, Wd)> {
+        patterns
             .chunks(Wd::LANES)
             .map(|chunk| {
                 let words = pack_patterns_wide::<Wd>(chunk);
                 let mut golden = Vec::new();
-                c.eval_words_into(&words, None, &mut golden)
+                self.compiled
+                    .eval_words_into(&words, None, &mut golden)
                     .expect("input word count mismatch");
                 (golden, Wd::live_mask(chunk.len()))
             })
-            .collect();
-        let n_chunks = chunks.len();
-        let mut faults_traced = 0usize;
-        let run = if opts.tracing {
-            // Hybrid CPT engine: observability by backward tracing over
-            // fanout-free regions, event-driven walks only at
-            // reconvergent stems (shared by the whole region below).
-            let tplan = TracePlan::build(c, &walk);
-            faults_traced = tplan.statically_traced();
-            let plan = tplan.plan();
-            let scratch = |_w: usize| TraceScratch::<Wd>::new(c.len());
-            let work = |scratch: &mut TraceScratch<Wd>, _offset: usize, range: &[Fault]| {
-                let mut first: Vec<Option<usize>> = vec![None; range.len()];
-                let mut active: Vec<u32> = (0..range.len() as u32)
-                    .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
-                    .collect();
-                for (ci, (golden, live)) in chunks.iter().enumerate() {
-                    if active.is_empty() {
-                        break; // every detectable fault in this range dropped
-                    }
-                    scratch.load_golden(golden);
-                    active.retain(|&fi| {
-                        let fault = range[fi as usize];
-                        let mask = tplan
-                            .detect_traced(c, golden, scratch, fault)
-                            .expect("fault root missing from campaign plan")
-                            & *live;
-                        if mask.is_zero() {
-                            return true;
-                        }
-                        first[fi as usize] =
-                            Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
-                        if ci + 1 < n_chunks {
-                            scratch.inner.counters.dropped += 1;
-                        }
-                        false
-                    });
-                }
-                scratch.inner.counters.flush_to_metrics();
-                first
-            };
-            match campaign.schedule {
-                rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
-                rescue_campaign::Schedule::Dynamic { .. } => {
-                    campaign.run_dynamic(&walk, scratch, work)
-                }
-            }
-        } else {
-            let plan = CampaignPlan::build(c, &walk);
-            let scratch = |_w: usize| WideScratch::<Wd>::new(c.len());
-            let work = |scratch: &mut WideScratch<Wd>, _offset: usize, range: &[Fault]| {
-                let mut first: Vec<Option<usize>> = vec![None; range.len()];
-                // Structurally unobservable faults can never be detected:
-                // retire them before the first word instead of re-asking
-                // the engine on every chunk. The active list then shrinks
-                // as faults drop, keeping site-consecutive order so the
-                // one-entry observability cache stays hot.
-                let mut active: Vec<u32> = (0..range.len() as u32)
-                    .filter(|&fi| plan.observable(range[fi as usize].site().gate().index()))
-                    .collect();
-                for (ci, (golden, live)) in chunks.iter().enumerate() {
-                    if active.is_empty() {
-                        break; // every detectable fault in this range dropped
-                    }
-                    scratch.load_golden(golden);
-                    active.retain(|&fi| {
-                        let fault = range[fi as usize];
-                        let mask = plan
-                            .detect_packed(c, golden, scratch, fault)
-                            .expect("fault root missing from campaign plan")
-                            & *live;
-                        if mask.is_zero() {
-                            return true;
-                        }
-                        first[fi as usize] =
-                            Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
-                        if ci + 1 < n_chunks {
-                            // Retired early: later words never walk this
-                            // fault's cone again.
-                            scratch.counters.dropped += 1;
-                        }
-                        false
-                    });
-                }
-                // Range granularity: one registry touch per work call,
-                // never per fault.
-                scratch.counters.flush_to_metrics();
-                first
-            };
-            match campaign.schedule {
-                rescue_campaign::Schedule::Static => campaign.run_ranges(&walk, scratch, work),
-                rescue_campaign::Schedule::Dynamic { .. } => {
-                    campaign.run_dynamic(&walk, scratch, work)
-                }
-            }
-        };
-        let mut stats = CampaignStats::from_run(faults.len(), &run);
-        stats.faults_walked = walk.len();
-        stats.faults_traced = faults_traced;
-        if rescue_telemetry::enabled() {
-            // Bounds cover every supported width (64 * {1, 2, 4, 8}) so
-            // one histogram serves all lane widths.
-            let lanes = rescue_telemetry::metrics::histogram(
-                "fault.packed_lanes",
-                &[8, 16, 24, 32, 40, 48, 56, 64, 128, 192, 256, 384, 512],
-            );
-            for (_, live) in &chunks {
-                lanes.record(live.count_ones() as u64);
-            }
-            rescue_telemetry::metrics::gauge("fault.lane_width").set(Wd::LANES as i64);
-            rescue_telemetry::metrics::gauge("fault.collapse_ratio_pct")
-                .set((stats.collapse_ratio() * 100.0).round() as i64);
-            if opts.tracing {
-                rescue_telemetry::metrics::gauge("fault.traced_fraction_pct")
-                    .set((stats.traced_fraction() * 100.0).round() as i64);
-            }
-        }
-        for (_, live) in &chunks {
-            stats.record_lanes(live.count_ones() as u64, Wd::LANES as u64);
-        }
-        // Expand representative verdicts back over the full universe; a
-        // `None` slot is an unobservable class, never detected.
-        let first_detection: Vec<Option<usize>> = match &expand {
-            None => run.results,
-            Some(map) => map
-                .iter()
-                .map(|&slot| slot.and_then(|s| run.results[s as usize]))
-                .collect(),
-        };
-        let report = CampaignReport {
-            faults: faults.to_vec(),
-            first_detection,
-            patterns: patterns.len(),
-        };
-        stats.tally.detected = report.detected_count();
-        stats.tally.undetected = faults.len() - stats.tally.detected;
-        // A fault counts as dropped when it retired before the final
-        // pattern word (same rule as the fault.dropped counter).
-        stats.dropped = report
-            .first_detection
-            .iter()
-            .flatten()
-            .filter(|&&p| p / Wd::LANES + 1 < n_chunks)
-            .count();
-        CampaignRun { report, stats }
+            .collect()
     }
 
     /// Transition-delay campaign over consecutive pattern *pairs*
@@ -788,6 +812,338 @@ impl FaultSimulator {
             state[i] = values[d as usize];
         }
     }
+}
+
+/// Default durable-campaign unit grain, in walked faults per unit.
+/// Matches the work-stealing chunk ceiling so one unit is a few
+/// scheduler chunks: coarse enough that store round-trips stay noise,
+/// fine enough that a killed run loses little finished work.
+pub const DEFAULT_UNIT_FAULTS: usize = 256;
+
+/// The packed detection interface shared by the plain and durable
+/// campaign paths: one fault in, one `Wd` detection mask out, with the
+/// drop bookkeeping the engines keep in their scratch. Implemented by
+/// the event-driven cone walker ([`WalkEngine`]) and the critical-path
+/// tracing hybrid ([`TraceEngine`]), so the campaign drain loop
+/// ([`drain_unit`]) is written exactly once.
+trait PackedDetect<Wd: SimWord>: Sync {
+    /// Per-worker mutable state.
+    type Scratch;
+    fn scratch(&self) -> Self::Scratch;
+    /// Can any fault rooted at `gate` ever reach a primary output?
+    fn observable(&self, gate: usize) -> bool;
+    /// Prepares the scratch for a new golden chunk.
+    fn load(&self, scratch: &mut Self::Scratch, golden: &[Wd]);
+    /// Detection mask of `fault` under the loaded chunk.
+    fn detect(&self, scratch: &mut Self::Scratch, golden: &[Wd], fault: Fault) -> Wd;
+    /// Records one fault retired before the final chunk (fault dropping).
+    fn note_drop(&self, scratch: &mut Self::Scratch);
+    /// Flushes the scratch's counters to the telemetry registry.
+    fn flush(&self, scratch: &mut Self::Scratch);
+}
+
+/// The event-driven packed cone walker ([`CampaignPlan::detect_packed`]).
+struct WalkEngine<'a> {
+    c: &'a CompiledNetlist,
+    plan: CampaignPlan,
+}
+
+impl<'a> WalkEngine<'a> {
+    fn build(c: &'a CompiledNetlist, walk: &[Fault]) -> Self {
+        WalkEngine {
+            c,
+            plan: CampaignPlan::build(c, walk),
+        }
+    }
+}
+
+impl<Wd: SimWord> PackedDetect<Wd> for WalkEngine<'_> {
+    type Scratch = WideScratch<Wd>;
+
+    fn scratch(&self) -> WideScratch<Wd> {
+        WideScratch::new(self.c.len())
+    }
+
+    fn observable(&self, gate: usize) -> bool {
+        self.plan.observable(gate)
+    }
+
+    fn load(&self, scratch: &mut WideScratch<Wd>, golden: &[Wd]) {
+        scratch.load_golden(golden);
+    }
+
+    fn detect(&self, scratch: &mut WideScratch<Wd>, golden: &[Wd], fault: Fault) -> Wd {
+        self.plan
+            .detect_packed(self.c, golden, scratch, fault)
+            .expect("fault root missing from campaign plan")
+    }
+
+    fn note_drop(&self, scratch: &mut WideScratch<Wd>) {
+        scratch.counters.dropped += 1;
+    }
+
+    fn flush(&self, scratch: &mut WideScratch<Wd>) {
+        scratch.counters.flush_to_metrics();
+    }
+}
+
+/// The hybrid CPT engine: observability by backward tracing over
+/// fanout-free regions, event-driven walks only at reconvergent stems
+/// (shared by the whole region below).
+struct TraceEngine<'a> {
+    c: &'a CompiledNetlist,
+    tplan: TracePlan,
+}
+
+impl<'a> TraceEngine<'a> {
+    fn build(c: &'a CompiledNetlist, walk: &[Fault]) -> Self {
+        TraceEngine {
+            c,
+            tplan: TracePlan::build(c, walk),
+        }
+    }
+}
+
+impl<Wd: SimWord> PackedDetect<Wd> for TraceEngine<'_> {
+    type Scratch = TraceScratch<Wd>;
+
+    fn scratch(&self) -> TraceScratch<Wd> {
+        TraceScratch::new(self.c.len())
+    }
+
+    fn observable(&self, gate: usize) -> bool {
+        self.tplan.plan().observable(gate)
+    }
+
+    fn load(&self, scratch: &mut TraceScratch<Wd>, golden: &[Wd]) {
+        scratch.load_golden(golden);
+    }
+
+    fn detect(&self, scratch: &mut TraceScratch<Wd>, golden: &[Wd], fault: Fault) -> Wd {
+        self.tplan
+            .detect_traced(self.c, golden, scratch, fault)
+            .expect("fault root missing from campaign plan")
+    }
+
+    fn note_drop(&self, scratch: &mut TraceScratch<Wd>) {
+        scratch.inner.counters.dropped += 1;
+    }
+
+    fn flush(&self, scratch: &mut TraceScratch<Wd>) {
+        scratch.inner.counters.flush_to_metrics();
+    }
+}
+
+/// Drains one fault range over every golden chunk with fault dropping —
+/// the single campaign inner loop, shared verbatim by the plain
+/// schedules and the durable store-backed path (which is what keeps
+/// their verdicts bit-identical).
+fn drain_unit<Wd: SimWord, E: PackedDetect<Wd>>(
+    engine: &E,
+    chunks: &[(Vec<Wd>, Wd)],
+    scratch: &mut E::Scratch,
+    range: &[Fault],
+) -> Vec<Option<usize>> {
+    let n_chunks = chunks.len();
+    let mut first: Vec<Option<usize>> = vec![None; range.len()];
+    // Structurally unobservable faults can never be detected: retire
+    // them before the first word instead of re-asking the engine on
+    // every chunk. The active list then shrinks as faults drop, keeping
+    // site-consecutive order so the one-entry observability cache stays
+    // hot.
+    let mut active: Vec<u32> = (0..range.len() as u32)
+        .filter(|&fi| engine.observable(range[fi as usize].site().gate().index()))
+        .collect();
+    for (ci, (golden, live)) in chunks.iter().enumerate() {
+        if active.is_empty() {
+            break; // every detectable fault in this range dropped
+        }
+        engine.load(scratch, golden);
+        active.retain(|&fi| {
+            let fault = range[fi as usize];
+            let mask = engine.detect(scratch, golden, fault) & *live;
+            if mask.is_zero() {
+                return true;
+            }
+            first[fi as usize] =
+                Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
+            if ci + 1 < n_chunks {
+                // Retired early: later words never walk this fault's
+                // cone again.
+                engine.note_drop(scratch);
+            }
+            false
+        });
+    }
+    // Range granularity: one registry touch per work call, never per
+    // fault.
+    engine.flush(scratch);
+    first
+}
+
+/// Runs the walk list through the campaign's schedule (in-process path).
+fn run_plain<Wd: SimWord, E: PackedDetect<Wd>>(
+    campaign: &Campaign,
+    walk: &[Fault],
+    engine: &E,
+    chunks: &[(Vec<Wd>, Wd)],
+) -> ShardedRun<Option<usize>>
+where
+    E::Scratch: Send,
+{
+    let scratch = |_w: usize| engine.scratch();
+    let work = |scratch: &mut E::Scratch, _offset: usize, range: &[Fault]| {
+        drain_unit(engine, chunks, scratch, range)
+    };
+    match campaign.schedule {
+        rescue_campaign::Schedule::Static => campaign.run_ranges(walk, scratch, work),
+        rescue_campaign::Schedule::Dynamic { .. } => campaign.run_dynamic(walk, scratch, work),
+    }
+}
+
+/// Runs the walk list through [`Campaign::run_store`]: same drain loop
+/// as [`run_plain`], but partitioned into the manifest's units with
+/// verdicts persisted (and answered) through the result store.
+fn run_durable<Wd: SimWord, E: PackedDetect<Wd>>(
+    campaign: &Campaign,
+    walk: &[Fault],
+    engine: &E,
+    chunks: &[(Vec<Wd>, Wd)],
+    manifest: &CampaignManifest,
+    store: &dyn ResultStore,
+) -> DurableRun<Option<usize>>
+where
+    E::Scratch: Send,
+{
+    let n_chunks = chunks.len();
+    campaign.run_store(
+        walk,
+        manifest,
+        store,
+        |_w| engine.scratch(),
+        |scratch: &mut E::Scratch, _offset: usize, range: &[Fault]| {
+            drain_unit(engine, chunks, scratch, range)
+        },
+        encode_verdicts,
+        decode_verdicts,
+        move |rs: &[Option<usize>]| unit_delta::<Wd>(rs, n_chunks),
+    )
+}
+
+/// Persisted verdict payload of one unit: a `u64` count followed by one
+/// little-endian `u64` first-detection index per walked fault, with
+/// `u64::MAX` standing in for "never detected".
+fn encode_verdicts(rs: &[Option<usize>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + rs.len() * 8);
+    out.extend_from_slice(&(rs.len() as u64).to_le_bytes());
+    for r in rs {
+        out.extend_from_slice(&r.map_or(u64::MAX, |p| p as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_verdicts`]; `None` marks the payload corrupt
+/// (truncated or miscounted), which forces re-execution of the unit.
+fn decode_verdicts(bytes: &[u8]) -> Option<Vec<Option<usize>>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (head, body) = bytes.split_at(8);
+    let n = u64::from_le_bytes(head.try_into().unwrap()) as usize;
+    if body.len() != n.checked_mul(8)? {
+        return None;
+    }
+    Some(
+        body.chunks_exact(8)
+            .map(|c| {
+                let v = u64::from_le_bytes(c.try_into().unwrap());
+                (v != u64::MAX).then_some(v as usize)
+            })
+            .collect(),
+    )
+}
+
+/// Deterministic stats contribution of one unit, persisted next to its
+/// verdicts so a resumed campaign's merged delta matches an
+/// uninterrupted run bit for bit. Drop counts follow the report rule:
+/// detected before the final pattern word.
+fn unit_delta<Wd: SimWord>(rs: &[Option<usize>], n_chunks: usize) -> StatsDelta {
+    let detected = rs.iter().flatten().count() as u64;
+    let dropped = rs
+        .iter()
+        .flatten()
+        .filter(|&&p| p / Wd::LANES + 1 < n_chunks)
+        .count() as u64;
+    StatsDelta {
+        injections: rs.len() as u64,
+        detected,
+        undetected: rs.len() as u64 - detected,
+        dropped,
+        faults_walked: rs.len() as u64,
+        ..StatsDelta::default()
+    }
+}
+
+/// Shared tail of the plain and durable packed campaigns: lane
+/// telemetry, verdict expansion over the full universe and the final
+/// tally/drop accounting. `stats` arrives with the timing, worker and
+/// unit figures already filled by the respective driver.
+fn finish_packed<Wd: SimWord>(
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    opts: &PackedOptions,
+    chunks: &[(Vec<Wd>, Wd)],
+    expand: Option<Vec<Option<u32>>>,
+    results: Vec<Option<usize>>,
+    mut stats: CampaignStats,
+) -> CampaignRun {
+    let n_chunks = chunks.len();
+    if rescue_telemetry::enabled() {
+        // Bounds cover every supported width (64 * {1, 2, 4, 8}) so
+        // one histogram serves all lane widths.
+        let lanes = rescue_telemetry::metrics::histogram(
+            "fault.packed_lanes",
+            &[8, 16, 24, 32, 40, 48, 56, 64, 128, 192, 256, 384, 512],
+        );
+        for (_, live) in chunks {
+            lanes.record(live.count_ones() as u64);
+        }
+        rescue_telemetry::metrics::gauge("fault.lane_width").set(Wd::LANES as i64);
+        rescue_telemetry::metrics::gauge("fault.collapse_ratio_pct")
+            .set((stats.collapse_ratio() * 100.0).round() as i64);
+        if opts.tracing {
+            rescue_telemetry::metrics::gauge("fault.traced_fraction_pct")
+                .set((stats.traced_fraction() * 100.0).round() as i64);
+        }
+    }
+    for (_, live) in chunks {
+        stats.record_lanes(live.count_ones() as u64, Wd::LANES as u64);
+    }
+    // Expand representative verdicts back over the full universe; a
+    // `None` slot is an unobservable class, never detected.
+    let first_detection: Vec<Option<usize>> = match &expand {
+        None => results,
+        Some(map) => map
+            .iter()
+            .map(|&slot| slot.and_then(|s| results[s as usize]))
+            .collect(),
+    };
+    let report = CampaignReport {
+        faults: faults.to_vec(),
+        first_detection,
+        patterns: patterns.len(),
+    };
+    stats.tally.detected = report.detected_count();
+    stats.tally.undetected = faults.len() - stats.tally.detected;
+    // A fault counts as dropped when it retired before the final
+    // pattern word (same rule as the fault.dropped counter).
+    stats.dropped = report
+        .first_detection
+        .iter()
+        .flatten()
+        .filter(|&&p| p / Wd::LANES + 1 < n_chunks)
+        .count();
+    CampaignRun { report, stats }
 }
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! Durable campaigns ≡ plain campaigns, under every interruption.
+//!
+//! The acceptance bar for the content-addressed work-unit refactor: a
+//! durable campaign must reproduce the plain engine's verdicts and
+//! outcome tallies bit for bit whether it starts cold, resumes a store
+//! holding any subset of finished units (a killed run), shares the
+//! store with a concurrent writer, or re-submits against a complete
+//! store (executing zero units) — across lane widths, collapse/tracing
+//! settings, schedules, worker counts and unit grains. The plan itself
+//! must be engine-configuration-stable so any process can resume it.
+
+use proptest::prelude::*;
+use rescue_campaign::{Campaign, FsStore, MemStore, ResultStore, Schedule};
+use rescue_faults::collapse::collapse;
+use rescue_faults::simulate::{FaultSimulator, PackedOptions};
+use rescue_faults::universe;
+use rescue_netlist::generate;
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1) ^ 0x5851_f42d_4c95_7f2d;
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A workload whose collapsed/traced variants all exercise dropping,
+/// expansion and undetected faults.
+struct Workload {
+    net: rescue_netlist::Netlist,
+    patterns: Vec<Vec<bool>>,
+}
+
+impl Workload {
+    fn new(seed: u64) -> Self {
+        Workload {
+            net: generate::random_logic(7, 110, 4, seed),
+            patterns: random_patterns(7, 200, seed),
+        }
+    }
+}
+
+/// Runs the plain and durable engines over the same workload and
+/// checks cold/resume/warm equivalence for one engine configuration.
+fn check_resume(seed: u64, lane_width: usize, collapsed: bool, tracing: bool, workers: usize) {
+    let w = Workload::new(seed);
+    let faults = universe::stuck_at_universe(&w.net);
+    let sim = FaultSimulator::new(&w.net);
+    let cu = collapsed.then(|| collapse(&w.net, &faults));
+    let mk_opts = || {
+        let mut opts = PackedOptions::wide(lane_width);
+        if let Some(cu) = &cu {
+            opts = opts.with_collapsed(cu);
+        }
+        if tracing {
+            opts = opts.traced();
+        }
+        opts
+    };
+    let campaign = Campaign::new(seed, workers);
+    let plain = sim.campaign_packed(&faults, &w.patterns, &campaign, mk_opts());
+
+    // Cold durable run: everything executes, verdicts match plain.
+    let store = MemStore::new();
+    let grain = 32;
+    let cold =
+        sim.campaign_packed_durable(&faults, &w.patterns, &campaign, mk_opts(), &store, grain);
+    assert_eq!(cold.report, plain.report, "cold durable ≡ plain");
+    assert_eq!(cold.stats.tally, plain.stats.tally);
+    assert_eq!(cold.stats.dropped, plain.stats.dropped);
+    let manifest = sim.durable_plan(&faults, &w.patterns, &mk_opts(), grain);
+    assert_eq!(cold.stats.units_total, manifest.units.len());
+    assert_eq!(cold.stats.units_executed, manifest.units.len());
+
+    // Kill simulation: keep every other unit (as if the process died
+    // mid-campaign), resume under a different worker count and
+    // schedule — verdicts and tallies must not move.
+    let partial = MemStore::new();
+    for (ui, unit) in manifest.units.iter().enumerate() {
+        if ui % 2 == 0 {
+            partial.put(unit.id, &store.get(unit.id).expect("cold run stored it"));
+        }
+    }
+    let kept = manifest.units.len().div_ceil(2);
+    let resumer = Campaign {
+        schedule: Schedule::Dynamic { chunk: 1 },
+        ..Campaign::new(seed ^ 0xdead, workers % 3 + 1)
+    };
+    let resumed =
+        sim.campaign_packed_durable(&faults, &w.patterns, &resumer, mk_opts(), &partial, grain);
+    assert_eq!(resumed.report, plain.report, "resumed ≡ uninterrupted");
+    assert_eq!(resumed.stats.tally, plain.stats.tally);
+    assert_eq!(resumed.stats.units_cached, kept);
+    assert_eq!(
+        resumed.stats.units_executed,
+        manifest.units.len() - kept,
+        "resume executes only the missing units"
+    );
+
+    // Warm re-submission: the store is now complete → zero executions.
+    let warm =
+        sim.campaign_packed_durable(&faults, &w.patterns, &campaign, mk_opts(), &partial, grain);
+    assert_eq!(warm.report, plain.report);
+    assert_eq!(warm.stats.units_executed, 0, "warm run executes nothing");
+    assert_eq!(warm.stats.units_cached, manifest.units.len());
+    assert_eq!(warm.stats.cache_hit_ratio(), 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scalar-width durable campaigns resume bit-identically across
+    /// collapse settings and worker counts.
+    #[test]
+    fn resume_is_bit_identical_w1(seed in 1u64..500, collapsed: bool, workers in 1usize..5) {
+        check_resume(seed, 1, collapsed, false, workers);
+    }
+
+    /// Wide-word (W=4) durable campaigns resume bit-identically, with
+    /// and without critical-path tracing.
+    #[test]
+    fn resume_is_bit_identical_w4(seed in 1u64..500, tracing: bool, workers in 1usize..5) {
+        check_resume(seed, 4, true, tracing, workers);
+    }
+}
+
+/// The plan is a pure function of campaign content: stable across
+/// processes (same ids every time), insensitive to workers/schedule,
+/// and keyed on everything that changes verdict identity.
+#[test]
+fn durable_plan_is_content_addressed() {
+    let w = Workload::new(42);
+    let faults = universe::stuck_at_universe(&w.net);
+    let sim = FaultSimulator::new(&w.net);
+    let opts = PackedOptions::wide(2);
+    let a = sim.durable_plan(&faults, &w.patterns, &opts, 16);
+    let b = sim.durable_plan(&faults, &w.patterns, &opts, 16);
+    assert_eq!(a, b, "same campaign, same plan");
+    assert_eq!(
+        a.total_items,
+        faults.len(),
+        "uncollapsed plan covers the universe"
+    );
+    // Patterns are part of the identity...
+    let other = sim.durable_plan(&faults, &w.patterns[..100], &opts, 16);
+    assert_ne!(a.campaign, other.campaign);
+    // ...and so is the engine configuration.
+    let traced = sim.durable_plan(&faults, &w.patterns, &opts.traced(), 16);
+    assert_ne!(a.campaign, traced.campaign);
+    // Collapsing shrinks the plan to the walk list.
+    let cu = collapse(&w.net, &faults);
+    let collapsed = sim.durable_plan(&faults, &w.patterns, &opts.with_collapsed(&cu), 16);
+    assert!(collapsed.total_items < faults.len());
+}
+
+/// Two concurrent writers on one filesystem store partition the units
+/// between them — no unit executes twice, both reproduce the plain
+/// verdicts.
+#[test]
+fn two_processes_share_one_fs_store() {
+    let w = Workload::new(7);
+    let faults = universe::stuck_at_universe(&w.net);
+    let sim = FaultSimulator::new(&w.net);
+    let plain = sim.campaign_packed(
+        &faults,
+        &w.patterns,
+        &Campaign::serial(),
+        PackedOptions::default(),
+    );
+    let root = std::env::temp_dir().join(format!(
+        "rescue-resume-eq-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let grain = 8;
+    let (a, b) = std::thread::scope(|scope| {
+        let spawn = |seed: u64| {
+            let root = root.clone();
+            let sim = &sim;
+            let faults = &faults;
+            let patterns = &w.patterns;
+            scope.spawn(move || {
+                let store = FsStore::open(root);
+                sim.campaign_packed_durable(
+                    faults,
+                    patterns,
+                    &Campaign::new(seed, 2),
+                    PackedOptions::default(),
+                    &store,
+                    grain,
+                )
+            })
+        };
+        let ha = spawn(1);
+        let hb = spawn(2);
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a.report, plain.report);
+    assert_eq!(b.report, plain.report);
+    let units = sim
+        .durable_plan(&faults, &w.patterns, &PackedOptions::default(), grain)
+        .units
+        .len();
+    assert_eq!(
+        a.stats.units_executed + b.stats.units_executed,
+        units,
+        "claims partition the units: nothing double-executed, nothing lost"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -34,7 +34,9 @@ pub mod reference;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rescue_campaign::{Campaign, CampaignStats};
+use rescue_campaign::{
+    Campaign, CampaignManifest, CampaignStats, CanonicalHasher, ResultStore, StatsDelta,
+};
 use rescue_netlist::Netlist;
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::compiled_seq::{splat_inputs, GoldenTrace, LaneMachine};
@@ -261,6 +263,233 @@ impl SeuCampaign {
         self.run_points(netlist, inputs, &points, campaign)
     }
 
+    /// [`Self::run_sampled_on`] made durable: the point list becomes a
+    /// deterministic plan of content-addressed units
+    /// ([`Self::durable_plan`]) whose verdicts persist through `store`,
+    /// and only missing units execute — killed runs resume, concurrent
+    /// processes share one store via claims, and an identical
+    /// re-submission executes zero units. The report is bit-identical to
+    /// [`Self::run_sampled_on`] for every store state. The campaign key
+    /// deliberately excludes [`SeuCampaign::lane_width`]: SEU verdicts
+    /// are width-invariant, so a store warmed at one width answers
+    /// campaigns at every other.
+    ///
+    /// `unit_points` is the unit grain in injection points (0 =
+    /// [`DEFAULT_UNIT_POINTS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong width, the design has no DFFs,
+    /// or a wedged peer holds claims past the wait limit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sampled_durable(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        count: usize,
+        seed: u64,
+        campaign: &Campaign,
+        store: &dyn ResultStore,
+        unit_points: usize,
+    ) -> SeuRun {
+        let points = self.sample_points(netlist, count, seed);
+        match self.lane_width {
+            1 => self.durable_w::<u64>(netlist, inputs, &points, campaign, store, unit_points),
+            2 => self.durable_w::<PackedWord<2>>(
+                netlist,
+                inputs,
+                &points,
+                campaign,
+                store,
+                unit_points,
+            ),
+            4 => self.durable_w::<PackedWord<4>>(
+                netlist,
+                inputs,
+                &points,
+                campaign,
+                store,
+                unit_points,
+            ),
+            8 => self.durable_w::<PackedWord<8>>(
+                netlist,
+                inputs,
+                &points,
+                campaign,
+                store,
+                unit_points,
+            ),
+            w => panic!("unsupported lane width {w} (expected one of {SUPPORTED_LANE_WIDTHS:?})"),
+        }
+    }
+
+    /// The unit plan [`Self::run_sampled_durable`] executes for the same
+    /// arguments (inspectable campaign evidence, and the way to check
+    /// store completeness before running).
+    pub fn durable_plan(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        count: usize,
+        seed: u64,
+        unit_points: usize,
+    ) -> CampaignManifest {
+        let points = self.sample_points(netlist, count, seed);
+        self.manifest_for(&CompiledNetlist::new(netlist), inputs, &points, unit_points)
+    }
+
+    /// Draws the `(dff, cycle)` sample sequence serially from `seed` —
+    /// identical to the scalar reference and to [`Self::run_sampled_on`].
+    fn sample_points(&self, netlist: &Netlist, count: usize, seed: u64) -> Vec<(usize, usize)> {
+        let n_dff = netlist.dffs().len();
+        assert!(n_dff > 0, "SEU campaign needs flip-flops");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let dff = rng.gen_range(0..n_dff);
+                let cycle = rng.gen_range(0..self.warmup.max(1));
+                (dff, cycle)
+            })
+            .collect()
+    }
+
+    /// The durable-campaign key and unit partition. Keyed on the
+    /// structural netlist, the input vector, the injection schedule and
+    /// the observation window — not on lane width, workers, schedule or
+    /// seed (the drawn points already encode the seed).
+    fn manifest_for(
+        &self,
+        compiled: &CompiledNetlist,
+        inputs: &[bool],
+        points: &[(usize, usize)],
+        unit_points: usize,
+    ) -> CampaignManifest {
+        let mut h = CanonicalHasher::new("rescue.seu.v1");
+        h.write_u128(rescue_faults::content::hash_netlist(compiled).0);
+        h.write_usize(inputs.len());
+        for &b in inputs {
+            h.write_bool(b);
+        }
+        h.write_usize(self.warmup);
+        h.write_usize(self.horizon);
+        h.write_usize(points.len());
+        for &(dff, cycle) in points {
+            h.write_usize(dff);
+            h.write_usize(cycle);
+        }
+        let grain = if unit_points == 0 {
+            DEFAULT_UNIT_POINTS
+        } else {
+            unit_points
+        };
+        CampaignManifest::build(h.finish(), points.len(), grain)
+    }
+
+    /// Width-generic body of [`Self::run_sampled_durable`].
+    fn durable_w<Wd: SimWord>(
+        &self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        points: &[(usize, usize)],
+        campaign: &Campaign,
+        store: &dyn ResultStore,
+        unit_points: usize,
+    ) -> SeuRun {
+        let n_dff = netlist.dffs().len();
+        let cycles = self.warmup.max(1);
+        let _campaign_span = span!("seu.campaign_durable", points = points.len());
+        let compiled = CompiledNetlist::new(netlist);
+        let trace = GoldenTrace::record(&compiled, inputs, cycles - 1 + self.horizon)
+            .expect("input width checked by caller");
+        let input_words = splat_inputs::<Wd>(inputs);
+        let manifest = self.manifest_for(&compiled, inputs, points, unit_points);
+
+        let run = campaign.run_store(
+            points,
+            &manifest,
+            store,
+            |_| LaneMachine::<Wd>::new(&compiled),
+            |machine, _off, range: &[(usize, usize)]| {
+                // Same cycle-grouped lane packing as the plain engine,
+                // scoped to the unit: all lanes of a word share one
+                // golden snapshot, and verdicts are lane-placement
+                // independent, so the unit partition can't change them.
+                let mut by_cycle: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cycles];
+                for (i, &(dff, cycle)) in range.iter().enumerate() {
+                    by_cycle[cycle].push((i, dff));
+                }
+                let mut out: Vec<Option<SeuInjection>> = vec![None; range.len()];
+                for (cycle, list) in by_cycle.into_iter().enumerate() {
+                    for chunk in list.chunks(Wd::LANES) {
+                        for (i, inj) in
+                            self.run_batch(&compiled, &trace, &input_words, machine, cycle, chunk)
+                        {
+                            out[i] = Some(inj);
+                        }
+                    }
+                }
+                let (restores, steps) = machine.take_counters();
+                if rescue_telemetry::enabled() {
+                    metrics::counter("sim.snapshot_restores").add(restores);
+                    metrics::counter("sim.seq_steps").add(steps);
+                }
+                out.into_iter()
+                    .map(|o| o.expect("every injection point classified"))
+                    .collect()
+            },
+            encode_injections,
+            decode_injections,
+            seu_delta,
+        );
+        if rescue_telemetry::enabled() {
+            metrics::gauge("seu.lane_width").set(Wd::LANES as i64);
+        }
+
+        let mut stats = CampaignStats {
+            injections: points.len(),
+            elapsed_ns: run.elapsed_ns,
+            workers: run.worker_ns.len(),
+            worker_ns: run.worker_ns.clone(),
+            chunks_stolen: run.steals,
+            faults_walked: points.len(),
+            units_total: run.units_total,
+            units_cached: run.units_cached + run.units_waited,
+            units_executed: run.units_executed,
+            ..CampaignStats::default()
+        };
+        // Lane occupancy recomputed from the plan, not from what this
+        // process happened to execute — a resumed run reports the same
+        // figures as an uninterrupted one.
+        for unit in &manifest.units {
+            let mut per_cycle = vec![0usize; cycles];
+            for &(_, cycle) in &points[unit.range.clone()] {
+                per_cycle[cycle] += 1;
+            }
+            for n in per_cycle {
+                let mut left = n;
+                while left > 0 {
+                    let lanes = left.min(Wd::LANES);
+                    stats.record_lanes(lanes as u64, Wd::LANES as u64);
+                    left -= lanes;
+                }
+            }
+        }
+        for inj in &run.results {
+            match inj.outcome {
+                SeuOutcome::Masked => stats.tally.masked += 1,
+                SeuOutcome::Latent => stats.tally.latent += 1,
+                SeuOutcome::Failure => stats.tally.failures += 1,
+            }
+        }
+        SeuRun {
+            report: SeuReport {
+                injections: run.results,
+                dff_count: n_dff,
+            },
+            stats,
+        }
+    }
+
     /// Injects one SEU at (`dff`, `cycle`) and classifies it, on the
     /// scalar lockstep path (see [`mod@reference`]).
     ///
@@ -457,9 +686,86 @@ impl SeuCampaign {
     }
 }
 
+/// Default durable-campaign unit grain, in injection points per unit.
+pub const DEFAULT_UNIT_POINTS: usize = 256;
+
+/// Persisted payload of one durable SEU unit: a `u64` count followed by
+/// 25 bytes per injection — `dff` and `cycle` as little-endian `u64`, a
+/// one-byte outcome code, and the detection latency as `u64` with
+/// `u64::MAX` standing in for "none".
+fn encode_injections(rs: &[SeuInjection]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + rs.len() * 25);
+    out.extend_from_slice(&(rs.len() as u64).to_le_bytes());
+    for r in rs {
+        out.extend_from_slice(&(r.dff as u64).to_le_bytes());
+        out.extend_from_slice(&(r.cycle as u64).to_le_bytes());
+        out.push(match r.outcome {
+            SeuOutcome::Masked => 0,
+            SeuOutcome::Latent => 1,
+            SeuOutcome::Failure => 2,
+        });
+        out.extend_from_slice(
+            &r.detection_latency
+                .map_or(u64::MAX, |l| l as u64)
+                .to_le_bytes(),
+        );
+    }
+    out
+}
+
+/// Inverse of [`encode_injections`]; `None` marks the payload corrupt
+/// (truncated, miscounted, or an unknown outcome code), forcing
+/// re-execution of the unit.
+fn decode_injections(bytes: &[u8]) -> Option<Vec<SeuInjection>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (head, body) = bytes.split_at(8);
+    let n = u64::from_le_bytes(head.try_into().unwrap()) as usize;
+    if body.len() != n.checked_mul(25)? {
+        return None;
+    }
+    body.chunks_exact(25)
+        .map(|rec| {
+            let dff = u64::from_le_bytes(rec[0..8].try_into().unwrap()) as usize;
+            let cycle = u64::from_le_bytes(rec[8..16].try_into().unwrap()) as usize;
+            let outcome = match rec[16] {
+                0 => SeuOutcome::Masked,
+                1 => SeuOutcome::Latent,
+                2 => SeuOutcome::Failure,
+                _ => return None,
+            };
+            let lat = u64::from_le_bytes(rec[17..25].try_into().unwrap());
+            Some(SeuInjection {
+                dff,
+                cycle,
+                outcome,
+                detection_latency: (lat != u64::MAX).then_some(lat as usize),
+            })
+        })
+        .collect()
+}
+
+/// Deterministic stats contribution of one durable SEU unit.
+fn seu_delta(rs: &[SeuInjection]) -> StatsDelta {
+    let mut d = StatsDelta {
+        injections: rs.len() as u64,
+        ..StatsDelta::default()
+    };
+    for r in rs {
+        match r.outcome {
+            SeuOutcome::Masked => d.masked += 1,
+            SeuOutcome::Latent => d.latent += 1,
+            SeuOutcome::Failure => d.failures += 1,
+        }
+    }
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rescue_campaign::MemStore;
     use rescue_netlist::{generate, NetlistBuilder};
 
     #[test]
@@ -547,6 +853,71 @@ mod tests {
         // 7 cycle groups of 9 lanes each: occupancy is 9/64 per word.
         assert!(run.stats.lane_occupancy() > 0.0 && run.stats.lane_occupancy() <= 1.0);
         assert!(run.stats.injections_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn durable_matches_plain_and_warm_run_executes_nothing() {
+        let l = generate::lfsr(8, &[7, 5, 4, 3]);
+        let c = SeuCampaign::new(10, 10);
+        let driver = Campaign::new(0, 2);
+        let plain = c.run_sampled_on(&l, &[], 150, 9, &driver);
+        let store = MemStore::new();
+        let cold = c.run_sampled_durable(&l, &[], 150, 9, &driver, &store, 32);
+        assert_eq!(cold.report, plain.report, "verdicts bit-identical");
+        assert_eq!(cold.stats.units_total, 5);
+        assert_eq!(cold.stats.units_executed, 5);
+        assert_eq!(cold.stats.tally, plain.stats.tally);
+        let warm = c.run_sampled_durable(&l, &[], 150, 9, &driver, &store, 32);
+        assert_eq!(warm.report, plain.report);
+        assert_eq!(warm.stats.units_executed, 0, "fully answered from store");
+        assert_eq!(warm.stats.units_cached, 5);
+        assert_eq!(warm.stats.tally, cold.stats.tally);
+        assert_eq!(
+            warm.stats.lane_occupancy(),
+            cold.stats.lane_occupancy(),
+            "occupancy recomputed from the plan, not from execution"
+        );
+    }
+
+    #[test]
+    fn durable_resumes_partial_store_bit_identically() {
+        let l = generate::lfsr(7, &[6, 4]);
+        let c = SeuCampaign::new(6, 8);
+        let driver = Campaign::new(0, 3);
+        let full = MemStore::new();
+        let baseline = c.run_sampled_durable(&l, &[], 100, 3, &driver, &full, 16);
+        // Keep only some units (a killed run's store), resume from it.
+        let manifest = c.durable_plan(&l, &[], 100, 3, 16);
+        let partial = MemStore::new();
+        for ui in [0usize, 3, 5] {
+            let id = manifest.units[ui].id;
+            partial.put(id, &full.get(id).unwrap());
+        }
+        let resumed = c.run_sampled_durable(&l, &[], 100, 3, &driver, &partial, 16);
+        assert_eq!(resumed.report, baseline.report, "verdicts bit-identical");
+        assert_eq!(resumed.stats.units_cached, 3);
+        assert_eq!(
+            resumed.stats.units_executed,
+            manifest.units.len() - 3,
+            "only the missing units re-ran"
+        );
+        assert_eq!(resumed.stats.tally, baseline.stats.tally);
+    }
+
+    #[test]
+    fn store_is_shared_across_lane_widths() {
+        // SEU verdicts are width-invariant, so the campaign key excludes
+        // lane width: a store warmed at W=1 must fully answer a W=4
+        // campaign (and produce the same report).
+        let l = generate::lfsr(6, &[5, 3]);
+        let store = MemStore::new();
+        let driver = Campaign::serial();
+        let narrow = SeuCampaign::new(5, 6);
+        let cold = narrow.run_sampled_durable(&l, &[], 80, 11, &driver, &store, 16);
+        let wide = SeuCampaign::new(5, 6).with_lane_width(4);
+        let warm = wide.run_sampled_durable(&l, &[], 80, 11, &driver, &store, 16);
+        assert_eq!(warm.stats.units_executed, 0, "W=1 store answers W=4");
+        assert_eq!(warm.report, cold.report);
     }
 
     #[test]

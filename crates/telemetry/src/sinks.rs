@@ -34,6 +34,29 @@ impl Journal {
         s
     }
 
+    /// Writes the JSONL journal to `path` crash-safely: the bytes land
+    /// in a sibling temp file first and are renamed into place, so a
+    /// reader (or a validator in CI) never observes a torn export even
+    /// if the writer dies mid-write — the path holds either the
+    /// previous complete journal or the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the temp file cannot be
+    /// written or renamed.
+    pub fn export_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        let stem = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        let tmp = dir
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(format!(".{stem}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, path)
+    }
+
     /// Renders the journal in the Chrome `trace_event` JSON format
     /// (object form, `traceEvents` array, timestamps in microseconds).
     /// Open the file in `chrome://tracing` or <https://ui.perfetto.dev>.
@@ -110,6 +133,10 @@ pub struct JournalCheck {
     pub instants: usize,
     /// Distinct thread ids seen.
     pub threads: usize,
+    /// The journal ends in a partial record (a writer died mid-line).
+    /// The complete prefix validated clean; spans the crash left open
+    /// are tolerated. Callers should surface this as a warning.
+    pub truncated: bool,
 }
 
 /// Extracts the value of `"key":` in a single JSON object line; returns
@@ -127,35 +154,63 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
+/// Parse failure of one journal line: the shapes a torn tail can take.
+/// Distinct from span-pairing errors, which are real structural damage
+/// wherever they occur.
+fn parse_line(line: &str, n: usize) -> Result<(String, String, u64), String> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(format!("line {n}: not a JSON object"));
+    }
+    let ph = field(line, "ph").ok_or_else(|| format!("line {n}: missing \"ph\""))?;
+    if !matches!(ph, "B" | "E" | "i") {
+        return Err(format!("line {n}: unknown phase \"{ph}\""));
+    }
+    let name = field(line, "name").ok_or_else(|| format!("line {n}: missing \"name\""))?;
+    let tid: u64 = field(line, "tid")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {n}: missing or non-integer \"tid\""))?;
+    field(line, "ts_ns")
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| format!("line {n}: missing or non-integer \"ts_ns\""))?;
+    Ok((ph.to_string(), name.to_string(), tid))
+}
+
 /// Validates a JSONL run journal: every line parses (object with `ph`,
 /// `name`, `tid`, `ts_ns`), and per thread every `B` has a matching
 /// `E` with names pairing LIFO — the property CI enforces on the
 /// quickstart journal artifact.
 ///
+/// A journal whose **final** line fails to parse is treated as the
+/// torn tail of a crashed writer, not as corruption: the complete
+/// prefix is validated, [`JournalCheck::truncated`] is set, and spans
+/// the crash left open are tolerated. A malformed line anywhere else —
+/// or a mismatched `E` on any line — still hard-fails.
+///
 /// # Errors
 ///
-/// Returns a line-numbered description of the first malformed line,
-/// mismatched `End`, or span left open at end of input.
+/// Returns a line-numbered description of the first malformed
+/// non-final line, mismatched `End`, or (in a non-truncated journal)
+/// span left open at end of input.
 pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
     let mut check = JournalCheck::default();
     let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let n = lineno + 1;
-        if !line.starts_with('{') || !line.ends_with('}') {
-            return Err(format!("line {n}: not a JSON object"));
-        }
-        let ph = field(line, "ph").ok_or_else(|| format!("line {n}: missing \"ph\""))?;
-        let name = field(line, "name").ok_or_else(|| format!("line {n}: missing \"name\""))?;
-        let tid: u64 = field(line, "tid")
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("line {n}: missing or non-integer \"tid\""))?;
-        field(line, "ts_ns")
-            .and_then(|t| t.parse::<u64>().ok())
-            .ok_or_else(|| format!("line {n}: missing or non-integer \"ts_ns\""))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    for (pos, &(n, line)) in lines.iter().enumerate() {
+        let (ph, name, tid) = match parse_line(line, n) {
+            Ok(parsed) => parsed,
+            Err(_) if pos + 1 == lines.len() && pos > 0 => {
+                // A writer died mid-line: the tail record is torn but
+                // everything before it already validated.
+                check.truncated = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
             Some((_, s)) => s,
             None => {
@@ -164,10 +219,10 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
             }
         };
         check.events += 1;
-        match ph {
+        match ph.as_str() {
             "B" => {
                 check.begins += 1;
-                stack.push(name.to_string());
+                stack.push(name);
             }
             "E" => {
                 check.ends += 1;
@@ -185,13 +240,14 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
                     }
                 }
             }
-            "i" => check.instants += 1,
-            other => return Err(format!("line {n}: unknown phase \"{other}\"")),
+            _ => check.instants += 1,
         }
     }
-    for (tid, stack) in &stacks {
-        if let Some(open) = stack.last() {
-            return Err(format!("span \"{open}\" never ended (tid {tid})"));
+    if !check.truncated {
+        for (tid, stack) in &stacks {
+            if let Some(open) = stack.last() {
+                return Err(format!("span \"{open}\" never ended (tid {tid})"));
+            }
         }
     }
     check.threads = stacks.len();
@@ -243,6 +299,47 @@ mod tests {
         assert!(err.contains("\"b\""), "{err}");
         let stray_end = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"E\",\"name\":\"x\"}\n";
         assert!(validate_jsonl(stray_end).is_err());
+    }
+
+    #[test]
+    fn validator_tolerates_a_torn_tail() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let clean = validate_jsonl(&text).unwrap();
+        assert!(!clean.truncated);
+        // Kill the writer mid-record: chop the final line in half.
+        let torn = &text[..text.len() - 20];
+        let check = validate_jsonl(torn).expect("torn tail is a warning, not an error");
+        assert!(check.truncated);
+        assert_eq!(check.events, clean.events - 1, "prefix fully counted");
+        // A crash also leaves spans open — tolerated only with the torn
+        // tail as evidence of the crash.
+        let crashed = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"B\",\"name\":\"a\"}\n\
+                       {\"seq\":1,\"ts_ns\":2,\"tid\":0,\"ph\":\"i\",\"na";
+        let check = validate_jsonl(crashed).expect("open span plus torn tail");
+        assert!(check.truncated);
+        assert_eq!(check.begins, 1);
+        // A torn line mid-journal is still corruption.
+        let mid = "{\"seq\":0,\"ts_ns\":1,\"ph\":\"B\"\n\
+                   {\"seq\":1,\"ts_ns\":2,\"tid\":0,\"ph\":\"i\",\"name\":\"x\"}\n";
+        assert!(validate_jsonl(mid).is_err());
+        // An all-garbage file has no valid prefix to salvage.
+        assert!(validate_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn export_jsonl_is_atomic_and_validates() {
+        let j = sample_journal();
+        let dir = std::env::temp_dir().join(format!("rescue-export-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        j.export_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, j.to_jsonl());
+        assert!(validate_jsonl(&text).is_ok());
+        // No temp file left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

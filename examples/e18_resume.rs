@@ -1,0 +1,331 @@
+//! E18 — durable campaigns: warm-cache re-submission and kill-resume.
+//!
+//! The acceptance run for the content-addressed work-unit store. One
+//! binary, two roles:
+//!
+//! * **parent** (no args) — runs the plain packed campaign as the
+//!   verdict baseline, then the durable campaign cold (every unit
+//!   executes) and warm (zero units execute) against a filesystem
+//!   store; then spawns a throttled **child process** against a fresh
+//!   store directory, SIGKILLs it as soon as the first unit record
+//!   lands on disk, and resumes the half-dead store to completion —
+//!   asserting the resumed run reuses the dead writer's units
+//!   (`units_cached > 0`), executes only the missing ones, and
+//!   reproduces the uninterrupted verdicts bit for bit.
+//! * **child** (`--child <dir> <throttle_ms>`) — the same durable
+//!   campaign through a [`ThrottledStore`] that sleeps in `put`, so the
+//!   parent reliably catches it mid-campaign.
+//!
+//! The resumed run executes with telemetry on and exports its journal
+//! to `e18_resume.jsonl` for `journal_check` validation. Set
+//! `E18_SMOKE=1` for the seconds-scale CI workload; the full workload
+//! additionally writes `BENCH_resume.json` (plain vs cold vs warm vs
+//! resumed, with the execution environment recorded).
+
+use rescue_bench::{banner, blog, env_json};
+use rescue_core::campaign::{
+    Campaign, ClaimOutcome, ContentHash, FsStore, ResultStore, UnitRecord,
+};
+use rescue_core::faults::simulate::{FaultSimulator, PackedOptions};
+use rescue_core::faults::universe;
+use rescue_core::netlist::generate;
+use rescue_core::telemetry::{journal, TelemetryConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const N_INPUTS: usize = 16;
+const N_OUTPUTS: usize = 4;
+const SEED: u64 = 12;
+const WORKERS: usize = 2;
+const THROTTLE_MS: u64 = 25;
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1) ^ 0x5851_f42d_4c95_7f2d;
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The shared workload: parent and child must rebuild the identical
+/// campaign (same netlist, universe, patterns, grain) or the content
+/// hashes — and therefore the store keys — would not line up.
+struct Setup {
+    net: rescue_core::netlist::Netlist,
+    patterns: Vec<Vec<bool>>,
+    grain: usize,
+    smoke: bool,
+}
+
+fn setup() -> Setup {
+    let smoke = std::env::var("E18_SMOKE").is_ok_and(|v| v == "1");
+    let (gates, n_patterns, grain) = if smoke {
+        (400, 128, 16)
+    } else {
+        (1500, 512, 64)
+    };
+    Setup {
+        net: generate::random_logic(N_INPUTS, gates, N_OUTPUTS, SEED),
+        patterns: random_patterns(N_INPUTS, n_patterns, SEED ^ 0x9e37),
+        grain,
+        smoke,
+    }
+}
+
+/// [`FsStore`] wrapper that sleeps before publishing each unit record:
+/// slows the child's campaign down to human-observable speed so the
+/// parent's kill always lands mid-campaign, without touching the
+/// engine. Every other operation passes straight through — the claim
+/// protocol stays real.
+struct ThrottledStore {
+    inner: FsStore,
+    delay: Duration,
+}
+
+impl ResultStore for ThrottledStore {
+    fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        self.inner.get(id)
+    }
+    fn put(&self, id: ContentHash, record: &UnitRecord) {
+        std::thread::sleep(self.delay);
+        self.inner.put(id, record);
+    }
+    fn claim(&self, id: ContentHash) -> ClaimOutcome {
+        self.inner.claim(id)
+    }
+    fn release(&self, id: ContentHash) {
+        self.inner.release(id)
+    }
+    fn break_stale_claims(&self) -> usize {
+        self.inner.break_stale_claims()
+    }
+    fn completed_units(&self) -> usize {
+        self.inner.completed_units()
+    }
+}
+
+/// Child role: run the durable campaign through the throttled store
+/// until the parent kills us. Exiting normally means the throttle was
+/// too low — the parent treats that as a failure.
+fn child(dir: &str, throttle_ms: u64) {
+    let s = setup();
+    let faults = universe::stuck_at_universe(&s.net);
+    let sim = FaultSimulator::new(&s.net);
+    let store = ThrottledStore {
+        inner: FsStore::open(dir),
+        delay: Duration::from_millis(throttle_ms),
+    };
+    sim.campaign_packed_durable(
+        &faults,
+        &s.patterns,
+        &Campaign::new(SEED, WORKERS),
+        PackedOptions::default(),
+        &store,
+        s.grain,
+    );
+}
+
+/// Completed unit records currently on disk under `dir/units`.
+fn units_on_disk(dir: &Path) -> usize {
+    std::fs::read_dir(dir.join("units"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "unit"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn parent() {
+    banner("E18", "durable campaigns: warm cache + kill-resume");
+    let s = setup();
+    let faults = universe::stuck_at_universe(&s.net);
+    let sim = FaultSimulator::new(&s.net);
+    let campaign = Campaign::new(SEED, WORKERS);
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../e18_store"));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Verdict baseline: the plain in-process packed campaign.
+    let t = Instant::now();
+    let plain = sim.campaign_packed(&faults, &s.patterns, &campaign, PackedOptions::default());
+    let t_plain = t.elapsed().as_secs_f64();
+
+    // Cold durable run: every unit executes and lands in the store.
+    let cold_store = FsStore::open(root.join("cold"));
+    let t = Instant::now();
+    let cold = sim.campaign_packed_durable(
+        &faults,
+        &s.patterns,
+        &campaign,
+        PackedOptions::default(),
+        &cold_store,
+        s.grain,
+    );
+    let t_cold = t.elapsed().as_secs_f64();
+    assert_eq!(cold.report, plain.report, "cold durable run ≡ plain");
+    let units_total = cold.stats.units_total;
+    assert_eq!(cold.stats.units_executed, units_total);
+
+    // Warm re-submission of the identical campaign: pure cache hit.
+    let t = Instant::now();
+    let warm = sim.campaign_packed_durable(
+        &faults,
+        &s.patterns,
+        &campaign,
+        PackedOptions::default(),
+        &cold_store,
+        s.grain,
+    );
+    let t_warm = t.elapsed().as_secs_f64();
+    assert_eq!(warm.report, plain.report, "warm durable run ≡ plain");
+    assert_eq!(
+        warm.stats.units_executed, 0,
+        "warm run must execute nothing"
+    );
+    assert_eq!(warm.stats.cache_hit_ratio(), 1.0);
+
+    // Kill-resume: throttled child on a fresh store, SIGKILLed the
+    // moment its first unit record flushes.
+    let kill_dir = root.join("kill");
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut worker = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(&kill_dir)
+        .arg(THROTTLE_MS.to_string())
+        .spawn()
+        .expect("spawn throttled child");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if units_on_disk(&kill_dir) > 0 {
+            break;
+        }
+        if let Some(status) = worker.try_wait().expect("child status") {
+            panic!("child finished before the kill ({status}); raise the throttle");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child flushed no unit record within 120 s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    worker.kill().expect("kill child");
+    let _ = worker.wait();
+    let flushed = units_on_disk(&kill_dir);
+    blog!("  killed child with {flushed}/{units_total} unit(s) on disk");
+
+    // Resume the half-dead store to completion, journal on. The dead
+    // child's leftover claim files are broken (its pid is gone) and the
+    // missing units re-claimed.
+    TelemetryConfig::on().install();
+    let mark = journal::mark();
+    let t = Instant::now();
+    let resumed = sim.campaign_packed_durable(
+        &faults,
+        &s.patterns,
+        &campaign,
+        PackedOptions::default(),
+        &FsStore::open(&kill_dir),
+        s.grain,
+    );
+    let t_resume = t.elapsed().as_secs_f64();
+    let j = journal::Journal::take_since(mark);
+    TelemetryConfig::off().install();
+    assert_eq!(resumed.report, plain.report, "resumed run ≡ uninterrupted");
+    assert_eq!(resumed.stats.tally, plain.stats.tally, "merged stats ≡");
+    assert!(
+        resumed.stats.units_cached > 0,
+        "resume must reuse the dead writer's flushed units"
+    );
+    assert!(
+        resumed.stats.units_executed > 0,
+        "the kill must leave work behind"
+    );
+    assert_eq!(
+        resumed.stats.units_cached + resumed.stats.units_executed,
+        units_total,
+        "cached + executed covers the plan exactly"
+    );
+
+    let journal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e18_resume.jsonl");
+    j.export_jsonl(Path::new(journal_path))
+        .expect("write resume journal");
+
+    blog!(
+        "\n  workload: {} gates, {} faults, {} patterns, {units_total} units (grain {})",
+        s.net.len(),
+        faults.len(),
+        s.patterns.len(),
+        s.grain
+    );
+    blog!("  run                    time        units executed/cached");
+    for (name, secs, executed, cached) in [
+        ("plain (no store)    ", t_plain, units_total, 0),
+        ("durable cold        ", t_cold, units_total, 0),
+        ("durable warm        ", t_warm, 0, units_total),
+        (
+            "durable kill-resume ",
+            t_resume,
+            resumed.stats.units_executed,
+            resumed.stats.units_cached,
+        ),
+    ] {
+        blog!(
+            "  {name}  {:>9.1} ms   {executed:>5} / {cached}",
+            secs * 1e3
+        );
+    }
+    blog!(
+        "  coverage {:.1}%, warm cache answers in {:.2}% of the cold time, {} journal events -> {journal_path}",
+        plain.report.coverage() * 100.0,
+        100.0 * t_warm / t_cold,
+        j.len()
+    );
+
+    if !s.smoke {
+        let json = format!(
+            "{{\n  \"experiment\": \"e18_resume\",\n  {},\n  \"workload\": {{\n    \
+             \"netlist\": \"random_logic({N_INPUTS}, 1500, {N_OUTPUTS}, {SEED})\",\n    \
+             \"gates\": {},\n    \"faults\": {},\n    \"patterns\": {},\n    \
+             \"unit_grain\": {},\n    \"units\": {units_total}\n  }},\n  \"seconds\": {{\n    \
+             \"plain\": {t_plain:.6},\n    \"durable_cold\": {t_cold:.6},\n    \
+             \"durable_warm\": {t_warm:.6},\n    \"durable_resumed\": {t_resume:.6}\n  }},\n  \
+             \"kill_resume\": {{\n    \"units_flushed_before_kill\": {flushed},\n    \
+             \"units_cached\": {},\n    \"units_executed\": {},\n    \
+             \"units_total\": {units_total}\n  }},\n  \
+             \"warm_over_cold\": {:.2}\n}}\n",
+            env_json(WORKERS, 64),
+            s.net.len(),
+            faults.len(),
+            s.patterns.len(),
+            s.grain,
+            resumed.stats.units_cached,
+            resumed.stats.units_executed,
+            t_cold / t_warm.max(1e-9),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resume.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            blog!("  (could not write {path}: {e})");
+        } else {
+            blog!("  wrote {path}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--child" {
+        child(&args[2], args[3].parse().expect("throttle in ms"));
+        return;
+    }
+    parent();
+}

@@ -25,6 +25,12 @@ fn main() {
     };
     match validate_jsonl(&text) {
         Ok(check) => {
+            if check.truncated {
+                eprintln!(
+                    "{path}: WARNING — journal ends in a partial record \
+                     (writer died mid-line); validated the complete prefix"
+                );
+            }
             println!(
                 "{path}: OK — {} events ({} begin / {} end / {} instant) on {} thread(s)",
                 check.events, check.begins, check.ends, check.instants, check.threads

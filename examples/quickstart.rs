@@ -61,7 +61,8 @@ fn main() {
         let j = journal::Journal::take_since(mark);
         let jsonl = format!("{prefix}.jsonl");
         let trace = format!("{prefix}.trace.json");
-        std::fs::write(&jsonl, j.to_jsonl()).expect("write journal");
+        j.export_jsonl(std::path::Path::new(&jsonl))
+            .expect("write journal");
         std::fs::write(&trace, j.to_chrome_trace()).expect("write trace");
         println!(
             "journal: {} events -> {jsonl}, {trace} (open the trace in chrome://tracing)",
