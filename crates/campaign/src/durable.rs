@@ -111,6 +111,14 @@ impl Campaign {
         let start = Instant::now();
         let n_units = manifest.units.len();
         let _run = span!("campaign.store", units = n_units);
+        // Publish this run to the fleet registry so `/status` can watch
+        // it live; the handle's drop marks the entry finished.
+        let fleet = crate::fleet::register(
+            &crate::fleet::stage_or("campaign.store"),
+            &manifest.campaign.to_string(),
+            n_units,
+            store.root_dir().map(|p| p.to_path_buf()),
+        );
         let mut slots: Vec<Option<Vec<R>>> = (0..n_units).map(|_| None).collect();
         let mut merged = StatsDelta::default();
         let mut cached = 0usize;
@@ -134,6 +142,7 @@ impl Campaign {
                         merged.merge(&rec.stats);
                         slots[ui] = Some(results);
                         cached += 1;
+                        fleet.add_cached(1);
                     }
                     _ => {
                         metrics::counter("store.corrupt_records").add(1);
@@ -178,6 +187,7 @@ impl Campaign {
                                     payload: encode(&out),
                                 };
                                 store.put(unit.id, &rec);
+                                fleet.tick_executed();
                                 (rec.stats, out)
                             })
                             .collect()
@@ -207,6 +217,7 @@ impl Campaign {
                             merged.merge(&rec.stats);
                             slots[ui] = Some(results);
                             waited += 1;
+                            fleet.tick_waited();
                         }
                         _ => {
                             metrics::counter("store.corrupt_records").add(1);

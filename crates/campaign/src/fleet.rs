@@ -1,0 +1,370 @@
+//! Fleet status registry: the live, process-wide view of running
+//! campaigns.
+//!
+//! Durable campaigns ([`Campaign::run_store`](crate::Campaign)) and
+//! observed sharded runs register themselves here and tick per-unit
+//! progress as they resolve work; any thread — in practice the
+//! `rescue-observer` HTTP listener answering `/status` — can render the
+//! whole registry as JSON without stopping anything. The registry also
+//! folds in the [`FsStore`](crate::FsStore) claim scanner
+//! ([`crate::store::scan_claims`]), so a straggling or dead peer's
+//! claims are visible live (owner pid, liveness, age) rather than
+//! discovered at re-claim time.
+//!
+//! Entries are kept after their campaign finishes (marked `finished`)
+//! so a scraper polling between campaigns still sees what ran; the
+//! registry is capped — once full, the oldest finished entries are
+//! evicted first.
+
+use crate::progress::Progress;
+use crate::store::scan_claims;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Registry size cap: past this, finished entries are evicted oldest
+/// first (a live entry is never evicted).
+const MAX_ENTRIES: usize = 64;
+
+/// How many live claims `/status` reports per campaign at most.
+const MAX_CLAIMS_SHOWN: usize = 32;
+
+/// One registered campaign: identity plus live per-unit accounting.
+#[derive(Debug)]
+pub struct FleetEntry {
+    /// Campaign label (the stage name active at registration, e.g.
+    /// `fault.campaign_durable`).
+    name: String,
+    /// Campaign content hash (32 hex digits), or empty when the run has
+    /// no durable identity.
+    campaign: String,
+    /// Unit-level completion counter (rate + ETA).
+    progress: Progress,
+    cached: AtomicUsize,
+    executed: AtomicUsize,
+    waited: AtomicUsize,
+    finished: AtomicBool,
+    /// `FsStore` root to scan for live claims, when the backing store
+    /// has one.
+    store_root: Option<PathBuf>,
+}
+
+impl FleetEntry {
+    /// Campaign label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Campaign content hash (empty when not durable).
+    pub fn campaign(&self) -> &str {
+        &self.campaign
+    }
+
+    /// Units resolved from the store cache so far.
+    pub fn cached(&self) -> usize {
+        self.cached.load(Ordering::Relaxed)
+    }
+
+    /// Units executed by this process so far.
+    pub fn executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Units whose results arrived from a concurrent peer so far.
+    pub fn waited(&self) -> usize {
+        self.waited.load(Ordering::Relaxed)
+    }
+
+    /// Whether the campaign has finished (its handle dropped).
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Unit-level progress (done, total, rate, ETA).
+    pub fn progress(&self) -> &Progress {
+        &self.progress
+    }
+
+    fn to_json(&self) -> String {
+        let snap = self.progress.snapshot();
+        let eta = match snap.eta_secs {
+            Some(eta) => format!("{eta:.3}"),
+            None => "null".to_string(),
+        };
+        let mut s = format!(
+            "{{\"name\":{},\"campaign\":{},\"units_total\":{},\"units_done\":{},\
+             \"units_cached\":{},\"units_executed\":{},\"units_waited\":{},\
+             \"finished\":{},\"elapsed_secs\":{:.3},\"units_per_sec\":{:.3},\
+             \"eta_secs\":{eta}",
+            json_string(&self.name),
+            json_string(&self.campaign),
+            snap.total,
+            snap.done,
+            self.cached(),
+            self.executed(),
+            self.waited(),
+            self.finished(),
+            snap.elapsed_secs,
+            snap.items_per_sec,
+        );
+        if let Some(root) = &self.store_root {
+            s.push_str(",\"claims\":[");
+            for (i, c) in scan_claims(root)
+                .into_iter()
+                .take(MAX_CLAIMS_SHOWN)
+                .enumerate()
+            {
+                if i > 0 {
+                    s.push(',');
+                }
+                let pid = match c.pid {
+                    Some(pid) => pid.to_string(),
+                    None => "null".to_string(),
+                };
+                let alive = match c.alive {
+                    Some(alive) => alive.to_string(),
+                    None => "null".to_string(),
+                };
+                s.push_str(&format!(
+                    "{{\"unit\":{},\"pid\":{pid},\"alive\":{alive},\"age_ms\":{}}}",
+                    json_string(&c.unit),
+                    c.age_ms
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Registration handle for one running campaign. Tick it as units
+/// resolve; dropping it marks the entry finished (the entry itself
+/// stays in the registry for scrapers).
+#[derive(Debug)]
+pub struct FleetHandle {
+    entry: Arc<FleetEntry>,
+}
+
+impl FleetHandle {
+    /// Records `n` units resolved from the store cache.
+    pub fn add_cached(&self, n: usize) {
+        self.entry.cached.fetch_add(n, Ordering::Relaxed);
+        self.entry.progress.add(n);
+    }
+
+    /// Records one unit executed locally.
+    pub fn tick_executed(&self) {
+        self.entry.executed.fetch_add(1, Ordering::Relaxed);
+        self.entry.progress.add(1);
+    }
+
+    /// Records one unit whose result a concurrent peer published.
+    pub fn tick_waited(&self) {
+        self.entry.waited.fetch_add(1, Ordering::Relaxed);
+        self.entry.progress.add(1);
+    }
+
+    /// The underlying registry entry.
+    pub fn entry(&self) -> &Arc<FleetEntry> {
+        &self.entry
+    }
+}
+
+impl Drop for FleetHandle {
+    fn drop(&mut self) {
+        self.entry.finished.store(true, Ordering::Relaxed);
+    }
+}
+
+fn entries_lock() -> MutexGuard<'static, Vec<Arc<FleetEntry>>> {
+    static REG: OnceLock<Mutex<Vec<Arc<FleetEntry>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn stage_lock() -> MutexGuard<'static, String> {
+    static STAGE: OnceLock<Mutex<String>> = OnceLock::new();
+    STAGE
+        .get_or_init(|| Mutex::new(String::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Registers a campaign with the fleet and returns its tick handle.
+/// `campaign` is the durable content hash (empty when none);
+/// `store_root` enables live claim scanning for `FsStore`-backed runs.
+pub fn register(
+    name: &str,
+    campaign: &str,
+    total_units: usize,
+    store_root: Option<PathBuf>,
+) -> FleetHandle {
+    let entry = Arc::new(FleetEntry {
+        name: name.to_string(),
+        campaign: campaign.to_string(),
+        progress: Progress::new(total_units),
+        cached: AtomicUsize::new(0),
+        executed: AtomicUsize::new(0),
+        waited: AtomicUsize::new(0),
+        finished: AtomicBool::new(false),
+        store_root,
+    });
+    let mut entries = entries_lock();
+    while entries.len() >= MAX_ENTRIES {
+        match entries.iter().position(|e| e.finished()) {
+            Some(i) => {
+                entries.remove(i);
+            }
+            None => break, // all live: let the registry grow past the cap
+        }
+    }
+    entries.push(Arc::clone(&entry));
+    FleetHandle { entry }
+}
+
+/// Every registered campaign, oldest first (finished entries included
+/// until evicted).
+pub fn entries() -> Vec<Arc<FleetEntry>> {
+    entries_lock().clone()
+}
+
+/// Sets the process-wide current stage label (`flow.atpg`,
+/// `fault.campaign_durable`, …). Campaigns registered while a stage is
+/// set inherit it as their name; `/status` reports it live.
+pub fn set_stage(name: &str) {
+    *stage_lock() = name.to_string();
+}
+
+/// The current stage label; empty when none is set.
+pub fn stage() -> String {
+    stage_lock().clone()
+}
+
+/// The current stage label, or `fallback` when none is set.
+pub fn stage_or(fallback: &str) -> String {
+    let s = stage();
+    if s.is_empty() {
+        fallback.to_string()
+    } else {
+        s
+    }
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the whole fleet as one JSON object — the `/status` endpoint
+/// body: process pid, current stage, and one record per registered
+/// campaign (progress, rates, ETA, live claims).
+pub fn status_json() -> String {
+    let entries = entries();
+    let mut s = format!(
+        "{{\"pid\":{},\"stage\":{},\"campaigns\":[",
+        std::process::id(),
+        json_string(&stage()),
+    );
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&e.to_json());
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that assert on the shared registry/stage.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn register_tick_finish_lifecycle() {
+        let _serial = exclusive();
+        let handle = register("test.lifecycle", "00ff", 4, None);
+        handle.add_cached(2);
+        handle.tick_executed();
+        handle.tick_waited();
+        let entry = Arc::clone(handle.entry());
+        assert_eq!(entry.cached(), 2);
+        assert_eq!(entry.executed(), 1);
+        assert_eq!(entry.waited(), 1);
+        assert_eq!(entry.progress().done(), 4);
+        assert!(!entry.finished());
+        drop(handle);
+        assert!(entry.finished(), "dropping the handle finishes the entry");
+        assert!(entries().iter().any(|e| Arc::ptr_eq(e, &entry)));
+    }
+
+    #[test]
+    fn status_json_is_well_formed_and_lists_campaigns() {
+        let _serial = exclusive();
+        set_stage("flow.fault_sim");
+        let handle = register("test.status \"q\"", "abcd", 10, None);
+        handle.add_cached(3);
+        let json = status_json();
+        set_stage("");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"stage\":\"flow.fault_sim\""));
+        assert!(json.contains("\"name\":\"test.status \\\"q\\\"\""));
+        assert!(json.contains("\"campaign\":\"abcd\""));
+        assert!(json.contains("\"units_total\":10"));
+        assert!(json.contains("\"units_cached\":3"));
+        assert!(json.contains(&format!("\"pid\":{}", std::process::id())));
+        // Balanced braces/brackets — cheap structural sanity.
+        let braces = json.matches('{').count() == json.matches('}').count();
+        let brackets = json.matches('[').count() == json.matches(']').count();
+        assert!(braces && brackets);
+    }
+
+    #[test]
+    fn stage_fallback_applies_only_when_unset() {
+        let _serial = exclusive();
+        set_stage("");
+        assert_eq!(stage_or("fallback"), "fallback");
+        set_stage("flow.atpg");
+        assert_eq!(stage_or("fallback"), "flow.atpg");
+        set_stage("");
+    }
+
+    #[test]
+    fn cap_evicts_finished_entries_first() {
+        let _serial = exclusive();
+        // Keep one live handle around, then flood with finished entries.
+        let live = register("test.cap-live", "", 1, None);
+        for i in 0..(MAX_ENTRIES + 8) {
+            let h = register("test.cap", "", i, None);
+            drop(h);
+        }
+        let entries = entries();
+        assert!(entries.len() <= MAX_ENTRIES);
+        assert!(
+            entries.iter().any(|e| Arc::ptr_eq(e, live.entry())),
+            "live entry survives eviction"
+        );
+        drop(live);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`progress::Progress`] — a shared completion counter with
 //!   rate/ETA snapshots; [`Campaign::run_sharded_observed`] feeds it to
 //!   a progress callback while a campaign runs.
+//! * [`fleet`] — the live fleet status registry: durable runs publish
+//!   per-unit progress, rates and ETA here, folded together with the
+//!   [`store`] claim scanner (owner pid, liveness, age) into the JSON
+//!   body the `rescue-observer` `/status` endpoint serves.
 //! * [`seed`] — SplitMix64 stream derivation, so per-item randomness is
 //!   stable under resharding.
 //! * [`store`] / [`manifest`] / [`durable`] — durable campaigns: a
@@ -63,6 +67,7 @@
 
 pub mod driver;
 pub mod durable;
+pub mod fleet;
 pub mod manifest;
 pub mod progress;
 pub mod seed;
@@ -71,10 +76,11 @@ pub mod store;
 
 pub use driver::{Campaign, Schedule, ShardedRun};
 pub use durable::DurableRun;
+pub use fleet::{FleetEntry, FleetHandle};
 pub use manifest::{CampaignManifest, UnitSpec};
 pub use progress::{Progress, ProgressSnapshot};
 pub use stats::{CampaignStats, OutcomeTally};
 pub use store::{
-    CanonicalHasher, ClaimOutcome, ContentHash, FsStore, MemStore, ResultStore, StatsDelta,
-    UnitRecord,
+    CanonicalHasher, ClaimInfo, ClaimOutcome, ContentHash, FsStore, MemStore, ResultStore,
+    StatsDelta, UnitRecord,
 };

@@ -25,10 +25,39 @@
 //! `rescue-faults::content` pin the format.
 
 use rescue_telemetry::metrics;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cached handles for the store's hot-path metrics: looked up once, so
+/// `get`/`put`/`claim` never take the registry lock (the e14 overhead
+/// budget covers these paths).
+struct StoreMetrics {
+    puts: metrics::Counter,
+    probes: metrics::Counter,
+    claims: metrics::Counter,
+    claims_contended: metrics::Counter,
+    claims_broken: metrics::Counter,
+    corrupt_records: metrics::Counter,
+    claim_age_ms: metrics::Histogram,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StoreMetrics {
+        puts: metrics::counter("store.puts"),
+        probes: metrics::counter("store.probes"),
+        claims: metrics::counter("store.claims"),
+        claims_contended: metrics::counter("store.claims_contended"),
+        claims_broken: metrics::counter("store.claims_broken"),
+        corrupt_records: metrics::counter("store.corrupt_records"),
+        // Claim-to-publish latency from µs-scale MemStore units up to
+        // the stale-claim horizon (2^20 ms ≈ 17 min).
+        claim_age_ms: metrics::histogram("store.claim_age_ms", &metrics::pow2_bounds(21)),
+    })
+}
 
 /// 128-bit FNV-1a offset basis.
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -326,6 +355,13 @@ pub trait ResultStore: Sync {
 
     /// Number of completed unit records in the store.
     fn completed_units(&self) -> usize;
+
+    /// Filesystem root of the store, when it has one — lets the fleet
+    /// status registry scan live claims ([`scan_claims`]). In-memory
+    /// stores return `None` (the default).
+    fn root_dir(&self) -> Option<&Path> {
+        None
+    }
 }
 
 /// In-memory [`ResultStore`]: the warm-cache backend for in-process
@@ -333,7 +369,8 @@ pub trait ResultStore: Sync {
 #[derive(Debug, Default)]
 pub struct MemStore {
     units: Mutex<HashMap<u128, UnitRecord>>,
-    claims: Mutex<HashSet<u128>>,
+    /// Claim id → acquisition time (feeds `store.claim_age_ms`).
+    claims: Mutex<HashMap<u128, Instant>>,
 }
 
 impl MemStore {
@@ -355,30 +392,47 @@ impl MemStore {
 
 impl ResultStore for MemStore {
     fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        store_metrics().probes.incr();
         self.units.lock().expect("store mutex").get(&id.0).cloned()
     }
 
     fn put(&self, id: ContentHash, record: &UnitRecord) {
+        store_metrics().puts.incr();
         self.units
             .lock()
             .expect("store mutex")
             .insert(id.0, record.clone());
-        self.claims.lock().expect("claim mutex").remove(&id.0);
+        if let Some(acquired) = self.claims.lock().expect("claim mutex").remove(&id.0) {
+            store_metrics()
+                .claim_age_ms
+                .record(acquired.elapsed().as_millis() as u64);
+        }
     }
 
     fn claim(&self, id: ContentHash) -> ClaimOutcome {
         if self.units.lock().expect("store mutex").contains_key(&id.0) {
             return ClaimOutcome::Done;
         }
-        if self.claims.lock().expect("claim mutex").insert(id.0) {
-            ClaimOutcome::Acquired
-        } else {
-            ClaimOutcome::Busy
+        let mut claims = self.claims.lock().expect("claim mutex");
+        match claims.entry(id.0) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                store_metrics().claims_contended.incr();
+                ClaimOutcome::Busy
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Instant::now());
+                store_metrics().claims.incr();
+                ClaimOutcome::Acquired
+            }
         }
     }
 
     fn release(&self, id: ContentHash) {
-        self.claims.lock().expect("claim mutex").remove(&id.0);
+        if let Some(acquired) = self.claims.lock().expect("claim mutex").remove(&id.0) {
+            store_metrics()
+                .claim_age_ms
+                .record(acquired.elapsed().as_millis() as u64);
+        }
     }
 
     fn completed_units(&self) -> usize {
@@ -475,6 +529,7 @@ pub fn write_file_atomic(path: &Path, bytes: &[u8]) {
 
 impl ResultStore for FsStore {
     fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        store_metrics().probes.incr();
         let path = self.unit_path(id);
         let bytes = std::fs::read(&path).ok()?;
         match UnitRecord::decode(&bytes) {
@@ -483,15 +538,28 @@ impl ResultStore for FsStore {
                 // A torn or foreign-format record reads as missing; drop
                 // it so a subsequent claim can re-execute the unit.
                 let _ = std::fs::remove_file(&path);
-                metrics::counter("store.corrupt_records").add(1);
+                store_metrics().corrupt_records.incr();
                 None
             }
         }
     }
 
     fn put(&self, id: ContentHash, record: &UnitRecord) {
+        store_metrics().puts.incr();
         write_file_atomic(&self.unit_path(id), &record.encode());
-        let _ = std::fs::remove_file(self.claim_path(id));
+        let claim = self.claim_path(id);
+        // Claim-to-publish latency from the claim file's age; the extra
+        // stat is only paid while telemetry records anything.
+        if rescue_telemetry::enabled() {
+            if let Some(age) = std::fs::metadata(&claim)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+            {
+                store_metrics().claim_age_ms.record(age.as_millis() as u64);
+            }
+        }
+        let _ = std::fs::remove_file(claim);
     }
 
     fn claim(&self, id: ContentHash) -> ClaimOutcome {
@@ -507,6 +575,7 @@ impl ResultStore for FsStore {
             Ok(mut f) => {
                 use std::io::Write as _;
                 let _ = writeln!(f, "pid {}", std::process::id());
+                store_metrics().claims.incr();
                 ClaimOutcome::Acquired
             }
             Err(_) => {
@@ -515,7 +584,7 @@ impl ResultStore for FsStore {
                 if self.unit_path(id).exists() {
                     ClaimOutcome::Done
                 } else {
-                    metrics::counter("store.claims_contended").add(1);
+                    store_metrics().claims_contended.incr();
                     ClaimOutcome::Busy
                 }
             }
@@ -569,7 +638,7 @@ impl ResultStore for FsStore {
             }
         }
         if broken > 0 {
-            metrics::counter("store.stale_claims_broken").add(broken as u64);
+            store_metrics().claims_broken.add(broken as u64);
         }
         broken
     }
@@ -582,6 +651,74 @@ impl ResultStore for FsStore {
                     .count()
             })
             .unwrap_or(0)
+    }
+
+    fn root_dir(&self) -> Option<&Path> {
+        Some(&self.root)
+    }
+}
+
+/// One live claim under an [`FsStore`] root, as surfaced by
+/// [`scan_claims`]: which unit is held, by whom, for how long, and
+/// whether the owner is still alive as far as this host can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimInfo {
+    /// Claimed unit's content hash (32 hex digits).
+    pub unit: String,
+    /// Owner pid recorded in the claim file, when parseable.
+    pub pid: Option<u32>,
+    /// Claim age in milliseconds (from the claim file's mtime).
+    pub age_ms: u64,
+    /// Owner liveness: `Some(false)` means the claim is dead weight a
+    /// [`FsStore::break_stale_claims`] pass will reclaim; `None` when
+    /// the host has no `/proc` to ask (or no pid was recorded).
+    pub alive: Option<bool>,
+}
+
+/// Scans the live claims under an [`FsStore`] root — the straggler /
+/// dead-peer view the fleet status registry folds into `/status`.
+/// Unreadable entries are skipped; a store root with no claims
+/// directory scans as empty.
+pub fn scan_claims(root: &Path) -> Vec<ClaimInfo> {
+    let Ok(entries) = std::fs::read_dir(root.join("claims")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("claim") {
+            continue;
+        }
+        let unit = match path.file_stem().and_then(|s| s.to_str()) {
+            Some(stem) => stem.to_string(),
+            None => continue,
+        };
+        let pid = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| text.strip_prefix("pid ")?.trim().parse::<u32>().ok());
+        let age_ms = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .map(|age| age.as_millis() as u64)
+            .unwrap_or(0);
+        let alive = pid.and_then(FsStore::pid_alive);
+        out.push(ClaimInfo {
+            unit,
+            pid,
+            age_ms,
+            alive,
+        });
+    }
+    out.sort_by(|a, b| b.age_ms.cmp(&a.age_ms).then(a.unit.cmp(&b.unit)));
+    out
+}
+
+impl FsStore {
+    /// [`scan_claims`] over this store's root.
+    pub fn scan_claims(&self) -> Vec<ClaimInfo> {
+        scan_claims(&self.root)
     }
 }
 
@@ -735,6 +872,64 @@ mod tests {
         );
         assert_eq!(store.claim(id), ClaimOutcome::Acquired);
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn scan_claims_reports_owner_pid_age_and_liveness() {
+        let store = temp_store("scan");
+        let mine = ContentHash(0x51);
+        let dead = ContentHash(0x52);
+        assert_eq!(store.claim(mine), ClaimOutcome::Acquired);
+        std::fs::write(store.claim_path(dead), "pid 3999999999\n").unwrap();
+        let claims = store.scan_claims();
+        assert_eq!(claims.len(), 2);
+        let ours = claims
+            .iter()
+            .find(|c| c.unit == mine.to_string())
+            .expect("own claim visible");
+        assert_eq!(ours.pid, Some(std::process::id()));
+        let theirs = claims
+            .iter()
+            .find(|c| c.unit == dead.to_string())
+            .expect("forged claim visible");
+        assert_eq!(theirs.pid, Some(3999999999));
+        if FsStore::pid_alive(std::process::id()).is_some() {
+            assert_eq!(ours.alive, Some(true));
+            assert_eq!(theirs.alive, Some(false));
+        }
+        // Publishing the unit clears its claim from the scan.
+        store.put(mine, &sample_record(1));
+        assert_eq!(store.scan_claims().len(), 1);
+        // A rootless path scans as empty rather than erroring.
+        assert!(scan_claims(Path::new("/nonexistent-rescue-store")).is_empty());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn store_counters_and_claim_age_feed_the_registry() {
+        use rescue_telemetry::TelemetryConfig;
+        let _serial = rescue_telemetry::exclusive();
+        TelemetryConfig::on().install();
+        metrics::reset();
+        let store = MemStore::new();
+        let id = ContentHash(0x77);
+        assert_eq!(store.get(id), None);
+        assert_eq!(store.claim(id), ClaimOutcome::Acquired);
+        assert_eq!(store.claim(id), ClaimOutcome::Busy);
+        store.put(id, &sample_record(2));
+        let snap = metrics::snapshot();
+        TelemetryConfig::off().install();
+        // Lower bounds, not equalities: the registry is process-global
+        // and sibling tests running store operations on other threads
+        // record into the same counters while telemetry is on here.
+        assert!(snap.counter("store.probes") >= Some(1));
+        assert!(snap.counter("store.claims") >= Some(1));
+        assert!(snap.counter("store.claims_contended") >= Some(1));
+        assert!(snap.counter("store.puts") >= Some(1));
+        let ages = snap
+            .histogram("store.claim_age_ms")
+            .expect("claim age histogram registered");
+        assert!(ages.total >= 1, "the put resolved this test's claim");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use rescue_atpg::compact::static_compaction;
 use rescue_atpg::podem::{Podem, PodemOutcome};
 use rescue_atpg::untestable;
+use rescue_campaign::fleet;
 use rescue_campaign::{Campaign, CampaignStats};
 use rescue_faults::collapse;
 use rescue_faults::simulate::{FaultSimulator, PackedOptions};
@@ -133,6 +134,7 @@ impl HolisticFlow {
         let mark = journal::mark();
         // 1. Fault universe.
         let all_faults = {
+            fleet::set_stage("flow.universe");
             let _stage = span!("flow.universe");
             universe::stuck_at_universe(design)
         };
@@ -143,6 +145,7 @@ impl HolisticFlow {
             .map(|(n, _)| n.clone())
             .collect();
         let (workable, pruned_count) = {
+            fleet::set_stage("flow.untestable_prune");
             let _stage = span!("flow.untestable_prune");
             let report = untestable::identify(design, &all_faults, true);
             let pruned = prune(design, report.testable(), &outputs);
@@ -152,6 +155,7 @@ impl HolisticFlow {
         };
         // 3. ATPG on the workable set, with static compaction.
         let patterns: Vec<Vec<bool>> = {
+            fleet::set_stage("flow.atpg");
             let _stage = span!("flow.atpg", faults = workable.len());
             let podem = Podem::new(design);
             let mut cubes = Vec::new();
@@ -174,6 +178,7 @@ impl HolisticFlow {
         let driver = Campaign::new(seed, 1);
         let sim = FaultSimulator::new(design);
         let campaign_run = {
+            fleet::set_stage("flow.fault_sim");
             let _stage = span!("flow.fault_sim");
             let collapsed = collapse::collapse(design, &workable);
             let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
@@ -187,6 +192,7 @@ impl HolisticFlow {
         let campaign = campaign_run.report;
         // 5. ISO 26262 classification under a random mission stimulus.
         let (classification_run, safety, total_rate) = {
+            fleet::set_stage("flow.classify");
             let _stage = span!("flow.classify");
             let mission: Vec<Vec<bool>> = {
                 let mut state = seed.max(1);
@@ -211,6 +217,7 @@ impl HolisticFlow {
         let classification = classification_run.report;
         // 6. SET vulnerability.
         let set_run = {
+            fleet::set_stage("flow.set");
             let _stage = span!("flow.set");
             SetCampaign::new(design).run_campaign(
                 design,
@@ -223,6 +230,7 @@ impl HolisticFlow {
         let set = set_run.report;
         // 7. RIIF export.
         let riif = {
+            fleet::set_stage("flow.riif");
             let _stage = span!("flow.riif");
             let mut riif = RiifDatabase::new(design.name());
             riif.add_component(ComponentRecord {
@@ -243,6 +251,7 @@ impl HolisticFlow {
             });
             riif
         };
+        fleet::set_stage("");
         // Stage breakdown from the journal: completed `flow.*` spans of
         // this thread, in pipeline (completion) order. Non-destructive
         // snapshot so concurrent exporters still see the events.

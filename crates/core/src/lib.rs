@@ -47,6 +47,7 @@ pub use rescue_gpgpu as gpgpu;
 pub use rescue_mem as mem;
 pub use rescue_ml as ml;
 pub use rescue_netlist as netlist;
+pub use rescue_observer as observer;
 pub use rescue_radiation as radiation;
 pub use rescue_riif as riif;
 pub use rescue_rsn as rsn;

@@ -557,6 +557,7 @@ impl FaultSimulator {
         unit_faults: usize,
     ) -> CampaignRun {
         let c = &self.compiled;
+        rescue_campaign::fleet::set_stage("fault.campaign_durable");
         let _campaign = span!("fault.campaign_durable", faults = faults.len());
         let (walk, expand) = self.walk_list(faults, opts);
         let manifest = self.manifest_for(faults, patterns, opts, walk.len(), unit_faults);

@@ -1,0 +1,293 @@
+//! Live campaign observability endpoint: scrape a running RESCUE-rs
+//! process over HTTP.
+//!
+//! This crate is the exposition half of the ROADMAP's
+//! campaign-as-a-service item, landed as pure observability: a
+//! dependency-free HTTP/1.1 listener on [`std::net::TcpListener`]
+//! (keeping the hermetic no-external-deps build) that any campaign
+//! process can opt into. Three endpoints:
+//!
+//! * `GET /metrics` — the `rescue-telemetry` metrics registry in the
+//!   Prometheus text exposition format
+//!   ([`rescue_telemetry::expo`]): counters, gauges and histograms
+//!   with cumulative buckets and bucket-resolved p50/p99 quantiles.
+//! * `GET /status` — the fleet status registry
+//!   ([`rescue_campaign::fleet`]) as JSON: per-campaign units
+//!   total/cached/executed/waited, rates, ETA, campaign content hash,
+//!   the current flow stage, and live `FsStore` claims with owner pid,
+//!   liveness and age.
+//! * `GET /healthz` — `ok` (liveness probe).
+//!
+//! # Opt-in
+//!
+//! Nothing listens unless asked. [`serve_from_env`] reads
+//! `RESCUE_OBSERVE` (e.g. `RESCUE_OBSERVE=127.0.0.1:9090`) and starts
+//! an [`Observer`] when set; processes that never set it pay nothing.
+//! [`Observer::bind`] does the same explicitly, binding port 0 for an
+//! OS-assigned port when the address ends in `:0`.
+//!
+//! The listener runs on one background thread and serves requests
+//! serially — scrape traffic, not an application server. Rendering a
+//! scrape body touches only registry snapshots and the fleet registry
+//! lock, never a campaign's hot path.
+//!
+//! ```
+//! let observer = rescue_observer::Observer::bind("127.0.0.1:0").unwrap();
+//! let body = rescue_observer::http_get(observer.addr(), "/healthz").unwrap();
+//! assert_eq!(body, "ok");
+//! observer.shutdown();
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable naming the listen address (`host:port`).
+pub const OBSERVE_ENV: &str = "RESCUE_OBSERVE";
+
+/// Per-connection socket timeout: a stalled scraper must not wedge the
+/// serve loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running observability endpoint: background listener thread plus
+/// shutdown switch.
+#[derive(Debug)]
+pub struct Observer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Observer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, or port `0` for an
+    /// OS-assigned one) and starts serving on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, bad
+    /// address).
+    pub fn bind(addr: &str) -> std::io::Result<Observer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_worker = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rescue-observer".to_string())
+            .spawn(move || serve_loop(listener, &stop_worker))
+            .expect("spawn observer thread");
+        Ok(Observer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound listen address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for Observer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Starts an [`Observer`] when `RESCUE_OBSERVE` names a listen address;
+/// returns `None` (and does nothing) when it is unset or empty. A set
+/// address that fails to bind prints one warning to stderr rather than
+/// killing the campaign — observability must never take down the run
+/// it observes.
+pub fn serve_from_env() -> Option<Observer> {
+    let addr = std::env::var(OBSERVE_ENV).ok()?;
+    if addr.is_empty() {
+        return None;
+    }
+    match Observer::bind(&addr) {
+        Ok(observer) => Some(observer),
+        Err(e) => {
+            eprintln!("rescue-observer: cannot bind {OBSERVE_ENV}={addr}: {e}");
+            None
+        }
+    }
+}
+
+/// Accept loop: serve connections serially until the stop flag flips.
+fn serve_loop(listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let _ = handle(stream);
+    }
+}
+
+/// Routes one request path to `(status line, content type, body)`.
+fn respond(path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            rescue_telemetry::metrics::snapshot().to_prometheus(),
+        ),
+        "/status" => (
+            "200 OK",
+            "application/json",
+            rescue_campaign::fleet::status_json(),
+        ),
+        "/healthz" | "/" => ("200 OK", "text/plain; charset=utf-8", "ok".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+/// Serves one HTTP/1.1 request on `stream` and closes the connection.
+fn handle(stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block; scrape requests carry no body.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method == "GET" {
+        respond(path)
+    } else {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal HTTP GET over a std [`TcpStream`]: sends the request, strips
+/// the response headers, returns the body. The scrape probe CI's
+/// E19 gate (and the tests below) use against a live [`Observer`] —
+/// no HTTP client dependency needed.
+///
+/// # Errors
+///
+/// Returns connect/read errors, and `InvalidData` when the response is
+/// not a 200.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: rescue\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{path}: {status_line}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_telemetry::expo::validate_exposition;
+    use rescue_telemetry::{metrics, TelemetryConfig};
+
+    #[test]
+    fn endpoints_serve_metrics_status_and_health() {
+        let _serial = rescue_telemetry::exclusive();
+        TelemetryConfig::on().install();
+        metrics::counter("observer.test_hits").add(3);
+        metrics::gauge("observer.test_level").set(-2);
+        metrics::histogram("observer.test_lat", &metrics::pow2_bounds(8)).record(5);
+        TelemetryConfig::off().install();
+        let fleet = rescue_campaign::fleet::register("observer.test", "beef", 4, None);
+        fleet.add_cached(1);
+
+        let observer = Observer::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = observer.addr();
+
+        assert_eq!(http_get(addr, "/healthz").unwrap(), "ok");
+
+        let metrics_body = http_get(addr, "/metrics").unwrap();
+        assert!(metrics_body.contains("rescue_observer_test_hits_total 3"));
+        assert!(metrics_body.contains("rescue_observer_test_level -2"));
+        assert!(metrics_body.contains("rescue_observer_test_lat_bucket"));
+        validate_exposition(&metrics_body).expect("scrape body parses");
+
+        let status_body = http_get(addr, "/status").unwrap();
+        assert!(status_body.contains("\"name\":\"observer.test\""));
+        assert!(status_body.contains("\"campaign\":\"beef\""));
+        assert!(status_body.contains("\"units_cached\":1"));
+
+        assert!(http_get(addr, "/nope").is_err(), "404 on unknown path");
+        observer.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_the_listener() {
+        let observer = Observer::bind("127.0.0.1:0").unwrap();
+        let addr = observer.addr();
+        assert_eq!(http_get(addr, "/healthz").unwrap(), "ok");
+        observer.shutdown();
+        // The port stops answering (connect may still succeed briefly on
+        // some hosts; a full request must fail).
+        assert!(http_get(addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn serve_from_env_requires_the_variable() {
+        // Only asserts the unset path: mutating the environment would
+        // race sibling tests.
+        if std::env::var(OBSERVE_ENV).is_err() {
+            assert!(serve_from_env().is_none());
+        }
+    }
+}

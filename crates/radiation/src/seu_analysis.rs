@@ -397,6 +397,7 @@ impl SeuCampaign {
     ) -> SeuRun {
         let n_dff = netlist.dffs().len();
         let cycles = self.warmup.max(1);
+        rescue_campaign::fleet::set_stage("seu.campaign_durable");
         let _campaign_span = span!("seu.campaign_durable", points = points.len());
         let compiled = CompiledNetlist::new(netlist);
         let trace = GoldenTrace::record(&compiled, inputs, cycles - 1 + self.horizon)

@@ -1,0 +1,250 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! [`MetricsSnapshot::to_prometheus`] renders a frozen registry in the
+//! Prometheus text format (version 0.0.4) — the body a scraper receives
+//! from the `rescue-observer` crate's `/metrics` endpoint. The encoding
+//! is deliberately boring and deterministic:
+//!
+//! * metric families appear in snapshot (name-sorted) order, so two
+//!   snapshots of the same registry state render byte-identically — the
+//!   property the exposition proptests pin;
+//! * every registry name is sanitized into the Prometheus grammar
+//!   (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and prefixed `rescue_`, so
+//!   `fault.cone_size` exposes as `rescue_fault_cone_size`;
+//! * counters expose with the conventional `_total` suffix, histograms
+//!   expose cumulative `_bucket{le="…"}` series plus `_sum`/`_count`,
+//!   and the bucket-resolved p50/p99 quantiles from
+//!   [`HistogramSnapshot::quantile`] ride along as `_p50`/`_p99`
+//!   gauges (Prometheus histograms carry no server-side quantiles);
+//! * two registry names that sanitize to the same family (`a.b` and
+//!   `a_b`) keep the first and skip the rest — duplicate families are a
+//!   parse error on the scraper side, a silently shadowed metric is
+//!   not.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Sanitizes a registry metric name into the Prometheus name grammar
+/// and prefixes the workspace namespace: `fault.cone_size` →
+/// `rescue_fault_cone_size`. Every character outside
+/// `[a-zA-Z0-9_:]` maps to `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("rescue_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders one histogram family: cumulative buckets, sum, count and the
+/// p50/p99 bucket-bound gauges.
+fn write_histogram(s: &mut String, family: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(s, "# TYPE {family} histogram");
+    let mut cumulative = 0u64;
+    for (i, &count) in h.counts.iter().enumerate() {
+        cumulative += count;
+        match h.bounds.get(i) {
+            Some(b) => {
+                let _ = writeln!(s, "{family}_bucket{{le=\"{b}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(s, "{family}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(s, "{family}_sum {}", h.sum);
+    let _ = writeln!(s, "{family}_count {}", h.total);
+    for (suffix, q) in [("p50", 0.5), ("p99", 0.99)] {
+        let v = h.quantile(q);
+        let _ = writeln!(s, "# TYPE {family}_{suffix} gauge");
+        if v == u64::MAX {
+            let _ = writeln!(s, "{family}_{suffix} +Inf");
+        } else {
+            let _ = writeln!(s, "{family}_{suffix} {v}");
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Deterministic: the same snapshot always renders the same bytes.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for (name, v) in &self.counters {
+            let family = format!("{}_total", prometheus_name(name));
+            if !seen.insert(family.clone()) {
+                continue;
+            }
+            let _ = writeln!(s, "# TYPE {family} counter");
+            let _ = writeln!(s, "{family} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let family = prometheus_name(name);
+            if !seen.insert(family.clone()) {
+                continue;
+            }
+            let _ = writeln!(s, "# TYPE {family} gauge");
+            let _ = writeln!(s, "{family} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let family = prometheus_name(name);
+            if !seen.insert(family.clone()) {
+                continue;
+            }
+            write_histogram(&mut s, &family, h);
+        }
+        s
+    }
+}
+
+/// Structural check of a Prometheus text exposition body: every line is
+/// a comment (`# …`) or a `name[{labels}] value` sample whose name fits
+/// the grammar and whose value parses as a number (or `+Inf`), and no
+/// `# TYPE` family is declared twice. Returns the number of sample
+/// lines.
+///
+/// This is the scrape-side contract the exposition proptests (and the
+/// E19 smoke probe) hold [`MetricsSnapshot::to_prometheus`] to.
+///
+/// # Errors
+///
+/// Returns a line-numbered description of the first malformed line or
+/// duplicated family declaration.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut samples = 0usize;
+    let mut families: BTreeSet<&str> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let family = parts
+                    .next()
+                    .ok_or_else(|| format!("line {n}: TYPE without a family name"))?;
+                if !families.insert(family) {
+                    return Err(format!("line {n}: family \"{family}\" declared twice"));
+                }
+            }
+            continue;
+        }
+        // Sample line: name, optional {labels}, one value.
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid metric name \"{name}\""));
+        }
+        if value != "+Inf" && value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: non-numeric value \"{value}\""));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("fault.obs_walks".into(), 42)],
+            gauges: vec![("seu.lane_width".into(), 4)],
+            histograms: vec![(
+                "fault.cone_size".into(),
+                HistogramSnapshot {
+                    bounds: vec![1, 2, 4, 8],
+                    counts: vec![2, 1, 2, 0, 2],
+                    total: 7,
+                    sum: 119,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn exposition_has_the_expected_families() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE rescue_fault_obs_walks_total counter"));
+        assert!(text.contains("rescue_fault_obs_walks_total 42"));
+        assert!(text.contains("# TYPE rescue_seu_lane_width gauge"));
+        assert!(text.contains("rescue_seu_lane_width 4"));
+        assert!(text.contains("# TYPE rescue_fault_cone_size histogram"));
+        assert!(text.contains("rescue_fault_cone_size_bucket{le=\"1\"} 2"));
+        assert!(text.contains("rescue_fault_cone_size_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("rescue_fault_cone_size_sum 119"));
+        assert!(text.contains("rescue_fault_cone_size_count 7"));
+        assert!(text.contains("rescue_fault_cone_size_p50 4"));
+        assert!(text.contains("rescue_fault_cone_size_p99 +Inf"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let text = sample_snapshot().to_prometheus();
+        let cumulative: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("rescue_fault_cone_size_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(cumulative, vec![2, 3, 5, 5, 7]);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_parse_clean() {
+        let snap = sample_snapshot();
+        let a = snap.to_prometheus();
+        let b = snap.to_prometheus();
+        assert_eq!(a, b);
+        let samples = validate_exposition(&a).expect("parse-clean");
+        // 1 counter + 1 gauge + (5 buckets + sum + count + 2 quantiles).
+        assert_eq!(samples, 11);
+    }
+
+    #[test]
+    fn names_are_sanitized_and_collisions_skipped() {
+        assert_eq!(prometheus_name("fault.cone-size"), "rescue_fault_cone_size");
+        assert_eq!(prometheus_name("π.metric"), "rescue___metric");
+        let snap = MetricsSnapshot {
+            counters: vec![("a.b".into(), 1), ("a_b".into(), 2)],
+            gauges: vec![("a:b".into(), 3)],
+            histograms: Vec::new(),
+        };
+        let text = snap.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE rescue_a_b_total counter").count(),
+            1,
+            "colliding counter family emitted once"
+        );
+        assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        assert!(validate_exposition("rescue_ok 1\n").is_ok());
+        assert!(validate_exposition("1bad_name 1\n").is_err());
+        assert!(validate_exposition("rescue_x notanumber\n").is_err());
+        assert!(validate_exposition("no_value\n").is_err());
+        let dup = "# TYPE rescue_x counter\n# TYPE rescue_x counter\n";
+        assert!(validate_exposition(dup).is_err());
+    }
+}

@@ -191,6 +191,45 @@ impl Journal {
         unmatched.max(0) as usize
     }
 
+    /// The sub-journal with unmatched events removed: `Begin`s that
+    /// never ended and `End`s with no open span are dropped, matched
+    /// pairs and instants kept. A mid-run snapshot
+    /// ([`Journal::snapshot_since`] while spans are still open) fails
+    /// strict validation; filtered through this it exports clean —
+    /// the tool behind live journal exports from inside a campaign.
+    pub fn without_open_spans(&self) -> Journal {
+        let mut keep = vec![false; self.events.len()];
+        let mut open: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let stack = match open.iter_mut().find(|(tid, _)| *tid == e.tid) {
+                Some((_, stack)) => stack,
+                None => {
+                    open.push((e.tid, Vec::new()));
+                    &mut open.last_mut().expect("just pushed").1
+                }
+            };
+            match e.kind {
+                EventKind::Begin => stack.push(i),
+                EventKind::End => {
+                    if let Some(b) = stack.pop() {
+                        keep[b] = true;
+                        keep[i] = true;
+                    }
+                }
+                EventKind::Instant => keep[i] = true,
+            }
+        }
+        Journal {
+            events: self
+                .events
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(e, _)| *e)
+                .collect(),
+        }
+    }
+
     /// Aggregates matched spans by name: `(name, count, total_ns)`,
     /// sorted by descending total time. The stage-breakdown primitive
     /// behind the flow report and the markdown sink.
@@ -254,6 +293,28 @@ mod tests {
         TelemetryConfig::off().install();
         assert_eq!(j.unmatched_begins(), 0);
         assert_eq!(j.spans().len(), 2);
+    }
+
+    #[test]
+    fn without_open_spans_drops_only_unmatched_events() {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let m = mark();
+        let leak = Box::new(span!("live.open"));
+        {
+            let _ok = span!("live.closed");
+            instant!("live.tick");
+        }
+        let snap = Journal::snapshot_since(m).current_thread();
+        assert_eq!(snap.unmatched_begins(), 1);
+        let clean = snap.without_open_spans();
+        assert_eq!(clean.unmatched_begins(), 0);
+        // closed B + closed E + instant survive; the open B is gone.
+        assert_eq!(clean.len(), 3);
+        assert!(clean.events().iter().all(|e| e.name != "live.open"));
+        drop(leak);
+        let _ = Journal::take_since(m);
+        TelemetryConfig::off().install();
     }
 
     #[test]

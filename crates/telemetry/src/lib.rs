@@ -20,6 +20,12 @@
 //!   event stream; [`sinks`] renders it as a JSONL run journal, a
 //!   Chrome-trace (`trace_event`) file for flamegraph-style inspection,
 //!   and a markdown summary reused by the flow sign-off report.
+//! * **Observability plane** — [`expo`] renders the metrics registry in
+//!   the Prometheus text exposition format (served live by
+//!   `rescue-observer`'s `/metrics` endpoint), and [`merge`] stitches
+//!   the per-process JSONL journals of a multi-process campaign into
+//!   one pid-tagged, re-sequenced timeline with a pid-laned
+//!   Chrome-trace sink.
 //!
 //! # Zero cost when disabled
 //!
@@ -50,7 +56,9 @@
 //! ```
 
 pub mod event;
+pub mod expo;
 pub mod journal;
+pub mod merge;
 pub mod metrics;
 pub mod sinks;
 

@@ -1,0 +1,382 @@
+//! Cross-process journal aggregation.
+//!
+//! A multi-process campaign (E18's kill-resume run, an `FsStore` fleet)
+//! leaves one exported JSONL journal *per process*, each with its own
+//! sequence numbers and overlapping thread ids. [`merge`] reassembles
+//! them into one campaign-wide [`MergedJournal`]: every event is tagged
+//! with its owner's process id, the streams are interleaved by
+//! timestamp, and sequence numbers are re-assigned over the combined
+//! timeline.
+//!
+//! The merge is **order-insensitive**: the sort key `(ts_ns, pid,
+//! seq)` depends only on the events themselves, so feeding the same
+//! journals in any order yields a byte-identical timeline — the
+//! property the observability proptests pin.
+//!
+//! In-memory events carry `&'static str` names; merged events come from
+//! parsed files, so [`OwnedEvent`] owns its strings.
+
+use crate::event::EventKind;
+use crate::journal::Journal;
+use crate::sinks::field;
+use std::fmt::Write as _;
+
+/// One event of a merged multi-process timeline. The owning-string
+/// sibling of [`crate::Event`], plus the process id lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedEvent {
+    /// Sequence number in the merged timeline (re-assigned by [`merge`]).
+    pub seq: u64,
+    /// Timestamp, nanoseconds since the emitting process's telemetry
+    /// epoch.
+    pub ts_ns: u64,
+    /// Id of the process that emitted the event.
+    pub pid: u32,
+    /// Id of the emitting thread within that process.
+    pub tid: u64,
+    /// Event name.
+    pub name: String,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Optional integer argument.
+    pub arg: Option<(String, i64)>,
+}
+
+/// The pid-owning shape of one merged event: `(pid, name, kind, arg)`.
+/// See [`MergedJournal::signature`].
+pub type MergedSignature = (u32, String, EventKind, Option<(String, i64)>);
+
+/// A merged, re-sequenced multi-process event timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergedJournal {
+    events: Vec<OwnedEvent>,
+}
+
+fn parse_kind(ph: &str) -> Option<EventKind> {
+    match ph {
+        "B" => Some(EventKind::Begin),
+        "E" => Some(EventKind::End),
+        "i" => Some(EventKind::Instant),
+        _ => None,
+    }
+}
+
+/// Parses one exported JSONL line into an [`OwnedEvent`]. `default_pid`
+/// applies to single-process exports without a `pid` field; a `pid`
+/// field in the line (a re-merged journal) wins.
+fn parse_event(line: &str, default_pid: u32, n: usize) -> Result<OwnedEvent, String> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(format!("line {n}: not a JSON object"));
+    }
+    let kind = field(line, "ph")
+        .and_then(parse_kind)
+        .ok_or_else(|| format!("line {n}: missing or unknown \"ph\""))?;
+    let name = field(line, "name")
+        .ok_or_else(|| format!("line {n}: missing \"name\""))?
+        .to_string();
+    let tid: u64 = field(line, "tid")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {n}: missing or non-integer \"tid\""))?;
+    let ts_ns: u64 = field(line, "ts_ns")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {n}: missing or non-integer \"ts_ns\""))?;
+    let seq: u64 = field(line, "seq")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {n}: missing or non-integer \"seq\""))?;
+    let pid: u32 = match field(line, "pid") {
+        Some(p) => p
+            .parse()
+            .map_err(|_| format!("line {n}: non-integer \"pid\""))?,
+        None => default_pid,
+    };
+    let arg = match (field(line, "arg_name"), field(line, "arg_value")) {
+        (Some(k), Some(v)) => {
+            let v: i64 = v
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer \"arg_value\""))?;
+            Some((k.to_string(), v))
+        }
+        _ => None,
+    };
+    Ok(OwnedEvent {
+        seq,
+        ts_ns,
+        pid,
+        tid,
+        name,
+        kind,
+        arg,
+    })
+}
+
+/// Merges exported JSONL journals from several processes into one
+/// re-sequenced timeline. Each `(pid, text)` pair is one process's
+/// export; events are interleaved by `(ts_ns, pid, original seq)` —
+/// independent of argument order — and sequence numbers re-assigned
+/// over the result. A journal whose **final** line is torn (its writer
+/// was killed mid-flush) loses only that line, matching
+/// [`crate::sinks::validate_jsonl`]'s torn-tail tolerance.
+///
+/// # Errors
+///
+/// Returns a pid- and line-numbered description of the first malformed
+/// non-final line.
+pub fn merge(parts: &[(u32, &str)]) -> Result<MergedJournal, String> {
+    let mut events: Vec<OwnedEvent> = Vec::new();
+    for &(pid, text) in parts {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        for (pos, &(n, line)) in lines.iter().enumerate() {
+            match parse_event(line, pid, n) {
+                Ok(e) => events.push(e),
+                // A killed writer tears at most its final line.
+                Err(_) if pos + 1 == lines.len() && pos > 0 => break,
+                Err(e) => return Err(format!("pid {pid}: {e}")),
+            }
+        }
+    }
+    events.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(a.pid.cmp(&b.pid))
+            .then(a.seq.cmp(&b.seq))
+    });
+    for (i, e) in events.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+    Ok(MergedJournal { events })
+}
+
+impl MergedJournal {
+    /// Tags a captured in-memory [`Journal`] with a process id — the
+    /// single-process corner of a merge, and the exporter the E18 child
+    /// uses to leave a pid-tagged journal behind before it is killed.
+    pub fn from_journal(journal: &Journal, pid: u32) -> MergedJournal {
+        MergedJournal {
+            events: journal
+                .events()
+                .iter()
+                .map(|e| OwnedEvent {
+                    seq: e.seq,
+                    ts_ns: e.ts_ns,
+                    pid,
+                    tid: e.tid,
+                    name: e.name.to_string(),
+                    kind: e.kind,
+                    arg: e.arg.map(|(k, v)| (k.to_string(), v)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The merged events, ordered by re-assigned sequence number.
+    pub fn events(&self) -> &[OwnedEvent] {
+        &self.events
+    }
+
+    /// Number of merged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct process ids in the timeline, ascending.
+    pub fn pids(&self) -> Vec<u32> {
+        let mut pids: Vec<u32> = self.events.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// The timestamp-free signature of the timeline: `(pid, name, kind,
+    /// arg)` per event, in order. Two merges of the same journals — in
+    /// any argument order — produce identical signatures.
+    pub fn signature(&self) -> Vec<MergedSignature> {
+        self.events
+            .iter()
+            .map(|e| (e.pid, e.name.clone(), e.kind, e.arg.clone()))
+            .collect()
+    }
+
+    /// Renders the timeline as JSON Lines — the single-process
+    /// [`Journal::to_jsonl`] schema plus a `pid` field, accepted back
+    /// by both [`merge`] and [`crate::sinks::validate_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = write!(
+                s,
+                "{{\"seq\":{},\"ts_ns\":{},\"pid\":{},\"tid\":{},\"ph\":\"{}\",\"name\":\"{}\"",
+                e.seq,
+                e.ts_ns,
+                e.pid,
+                e.tid,
+                e.kind.phase(),
+                e.name
+            );
+            if let Some((k, v)) = &e.arg {
+                let _ = write!(s, ",\"arg_name\":\"{k}\",\"arg_value\":{v}");
+            }
+            s.push_str("}\n");
+        }
+        s
+    }
+
+    /// Writes the merged JSONL timeline to `path` crash-safely (temp
+    /// file + rename), like [`Journal::export_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the temp file cannot be
+    /// written or renamed.
+    pub fn export_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        let stem = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        let tmp = dir
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(format!(".{stem}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Renders the timeline in the Chrome `trace_event` JSON format
+    /// with one **process lane per pid** (unlike the single-process
+    /// [`Journal::to_chrome_trace`], which pins everything to pid 1).
+    /// `process_name` metadata labels each lane, so the E18 parent and
+    /// its killed child show up as separate named tracks in Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut s = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for pid in self.pids() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"rescue pid {pid}\"}}}}"
+            );
+        }
+        for e in &self.events {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let us = e.ts_ns as f64 / 1e3;
+            let _ = write!(
+                s,
+                "\n{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{us:.3},\"pid\":{},\"tid\":{}",
+                e.name,
+                e.kind.phase(),
+                e.pid,
+                e.tid
+            );
+            if e.kind == EventKind::Instant {
+                s.push_str(",\"s\":\"t\"");
+            }
+            if let Some((k, v)) = &e.arg {
+                let _ = write!(s, ",\"args\":{{\"{k}\":{v}}}");
+            }
+            s.push('}');
+        }
+        s.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::validate_jsonl;
+    use crate::{instant, span, TelemetryConfig};
+
+    fn captured_journal() -> Journal {
+        let _serial = crate::exclusive();
+        TelemetryConfig::on().install();
+        let m = crate::journal::mark();
+        {
+            let _stage = span!("merge.stage", items = 4);
+            instant!("merge.tick");
+        }
+        let j = Journal::take_since(m).current_thread();
+        TelemetryConfig::off().install();
+        j
+    }
+
+    #[test]
+    fn merge_interleaves_by_timestamp_and_resequences() {
+        let a = "{\"seq\":0,\"ts_ns\":10,\"tid\":0,\"ph\":\"i\",\"name\":\"a0\"}\n\
+                 {\"seq\":1,\"ts_ns\":30,\"tid\":0,\"ph\":\"i\",\"name\":\"a1\"}\n";
+        let b = "{\"seq\":0,\"ts_ns\":20,\"tid\":0,\"ph\":\"i\",\"name\":\"b0\"}\n";
+        let m = merge(&[(1, a), (2, b)]).unwrap();
+        let names: Vec<&str> = m.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a0", "b0", "a1"]);
+        let seqs: Vec<u64> = m.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(m.pids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let a = "{\"seq\":0,\"ts_ns\":10,\"tid\":0,\"ph\":\"B\",\"name\":\"s\"}\n\
+                 {\"seq\":1,\"ts_ns\":40,\"tid\":0,\"ph\":\"E\",\"name\":\"s\"}\n";
+        let b = "{\"seq\":0,\"ts_ns\":20,\"tid\":7,\"ph\":\"i\",\"name\":\"x\",\
+                 \"arg_name\":\"n\",\"arg_value\":3}\n";
+        let fwd = merge(&[(10, a), (20, b)]).unwrap();
+        let rev = merge(&[(20, b), (10, a)]).unwrap();
+        assert_eq!(fwd.signature(), rev.signature());
+        assert_eq!(fwd.to_jsonl(), rev.to_jsonl());
+    }
+
+    #[test]
+    fn merged_jsonl_round_trips_and_validates() {
+        let j = captured_journal();
+        let single = MergedJournal::from_journal(&j, 41);
+        let text = single.to_jsonl();
+        assert!(text.contains("\"pid\":41"));
+        // Round trip: merging the export reproduces the timeline.
+        let back = merge(&[(0, &text)]).unwrap();
+        assert_eq!(back.signature(), single.signature());
+        // The pid field wins over the default pid.
+        assert_eq!(back.pids(), vec![41]);
+        let check = validate_jsonl(&text).expect("merged journal validates");
+        assert_eq!(check.events, j.len());
+    }
+
+    #[test]
+    fn merge_tolerates_a_torn_tail_but_not_mid_file_damage() {
+        let torn = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"i\",\"name\":\"ok\"}\n\
+                    {\"seq\":1,\"ts_ns\":2,\"tid\":0,\"ph\":\"i\",\"na";
+        let m = merge(&[(5, torn)]).unwrap();
+        assert_eq!(m.len(), 1, "torn tail dropped, prefix kept");
+        let mid = "{\"seq\":0,\"ts_ns\":1,\"ph\":\"B\"\n\
+                   {\"seq\":1,\"ts_ns\":2,\"tid\":0,\"ph\":\"i\",\"name\":\"x\"}\n";
+        let err = merge(&[(5, mid)]).unwrap_err();
+        assert!(err.contains("pid 5"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_lanes_by_pid() {
+        let a = "{\"seq\":0,\"ts_ns\":10,\"tid\":0,\"ph\":\"i\",\"name\":\"a\"}\n";
+        let b = "{\"seq\":0,\"ts_ns\":20,\"tid\":0,\"ph\":\"i\",\"name\":\"b\"}\n";
+        let m = merge(&[(100, a), (200, b)]).unwrap();
+        let trace = m.to_chrome_trace();
+        assert!(trace.contains("\"name\":\"rescue pid 100\""));
+        assert!(trace.contains("\"name\":\"rescue pid 200\""));
+        assert!(trace.contains("\"pid\":100"));
+        assert!(trace.contains("\"pid\":200"));
+        assert!(trace.starts_with("{\"traceEvents\":["));
+    }
+}

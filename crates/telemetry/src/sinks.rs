@@ -133,6 +133,9 @@ pub struct JournalCheck {
     pub instants: usize,
     /// Distinct thread ids seen.
     pub threads: usize,
+    /// Distinct process ids seen. Single-process journals carry no
+    /// `pid` field and count as one process (pid 0).
+    pub processes: usize,
     /// The journal ends in a partial record (a writer died mid-line).
     /// The complete prefix validated clean; spans the crash left open
     /// are tolerated. Callers should surface this as a warning.
@@ -140,8 +143,9 @@ pub struct JournalCheck {
 }
 
 /// Extracts the value of `"key":` in a single JSON object line; returns
-/// the raw token (quotes stripped for strings).
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// the raw token (quotes stripped for strings). Shared with the
+/// cross-process merge parser in [`crate::merge`].
+pub(crate) fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -156,8 +160,10 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Parse failure of one journal line: the shapes a torn tail can take.
 /// Distinct from span-pairing errors, which are real structural damage
-/// wherever they occur.
-fn parse_line(line: &str, n: usize) -> Result<(String, String, u64), String> {
+/// wherever they occur. The `pid` field is optional — single-process
+/// exports omit it and parse as pid 0; merged multi-process journals
+/// carry it per line.
+fn parse_line(line: &str, n: usize) -> Result<(String, String, u32, u64), String> {
     if !line.starts_with('{') || !line.ends_with('}') {
         return Err(format!("line {n}: not a JSON object"));
     }
@@ -172,13 +178,22 @@ fn parse_line(line: &str, n: usize) -> Result<(String, String, u64), String> {
     field(line, "ts_ns")
         .and_then(|t| t.parse::<u64>().ok())
         .ok_or_else(|| format!("line {n}: missing or non-integer \"ts_ns\""))?;
-    Ok((ph.to_string(), name.to_string(), tid))
+    let pid: u32 = match field(line, "pid") {
+        Some(p) => p
+            .parse()
+            .map_err(|_| format!("line {n}: non-integer \"pid\""))?,
+        None => 0,
+    };
+    Ok((ph.to_string(), name.to_string(), pid, tid))
 }
 
 /// Validates a JSONL run journal: every line parses (object with `ph`,
-/// `name`, `tid`, `ts_ns`), and per thread every `B` has a matching
-/// `E` with names pairing LIFO — the property CI enforces on the
-/// quickstart journal artifact.
+/// `name`, `tid`, `ts_ns`, optional `pid`), and per `(pid, tid)` lane
+/// every `B` has a matching `E` with names pairing LIFO — the property
+/// CI enforces on the quickstart journal artifact. Keying lanes on
+/// `(pid, tid)` rather than bare `tid` is what lets merged
+/// multi-process journals validate: two processes reuse the same small
+/// thread ids, so their spans would otherwise look crossed.
 ///
 /// A journal whose **final** line fails to parse is treated as the
 /// torn tail of a crashed writer, not as corruption: the complete
@@ -193,7 +208,7 @@ fn parse_line(line: &str, n: usize) -> Result<(String, String, u64), String> {
 /// span left open at end of input.
 pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
     let mut check = JournalCheck::default();
-    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut stacks: Vec<((u32, u64), Vec<String>)> = Vec::new();
     let lines: Vec<(usize, &str)> = text
         .lines()
         .enumerate()
@@ -201,7 +216,7 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
         .filter(|(_, l)| !l.is_empty())
         .collect();
     for (pos, &(n, line)) in lines.iter().enumerate() {
-        let (ph, name, tid) = match parse_line(line, n) {
+        let (ph, name, pid, tid) = match parse_line(line, n) {
             Ok(parsed) => parsed,
             Err(_) if pos + 1 == lines.len() && pos > 0 => {
                 // A writer died mid-line: the tail record is torn but
@@ -211,10 +226,11 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
             }
             Err(e) => return Err(e),
         };
-        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+        let lane = (pid, tid);
+        let stack = match stacks.iter_mut().find(|(l, _)| *l == lane) {
             Some((_, s)) => s,
             None => {
-                stacks.push((tid, Vec::new()));
+                stacks.push((lane, Vec::new()));
                 &mut stacks.last_mut().expect("just pushed").1
             }
         };
@@ -230,12 +246,14 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
                     Some(open) if open == name => {}
                     Some(open) => {
                         return Err(format!(
-                            "line {n}: end of \"{name}\" but \"{open}\" is open (tid {tid})"
+                            "line {n}: end of \"{name}\" but \"{open}\" is open \
+                             (pid {pid}, tid {tid})"
                         ))
                     }
                     None => {
                         return Err(format!(
-                            "line {n}: end of \"{name}\" with no open span (tid {tid})"
+                            "line {n}: end of \"{name}\" with no open span \
+                             (pid {pid}, tid {tid})"
                         ))
                     }
                 }
@@ -244,13 +262,22 @@ pub fn validate_jsonl(text: &str) -> Result<JournalCheck, String> {
         }
     }
     if !check.truncated {
-        for (tid, stack) in &stacks {
+        for ((pid, tid), stack) in &stacks {
             if let Some(open) = stack.last() {
-                return Err(format!("span \"{open}\" never ended (tid {tid})"));
+                return Err(format!(
+                    "span \"{open}\" never ended (pid {pid}, tid {tid})"
+                ));
             }
         }
     }
-    check.threads = stacks.len();
+    let mut tids: Vec<u64> = stacks.iter().map(|((_, t), _)| *t).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    check.threads = tids.len();
+    let mut pids: Vec<u32> = stacks.iter().map(|((p, _), _)| *p).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    check.processes = pids.len();
     Ok(check)
 }
 
@@ -299,6 +326,30 @@ mod tests {
         assert!(err.contains("\"b\""), "{err}");
         let stray_end = "{\"seq\":0,\"ts_ns\":1,\"tid\":0,\"ph\":\"E\",\"name\":\"x\"}\n";
         assert!(validate_jsonl(stray_end).is_err());
+    }
+
+    #[test]
+    fn validator_lanes_merged_journals_by_pid() {
+        // Two processes reuse tid 0; their spans interleave in the
+        // merged timeline. Laned on (pid, tid) this is well-formed.
+        let merged = "{\"seq\":0,\"ts_ns\":1,\"pid\":100,\"tid\":0,\"ph\":\"B\",\"name\":\"a\"}\n\
+                      {\"seq\":1,\"ts_ns\":2,\"pid\":200,\"tid\":0,\"ph\":\"B\",\"name\":\"b\"}\n\
+                      {\"seq\":2,\"ts_ns\":3,\"pid\":100,\"tid\":0,\"ph\":\"E\",\"name\":\"a\"}\n\
+                      {\"seq\":3,\"ts_ns\":4,\"pid\":200,\"tid\":0,\"ph\":\"E\",\"name\":\"b\"}\n";
+        let check = validate_jsonl(merged).expect("merged journal is well-formed");
+        assert_eq!(check.events, 4);
+        assert_eq!(check.processes, 2);
+        assert_eq!(check.threads, 1, "both processes use tid 0");
+        // Without the pid field the same interleaving is crossed spans.
+        let flat = merged
+            .replace("\"pid\":100,", "")
+            .replace("\"pid\":200,", "");
+        let err = validate_jsonl(&flat).unwrap_err();
+        assert!(err.contains("\"a\""), "{err}");
+        // A bad pid is corruption like any other bad field.
+        let bad = "{\"seq\":0,\"ts_ns\":1,\"pid\":\"x\",\"tid\":0,\"ph\":\"i\",\"name\":\"a\"}\n\
+                   {\"seq\":1,\"ts_ns\":2,\"pid\":1,\"tid\":0,\"ph\":\"i\",\"name\":\"b\"}\n";
+        assert!(validate_jsonl(bad).is_err());
     }
 
     #[test]

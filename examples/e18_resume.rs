@@ -17,10 +17,17 @@
 //!   parent reliably catches it mid-campaign.
 //!
 //! The resumed run executes with telemetry on and exports its journal
-//! to `e18_resume.jsonl` for `journal_check` validation. Set
-//! `E18_SMOKE=1` for the seconds-scale CI workload; the full workload
-//! additionally writes `BENCH_resume.json` (plain vs cold vs warm vs
-//! resumed, with the execution environment recorded).
+//! to `e18_resume.jsonl` for `journal_check` validation. The child runs
+//! with telemetry on too, exporting a pid-tagged snapshot of its
+//! journal (open spans stripped) before every unit flush — so when the
+//! SIGKILL lands, a crash-consistent journal of the dead process
+//! survives in the store's journal directory. The parent salvages it to
+//! `e18_child.jsonl`: together with `e18_resume.jsonl` it is the
+//! two-process input `journal_merge` reassembles into one timeline
+//! (CI's E19 gate). Set `E18_SMOKE=1` for the seconds-scale CI
+//! workload; the full workload additionally writes `BENCH_resume.json`
+//! (plain vs cold vs warm vs resumed, with the execution environment
+//! recorded).
 
 use rescue_bench::{banner, blog, env_json};
 use rescue_core::campaign::{
@@ -29,7 +36,8 @@ use rescue_core::campaign::{
 use rescue_core::faults::simulate::{FaultSimulator, PackedOptions};
 use rescue_core::faults::universe;
 use rescue_core::netlist::generate;
-use rescue_core::telemetry::{journal, TelemetryConfig};
+use rescue_core::telemetry::merge::MergedJournal;
+use rescue_core::telemetry::{instant, journal, TelemetryConfig};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -85,9 +93,25 @@ fn setup() -> Setup {
 /// parent's kill always lands mid-campaign, without touching the
 /// engine. Every other operation passes straight through — the claim
 /// protocol stays real.
+///
+/// Before each flush it also exports a pid-tagged snapshot of the
+/// child's journal into the store's journal directory (atomic rename,
+/// open spans stripped so the mid-run snapshot validates). The export
+/// happens *before* the unit record lands, so once the parent sees a
+/// unit on disk a journal of the soon-to-be-dead process is guaranteed
+/// to exist.
 struct ThrottledStore {
     inner: FsStore,
     delay: Duration,
+    journal_mark: u64,
+}
+
+impl ThrottledStore {
+    fn export_journal(&self) {
+        let snap = journal::Journal::snapshot_since(self.journal_mark).without_open_spans();
+        let tagged = MergedJournal::from_journal(&snap, std::process::id());
+        let _ = tagged.export_jsonl(&self.inner.journal_path("child.jsonl"));
+    }
 }
 
 impl ResultStore for ThrottledStore {
@@ -96,6 +120,8 @@ impl ResultStore for ThrottledStore {
     }
     fn put(&self, id: ContentHash, record: &UnitRecord) {
         std::thread::sleep(self.delay);
+        instant!("e18.child_put", bytes = record.payload.len());
+        self.export_journal();
         self.inner.put(id, record);
     }
     fn claim(&self, id: ContentHash) -> ClaimOutcome {
@@ -119,9 +145,11 @@ fn child(dir: &str, throttle_ms: u64) {
     let s = setup();
     let faults = universe::stuck_at_universe(&s.net);
     let sim = FaultSimulator::new(&s.net);
+    TelemetryConfig::on().install();
     let store = ThrottledStore {
         inner: FsStore::open(dir),
         delay: Duration::from_millis(throttle_ms),
+        journal_mark: journal::mark(),
     };
     sim.campaign_packed_durable(
         &faults,
@@ -222,6 +250,16 @@ fn parent() {
     let flushed = units_on_disk(&kill_dir);
     blog!("  killed child with {flushed}/{units_total} unit(s) on disk");
 
+    // Salvage the dead child's journal: the throttled store exported a
+    // pid-tagged snapshot before each unit flush, so with at least one
+    // unit on disk the export must exist (atomic rename — never torn).
+    let child_journal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e18_child.jsonl");
+    std::fs::copy(
+        kill_dir.join("journal").join("child.jsonl"),
+        child_journal_path,
+    )
+    .expect("child journal must exist once a unit is on disk");
+
     // Resume the half-dead store to completion, journal on. The dead
     // child's leftover claim files are broken (its pid is gone) and the
     // missing units re-claimed.
@@ -255,8 +293,11 @@ fn parent() {
         "cached + executed covers the plan exactly"
     );
 
+    // Export pid-tagged so `journal_merge` keeps the resumed run and
+    // the killed child on distinct process lanes.
     let journal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e18_resume.jsonl");
-    j.export_jsonl(Path::new(journal_path))
+    MergedJournal::from_journal(&j, std::process::id())
+        .export_jsonl(Path::new(journal_path))
         .expect("write resume journal");
 
     blog!(
@@ -289,6 +330,7 @@ fn parent() {
         100.0 * t_warm / t_cold,
         j.len()
     );
+    blog!("  child journal salvaged -> {child_journal_path}");
 
     if !s.smoke {
         let json = format!(

@@ -1,0 +1,213 @@
+//! E19 — live campaign observability: scrape `/metrics` and `/status`
+//! from inside a running durable campaign.
+//!
+//! The acceptance run for the observability plane. One process, fully
+//! deterministic: telemetry on, an [`Observer`] bound to
+//! `RESCUE_OBSERVE` (or an ephemeral port when unset), and a durable
+//! fault campaign driven through a [`ProbeStore`] that scrapes its own
+//! process over real TCP from inside the first `put()` — guaranteed
+//! mid-campaign, no polling race. The example asserts:
+//!
+//! * the mid-campaign `/metrics` body parses as Prometheus text
+//!   exposition and carries the store counters;
+//! * the mid-campaign `/status` JSON shows the live campaign on the
+//!   `fault.campaign_durable` stage, unfinished;
+//! * after the run, `/metrics` reports exactly `units_total` store
+//!   puts and `/status` marks the campaign finished;
+//! * `/healthz` answers `ok` throughout.
+//!
+//! `E19_SMOKE=1` selects the seconds-scale CI workload (the default is
+//! the same shape, slightly larger).
+
+use rescue_bench::{banner, blog};
+use rescue_core::campaign::{
+    Campaign, ClaimOutcome, ContentHash, FsStore, ResultStore, UnitRecord,
+};
+use rescue_core::faults::simulate::{FaultSimulator, PackedOptions};
+use rescue_core::faults::universe;
+use rescue_core::netlist::generate;
+use rescue_core::observer::{http_get, Observer, OBSERVE_ENV};
+use rescue_core::telemetry::expo::validate_exposition;
+use rescue_core::telemetry::{metrics, TelemetryConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const N_INPUTS: usize = 16;
+const N_OUTPUTS: usize = 4;
+const SEED: u64 = 19;
+const WORKERS: usize = 2;
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1) ^ 0x5851_f42d_4c95_7f2d;
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A mid-campaign scrape: both endpoint bodies, captured from inside
+/// the store's first `put()`.
+struct Scrape {
+    metrics: String,
+    status: String,
+}
+
+/// [`FsStore`] wrapper that scrapes the process's own observer from
+/// inside the first unit flush. At that moment the durable runner is
+/// demonstrably mid-campaign — registered in the fleet, workers live,
+/// more units pending — so the captured bodies exercise the live
+/// paths (fleet entry unfinished, claim files on disk) rather than the
+/// quiescent after-the-run state.
+struct ProbeStore {
+    inner: FsStore,
+    addr: SocketAddr,
+    puts: AtomicUsize,
+    captured: Mutex<Option<Scrape>>,
+}
+
+impl ResultStore for ProbeStore {
+    fn get(&self, id: ContentHash) -> Option<UnitRecord> {
+        self.inner.get(id)
+    }
+    fn put(&self, id: ContentHash, record: &UnitRecord) {
+        if self.puts.fetch_add(1, Ordering::Relaxed) == 0 {
+            let scrape = Scrape {
+                metrics: http_get(self.addr, "/metrics").expect("mid-campaign /metrics"),
+                status: http_get(self.addr, "/status").expect("mid-campaign /status"),
+            };
+            assert_eq!(
+                http_get(self.addr, "/healthz").expect("mid-campaign /healthz"),
+                "ok"
+            );
+            *self.captured.lock().unwrap() = Some(scrape);
+        }
+        self.inner.put(id, record);
+    }
+    fn claim(&self, id: ContentHash) -> ClaimOutcome {
+        self.inner.claim(id)
+    }
+    fn release(&self, id: ContentHash) {
+        self.inner.release(id)
+    }
+    fn break_stale_claims(&self) -> usize {
+        self.inner.break_stale_claims()
+    }
+    fn completed_units(&self) -> usize {
+        self.inner.completed_units()
+    }
+}
+
+/// First sample value for `name` in a Prometheus exposition body.
+fn sample(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    banner("E19", "live observability: /metrics + /status mid-campaign");
+    let smoke = std::env::var("E19_SMOKE").is_ok_and(|v| v == "1");
+    let (gates, n_patterns, grain) = if smoke { (300, 96, 8) } else { (900, 256, 16) };
+    let net = generate::random_logic(N_INPUTS, gates, N_OUTPUTS, SEED);
+    let patterns = random_patterns(N_INPUTS, n_patterns, SEED ^ 0x9e37);
+    let faults = universe::stuck_at_universe(&net);
+    let sim = FaultSimulator::new(&net);
+
+    TelemetryConfig::on().install();
+    metrics::reset();
+
+    // Honour RESCUE_OBSERVE when set (the CI gate sets it); fall back
+    // to an OS-assigned port so the example runs anywhere.
+    let listen = std::env::var(OBSERVE_ENV).unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let observer = Observer::bind(&listen).expect("bind observability endpoint");
+    let addr = observer.addr();
+    blog!("  observer listening on {addr} ({OBSERVE_ENV}={listen})");
+
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../e19_store"));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ProbeStore {
+        inner: FsStore::open(&root),
+        addr,
+        puts: AtomicUsize::new(0),
+        captured: Mutex::new(None),
+    };
+    let run = sim.campaign_packed_durable(
+        &faults,
+        &patterns,
+        &Campaign::new(SEED, WORKERS),
+        PackedOptions::default(),
+        &store,
+        grain,
+    );
+    let units_total = run.stats.units_total;
+    assert_eq!(
+        run.stats.units_executed, units_total,
+        "cold run executes all"
+    );
+
+    // Mid-campaign scrape: captured inside the first unit flush.
+    let scrape = store
+        .captured
+        .lock()
+        .unwrap()
+        .take()
+        .expect("campaign flushed at least one unit");
+    let samples = validate_exposition(&scrape.metrics).expect("mid-campaign scrape parses");
+    assert!(
+        scrape.metrics.contains("rescue_store_puts_total"),
+        "store counters exposed mid-campaign"
+    );
+    assert!(
+        scrape
+            .status
+            .contains("\"stage\":\"fault.campaign_durable\""),
+        "live stage visible in /status"
+    );
+    assert!(
+        scrape
+            .status
+            .contains("\"name\":\"fault.campaign_durable\""),
+        "durable campaign registered in the fleet"
+    );
+    assert!(
+        scrape.status.contains("\"finished\":false"),
+        "mid-campaign entry is unfinished"
+    );
+    blog!(
+        "  mid-campaign: /metrics {} sample(s) ({} bytes), /status {} bytes",
+        samples,
+        scrape.metrics.len(),
+        scrape.status.len()
+    );
+
+    // Quiescent scrape: the counters account for every unit flushed.
+    let after = http_get(addr, "/metrics").expect("post-campaign /metrics");
+    validate_exposition(&after).expect("post-campaign scrape parses");
+    let puts = sample(&after, "rescue_store_puts_total").expect("puts counter present");
+    assert_eq!(puts as usize, units_total, "one store put per unit");
+    let status = http_get(addr, "/status").expect("post-campaign /status");
+    assert!(
+        status.contains("\"finished\":true"),
+        "fleet entry marked finished after the run"
+    );
+    blog!(
+        "  post-campaign: {units_total} unit(s), rescue_store_puts_total {}, coverage {:.1}%",
+        puts as usize,
+        run.report.coverage() * 100.0
+    );
+
+    observer.shutdown();
+    TelemetryConfig::off().install();
+    let _ = std::fs::remove_dir_all(&root);
+    blog!("  E19 OK — live scrape validated mid-campaign and quiescent");
+}

@@ -1,6 +1,9 @@
 //! Validates a JSONL run journal exported by the quickstart (or any
 //! other `RESCUE_JOURNAL=` export): every line must parse and every
-//! `Begin` must pair LIFO with its `End` per thread.
+//! `Begin` must pair LIFO with its `End` per `(process, thread)` lane —
+//! so merged multi-process journals from `journal_merge` (each line
+//! carrying a `pid` field) validate with the same gate as
+//! single-process exports.
 //!
 //! ```text
 //! RESCUE_JOURNAL=run cargo run --example quickstart
@@ -32,8 +35,14 @@ fn main() {
                 );
             }
             println!(
-                "{path}: OK — {} events ({} begin / {} end / {} instant) on {} thread(s)",
-                check.events, check.begins, check.ends, check.instants, check.threads
+                "{path}: OK — {} events ({} begin / {} end / {} instant) on \
+                 {} thread(s) across {} process(es)",
+                check.events,
+                check.begins,
+                check.ends,
+                check.instants,
+                check.threads,
+                check.processes
             );
         }
         Err(e) => {

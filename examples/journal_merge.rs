@@ -1,0 +1,106 @@
+//! Merges per-process JSONL run journals into one campaign-wide
+//! timeline.
+//!
+//! A multi-process campaign — E18's kill-resume run, a fleet of
+//! `FsStore` workers — leaves one exported journal per process. This
+//! tool reassembles them: events are tagged with their owner's pid,
+//! interleaved by timestamp, re-sequenced, and written as one merged
+//! JSONL journal (which `journal_check` validates like any other) plus
+//! a pid-laned Chrome trace for side-by-side inspection in Perfetto.
+//!
+//! ```text
+//! cargo run --example journal_merge -- merged e18_resume.jsonl e18_child.jsonl
+//! # -> merged.jsonl + merged_trace.json
+//! ```
+//!
+//! Each input may be `pid:path` to pin the process id lane explicitly
+//! (`4242:worker.jsonl`); a bare path uses its position (1-based) as
+//! the pid, and a journal whose lines already carry `pid` fields (a
+//! re-merge) keeps them. A torn final line — the signature of a killed
+//! writer — costs only that line, matching `journal_check`'s torn-tail
+//! tolerance.
+//!
+//! Exits 2 on unreadable input, 1 on a malformed journal.
+
+use rescue_core::telemetry::merge;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: journal_merge <out-stem> <journal.jsonl | pid:journal.jsonl>...");
+        std::process::exit(2);
+    }
+    let stem = &args[0];
+    let mut texts: Vec<(u32, String, String)> = Vec::new();
+    for (i, spec) in args[1..].iter().enumerate() {
+        // `pid:path` pins the lane; a bare path gets its position.
+        let (pid, path) = match spec.split_once(':') {
+            Some((pid, path)) if pid.chars().all(|c| c.is_ascii_digit()) && !pid.is_empty() => {
+                (pid.parse().expect("digits only"), path.to_string())
+            }
+            _ => ((i + 1) as u32, spec.clone()),
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => texts.push((pid, path, text)),
+            Err(e) => {
+                eprintln!("journal_merge: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let parts: Vec<(u32, &str)> = texts
+        .iter()
+        .map(|(pid, _, text)| (*pid, text.as_str()))
+        .collect();
+    let merged = match merge::merge(&parts) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("journal_merge: INVALID — {e}");
+            std::process::exit(1);
+        }
+    };
+    let jsonl_path = format!("{stem}.jsonl");
+    let trace_path = format!("{stem}_trace.json");
+    merged
+        .export_jsonl(std::path::Path::new(&jsonl_path))
+        .unwrap_or_else(|e| {
+            eprintln!("journal_merge: cannot write {jsonl_path}: {e}");
+            std::process::exit(2);
+        });
+    std::fs::write(&trace_path, merged.to_chrome_trace()).unwrap_or_else(|e| {
+        eprintln!("journal_merge: cannot write {trace_path}: {e}");
+        std::process::exit(2);
+    });
+    for (pid, path, text) in &texts {
+        // Per-input accounting: a `pid` field inside the file overrides
+        // the positional/pinned lane, so re-merge the file alone to see
+        // the lanes it actually landed on.
+        let solo = merge::merge(&[(*pid, text)]).expect("already merged above");
+        let lanes = solo
+            .pids()
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+        let torn = if solo.len() < lines {
+            " (torn tail dropped)"
+        } else {
+            ""
+        };
+        println!(
+            "  pid {:>7}  {:>6} event(s){torn}  <- {path}",
+            if lanes.is_empty() {
+                "-".to_string()
+            } else {
+                lanes
+            },
+            solo.len()
+        );
+    }
+    println!(
+        "merged {} event(s) across {} process(es) -> {jsonl_path} + {trace_path}",
+        merged.len(),
+        merged.pids().len()
+    );
+}
