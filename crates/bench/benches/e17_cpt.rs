@@ -33,7 +33,7 @@
 //! journal to `e17_smoke.jsonl` for `journal_check` validation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescue_bench::{banner, blog, env_json, host_cpus};
+use rescue_bench::{banner, blog, env_json, host_cpus, warn_env_drift};
 use rescue_core::campaign::Campaign;
 use rescue_core::faults::collapse::collapse;
 use rescue_core::faults::simulate::{FaultSimulator, PackedOptions};
@@ -294,6 +294,7 @@ fn bench(c: &mut Criterion) {
         hybrid_over_walk,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cpt.json");
+    warn_env_drift(path);
     if let Err(e) = std::fs::write(path, &json) {
         blog!("  (could not write {path}: {e})");
     } else {

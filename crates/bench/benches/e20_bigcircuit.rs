@@ -1,0 +1,406 @@
+//! E20 — million-gate scaling ladder: parallel plan construction,
+//! level-ordered layouts and the compiled-artifact cache.
+//!
+//! Three rungs from `generate::scaling_ladder()` — 50 k, 200 k and 10^6
+//! gates — each measuring the *setup* path that dominates big-circuit
+//! campaigns before the first pattern simulates:
+//!
+//! * **generate / levelize / compile** — netlist construction, the
+//!   level-ordered renumbering (`renumber::levelized`, the
+//!   cache-friendly layout) and arena compilation;
+//! * **collapse** — the dense-slot equivalence rule pass
+//!   (`collapse_with`, sharded over workers);
+//! * **plan build, serial vs parallel** — `TracePlan::build` against
+//!   `TracePlan::build_with(workers)` on the campaign's walk list
+//!   (byte-identity asserted before timing; the >= 2x acceptance guard
+//!   on the 200 k+ rungs is gated on `host_cpus() >= 4`);
+//! * **artifact cache, cold vs warm** — the same campaign through
+//!   `FaultSimulator::new_cached` + `PackedOptions::with_artifacts`:
+//!   the cold pass builds and publishes compiled netlist + plan, the
+//!   warm pass decodes them (zero DFS / classification work), and the
+//!   warm plan-reload is timed directly against the serial build.
+//!   Verdict equality cold vs warm vs uncached is asserted per rung.
+//!
+//! Campaign timings use 256 random patterns through the hybrid engine
+//! (W=4, collapsed, traced). On the 50 k rung the same campaign also runs
+//! on the *original* (non-levelized) gate numbering so the layout effect
+//! is a measured number, not a claim; coverage equality between the two
+//! numberings is asserted.
+//!
+//! Measurements land in `BENCH_bigcircuit.json` with the execution
+//! environment stamped; `warn_env_drift` flags regeneration on a host
+//! with a different CPU count than the committed figures.
+//!
+//! Set `E20_SMOKE=1` for a seconds-scale CI run: the 200 k rung with a
+//! reduced pattern block and telemetry on, exporting the run journal to
+//! `e20_smoke.jsonl` for `journal_check` validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescue_bench::{banner, blog, env_json, host_cpus, warn_env_drift};
+use rescue_core::campaign::{ArtifactStore, Campaign};
+use rescue_core::faults::collapse::{collapse_with, CollapsedUniverse};
+use rescue_core::faults::engine::po_reachable;
+use rescue_core::faults::simulate::{FaultSimulator, PackedOptions};
+use rescue_core::faults::trace::TracePlan;
+use rescue_core::faults::{content, universe, Fault};
+use rescue_core::netlist::generate::{scaling_ladder, ScaleRung};
+use rescue_core::netlist::renumber;
+use rescue_core::sim::compiled::CompiledNetlist;
+use rescue_core::telemetry::{journal, TelemetryConfig};
+use std::time::Instant;
+
+const PATTERNS: usize = 256;
+const SMOKE_PATTERNS: usize = 64;
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1) ^ 0x5851_f42d_4c95_7f2d;
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// The walk list the packed engines plan over: PO-reachable collapse
+/// representatives in order of first appearance over the universe —
+/// exactly the list `campaign_packed` plans (and keys its cached plan)
+/// under.
+fn walk_list_of(
+    c: &CompiledNetlist,
+    collapsed: &CollapsedUniverse,
+    faults: &[Fault],
+) -> Vec<Fault> {
+    let reachable = po_reachable(c);
+    let mut seen = std::collections::HashSet::new();
+    let mut walk = Vec::new();
+    for &f in faults {
+        let rep = collapsed.representative(f);
+        if reachable[rep.site().gate().index()] && seen.insert(rep) {
+            walk.push(rep);
+        }
+    }
+    walk
+}
+
+struct RungResult {
+    name: &'static str,
+    gates: usize,
+    faults: usize,
+    walk_len: usize,
+    t_generate: f64,
+    t_levelize: f64,
+    t_compile: f64,
+    t_collapse: f64,
+    t_plan_serial: f64,
+    t_plan_parallel: f64,
+    t_plan_reload: f64,
+    t_campaign_cold: f64,
+    t_campaign_warm: f64,
+    coverage: f64,
+    walked: usize,
+    traced: usize,
+}
+
+impl RungResult {
+    fn plan_speedup(&self) -> f64 {
+        self.t_plan_serial / self.t_plan_parallel
+    }
+    fn reload_speedup(&self) -> f64 {
+        self.t_plan_serial / self.t_plan_reload
+    }
+}
+
+fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize) -> RungResult {
+    blog!("  [{}] building {} gates...", rung.name, rung.gates);
+    let (net, t_generate) = secs(|| rung.build());
+    let ((lev, _map), t_levelize) = secs(|| renumber::levelized(&net));
+    let (c, t_compile) = secs(|| CompiledNetlist::new(&lev));
+    let faults = universe::stuck_at_universe(&lev);
+    let (collapsed, t_collapse) = secs(|| collapse_with(&lev, &faults, workers));
+    let walk = walk_list_of(&c, &collapsed, &faults);
+
+    // Parallel plan construction must be invisible: byte-identical to
+    // the serial build (the property suite pins this on small designs;
+    // asserting it here extends the evidence to the full-size rungs).
+    let (serial_plan, t_plan_serial) = secs(|| TracePlan::build(&c, &walk));
+    let (parallel_plan, t_plan_parallel) = secs(|| TracePlan::build_with(&c, &walk, workers));
+    assert_eq!(
+        serial_plan.to_bytes(),
+        parallel_plan.to_bytes(),
+        "{}-gate rung: parallel plan build diverged from serial",
+        rung.gates
+    );
+
+    // Artifact cache: cold publishes, warm decodes. The reload timing is
+    // the direct "setup executes zero DFS" number.
+    let dir = std::env::temp_dir().join(format!("rescue-e20-{}-{}", rung.name, std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = ArtifactStore::open(&dir);
+    let patterns = random_patterns(lev.primary_inputs().len(), n_patterns, rung.seed ^ 0x9e37);
+    let campaign = Campaign::new(0, workers);
+    let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
+
+    let (cold, t_campaign_cold) = secs(|| {
+        let sim = FaultSimulator::new_cached(&lev, &store);
+        sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
+    });
+    let (warm, t_campaign_warm) = secs(|| {
+        let sim = FaultSimulator::new_cached(&lev, &store);
+        sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
+    });
+    assert_eq!(
+        cold.report.first_detection(),
+        warm.report.first_detection(),
+        "{}-gate rung: warm cache pass diverged from cold",
+        rung.gates
+    );
+
+    let key = content::plan_key(&c, &walk, true);
+    let (reloaded, t_plan_reload) = secs(|| {
+        TracePlan::from_bytes(&store.load(key).expect("cold pass published the trace plan"))
+            .expect("stored plan decodes")
+    });
+    assert_eq!(
+        reloaded, serial_plan,
+        "cache reload diverged from fresh build"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    RungResult {
+        name: rung.name,
+        gates: lev.len(),
+        faults: faults.len(),
+        walk_len: walk.len(),
+        t_generate,
+        t_levelize,
+        t_compile,
+        t_collapse,
+        t_plan_serial,
+        t_plan_parallel,
+        t_plan_reload,
+        t_campaign_cold,
+        t_campaign_warm,
+        coverage: warm.report.coverage(),
+        walked: warm.stats.faults_walked,
+        traced: warm.stats.faults_traced,
+    }
+}
+
+/// The 50 k-rung layout experiment: the identical campaign on the
+/// original and the level-ordered numbering. Returns
+/// `(t_original, t_levelized)`; coverage equality is asserted (the two
+/// numberings are the same circuit).
+fn layout_comparison(rung: &ScaleRung, workers: usize, n_patterns: usize) -> (f64, f64) {
+    let net = rung.build();
+    let (lev, _) = renumber::levelized(&net);
+    let campaign = Campaign::new(0, workers);
+    let mut cov = [0.0f64; 2];
+    let mut times = [0.0f64; 2];
+    for (i, n) in [&net, &lev].into_iter().enumerate() {
+        let faults = universe::stuck_at_universe(n);
+        let collapsed = collapse_with(n, &faults, workers);
+        let sim = FaultSimulator::new(n);
+        let patterns = random_patterns(n.primary_inputs().len(), n_patterns, rung.seed ^ 0x9e37);
+        let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
+        let (run, t) = secs(|| sim.campaign_packed(&faults, &patterns, &campaign, opts));
+        cov[i] = run.report.coverage();
+        times[i] = t;
+    }
+    assert_eq!(
+        cov[0], cov[1],
+        "levelized renumbering changed coverage on the same circuit"
+    );
+    (times[0], times[1])
+}
+
+fn smoke(rung: &ScaleRung, workers: usize) {
+    TelemetryConfig::on().install();
+    let mark = journal::mark();
+    let r = run_rung(rung, workers, SMOKE_PATTERNS);
+    let j = journal::Journal::take_since(mark);
+    TelemetryConfig::off().install();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e20_smoke.jsonl");
+    j.export_jsonl(std::path::Path::new(path))
+        .expect("write smoke journal");
+    blog!(
+        "  smoke [{}]: {} gates, {} faults ({} planned, {} walked, {} statically traced), \
+         coverage {:.2}%, plan {:.0} ms serial / {:.0} ms parallel / {:.1} ms reload, \
+         {} journal events -> {path}",
+        r.name,
+        r.gates,
+        r.faults,
+        r.walk_len,
+        r.walked,
+        r.traced,
+        r.coverage * 100.0,
+        r.t_plan_serial * 1e3,
+        r.t_plan_parallel * 1e3,
+        r.t_plan_reload * 1e3,
+        j.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E20", "million-gate scaling ladder");
+    let workers = host_cpus();
+    let ladder = scaling_ladder();
+
+    if std::env::var("E20_SMOKE").is_ok_and(|v| v == "1") {
+        // CI smoke: the 200k rung end to end with telemetry on.
+        smoke(&ladder[1], workers);
+        return;
+    }
+
+    let results: Vec<RungResult> = ladder
+        .iter()
+        .map(|rung| run_rung(rung, workers, PATTERNS))
+        .collect();
+
+    for r in &results {
+        blog!(
+            "\n  {} rung: {} gates, {} faults, {} planned roots, coverage {:.2}% \
+             ({} walked, {} statically traced)",
+            r.name,
+            r.gates,
+            r.faults,
+            r.walk_len,
+            r.coverage * 100.0,
+            r.walked,
+            r.traced
+        );
+        blog!(
+            "    generate {:>7.1} ms   levelize {:>7.1} ms   compile {:>7.1} ms   collapse {:>7.1} ms",
+            r.t_generate * 1e3,
+            r.t_levelize * 1e3,
+            r.t_compile * 1e3,
+            r.t_collapse * 1e3
+        );
+        blog!(
+            "    plan: serial {:>8.1} ms   parallel({workers}) {:>8.1} ms ({:.2}x)   \
+             cache reload {:>6.2} ms ({:.0}x)",
+            r.t_plan_serial * 1e3,
+            r.t_plan_parallel * 1e3,
+            r.plan_speedup(),
+            r.t_plan_reload * 1e3,
+            r.reload_speedup()
+        );
+        blog!(
+            "    campaign ({PATTERNS} patterns, hybrid): cold {:>8.1} ms   warm {:>8.1} ms",
+            r.t_campaign_cold * 1e3,
+            r.t_campaign_warm * 1e3
+        );
+    }
+
+    // Acceptance guard: parallel plan construction >= 2x over serial on
+    // the 200k+ rungs — physically impossible on small hosts, so gated.
+    for r in &results[1..] {
+        if host_cpus() >= 4 {
+            assert!(
+                r.plan_speedup() >= 2.0,
+                "acceptance criterion: parallel plan build must be >= 2x over serial \
+                 on the {} rung on a >= 4-CPU host (got {:.2}x on {} CPUs)",
+                r.name,
+                r.plan_speedup(),
+                host_cpus()
+            );
+        } else {
+            blog!(
+                "  (skipping parallel-build >= 2x assertion on {} rung: host has {} CPU(s))",
+                r.name,
+                host_cpus()
+            );
+        }
+    }
+
+    let (t_orig, t_lev) = layout_comparison(&ladder[0], workers, PATTERNS);
+    blog!(
+        "\n  layout (50k rung, identical campaign): original order {:.1} ms, \
+         level order {:.1} ms ({:.2}x)",
+        t_orig * 1e3,
+        t_lev * 1e3,
+        t_orig / t_lev
+    );
+
+    let rung_json = |r: &RungResult| {
+        format!(
+            "{{\n      \"gates\": {},\n      \"faults\": {},\n      \"planned_roots\": {},\n      \
+             \"coverage\": {:.4},\n      \"seconds\": {{\n        \"generate\": {:.6},\n        \
+             \"levelize\": {:.6},\n        \"compile\": {:.6},\n        \"collapse\": {:.6},\n        \
+             \"plan_serial\": {:.6},\n        \"plan_parallel\": {:.6},\n        \
+             \"plan_reload\": {:.6},\n        \"campaign_cold\": {:.6},\n        \
+             \"campaign_warm\": {:.6}\n      }},\n      \"plan_parallel_speedup\": {:.2},\n      \
+             \"plan_reload_speedup\": {:.2}\n    }}",
+            r.gates,
+            r.faults,
+            r.walk_len,
+            r.coverage,
+            r.t_generate,
+            r.t_levelize,
+            r.t_compile,
+            r.t_collapse,
+            r.t_plan_serial,
+            r.t_plan_parallel,
+            r.t_plan_reload,
+            r.t_campaign_cold,
+            r.t_campaign_warm,
+            r.plan_speedup(),
+            r.reload_speedup(),
+        )
+    };
+    let rungs: Vec<String> = results
+        .iter()
+        .map(|r| format!("\"{}\": {}", r.name, rung_json(r)))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e20_bigcircuit\",\n  {},\n  \"patterns\": {PATTERNS},\n  \
+         \"rungs\": {{\n    {}\n  }},\n  \"layout_50k\": {{\n    \"campaign_original_order\": {:.6},\n    \
+         \"campaign_level_order\": {:.6}\n  }}\n}}\n",
+        env_json(workers, 256),
+        rungs.join(",\n    "),
+        t_orig,
+        t_lev,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bigcircuit.json");
+    warn_env_drift(path);
+    if let Err(e) = std::fs::write(path, &json) {
+        blog!("  (could not write {path}: {e})");
+    } else {
+        blog!("  wrote {path}");
+    }
+
+    // Criterion entry on the 50k rung's plan construction only (the
+    // bigger rungs would push CI wall-clock past its budget).
+    let rung = &ladder[0];
+    let net = rung.build();
+    let (lev, _) = renumber::levelized(&net);
+    let compiled = CompiledNetlist::new(&lev);
+    let faults = universe::stuck_at_universe(&lev);
+    let collapsed = collapse_with(&lev, &faults, workers);
+    let walk = walk_list_of(&compiled, &collapsed, &faults);
+    c.bench_function("e20_plan_build_50k_serial", |b| {
+        b.iter(|| std::hint::black_box(TracePlan::build(&compiled, &walk)))
+    });
+    c.bench_function("e20_plan_build_50k_parallel", |b| {
+        b.iter(|| std::hint::black_box(TracePlan::build_with(&compiled, &walk, workers)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -59,3 +59,63 @@ pub fn env_json(workers: usize, lane_width: usize) -> String {
         host_cpus()
     )
 }
+
+/// The `"host_cpus"` value stamped in an existing `BENCH_*.json`, or
+/// `None` when the file is absent or carries no environment stamp
+/// (pre-stamp files).
+pub fn stamped_host_cpus(path: &str) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let rest = text.split("\"host_cpus\"").nth(1)?;
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Warns (via [`blog!`]) when the numbers about to overwrite `path` were
+/// recorded on a host with a different CPU count than the stamped one —
+/// the usual cause of "drift" between committed BENCH figures and a
+/// regenerating machine. Returns `true` when a mismatch was detected.
+pub fn warn_env_drift(path: &str) -> bool {
+    match stamped_host_cpus(path) {
+        Some(stamped) if stamped != host_cpus() => {
+            blog!(
+                "  WARNING: {path} was recorded on a {stamped}-CPU host; this host has {} — \
+                 timing deltas against the committed figures reflect the machine, not the code",
+                host_cpus()
+            );
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamped_cpus_parse_and_drift_detection() {
+        let dir = std::env::temp_dir().join(format!("rescue-bench-drift-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_x.json");
+        let p = path.to_str().unwrap();
+
+        assert_eq!(stamped_host_cpus(p), None, "missing file has no stamp");
+
+        std::fs::write(&path, format!("{{\n  {}\n}}\n", env_json(2, 256))).unwrap();
+        assert_eq!(stamped_host_cpus(p), Some(host_cpus()));
+        assert!(!warn_env_drift(p), "same host must not warn");
+
+        std::fs::write(&path, "{\n  \"environment\": { \"host_cpus\": 4096 }\n}\n").unwrap();
+        assert_eq!(stamped_host_cpus(p), Some(4096));
+        assert!(warn_env_drift(p), "foreign host stamp must warn");
+
+        std::fs::write(&path, "{ \"experiment\": \"unstamped\" }").unwrap();
+        assert_eq!(stamped_host_cpus(p), None);
+        assert!(!warn_env_drift(p), "unstamped files cannot drift");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,6 +65,7 @@
 //! assert!(stats.injections_per_sec() > 0.0);
 //! ```
 
+pub mod artifact;
 pub mod driver;
 pub mod durable;
 pub mod fleet;
@@ -74,6 +75,7 @@ pub mod seed;
 pub mod stats;
 pub mod store;
 
+pub use artifact::ArtifactStore;
 pub use driver::{Campaign, Schedule, ShardedRun};
 pub use durable::DurableRun;
 pub use fleet::{FleetEntry, FleetHandle};

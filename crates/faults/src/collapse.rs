@@ -14,16 +14,60 @@
 //!   the inverter is the only load (single-fanout wire equivalence).
 
 use crate::model::{Fault, FaultKind, FaultSite};
-use rescue_netlist::{GateKind, Netlist};
-use std::collections::HashMap;
+use rescue_netlist::{GateId, GateKind, Netlist};
+use rescue_telemetry::span;
 
 /// Result of collapsing: representative faults plus a map from every
 /// original fault to its representative.
+///
+/// The map is a dense slot arena instead of a `HashMap<Fault, Fault>`:
+/// every possible fault of the design gets a fixed `u32` slot (output
+/// slots first, then one slot per gate-input pin, times the four fault
+/// kinds), and `rep[slot]` holds the representative's slot or `u32::MAX`
+/// for uncollapsed faults. At a million gates this turns the dominant
+/// setup cost — millions of SipHash probes — into two array reads per
+/// lookup, and the arena is contiguous for the cache.
 #[derive(Debug, Clone)]
 pub struct CollapsedUniverse {
     representatives: Vec<Fault>,
-    class_of: HashMap<Fault, Fault>,
+    /// `rep[slot(fault)]` = representative's slot, `u32::MAX` when the
+    /// fault is its own representative (or was never collapsed).
+    rep: Vec<u32>,
+    /// Pin-slot CSR: `pin_base[g]` is the first pin slot of gate `g`.
+    pin_base: Vec<u32>,
+    /// Owning gate of each pin slot (inverse of `pin_base`), for O(1)
+    /// slot→fault decoding.
+    pin_owner: Vec<u32>,
+    /// Gate count of the design the universe was collapsed against.
+    n: usize,
     original_len: usize,
+}
+
+#[inline]
+fn kind_code(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::StuckAt0 => 0,
+        FaultKind::StuckAt1 => 1,
+        FaultKind::SlowToRise => 2,
+        FaultKind::SlowToFall => 3,
+    }
+}
+
+#[inline]
+fn kind_decode(code: usize) -> FaultKind {
+    match code {
+        0 => FaultKind::StuckAt0,
+        1 => FaultKind::StuckAt1,
+        2 => FaultKind::SlowToRise,
+        _ => FaultKind::SlowToFall,
+    }
+}
+
+/// Slot of an *output* fault (reps produced by the rules are always
+/// output faults, so this is the only encoder workers need).
+#[inline]
+fn output_slot(gate: usize, kind: FaultKind) -> u32 {
+    (4 * gate + kind_code(kind)) as u32
 }
 
 impl CollapsedUniverse {
@@ -34,7 +78,13 @@ impl CollapsedUniverse {
 
     /// The representative of `fault` (itself if it was not collapsed).
     pub fn representative(&self, fault: Fault) -> Fault {
-        self.class_of.get(&fault).copied().unwrap_or(fault)
+        match self.slot_of(fault) {
+            Some(slot) => match self.rep[slot] {
+                u32::MAX => fault,
+                r => self.fault_of(r),
+            },
+            None => fault,
+        }
     }
 
     /// Size of the original universe.
@@ -48,6 +98,134 @@ impl CollapsedUniverse {
             return 1.0;
         }
         self.representatives.len() as f64 / self.original_len as f64
+    }
+
+    /// Dense slot of `fault`, or `None` for faults outside the design
+    /// (wrong gate index or pin arity) — those are never collapsed.
+    #[inline]
+    fn slot_of(&self, fault: Fault) -> Option<usize> {
+        let k = kind_code(fault.kind());
+        match fault.site() {
+            FaultSite::Output(g) => {
+                let gi = g.index();
+                (gi < self.n).then_some(4 * gi + k)
+            }
+            FaultSite::Pin { gate, pin } => {
+                let gi = gate.index();
+                if gi >= self.n {
+                    return None;
+                }
+                let base = self.pin_base[gi] as usize;
+                let arity = self.pin_base[gi + 1] as usize - base;
+                (pin < arity).then_some(4 * (self.n + base + pin) + k)
+            }
+        }
+    }
+
+    /// Inverse of [`CollapsedUniverse::slot_of`].
+    #[inline]
+    fn fault_of(&self, slot: u32) -> Fault {
+        let s = slot as usize;
+        let kind = kind_decode(s & 3);
+        let x = s >> 2;
+        if x < self.n {
+            Fault::new(FaultSite::Output(GateId(x)), kind)
+        } else {
+            let pidx = x - self.n;
+            let gate = self.pin_owner[pidx] as usize;
+            let pin = pidx - self.pin_base[gate] as usize;
+            Fault::new(
+                FaultSite::Pin {
+                    gate: GateId(gate),
+                    pin,
+                },
+                kind,
+            )
+        }
+    }
+}
+
+/// Serial fallback below this many faults: thread setup costs more than
+/// the rule pass itself on small universes.
+const PARALLEL_COLLAPSE_MIN: usize = 1 << 14;
+
+/// Controlling-value input faults fold into the output fault.
+#[inline]
+fn controlling_fold(gate: GateKind, v: FaultKind) -> Option<FaultKind> {
+    match (gate, v) {
+        (GateKind::And, FaultKind::StuckAt0) => Some(FaultKind::StuckAt0),
+        (GateKind::Nand, FaultKind::StuckAt0) => Some(FaultKind::StuckAt1),
+        (GateKind::Or, FaultKind::StuckAt1) => Some(FaultKind::StuckAt1),
+        (GateKind::Nor, FaultKind::StuckAt1) => Some(FaultKind::StuckAt0),
+        _ => None,
+    }
+}
+
+/// How a driver-output stuck value folds *through* its single load onto
+/// the load's output: controlling values on AND/NAND/OR/NOR, any stuck
+/// value through BUF, inverted through NOT.
+#[inline]
+fn through_fold(gate: GateKind, v: FaultKind) -> Option<FaultKind> {
+    controlling_fold(gate, v).or(match (gate, v) {
+        (GateKind::Buf, FaultKind::StuckAt0 | FaultKind::StuckAt1) => Some(v),
+        (GateKind::Not, FaultKind::StuckAt0) => Some(FaultKind::StuckAt1),
+        (GateKind::Not, FaultKind::StuckAt1) => Some(FaultKind::StuckAt0),
+        _ => None,
+    })
+}
+
+/// Dense structural metadata the equivalence rules consult, built in one
+/// O(V+E) pass (no per-gate `Vec` fanout lists).
+struct WireMeta<'a> {
+    /// Pin-slot CSR (length `n + 1`).
+    pin_base: &'a [u32],
+    /// Number of load *pins* each gate output drives (DFF D-pins count,
+    /// matching the per-pin-edge semantics of `Netlist::fanout`).
+    fan_count: &'a [u32],
+    /// The consuming gate — only meaningful where `fan_count == 1`.
+    single_load: &'a [u32],
+    /// Wire equivalences are only exact when the driver's value is seen
+    /// nowhere but on that wire: a PO driver is observed directly, so its
+    /// output fault is NOT equivalent to a fault past the wire.
+    is_po_driver: &'a [bool],
+}
+
+/// Applies the gate-local rules to one fault, returning
+/// `(slot, representative slot)` when it collapses. Pure per-fault, so
+/// fault chunks shard across workers with no coordination.
+fn collapse_pair(netlist: &Netlist, m: &WireMeta<'_>, fault: Fault) -> Option<(u32, u32)> {
+    let n = m.pin_base.len() - 1;
+    let kind = fault.kind();
+    match fault.site() {
+        FaultSite::Pin { gate, pin } => {
+            let g = netlist.gate(gate);
+            let gi = gate.index();
+            let slot = (4 * (n + m.pin_base[gi] as usize + pin) + kind_code(kind)) as u32;
+            if let Some(folded) = controlling_fold(g.kind(), kind) {
+                return Some((slot, output_slot(gi, folded)));
+            }
+            // Single-fanout wire: a pin fault on the only load of a driver
+            // is equivalent to the driver's output fault.
+            let d = g.inputs()[pin].index();
+            if m.fan_count[d] == 1 && !m.is_po_driver[d] {
+                return Some((slot, output_slot(d, kind)));
+            }
+            None
+        }
+        FaultSite::Output(d) => {
+            // Through-gate wire equivalence: when `d` drives exactly one
+            // pin of one load (and no PO), a stuck value on `d` is
+            // indistinguishable from the same stuck value on that pin —
+            // and it folds on through to the load's output fault. The
+            // chain-resolution pass below composes further.
+            let di = d.index();
+            if m.fan_count[di] != 1 || m.is_po_driver[di] {
+                return None;
+            }
+            let h = m.single_load[di] as usize;
+            through_fold(netlist.gate(GateId(h)).kind(), kind)
+                .map(|folded| (output_slot(di, kind), output_slot(h, folded)))
+        }
     }
 }
 
@@ -65,112 +243,121 @@ impl CollapsedUniverse {
 /// assert!(collapsed.ratio() < 0.8, "NAND-heavy c17 collapses well");
 /// ```
 pub fn collapse(netlist: &Netlist, faults: &[Fault]) -> CollapsedUniverse {
-    let mut class_of: HashMap<Fault, Fault> = HashMap::new();
-    let fanout = netlist.fanout();
-    // Wire equivalences are only exact when the driver's value is seen
-    // nowhere but on that wire: a PO driver is observed directly, so its
-    // output fault is NOT equivalent to a fault past the wire.
-    let mut is_po_driver = vec![false; netlist.len()];
+    collapse_with(netlist, faults, 1)
+}
+
+/// [`collapse`] with the rule pass sharded over `workers` OS threads.
+///
+/// The rules are gate-local, so fault chunks are independent; each worker
+/// emits `(slot, representative)` pairs which are scattered serially in
+/// chunk order — identical to serial insertion order — before the chain
+/// fixpoint runs. The result is bit-identical to `workers = 1` for any
+/// worker count. Small universes fall back to the serial path.
+pub fn collapse_with(netlist: &Netlist, faults: &[Fault], workers: usize) -> CollapsedUniverse {
+    let _span = span!("plan.collapse", faults = faults.len());
+    let n = netlist.len();
+    let mut pin_base = vec![0u32; n + 1];
+    for (id, g) in netlist.iter() {
+        pin_base[id.index() + 1] = g.inputs().len() as u32;
+    }
+    for i in 0..n {
+        pin_base[i + 1] += pin_base[i];
+    }
+    let total_pins = pin_base[n] as usize;
+    let mut pin_owner = vec![0u32; total_pins];
+    let mut fan_count = vec![0u32; n];
+    let mut single_load = vec![u32::MAX; n];
+    for (id, g) in netlist.iter() {
+        let base = pin_base[id.index()] as usize;
+        for (pin, d) in g.inputs().iter().enumerate() {
+            pin_owner[base + pin] = id.index() as u32;
+            fan_count[d.index()] += 1;
+            single_load[d.index()] = id.index() as u32;
+        }
+    }
+    let mut is_po_driver = vec![false; n];
     for &(_, g) in netlist.primary_outputs() {
         is_po_driver[g.index()] = true;
     }
+    let meta = WireMeta {
+        pin_base: &pin_base,
+        fan_count: &fan_count,
+        single_load: &single_load,
+        is_po_driver: &is_po_driver,
+    };
 
-    for &fault in faults {
-        let kind = fault.kind();
-        if let FaultSite::Pin { gate, pin } = fault.site() {
-            let g = netlist.gate(gate);
-            let driver = g.inputs()[pin];
-            let equiv = match (g.kind(), kind) {
-                // Controlling-value input faults fold into the output.
-                (GateKind::And, FaultKind::StuckAt0) => {
-                    Some(Fault::new(FaultSite::Output(gate), FaultKind::StuckAt0))
-                }
-                (GateKind::Nand, FaultKind::StuckAt0) => {
-                    Some(Fault::new(FaultSite::Output(gate), FaultKind::StuckAt1))
-                }
-                (GateKind::Or, FaultKind::StuckAt1) => {
-                    Some(Fault::new(FaultSite::Output(gate), FaultKind::StuckAt1))
-                }
-                (GateKind::Nor, FaultKind::StuckAt1) => {
-                    Some(Fault::new(FaultSite::Output(gate), FaultKind::StuckAt0))
-                }
-                _ => None,
-            };
-            if let Some(rep) = equiv {
-                class_of.insert(fault, rep);
-                continue;
-            }
-            // Single-fanout wire: a pin fault on the only load of a driver
-            // is equivalent to the driver's output fault.
-            if fanout[driver.index()].len() == 1 && !is_po_driver[driver.index()] {
-                class_of.insert(fault, Fault::new(FaultSite::Output(driver), kind));
-            }
-        } else if let FaultSite::Output(d) = fault.site() {
-            // Through-gate wire equivalence: when `d` drives exactly one
-            // pin of one load (and no PO), a stuck value on `d` is
-            // indistinguishable from the same stuck value on that pin —
-            // and for a controlling value on AND/NAND/OR/NOR (or any
-            // value on BUF/NOT) it folds on through to the load's output
-            // fault. The chain-resolution pass below composes further.
-            let loads = &fanout[d.index()];
-            if loads.len() != 1 || is_po_driver[d.index()] {
-                continue;
-            }
-            let h = loads[0];
-            let rep = match (netlist.gate(h).kind(), kind) {
-                (GateKind::And, FaultKind::StuckAt0) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
-                }
-                (GateKind::Nand, FaultKind::StuckAt0) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
-                }
-                (GateKind::Or, FaultKind::StuckAt1) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
-                }
-                (GateKind::Nor, FaultKind::StuckAt1) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
-                }
-                (GateKind::Buf, v @ (FaultKind::StuckAt0 | FaultKind::StuckAt1)) => {
-                    Some(Fault::new(FaultSite::Output(h), v))
-                }
-                (GateKind::Not, FaultKind::StuckAt0) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt1))
-                }
-                (GateKind::Not, FaultKind::StuckAt1) => {
-                    Some(Fault::new(FaultSite::Output(h), FaultKind::StuckAt0))
-                }
-                _ => None,
-            };
-            if let Some(rep) = rep {
-                class_of.insert(fault, rep);
-            }
+    let w = workers.clamp(1, faults.len().max(1));
+    let pair_chunks: Vec<Vec<(u32, u32)>> = if w == 1 || faults.len() < PARALLEL_COLLAPSE_MIN {
+        vec![faults
+            .iter()
+            .filter_map(|&f| collapse_pair(netlist, &meta, f))
+            .collect()]
+    } else {
+        let chunk_len = faults.len().div_ceil(w).max(1);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = faults
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let meta = &meta;
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .filter_map(|&f| collapse_pair(netlist, meta, f))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    // Scatter in chunk order == fault order, so duplicate faults resolve
+    // exactly as serial insertion did (last write wins).
+    let mut rep = vec![u32::MAX; 4 * (n + total_pins)];
+    for chunk in &pair_chunks {
+        for &(slot, r) in chunk {
+            rep[slot as usize] = r;
         }
     }
     // Resolve chains (pin -> output -> ...) — one level is enough here but
-    // iterate to a fixpoint for safety.
-    let keys: Vec<Fault> = class_of.keys().copied().collect();
-    for k in keys {
-        let mut rep = class_of[&k];
-        while let Some(&next) = class_of.get(&rep) {
-            if next == rep {
+    // iterate to a fixpoint for safety. Writing the resolved slot back
+    // path-compresses later chases.
+    for i in 0..rep.len() {
+        let mut r = rep[i];
+        if r == u32::MAX {
+            continue;
+        }
+        loop {
+            let next = rep[r as usize];
+            if next == u32::MAX || next == r {
                 break;
             }
-            rep = next;
+            r = next;
         }
-        class_of.insert(k, rep);
+        rep[i] = r;
     }
+
+    let mut universe = CollapsedUniverse {
+        representatives: Vec::new(),
+        rep,
+        pin_base,
+        pin_owner,
+        n,
+        original_len: faults.len(),
+    };
     let mut representatives: Vec<Fault> = faults
         .iter()
         .copied()
-        .filter(|f| !class_of.contains_key(f))
+        .filter(|&f| {
+            universe
+                .slot_of(f)
+                .is_none_or(|s| universe.rep[s] == u32::MAX)
+        })
         .collect();
     representatives.sort();
     representatives.dedup();
-    CollapsedUniverse {
-        representatives,
-        class_of,
-        original_len: faults.len(),
-    }
+    universe.representatives = representatives;
+    universe
 }
 
 /// Dominance collapsing on top of equivalence collapsing.

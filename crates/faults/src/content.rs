@@ -15,7 +15,7 @@
 use crate::model::{Fault, FaultKind, FaultSite};
 use crate::simulate::PackedOptions;
 use rescue_campaign::store::{CanonicalHasher, ContentHash};
-use rescue_netlist::GateKind;
+use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 
 /// Stable wire code for a [`GateKind`] — decoupled from the enum's
@@ -71,6 +71,62 @@ pub fn hash_netlist(c: &CompiledNetlist) -> ContentHash {
             h.write_u32(g);
         }
     }
+    h.finish()
+}
+
+/// [`hash_netlist`] computed from the *source* [`Netlist`], without
+/// compiling it — byte-identical to hashing the compiled arena, because
+/// the hash covers exactly the fields compilation copies verbatim (gate
+/// kinds and pin lists in id order, then the PI / PO-driver / DFF / DFF-D
+/// interface arrays). This is what lets the artifact cache decide whether
+/// a stored [`CompiledNetlist`] is reusable before paying for compilation.
+pub fn hash_netlist_source(netlist: &Netlist) -> ContentHash {
+    let mut h = CanonicalHasher::new("rescue.netlist.v1");
+    h.write_usize(netlist.len());
+    for (_, g) in netlist.iter() {
+        h.write_u8(kind_code(g.kind()));
+        h.write_usize(g.inputs().len());
+        for &p in g.inputs() {
+            h.write_u32(p.index() as u32);
+        }
+    }
+    h.write_usize(netlist.primary_inputs().len());
+    for g in netlist.primary_inputs() {
+        h.write_u32(g.index() as u32);
+    }
+    h.write_usize(netlist.primary_outputs().len());
+    for (_, g) in netlist.primary_outputs() {
+        h.write_u32(g.index() as u32);
+    }
+    h.write_usize(netlist.dffs().len());
+    for g in netlist.dffs() {
+        h.write_u32(g.index() as u32);
+    }
+    h.write_usize(netlist.dffs().len());
+    for &d in netlist.dffs() {
+        h.write_u32(netlist.gate(d).inputs()[0].index() as u32);
+    }
+    h.finish()
+}
+
+/// Artifact-cache key of a compiled netlist arena, derived from the
+/// source netlist alone (see [`hash_netlist_source`]).
+pub fn compiled_key(netlist: &Netlist) -> ContentHash {
+    let mut h = CanonicalHasher::new("rescue.compiled.v1");
+    h.write_u128(hash_netlist_source(netlist).0);
+    h.finish()
+}
+
+/// Artifact-cache key of a built campaign or trace plan: the compiled
+/// netlist, the exact walk list (order-sensitive — the cone CSR is
+/// indexed by walk position) and which plan family (`tracing`) it is.
+/// Worker count is deliberately absent: parallel builds are bit-identical
+/// to serial ones, so any worker count may reuse the artifact.
+pub fn plan_key(c: &CompiledNetlist, walk: &[Fault], tracing: bool) -> ContentHash {
+    let mut h = CanonicalHasher::new("rescue.plan.v1");
+    h.write_u128(hash_netlist(c).0);
+    h.write_u128(hash_faults(walk).0);
+    h.write_bool(tracing);
     h.finish()
 }
 
@@ -205,6 +261,49 @@ mod tests {
         assert_ne!(
             base,
             campaign_hash(&c, &faults, &patterns, &PackedOptions::default().traced())
+        );
+    }
+
+    #[test]
+    fn source_hash_matches_compiled_hash() {
+        // The artifact cache keys compiled arenas by the *source* netlist
+        // hash; the two computations must agree on every design shape
+        // (combinational, arithmetic, sequential, generated).
+        for net in [
+            generate::c17(),
+            generate::adder(4),
+            generate::control_fsm(),
+            generate::random_logic(8, 300, 4, 9),
+        ] {
+            let c = CompiledNetlist::new(&net);
+            assert_eq!(
+                hash_netlist_source(&net),
+                hash_netlist(&c),
+                "{}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_key_ingredients() {
+        let net = generate::c17();
+        let c = CompiledNetlist::new(&net);
+        let faults = universe::stuck_at_universe(&net);
+        let base = plan_key(&c, &faults, false);
+        assert_eq!(base, plan_key(&c, &faults, false), "key must be stable");
+        assert_ne!(base, plan_key(&c, &faults, true), "tracing flag keys");
+        assert_ne!(
+            base,
+            plan_key(&c, &faults[..faults.len() - 1], false),
+            "walk list keys"
+        );
+        let other = CompiledNetlist::new(&generate::adder(4));
+        assert_ne!(base, plan_key(&other, &faults, false), "netlist keys");
+        assert_ne!(
+            base,
+            compiled_key(&net),
+            "plan and compiled artifacts live in different key domains"
         );
     }
 

@@ -55,15 +55,23 @@
 use crate::error::FaultError;
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::GateKind;
+use rescue_sim::codec::{put_bits, put_u32s, take_bits, take_u32s};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::wide::SimWord;
-use rescue_telemetry::metrics;
+use rescue_telemetry::{metrics, span};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
 
 /// Memoized per-site fanout cones for one campaign's fault list.
 ///
 /// Built once per campaign ([`CampaignPlan::build`]) and shared read-only
 /// by all workers; the per-fault state lives in [`FaultScratch`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every CSR byte-for-byte — the equivalence
+/// proptests use it to pin parallel and cache-reloaded builds to the
+/// serial construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignPlan {
     /// Per gate: index into `cone_offsets`, `u32::MAX` when the gate is
     /// not a fault-site root in this plan.
@@ -120,83 +128,350 @@ pub fn po_reachable(compiled: &CompiledNetlist) -> Vec<bool> {
     reachable
 }
 
-impl CampaignPlan {
-    /// Computes (and deduplicates) the combinational fanout cone of every
-    /// fault site in `faults`.
-    pub fn build(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
-        let n = compiled.len();
-        let mut plan = CampaignPlan {
-            cone_index: vec![u32::MAX; n],
-            cone_offsets: vec![0],
-            cone_gates: Vec::new(),
-            observable: po_reachable(compiled),
-            obs_cone_offsets: vec![0],
-            obs_cone_gates: Vec::new(),
-        };
-        let mut seen = vec![false; n];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut members: Vec<u32> = Vec::new();
-        let mut keyed: Vec<u64> = Vec::new();
-        // Cone sizes feed the `fault.cone_size` histogram: build is cold
-        // (once per campaign), so recording per cone here costs nothing
-        // on the per-fault hot path.
-        let cone_hist = rescue_telemetry::enabled()
-            .then(|| metrics::histogram("fault.cone_size", &metrics::pow2_bounds(16)));
-        for fault in faults {
-            let root = fault.site().gate().index();
-            if plan.cone_index[root] != u32::MAX {
-                continue; // sa0/sa1 (and pin faults) at one gate share a cone
-            }
-            plan.cone_index[root] = plan.cone_offsets.len() as u32 - 1;
-            // DFS over combinational fanout edges; DFF consumers hold
-            // state, so fault effects stop at the D-pin within a chunk.
-            seen[root] = true;
-            stack.push(root as u32);
-            while let Some(g) = stack.pop() {
-                for &s in compiled.fanout_of(g as usize) {
-                    if seen[s as usize] || compiled.kind(s as usize) == GateKind::Dff {
-                        continue;
+/// Designs below this size take the serial [`po_reachable`] path even
+/// when workers are available — thread startup would dominate.
+const PARALLEL_SWEEP_MIN: usize = 1 << 15;
+
+/// [`po_reachable`] sharded across `workers` threads.
+///
+/// Gates are bucketed by logic level (counting sort); workers then sweep
+/// levels in descending order with a barrier between rounds. A gate's
+/// verdict depends only on combinational fanouts, which always sit at
+/// strictly higher levels, so every read within a round observes values
+/// settled by earlier rounds. Reachability is the unique fixpoint of the
+/// per-gate formula, hence the result is identical to the serial sweep
+/// for any worker count.
+pub fn po_reachable_with(compiled: &CompiledNetlist, workers: usize) -> Vec<bool> {
+    let n = compiled.len();
+    let w = workers.max(1);
+    if w == 1 || n < PARALLEL_SWEEP_MIN {
+        return po_reachable(compiled);
+    }
+    let depth = compiled.depth() as usize;
+    let mut offsets = vec![0u32; depth + 2];
+    for g in 0..n {
+        offsets[compiled.level(g) as usize + 1] += 1;
+    }
+    for l in 0..=depth {
+        offsets[l + 1] += offsets[l];
+    }
+    let mut level_gates = vec![0u32; n];
+    let mut cursor: Vec<u32> = offsets[..=depth].to_vec();
+    for g in 0..n {
+        let l = compiled.level(g) as usize;
+        level_gates[cursor[l] as usize] = g as u32;
+        cursor[l] += 1;
+    }
+    let reachable: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let barrier = Barrier::new(w);
+    std::thread::scope(|s| {
+        for wi in 0..w {
+            let (reachable, barrier) = (&reachable, &barrier);
+            let (level_gates, offsets) = (&level_gates, &offsets);
+            s.spawn(move || {
+                for lvl in (0..=depth).rev() {
+                    let lo = offsets[lvl] as usize;
+                    let hi = offsets[lvl + 1] as usize;
+                    let len = hi - lo;
+                    let chunk = len.div_ceil(w).max(1);
+                    let start = lo + (wi * chunk).min(len);
+                    let end = lo + ((wi + 1) * chunk).min(len);
+                    for &g in &level_gates[start..end] {
+                        let gi = g as usize;
+                        // Same formula as the serial sweep. Relaxed
+                        // suffices: the barrier orders rounds, and
+                        // within a round only higher-level (already
+                        // settled) entries are read.
+                        let r = compiled.is_po(gi)
+                            || compiled.fanout_of(gi).iter().any(|&s| {
+                                compiled.kind(s as usize) != GateKind::Dff
+                                    && reachable[s as usize].load(Ordering::Relaxed)
+                            });
+                        if r {
+                            reachable[gi].store(true, Ordering::Relaxed);
+                        }
                     }
-                    seen[s as usize] = true;
-                    stack.push(s);
-                    members.push(s);
+                    barrier.wait();
                 }
+            });
+        }
+    });
+    reachable.into_iter().map(AtomicBool::into_inner).collect()
+}
+
+/// Maximum cone entries a plan's `u32` offset arena can address.
+pub const MAX_PLAN_ENTRIES: usize = u32::MAX as usize;
+
+/// Checks that `entries` cone-CSR entries fit the `u32` offset arena,
+/// so million-gate plans fail loudly instead of truncating offsets.
+///
+/// # Errors
+///
+/// Returns [`FaultError::PlanTooLarge`] when `entries` exceeds
+/// [`MAX_PLAN_ENTRIES`].
+pub fn ensure_plan_capacity(entries: usize) -> Result<(), FaultError> {
+    if entries > MAX_PLAN_ENTRIES {
+        Err(FaultError::PlanTooLarge {
+            entries,
+            limit: MAX_PLAN_ENTRIES,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Version byte of the [`CampaignPlan::to_bytes`] wire format.
+const PLAN_WIRE_VERSION: u8 = 1;
+
+/// Per-worker DFS buffers for cone construction.
+struct ConeScratch {
+    seen: Vec<bool>,
+    stack: Vec<u32>,
+    members: Vec<u32>,
+}
+
+/// One worker's contiguous share of the cone CSRs: entries concatenated
+/// in root order with *relative* end offsets, stitched into absolute
+/// offsets by the (deterministic) reassembly pass.
+struct ConeChunk {
+    gates: Vec<u32>,
+    ends: Vec<u64>,
+    obs_gates: Vec<u32>,
+    obs_ends: Vec<u64>,
+    /// Cone sizes in root order, for the `fault.cone_size` histogram.
+    sizes: Vec<u64>,
+}
+
+/// Collects the (sorted, root-excluded) cone members of `root` into
+/// `keyed` as packed `(topo_pos << 32) | gate` keys. `restricted`
+/// confines the DFS to PO-reachable fanout edges and yields an empty
+/// cone for unobservable roots, exactly like the serial
+/// `build_observable` loop.
+fn cone_members_sorted(
+    compiled: &CompiledNetlist,
+    observable: &[bool],
+    restricted: bool,
+    root: usize,
+    scratch: &mut ConeScratch,
+    keyed: &mut Vec<u64>,
+) {
+    keyed.clear();
+    if restricted && !observable[root] {
+        return;
+    }
+    let ConeScratch {
+        seen,
+        stack,
+        members,
+    } = scratch;
+    // DFS over combinational fanout edges; DFF consumers hold state, so
+    // fault effects stop at the D-pin within a chunk.
+    seen[root] = true;
+    stack.push(root as u32);
+    while let Some(g) = stack.pop() {
+        for &s in compiled.fanout_of(g as usize) {
+            let si = s as usize;
+            if seen[si] || compiled.kind(si) == GateKind::Dff || (restricted && !observable[si]) {
+                continue;
             }
-            // Kahn order enqueues a gate only after all combinational
-            // predecessors, so every cone member sits after the root;
-            // sorting by position yields a valid evaluation order. Packed
-            // (position, gate) keys cost one topo_pos load per element
-            // instead of one per comparison.
-            keyed.clear();
-            keyed.extend(
-                members
-                    .iter()
-                    .map(|&g| ((compiled.topo_pos(g as usize) as u64) << 32) | g as u64),
-            );
-            keyed.sort_unstable();
-            seen[root] = false;
-            for &m in &members {
-                seen[m as usize] = false;
-            }
-            if let Some(hist) = &cone_hist {
-                hist.record(members.len() as u64);
-            }
-            members.clear();
-            plan.cone_gates.extend(keyed.iter().map(|&k| k as u32));
-            plan.cone_offsets.push(plan.cone_gates.len() as u32);
+            seen[si] = true;
+            stack.push(s);
+            members.push(s);
+        }
+    }
+    // Kahn order enqueues a gate only after all combinational
+    // predecessors, so every cone member sits after the root; sorting by
+    // position yields a valid evaluation order. Packed (position, gate)
+    // keys cost one topo_pos load per element instead of one per
+    // comparison.
+    keyed.extend(
+        members
+            .iter()
+            .map(|&g| ((compiled.topo_pos(g as usize) as u64) << 32) | g as u64),
+    );
+    keyed.sort_unstable();
+    seen[root] = false;
+    for &m in members.iter() {
+        seen[m as usize] = false;
+    }
+    members.clear();
+}
+
+/// Builds the cone CSR share for a contiguous slice of plan roots.
+fn build_cone_chunk(
+    compiled: &CompiledNetlist,
+    observable: &[bool],
+    restricted: bool,
+    roots: &[u32],
+) -> ConeChunk {
+    let mut scratch = ConeScratch {
+        seen: vec![false; compiled.len()],
+        stack: Vec::new(),
+        members: Vec::new(),
+    };
+    let mut keyed: Vec<u64> = Vec::new();
+    let mut chunk = ConeChunk {
+        gates: Vec::new(),
+        ends: Vec::with_capacity(roots.len()),
+        obs_gates: Vec::new(),
+        obs_ends: Vec::with_capacity(roots.len()),
+        sizes: Vec::with_capacity(roots.len()),
+    };
+    for &root in roots {
+        cone_members_sorted(
+            compiled,
+            observable,
+            restricted,
+            root as usize,
+            &mut scratch,
+            &mut keyed,
+        );
+        chunk.sizes.push(keyed.len() as u64);
+        chunk.gates.extend(keyed.iter().map(|&k| k as u32));
+        chunk.ends.push(chunk.gates.len() as u64);
+        if restricted {
+            // Both CSRs alias the restriction (see `build_observable`).
+            chunk.obs_gates.extend(keyed.iter().map(|&k| k as u32));
+        } else {
             // PO-reachable restriction: unobservable gates feed only
             // unobservable gates (an edge into an observable gate would
             // make its source observable), so dropping them from the
             // walk order changes no observable gate's value.
-            plan.obs_cone_gates.extend(
+            chunk.obs_gates.extend(
                 keyed
                     .iter()
                     .map(|&k| k as u32)
-                    .filter(|&g| plan.observable[g as usize]),
+                    .filter(|&g| observable[g as usize]),
             );
-            plan.obs_cone_offsets.push(plan.obs_cone_gates.len() as u32);
         }
-        plan
+        chunk.obs_ends.push(chunk.obs_gates.len() as u64);
+    }
+    chunk
+}
+
+/// Shared core of the serial and parallel plan builds.
+///
+/// A serial dedup pass fixes the root order (first appearance in the
+/// fault list) and with it every CSR offset; workers then fill in cone
+/// contents for contiguous root shards, and chunks concatenate back in
+/// root order — so the result is byte-identical to the `workers == 1`
+/// build for any worker count.
+fn build_plan_impl(
+    compiled: &CompiledNetlist,
+    faults: &[Fault],
+    workers: usize,
+    restricted: bool,
+) -> Result<CampaignPlan, FaultError> {
+    let w = workers.max(1);
+    let _span = span!("plan.build", faults = faults.len());
+    let t0 = Instant::now();
+    let n = compiled.len();
+    let observable = po_reachable_with(compiled, w);
+    let mut cone_index = vec![u32::MAX; n];
+    let mut roots: Vec<u32> = Vec::new();
+    for fault in faults {
+        let root = fault.site().gate().index();
+        if cone_index[root] != u32::MAX {
+            continue; // sa0/sa1 (and pin faults) at one gate share a cone
+        }
+        cone_index[root] = roots.len() as u32;
+        roots.push(root as u32);
+    }
+    let shards = w.min(roots.len()).max(1);
+    let chunk_len = roots.len().div_ceil(shards).max(1);
+    let chunks: Vec<ConeChunk> = if shards == 1 {
+        vec![build_cone_chunk(compiled, &observable, restricted, &roots)]
+    } else {
+        let observable = &observable;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = roots
+                .chunks(chunk_len)
+                .map(|slice| {
+                    s.spawn(move || build_cone_chunk(compiled, observable, restricted, slice))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("plan build worker panicked"))
+                .collect()
+        })
+    };
+    let total: usize = chunks.iter().map(|c| c.gates.len()).sum();
+    let obs_total: usize = chunks.iter().map(|c| c.obs_gates.len()).sum();
+    ensure_plan_capacity(total)?;
+    ensure_plan_capacity(obs_total)?;
+    let mut plan = CampaignPlan {
+        cone_index,
+        cone_offsets: Vec::with_capacity(roots.len() + 1),
+        cone_gates: Vec::with_capacity(total),
+        observable,
+        obs_cone_offsets: Vec::with_capacity(roots.len() + 1),
+        obs_cone_gates: Vec::with_capacity(obs_total),
+    };
+    plan.cone_offsets.push(0);
+    plan.obs_cone_offsets.push(0);
+    // Cone sizes feed the `fault.cone_size` histogram: build is cold
+    // (once per campaign), so recording per cone here costs nothing on
+    // the per-fault hot path.
+    let cone_hist = rescue_telemetry::enabled()
+        .then(|| metrics::histogram("fault.cone_size", &metrics::pow2_bounds(16)));
+    for chunk in &chunks {
+        let base = plan.cone_gates.len() as u64;
+        for &end in &chunk.ends {
+            plan.cone_offsets.push((base + end) as u32);
+        }
+        plan.cone_gates.extend_from_slice(&chunk.gates);
+        let obs_base = plan.obs_cone_gates.len() as u64;
+        for &end in &chunk.obs_ends {
+            plan.obs_cone_offsets.push((obs_base + end) as u32);
+        }
+        plan.obs_cone_gates.extend_from_slice(&chunk.obs_gates);
+        if let Some(hist) = &cone_hist {
+            for &sz in &chunk.sizes {
+                hist.record(sz);
+            }
+        }
+    }
+    if rescue_telemetry::enabled() {
+        metrics::histogram("plan.build_ms", &metrics::pow2_bounds(16))
+            .record(t0.elapsed().as_millis() as u64);
+    }
+    Ok(plan)
+}
+
+impl CampaignPlan {
+    /// Computes (and deduplicates) the combinational fanout cone of every
+    /// fault site in `faults`.
+    pub fn build(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
+        Self::build_with(compiled, faults, 1)
+    }
+
+    /// [`CampaignPlan::build`] sharded across `workers` threads.
+    ///
+    /// Bit-identical to the serial build for any worker count: a serial
+    /// dedup pass fixes the root order, workers build cones for
+    /// contiguous root shards, and shards concatenate back in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan exceeds its `u32` offset capacity (use
+    /// [`CampaignPlan::try_build_with`] for the typed error).
+    pub fn build_with(compiled: &CompiledNetlist, faults: &[Fault], workers: usize) -> Self {
+        Self::try_build_with(compiled, faults, workers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CampaignPlan::build_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::PlanTooLarge`] when the cone CSR outgrows its `u32`
+    /// offset arena.
+    pub fn try_build_with(
+        compiled: &CompiledNetlist,
+        faults: &[Fault],
+        workers: usize,
+    ) -> Result<Self, FaultError> {
+        build_plan_impl(compiled, faults, workers, false)
     }
 
     /// [`CampaignPlan::build`] restricted to the PO-reachable region:
@@ -221,67 +496,86 @@ impl CampaignPlan {
     /// answer `0` through the [`CampaignPlan::observable`] prefilter,
     /// identical to [`CampaignPlan::build`]).
     pub fn build_observable(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
-        let n = compiled.len();
-        let mut plan = CampaignPlan {
-            cone_index: vec![u32::MAX; n],
-            cone_offsets: vec![0],
-            cone_gates: Vec::new(),
-            observable: po_reachable(compiled),
-            obs_cone_offsets: vec![0],
-            obs_cone_gates: Vec::new(),
-        };
-        let mut seen = vec![false; n];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut members: Vec<u32> = Vec::new();
-        let mut keyed: Vec<u64> = Vec::new();
-        let cone_hist = rescue_telemetry::enabled()
-            .then(|| metrics::histogram("fault.cone_size", &metrics::pow2_bounds(16)));
-        for fault in faults {
-            let root = fault.site().gate().index();
-            if plan.cone_index[root] != u32::MAX {
-                continue; // sa0/sa1 (and pin faults) at one gate share a cone
-            }
-            plan.cone_index[root] = plan.cone_offsets.len() as u32 - 1;
-            if plan.observable[root] {
-                seen[root] = true;
-                stack.push(root as u32);
-                while let Some(g) = stack.pop() {
-                    for &s in compiled.fanout_of(g as usize) {
-                        if seen[s as usize]
-                            || compiled.kind(s as usize) == GateKind::Dff
-                            || !plan.observable[s as usize]
-                        {
-                            continue;
-                        }
-                        seen[s as usize] = true;
-                        stack.push(s);
-                        members.push(s);
-                    }
-                }
-                keyed.clear();
-                keyed.extend(
-                    members
-                        .iter()
-                        .map(|&g| ((compiled.topo_pos(g as usize) as u64) << 32) | g as u64),
-                );
-                keyed.sort_unstable();
-                seen[root] = false;
-                for &m in &members {
-                    seen[m as usize] = false;
-                }
-                members.clear();
-            } else {
-                keyed.clear();
-            }
-            if let Some(hist) = &cone_hist {
-                hist.record(keyed.len() as u64);
-            }
-            plan.cone_gates.extend(keyed.iter().map(|&k| k as u32));
-            plan.cone_offsets.push(plan.cone_gates.len() as u32);
-            plan.obs_cone_gates.extend(keyed.iter().map(|&k| k as u32));
-            plan.obs_cone_offsets.push(plan.obs_cone_gates.len() as u32);
+        Self::build_observable_with(compiled, faults, 1)
+    }
+
+    /// [`CampaignPlan::build_observable`] sharded across `workers`
+    /// threads; bit-identical to the serial build for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan exceeds its `u32` offset capacity (use
+    /// [`CampaignPlan::try_build_observable_with`] for the typed error).
+    pub fn build_observable_with(
+        compiled: &CompiledNetlist,
+        faults: &[Fault],
+        workers: usize,
+    ) -> Self {
+        Self::try_build_observable_with(compiled, faults, workers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CampaignPlan::build_observable_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::PlanTooLarge`] when the cone CSR outgrows its `u32`
+    /// offset arena.
+    pub fn try_build_observable_with(
+        compiled: &CompiledNetlist,
+        faults: &[Fault],
+        workers: usize,
+    ) -> Result<Self, FaultError> {
+        build_plan_impl(compiled, faults, workers, true)
+    }
+
+    /// Serializes the plan for the compiled-artifact cache
+    /// (little-endian, versioned; see `rescue_sim::codec`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            32 + 4 * (self.cone_index.len() + self.cone_gates.len() + self.obs_cone_gates.len()),
+        );
+        buf.push(PLAN_WIRE_VERSION);
+        put_u32s(&mut buf, &self.cone_index);
+        put_u32s(&mut buf, &self.cone_offsets);
+        put_u32s(&mut buf, &self.cone_gates);
+        put_u32s(&mut buf, &self.obs_cone_offsets);
+        put_u32s(&mut buf, &self.obs_cone_gates);
+        put_bits(&mut buf, &self.observable);
+        buf
+    }
+
+    /// Deserializes [`CampaignPlan::to_bytes`] output. Returns `None` on
+    /// version mismatch or malformed input — a corrupt cache entry must
+    /// fall back to rebuilding, never panic.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        if *bytes.get(off)? != PLAN_WIRE_VERSION {
+            return None;
         }
-        plan
+        off += 1;
+        let cone_index = take_u32s(bytes, &mut off)?;
+        let cone_offsets = take_u32s(bytes, &mut off)?;
+        let cone_gates = take_u32s(bytes, &mut off)?;
+        let obs_cone_offsets = take_u32s(bytes, &mut off)?;
+        let obs_cone_gates = take_u32s(bytes, &mut off)?;
+        let observable = take_bits(bytes, &mut off)?;
+        let shape_ok = off == bytes.len()
+            && observable.len() == cone_index.len()
+            && !cone_offsets.is_empty()
+            && cone_offsets.len() == obs_cone_offsets.len()
+            && *cone_offsets.last()? as usize == cone_gates.len()
+            && *obs_cone_offsets.last()? as usize == obs_cone_gates.len();
+        if !shape_ok {
+            return None;
+        }
+        Some(CampaignPlan {
+            cone_index,
+            cone_offsets,
+            cone_gates,
+            observable,
+            obs_cone_offsets,
+            obs_cone_gates,
+        })
     }
 
     /// The memoized cone (topo-sorted, root excluded) for the site rooted
@@ -835,6 +1129,21 @@ mod tests {
     use super::*;
     use rescue_netlist::cone::comb_fanout_cone;
     use rescue_netlist::generate;
+
+    #[test]
+    fn plan_capacity_boundary() {
+        assert_eq!(ensure_plan_capacity(0), Ok(()));
+        assert_eq!(ensure_plan_capacity(MAX_PLAN_ENTRIES), Ok(()));
+        let err = ensure_plan_capacity(MAX_PLAN_ENTRIES + 1).unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::PlanTooLarge {
+                entries: MAX_PLAN_ENTRIES + 1,
+                limit: MAX_PLAN_ENTRIES,
+            }
+        );
+        assert!(err.to_string().contains("u32 offset limit"));
+    }
 
     #[test]
     fn plan_cones_match_netlist_comb_fanout_cones() {

@@ -27,6 +27,14 @@ pub enum FaultError {
         /// Gate index of the offending fault site.
         gate: usize,
     },
+    /// A campaign plan's cone CSR outgrew its `u32` offset arena. The
+    /// plan fails loudly instead of silently truncating offsets.
+    PlanTooLarge {
+        /// Total cone entries the plan would need.
+        entries: usize,
+        /// The maximum entries the `u32` offsets can address.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -42,6 +50,12 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "fault site at gate {gate} has no memoized cone in this campaign plan"
+                )
+            }
+            FaultError::PlanTooLarge { entries, limit } => {
+                write!(
+                    f,
+                    "campaign plan needs {entries} cone entries, exceeding the u32 offset limit of {limit}"
                 )
             }
         }

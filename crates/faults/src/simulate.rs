@@ -13,13 +13,14 @@ use crate::engine::{CampaignPlan, FaultScratch, WideScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
 use crate::trace::{TracePlan, TraceScratch};
 use rescue_campaign::{
-    Campaign, CampaignManifest, CampaignStats, DurableRun, ResultStore, ShardedRun, StatsDelta,
+    ArtifactStore, Campaign, CampaignManifest, CampaignStats, DurableRun, ResultStore, ShardedRun,
+    StatsDelta,
 };
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
 use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
-use rescue_telemetry::span;
+use rescue_telemetry::{metrics, span};
 
 /// Outcome of a fault-simulation campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +123,14 @@ pub struct PackedOptions<'a> {
     /// Verdicts stay bit-identical to the walking engine for every lane
     /// width, schedule, worker count and collapse setting.
     pub tracing: bool,
+    /// When set, built campaign/trace plans are persisted to (and reloaded
+    /// from) this content-addressed artifact cache under
+    /// [`crate::content::plan_key`]. A warm cache skips plan construction
+    /// — the cone DFS and net classification — entirely; plans decode to
+    /// bytes identical to a fresh build, so verdicts are unaffected.
+    /// Deliberately excluded from [`crate::content::hash_options`]: the
+    /// cache changes wall-clock, never results or unit partitions.
+    pub artifacts: Option<&'a ArtifactStore>,
 }
 
 impl Default for PackedOptions<'_> {
@@ -130,6 +139,7 @@ impl Default for PackedOptions<'_> {
             lane_width: 1,
             collapsed: None,
             tracing: false,
+            artifacts: None,
         }
     }
 }
@@ -156,6 +166,14 @@ impl<'a> PackedOptions<'a> {
         self.tracing = true;
         self
     }
+
+    /// Persists and reloads built plans through `artifacts`, so repeat
+    /// campaigns over the same design and walk list skip plan
+    /// construction.
+    pub fn with_artifacts(mut self, artifacts: &'a ArtifactStore) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
 }
 
 /// Compiled-arena fault simulator over one netlist.
@@ -178,6 +196,23 @@ impl FaultSimulator {
         FaultSimulator {
             compiled: CompiledNetlist::new(netlist),
         }
+    }
+
+    /// [`FaultSimulator::new`] through a compiled-artifact cache: the
+    /// arena is keyed by [`crate::content::compiled_key`] (computed from
+    /// the source netlist without compiling), so a warm cache decodes the
+    /// stored arena instead of recompiling. The decoded arena is
+    /// byte-identical to a fresh compile; a cold or corrupt cache
+    /// compiles and publishes.
+    pub fn new_cached(netlist: &Netlist, artifacts: &ArtifactStore) -> Self {
+        let compiled = load_or_build(
+            Some(artifacts),
+            crate::content::compiled_key(netlist),
+            CompiledNetlist::from_bytes,
+            CompiledNetlist::to_bytes,
+            || CompiledNetlist::new(netlist),
+        );
+        FaultSimulator { compiled }
     }
 
     /// The compiled arena this simulator evaluates on.
@@ -438,11 +473,12 @@ impl FaultSimulator {
         let chunks = self.golden_chunks::<Wd>(patterns);
         let mut faults_traced = 0usize;
         let run = if opts.tracing {
-            let engine = TraceEngine::build(c, &walk);
+            let engine = TraceEngine::build(c, &walk, campaign.workers, opts);
             faults_traced = engine.tplan.statically_traced();
             run_plain(campaign, &walk, &engine, &chunks)
         } else {
-            run_plain(campaign, &walk, &WalkEngine::build(c, &walk), &chunks)
+            let engine = WalkEngine::build(c, &walk, campaign.workers, opts);
+            run_plain(campaign, &walk, &engine, &chunks)
         };
         let mut stats = CampaignStats::from_run(faults.len(), &run);
         stats.faults_walked = walk.len();
@@ -564,11 +600,11 @@ impl FaultSimulator {
         let chunks = self.golden_chunks::<Wd>(patterns);
         let mut faults_traced = 0usize;
         let run = if opts.tracing {
-            let engine = TraceEngine::build(c, &walk);
+            let engine = TraceEngine::build(c, &walk, campaign.workers, opts);
             faults_traced = engine.tplan.statically_traced();
             run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
         } else {
-            let engine = WalkEngine::build(c, &walk);
+            let engine = WalkEngine::build(c, &walk, campaign.workers, opts);
             run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
         };
         let stats = CampaignStats {
@@ -843,6 +879,32 @@ trait PackedDetect<Wd: SimWord>: Sync {
     fn flush(&self, scratch: &mut Self::Scratch);
 }
 
+/// Fetches a plan artifact from the cache, or builds and publishes it.
+///
+/// The decode path executes zero DFS or classification work: a hit is a
+/// read, a checksum and a byte decode. Corrupt or foreign payloads fall
+/// through to a rebuild (and overwrite the bad entry). `plan.cache_hits` /
+/// `plan.cache_misses` count how a workload's setup split.
+fn load_or_build<T>(
+    artifacts: Option<&ArtifactStore>,
+    key: rescue_campaign::ContentHash,
+    decode: impl Fn(&[u8]) -> Option<T>,
+    encode: impl Fn(&T) -> Vec<u8>,
+    build: impl FnOnce() -> T,
+) -> T {
+    let Some(store) = artifacts else {
+        return build();
+    };
+    if let Some(artifact) = store.load(key).and_then(|bytes| decode(&bytes)) {
+        metrics::counter("plan.cache_hits").add(1);
+        return artifact;
+    }
+    metrics::counter("plan.cache_misses").add(1);
+    let built = build();
+    store.save(key, &encode(&built));
+    built
+}
+
 /// The event-driven packed cone walker ([`CampaignPlan::detect_packed`]).
 struct WalkEngine<'a> {
     c: &'a CompiledNetlist,
@@ -850,11 +912,15 @@ struct WalkEngine<'a> {
 }
 
 impl<'a> WalkEngine<'a> {
-    fn build(c: &'a CompiledNetlist, walk: &[Fault]) -> Self {
-        WalkEngine {
-            c,
-            plan: CampaignPlan::build(c, walk),
-        }
+    fn build(c: &'a CompiledNetlist, walk: &[Fault], workers: usize, opts: &PackedOptions) -> Self {
+        let plan = load_or_build(
+            opts.artifacts,
+            crate::content::plan_key(c, walk, false),
+            CampaignPlan::from_bytes,
+            CampaignPlan::to_bytes,
+            || CampaignPlan::build_with(c, walk, workers),
+        );
+        WalkEngine { c, plan }
     }
 }
 
@@ -897,11 +963,15 @@ struct TraceEngine<'a> {
 }
 
 impl<'a> TraceEngine<'a> {
-    fn build(c: &'a CompiledNetlist, walk: &[Fault]) -> Self {
-        TraceEngine {
-            c,
-            tplan: TracePlan::build(c, walk),
-        }
+    fn build(c: &'a CompiledNetlist, walk: &[Fault], workers: usize, opts: &PackedOptions) -> Self {
+        let tplan = load_or_build(
+            opts.artifacts,
+            crate::content::plan_key(c, walk, true),
+            TracePlan::from_bytes,
+            TracePlan::to_bytes,
+            || TracePlan::build_with(c, walk, workers),
+        );
+        TraceEngine { c, tplan }
     }
 }
 

@@ -52,8 +52,10 @@ use crate::engine::{CampaignPlan, WideScratch};
 use crate::error::FaultError;
 use crate::model::{Fault, FaultSite};
 use rescue_netlist::{GateId, GateKind};
+use rescue_sim::codec::{put_u64s, take_len, take_u64s};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::wide::SimWord;
+use rescue_telemetry::span;
 
 /// Structural observability class of one net, from the compiled
 /// netlist's combinational fanout-degree metadata
@@ -80,12 +82,112 @@ pub enum NetClass {
 /// A [`CampaignPlan`] extended with the per-net structural classes and
 /// the reconvergent-stem closure of the fault list, built once per
 /// campaign and shared read-only by all workers.
-#[derive(Debug, Clone)]
+///
+/// Classes are stored packed (one `u64` per net: 2-bit tag + chain
+/// consumer/pin fields) so the million-gate class arena is one
+/// contiguous 8-byte-per-net array instead of a 12-byte tagged enum —
+/// decoding is two shifts on access, and the arena serializes verbatim
+/// into the compiled-artifact cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TracePlan {
-    class: Vec<NetClass>,
+    class: Vec<u64>,
     plan: CampaignPlan,
     stems: usize,
     statically_traced: usize,
+}
+
+/// 2-bit class tags of the packed per-net encoding.
+const TAG_PO: u64 = 0;
+const TAG_DEAD: u64 = 1;
+const TAG_CHAIN: u64 = 2;
+const TAG_STEM: u64 = 3;
+
+/// Version byte of the [`TracePlan::to_bytes`] wire format.
+const TRACE_WIRE_VERSION: u8 = 1;
+
+#[inline]
+fn encode_class(c: NetClass) -> u64 {
+    match c {
+        NetClass::Po => TAG_PO,
+        NetClass::Dead => TAG_DEAD,
+        NetClass::Chain { consumer, pin } => {
+            TAG_CHAIN | ((consumer as u64) << 2) | ((pin as u64) << 34)
+        }
+        NetClass::Stem => TAG_STEM,
+    }
+}
+
+#[inline]
+fn decode_class(w: u64) -> NetClass {
+    match w & 3 {
+        TAG_PO => NetClass::Po,
+        TAG_DEAD => NetClass::Dead,
+        TAG_CHAIN => NetClass::Chain {
+            consumer: (w >> 2) as u32,
+            pin: (w >> 34) as u32,
+        },
+        _ => NetClass::Stem,
+    }
+}
+
+/// Structural class of one net — a pure function of the compiled CSR,
+/// which is what makes classification embarrassingly parallel.
+fn classify_gate(compiled: &CompiledNetlist, g: usize) -> u64 {
+    if compiled.is_po(g) {
+        return TAG_PO;
+    }
+    encode_class(match compiled.comb_fanout_degree(g) {
+        0 => NetClass::Dead,
+        1 => {
+            let consumer = *compiled
+                .fanout_of(g)
+                .iter()
+                .find(|&&s| compiled.kind(s as usize) != GateKind::Dff)
+                .expect("degree 1 implies one combinational consumer");
+            let pin = compiled
+                .pins_of(consumer as usize)
+                .iter()
+                .position(|&p| p == g as u32)
+                .expect("fanout edge has a matching pin") as u32;
+            NetClass::Chain { consumer, pin }
+        }
+        _ => NetClass::Stem,
+    })
+}
+
+/// Designs below this size classify serially even when workers are
+/// available — thread startup would dominate.
+const PARALLEL_CLASSIFY_MIN: usize = 1 << 15;
+
+/// Classifies every net, sharded across `workers` contiguous id ranges.
+/// Deterministic for any worker count: each net's class is a pure
+/// per-gate function and shards concatenate in id order.
+fn classify_all(compiled: &CompiledNetlist, workers: usize) -> Vec<u64> {
+    let n = compiled.len();
+    let w = workers.max(1);
+    let _span = span!("plan.classify", gates = n);
+    if w == 1 || n < PARALLEL_CLASSIFY_MIN {
+        return (0..n).map(|g| classify_gate(compiled, g)).collect();
+    }
+    let chunk = n.div_ceil(w);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(n);
+                s.spawn(move || {
+                    (lo..hi)
+                        .map(|g| classify_gate(compiled, g))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut class = Vec::with_capacity(n);
+        for h in handles {
+            class.extend(h.join().expect("classify worker panicked"));
+        }
+        class
+    })
 }
 
 impl TracePlan {
@@ -95,38 +197,23 @@ impl TracePlan {
     /// fallback walk has memoized cones even for stems that are not
     /// fault sites themselves).
     pub fn build(compiled: &CompiledNetlist, faults: &[Fault]) -> Self {
+        Self::build_with(compiled, faults, 1)
+    }
+
+    /// [`TracePlan::build`] with classification, the PO-reachability
+    /// sweep and cone construction sharded across `workers` threads.
+    /// Bit-identical to the serial build for any worker count (the chain
+    /// ascent stays serial — it is `O(gates)` with a shared memo whose
+    /// stem order fixes the pseudo-root list).
+    pub fn build_with(compiled: &CompiledNetlist, faults: &[Fault], workers: usize) -> Self {
         let n = compiled.len();
-        let class: Vec<NetClass> = (0..n)
-            .map(|g| {
-                if compiled.is_po(g) {
-                    return NetClass::Po;
-                }
-                match compiled.comb_fanout_degree(g) {
-                    0 => NetClass::Dead,
-                    1 => {
-                        let consumer = *compiled
-                            .fanout_of(g)
-                            .iter()
-                            .find(|&&s| compiled.kind(s as usize) != GateKind::Dff)
-                            .expect("degree 1 implies one combinational consumer");
-                        let pin = compiled
-                            .pins_of(consumer as usize)
-                            .iter()
-                            .position(|&p| p == g as u32)
-                            .expect("fanout edge has a matching pin")
-                            as u32;
-                        NetClass::Chain { consumer, pin }
-                    }
-                    _ => NetClass::Stem,
-                }
-            })
-            .collect();
+        let class = classify_all(compiled, workers);
 
         // Memoized chain ascent from every fault root: terminal class 1
         // (`Po`/`Dead`/unreachable — fully traced, never needs a walk)
         // or 2 (terminates at a reconvergent stem). Each net is resolved
         // once, so the sweep is O(gates) for any fault-list size.
-        let reachable = crate::engine::po_reachable(compiled);
+        let reachable = crate::engine::po_reachable_with(compiled, workers);
         let mut term = vec![0u8; n];
         let mut needed: Vec<u32> = Vec::new();
         let mut path: Vec<u32> = Vec::new();
@@ -141,7 +228,7 @@ impl TracePlan {
                 if !reachable[g] {
                     break 1; // obs is ZERO without tracing or walking
                 }
-                match class[g] {
+                match decode_class(class[g]) {
                     NetClass::Chain { consumer, .. } => {
                         path.push(g as u32);
                         g = consumer as usize;
@@ -175,7 +262,7 @@ impl TracePlan {
                 .iter()
                 .map(|&s| Fault::stuck_at(FaultSite::Output(GateId(s as usize)), false)),
         );
-        let plan = CampaignPlan::build_observable(compiled, &roots);
+        let plan = CampaignPlan::build_observable_with(compiled, &roots, workers);
         TracePlan {
             class,
             plan,
@@ -184,10 +271,41 @@ impl TracePlan {
         }
     }
 
+    /// Serializes the trace plan for the compiled-artifact cache.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + self.class.len() * 8);
+        buf.push(TRACE_WIRE_VERSION);
+        buf.extend_from_slice(&(self.stems as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.statically_traced as u64).to_le_bytes());
+        put_u64s(&mut buf, &self.class);
+        buf.extend_from_slice(&self.plan.to_bytes());
+        buf
+    }
+
+    /// Deserializes [`TracePlan::to_bytes`] output; `None` on version
+    /// mismatch or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        if *bytes.get(off)? != TRACE_WIRE_VERSION {
+            return None;
+        }
+        off += 1;
+        let stems = take_len(bytes, &mut off)?;
+        let statically_traced = take_len(bytes, &mut off)?;
+        let class = take_u64s(bytes, &mut off)?;
+        let plan = CampaignPlan::from_bytes(bytes.get(off..)?)?;
+        Some(TracePlan {
+            class,
+            plan,
+            stems,
+            statically_traced,
+        })
+    }
+
     /// The structural class of net `g`.
     #[inline]
     pub fn class_of(&self, g: usize) -> NetClass {
-        self.class[g]
+        decode_class(self.class[g])
     }
 
     /// The underlying [`CampaignPlan`] (fault cones + stem pseudo-root
@@ -226,7 +344,7 @@ impl TracePlan {
             if scratch.obs_epoch[g] == scratch.epoch {
                 break scratch.obs[g];
             }
-            match self.class[g] {
+            match decode_class(self.class[g]) {
                 NetClass::Chain { consumer, .. } => {
                     scratch.path.push(g as u32);
                     g = consumer as usize;
@@ -254,7 +372,7 @@ impl TracePlan {
         while let Some(gc) = scratch.path.pop() {
             let gi = gc as usize;
             if !val.is_zero() {
-                let NetClass::Chain { consumer, pin } = self.class[gi] else {
+                let NetClass::Chain { consumer, pin } = decode_class(self.class[gi]) else {
                     unreachable!("only chain nets are pushed on the ascent path");
                 };
                 let c = consumer as usize;

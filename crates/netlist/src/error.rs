@@ -45,6 +45,14 @@ pub enum NetlistError {
         /// Description of the problem.
         message: String,
     },
+    /// The netlist has too many nets for the `u32` index arenas used by
+    /// the compiled representation and campaign plans.
+    TooLarge {
+        /// Number of gates/nets in the offending netlist.
+        gates: usize,
+        /// The maximum number of nets the arenas can index.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -73,7 +81,43 @@ impl fmt::Display for NetlistError {
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            NetlistError::TooLarge { gates, limit } => {
+                write!(
+                    f,
+                    "netlist has {gates} nets, exceeding the u32 index limit of {limit}"
+                )
+            }
         }
+    }
+}
+
+/// Maximum number of nets addressable by the `u32` index arenas.
+///
+/// `u32::MAX` itself is reserved as an "unplanned" sentinel by campaign
+/// plans, so the last usable index is `u32::MAX - 1`.
+pub const MAX_NETS: usize = u32::MAX as usize;
+
+/// Checks that `gates` nets fit the `u32` index arenas used by compiled
+/// netlists and campaign plans.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::TooLarge`] when `gates >= MAX_NETS` so
+/// oversized designs fail loudly instead of silently truncating indices.
+///
+/// ```
+/// use rescue_netlist::error::{ensure_u32_indexable, MAX_NETS};
+/// assert!(ensure_u32_indexable(1_000_000).is_ok());
+/// assert!(ensure_u32_indexable(MAX_NETS).is_err());
+/// ```
+pub fn ensure_u32_indexable(gates: usize) -> Result<(), NetlistError> {
+    if gates >= MAX_NETS {
+        Err(NetlistError::TooLarge {
+            gates,
+            limit: MAX_NETS,
+        })
+    } else {
+        Ok(())
     }
 }
 
@@ -108,5 +152,21 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<NetlistError>();
+    }
+
+    #[test]
+    fn u32_capacity_boundary() {
+        assert!(ensure_u32_indexable(0).is_ok());
+        assert!(ensure_u32_indexable(MAX_NETS - 1).is_ok());
+        let err = ensure_u32_indexable(MAX_NETS).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::TooLarge {
+                gates: MAX_NETS,
+                limit: MAX_NETS,
+            }
+        );
+        assert!(err.to_string().contains("u32 index limit"));
+        assert!(ensure_u32_indexable(usize::MAX).is_err());
     }
 }

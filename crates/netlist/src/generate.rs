@@ -414,9 +414,83 @@ pub fn random_logic(n_inputs: usize, n_gates: usize, n_outputs: usize, seed: u64
     b.finish()
 }
 
+/// One rung of the [`scaling_ladder`]: a named `random_logic` recipe.
+///
+/// Rungs are recipes rather than materialized netlists so callers can build
+/// one rung at a time and drop it before the next — the million-gate rung
+/// alone is ~100 MB of netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleRung {
+    /// Short rung name used in benchmark tables (e.g. `"200k"`).
+    pub name: &'static str,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of two-input gates.
+    pub gates: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ScaleRung {
+    /// Materializes this rung via [`random_logic`].
+    pub fn build(&self) -> Netlist {
+        random_logic(self.inputs, self.gates, self.outputs, self.seed)
+    }
+}
+
+/// The big-circuit benchmark ladder: 50k → 200k → 10^6 gates.
+///
+/// The 50k rung reuses the `BENCH_cpt.json` "big" recipe
+/// (`random_logic(32, 50000, 8, 17)`) so numbers stay comparable across
+/// benches; the upper rungs extend it to the scale where setup cost and
+/// memory bandwidth, not the packed inner loops, dominate.
+pub const SCALING_LADDER: [ScaleRung; 3] = [
+    ScaleRung {
+        name: "50k",
+        inputs: 32,
+        gates: 50_000,
+        outputs: 8,
+        seed: 17,
+    },
+    ScaleRung {
+        name: "200k",
+        inputs: 48,
+        gates: 200_000,
+        outputs: 12,
+        seed: 20,
+    },
+    ScaleRung {
+        name: "1M",
+        inputs: 64,
+        gates: 1_000_000,
+        outputs: 16,
+        seed: 21,
+    },
+];
+
+/// The benchmark ladder as a slice (see [`SCALING_LADDER`]).
+pub fn scaling_ladder() -> &'static [ScaleRung] {
+    &SCALING_LADDER
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ladder_rungs_ascend_and_build() {
+        let ladder = scaling_ladder();
+        assert_eq!(ladder.len(), 3);
+        assert!(ladder.windows(2).all(|w| w[0].gates < w[1].gates));
+        assert_eq!(ladder[2].gates, 1_000_000);
+        // Materialize only the bottom rung in tests; upper rungs are
+        // exercised by the e20 bench.
+        let net = ladder[0].build();
+        assert_eq!(net.len(), 32 + 50_000);
+        assert_eq!(net.primary_outputs().len(), 8);
+    }
 
     #[test]
     fn c17_shape() {

@@ -42,10 +42,11 @@ pub mod gate;
 pub mod generate;
 pub mod level;
 pub mod netlist;
+pub mod renumber;
 pub mod stats;
 
 pub use builder::NetlistBuilder;
-pub use error::NetlistError;
+pub use error::{ensure_u32_indexable, NetlistError};
 pub use gate::{Gate, GateId, GateKind};
 pub use level::Levelization;
 pub use netlist::Netlist;

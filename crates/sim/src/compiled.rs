@@ -27,14 +27,15 @@
 //! variant substitutes one input pin, which is how pin stuck-at faults
 //! are injected without touching the arena.
 
+use crate::codec::{put_bits, put_len, put_u32s, take_bits, take_len, take_u32s};
 use crate::error::SimError;
 use crate::logic::Logic;
 use crate::wide::SimWord;
-use rescue_netlist::{GateId, GateKind, Netlist};
+use rescue_netlist::{GateId, GateKind, Netlist, NetlistError};
 
 /// Flat-arena, levelized form of a [`Netlist`]. See the module docs for
 /// the layout.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledNetlist {
     kinds: Vec<GateKind>,
     pin_offsets: Vec<u32>,
@@ -64,10 +65,27 @@ impl CompiledNetlist {
     /// # Panics
     ///
     /// Panics if the netlist has a combinational cycle (a validated
-    /// netlist never does) or more than `u32::MAX` gates.
+    /// netlist never does) or exceeds the `u32` index capacity (see
+    /// [`CompiledNetlist::try_new`] for the fallible form).
     pub fn new(netlist: &Netlist) -> Self {
+        Self::try_new(netlist).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible compilation with a typed capacity guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TooLarge`] when the netlist has too many
+    /// nets for the `u32` index arenas, instead of silently truncating
+    /// gate indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (a validated
+    /// netlist never does).
+    pub fn try_new(netlist: &Netlist) -> Result<Self, NetlistError> {
         let n = netlist.len();
-        assert!(u32::try_from(n).is_ok(), "netlist too large for u32 arena");
+        rescue_netlist::ensure_u32_indexable(n)?;
         let lv = netlist.levelize();
 
         let mut kinds = Vec::with_capacity(n);
@@ -141,7 +159,7 @@ impl CompiledNetlist {
             .map(|&d| netlist.gate(d).inputs()[0].index() as u32)
             .collect();
 
-        CompiledNetlist {
+        Ok(CompiledNetlist {
             kinds,
             pin_offsets,
             pins,
@@ -158,7 +176,7 @@ impl CompiledNetlist {
             fan,
             comb_fan_degree,
             depth: lv.depth(),
-        }
+        })
     }
 
     /// Number of gates.
@@ -413,7 +431,114 @@ impl CompiledNetlist {
         }
         Ok(())
     }
+
+    // --- compiled-artifact wire format ----------------------------------
+
+    /// Serializes the full compiled arena for the artifact cache.
+    ///
+    /// Every derived field (levelization, CSRs, orders) is dumped
+    /// verbatim, so a cache hit deserializes with zero levelization or
+    /// CSR-construction work. Little-endian, versioned; gate kinds use
+    /// the frozen [`GateKind::wire_code`] table.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.kinds.len() * 40 + self.pins.len() * 8);
+        buf.push(WIRE_VERSION);
+        buf.extend_from_slice(&self.depth.to_le_bytes());
+        put_len(&mut buf, self.kinds.len());
+        buf.extend(self.kinds.iter().map(|k| k.wire_code()));
+        for arr in [
+            &self.pin_offsets,
+            &self.pins,
+            &self.order,
+            &self.eval_order,
+            &self.levels,
+            &self.topo_pos,
+            &self.pis,
+            &self.po_drivers,
+            &self.dffs,
+            &self.dff_d,
+            &self.fan_offsets,
+            &self.fan,
+            &self.comb_fan_degree,
+        ] {
+            put_u32s(&mut buf, arr);
+        }
+        put_bits(&mut buf, &self.is_po);
+        buf
+    }
+
+    /// Deserializes [`CompiledNetlist::to_bytes`] output.
+    ///
+    /// Returns `None` on version mismatch or malformed input — a corrupt
+    /// cache entry must fall back to recompiling, never panic.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        if *bytes.get(off)? != WIRE_VERSION {
+            return None;
+        }
+        off += 1;
+        let depth = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?);
+        off += 4;
+        let n = take_len(bytes, &mut off)?;
+        // One byte per kind: the prefix can never exceed the remaining
+        // payload, so corrupt input cannot trigger a huge allocation.
+        if n > bytes.len() - off {
+            return None;
+        }
+        let mut kinds = Vec::with_capacity(n);
+        for _ in 0..n {
+            kinds.push(GateKind::from_wire_code(*bytes.get(off)?)?);
+            off += 1;
+        }
+        let pin_offsets = take_u32s(bytes, &mut off)?;
+        let pins = take_u32s(bytes, &mut off)?;
+        let order = take_u32s(bytes, &mut off)?;
+        let eval_order = take_u32s(bytes, &mut off)?;
+        let levels = take_u32s(bytes, &mut off)?;
+        let topo_pos = take_u32s(bytes, &mut off)?;
+        let pis = take_u32s(bytes, &mut off)?;
+        let po_drivers = take_u32s(bytes, &mut off)?;
+        let dffs = take_u32s(bytes, &mut off)?;
+        let dff_d = take_u32s(bytes, &mut off)?;
+        let fan_offsets = take_u32s(bytes, &mut off)?;
+        let fan = take_u32s(bytes, &mut off)?;
+        let comb_fan_degree = take_u32s(bytes, &mut off)?;
+        let is_po = take_bits(bytes, &mut off)?;
+        let shape_ok = off == bytes.len()
+            && pin_offsets.len() == n + 1
+            && fan_offsets.len() == n + 1
+            && order.len() == n
+            && levels.len() == n
+            && topo_pos.len() == n
+            && comb_fan_degree.len() == n
+            && is_po.len() == n
+            && fan.len() == pins.len()
+            && dff_d.len() == dffs.len();
+        if !shape_ok {
+            return None;
+        }
+        Some(CompiledNetlist {
+            kinds,
+            pin_offsets,
+            pins,
+            order,
+            eval_order,
+            levels,
+            topo_pos,
+            pis,
+            po_drivers,
+            is_po,
+            dffs,
+            dff_d,
+            fan_offsets,
+            fan,
+            comb_fan_degree,
+            depth,
+        })
+    }
 }
+
+const WIRE_VERSION: u8 = 1;
 
 /// Word-domain gate function over an input iterator, generic over the
 /// packed lane width. `Dff` yields the all-zero word (the packed-pattern
@@ -679,5 +804,37 @@ mod tests {
                 found: 3
             })
         ));
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        for net in [
+            generate::c17(),
+            generate::random_logic(8, 300, 4, 9),
+            generate::control_fsm(),
+        ] {
+            let c = CompiledNetlist::new(&net);
+            let bytes = c.to_bytes();
+            let back = CompiledNetlist::from_bytes(&bytes).expect("decode");
+            assert_eq!(c, back, "round trip must be lossless for {}", net.name());
+        }
+    }
+
+    #[test]
+    fn wire_format_rejects_corruption() {
+        let c = CompiledNetlist::new(&generate::c17());
+        let bytes = c.to_bytes();
+        assert!(CompiledNetlist::from_bytes(&[]).is_none());
+        assert!(CompiledNetlist::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 0xff;
+        assert!(CompiledNetlist::from_bytes(&wrong_version).is_none());
+        let mut bad_kind = bytes.clone();
+        // First kind byte sits after version(1) + depth(4) + len(8).
+        bad_kind[13] = 0xee;
+        assert!(CompiledNetlist::from_bytes(&bad_kind).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(CompiledNetlist::from_bytes(&trailing).is_none());
     }
 }

@@ -52,6 +52,7 @@
 //! # Ok::<(), rescue_sim::SimError>(())
 //! ```
 
+pub mod codec;
 pub mod comb;
 pub mod compiled;
 pub mod compiled_seq;
