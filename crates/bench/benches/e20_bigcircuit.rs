@@ -46,11 +46,22 @@ use rescue_core::faults::{content, universe, Fault};
 use rescue_core::netlist::generate::{scaling_ladder, ScaleRung};
 use rescue_core::netlist::renumber;
 use rescue_core::sim::compiled::CompiledNetlist;
+use rescue_core::sim::wide::{pack_patterns_wide, PackedWord, SimWord};
 use rescue_core::telemetry::{journal, TelemetryConfig};
 use std::time::Instant;
 
 const PATTERNS: usize = 256;
 const SMOKE_PATTERNS: usize = 64;
+/// Patterns for the verdict-mode global-drop run (64 chunks at W=4):
+/// enough chunk-dimension parallelism for the shared detected bitmap to
+/// pay off on a multi-core host.
+const DROP_PATTERNS: usize = 4096;
+/// Campaign timings are min-of-N: the ladder's original single-sample
+/// timing made the 200k rung report warm *slower* than cold — one
+/// allocator / page-cache hiccup in a 0.4 s sample was enough to invert
+/// the ordering. The minimum over `MEASURE_RUNS` fresh runs is the
+/// standard noise floor estimator; smoke mode keeps N=1 for CI budget.
+const MEASURE_RUNS: usize = 3;
 
 fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
     let mut s = seed.max(1) ^ 0x5851_f42d_4c95_7f2d;
@@ -72,6 +83,21 @@ fn secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t = Instant::now();
     let out = f();
     (out, t.elapsed().as_secs_f64())
+}
+
+/// Min-of-`n` timing: runs `f` `n` times, returns the last output and
+/// the fastest wall-clock. `setup` runs before each repetition outside
+/// the timed region (e.g. wiping the artifact store for cold passes).
+fn secs_min<T>(n: usize, mut setup: impl FnMut(), mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..n.max(1) {
+        setup();
+        let (o, t) = secs(&mut f);
+        best = best.min(t);
+        out = Some(o);
+    }
+    (out.expect("n >= 1"), best)
 }
 
 /// The walk list the packed engines plan over: PO-reachable collapse
@@ -109,6 +135,9 @@ struct RungResult {
     t_plan_reload: f64,
     t_campaign_cold: f64,
     t_campaign_warm: f64,
+    t_campaign_warm_no_sweep: f64,
+    t_golden_sweep: f64,
+    t_golden_gate_order: f64,
     coverage: f64,
     walked: usize,
     traced: usize,
@@ -121,13 +150,27 @@ impl RungResult {
     fn reload_speedup(&self) -> f64 {
         self.t_plan_serial / self.t_plan_reload
     }
+    /// Speedup of the level-blocked sweep kernels on the phase they
+    /// target: full-design golden-chunk evaluation. The event-driven
+    /// walks touch a handful of gates per fault, so the batch kernels
+    /// cannot help there — this is the kernel number, not the
+    /// whole-campaign wall clock (that's [`Self::ablation_speedup`]).
+    fn sweep_speedup(&self) -> f64 {
+        self.t_golden_gate_order / self.t_golden_sweep
+    }
+    /// Whole-campaign warm-execution effect of disabling the sweep:
+    /// diluted by walk/trace and verdict-expansion time, so expect a
+    /// few percent, not the kernel ratio.
+    fn ablation_speedup(&self) -> f64 {
+        self.t_campaign_warm_no_sweep / self.t_campaign_warm
+    }
 }
 
-fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize) -> RungResult {
+fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize, runs: usize) -> RungResult {
     blog!("  [{}] building {} gates...", rung.name, rung.gates);
     let (net, t_generate) = secs(|| rung.build());
     let ((lev, _map), t_levelize) = secs(|| renumber::levelized(&net));
-    let (c, t_compile) = secs(|| CompiledNetlist::new(&lev));
+    let (mut c, t_compile) = secs(|| CompiledNetlist::new(&lev));
     let faults = universe::stuck_at_universe(&lev);
     let (collapsed, t_collapse) = secs(|| collapse_with(&lev, &faults, workers));
     let walk = walk_list_of(&c, &collapsed, &faults);
@@ -147,24 +190,82 @@ fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize) -> RungResult {
     // Artifact cache: cold publishes, warm decodes. The reload timing is
     // the direct "setup executes zero DFS" number.
     let dir = std::env::temp_dir().join(format!("rescue-e20-{}-{}", rung.name, std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let store = ArtifactStore::open(&dir);
     let patterns = random_patterns(lev.primary_inputs().len(), n_patterns, rung.seed ^ 0x9e37);
     let campaign = Campaign::new(0, workers);
     let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
 
-    let (cold, t_campaign_cold) = secs(|| {
-        let sim = FaultSimulator::new_cached(&lev, &store);
-        sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
-    });
-    let (warm, t_campaign_warm) = secs(|| {
-        let sim = FaultSimulator::new_cached(&lev, &store);
-        sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
-    });
+    // Cold: every repetition starts from a wiped store (outside the
+    // timed region), so the minimum is over genuinely cold passes.
+    let (cold, t_campaign_cold) = secs_min(
+        runs,
+        || {
+            std::fs::remove_dir_all(&dir).ok();
+        },
+        || {
+            let store = ArtifactStore::open(&dir);
+            let sim = FaultSimulator::new_cached(&lev, &store);
+            sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
+        },
+    );
+    // Warm: the store the last cold pass populated stays in place.
+    let store = ArtifactStore::open(&dir);
+    let (warm, t_campaign_warm) = secs_min(
+        runs,
+        || {},
+        || {
+            let sim = FaultSimulator::new_cached(&lev, &store);
+            sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
+        },
+    );
     assert_eq!(
         cold.report.first_detection(),
         warm.report.first_detection(),
         "{}-gate rung: warm cache pass diverged from cold",
+        rung.gates
+    );
+    // Golden-kernel ablation: one full-design packed evaluation (the
+    // phase the sweep kernels target) with the level-blocked runs vs
+    // the gate-order fold, on the identical resident arena.
+    let kernel_words = pack_patterns_wide::<PackedWord<4>>(
+        &patterns[..patterns.len().min(PackedWord::<4>::LANES)],
+    );
+    let mut kernel_values = vec![PackedWord::<4>::ZERO; c.len()];
+    assert!(c.sweep_plan().is_some(), "levelized arena must sweep");
+    let (_, t_golden_sweep) = secs_min(
+        runs,
+        || {},
+        || {
+            c.eval_words_fill(&kernel_words, None, &mut kernel_values)
+                .unwrap()
+        },
+    );
+    c.set_sweep(false);
+    let (_, t_golden_gate_order) = secs_min(
+        runs,
+        || {},
+        || {
+            c.eval_words_fill(&kernel_words, None, &mut kernel_values)
+                .unwrap()
+        },
+    );
+    c.set_sweep(true);
+    drop(kernel_values);
+
+    // Sweep ablation on the identical warm campaign: gate-order kernels
+    // instead of the level-blocked sweep runs. Verdicts must not move.
+    let (no_sweep, t_campaign_warm_no_sweep) = secs_min(
+        runs,
+        || {},
+        || {
+            let mut sim = FaultSimulator::new_cached(&lev, &store);
+            sim.set_sweep(false);
+            sim.campaign_packed(&faults, &patterns, &campaign, opts.with_artifacts(&store))
+        },
+    );
+    assert_eq!(
+        warm.report.first_detection(),
+        no_sweep.report.first_detection(),
+        "{}-gate rung: sweep ablation changed verdicts",
         rung.gates
     );
 
@@ -193,6 +294,9 @@ fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize) -> RungResult {
         t_plan_reload,
         t_campaign_cold,
         t_campaign_warm,
+        t_campaign_warm_no_sweep,
+        t_golden_sweep,
+        t_golden_gate_order,
         coverage: warm.report.coverage(),
         walked: warm.stats.faults_walked,
         traced: warm.stats.faults_traced,
@@ -203,7 +307,12 @@ fn run_rung(rung: &ScaleRung, workers: usize, n_patterns: usize) -> RungResult {
 /// original and the level-ordered numbering. Returns
 /// `(t_original, t_levelized)`; coverage equality is asserted (the two
 /// numberings are the same circuit).
-fn layout_comparison(rung: &ScaleRung, workers: usize, n_patterns: usize) -> (f64, f64) {
+fn layout_comparison(
+    rung: &ScaleRung,
+    workers: usize,
+    n_patterns: usize,
+    runs: usize,
+) -> (f64, f64) {
     let net = rung.build();
     let (lev, _) = renumber::levelized(&net);
     let campaign = Campaign::new(0, workers);
@@ -215,7 +324,11 @@ fn layout_comparison(rung: &ScaleRung, workers: usize, n_patterns: usize) -> (f6
         let sim = FaultSimulator::new(n);
         let patterns = random_patterns(n.primary_inputs().len(), n_patterns, rung.seed ^ 0x9e37);
         let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
-        let (run, t) = secs(|| sim.campaign_packed(&faults, &patterns, &campaign, opts));
+        let (run, t) = secs_min(
+            runs,
+            || (),
+            || sim.campaign_packed(&faults, &patterns, &campaign, opts),
+        );
         cov[i] = run.report.coverage();
         times[i] = t;
     }
@@ -226,10 +339,77 @@ fn layout_comparison(rung: &ScaleRung, workers: usize, n_patterns: usize) -> (f6
     (times[0], times[1])
 }
 
+struct DropResult {
+    patterns: usize,
+    t_unit: f64,
+    t_global: f64,
+    dropped_global: usize,
+}
+
+impl DropResult {
+    fn speedup(&self) -> f64 {
+        self.t_unit / self.t_global
+    }
+}
+
+/// The verdict-mode global-drop run on the 50k rung: the identical
+/// `DROP_PATTERNS`-pattern campaign under the default unit drop scope
+/// and under [`DropScope::Global`]'s shared detected bitmap. The
+/// detected *set* must match exactly (only first-detection indices are
+/// schedule-dependent under global scope); the speedup comes from
+/// chunk-dimension parallelism on the undetected tail and is therefore
+/// a multi-core effect — the >= 2x guard is gated on `host_cpus >= 4`.
+fn global_drop_run(rung: &ScaleRung, workers: usize, runs: usize) -> DropResult {
+    let net = rung.build();
+    let (lev, _) = renumber::levelized(&net);
+    let faults = universe::stuck_at_universe(&lev);
+    let collapsed = collapse_with(&lev, &faults, workers);
+    let sim = FaultSimulator::new(&lev);
+    let patterns = random_patterns(
+        lev.primary_inputs().len(),
+        DROP_PATTERNS,
+        rung.seed ^ 0x9e37,
+    );
+    let campaign = Campaign::new(0, workers);
+    let opts = PackedOptions::wide(4).with_collapsed(&collapsed).traced();
+    let (unit, t_unit) = secs_min(
+        runs,
+        || {},
+        || sim.campaign_packed(&faults, &patterns, &campaign, opts),
+    );
+    let (global, t_global) = secs_min(
+        runs,
+        || {},
+        || sim.campaign_packed(&faults, &patterns, &campaign, opts.global_drop()),
+    );
+    let unit_set: Vec<bool> = unit
+        .report
+        .first_detection()
+        .iter()
+        .map(|d| d.is_some())
+        .collect();
+    let global_set: Vec<bool> = global
+        .report
+        .first_detection()
+        .iter()
+        .map(|d| d.is_some())
+        .collect();
+    assert_eq!(
+        unit_set, global_set,
+        "global drop scope changed the detected set"
+    );
+    DropResult {
+        patterns: DROP_PATTERNS,
+        t_unit,
+        t_global,
+        dropped_global: global.stats.dropped_global,
+    }
+}
+
 fn smoke(rung: &ScaleRung, workers: usize) {
     TelemetryConfig::on().install();
     let mark = journal::mark();
-    let r = run_rung(rung, workers, SMOKE_PATTERNS);
+    let r = run_rung(rung, workers, SMOKE_PATTERNS, 1);
     let j = journal::Journal::take_since(mark);
     TelemetryConfig::off().install();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../e20_smoke.jsonl");
@@ -266,7 +446,7 @@ fn bench(c: &mut Criterion) {
 
     let results: Vec<RungResult> = ladder
         .iter()
-        .map(|rung| run_rung(rung, workers, PATTERNS))
+        .map(|rung| run_rung(rung, workers, PATTERNS, MEASURE_RUNS))
         .collect();
 
     for r in &results {
@@ -298,9 +478,20 @@ fn bench(c: &mut Criterion) {
             r.reload_speedup()
         );
         blog!(
-            "    campaign ({PATTERNS} patterns, hybrid): cold {:>8.1} ms   warm {:>8.1} ms",
+            "    campaign ({PATTERNS} patterns, hybrid, min of {MEASURE_RUNS}): \
+             cold {:>8.1} ms   warm {:>8.1} ms",
             r.t_campaign_cold * 1e3,
             r.t_campaign_warm * 1e3
+        );
+        blog!(
+            "    exec: golden chunk sweep {:>6.1} ms vs gate-order {:>6.1} ms ({:.2}x kernel); \
+             whole-campaign ablation {:>7.1} ms vs {:>7.1} ms ({:.2}x)",
+            r.t_golden_sweep * 1e3,
+            r.t_golden_gate_order * 1e3,
+            r.sweep_speedup(),
+            r.t_campaign_warm * 1e3,
+            r.t_campaign_warm_no_sweep * 1e3,
+            r.ablation_speedup()
         );
     }
 
@@ -325,7 +516,66 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let (t_orig, t_lev) = layout_comparison(&ladder[0], workers, PATTERNS);
+    // Anomaly guard (min-of-N fix): on the 200k+ rungs a warm pass
+    // skips plan construction and artifact publication entirely, so the
+    // noise-floor estimate must come out no slower than cold.
+    for r in &results[1..] {
+        assert!(
+            r.t_campaign_warm <= r.t_campaign_cold,
+            "{} rung: warm campaign ({:.1} ms) slower than cold ({:.1} ms) \
+             even at min-of-{MEASURE_RUNS} — the cache hot path regressed",
+            r.name,
+            r.t_campaign_warm * 1e3,
+            r.t_campaign_cold * 1e3
+        );
+    }
+
+    // Acceptance guard: the level-blocked sweep kernels must carry the
+    // 1M rung's golden-chunk execution >= 1.3x over the gate-order
+    // kernels. This is the phase the kernels rebuild (full-design
+    // packed evaluation); the event-driven walks evaluate a handful of
+    // scattered gates per fault, so the whole-campaign ablation number
+    // is deliberately reported separately and not gated. Single-thread
+    // kernel efficiency, so no CPU-count gate.
+    let million = results.last().expect("ladder has rungs");
+    assert!(
+        million.sweep_speedup() >= 1.3,
+        "acceptance criterion: sweep kernels must be >= 1.3x on the {} rung's \
+         golden-chunk execution (got {:.2}x: {:.1} ms swept vs {:.1} ms gate-order)",
+        million.name,
+        million.sweep_speedup(),
+        million.t_golden_sweep * 1e3,
+        million.t_golden_gate_order * 1e3
+    );
+
+    let drop = global_drop_run(&ladder[0], workers, MEASURE_RUNS);
+    blog!(
+        "\n  global drop (50k rung, {} patterns, verdict mode): unit {:.1} ms, \
+         global {:.1} ms ({:.2}x, {} walks dropped cross-worker)",
+        drop.patterns,
+        drop.t_unit * 1e3,
+        drop.t_global * 1e3,
+        drop.speedup(),
+        drop.dropped_global
+    );
+    if host_cpus() >= 4 {
+        assert!(
+            drop.speedup() >= 2.0,
+            "acceptance criterion: DropScope::Global must be >= 2x on the \
+             {}-pattern verdict-mode run on a >= 4-CPU host (got {:.2}x on {} CPUs)",
+            drop.patterns,
+            drop.speedup(),
+            host_cpus()
+        );
+    } else {
+        blog!(
+            "  (skipping global-drop >= 2x assertion: host has {} CPU(s) — \
+             the win is chunk-dimension parallelism and needs cores)",
+            host_cpus()
+        );
+    }
+
+    let (t_orig, t_lev) = layout_comparison(&ladder[0], workers, PATTERNS, MEASURE_RUNS);
     blog!(
         "\n  layout (50k rung, identical campaign): original order {:.1} ms, \
          level order {:.1} ms ({:.2}x)",
@@ -341,7 +591,13 @@ fn bench(c: &mut Criterion) {
              \"levelize\": {:.6},\n        \"compile\": {:.6},\n        \"collapse\": {:.6},\n        \
              \"plan_serial\": {:.6},\n        \"plan_parallel\": {:.6},\n        \
              \"plan_reload\": {:.6},\n        \"campaign_cold\": {:.6},\n        \
-             \"campaign_warm\": {:.6}\n      }},\n      \"plan_parallel_speedup\": {:.2},\n      \
+             \"campaign_warm\": {:.6}\n      }},\n      \"exec\": {{\n        \
+             \"golden_sweep\": {:.6},\n        \
+             \"golden_gate_order\": {:.6},\n        \
+             \"sweep_speedup\": {:.2},\n        \
+             \"campaign_warm_no_sweep\": {:.6},\n        \
+             \"campaign_ablation_speedup\": {:.2}\n      }},\n      \
+             \"plan_parallel_speedup\": {:.2},\n      \
              \"plan_reload_speedup\": {:.2}\n    }}",
             r.gates,
             r.faults,
@@ -356,6 +612,11 @@ fn bench(c: &mut Criterion) {
             r.t_plan_reload,
             r.t_campaign_cold,
             r.t_campaign_warm,
+            r.t_golden_sweep,
+            r.t_golden_gate_order,
+            r.sweep_speedup(),
+            r.t_campaign_warm_no_sweep,
+            r.ablation_speedup(),
             r.plan_speedup(),
             r.reload_speedup(),
         )
@@ -366,10 +627,19 @@ fn bench(c: &mut Criterion) {
         .collect();
     let json = format!(
         "{{\n  \"experiment\": \"e20_bigcircuit\",\n  {},\n  \"patterns\": {PATTERNS},\n  \
-         \"rungs\": {{\n    {}\n  }},\n  \"layout_50k\": {{\n    \"campaign_original_order\": {:.6},\n    \
+         \"measure_runs\": {MEASURE_RUNS},\n  \
+         \"rungs\": {{\n    {}\n  }},\n  \"global_drop_50k\": {{\n    \
+         \"patterns\": {},\n    \"campaign_unit\": {:.6},\n    \"campaign_global\": {:.6},\n    \
+         \"global_speedup\": {:.2},\n    \"dropped_global\": {}\n  }},\n  \
+         \"layout_50k\": {{\n    \"campaign_original_order\": {:.6},\n    \
          \"campaign_level_order\": {:.6}\n  }}\n}}\n",
         env_json(workers, 256),
         rungs.join(",\n    "),
+        drop.patterns,
+        drop.t_unit,
+        drop.t_global,
+        drop.speedup(),
+        drop.dropped_global,
         t_orig,
         t_lev,
     );

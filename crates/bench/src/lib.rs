@@ -92,6 +92,68 @@ pub fn warn_env_drift(path: &str) -> bool {
     }
 }
 
+/// A committed baseline number out of a `BENCH_*.json`: the value of
+/// the first `"key": <float>` pair inside the first `"section":` object
+/// of the file. `None` when the file, section or key is absent — the
+/// regression guards treat a missing baseline as "nothing to compare
+/// against", never as a failure, so freshly added figures don't brick
+/// CI before their first recording lands.
+pub fn stamped_baseline(path: &str, section: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let sect = text.split(&format!("\"{section}\"")).nth(1)?;
+    let rest = sect.split(&format!("\"{key}\"")).nth(1)?;
+    let number: String = rest
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
+/// Perf-regression guard against a committed `BENCH_*.json` baseline:
+/// panics when `measured` (seconds) is more than `tolerance` slower
+/// than the `section`/`key` figure stamped in `path` (e.g. `tolerance
+/// 0.25` = fail beyond +25%).
+///
+/// The comparison is only meaningful when this host resembles the
+/// recording host, so the guard **skips** (with a [`blog!`] note)
+/// when the host has fewer than 4 CPUs, when [`warn_env_drift`] flags
+/// a host-CPU mismatch against the stamp, or when no baseline exists —
+/// a 1-CPU CI runner judging figures recorded elsewhere would only
+/// measure the machine, not the code. Returns `true` when the guard
+/// actually compared.
+pub fn guard_regression(
+    path: &str,
+    section: &str,
+    key: &str,
+    measured: f64,
+    tolerance: f64,
+) -> bool {
+    if host_cpus() < 4 {
+        blog!(
+            "  (skipping {section}.{key} regression guard: host has {} CPU(s))",
+            host_cpus()
+        );
+        return false;
+    }
+    if warn_env_drift(path) {
+        blog!("  (skipping {section}.{key} regression guard: environment drift)");
+        return false;
+    }
+    let Some(baseline) = stamped_baseline(path, section, key) else {
+        blog!("  (skipping {section}.{key} regression guard: no committed baseline in {path})");
+        return false;
+    };
+    assert!(
+        measured <= baseline * (1.0 + tolerance),
+        "perf regression: {section}.{key} measured {measured:.6} s vs committed \
+         baseline {baseline:.6} s (> +{:.0}% tolerance) in {path}",
+        tolerance * 100.0
+    );
+    blog!("  regression guard {section}.{key}: {measured:.6} s vs baseline {baseline:.6} s — ok");
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,184 @@
+//! Cross-worker fault dropping: a shared atomic detected bitmap.
+//!
+//! Classic fault dropping is local to whichever loop owns a fault: once
+//! a worker detects it, *that worker* stops re-walking it on later
+//! pattern words. When the pattern dimension is parallelized too —
+//! several workers grading the same fault range against different
+//! golden chunks — locality leaks work: a fault detected on chunk 0 by
+//! one worker is still walked on chunk 1 by another. [`DetectedSet`] is
+//! the shared record that closes the leak: workers consult it before
+//! each walk and publish every detection, so a fault detected *anywhere*
+//! is never walked again *anywhere*.
+//!
+//! All operations are `Relaxed` atomics, and that is sound because the
+//! bitmap is monotonic (bits only ever turn on) and advisory: a stale
+//! read can only cause one redundant walk, never a wrong verdict. The
+//! detected *set* a campaign reports is exactly the set the bit-identical
+//! masks-mode engine reports — a skip only ever suppresses a re-walk of
+//! a fault some worker already detected — while first-detection *indices*
+//! become wall-clock-dependent, which is why [`DropScope::Global`] is
+//! opt-in for verdict-mode campaigns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How far a detection reaches when retiring faults early.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DropScope {
+    /// Dropping stays local to the loop that owns the fault range (the
+    /// default). First-detection indices are deterministic and
+    /// bit-identical across worker counts and schedules.
+    #[default]
+    Unit,
+    /// Dropping crosses workers through a shared [`DetectedSet`]. The
+    /// detected set is exactly the [`DropScope::Unit`] set; first
+    /// detection indices may differ run to run, so use this only where
+    /// the verdict *set* is what matters.
+    Global,
+}
+
+/// Shared detected bitmap of one campaign: one bit per walked fault,
+/// plus a counter of walks skipped because the bit was already set.
+///
+/// # Examples
+///
+/// ```
+/// use rescue_campaign::DetectedSet;
+///
+/// let set = DetectedSet::new(100);
+/// assert!(!set.is_detected(42));
+/// set.mark(42);
+/// assert!(set.is_detected(42));
+/// set.note_skip();
+/// assert_eq!(set.skipped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DetectedSet {
+    bits: Vec<AtomicU64>,
+    len: usize,
+    skipped: AtomicU64,
+}
+
+impl DetectedSet {
+    /// An all-clear set over `len` faults.
+    pub fn new(len: usize) -> Self {
+        DetectedSet {
+            bits: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+            skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of fault slots the set covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set covers zero faults.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether fault `i` has been detected by any worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn is_detected(&self, i: usize) -> bool {
+        assert!(i < self.len, "fault index {i} out of range {}", self.len);
+        self.bits[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Publishes fault `i` as detected (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn mark(&self, i: usize) {
+        assert!(i < self.len, "fault index {i} out of range {}", self.len);
+        self.bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Records one walk skipped because the fault was already detected.
+    #[inline]
+    pub fn note_skip(&self) {
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Walks skipped via the shared bitmap so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Number of faults currently marked detected.
+    pub fn detected_count(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_monotonic_and_exact() {
+        let set = DetectedSet::new(130);
+        assert_eq!(set.len(), 130);
+        assert!(!set.is_empty());
+        for i in [0, 63, 64, 129] {
+            assert!(!set.is_detected(i));
+            set.mark(i);
+            assert!(set.is_detected(i), "bit {i}");
+            set.mark(i); // idempotent
+            assert!(set.is_detected(i));
+        }
+        assert_eq!(set.detected_count(), 4);
+        assert_eq!(set.skipped(), 0);
+    }
+
+    #[test]
+    fn skip_counter_accumulates() {
+        let set = DetectedSet::new(1);
+        set.note_skip();
+        set.note_skip();
+        assert_eq!(set.skipped(), 2);
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        let set = DetectedSet::new(0);
+        assert!(set.is_empty());
+        assert_eq!(set.detected_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        DetectedSet::new(64).is_detected(64);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let set = DetectedSet::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let set = &set;
+                s.spawn(move || {
+                    for i in (t..1024).step_by(4) {
+                        set.mark(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(set.detected_count(), 1024);
+    }
+
+    #[test]
+    fn default_scope_is_unit() {
+        assert_eq!(DropScope::default(), DropScope::Unit);
+    }
+}

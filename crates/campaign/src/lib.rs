@@ -67,6 +67,7 @@
 
 pub mod artifact;
 pub mod driver;
+pub mod drop;
 pub mod durable;
 pub mod fleet;
 pub mod manifest;
@@ -77,6 +78,7 @@ pub mod store;
 
 pub use artifact::ArtifactStore;
 pub use driver::{Campaign, Schedule, ShardedRun};
+pub use drop::{DetectedSet, DropScope};
 pub use durable::DurableRun;
 pub use fleet::{FleetEntry, FleetHandle};
 pub use manifest::{CampaignManifest, UnitSpec};

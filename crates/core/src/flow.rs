@@ -70,6 +70,13 @@ pub struct FlowReport {
     /// sourced from the telemetry journal's `flow.*` spans in pipeline
     /// order. Empty when telemetry is disabled.
     pub stage_spans: Vec<(&'static str, u64)>,
+    /// Per-phase execution breakdown `(histogram, samples, mean ms)`
+    /// from the packed engine's `exec.golden_ms` / `exec.walk_ms` /
+    /// `exec.trace_ms` telemetry histograms. The metrics registry is
+    /// process-cumulative, so the figures cover every campaign this
+    /// process ran with telemetry on, not only this flow. Empty when
+    /// telemetry is disabled.
+    pub exec_phases: Vec<(&'static str, u64, f64)>,
 }
 
 impl FlowReport {
@@ -262,6 +269,16 @@ impl HolisticFlow {
             .iter()
             .map(|s| (s.name, s.dur_ns))
             .collect();
+        let exec_phases: Vec<(&'static str, u64, f64)> = {
+            let m = rescue_telemetry::metrics::snapshot();
+            ["exec.golden_ms", "exec.walk_ms", "exec.trace_ms"]
+                .into_iter()
+                .filter_map(|name| {
+                    let h = m.histogram(name)?;
+                    (h.total > 0).then(|| (name, h.total, h.mean()))
+                })
+                .collect()
+        };
         FlowReport {
             design: design.name().to_string(),
             fault_universe: all_faults.len(),
@@ -277,6 +294,7 @@ impl HolisticFlow {
                 ("set", set_run.stats),
             ],
             stage_spans,
+            exec_phases,
         }
     }
 }

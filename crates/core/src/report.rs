@@ -50,9 +50,9 @@ pub fn render_report(report: &FlowReport) -> String {
         let _ = writeln!(s);
         let _ = writeln!(
             s,
-            "| stage | injections | walked | traced | collapse | inj/s | lane occupancy | dropped | stolen chunks | cached units |"
+            "| stage | injections | walked | traced | collapse | inj/s | lane occupancy | dropped | global drops | stolen chunks | cached units |"
         );
-        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|");
         for (stage, stats) in &report.stage_stats {
             // Durable stages report how much of the plan the result
             // store answered; non-durable stages have no units at all.
@@ -63,7 +63,7 @@ pub fn render_report(report: &FlowReport) -> String {
             };
             let _ = writeln!(
                 s,
-                "| {stage} | {} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} | {cached} |",
+                "| {stage} | {} | {} | {} | {:.1} % | {:.0} | {:.1} % | {} | {} | {} | {cached} |",
                 stats.injections,
                 stats.faults_walked,
                 stats.faults_traced,
@@ -71,10 +71,24 @@ pub fn render_report(report: &FlowReport) -> String {
                 stats.injections_per_sec(),
                 stats.lane_occupancy() * 100.0,
                 stats.dropped,
+                stats.dropped_global,
                 stats.chunks_stolen
             );
         }
         let _ = writeln!(s);
+        // Per-phase execution breakdown from the `exec.*` telemetry
+        // histograms (golden simulation / cone walks / trace ascent).
+        // Present only when telemetry recorded the packed engine.
+        if !report.exec_phases.is_empty() {
+            let _ = writeln!(s, "#### Execution phases (telemetry histograms)");
+            let _ = writeln!(s);
+            let _ = writeln!(s, "| phase | samples | mean |");
+            let _ = writeln!(s, "|---|---|---|");
+            for (phase, samples, mean_ms) in &report.exec_phases {
+                let _ = writeln!(s, "| {phase} | {samples} | {mean_ms:.1} ms |");
+            }
+            let _ = writeln!(s);
+        }
     }
     if !report.stage_spans.is_empty() {
         let _ = writeln!(s, "### Stage timing (telemetry journal)");
@@ -147,6 +161,9 @@ mod tests {
         assert!(md.contains("### Stage timing (telemetry journal)"));
         assert!(md.contains("| flow.atpg |"));
         assert!(md.contains("| flow.fault_sim |"));
+        assert!(md.contains("#### Execution phases (telemetry histograms)"));
+        assert!(md.contains("| exec.golden_ms |"));
+        assert!(md.contains("| global drops |"));
     }
 
     #[test]

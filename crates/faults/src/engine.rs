@@ -1073,6 +1073,11 @@ pub struct WideScratch<Wd: SimWord> {
     /// [`WideScratch::load_golden`]) and its observability word.
     obs_root: u32,
     obs_word: Wd,
+    /// Golden-chunk tag of the value array (`u32::MAX` = untagged):
+    /// [`WideScratch::load_chunk`] skips the full-design reload when the
+    /// requested chunk is already resident. Crate-visible so
+    /// [`crate::trace::TraceScratch`] can share the tag.
+    pub(crate) loaded_chunk: u32,
     /// Engine telemetry accumulated by this worker (see
     /// [`ScratchCounters`]).
     pub counters: ScratchCounters,
@@ -1091,6 +1096,7 @@ impl<Wd: SimWord> WideScratch<Wd> {
             walk_id: 0,
             obs_root: u32::MAX,
             obs_word: Wd::ZERO,
+            loaded_chunk: u32::MAX,
             counters: ScratchCounters::default(),
         }
     }
@@ -1100,6 +1106,26 @@ impl<Wd: SimWord> WideScratch<Wd> {
         self.val.copy_from_slice(golden);
         self.touched.clear();
         self.obs_root = u32::MAX;
+        // Manual loads carry no chunk identity; only load_chunk tags.
+        self.loaded_chunk = u32::MAX;
+    }
+
+    /// [`WideScratch::load_golden`] keyed by golden-chunk index: when
+    /// `chunk` is the chunk already resident, the full-design reload —
+    /// the dominant per-(fault-range, chunk) cost on warm campaigns —
+    /// collapses to one tag compare, and the per-chunk observability
+    /// cache stays warm too. Sound because every detect call restores
+    /// `val == golden` through the touched-list undo before returning,
+    /// so a matching tag proves the value array is still the chunk's
+    /// golden image. `chunk` must not be `u32::MAX` (the untagged
+    /// sentinel).
+    pub fn load_chunk(&mut self, chunk: u32, golden: &[Wd]) {
+        debug_assert_ne!(chunk, u32::MAX, "u32::MAX is the untagged sentinel");
+        if self.loaded_chunk == chunk {
+            return;
+        }
+        self.load_golden(golden);
+        self.loaded_chunk = chunk;
     }
 
     /// A fresh stamp value, clearing the stamp array on the (once per

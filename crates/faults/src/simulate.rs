@@ -13,14 +13,15 @@ use crate::engine::{CampaignPlan, FaultScratch, WideScratch};
 use crate::model::{BridgingFault, Fault, FaultKind, FaultSite};
 use crate::trace::{TracePlan, TraceScratch};
 use rescue_campaign::{
-    ArtifactStore, Campaign, CampaignManifest, CampaignStats, DurableRun, ResultStore, ShardedRun,
-    StatsDelta,
+    ArtifactStore, Campaign, CampaignManifest, CampaignStats, DetectedSet, DropScope, DurableRun,
+    ResultStore, ShardedRun, StatsDelta,
 };
 use rescue_netlist::{GateKind, Netlist};
 use rescue_sim::compiled::CompiledNetlist;
 use rescue_sim::parallel::{live_mask, pack_patterns};
-use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
+use rescue_sim::wide::{pack_patterns_wide_into, PackedWord, SimWord, SUPPORTED_LANE_WIDTHS};
 use rescue_telemetry::{metrics, span};
+use std::time::Instant;
 
 /// Outcome of a fault-simulation campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +132,18 @@ pub struct PackedOptions<'a> {
     /// Deliberately excluded from [`crate::content::hash_options`]: the
     /// cache changes wall-clock, never results or unit partitions.
     pub artifacts: Option<&'a ArtifactStore>,
+    /// How far fault dropping reaches. The default
+    /// ([`DropScope::Unit`]) keeps dropping local to the loop that owns
+    /// each fault range: verdicts — including first-detection indices —
+    /// stay bit-identical across worker counts and schedules.
+    /// [`DropScope::Global`] additionally parallelizes the *pattern*
+    /// dimension ((golden chunk × fault range) tiles through the
+    /// work-stealing queue) and retires faults across workers through a
+    /// shared atomic [`DetectedSet`]: the detected *set* is exactly the
+    /// unit-scope set by construction, but first-detection indices
+    /// become wall-clock-dependent — opt in only for verdict-mode
+    /// campaigns where the set is what matters.
+    pub drop_scope: DropScope,
 }
 
 impl Default for PackedOptions<'_> {
@@ -140,6 +153,7 @@ impl Default for PackedOptions<'_> {
             collapsed: None,
             tracing: false,
             artifacts: None,
+            drop_scope: DropScope::Unit,
         }
     }
 }
@@ -172,6 +186,14 @@ impl<'a> PackedOptions<'a> {
     /// construction.
     pub fn with_artifacts(mut self, artifacts: &'a ArtifactStore) -> Self {
         self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Drops faults across workers through a shared detected bitmap
+    /// ([`DropScope::Global`]): same detected set, wall-clock-dependent
+    /// first-detection indices.
+    pub fn global_drop(mut self) -> Self {
+        self.drop_scope = DropScope::Global;
         self
     }
 }
@@ -218,6 +240,15 @@ impl FaultSimulator {
     /// The compiled arena this simulator evaluates on.
     pub fn compiled(&self) -> &CompiledNetlist {
         &self.compiled
+    }
+
+    /// Ablation hook forwarding [`CompiledNetlist::set_sweep`]: toggles
+    /// the level-blocked sweep kernels (when the arena is levelized) for
+    /// every campaign this simulator runs. Verdicts are identical either
+    /// way; only throughput moves. Benches use it to report the sweep
+    /// speedup as a measured number.
+    pub fn set_sweep(&mut self, enabled: bool) {
+        self.compiled.set_sweep(enabled);
     }
 
     /// Golden (fault-free) 64-way evaluation. `words[i]` is input `i`.
@@ -472,18 +503,26 @@ impl FaultSimulator {
         let (walk, expand) = self.walk_list(faults, opts);
         let chunks = self.golden_chunks::<Wd>(patterns);
         let mut faults_traced = 0usize;
-        let run = if opts.tracing {
+        let (results, figures) = if opts.tracing {
             let engine = TraceEngine::build(c, &walk, campaign.workers, opts);
             faults_traced = engine.tplan.statically_traced();
-            run_plain(campaign, &walk, &engine, &chunks)
+            execute_packed(campaign, &walk, &engine, &chunks, opts.drop_scope, true)
         } else {
             let engine = WalkEngine::build(c, &walk, campaign.workers, opts);
-            run_plain(campaign, &walk, &engine, &chunks)
+            execute_packed(campaign, &walk, &engine, &chunks, opts.drop_scope, false)
         };
-        let mut stats = CampaignStats::from_run(faults.len(), &run);
-        stats.faults_walked = walk.len();
-        stats.faults_traced = faults_traced;
-        finish_packed::<Wd>(faults, patterns, opts, &chunks, expand, run.results, stats)
+        let stats = CampaignStats {
+            injections: faults.len(),
+            elapsed_ns: figures.elapsed_ns,
+            workers: figures.worker_ns.len(),
+            worker_ns: figures.worker_ns,
+            chunks_stolen: figures.steals,
+            dropped_global: figures.dropped_global as usize,
+            faults_walked: walk.len(),
+            faults_traced,
+            ..CampaignStats::default()
+        };
+        finish_packed::<Wd>(faults, patterns, opts, &chunks, expand, results, stats)
     }
 
     /// [`FaultSimulator::campaign_packed`] made durable: the campaign
@@ -598,21 +637,53 @@ impl FaultSimulator {
         let (walk, expand) = self.walk_list(faults, opts);
         let manifest = self.manifest_for(faults, patterns, opts, walk.len(), unit_faults);
         let chunks = self.golden_chunks::<Wd>(patterns);
+        // The durable shared bitmap: publish-only in practice (units
+        // partition walk positions, so no in-process consult can fire),
+        // wired so the durable path shares the global-drop contract and
+        // persisted verdicts stay deterministic.
+        let detected = (opts.drop_scope == DropScope::Global).then(|| DetectedSet::new(walk.len()));
+        let exec_start = Instant::now();
         let mut faults_traced = 0usize;
         let run = if opts.tracing {
             let engine = TraceEngine::build(c, &walk, campaign.workers, opts);
             faults_traced = engine.tplan.statically_traced();
-            run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
+            run_durable(
+                campaign,
+                &walk,
+                &engine,
+                &chunks,
+                &manifest,
+                store,
+                detected.as_ref(),
+            )
         } else {
             let engine = WalkEngine::build(c, &walk, campaign.workers, opts);
-            run_durable(campaign, &walk, &engine, &chunks, &manifest, store)
+            run_durable(
+                campaign,
+                &walk,
+                &engine,
+                &chunks,
+                &manifest,
+                store,
+                detected.as_ref(),
+            )
         };
+        if rescue_telemetry::enabled() {
+            let name = if opts.tracing {
+                "exec.trace_ms"
+            } else {
+                "exec.walk_ms"
+            };
+            metrics::histogram(name, &metrics::pow2_bounds(16))
+                .record(exec_start.elapsed().as_millis() as u64);
+        }
         let stats = CampaignStats {
             injections: faults.len(),
             elapsed_ns: run.elapsed_ns,
             workers: run.worker_ns.len(),
             worker_ns: run.worker_ns.clone(),
             chunks_stolen: run.steals,
+            dropped_global: detected.as_ref().map_or(0, |d| d.skipped()) as usize,
             faults_walked: walk.len(),
             faults_traced,
             units_total: run.units_total,
@@ -675,18 +746,35 @@ impl FaultSimulator {
     /// read-only by all workers. The live mask is the one shared
     /// ragged-tail guard: a final chunk of fewer than `Wd::LANES`
     /// patterns must not let dead lanes report detections.
-    fn golden_chunks<Wd: SimWord>(&self, patterns: &[Vec<bool>]) -> Vec<(Vec<Wd>, Wd)> {
-        patterns
-            .chunks(Wd::LANES)
-            .map(|chunk| {
-                let words = pack_patterns_wide::<Wd>(chunk);
-                let mut golden = Vec::new();
-                self.compiled
-                    .eval_words_into(&words, None, &mut golden)
-                    .expect("input word count mismatch");
-                (golden, Wd::live_mask(chunk.len()))
-            })
-            .collect()
+    ///
+    /// The arena is one flat allocation for all chunks (plus one reused
+    /// input-packing buffer), so building it costs two allocations total
+    /// instead of two per chunk — the setup half of the zero-alloc
+    /// steady state. Wall-clock is recorded in the `exec.golden_ms`
+    /// histogram when telemetry is enabled.
+    fn golden_chunks<Wd: SimWord>(&self, patterns: &[Vec<bool>]) -> GoldenChunks<Wd> {
+        let start = Instant::now();
+        let n_gates = self.compiled.len();
+        let n_chunks = patterns.len().div_ceil(Wd::LANES.max(1));
+        let mut words = vec![Wd::ZERO; n_chunks * n_gates];
+        let mut live = Vec::with_capacity(n_chunks);
+        let mut inputs: Vec<Wd> = Vec::new();
+        for (ci, chunk) in patterns.chunks(Wd::LANES).enumerate() {
+            pack_patterns_wide_into(chunk, &mut inputs);
+            self.compiled
+                .eval_words_fill(&inputs, None, &mut words[ci * n_gates..(ci + 1) * n_gates])
+                .expect("input word count mismatch");
+            live.push(Wd::live_mask(chunk.len()));
+        }
+        if rescue_telemetry::enabled() {
+            metrics::histogram("exec.golden_ms", &metrics::pow2_bounds(16))
+                .record(start.elapsed().as_millis() as u64);
+        }
+        GoldenChunks {
+            words,
+            live,
+            n_gates,
+        }
     }
 
     /// Transition-delay campaign over consecutive pattern *pairs*
@@ -857,6 +945,37 @@ impl FaultSimulator {
 /// fine enough that a killed run loses little finished work.
 pub const DEFAULT_UNIT_FAULTS: usize = 256;
 
+/// The per-chunk golden data of one campaign: every chunk's golden
+/// values in one flat arena (`n_chunks × n_gates` words) plus the live
+/// mask per chunk. One allocation for the whole campaign instead of one
+/// `Vec` per chunk, and chunk access is a slice borrow — nothing on the
+/// steady-state execution path allocates.
+struct GoldenChunks<Wd> {
+    words: Vec<Wd>,
+    live: Vec<Wd>,
+    n_gates: usize,
+}
+
+impl<Wd: SimWord> GoldenChunks<Wd> {
+    /// Number of golden chunks (pattern words).
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Chunk `ci`'s golden values and live mask.
+    fn chunk(&self, ci: usize) -> (&[Wd], Wd) {
+        (
+            &self.words[ci * self.n_gates..(ci + 1) * self.n_gates],
+            self.live[ci],
+        )
+    }
+
+    /// Live masks of every chunk, in chunk order.
+    fn live_masks(&self) -> &[Wd] {
+        &self.live
+    }
+}
+
 /// The packed detection interface shared by the plain and durable
 /// campaign paths: one fault in, one `Wd` detection mask out, with the
 /// drop bookkeeping the engines keep in their scratch. Implemented by
@@ -869,14 +988,35 @@ trait PackedDetect<Wd: SimWord>: Sync {
     fn scratch(&self) -> Self::Scratch;
     /// Can any fault rooted at `gate` ever reach a primary output?
     fn observable(&self, gate: usize) -> bool;
-    /// Prepares the scratch for a new golden chunk.
-    fn load(&self, scratch: &mut Self::Scratch, golden: &[Wd]);
+    /// Prepares the scratch for golden chunk `chunk` — a no-op when that
+    /// chunk is already resident (the engines tag their scratch with the
+    /// loaded chunk), which is what makes re-draining the same chunk
+    /// across consecutive fault ranges nearly free.
+    fn load(&self, scratch: &mut Self::Scratch, chunk: u32, golden: &[Wd]);
     /// Detection mask of `fault` under the loaded chunk.
     fn detect(&self, scratch: &mut Self::Scratch, golden: &[Wd], fault: Fault) -> Wd;
     /// Records one fault retired before the final chunk (fault dropping).
     fn note_drop(&self, scratch: &mut Self::Scratch);
     /// Flushes the scratch's counters to the telemetry registry.
     fn flush(&self, scratch: &mut Self::Scratch);
+}
+
+/// Per-worker drain state: the engine scratch plus the pooled
+/// active-fault list, so steady-state unit execution reuses every
+/// buffer across the ranges a worker claims instead of reallocating
+/// per unit.
+struct DrainScratch<S> {
+    inner: S,
+    active: Vec<u32>,
+}
+
+impl<S> DrainScratch<S> {
+    fn new(inner: S) -> Self {
+        DrainScratch {
+            inner,
+            active: Vec::new(),
+        }
+    }
 }
 
 /// Fetches a plan artifact from the cache, or builds and publishes it.
@@ -935,8 +1075,8 @@ impl<Wd: SimWord> PackedDetect<Wd> for WalkEngine<'_> {
         self.plan.observable(gate)
     }
 
-    fn load(&self, scratch: &mut WideScratch<Wd>, golden: &[Wd]) {
-        scratch.load_golden(golden);
+    fn load(&self, scratch: &mut WideScratch<Wd>, chunk: u32, golden: &[Wd]) {
+        scratch.load_chunk(chunk, golden);
     }
 
     fn detect(&self, scratch: &mut WideScratch<Wd>, golden: &[Wd], fault: Fault) -> Wd {
@@ -986,8 +1126,8 @@ impl<Wd: SimWord> PackedDetect<Wd> for TraceEngine<'_> {
         self.tplan.plan().observable(gate)
     }
 
-    fn load(&self, scratch: &mut TraceScratch<Wd>, golden: &[Wd]) {
-        scratch.load_golden(golden);
+    fn load(&self, scratch: &mut TraceScratch<Wd>, chunk: u32, golden: &[Wd]) {
+        scratch.load_chunk(chunk, golden);
     }
 
     fn detect(&self, scratch: &mut TraceScratch<Wd>, golden: &[Wd], fault: Fault) -> Wd {
@@ -1009,47 +1149,123 @@ impl<Wd: SimWord> PackedDetect<Wd> for TraceEngine<'_> {
 /// the single campaign inner loop, shared verbatim by the plain
 /// schedules and the durable store-backed path (which is what keeps
 /// their verdicts bit-identical).
+///
+/// `offset` is the range's global position in the walk list; with a
+/// shared [`DetectedSet`] (`global`) the loop consults the bitmap
+/// before each walk and publishes each detection at `offset + fi`.
+/// Durable units partition walk positions disjointly, so within one
+/// process the consult can never retire a fault this loop would
+/// otherwise have walked — persisted verdicts stay deterministic — but
+/// the publishing keeps the durable path on the same contract as the
+/// tiled global schedule.
 fn drain_unit<Wd: SimWord, E: PackedDetect<Wd>>(
     engine: &E,
-    chunks: &[(Vec<Wd>, Wd)],
-    scratch: &mut E::Scratch,
+    chunks: &GoldenChunks<Wd>,
+    scratch: &mut DrainScratch<E::Scratch>,
+    offset: usize,
     range: &[Fault],
+    global: Option<&DetectedSet>,
 ) -> Vec<Option<usize>> {
     let n_chunks = chunks.len();
     let mut first: Vec<Option<usize>> = vec![None; range.len()];
     // Structurally unobservable faults can never be detected: retire
     // them before the first word instead of re-asking the engine on
-    // every chunk. The active list then shrinks as faults drop, keeping
-    // site-consecutive order so the one-entry observability cache stays
-    // hot.
-    let mut active: Vec<u32> = (0..range.len() as u32)
-        .filter(|&fi| engine.observable(range[fi as usize].site().gate().index()))
-        .collect();
-    for (ci, (golden, live)) in chunks.iter().enumerate() {
+    // every chunk. The active list (pooled across the ranges a worker
+    // claims) then shrinks as faults drop, keeping site-consecutive
+    // order so the one-entry observability cache stays hot.
+    let DrainScratch { inner, active } = scratch;
+    active.clear();
+    active.extend(
+        (0..range.len() as u32)
+            .filter(|&fi| engine.observable(range[fi as usize].site().gate().index())),
+    );
+    for ci in 0..n_chunks {
         if active.is_empty() {
             break; // every detectable fault in this range dropped
         }
-        engine.load(scratch, golden);
+        let (golden, live) = chunks.chunk(ci);
+        engine.load(inner, ci as u32, golden);
         active.retain(|&fi| {
+            if let Some(set) = global {
+                if set.is_detected(offset + fi as usize) {
+                    set.note_skip();
+                    return false;
+                }
+            }
             let fault = range[fi as usize];
-            let mask = engine.detect(scratch, golden, fault) & *live;
+            let mask = engine.detect(inner, golden, fault) & live;
             if mask.is_zero() {
                 return true;
             }
             first[fi as usize] =
                 Some(ci * Wd::LANES + mask.first_lane().expect("mask is non-zero"));
+            if let Some(set) = global {
+                set.mark(offset + fi as usize);
+            }
             if ci + 1 < n_chunks {
                 // Retired early: later words never walk this fault's
                 // cone again.
-                engine.note_drop(scratch);
+                engine.note_drop(inner);
             }
             false
         });
     }
     // Range granularity: one registry touch per work call, never per
     // fault.
-    engine.flush(scratch);
+    engine.flush(inner);
     first
+}
+
+/// Driver-side figures of one executed campaign — the fields
+/// [`CampaignStats`] copies out of the underlying run record,
+/// abstracted so the unit-scope and tiled global-scope schedules can
+/// share one stats tail.
+struct RunFigures {
+    elapsed_ns: u64,
+    worker_ns: Vec<u64>,
+    steals: u64,
+    dropped_global: u64,
+}
+
+/// Executes the walk list with `engine` under the campaign's schedule
+/// and drop scope; returns per-fault first detections plus the run
+/// figures. Wall-clock is recorded in the `exec.walk_ms` /
+/// `exec.trace_ms` histogram (per `tracing`) when telemetry is enabled.
+fn execute_packed<Wd: SimWord, E: PackedDetect<Wd>>(
+    campaign: &Campaign,
+    walk: &[Fault],
+    engine: &E,
+    chunks: &GoldenChunks<Wd>,
+    scope: DropScope,
+    tracing: bool,
+) -> (Vec<Option<usize>>, RunFigures)
+where
+    E::Scratch: Send,
+{
+    let start = Instant::now();
+    let out = match scope {
+        DropScope::Unit => {
+            let run = run_plain(campaign, walk, engine, chunks);
+            let figures = RunFigures {
+                elapsed_ns: run.elapsed_ns,
+                worker_ns: run.worker_ns,
+                steals: run.steals,
+                dropped_global: 0,
+            };
+            (run.results, figures)
+        }
+        DropScope::Global => run_global(campaign, walk, engine, chunks),
+    };
+    if rescue_telemetry::enabled() {
+        let name = if tracing {
+            "exec.trace_ms"
+        } else {
+            "exec.walk_ms"
+        };
+        metrics::histogram(name, &metrics::pow2_bounds(16))
+            .record(start.elapsed().as_millis() as u64);
+    }
+    out
 }
 
 /// Runs the walk list through the campaign's schedule (in-process path).
@@ -1057,14 +1273,14 @@ fn run_plain<Wd: SimWord, E: PackedDetect<Wd>>(
     campaign: &Campaign,
     walk: &[Fault],
     engine: &E,
-    chunks: &[(Vec<Wd>, Wd)],
+    chunks: &GoldenChunks<Wd>,
 ) -> ShardedRun<Option<usize>>
 where
     E::Scratch: Send,
 {
-    let scratch = |_w: usize| engine.scratch();
-    let work = |scratch: &mut E::Scratch, _offset: usize, range: &[Fault]| {
-        drain_unit(engine, chunks, scratch, range)
+    let scratch = |_w: usize| DrainScratch::new(engine.scratch());
+    let work = |scratch: &mut DrainScratch<E::Scratch>, offset: usize, range: &[Fault]| {
+        drain_unit(engine, chunks, scratch, offset, range, None)
     };
     match campaign.schedule {
         rescue_campaign::Schedule::Static => campaign.run_ranges(walk, scratch, work),
@@ -1072,16 +1288,121 @@ where
     }
 }
 
+/// Work tile of the cross-worker-dropping schedule: one golden chunk
+/// crossed with one contiguous walk-list subrange.
+#[derive(Clone, Copy)]
+struct Tile {
+    chunk: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Runs the walk list under [`DropScope::Global`]: (golden chunk ×
+/// fault range) tiles go through the work-stealing queue, every worker
+/// consults the shared [`DetectedSet`] before walking a fault and
+/// publishes each detection, so a fault detected by any worker on any
+/// chunk is never walked again anywhere. Tiles are ordered chunk-major:
+/// consecutive tiles a worker claims share their golden chunk (so the
+/// scratch's chunk tag skips nearly every reload), and the chunk-major
+/// merge below keeps first detections pattern-ordered wherever no skip
+/// raced.
+///
+/// The detected set equals the unit-scope set exactly — a skip only
+/// ever suppresses a redundant re-walk of an already-detected fault —
+/// but first-detection indices are wall-clock-dependent (a later chunk
+/// can win the race and suppress the earlier detection entirely),
+/// which is why this schedule is opt-in for verdict-mode campaigns.
+fn run_global<Wd: SimWord, E: PackedDetect<Wd>>(
+    campaign: &Campaign,
+    walk: &[Fault],
+    engine: &E,
+    chunks: &GoldenChunks<Wd>,
+) -> (Vec<Option<usize>>, RunFigures)
+where
+    E::Scratch: Send,
+{
+    let detected = DetectedSet::new(walk.len());
+    let grain = campaign.chunk_size(walk.len().max(1));
+    let ranges: Vec<(u32, u32)> = (0..walk.len())
+        .step_by(grain)
+        .map(|s| (s as u32, s.saturating_add(grain).min(walk.len()) as u32))
+        .collect();
+    let mut tiles = Vec::with_capacity(chunks.len() * ranges.len());
+    for ci in 0..chunks.len() as u32 {
+        for &(start, end) in &ranges {
+            tiles.push(Tile {
+                chunk: ci,
+                start,
+                end,
+            });
+        }
+    }
+    let run = campaign.run_dynamic(
+        &tiles,
+        |_w| engine.scratch(),
+        |scratch: &mut E::Scratch, _offset: usize, claimed: &[Tile]| {
+            let out: Vec<Vec<(u32, usize)>> = claimed
+                .iter()
+                .map(|t| {
+                    let (golden, live) = chunks.chunk(t.chunk as usize);
+                    engine.load(scratch, t.chunk, golden);
+                    let mut hits: Vec<(u32, usize)> = Vec::new();
+                    for fi in t.start..t.end {
+                        let fault = walk[fi as usize];
+                        if !engine.observable(fault.site().gate().index()) {
+                            continue;
+                        }
+                        if detected.is_detected(fi as usize) {
+                            detected.note_skip();
+                            continue;
+                        }
+                        let mask = engine.detect(scratch, golden, fault) & live;
+                        if let Some(lane) = mask.first_lane() {
+                            detected.mark(fi as usize);
+                            hits.push((fi, t.chunk as usize * Wd::LANES + lane));
+                        }
+                    }
+                    hits
+                })
+                .collect();
+            engine.flush(scratch);
+            out
+        },
+    );
+    // Chunk-major merge: results arrive in tile (= chunk-major) order,
+    // so the first recorded hit per fault is the lowest-chunk one.
+    let mut first: Vec<Option<usize>> = vec![None; walk.len()];
+    for hits in &run.results {
+        for &(fi, p) in hits {
+            if first[fi as usize].is_none() {
+                first[fi as usize] = Some(p);
+            }
+        }
+    }
+    let figures = RunFigures {
+        elapsed_ns: run.elapsed_ns,
+        worker_ns: run.worker_ns,
+        steals: run.steals,
+        dropped_global: detected.skipped(),
+    };
+    (first, figures)
+}
+
 /// Runs the walk list through [`Campaign::run_store`]: same drain loop
 /// as [`run_plain`], but partitioned into the manifest's units with
-/// verdicts persisted (and answered) through the result store.
+/// verdicts persisted (and answered) through the result store. With
+/// [`DropScope::Global`], detections are additionally published to (and
+/// consulted from) the shared bitmap — vacuous within one process (units
+/// partition walk positions disjointly), so persisted verdicts stay
+/// deterministic for every store state.
 fn run_durable<Wd: SimWord, E: PackedDetect<Wd>>(
     campaign: &Campaign,
     walk: &[Fault],
     engine: &E,
-    chunks: &[(Vec<Wd>, Wd)],
+    chunks: &GoldenChunks<Wd>,
     manifest: &CampaignManifest,
     store: &dyn ResultStore,
+    global: Option<&DetectedSet>,
 ) -> DurableRun<Option<usize>>
 where
     E::Scratch: Send,
@@ -1091,9 +1412,9 @@ where
         walk,
         manifest,
         store,
-        |_w| engine.scratch(),
-        |scratch: &mut E::Scratch, _offset: usize, range: &[Fault]| {
-            drain_unit(engine, chunks, scratch, range)
+        |_w| DrainScratch::new(engine.scratch()),
+        |scratch: &mut DrainScratch<E::Scratch>, offset: usize, range: &[Fault]| {
+            drain_unit(engine, chunks, scratch, offset, range, global)
         },
         encode_verdicts,
         decode_verdicts,
@@ -1163,7 +1484,7 @@ fn finish_packed<Wd: SimWord>(
     faults: &[Fault],
     patterns: &[Vec<bool>],
     opts: &PackedOptions,
-    chunks: &[(Vec<Wd>, Wd)],
+    chunks: &GoldenChunks<Wd>,
     expand: Option<Vec<Option<u32>>>,
     results: Vec<Option<usize>>,
     mut stats: CampaignStats,
@@ -1176,7 +1497,7 @@ fn finish_packed<Wd: SimWord>(
             "fault.packed_lanes",
             &[8, 16, 24, 32, 40, 48, 56, 64, 128, 192, 256, 384, 512],
         );
-        for (_, live) in chunks {
+        for live in chunks.live_masks() {
             lanes.record(live.count_ones() as u64);
         }
         rescue_telemetry::metrics::gauge("fault.lane_width").set(Wd::LANES as i64);
@@ -1186,8 +1507,12 @@ fn finish_packed<Wd: SimWord>(
             rescue_telemetry::metrics::gauge("fault.traced_fraction_pct")
                 .set((stats.traced_fraction() * 100.0).round() as i64);
         }
+        if stats.dropped_global > 0 {
+            rescue_telemetry::metrics::counter("fault.dropped_global")
+                .add(stats.dropped_global as u64);
+        }
     }
-    for (_, live) in chunks {
+    for live in chunks.live_masks() {
         stats.record_lanes(live.count_ones() as u64, Wd::LANES as u64);
     }
     // Expand representative verdicts back over the full universe; a

@@ -470,6 +470,23 @@ impl<Wd: SimWord> TraceScratch<Wd> {
         self.epoch += 1;
     }
 
+    /// [`TraceScratch::load_golden`] keyed by golden-chunk index: when
+    /// `chunk` is already resident, both the value reload and the epoch
+    /// bump are skipped — so the per-net observability memo (including
+    /// every stem fallback walk recorded in it) stays warm across all
+    /// the fault ranges that share the chunk, not just within one.
+    /// Soundness mirrors [`WideScratch::load_chunk`]: detections undo
+    /// their writes, and the memo is a pure function of the chunk's
+    /// golden values.
+    pub fn load_chunk(&mut self, chunk: u32, golden: &[Wd]) {
+        debug_assert_ne!(chunk, u32::MAX, "u32::MAX is the untagged sentinel");
+        if self.inner.loaded_chunk == chunk {
+            return;
+        }
+        self.load_golden(golden);
+        self.inner.loaded_chunk = chunk;
+    }
+
     #[inline]
     fn memoize(&mut self, g: usize, word: Wd) {
         self.obs[g] = word;

@@ -1,0 +1,158 @@
+//! Property tests pinning the two execution-path equivalences of the
+//! million-gate campaign engine:
+//!
+//! * the level-blocked **sweep kernels** evaluate byte-for-byte
+//!   identically to the gate-order kernels for every supported lane
+//!   width (`W ∈ {1, 2, 4, 8}`), including ragged final chunks and the
+//!   pin-forced single-gate kernels the cone walks and CPT chain ascent
+//!   dispatch through;
+//! * **`DropScope::Global`** (cross-worker fault dropping over the
+//!   shared detected bitmap) reports exactly the masks-mode detected
+//!   *set* for every schedule, worker count and engine family — only
+//!   first-detection indices may differ, never membership.
+
+use proptest::prelude::*;
+use rescue_campaign::{Campaign, Schedule};
+use rescue_faults::simulate::{FaultSimulator, PackedOptions};
+use rescue_faults::universe;
+use rescue_netlist::{generate, renumber, Netlist};
+use rescue_sim::compiled::CompiledNetlist;
+use rescue_sim::wide::{pack_patterns_wide, PackedWord, SimWord};
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut s = seed.max(1);
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts sweep eval == gate-order eval over every chunk of `patterns`
+/// (full value arena, byte for byte), plus the pin-forced per-gate
+/// kernel on every multi-pin gate of the first chunk.
+fn assert_sweep_matches<Wd: SimWord>(c: &mut CompiledNetlist, patterns: &[Vec<bool>]) {
+    for (ci, chunk) in patterns.chunks(Wd::LANES).enumerate() {
+        let words = pack_patterns_wide::<Wd>(chunk);
+        c.set_sweep(true);
+        assert!(c.sweep_plan().is_some(), "levelized arena must sweep");
+        let mut swept = Vec::new();
+        c.eval_words_into(&words, None, &mut swept).unwrap();
+        c.set_sweep(false);
+        let mut gate_order = Vec::new();
+        c.eval_words_into(&words, None, &mut gate_order).unwrap();
+        assert_eq!(
+            swept,
+            gate_order,
+            "chunk {ci} ({} patterns, {} lanes)",
+            chunk.len(),
+            Wd::LANES
+        );
+        if ci == 0 {
+            // The pin-forced kernel the cone walks / CPT sensitization
+            // use: force each pin of each gate to the inverse of its
+            // driver and compare dispatch paths.
+            for g in 0..c.len() {
+                for pin in 0..c.pins_of(g).len() {
+                    let driver = c.pins_of(g)[pin] as usize;
+                    let forced = !gate_order[driver];
+                    c.set_sweep(true);
+                    let fast = c.eval_word_pin_forced(g, &gate_order, pin, forced);
+                    c.set_sweep(false);
+                    let slow = c.eval_word_pin_forced(g, &gate_order, pin, forced);
+                    assert_eq!(fast, slow, "gate {g} pin {pin}");
+                }
+            }
+        }
+    }
+    c.set_sweep(true);
+}
+
+/// Detected-set fingerprint of a campaign run: one bool per fault.
+fn detected_set(first: &[Option<usize>]) -> Vec<bool> {
+    first.iter().map(|d| d.is_some()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (a) Levelized sweep eval ≡ gate-order eval byte-for-byte for
+    /// W ∈ {1, 2, 4, 8}, including ragged tails.
+    #[test]
+    fn sweep_eval_matches_gate_order_all_widths(seed in 1u64..400, ragged in 1usize..63) {
+        let net = generate::random_logic(8, 220, 4, seed);
+        let (lev, _) = renumber::levelized(&net);
+        let mut c = CompiledNetlist::new(&lev);
+        // One full chunk plus a ragged tail at every width: 64·W + r
+        // patterns exercise both the steady-state and tail kernels.
+        let pats = |lanes: usize| random_patterns(8, lanes + ragged, seed);
+        assert_sweep_matches::<u64>(&mut c, &pats(64));
+        assert_sweep_matches::<PackedWord<2>>(&mut c, &pats(128));
+        assert_sweep_matches::<PackedWord<4>>(&mut c, &pats(256));
+        assert_sweep_matches::<PackedWord<8>>(&mut c, &pats(512));
+    }
+
+    /// (b) `DropScope::Global` detected set ≡ masks-mode detected set
+    /// across schedules, worker counts and both engine families.
+    #[test]
+    fn global_drop_set_matches_masks_mode(seed in 1u64..300, tracing in any::<bool>()) {
+        let net: Netlist = generate::random_logic(6, 90, 3, seed);
+        let faults = universe::stuck_at_universe(&net);
+        let patterns = random_patterns(6, 130, seed); // 3 chunks, ragged tail
+        let sim = FaultSimulator::new(&net);
+        let base_opts = if tracing {
+            PackedOptions::default().traced()
+        } else {
+            PackedOptions::default()
+        };
+        // Masks mode (bit-identical reference): serial unit-scope run.
+        let masks = sim.campaign_packed(&faults, &patterns, &Campaign::serial(), base_opts);
+        let want = detected_set(masks.report.first_detection());
+        for workers in [1usize, 2, 4] {
+            for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 3 }] {
+                let campaign = Campaign::new(7, workers).with_schedule(schedule);
+                let global =
+                    sim.campaign_packed(&faults, &patterns, &campaign, base_opts.global_drop());
+                let got = detected_set(global.report.first_detection());
+                prop_assert_eq!(
+                    &got, &want,
+                    "workers={} schedule={:?} tracing={}", workers, schedule, tracing
+                );
+                prop_assert_eq!(
+                    global.report.detected_count(),
+                    masks.report.detected_count()
+                );
+            }
+        }
+    }
+
+    /// Global scope never invents or loses detections even at width 4
+    /// with collapsing on — the expansion map composes with the shared
+    /// bitmap exactly as with unit scope.
+    #[test]
+    fn global_drop_composes_with_collapse_and_width(seed in 1u64..150) {
+        let net: Netlist = generate::random_logic(6, 70, 3, seed);
+        let faults = universe::stuck_at_universe(&net);
+        let patterns = random_patterns(6, 300, seed); // ragged at W=4
+        let sim = FaultSimulator::new(&net);
+        let collapsed = rescue_faults::collapse::collapse(&net, &faults);
+        let base = PackedOptions::wide(4).with_collapsed(&collapsed);
+        let masks = sim.campaign_packed(&faults, &patterns, &Campaign::serial(), base);
+        let global = sim.campaign_packed(
+            &faults,
+            &patterns,
+            &Campaign::new(3, 4),
+            base.global_drop(),
+        );
+        let want = detected_set(masks.report.first_detection());
+        let got = detected_set(global.report.first_detection());
+        prop_assert_eq!(got, want);
+    }
+}

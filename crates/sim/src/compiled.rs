@@ -30,6 +30,7 @@
 use crate::codec::{put_bits, put_len, put_u32s, take_bits, take_len, take_u32s};
 use crate::error::SimError;
 use crate::logic::Logic;
+use crate::sweep::SweepPlan;
 use crate::wide::SimWord;
 use rescue_netlist::{GateId, GateKind, Netlist, NetlistError};
 
@@ -57,6 +58,13 @@ pub struct CompiledNetlist {
     /// count fault-effect propagation sees within a chunk.
     comb_fan_degree: Vec<u32>,
     depth: u32,
+    /// Level-blocked sweep schedule, present when the arena is levelized
+    /// (gate ids ascend with logic level, the [`rescue_netlist`]
+    /// `renumber::levelized` contract). **Derived state**: recomputed
+    /// identically by [`CompiledNetlist::try_new`] and
+    /// [`CompiledNetlist::from_bytes`], never serialized, so the wire
+    /// format and content hashes are independent of it.
+    sweep: Option<SweepPlan>,
 }
 
 impl CompiledNetlist {
@@ -159,7 +167,7 @@ impl CompiledNetlist {
             .map(|&d| netlist.gate(d).inputs()[0].index() as u32)
             .collect();
 
-        Ok(CompiledNetlist {
+        let mut c = CompiledNetlist {
             kinds,
             pin_offsets,
             pins,
@@ -176,7 +184,48 @@ impl CompiledNetlist {
             fan,
             comb_fan_degree,
             depth: lv.depth(),
-        })
+            sweep: None,
+        };
+        c.sweep = c.derive_sweep();
+        Ok(c)
+    }
+
+    /// Builds the level-blocked sweep schedule when the arena is
+    /// levelized (levels nondecreasing over gate ids — guaranteed after
+    /// `renumber::levelized`, the opt-in hook). Non-levelized arenas
+    /// keep the gate-order kernels: the sweep would still be correct but
+    /// its SoA runs would gather from scattered ids, defeating the
+    /// locality the level blocking buys.
+    fn derive_sweep(&self) -> Option<SweepPlan> {
+        let n = self.len();
+        // Also runs on decoded (possibly corrupt) bytes, so everything
+        // the plan build itself indexes must be validated first — a bad
+        // cache entry degrades to the gate-order path, it never panics
+        // here.
+        let indexable = self.pin_offsets.windows(2).all(|w| w[0] <= w[1])
+            && self
+                .pin_offsets
+                .last()
+                .is_some_and(|&e| e as usize == self.pins.len())
+            && self.eval_order.iter().all(|&g| (g as usize) < n);
+        if n > 0 && indexable && self.levels.windows(2).all(|w| w[0] <= w[1]) {
+            Some(SweepPlan::build(self))
+        } else {
+            None
+        }
+    }
+
+    /// The derived sweep schedule, when the arena is levelized.
+    pub fn sweep_plan(&self) -> Option<&SweepPlan> {
+        self.sweep.as_ref()
+    }
+
+    /// Forces the sweep kernels off (or re-derives them): the ablation
+    /// hook benches use to time gate-order vs. level-blocked execution
+    /// on the same arena. No effect on results — both paths are
+    /// byte-identical.
+    pub fn set_sweep(&mut self, enabled: bool) {
+        self.sweep = if enabled { self.derive_sweep() } else { None };
     }
 
     /// Number of gates.
@@ -286,8 +335,20 @@ impl CompiledNetlist {
     /// Evaluates gate `g` over one packed pattern word (64 lanes for
     /// `u64`, `64 * W` for [`crate::wide::PackedWord`]) from `values`.
     /// `Dff` evaluates to the all-zero word; `Input` is the caller's job.
+    /// Dispatches through the sweep fast descriptors when the arena is
+    /// levelized (same result, no CSR fold).
     #[inline]
     pub fn eval_word<Wd: SimWord>(&self, g: usize, values: &[Wd]) -> Wd {
+        match &self.sweep {
+            Some(plan) => plan.eval_gate(self, g, values),
+            None => self.eval_word_generic(g, values),
+        }
+    }
+
+    /// The CSR-fold gate evaluation the sweep fast path falls back to
+    /// for shapes without a dedicated kernel.
+    #[inline]
+    pub(crate) fn eval_word_generic<Wd: SimWord>(&self, g: usize, values: &[Wd]) -> Wd {
         eval_word_from(
             self.kinds[g],
             self.pins_of(g).iter().map(|&p| values[p as usize]),
@@ -298,6 +359,21 @@ impl CompiledNetlist {
     /// by `word` — the pin stuck-at injection primitive.
     #[inline]
     pub fn eval_word_pin_forced<Wd: SimWord>(
+        &self,
+        g: usize,
+        values: &[Wd],
+        pin: usize,
+        word: Wd,
+    ) -> Wd {
+        match &self.sweep {
+            Some(plan) => plan.eval_gate_pin_forced(self, g, values, pin, word),
+            None => self.eval_word_pin_forced_generic(g, values, pin, word),
+        }
+    }
+
+    /// CSR-fold form of [`CompiledNetlist::eval_word_pin_forced`].
+    #[inline]
+    pub(crate) fn eval_word_pin_forced_generic<Wd: SimWord>(
         &self,
         g: usize,
         values: &[Wd],
@@ -368,16 +444,61 @@ impl CompiledNetlist {
         self.check_width(input_words.len())?;
         values.clear();
         values.resize(self.len(), Wd::ZERO);
+        self.eval_words_fill_inner(input_words, force, values);
+        Ok(())
+    }
+
+    /// Slice form of [`CompiledNetlist::eval_words_into`] for reusable
+    /// flat arenas: no clear/resize, `values` must already hold exactly
+    /// [`CompiledNetlist::len`] words. Every gate is overwritten (PIs
+    /// from `input_words`, DFF outputs to zero, the rest by evaluation),
+    /// so stale contents never leak — the zero-allocation golden-chunk
+    /// path depends on this.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InputWidthMismatch`] on word-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != self.len()`.
+    pub fn eval_words_fill<Wd: SimWord>(
+        &self,
+        input_words: &[Wd],
+        force: Option<(u32, Wd)>,
+        values: &mut [Wd],
+    ) -> Result<(), SimError> {
+        self.check_width(input_words.len())?;
+        assert_eq!(values.len(), self.len(), "value arena width mismatch");
+        self.eval_words_fill_inner(input_words, force, values);
+        Ok(())
+    }
+
+    /// Shared full-evaluation body: sources first, then the sweep
+    /// schedule when available (unforced only — forcing needs the
+    /// gate-major site check) or the gate-order walk.
+    fn eval_words_fill_inner<Wd: SimWord>(
+        &self,
+        input_words: &[Wd],
+        force: Option<(u32, Wd)>,
+        values: &mut [Wd],
+    ) {
         for (i, &pi) in self.pis.iter().enumerate() {
             values[pi as usize] = input_words[i];
         }
+        for &d in &self.dffs {
+            values[d as usize] = Wd::ZERO;
+        }
         match force {
-            None => {
-                for &g in &self.eval_order {
-                    let v = self.eval_word(g as usize, values);
-                    values[g as usize] = v;
+            None => match &self.sweep {
+                Some(plan) => plan.eval_sweep(self, values),
+                None => {
+                    for &g in &self.eval_order {
+                        let v = self.eval_word(g as usize, values);
+                        values[g as usize] = v;
+                    }
                 }
-            }
+            },
             Some((site, word)) => {
                 // Sources are outside eval_order; force them up front.
                 if matches!(self.kinds[site as usize], GateKind::Input | GateKind::Dff) {
@@ -393,7 +514,6 @@ impl CompiledNetlist {
                 }
             }
         }
-        Ok(())
     }
 
     /// Two-valued full evaluation into a reusable buffer. DFF outputs
@@ -517,7 +637,7 @@ impl CompiledNetlist {
         if !shape_ok {
             return None;
         }
-        Some(CompiledNetlist {
+        let mut c = CompiledNetlist {
             kinds,
             pin_offsets,
             pins,
@@ -534,7 +654,12 @@ impl CompiledNetlist {
             fan,
             comb_fan_degree,
             depth,
-        })
+            sweep: None,
+        };
+        // The sweep schedule is derived, not serialized: recompute it so
+        // a cache hit behaves exactly like a fresh compile.
+        c.sweep = c.derive_sweep();
+        Some(c)
     }
 }
 
@@ -804,6 +929,39 @@ mod tests {
                 found: 3
             })
         ));
+    }
+
+    #[test]
+    fn sweep_engages_only_on_levelized_arenas_and_matches_gate_order() {
+        let net = generate::random_logic(8, 300, 4, 9);
+        let (lev, _) = rescue_netlist::renumber::levelized(&net);
+        let mut c = CompiledNetlist::new(&lev);
+        assert!(c.sweep_plan().is_some(), "levelized ids select the sweep");
+        let words: Vec<u64> = (0..8)
+            .map(|i| 0xdeadbeefcafef00du64.rotate_left(i))
+            .collect();
+        let mut swept = Vec::new();
+        c.eval_words_into(&words, None, &mut swept).unwrap();
+        c.set_sweep(false);
+        assert!(c.sweep_plan().is_none());
+        let mut gate_order = Vec::new();
+        c.eval_words_into(&words, None, &mut gate_order).unwrap();
+        assert_eq!(swept, gate_order, "sweep must be byte-identical");
+        c.set_sweep(true);
+        assert!(c.sweep_plan().is_some(), "toggle re-derives the plan");
+        // The slice variant fills a dirty arena to the same bytes.
+        let mut arena = vec![u64::MAX; c.len()];
+        c.eval_words_fill(&words, None, &mut arena).unwrap();
+        assert_eq!(arena, gate_order);
+    }
+
+    #[test]
+    fn decoded_arena_rederives_the_sweep() {
+        let (lev, _) = rescue_netlist::renumber::levelized(&generate::random_logic(7, 250, 3, 4));
+        let c = CompiledNetlist::new(&lev);
+        let back = CompiledNetlist::from_bytes(&c.to_bytes()).expect("decode");
+        assert!(back.sweep_plan().is_some(), "cache hits keep the sweep");
+        assert_eq!(c, back);
     }
 
     #[test]

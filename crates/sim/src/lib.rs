@@ -60,6 +60,7 @@ pub mod error;
 pub mod logic;
 pub mod parallel;
 pub mod seq;
+pub mod sweep;
 pub mod timed;
 pub mod wide;
 

@@ -296,16 +296,31 @@ impl<const W: usize> SimWord for PackedWord<W> {
 /// Panics if more than `LANES` patterns are supplied or pattern widths
 /// differ.
 pub fn pack_patterns_wide<Wd: SimWord>(patterns: &[Vec<bool>]) -> Vec<Wd> {
+    let mut words = Vec::new();
+    pack_patterns_wide_into(patterns, &mut words);
+    words
+}
+
+/// [`pack_patterns_wide`] into a caller-owned buffer (cleared and
+/// refilled), so per-chunk packing in campaign setup reuses one
+/// allocation instead of building a fresh `Vec` per golden chunk.
+///
+/// # Panics
+///
+/// Panics if more than `LANES` patterns are supplied or pattern widths
+/// differ.
+pub fn pack_patterns_wide_into<Wd: SimWord>(patterns: &[Vec<bool>], words: &mut Vec<Wd>) {
     assert!(
         patterns.len() <= Wd::LANES,
         "at most {} patterns per word",
         Wd::LANES
     );
-    if patterns.is_empty() {
-        return Vec::new();
-    }
-    let width = patterns[0].len();
-    let mut words = vec![Wd::ZERO; width];
+    words.clear();
+    let Some(first) = patterns.first() else {
+        return;
+    };
+    let width = first.len();
+    words.resize(width, Wd::ZERO);
     for (p, pat) in patterns.iter().enumerate() {
         assert_eq!(pat.len(), width, "pattern width mismatch");
         for (i, &bit) in pat.iter().enumerate() {
@@ -314,7 +329,6 @@ pub fn pack_patterns_wide<Wd: SimWord>(patterns: &[Vec<bool>]) -> Vec<Wd> {
             }
         }
     }
-    words
 }
 
 /// Lane widths the runtime dispatchers accept (`W` in multiples of
